@@ -1,0 +1,65 @@
+// bench_fig5b_nonblocking_overhead — reproduces Figure 5b: runtime overhead
+// of the CC algorithm on OSU *non-blocking* collectives (2PC does not
+// support them, so only CC is shown — exactly as in the paper).
+//
+// Expected shape: higher overhead than the blocking case at small message
+// sizes (two interposition points per operation: initiation + completion),
+// decaying as message size and rank count grow.
+#include "bench_util.hpp"
+#include "workloads/osu.hpp"
+
+namespace manatee::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const auto worlds = world_sweep(opts);
+  const int rpn = ranks_per_node(opts, 16);
+  const std::vector<std::size_t> sizes =
+      opts.get_bool("full") ? std::vector<std::size_t>{4, 1024, 1024 * 1024}
+                            : std::vector<std::size_t>{4, 1024, 65536};
+
+  print_header(
+      "Figure 5b: non-blocking collectives — CC runtime overhead "
+      "(2PC unsupported)",
+      "paper Fig. 5b (OSU non-blocking, 128..2048 ranks)");
+
+  const workloads::OsuCollective collectives[] = {
+      workloads::OsuCollective::kBcast, workloads::OsuCollective::kAlltoall,
+      workloads::OsuCollective::kAllreduce, workloads::OsuCollective::kAllgather};
+
+  std::printf("%-14s %10s %8s %14s %14s\n", "collective", "msg_size", "ranks",
+              "2PC overhead", "CC overhead");
+  for (const auto coll : collectives) {
+    for (const auto size : sizes) {
+      for (const int world : worlds) {
+        if ((coll == workloads::OsuCollective::kAlltoall ||
+             coll == workloads::OsuCollective::kAllgather) &&
+            size >= 65536 && world > 64) {
+          continue;
+        }
+        workloads::OsuLatency osu;
+        osu.params.collective = coll;
+        osu.params.nonblocking = true;
+        osu.params.message_bytes = size;
+        osu.params.iterations = static_cast<int>(opts.get_int("iters", 12));
+        const auto native =
+            run_workload(osu, world, rpn, Protocol::kNative).makespan;
+        const auto cc = run_workload(osu, world, rpn, Protocol::kCC).makespan;
+        std::printf("%-14s %10zu %8d %14s %13.1f%%\n",
+                    osu_collective_name(coll, true), size, world, "NA",
+                    overhead_pct(static_cast<double>(native),
+                                 static_cast<double>(cc)));
+      }
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper): CC 0-50%% at 4 B (worst case Ibcast), "
+      "decaying with message size; 2PC: NA.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace manatee::bench
+
+int main(int argc, char** argv) { return manatee::bench::run(argc, argv); }

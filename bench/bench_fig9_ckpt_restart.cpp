@@ -1,0 +1,94 @@
+// bench_fig9_ckpt_restart — reproduces Figure 9: VASP checkpoint and
+// restart times under 2PC vs CC across node counts.
+//
+// Expected shape: checkpoint and restart times are nearly identical for
+// the two algorithms (the drain is cheap; stable-storage bandwidth
+// dominates) and grow with the node count (more total data through the
+// shared Lustre-class bandwidth).
+#include <filesystem>
+
+#include "bench_util.hpp"
+#include "workloads/vasp_proxy.hpp"
+
+namespace manatee::bench {
+namespace {
+
+struct CkptTimes {
+  double ckpt_s = 0;
+  double restart_s = 0;
+};
+
+CkptTimes measure(Protocol protocol, int world, int rpn, const Options& opts) {
+  simnet::MessageStore::set_wait_timeout_ms(120'000);
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("manatee_fig9_" + std::string(split::protocol_name(protocol)) +
+                    "_" + std::to_string(world));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  workloads::VaspProxy vasp;
+  vasp.scf_iterations = 3;
+  // Give each rank a checkpoint-relevant memory footprint.
+  vasp.wavefunction_elems = static_cast<int>(opts.get_int("state-elems", 1 << 20));
+
+  EngineConfig config;
+  config.runtime.world_size = world;
+  config.runtime.ranks_per_node = rpn;
+  config.protocol = protocol;
+  config.image_dir = dir.string();
+  config.trigger_at_collectives = {25};  // mid-run request
+
+  CkptTimes times;
+  {
+    Engine engine(config);
+    const auto report = engine.run([&](Api& api) {
+      workloads::VaspProxy instance = vasp;
+      instance(api);
+    });
+    if (!report.ckpt_durations.empty()) {
+      times.ckpt_s = simnet::to_seconds(report.ckpt_durations.front());
+    }
+  }
+  {
+    EngineConfig config2 = config;
+    config2.trigger_at_collectives.clear();
+    Engine engine(config2);
+    const auto report = engine.restart([&](Api& api) {
+      workloads::VaspProxy instance = vasp;
+      instance(api);
+    });
+    times.restart_s = simnet::to_seconds(report.restart_duration);
+  }
+  std::filesystem::remove_all(dir);
+  return times;
+}
+
+int run(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const int rpn = ranks_per_node(opts, 8);
+  const std::vector<int> worlds = opts.get_bool("full")
+                                      ? std::vector<int>{128, 256, 512, 1024}
+                                      : std::vector<int>{8, 16, 32, 64};
+
+  print_header("Figure 9: VASP checkpoint & restart times, 2PC vs CC",
+               "paper Fig. 9 (1..16 nodes, Lustre)");
+
+  std::printf("%8s %8s | %14s %14s | %14s %14s\n", "ranks", "nodes",
+              "2PC ckpt (ms)", "CC ckpt (ms)", "2PC restart", "CC restart");
+  for (const int world : worlds) {
+    const auto tpc = measure(Protocol::kTpc, world, rpn, opts);
+    const auto cc = measure(Protocol::kCC, world, rpn, opts);
+    std::printf("%8d %8d | %14.3f %14.3f | %14.3f %14.3f\n", world,
+                (world + rpn - 1) / rpn, tpc.ckpt_s * 1e3, cc.ckpt_s * 1e3,
+                tpc.restart_s * 1e3, cc.restart_s * 1e3);
+  }
+  std::printf(
+      "\nExpected shape (paper): 2PC ≈ CC at every point; both grow with "
+      "node count (total image data / shared storage bandwidth).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace manatee::bench
+
+int main(int argc, char** argv) { return manatee::bench::run(argc, argv); }

@@ -1,0 +1,102 @@
+// bench_table1_call_rates — reproduces Table 1: collective and
+// point-to-point communication calls per second (per-process average) for
+// the OSU micro-benchmark reference and the five applications, ordered by
+// collective call rate.
+#include "bench_util.hpp"
+#include "workloads/comd_proxy.hpp"
+#include "workloads/lammps_proxy.hpp"
+#include "workloads/osu.hpp"
+#include "workloads/poisson_cg.hpp"
+#include "workloads/sw4_proxy.hpp"
+#include "workloads/vasp_proxy.hpp"
+
+namespace manatee::bench {
+namespace {
+
+struct Row {
+  std::string app;
+  std::string input;
+  double coll_per_sec = 0;
+  double p2p_per_sec = 0;
+};
+
+template <typename W>
+Row measure(const char* app, const char* input, const W& workload, int world,
+            int rpn) {
+  const auto report = run_workload(workload, world, rpn, Protocol::kNative);
+  const double secs = report.seconds();
+  Row row;
+  row.app = app;
+  row.input = input;
+  if (secs > 0) {
+    row.coll_per_sec = static_cast<double>(report.wrapper_collective_calls) /
+                       world / secs;
+    row.p2p_per_sec =
+        static_cast<double>(report.wrapper_p2p_calls) / world / secs;
+  }
+  return row;
+}
+
+int run(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const int world = static_cast<int>(opts.get_int("ranks", 64));
+  const int rpn = ranks_per_node(opts, 16);
+
+  print_header("Table 1: communication calls per second (" +
+                   std::to_string(world) + " ranks, " +
+                   std::to_string((world + rpn - 1) / rpn) + " nodes)",
+               "paper Table 1 (512 ranks over 4 Perlmutter nodes)");
+
+  std::vector<Row> rows;
+
+  {
+    workloads::OsuLatency osu;
+    osu.params.collective = workloads::OsuCollective::kBcast;
+    osu.params.message_bytes = 4;
+    osu.params.iterations = 400;
+    rows.push_back(measure("OSU MicroBench", "MPI_Bcast (msg: 4 bytes)", osu,
+                           world, rpn));
+  }
+  {
+    workloads::VaspProxy vasp;
+    vasp.scf_iterations = 4;
+    rows.push_back(measure("VASP 6", "PdO4 (proxy)", vasp, world, rpn));
+  }
+  {
+    workloads::PoissonCg poisson;
+    poisson.iterations = 12;
+    rows.push_back(
+        measure("Poisson Solver", "rel_error = 0.01 (proxy)", poisson, world, rpn));
+  }
+  {
+    workloads::CoMDProxy comd;
+    comd.timesteps = 30;
+    rows.push_back(measure("CoMD", "Cu_u6.eam (proxy)", comd, world, rpn));
+  }
+  {
+    workloads::LammpsProxy lammps;
+    lammps.timesteps = 30;
+    rows.push_back(measure("LAMMPS", "Scaled LJ Liquid (proxy)", lammps, world, rpn));
+  }
+  {
+    workloads::Sw4Proxy sw4;
+    sw4.timesteps = 40;
+    rows.push_back(measure("SW4", "LOH.1-h50.in (proxy)", sw4, world, rpn));
+  }
+
+  std::printf("%-16s %-28s %14s %14s\n", "Application", "Input", "coll. calls/s",
+              "p2p calls/s");
+  for (const auto& r : rows) {
+    std::printf("%-16s %-28s %14.1f %14.1f\n", r.app.c_str(), r.input.c_str(),
+                r.coll_per_sec, r.p2p_per_sec);
+  }
+  std::printf(
+      "\nPaper (512 ranks): OSU 255754.5/NA, VASP 2489.2/2568.9, Poisson "
+      "21.3/NA, CoMD 7.8/414.2, LAMMPS 6.3/1707.5, SW4 0.6/157.9\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace manatee::bench
+
+int main(int argc, char** argv) { return manatee::bench::run(argc, argv); }

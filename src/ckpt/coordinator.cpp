@@ -1,0 +1,267 @@
+#include "ckpt/coordinator.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace manatee::ckpt {
+
+Coordinator::Coordinator(int world_size, simnet::Fabric* fabric)
+    : world_size_(world_size), fabric_(fabric),
+      ranks_(static_cast<std::size_t>(world_size)) {
+  MANATEE_REQUIRE(world_size > 0, "coordinator needs a positive world size");
+}
+
+void Coordinator::wake_all_locked() {
+  if (fabric_ != nullptr) fabric_->notify_all_ranks();
+}
+
+bool Coordinator::request_checkpoint() {
+  std::lock_guard lock(mutex_);
+  if (phase_ != CkptPhase::kIdle) return false;
+  phase_ = CkptPhase::kDrain;
+  targets_.clear();
+  targets_version_ = 0;
+  for (auto& r : ranks_) {
+    const bool done = r.done;
+    r = RankState{};
+    r.done = done;
+  }
+  LOG_DEBUG("coordinator: checkpoint requested (cycle "
+            << completed_cycles_ + 1 << ")");
+  wake_all_locked();
+  return true;
+}
+
+CkptPhase Coordinator::phase() const {
+  std::lock_guard lock(mutex_);
+  return phase_;
+}
+
+std::uint64_t Coordinator::completed_cycles() const {
+  std::lock_guard lock(mutex_);
+  return completed_cycles_;
+}
+
+// ---- CC ------------------------------------------------------------------------
+
+void Coordinator::post_seq(int rank, const std::map<std::uint64_t, std::uint64_t>& seq) {
+  std::lock_guard lock(mutex_);
+  MANATEE_CHECK(phase_ == CkptPhase::kDrain, "post_seq outside a drain");
+  auto& state = ranks_[static_cast<std::size_t>(rank)];
+  bool grew = false;
+  for (const auto& [ggid, n] : seq) {
+    auto& t = targets_[ggid];
+    if (n > t) {
+      t = n;
+      grew = true;
+    }
+  }
+  if (!state.seq_posted) {
+    state.seq_posted = true;
+    grew = true;  // ensure version moves so parked ranks re-verify
+  }
+  if (grew) {
+    ++targets_version_;
+    wake_all_locked();
+  }
+}
+
+bool Coordinator::pull_targets(std::uint64_t& seen_version,
+                               std::map<std::uint64_t, std::uint64_t>& out) const {
+  std::lock_guard lock(mutex_);
+  if (seen_version == targets_version_) return false;
+  seen_version = targets_version_;
+  out = targets_;
+  return true;
+}
+
+bool Coordinator::all_seq_posted() const {
+  std::lock_guard lock(mutex_);
+  for (const auto& r : ranks_) {
+    if (!r.seq_posted) return false;
+  }
+  return true;
+}
+
+void Coordinator::report_cc(int rank, bool parked, std::uint64_t sent,
+                            std::uint64_t received, std::uint64_t seen_version) {
+  std::lock_guard lock(mutex_);
+  if (phase_ != CkptPhase::kDrain) return;  // late report after write began
+  auto& state = ranks_[static_cast<std::size_t>(rank)];
+  state.parked = parked;
+  state.sent = sent;
+  state.received = received;
+  state.seen_version = seen_version;
+  maybe_enter_write_locked();
+}
+
+void Coordinator::maybe_enter_write_locked() {
+  if (phase_ != CkptPhase::kDrain) return;
+
+  // CC criteria (when in use): every rank posted SEQ, is parked against the
+  // current table version, and update counts balance.
+  std::uint64_t sent = 0, received = 0;
+  bool cc_ready = true;
+  for (const auto& r : ranks_) {
+    if (!r.seq_posted || !r.parked || r.seen_version != targets_version_) {
+      cc_ready = false;
+      break;
+    }
+    sent += r.sent;
+    received += r.received;
+  }
+  cc_ready = cc_ready && sent == received;
+
+  // 2PC criteria (when in use): every rank parked, nobody executing a real
+  // collective, and no inserted barrier fully entered but not fully done.
+  bool tpc_ready = true;
+  for (const auto& r : ranks_) {
+    if (!r.parked) {
+      tpc_ready = false;
+      break;
+    }
+  }
+  if (tpc_ready) {
+    for (const auto& [key, inst] : tpc_instances_) {
+      if (inst.executing > 0 ||
+          (inst.entered == inst.members && inst.done < inst.members)) {
+        tpc_ready = false;
+        break;
+      }
+    }
+  }
+
+  // The engine wires exactly one protocol per run; CC ranks never park
+  // without posting SEQ, and 2PC ranks never post SEQ. Requiring "parked"
+  // in both makes the disjunction safe.
+  const bool cc_in_use = [&] {
+    for (const auto& r : ranks_) {
+      if (r.seq_posted) return true;
+    }
+    return false;
+  }();
+  const bool ready = cc_in_use ? cc_ready : tpc_ready;
+  if (!ready) return;
+
+  phase_ = CkptPhase::kWrite;
+  stats_.push_back(CycleStats{completed_cycles_ + 1, sent});
+  LOG_DEBUG("coordinator: safe state reached, entering write phase (updates="
+            << sent << ")");
+  wake_all_locked();
+}
+
+// ---- 2PC -----------------------------------------------------------------------
+
+void Coordinator::tpc_enter(int rank, std::uint64_t ggid, std::uint64_t instance,
+                            int members) {
+  (void)rank;
+  std::lock_guard lock(mutex_);
+  auto& inst = tpc_instances_[{ggid, instance}];
+  if (inst.members == 0) {
+    inst.members = members;
+  } else {
+    MANATEE_CHECK(inst.members == members,
+                  "2PC instance member count disagreement across ranks");
+  }
+  ++inst.entered;
+  // Entering can close the "not everyone has entered" safety window; a
+  // pending drain may need to re-evaluate (it can only become unsafe, so no
+  // wake needed, but evaluation is cheap and keeps state fresh).
+  maybe_enter_write_locked();
+}
+
+void Coordinator::tpc_execute(int rank, std::uint64_t ggid, std::uint64_t instance) {
+  std::lock_guard lock(mutex_);
+  auto& inst = tpc_instances_[{ggid, instance}];
+  ++inst.executing;
+  ranks_[static_cast<std::size_t>(rank)].parked = false;
+}
+
+void Coordinator::tpc_done(int rank, std::uint64_t ggid, std::uint64_t instance) {
+  (void)rank;
+  std::lock_guard lock(mutex_);
+  auto& inst = tpc_instances_[{ggid, instance}];
+  --inst.executing;
+  ++inst.done;
+  if (inst.done == inst.members) {
+    tpc_instances_.erase({ggid, instance});  // instance closed
+  }
+  maybe_enter_write_locked();
+}
+
+void Coordinator::report_tpc(int rank, bool parked) {
+  std::lock_guard lock(mutex_);
+  if (phase_ != CkptPhase::kDrain) return;
+  ranks_[static_cast<std::size_t>(rank)].parked = parked;
+  maybe_enter_write_locked();
+}
+
+// ---- write / resume ---------------------------------------------------------------
+
+bool Coordinator::try_unpark(int rank) {
+  std::lock_guard lock(mutex_);
+  if (phase_ == CkptPhase::kWrite) return false;
+  ranks_[static_cast<std::size_t>(rank)].parked = false;
+  return true;
+}
+
+void Coordinator::report_written(int rank) {
+  std::lock_guard lock(mutex_);
+  MANATEE_CHECK(phase_ == CkptPhase::kWrite, "report_written outside write phase");
+  auto& state = ranks_[static_cast<std::size_t>(rank)];
+  MANATEE_CHECK(!state.written, "rank reported written twice");
+  state.written = true;
+  for (const auto& r : ranks_) {
+    if (!r.written) return;
+  }
+  phase_ = CkptPhase::kIdle;
+  ++completed_cycles_;
+  LOG_DEBUG("coordinator: checkpoint cycle " << completed_cycles_ << " complete");
+  wake_all_locked();
+}
+
+void Coordinator::report_done(int rank) {
+  std::lock_guard lock(mutex_);
+  ranks_[static_cast<std::size_t>(rank)].done = true;
+  wake_all_locked();
+}
+
+bool Coordinator::all_done() const {
+  std::lock_guard lock(mutex_);
+  for (const auto& r : ranks_) {
+    if (!r.done) return false;
+  }
+  return true;
+}
+
+std::vector<Coordinator::CycleStats> Coordinator::cycle_stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::string Coordinator::debug_dump() const {
+  std::lock_guard lock(mutex_);
+  std::string out = "coordinator{phase=" + std::to_string(static_cast<int>(phase_)) +
+                    " cycles=" + std::to_string(completed_cycles_) +
+                    " tver=" + std::to_string(targets_version_) + "\n";
+  for (std::size_t i = 0; i < ranks_.size(); ++i) {
+    const auto& r = ranks_[i];
+    out += "  rank " + std::to_string(i) + ": parked=" + std::to_string(r.parked) +
+           " posted=" + std::to_string(r.seq_posted) +
+           " sent=" + std::to_string(r.sent) + " recv=" + std::to_string(r.received) +
+           " seen=" + std::to_string(r.seen_version) +
+           " written=" + std::to_string(r.written) +
+           " done=" + std::to_string(r.done) + "\n";
+  }
+  for (const auto& [key, inst] : tpc_instances_) {
+    out += "  tpc(" + std::to_string(key.first) + "," + std::to_string(key.second) +
+           "): members=" + std::to_string(inst.members) +
+           " entered=" + std::to_string(inst.entered) +
+           " exec=" + std::to_string(inst.executing) +
+           " done=" + std::to_string(inst.done) + "\n";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace manatee::ckpt

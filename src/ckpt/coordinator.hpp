@@ -1,0 +1,162 @@
+// coordinator.hpp — the out-of-band checkpoint coordinator.
+//
+// Plays the role of the DMTCP coordinator in MANA: it delivers the
+// checkpoint request, arbitrates when the distributed drain has terminated,
+// and sequences the write/resume phases. The drain protocols themselves
+// (CC's topological-sort drain, 2PC's inserted barrier) run rank-side in
+// src/core; the coordinator only provides:
+//
+//   * phase management  (Idle → Drain → Write → Idle, one cycle per ckpt);
+//   * CC target tables  (Algorithm 1's asynchronous max-merge, published
+//     monotonically with a version counter);
+//   * CC termination    (all ranks parked at their targets AND every target
+//     update that was sent has been received — count-based distributed
+//     termination detection);
+//   * 2PC instance safety (an instance whose inserted barrier has been
+//     entered by every member must complete before the checkpoint — the
+//     "all processes have entered the barrier" rule of §2.2).
+//
+// All methods are thread-safe; rank threads call them directly (shared
+// memory stands in for the DMTCP socket protocol).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "simnet/fabric.hpp"
+
+namespace manatee::ckpt {
+
+enum class CkptPhase : int {
+  kIdle = 0,   ///< no checkpoint in progress
+  kDrain = 1,  ///< request delivered; ranks draining to a safe state
+  kWrite = 2,  ///< safe state reached; ranks writing images
+};
+
+class Coordinator {
+ public:
+  Coordinator(int world_size, simnet::Fabric* fabric);
+
+  // --- request / phase --------------------------------------------------------
+  /// Deliver a checkpoint request (idempotent while a cycle is in flight).
+  /// Returns true if a new cycle actually started.
+  bool request_checkpoint();
+
+  [[nodiscard]] CkptPhase phase() const;
+  /// Number of completed checkpoint cycles.
+  [[nodiscard]] std::uint64_t completed_cycles() const;
+  /// True while a request is pending (kDrain) — the `ckpt_pending` flag of
+  /// Algorithms 1-3.
+  [[nodiscard]] bool ckpt_pending() const { return phase() == CkptPhase::kDrain; }
+
+  // --- CC: target tables (Algorithm 1, asynchronous) --------------------------
+  /// Merge a rank's SEQ table into the global TARGET table (elementwise
+  /// max). Wakes all ranks if any target grew.
+  void post_seq(int rank, const std::map<std::uint64_t, std::uint64_t>& seq);
+
+  /// Pull the target table if it changed since `seen_version`. Returns true
+  /// and updates both arguments on change.
+  bool pull_targets(std::uint64_t& seen_version,
+                    std::map<std::uint64_t, std::uint64_t>& out) const;
+
+  /// True once every rank has contributed its SEQ table this cycle.
+  [[nodiscard]] bool all_seq_posted() const;
+
+  // --- CC: count-based termination detection ----------------------------------
+  /// Report this rank's drain status: `parked` = sitting in
+  /// Wait_for_new_targets with every target met; `sent`/`received` =
+  /// cumulative counts of peer target-update messages; `seen_version` = the
+  /// target-table version this rank last pulled. Counts must be reported
+  /// monotonically; increment `sent` *before* injecting the message into
+  /// the fabric, and `received` *after* consuming one, so a balanced count
+  /// proves no update is in flight. The drain is complete when every rank
+  /// is parked against the *current* table version with balanced counts.
+  void report_cc(int rank, bool parked, std::uint64_t sent, std::uint64_t received,
+                 std::uint64_t seen_version);
+
+  // --- 2PC: inserted-barrier instance tracking --------------------------------
+  /// Rank entered the Ibarrier test loop of collective instance
+  /// (ggid, instance) whose group has `members` members.
+  void tpc_enter(int rank, std::uint64_t ggid, std::uint64_t instance, int members);
+  /// Rank's inserted barrier completed; it is about to execute the real
+  /// collective (unsafe region).
+  void tpc_execute(int rank, std::uint64_t ggid, std::uint64_t instance);
+  /// Rank finished the real collective.
+  void tpc_done(int rank, std::uint64_t ggid, std::uint64_t instance);
+  /// Park/unpark at a poll site or in the barrier loop.
+  void report_tpc(int rank, bool parked);
+
+  /// Atomically revoke a rank's parked state — allowed only while the
+  /// drain is still in progress. Returns false when the safe state has
+  /// already been declared (phase kWrite): the rank must stay parked,
+  /// write its image, and resume only after the cycle completes. This
+  /// closes the race between "blocked operation completed" and "safe state
+  /// declared" for ranks parked inside passive waits.
+  bool try_unpark(int rank);
+
+  // --- write / resume handshake -----------------------------------------------
+  /// Rank finished writing its image; when all ranks have, the cycle
+  /// completes and the phase returns to kIdle.
+  void report_written(int rank);
+
+  // --- job completion ------------------------------------------------------------
+  /// Rank's application function returned. Ranks stay responsive (parked,
+  /// consuming drain traffic) until the whole job is done so that late
+  /// checkpoints still terminate.
+  void report_done(int rank);
+  [[nodiscard]] bool all_done() const;
+
+  // --- post-run statistics ------------------------------------------------------
+  struct CycleStats {
+    std::uint64_t cycle = 0;
+    std::uint64_t cc_updates_sent = 0;  ///< total peer target-update messages
+  };
+  [[nodiscard]] std::vector<CycleStats> cycle_stats() const;
+
+  /// Human-readable drain-state dump for deadlock diagnostics.
+  [[nodiscard]] std::string debug_dump() const;
+
+ private:
+  void wake_all_locked();
+  void maybe_enter_write_locked();
+
+  struct RankState {
+    bool parked = false;
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+    std::uint64_t seen_version = 0;
+    bool seq_posted = false;
+    bool written = false;
+    bool done = false;
+  };
+
+  struct TpcInstance {
+    int members = 0;
+    int entered = 0;
+    int executing = 0;
+    int done = 0;
+  };
+
+  mutable std::mutex mutex_;
+  int world_size_;
+  simnet::Fabric* fabric_;
+
+  CkptPhase phase_ = CkptPhase::kIdle;
+  std::uint64_t completed_cycles_ = 0;
+
+  // CC state (reset each cycle)
+  std::map<std::uint64_t, std::uint64_t> targets_;
+  std::uint64_t targets_version_ = 0;
+  std::vector<RankState> ranks_;
+
+  // 2PC state: instances persist across the run (entered/done counts span
+  // the request boundary).
+  std::map<std::pair<std::uint64_t, std::uint64_t>, TpcInstance> tpc_instances_;
+
+  std::vector<CycleStats> stats_;
+};
+
+}  // namespace manatee::ckpt

@@ -1,0 +1,103 @@
+#include "ckpt/image.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/crc32.hpp"
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+
+namespace manatee::ckpt {
+
+const std::vector<std::byte>& CkptImage::blob(const std::string& name) const {
+  const auto it = blobs.find(name);
+  if (it == blobs.end()) {
+    throw CheckpointError("image missing blob '" + name + "'");
+  }
+  return it->second;
+}
+
+std::size_t CkptImage::payload_bytes() const {
+  std::size_t n = 0;
+  for (const auto& [name, b] : blobs) n += b.size() + name.size();
+  return n;
+}
+
+std::vector<std::byte> CkptImage::serialize() const {
+  BinaryWriter w;
+  w.write_u32(kMagic);
+  w.write_u32(kVersion);
+  w.write_i64(world_size);
+  w.write_i64(rank);
+  w.write_u64(cycle);
+  w.begin_map(blobs.size());
+  for (const auto& [name, b] : blobs) {
+    w.write_string(name);
+    w.write_bytes(b);
+  }
+  auto body = w.take();
+  const std::uint32_t crc = Crc32::of(body);
+  BinaryWriter trailer;
+  trailer.write_u32(crc);
+  const auto& t = trailer.bytes();
+  body.insert(body.end(), t.begin(), t.end());
+  return body;
+}
+
+CkptImage CkptImage::deserialize(std::span<const std::byte> bytes) {
+  // Trailer: 1 tag byte + 4 CRC bytes.
+  constexpr std::size_t kTrailer = 5;
+  if (bytes.size() < kTrailer) throw CheckpointError("image truncated");
+  const auto body = bytes.first(bytes.size() - kTrailer);
+  BinaryReader trailer(bytes.subspan(bytes.size() - kTrailer));
+  const std::uint32_t want_crc = trailer.read_u32();
+  if (Crc32::of(body) != want_crc) {
+    throw CheckpointError("image CRC mismatch (corrupted checkpoint)");
+  }
+
+  BinaryReader r(body);
+  CkptImage img;
+  if (r.read_u32() != kMagic) throw CheckpointError("image bad magic");
+  const auto version = r.read_u32();
+  if (version != kVersion) {
+    throw CheckpointError("image version " + std::to_string(version) +
+                          " unsupported (want " + std::to_string(kVersion) + ")");
+  }
+  img.world_size = static_cast<int>(r.read_i64());
+  img.rank = static_cast<int>(r.read_i64());
+  img.cycle = r.read_u64();
+  const auto n = r.read_map_size();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    auto name = r.read_string();
+    auto blob = r.read_bytes();
+    img.blobs.emplace(std::move(name), std::move(blob));
+  }
+  return img;
+}
+
+void CkptImage::write_file(const std::string& path) const {
+  const auto bytes = serialize();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw CheckpointError("cannot open image file for write: " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw CheckpointError("short write to image file: " + path);
+}
+
+CkptImage CkptImage::read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw CheckpointError("cannot open image file: " + path);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::byte> bytes(size);
+  in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(size));
+  if (!in) throw CheckpointError("short read from image file: " + path);
+  return deserialize(bytes);
+}
+
+std::string CkptImage::path_for(const std::string& dir, int rank) {
+  return dir + "/ckpt_rank_" + std::to_string(rank) + ".img";
+}
+
+}  // namespace manatee::ckpt

@@ -1,0 +1,45 @@
+// image.hpp — the checkpoint image file format.
+//
+// One image per rank, mirroring MANA's per-rank upper-half image. The body
+// is a set of named blobs: application registry segments plus the engine's
+// own protocol state (SEQ tables, op cursor, pending receives, drained
+// in-flight messages). CRC-32 over the body detects corruption; a version
+// field rejects incompatible images.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace manatee::ckpt {
+
+struct CkptImage {
+  static constexpr std::uint32_t kMagic = 0x4d414e41;  // "MANA"
+  static constexpr std::uint32_t kVersion = 3;
+
+  int world_size = 0;
+  int rank = -1;
+  std::uint64_t cycle = 0;  ///< checkpoint cycle counter (nth checkpoint)
+  std::map<std::string, std::vector<std::byte>> blobs;
+
+  [[nodiscard]] bool has(const std::string& name) const { return blobs.contains(name); }
+
+  [[nodiscard]] const std::vector<std::byte>& blob(const std::string& name) const;
+
+  /// Total payload bytes (what Figure 9's checkpoint time scales with).
+  [[nodiscard]] std::size_t payload_bytes() const;
+
+  /// Serialize to bytes (header + body + CRC trailer).
+  [[nodiscard]] std::vector<std::byte> serialize() const;
+  static CkptImage deserialize(std::span<const std::byte> bytes);
+
+  void write_file(const std::string& path) const;
+  static CkptImage read_file(const std::string& path);
+
+  /// Conventional image path for a rank.
+  static std::string path_for(const std::string& dir, int rank);
+};
+
+}  // namespace manatee::ckpt

@@ -1,0 +1,75 @@
+#include "ckpt/registry.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace manatee::ckpt {
+
+void Registry::register_segment(const std::string& name, std::span<std::byte> data) {
+  MANATEE_REQUIRE(!name.empty(), "segment name must be non-empty");
+  if (const auto it = segments_.find(name); it != segments_.end()) {
+    MANATEE_REQUIRE(it->second.size() == data.size(),
+                    "segment '" + name + "' re-registered with a different size");
+    it->second = data;
+    return;
+  }
+  segments_.emplace(name, data);
+}
+
+bool Registry::has(const std::string& name) const { return segments_.contains(name); }
+
+std::size_t Registry::total_bytes() const {
+  std::size_t n = 0;
+  for (const auto& [name, span] : segments_) n += span.size();
+  return n;
+}
+
+std::map<std::string, std::vector<std::byte>> Registry::capture() const {
+  std::map<std::string, std::vector<std::byte>> out;
+  for (const auto& [name, span] : segments_) {
+    out.emplace(name, std::vector<std::byte>(span.begin(), span.end()));
+  }
+  return out;
+}
+
+void Registry::restore(const std::map<std::string, std::vector<std::byte>>& blobs) {
+  for (const auto& [name, blob] : blobs) {
+    const auto it = segments_.find(name);
+    if (it == segments_.end()) {
+      throw CheckpointError("restore: segment '" + name +
+                            "' in image is not registered");
+    }
+    if (it->second.size() != blob.size()) {
+      throw CheckpointError("restore: segment '" + name + "' size mismatch: image " +
+                            std::to_string(blob.size()) + " vs registered " +
+                            std::to_string(it->second.size()));
+    }
+    if (!blob.empty()) std::memcpy(it->second.data(), blob.data(), blob.size());
+  }
+}
+
+std::optional<SegmentRef> Registry::locate(const std::byte* ptr,
+                                           std::size_t length) const {
+  for (const auto& [name, span] : segments_) {
+    if (span.empty()) continue;
+    const std::byte* begin = span.data();
+    const std::byte* end = begin + span.size();
+    if (ptr >= begin && ptr + length <= end) {
+      return SegmentRef{name, static_cast<std::size_t>(ptr - begin), length};
+    }
+  }
+  return std::nullopt;
+}
+
+std::span<std::byte> Registry::resolve(const SegmentRef& ref) const {
+  const auto it = segments_.find(ref.name);
+  if (it == segments_.end()) {
+    throw CheckpointError("resolve: unknown segment '" + ref.name + "'");
+  }
+  MANATEE_REQUIRE(ref.offset + ref.length <= it->second.size(),
+                  "SegmentRef out of segment bounds");
+  return it->second.subspan(ref.offset, ref.length);
+}
+
+}  // namespace manatee::ckpt

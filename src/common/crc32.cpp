@@ -1,0 +1,32 @@
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace manatee {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+void Crc32::update(std::span<const std::byte> bytes) noexcept {
+  std::uint32_t c = state_;
+  for (std::byte b : bytes) {
+    c = kTable[(c ^ static_cast<std::uint8_t>(b)) & 0xffu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+}  // namespace manatee

@@ -1,0 +1,31 @@
+// crc32.hpp — CRC-32 (IEEE 802.3 polynomial) for checkpoint-image
+// integrity. Table-driven, incremental interface so images can be
+// checksummed while streaming.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace manatee {
+
+/// Incremental CRC-32 accumulator.
+class Crc32 {
+ public:
+  /// Feed bytes into the checksum.
+  void update(std::span<const std::byte> bytes) noexcept;
+
+  /// Final checksum value for everything fed so far.
+  [[nodiscard]] std::uint32_t value() const noexcept { return ~state_; }
+
+  /// One-shot convenience.
+  static std::uint32_t of(std::span<const std::byte> bytes) noexcept {
+    Crc32 c;
+    c.update(bytes);
+    return c.value();
+  }
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+}  // namespace manatee

@@ -1,0 +1,75 @@
+// error.hpp — exception hierarchy and status codes shared across MANATEE.
+//
+// MANATEE follows the C++ Core Guidelines error-handling advice (E.2, E.14):
+// throw exceptions for errors that cannot be handled locally, use dedicated
+// user-defined types per failure domain, and keep the what() string
+// actionable.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace manatee {
+
+/// Base class for every error thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Programming errors: invalid arguments, API misuse (e.g. rank out of
+/// range, mismatched collective participation). These indicate a bug in the
+/// caller, mirroring MPI_ERR_ARG-class failures.
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what) : Error("usage error: " + what) {}
+};
+
+/// Errors in the simulated MPI runtime itself (deadlock detected, rank
+/// thread died, runtime torn down while operations pending).
+class RuntimeFault : public Error {
+ public:
+  explicit RuntimeFault(const std::string& what) : Error("runtime fault: " + what) {}
+};
+
+/// Checkpoint/restart failures: bad image file, CRC mismatch, version skew,
+/// drain protocol violation.
+class CheckpointError : public Error {
+ public:
+  explicit CheckpointError(const std::string& what)
+      : Error("checkpoint error: " + what) {}
+};
+
+/// Serialization failures: truncated buffers, type tag mismatch.
+class SerializeError : public Error {
+ public:
+  explicit SerializeError(const std::string& what)
+      : Error("serialize error: " + what) {}
+};
+
+/// Control-flow signal (not an error): the job is shutting down after a
+/// completed checkpoint (chained-allocation stop). Thrown out of blocking
+/// waits so ranks blocked on already-stopped peers unwind; the engine
+/// treats it exactly like a voluntary stop.
+struct JobStopping {};
+
+/// MANATEE_REQUIRE — precondition check that throws UsageError.
+/// Used at public API boundaries (Core Guidelines I.5: state preconditions).
+#define MANATEE_REQUIRE(cond, msg)                  \
+  do {                                              \
+    if (!(cond)) {                                  \
+      throw ::manatee::UsageError(std::string(msg) + \
+                                  " [" #cond "]");  \
+    }                                               \
+  } while (0)
+
+/// MANATEE_CHECK — internal invariant check that throws RuntimeFault.
+#define MANATEE_CHECK(cond, msg)                      \
+  do {                                                \
+    if (!(cond)) {                                    \
+      throw ::manatee::RuntimeFault(std::string(msg) + \
+                                    " [" #cond "]");  \
+    }                                                 \
+  } while (0)
+
+}  // namespace manatee

@@ -1,0 +1,67 @@
+// hash.hpp — deterministic 64-bit hashing used for global group ids and
+// result fingerprinting. Header-only; all functions are constexpr-friendly
+// and allocation-free.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string_view>
+
+namespace manatee {
+
+/// splitmix64 finalizer — a strong 64-bit mixing function. Used as the
+/// building block for order-dependent and order-independent hashes.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over raw bytes. Order-dependent; good for fingerprinting buffers.
+constexpr std::uint64_t fnv1a(std::span<const std::byte> bytes,
+                              std::uint64_t seed = 0xcbf29ce484222325ULL) noexcept {
+  std::uint64_t h = seed;
+  for (std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a(std::string_view s) noexcept {
+  return fnv1a(std::as_bytes(std::span(s.data(), s.size())));
+}
+
+/// Combine two hashes order-dependently (boost::hash_combine style, 64-bit).
+constexpr std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) noexcept {
+  return h ^ (mix64(v) + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4));
+}
+
+/// Fingerprint accumulator for verifying bit-identical results across
+/// native vs checkpoint-restart runs. Order-dependent on purpose: the
+/// sequence of values must match exactly.
+class Fingerprint {
+ public:
+  void add(std::span<const std::byte> bytes) noexcept { h_ = fnv1a(bytes, h_); }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void add_value(const T& v) noexcept {
+    add(std::as_bytes(std::span(&v, 1)));
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void add_range(std::span<const T> vs) noexcept {
+    add(std::as_bytes(vs));
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace manatee

@@ -1,0 +1,64 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace manatee::log_detail {
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = uninitialized
+std::mutex g_emit_mutex;
+
+thread_local std::string t_label = "-";
+
+LogLevel level_from_env() noexcept {
+  const char* env = std::getenv("MANATEE_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "trace") == 0) return LogLevel::kTrace;
+  return LogLevel::kWarn;
+}
+
+const char* tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kTrace: return "TRACE";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel current_level() noexcept {
+  int lvl = g_level.load(std::memory_order_relaxed);
+  if (lvl < 0) {
+    lvl = static_cast<int>(level_from_env());
+    g_level.store(lvl, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(lvl);
+}
+
+void set_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void emit(LogLevel level, const std::string& msg) {
+  std::lock_guard lock(g_emit_mutex);
+  std::fprintf(stderr, "[manatee %s] [%s] %s\n", tag(level), t_label.c_str(),
+               msg.c_str());
+}
+
+void set_thread_label(std::string label) { t_label = std::move(label); }
+
+const std::string& thread_label() noexcept { return t_label; }
+
+}  // namespace manatee::log_detail

@@ -1,0 +1,58 @@
+// log.hpp — minimal thread-safe leveled logger.
+//
+// Rank threads, the coordinator thread, and the test harness all log
+// concurrently; lines are serialized through one mutex so output is never
+// interleaved. Level is process-global and settable from the MANATEE_LOG
+// environment variable (error|warn|info|debug|trace).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace manatee {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
+
+namespace log_detail {
+
+/// Current process-wide level. Initialized from MANATEE_LOG on first use.
+LogLevel current_level() noexcept;
+void set_level(LogLevel level) noexcept;
+
+/// Emit one already-formatted line (adds level tag + thread label).
+void emit(LogLevel level, const std::string& msg);
+
+/// Per-thread label shown in log lines ("rank 3", "coord", ...).
+void set_thread_label(std::string label);
+const std::string& thread_label() noexcept;
+
+}  // namespace log_detail
+
+inline void set_log_level(LogLevel level) noexcept { log_detail::set_level(level); }
+
+inline bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) <= static_cast<int>(log_detail::current_level());
+}
+
+/// Label the calling thread for all subsequent log lines.
+inline void set_log_thread_label(std::string label) {
+  log_detail::set_thread_label(std::move(label));
+}
+
+// Streaming macros: arguments are not evaluated when the level is disabled.
+#define MANATEE_LOG_AT(level, expr)                          \
+  do {                                                       \
+    if (::manatee::log_enabled(level)) {                     \
+      std::ostringstream manatee_log_os;                     \
+      manatee_log_os << expr;                                \
+      ::manatee::log_detail::emit(level, manatee_log_os.str()); \
+    }                                                        \
+  } while (0)
+
+#define LOG_ERROR(expr) MANATEE_LOG_AT(::manatee::LogLevel::kError, expr)
+#define LOG_WARN(expr) MANATEE_LOG_AT(::manatee::LogLevel::kWarn, expr)
+#define LOG_INFO(expr) MANATEE_LOG_AT(::manatee::LogLevel::kInfo, expr)
+#define LOG_DEBUG(expr) MANATEE_LOG_AT(::manatee::LogLevel::kDebug, expr)
+#define LOG_TRACE(expr) MANATEE_LOG_AT(::manatee::LogLevel::kTrace, expr)
+
+}  // namespace manatee

@@ -1,0 +1,66 @@
+#include "common/options.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace manatee {
+
+Options::Options(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      values_.emplace(std::string(arg.substr(0, eq)), std::string(arg.substr(eq + 1)));
+      continue;
+    }
+    // `--name value` when the next token is not itself an option;
+    // otherwise a boolean flag.
+    if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+      values_.emplace(std::string(arg), std::string(argv[i + 1]));
+      ++i;
+    } else {
+      values_.emplace(std::string(arg), "true");
+    }
+  }
+}
+
+bool Options::has(const std::string& name) const { return values_.contains(name); }
+
+std::string Options::get(const std::string& name, const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Options::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const auto v = std::strtoll(it->second.c_str(), &end, 10);
+  MANATEE_REQUIRE(end != it->second.c_str() && *end == '\0',
+                  "option --" + name + " is not an integer: " + it->second);
+  return v;
+}
+
+double Options::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const auto v = std::strtod(it->second.c_str(), &end);
+  MANATEE_REQUIRE(end != it->second.c_str() && *end == '\0',
+                  "option --" + name + " is not a number: " + it->second);
+  return v;
+}
+
+bool Options::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace manatee

@@ -1,0 +1,34 @@
+// options.hpp — tiny command-line option parser for the bench harnesses and
+// examples. Supports `--name value`, `--name=value`, and boolean `--flag`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace manatee {
+
+class Options {
+ public:
+  Options(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback = false) const;
+
+  /// Positional (non-option) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace manatee

@@ -1,0 +1,57 @@
+// rng.hpp — deterministic, serializable pseudo-random number generator.
+//
+// Workloads and property tests must be reproducible across (a) repeated
+// runs and (b) checkpoint/restart boundaries, so the full RNG state is a
+// single 64-bit word that the checkpoint registry can save and restore.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/hash.hpp"
+
+namespace manatee {
+
+/// splitmix64 generator: tiny state, excellent statistical quality for
+/// workload-generation purposes, trivially checkpointable.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept
+      : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept { return mix64(state_++); }
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    // Rejection-free multiply-shift (Lemire); bias is negligible for our
+    // bounds (<= 2^32) but we use 128-bit multiply to be exact enough.
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(next_u64()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool next_bool(double p = 0.5) noexcept { return next_double() < p; }
+
+  /// Full generator state, for checkpointing.
+  [[nodiscard]] std::uint64_t state() const noexcept { return state_; }
+  void set_state(std::uint64_t s) noexcept { state_ = s; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace manatee

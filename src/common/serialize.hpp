@@ -1,0 +1,199 @@
+// serialize.hpp — self-describing binary archive used by the checkpoint
+// image format and the record-replay log.
+//
+// Every value is preceded by a one-byte type tag so that truncated or
+// corrupted images fail loudly (SerializeError) instead of silently
+// misreading. The format is little-endian and fixed-width, so images are
+// portable across runs.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace manatee {
+
+enum class WireTag : std::uint8_t {
+  kU8 = 1,
+  kU32 = 2,
+  kU64 = 3,
+  kI64 = 4,
+  kF64 = 5,
+  kBytes = 6,
+  kString = 7,
+  kListBegin = 8,
+  kMapBegin = 9,
+};
+
+/// Append-only binary writer.
+class BinaryWriter {
+ public:
+  void write_u8(std::uint8_t v) { tag(WireTag::kU8); raw(&v, sizeof v); }
+  void write_u32(std::uint32_t v) { tag(WireTag::kU32); raw(&v, sizeof v); }
+  void write_u64(std::uint64_t v) { tag(WireTag::kU64); raw(&v, sizeof v); }
+  void write_i64(std::int64_t v) { tag(WireTag::kI64); raw(&v, sizeof v); }
+  void write_f64(double v) { tag(WireTag::kF64); raw(&v, sizeof v); }
+
+  void write_bytes(std::span<const std::byte> bytes) {
+    tag(WireTag::kBytes);
+    const auto n = static_cast<std::uint64_t>(bytes.size());
+    raw(&n, sizeof n);
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  void write_string(std::string_view s) {
+    tag(WireTag::kString);
+    const auto n = static_cast<std::uint64_t>(s.size());
+    raw(&n, sizeof n);
+    const auto* p = reinterpret_cast<const std::byte*>(s.data());
+    buf_.insert(buf_.end(), p, p + s.size());
+  }
+
+  /// Vector of trivially-copyable elements, stored as one bytes blob.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write_pod_vector(const std::vector<T>& v) {
+    write_bytes(std::as_bytes(std::span(v.data(), v.size())));
+  }
+
+  /// Begin a list of `n` heterogeneous entries (caller writes them next).
+  void begin_list(std::uint64_t n) { tag(WireTag::kListBegin); raw(&n, sizeof n); }
+
+  /// Begin a map of `n` key/value pairs (caller writes alternating k, v).
+  void begin_map(std::uint64_t n) { tag(WireTag::kMapBegin); raw(&n, sizeof n); }
+
+  /// Convenience: map<u64, u64> (the SEQ / TARGET tables).
+  void write_u64_map(const std::map<std::uint64_t, std::uint64_t>& m) {
+    begin_map(m.size());
+    for (const auto& [k, v] : m) {
+      write_u64(k);
+      write_u64(v);
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::byte>& bytes() const noexcept { return buf_; }
+  [[nodiscard]] std::vector<std::byte> take() noexcept { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  void tag(WireTag t) { buf_.push_back(static_cast<std::byte>(t)); }
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::byte*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  std::vector<std::byte> buf_;
+};
+
+/// Bounds- and tag-checked reader over a byte span. The span must outlive
+/// the reader.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::span<const std::byte> bytes) : data_(bytes) {}
+
+  std::uint8_t read_u8() { return read_fixed<std::uint8_t>(WireTag::kU8); }
+  std::uint32_t read_u32() { return read_fixed<std::uint32_t>(WireTag::kU32); }
+  std::uint64_t read_u64() { return read_fixed<std::uint64_t>(WireTag::kU64); }
+  std::int64_t read_i64() { return read_fixed<std::int64_t>(WireTag::kI64); }
+  double read_f64() { return read_fixed<double>(WireTag::kF64); }
+
+  std::vector<std::byte> read_bytes() {
+    expect(WireTag::kBytes);
+    const auto n = read_raw<std::uint64_t>();
+    check_remaining(n, "bytes payload");
+    std::vector<std::byte> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                               data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  std::string read_string() {
+    expect(WireTag::kString);
+    const auto n = read_raw<std::uint64_t>();
+    check_remaining(n, "string payload");
+    std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return out;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> read_pod_vector() {
+    const auto raw = read_bytes();
+    if (raw.size() % sizeof(T) != 0) {
+      throw SerializeError("pod vector size not a multiple of element size");
+    }
+    std::vector<T> out(raw.size() / sizeof(T));
+    if (!out.empty()) std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
+  std::uint64_t read_list_size() {
+    expect(WireTag::kListBegin);
+    return read_raw<std::uint64_t>();
+  }
+
+  std::uint64_t read_map_size() {
+    expect(WireTag::kMapBegin);
+    return read_raw<std::uint64_t>();
+  }
+
+  std::map<std::uint64_t, std::uint64_t> read_u64_map() {
+    const auto n = read_map_size();
+    std::map<std::uint64_t, std::uint64_t> m;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto k = read_u64();
+      const auto v = read_u64();
+      m.emplace(k, v);
+    }
+    return m;
+  }
+
+  [[nodiscard]] bool at_end() const noexcept { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+ private:
+  void expect(WireTag want) {
+    check_remaining(1, "type tag");
+    const auto got = static_cast<WireTag>(data_[pos_]);
+    ++pos_;
+    if (got != want) {
+      throw SerializeError("type tag mismatch: wanted " +
+                           std::to_string(static_cast<int>(want)) + ", got " +
+                           std::to_string(static_cast<int>(got)) + " at offset " +
+                           std::to_string(pos_ - 1));
+    }
+  }
+
+  template <typename T>
+  T read_raw() {
+    check_remaining(sizeof(T), "fixed-width value");
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  template <typename T>
+  T read_fixed(WireTag t) {
+    expect(t);
+    return read_raw<T>();
+  }
+
+  void check_remaining(std::size_t need, const char* what) const {
+    if (data_.size() - pos_ < need) {
+      throw SerializeError(std::string("truncated archive reading ") + what);
+    }
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace manatee

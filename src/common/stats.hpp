@@ -1,0 +1,54 @@
+// stats.hpp — streaming statistics accumulators for benchmark reporting
+// (mean, stddev, min/max) matching the paper's "averaged over 5 runs with
+// standard deviation" methodology.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace manatee {
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept {
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double max() const noexcept {
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Runtime overhead of `measured` relative to `baseline`, as a percentage
+/// — the quantity plotted on the y-axis of Figures 5 and 8.
+inline double overhead_pct(double baseline, double measured) noexcept {
+  if (baseline <= 0.0) return 0.0;
+  return (measured - baseline) / baseline * 100.0;
+}
+
+}  // namespace manatee

@@ -1,0 +1,302 @@
+#include "core/cc_algorithm.hpp"
+
+#include "common/error.hpp"
+#include "umpi/runtime.hpp"
+#include "common/log.hpp"
+
+namespace manatee::core {
+
+namespace {
+
+/// Wire format of one target update (Algorithm 2's SEND).
+struct TargetUpdate {
+  std::uint64_t ggid = 0;
+  std::uint64_t value = 0;
+};
+static_assert(sizeof(TargetUpdate) == 16);
+
+}  // namespace
+
+void CcManager::note_comm(const umpi::CommPtr& comm) {
+  std::lock_guard lock(seq_mutex_);
+  clocks_.note_group(ggid_of(comm));
+}
+
+void CcManager::ensure_request_seen() {
+  if (coordinator_.phase() != ckpt::CkptPhase::kDrain) return;
+  const std::uint64_t cycle = coordinator_.completed_cycles() + 1;
+  if (posted_cycle_ >= cycle) return;
+  posted_cycle_ = cycle;
+  note_request_observed();
+  if (trace_ != nullptr) trace_->record_request_seen(cycle);
+  {
+    std::lock_guard lock(seq_mutex_);
+    coordinator_.post_seq(rank_.world_rank(), clocks_.seq_map());
+  }
+}
+
+void CcManager::refresh_targets() {
+  // Coordinator table (Algorithm 1's asynchronous max-merge).
+  SeqMap table;
+  if (coordinator_.pull_targets(seen_version_, table)) {
+    clocks_.merge_targets(table);
+  }
+  // Peer updates (Algorithm 3's Iprobe/Recv of mana_updates_tag).
+  TargetUpdate update;
+  auto bytes = std::as_writable_bytes(std::span(&update, 1));
+  while (rank_
+             .ckpt_try_recv(rank_.world(), bytes, umpi::kAnySource, kTagTargetUpdate)
+             .has_value()) {
+    ++received_;
+    clocks_.merge_target(update.ggid, update.value);
+  }
+}
+
+void CcManager::report(bool parked) {
+  coordinator_.report_cc(rank_.world_rank(), parked, sent_, received_,
+                         seen_version_);
+}
+
+void CcManager::advance_clock(const umpi::CommPtr& comm) {
+  const Ggid ggid = ggid_of(comm);
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard lock(seq_mutex_);
+    clocks_.note_group(ggid);
+    seq = clocks_.increment(ggid);
+  }
+  if (trace_ != nullptr) {
+    trace_->record_collective(ggid, seq, comm->group.members());
+  }
+  if (coordinator_.ckpt_pending()) {
+    ensure_request_seen();
+    refresh_targets();
+    if (clocks_.raise_target_to_seq(ggid)) {
+      // Algorithm 2, SEND: the new target goes to every other member of the
+      // group. The member world ranks are locally known (the paper's
+      // MPI_Group_translate_ranks step). Count before injecting so the
+      // coordinator can never observe received > sent.
+      const auto& members = comm->group.members();
+      sent_ += members.size() - 1;
+      report(false);
+      const TargetUpdate update{ggid, seq};
+      const auto bytes = std::as_bytes(std::span(&update, 1));
+      for (int w : members) {
+        if (w == rank_.world_rank()) continue;
+        const int dst = rank_.world()->group.rank_of_world(w);
+        rank_.ckpt_send(rank_.world(), bytes, dst, kTagTargetUpdate);
+      }
+      LOG_TRACE("cc: raised target ggid=" << ggid << " to " << seq);
+    }
+  }
+}
+
+void CcManager::pre_collective(const umpi::CommPtr& comm) {
+  wait_for_new_targets();
+  advance_clock(comm);
+}
+
+void CcManager::post_collective(const umpi::CommPtr& comm) {
+  (void)comm;
+  // Algorithm 2 places Wait_for_new_targets at the wrapper exit as well.
+  // Here it only *receives* pending updates; it must not park. Parking at
+  // an exit is unsafe for liveness: this rank's next point-to-point send
+  // (which precedes its next collective in program order) may be exactly
+  // what an unmet-target rank is blocked on. Parking therefore happens only
+  // at collective entries, inside suspended blocking waits, and at
+  // finalize — all points where no peer can be waiting on this rank's
+  // forward progress.
+  if (coordinator_.phase() != ckpt::CkptPhase::kDrain) return;
+  ensure_request_seen();
+  refresh_targets();
+  report(false);
+}
+
+void CcManager::pre_nbc(const umpi::CommPtr& comm) {
+  // §4.3.1: SEQ increments at initiation; the wrapper parks at entry like a
+  // blocking collective, but there is no completion-side park (completion
+  // is observed through Test/Wait).
+  wait_for_new_targets();
+  advance_clock(comm);
+}
+
+void CcManager::register_nbc(umpi::Request request) {
+  // Opportunistically prune completed entries so the list stays small.
+  std::erase_if(pending_nbc_,
+                [this](const umpi::Request& r) { return rank_.request_done(r); });
+  pending_nbc_.push_back(request);
+}
+
+void CcManager::wait_for_new_targets() {
+  while (true) {
+    const auto phase = coordinator_.phase();
+    if (phase == ckpt::CkptPhase::kIdle) return;
+    if (phase == ckpt::CkptPhase::kWrite) {
+      perform_write_cycle();
+      continue;
+    }
+    // kDrain
+    const auto token = rank_.store().token();
+    ensure_request_seen();
+    refresh_targets();
+    if (!clocks_.targets_met()) {
+      // Condition A': some group still below target — keep executing.
+      report(false);
+      return;
+    }
+    rank_.progress_outstanding();  // parked ranks must progress their NBCs
+    report(true);
+    if (coordinator_.phase() != ckpt::CkptPhase::kDrain) continue;
+    if (rank_.runtime().aborted()) {
+      throw RuntimeFault("peer rank failed during drain");
+    }
+    rank_.store().wait_changed(token);
+  }
+}
+
+void CcManager::blocked_step(const std::function<bool()>& done,
+                             const ParkHooks* hooks) {
+  const auto phase = coordinator_.phase();
+  if (phase == ckpt::CkptPhase::kIdle) {
+    if (blocked_parked_) {
+      blocked_parked_ = false;
+      if (hooks != nullptr && hooks->resume) hooks->resume();
+    }
+    return;
+  }
+  if (phase == ckpt::CkptPhase::kWrite) {
+    // Only reachable parked (kWrite needs every rank parked, us included).
+    perform_write_cycle();
+    if (blocked_parked_) {
+      blocked_parked_ = false;
+      if (hooks != nullptr && hooks->resume) hooks->resume();
+    }
+    return;
+  }
+  // kDrain.
+  ensure_request_seen();
+  refresh_targets();
+  if (!clocks_.targets_met()) {
+    // Condition A': this rank still owes collective work; it stays an
+    // *executing* (unparked) rank even while blocked here — the message it
+    // waits for comes from a peer that sends before parking.
+    if (blocked_parked_) {
+      blocked_parked_ = false;
+      if (hooks != nullptr && hooks->resume) hooks->resume();
+    }
+    report(false);
+    return;
+  }
+  if (!blocked_parked_) {
+    // Never park on an operation that has already completed — the caller
+    // must consume it and keep running to its next collective entry.
+    if (done && done()) return;
+    // Detach the in-progress operation (cancel a posted blocking receive)
+    // so a message arriving during the write window lands in the saved
+    // unexpected queue; passive waits (posted irecv / NBC) stay armed and
+    // are captured through the request table.
+    if (hooks != nullptr && hooks->suspend && !hooks->suspend()) return;
+    blocked_parked_ = true;
+  }
+  report(true);
+}
+
+void CcManager::blocked_finish(const ParkHooks* hooks) {
+  (void)hooks;
+  // The blocked operation completed while parked (its message was sent by
+  // a peer that had not yet parked). Resuming is only legal while the
+  // drain is still in progress; once the safe state is declared we must
+  // write from this exact frozen state — the completed-but-unconsumed
+  // operation is captured in the request table and restored as complete.
+  while (blocked_parked_) {
+    if (coordinator_.phase() == ckpt::CkptPhase::kWrite) {
+      perform_write_cycle();
+      blocked_parked_ = false;
+      break;
+    }
+    if (coordinator_.try_unpark(rank_.world_rank())) {
+      blocked_parked_ = false;
+      report(false);
+      break;
+    }
+  }
+}
+
+void CcManager::poll() {
+  // Never parks (a rank parked before a send it still owes would deadlock
+  // the drain — see DESIGN.md §5); it only makes sure the drain can start
+  // while this rank is in a long compute phase.
+  if (coordinator_.ckpt_pending()) ensure_request_seen();
+}
+
+void CcManager::at_finalize() {
+  coordinator_.report_done(rank_.world_rank());
+  // Stay until the whole job is done AND no checkpoint cycle is pending —
+  // a request that lands as ranks finish must still complete.
+  while (!coordinator_.all_done() ||
+         coordinator_.phase() != ckpt::CkptPhase::kIdle) {
+    const auto phase = coordinator_.phase();
+    if (phase == ckpt::CkptPhase::kWrite) {
+      perform_write_cycle();
+      continue;
+    }
+    const auto token = rank_.store().token();
+    if (phase == ckpt::CkptPhase::kDrain) {
+      ensure_request_seen();
+      refresh_targets();
+      if (!clocks_.targets_met()) {
+        throw CheckpointError(
+            "finalized rank has unmet collective targets — the application "
+            "completed with unbalanced collective calls");
+      }
+      rank_.progress_outstanding();
+      report(true);
+    }
+    if (coordinator_.all_done() && coordinator_.phase() == ckpt::CkptPhase::kIdle) {
+      return;
+    }
+    if (rank_.runtime().aborted()) return;
+    rank_.store().wait_changed(token);
+  }
+}
+
+void CcManager::pre_write() {
+  // §4.3.2: every incomplete non-blocking collective was initiated by all
+  // members (safe-state invariant), so Test-driving them to completion
+  // terminates.
+  while (true) {
+    const auto token = rank_.store().token();
+    rank_.progress_outstanding();
+    bool all_done = true;
+    for (const auto& request : pending_nbc_) {
+      if (!rank_.request_done(request)) all_done = false;
+    }
+    if (all_done) break;
+    rank_.store().wait_changed(token);
+  }
+  pending_nbc_.clear();
+}
+
+void CcManager::post_cycle() {
+  clocks_.clear_targets();
+  sent_ = 0;
+  received_ = 0;
+  seen_version_ = 0;
+}
+
+void CcManager::post_initial_state(int world_rank) {
+  std::lock_guard lock(seq_mutex_);
+  coordinator_.post_seq(world_rank, clocks_.seq_map());
+}
+
+void CcManager::serialize(BinaryWriter& w) const {
+  std::lock_guard lock(seq_mutex_);
+  w.write_u64_map(clocks_.seq_map());
+}
+
+void CcManager::restore(BinaryReader& r) {
+  std::lock_guard lock(seq_mutex_);
+  clocks_.restore_seq(r.read_u64_map());
+}
+
+}  // namespace manatee::core

@@ -1,0 +1,91 @@
+// cc_algorithm.hpp — the Collective Clock (CC) algorithm (paper §4).
+//
+// Runtime behaviour (§4.2.1): each collective wrapper increments a local
+// per-ggid sequence number — no network traffic, near-zero overhead.
+//
+// Checkpoint behaviour (§4.2.2-4.2.4): on a request, every rank posts its
+// SEQ table; the coordinator publishes the per-ggid maxima as TARGETs
+// (Algorithm 1). A rank keeps executing while any of its groups has
+// SEQ < TARGET (Condition A'); when an execution pushes SEQ past a TARGET,
+// the rank raises the target and SENDs it to the group's members over the
+// out-of-band channel (Algorithm 2); parked ranks sit in
+// Wait_for_new_targets consuming updates (Algorithm 3). Termination is
+// detected by the coordinator via balanced update counts.
+//
+// Non-blocking extension (§4.3): SEQ increments at initiation; at the safe
+// state every initiated-but-incomplete NBC is driven to completion with a
+// Test loop before the image is written.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "core/protocol_base.hpp"
+#include "core/seq_tracker.hpp"
+
+namespace manatee::core {
+
+class CcManager final : public ProtocolManagerBase {
+ public:
+  /// Tag for target-update messages on the world checkpoint channel (the
+  /// paper's mana_updates_tag).
+  static constexpr int kTagTargetUpdate = 0x7a11;
+
+  CcManager(umpi::Rank& rank, ckpt::Coordinator& coordinator, TraceLog* trace)
+      : ProtocolManagerBase(rank, coordinator, trace) {}
+
+  [[nodiscard]] const char* name() const override { return "cc"; }
+
+  void note_comm(const umpi::CommPtr& comm) override;
+  void pre_collective(const umpi::CommPtr& comm) override;
+  void post_collective(const umpi::CommPtr& comm) override;
+  void pre_nbc(const umpi::CommPtr& comm) override;
+  void register_nbc(umpi::Request request) override;
+  void blocked_step(const std::function<bool()>& done,
+                    const ParkHooks* hooks) override;
+  void blocked_finish(const ParkHooks* hooks) override;
+  void poll() override;
+  void at_finalize() override;
+
+  void serialize(BinaryWriter& w) const override;
+  void restore(BinaryReader& r) override;
+
+  /// Thread-safe SEQ contribution from the requesting thread (the
+  /// checkpoint-thread analogue; see DrainManager::post_initial_state).
+  void post_initial_state(int world_rank) override;
+
+  [[nodiscard]] const SeqTracker& clocks() const noexcept { return clocks_; }
+  [[nodiscard]] std::size_t pending_nbc_count() const noexcept {
+    return pending_nbc_.size();
+  }
+
+ private:
+  /// Algorithm 2's increment + conditional target raise + SEND.
+  void advance_clock(const umpi::CommPtr& comm);
+  /// Algorithm 3: park until some target is unmet or no checkpoint pends.
+  void wait_for_new_targets();
+  /// First-notice actions for a cycle: post SEQ to the coordinator.
+  void ensure_request_seen();
+  /// Drain coordinator table + peer updates into local TARGETs.
+  void refresh_targets();
+  void report(bool parked);
+  void pre_write() override;   // §4.3.2 Test-drain of pending NBCs
+  void post_cycle() override;  // reset per-cycle drain state
+
+  /// Guards mutations and snapshots of the SEQ table: the table is written
+  /// by the rank thread (wrapper increments) and read out-of-band by the
+  /// requesting thread at checkpoint time. Uncontended in steady state —
+  /// this lock is part of the modeled CC wrapper cost.
+  mutable std::mutex seq_mutex_;
+  SeqTracker clocks_;
+  std::vector<umpi::Request> pending_nbc_;
+
+  // per-cycle drain state
+  std::uint64_t posted_cycle_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t seen_version_ = 0;
+  bool blocked_parked_ = false;
+};
+
+}  // namespace manatee::core

@@ -1,0 +1,67 @@
+// drain_graph.hpp — offline safe-state verifier.
+//
+// The paper models execution as a directed graph: each collective operation
+// instance is a node (here identified by (ggid, seq)); each participating
+// process contributes an incoming edge when it enters and an outgoing edge
+// when it leaves (§4.2.2). A checkpoint state is safe iff
+//   (1) every node visited by at least one process before its image was
+//       written was visited by *all* participating processes, and
+//   (2) no node beyond the checkpoint targets was visited (minimality —
+//       execution stopped as early as the topological sort allows).
+//
+// This verifier replays recorded per-rank event traces through that model.
+// It is implementation-independent: the integration and property tests run
+// the *protocols* and then ask this oracle whether the state they froze
+// was actually safe.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/trace.hpp"
+
+namespace manatee::core {
+
+struct DrainCheckResult {
+  bool ok = true;
+  std::string error;
+
+  static DrainCheckResult failure(std::string message) {
+    return DrainCheckResult{false, std::move(message)};
+  }
+};
+
+class DrainGraph {
+ public:
+  /// Build from one event vector per world rank.
+  explicit DrainGraph(std::vector<std::vector<TraceEvent>> per_rank_events);
+
+  /// Verify condition (1) for checkpoint cycle `cycle`: every node visited
+  /// before the cycle's image writes is fully visited.
+  [[nodiscard]] DrainCheckResult check_fully_visited(std::uint64_t cycle) const;
+
+  /// Verify condition (2) for `cycle`: targets computed from each rank's
+  /// request-observation point bound everything executed before the write.
+  /// Only meaningful for the CC protocol.
+  [[nodiscard]] DrainCheckResult check_minimality(std::uint64_t cycle) const;
+
+  /// Both conditions.
+  [[nodiscard]] DrainCheckResult check_safe_state(std::uint64_t cycle,
+                                                  bool minimality) const;
+
+  /// Number of distinct collective nodes in the whole trace.
+  [[nodiscard]] std::size_t node_count() const;
+
+  /// Highest checkpoint cycle for which every rank has a write marker.
+  [[nodiscard]] std::uint64_t complete_cycles() const;
+
+ private:
+  /// Index of the ImageWritten(cycle) event for `rank`, or -1.
+  [[nodiscard]] std::ptrdiff_t write_marker(int rank, std::uint64_t cycle) const;
+  [[nodiscard]] std::ptrdiff_t request_marker(int rank, std::uint64_t cycle) const;
+
+  std::vector<std::vector<TraceEvent>> events_;
+};
+
+}  // namespace manatee::core

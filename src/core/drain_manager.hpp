@@ -1,0 +1,110 @@
+// drain_manager.hpp — the strategy interface between the wrapper layer
+// (split::Api) and a checkpoint drain protocol.
+//
+// Three implementations exist:
+//   * NativeManager — no checkpointing, zero-cost hooks (the "Native" bars
+//     of Figures 5-8);
+//   * CcManager — the paper's collective-clock algorithm (§4);
+//   * TpcManager — original MANA's two-phase-commit baseline (§2.2).
+//
+// The wrapper layer calls these hooks at exactly the sites MANA interposes:
+// around every blocking collective, at non-blocking initiation, inside
+// every blocking point-to-point/request wait loop, at explicit poll sites
+// in long compute phases, and at finalize.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/serialize.hpp"
+#include "umpi/communicator.hpp"
+#include "umpi/rank.hpp"
+
+namespace manatee::core {
+
+/// Hooks a blocking operation provides so the manager can park the rank
+/// *outside* the operation (e.g. cancel a posted receive before an image is
+/// written, and re-arm it afterwards).
+struct ParkHooks {
+  /// Detach the in-progress operation from shared state so a checkpoint
+  /// can be taken. Returns false if the operation completed concurrently
+  /// (in which case the rank must not park and should re-check `done`).
+  std::function<bool()> suspend;
+  /// Re-arm the operation after an unpark or a completed checkpoint.
+  std::function<void()> resume;
+};
+
+class DrainManager {
+ public:
+  virtual ~DrainManager() = default;
+
+  /// Protocol name for reports ("native", "cc", "2pc").
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// A communicator became visible to the upper half (creation or restart
+  /// replay): initialize its collective clock (SEQ[ggid] = 0).
+  virtual void note_comm(const umpi::CommPtr& comm) { (void)comm; }
+
+  /// Around every *blocking* collective (and collective communicator-
+  /// management operation). pre may park the rank (Algorithm 3 at wrapper
+  /// entry); post may park it again at wrapper exit.
+  virtual void pre_collective(const umpi::CommPtr& comm) { (void)comm; }
+  virtual void post_collective(const umpi::CommPtr& comm) { (void)comm; }
+
+  /// Before initiating a non-blocking collective (SEQ increments here,
+  /// §4.3.1). Throws if the protocol does not support NBC (2PC).
+  virtual void pre_nbc(const umpi::CommPtr& comm) { (void)comm; }
+  /// Track an initiated non-blocking collective for the checkpoint-time
+  /// Test-drain (§4.3.2).
+  virtual void register_nbc(umpi::Request request) { (void)request; }
+
+  /// One iteration's worth of drain participation inside a blocking wait
+  /// loop (blocking recv, Wait, Waitall). The loop structure is:
+  ///   while (!done()) { token; progress; blocked_step(done, hooks); wait }
+  /// Default: nothing (native).
+  virtual void blocked_step(const std::function<bool()>& done,
+                            const ParkHooks* hooks) {
+    (void)done;
+    (void)hooks;
+  }
+
+  /// Called when a blocking wait loop exits (its operation completed).
+  /// Clears any park state the manager holds for the loop.
+  virtual void blocked_finish(const ParkHooks* hooks) { (void)hooks; }
+
+  /// Cheap checkpoint-opportunity hook for long compute loops and
+  /// non-blocking call sites. Never parks under CC (see DESIGN.md §5 on
+  /// liveness); may park under 2PC.
+  virtual void poll() {}
+
+  /// Application function finished; stay responsive (consume protocol
+  /// traffic, participate in late checkpoints) until the whole job is done.
+  virtual void at_finalize() {}
+
+  /// Set the callback that captures and writes this rank's image. Invoked
+  /// exactly once per checkpoint cycle, at the safe state.
+  void set_write_fn(std::function<void()> fn) { write_fn_ = std::move(fn); }
+
+  /// Out-of-band contribution at checkpoint-request time, called from the
+  /// *requesting* thread (MANA's per-process DMTCP checkpoint thread can
+  /// read the main thread's SEQ array even while it is blocked inside a
+  /// collective — without this, a rank stuck in a pre-request collective
+  /// could never contribute its clocks and the drain would deadlock).
+  /// Must be thread-safe against the rank's own wrapper activity.
+  virtual void post_initial_state(int world_rank) { (void)world_rank; }
+
+  /// Persist / restore protocol state across checkpoint-restart.
+  virtual void serialize(BinaryWriter& w) const { (void)w; }
+  virtual void restore(BinaryReader& r) { (void)r; }
+
+ protected:
+  std::function<void()> write_fn_;
+};
+
+/// The no-checkpointing baseline.
+class NativeManager final : public DrainManager {
+ public:
+  [[nodiscard]] const char* name() const override { return "native"; }
+};
+
+}  // namespace manatee::core

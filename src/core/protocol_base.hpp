@@ -1,0 +1,77 @@
+// protocol_base.hpp — shared machinery of the CC and 2PC managers: the
+// write-phase handshake (drain extras, capture image, wait for the cycle to
+// close) and common bookkeeping.
+#pragma once
+
+#include "ckpt/coordinator.hpp"
+#include "core/drain_manager.hpp"
+#include "core/trace.hpp"
+#include "umpi/rank.hpp"
+
+namespace manatee::core {
+
+class ProtocolManagerBase : public DrainManager {
+ public:
+  ProtocolManagerBase(umpi::Rank& rank, ckpt::Coordinator& coordinator,
+                      TraceLog* trace)
+      : rank_(rank), coordinator_(coordinator), trace_(trace) {}
+
+  [[nodiscard]] std::uint64_t checkpoints_written() const noexcept {
+    return written_cycle_;
+  }
+
+  /// Virtual clock when this rank first observed the request of each cycle
+  /// (index = cycle - 1). Basis of the Figure 9 checkpoint-time metric.
+  [[nodiscard]] const std::vector<simnet::SimTime>& request_clocks() const noexcept {
+    return request_clocks_;
+  }
+  /// Virtual clock when this rank finished writing each cycle's image.
+  [[nodiscard]] const std::vector<simnet::SimTime>& write_clocks() const noexcept {
+    return write_clocks_;
+  }
+
+ protected:
+  /// Executed once per checkpoint cycle when the coordinator has declared
+  /// the safe state: run protocol-specific pre-write draining, invoke the
+  /// engine's capture callback, then block until every rank has written.
+  void perform_write_cycle() {
+    const std::uint64_t cycle = coordinator_.completed_cycles() + 1;
+    if (written_cycle_ < cycle) {
+      pre_write();
+      if (trace_ != nullptr) trace_->record_written(cycle);
+      if (write_fn_) write_fn_();
+      written_cycle_ = cycle;
+      write_clocks_.push_back(rank_.clock().now());
+      coordinator_.report_written(rank_.world_rank());
+    }
+    while (coordinator_.phase() == ckpt::CkptPhase::kWrite) {
+      const auto token = rank_.store().token();
+      if (coordinator_.phase() != ckpt::CkptPhase::kWrite) break;
+      rank_.store().wait_changed(token);
+    }
+    post_cycle();
+  }
+
+  /// Protocol work that must complete before the image is captured
+  /// (CC: drive all initiated non-blocking collectives to completion).
+  virtual void pre_write() {}
+  /// Reset per-cycle drain state after the cycle closes.
+  virtual void post_cycle() {}
+
+  /// Record the first observation of the current cycle's request.
+  void note_request_observed() {
+    const std::uint64_t cycle = coordinator_.completed_cycles() + 1;
+    if (request_clocks_.size() < cycle) {
+      request_clocks_.push_back(rank_.clock().now());
+    }
+  }
+
+  umpi::Rank& rank_;
+  ckpt::Coordinator& coordinator_;
+  TraceLog* trace_;
+  std::uint64_t written_cycle_ = 0;
+  std::vector<simnet::SimTime> request_clocks_;
+  std::vector<simnet::SimTime> write_clocks_;
+};
+
+}  // namespace manatee::core

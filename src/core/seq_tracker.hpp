@@ -1,0 +1,105 @@
+// seq_tracker.hpp — the collective clock itself: per-group sequence numbers
+// and checkpoint-time target numbers (paper §4.1-4.2).
+//
+// SEQ[ggid]    — local count of collective operations this process has
+//                initiated on the group (blocking collectives count at the
+//                call; non-blocking collectives count at initiation, §4.3.1).
+// TARGET[ggid] — during a drain, the global maximum of SEQ[ggid] over the
+//                group's members. A process is at a safe point when
+//                SEQ[g] == TARGET[g] for every group it belongs to.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "core/ggid.hpp"
+
+namespace manatee::core {
+
+using SeqMap = std::map<std::uint64_t, std::uint64_t>;
+
+class SeqTracker {
+ public:
+  /// Ensure a clock exists for `ggid` (communicator creation: SEQ=0).
+  void note_group(Ggid ggid) { seq_.try_emplace(ggid, 0); }
+
+  /// Increment the collective clock for `ggid`; returns the new value.
+  std::uint64_t increment(Ggid ggid) { return ++seq_[ggid]; }
+
+  [[nodiscard]] std::uint64_t seq(Ggid ggid) const {
+    const auto it = seq_.find(ggid);
+    return it == seq_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] std::uint64_t target(Ggid ggid) const {
+    const auto it = target_.find(ggid);
+    return it == target_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] const SeqMap& seq_map() const noexcept { return seq_; }
+  [[nodiscard]] const SeqMap& target_map() const noexcept { return target_; }
+
+  /// Merge externally learned targets (coordinator table or peer update),
+  /// keeping the elementwise max. Returns true if any target grew.
+  bool merge_targets(const SeqMap& update) {
+    bool grew = false;
+    for (const auto& [g, n] : update) {
+      auto& t = target_[g];
+      if (n > t) {
+        t = n;
+        grew = true;
+      }
+    }
+    return grew;
+  }
+
+  bool merge_target(Ggid ggid, std::uint64_t value) {
+    auto& t = target_[ggid];
+    if (value > t) {
+      t = value;
+      return true;
+    }
+    return false;
+  }
+
+  /// Raise TARGET[g] to SEQ[g]; returns true if it actually rose (the
+  /// "SEQ > TARGET during drain" branch of Algorithm 2 that triggers the
+  /// SEND of new targets).
+  bool raise_target_to_seq(Ggid ggid) { return merge_target(ggid, seq(ggid)); }
+
+  /// Condition A' (paper §4.2.2): the process must keep executing iff some
+  /// group *it belongs to* has SEQ < TARGET. Targets learned for foreign
+  /// groups (the coordinator publishes the global table) are ignored: a
+  /// process participates in a group iff it holds a clock for its ggid
+  /// (created when the communicator became visible, SEQ=0).
+  [[nodiscard]] bool targets_met() const {
+    for (const auto& [g, t] : target_) {
+      const auto it = seq_.find(g);
+      if (it == seq_.end()) continue;  // not a member of this group
+      if (it->second < t) return false;
+    }
+    return true;
+  }
+
+  /// Groups with unmet targets (diagnostics / trace).
+  [[nodiscard]] SeqMap unmet() const {
+    SeqMap out;
+    for (const auto& [g, t] : target_) {
+      const auto it = seq_.find(g);
+      if (it != seq_.end() && it->second < t) out.emplace(g, t);
+    }
+    return out;
+  }
+
+  /// Drop all targets (drain cycle finished).
+  void clear_targets() { target_.clear(); }
+
+  /// Replace SEQ wholesale (restart).
+  void restore_seq(SeqMap seq) { seq_ = std::move(seq); }
+
+ private:
+  SeqMap seq_;
+  SeqMap target_;
+};
+
+}  // namespace manatee::core

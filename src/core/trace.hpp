@@ -1,0 +1,61 @@
+// trace.hpp — per-rank event traces used by the drain-graph oracle.
+//
+// Every collective execution and checkpoint lifecycle event is recorded
+// with its ggid and sequence number. Tests replay the merged trace through
+// the directed-graph model of §4.2.2 and verify the safe-state conditions
+// mechanically, independent of the protocol implementation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ggid.hpp"
+
+namespace manatee::core {
+
+enum class TraceEventKind : std::uint8_t {
+  kCollectiveExecuted = 0,  ///< blocking collective completed / NBC initiated
+  kCkptRequestSeen = 1,     ///< rank first observed the checkpoint request
+  kImageWritten = 2,        ///< rank wrote its image (the safe state)
+};
+
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::kCollectiveExecuted;
+  Ggid ggid = 0;
+  std::uint64_t seq = 0;           ///< SEQ[ggid] after the increment
+  std::vector<int> members;        ///< world ranks of the group (collectives)
+  std::uint64_t cycle = 0;         ///< checkpoint cycle (ckpt events)
+};
+
+/// Single-threaded per-rank event log (each rank appends to its own).
+class TraceLog {
+ public:
+  void record_collective(Ggid ggid, std::uint64_t seq, std::vector<int> members) {
+    if (!enabled_) return;
+    events_.push_back(TraceEvent{TraceEventKind::kCollectiveExecuted, ggid, seq,
+                                 std::move(members), 0});
+  }
+
+  void record_request_seen(std::uint64_t cycle) {
+    if (!enabled_) return;
+    events_.push_back(TraceEvent{TraceEventKind::kCkptRequestSeen, 0, 0, {}, cycle});
+  }
+
+  void record_written(std::uint64_t cycle) {
+    if (!enabled_) return;
+    events_.push_back(TraceEvent{TraceEventKind::kImageWritten, 0, 0, {}, cycle});
+  }
+
+  void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  void clear() { events_.clear(); }
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace manatee::core

@@ -1,0 +1,58 @@
+// two_phase_commit.hpp — original MANA's two-phase-commit algorithm
+// (paper §2.2), the baseline the CC algorithm replaces.
+//
+// Every blocking collective wrapper inserts an MPI_Ibarrier on the same
+// communicator and spins on MPI_Test. The inserted barrier's messages are
+// real traffic through the fabric — that extra synchronization is the
+// runtime overhead Figures 5a, 7 and 8 measure. A checkpoint is safe when
+// every rank is parked outside MPI and no collective instance has been
+// fully entered without completing ("if all processes have entered the
+// barrier, then MANA waits until all processes have completed the
+// collective call").
+//
+// 2PC does not support non-blocking collectives (the paper's motivation
+// for §4.3): pre_nbc throws.
+#pragma once
+
+#include <map>
+
+#include "core/ggid.hpp"
+#include "core/protocol_base.hpp"
+
+namespace manatee::core {
+
+class TpcManager final : public ProtocolManagerBase {
+ public:
+  TpcManager(umpi::Rank& rank, ckpt::Coordinator& coordinator, TraceLog* trace)
+      : ProtocolManagerBase(rank, coordinator, trace) {}
+
+  [[nodiscard]] const char* name() const override { return "2pc"; }
+
+  void pre_collective(const umpi::CommPtr& comm) override;
+  void post_collective(const umpi::CommPtr& comm) override;
+  void pre_nbc(const umpi::CommPtr& comm) override;
+  void blocked_step(const std::function<bool()>& done,
+                    const ParkHooks* hooks) override;
+  void blocked_finish(const ParkHooks* hooks) override;
+  void poll() override;
+  void at_finalize() override;
+
+  void serialize(BinaryWriter& w) const override;
+  void restore(BinaryReader& r) override;
+
+ private:
+  /// Park at a safe point (outside MPI) until a pending cycle resolves.
+  void park_until_idle();
+
+  /// Per-ggid count of collective instances this rank has started — the
+  /// instance id agreed across members (collectives are ordered per group).
+  std::map<Ggid, std::uint64_t> instance_counts_;
+
+  // Current collective in flight (between pre and post).
+  Ggid current_ggid_ = 0;
+  std::uint64_t current_instance_ = 0;
+  bool in_barrier_ = false;
+  bool blocked_parked_ = false;
+};
+
+}  // namespace manatee::core

@@ -1,0 +1,74 @@
+// fabric.hpp — the interconnect: owns every rank's MessageStore, routes
+// envelopes, applies the cost model, and keeps per-traffic-class counters.
+//
+// Traffic classes let the benchmarks demonstrate *why* 2PC is slow: the
+// extra barrier messages it injects are visible as kCkptProtocol traffic,
+// while CC's steady-state message count is identical to native.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "simnet/cost_model.hpp"
+#include "simnet/mailbox.hpp"
+#include "simnet/message.hpp"
+#include "simnet/topology.hpp"
+#include "simnet/virtual_clock.hpp"
+
+namespace manatee::simnet {
+
+enum class TrafficClass : int {
+  kUserP2P = 0,      ///< application Send/Recv
+  kCollective = 1,   ///< internal messages of collective algorithms
+  kCkptProtocol = 2, ///< drain-protocol traffic (CC target updates, 2PC barriers)
+  kControl = 3,      ///< coordinator control
+};
+constexpr int kTrafficClassCount = 4;
+
+struct TrafficCounters {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Fabric {
+ public:
+  Fabric(Topology topology, CostModel cost);
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] const CostModel& cost() const noexcept { return cost_; }
+
+  [[nodiscard]] MessageStore& store(int world_rank);
+
+  /// Send `payload` from world rank `src_world` to `dst_world`.
+  ///
+  /// Charges the sender's clock the injection overhead, stamps the arrival
+  /// time from the cost model, and delivers. `src_in_comm` is the sender's
+  /// rank inside the communicator that owns `context` (what the receiver's
+  /// match pattern sees).
+  void send(int src_world, int dst_world, ContextId context, int src_in_comm,
+            int tag, std::span<const std::byte> payload, VirtualClock& src_clock,
+            TrafficClass traffic);
+
+  /// Deliver a pre-built envelope without charging any clock (restart
+  /// re-injection and coordinator control messages).
+  void deliver_raw(int dst_world, Envelope env, TrafficClass traffic);
+
+  /// Wake every rank blocked in a MessageStore::wait (out-of-band events).
+  void notify_all_ranks();
+
+  [[nodiscard]] TrafficCounters counters(TrafficClass traffic) const;
+  [[nodiscard]] std::uint64_t total_messages() const;
+
+ private:
+  Topology topology_;
+  CostModel cost_;
+  std::vector<std::unique_ptr<MessageStore>> stores_;
+  std::array<std::atomic<std::uint64_t>, kTrafficClassCount> class_messages_{};
+  std::array<std::atomic<std::uint64_t>, kTrafficClassCount> class_bytes_{};
+};
+
+}  // namespace manatee::simnet

@@ -1,0 +1,179 @@
+#include "simnet/mailbox.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+
+namespace manatee::simnet {
+
+namespace {
+std::atomic<long> g_wait_timeout_ms{60'000};
+}  // namespace
+
+void MessageStore::set_wait_timeout_ms(long ms) noexcept {
+  g_wait_timeout_ms.store(ms, std::memory_order_relaxed);
+}
+
+long MessageStore::wait_timeout_ms() noexcept {
+  return g_wait_timeout_ms.load(std::memory_order_relaxed);
+}
+
+void MessageStore::complete(const Posted& p, Envelope& env) {
+  const std::size_t n = env.payload.size();
+  const std::size_t copied = std::min(n, p.capacity);
+  if (copied > 0) std::memcpy(p.dest, env.payload.data(), copied);
+  p.result->truncated = n > p.capacity;
+  p.result->src = env.src;
+  p.result->tag = env.tag;
+  p.result->bytes = copied;
+  p.result->arrival_ns = env.arrival_ns;
+  p.result->done.store(true, std::memory_order_release);
+}
+
+void MessageStore::deliver(Envelope&& env) {
+  std::lock_guard lock(mutex_);
+  env.seq = next_seq_++;
+  ++delivered_messages_;
+  delivered_bytes_ += env.payload.size();
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (it->pattern.matches(env)) {
+      complete(*it, env);
+      posted_.erase(it);
+      cv_.notify_all();
+      return;
+    }
+  }
+  unexpected_.push_back(std::move(env));
+  cv_.notify_all();
+}
+
+void MessageStore::post_recv(const MatchPattern& pattern, std::byte* dest,
+                             std::size_t capacity, RecvResult* result) {
+  MANATEE_REQUIRE(result != nullptr, "post_recv requires a result record");
+  std::lock_guard lock(mutex_);
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (pattern.matches(*it)) {
+      Posted p{pattern, dest, capacity, result};
+      complete(p, *it);
+      unexpected_.erase(it);
+      cv_.notify_all();
+      return;
+    }
+  }
+  posted_.push_back(Posted{pattern, dest, capacity, result});
+}
+
+bool MessageStore::cancel_recv(const RecvResult* result) {
+  std::lock_guard lock(mutex_);
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (it->result == result) {
+      posted_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<ProbeInfo> MessageStore::iprobe(const MatchPattern& pattern) {
+  std::lock_guard lock(mutex_);
+  for (const auto& env : unexpected_) {
+    if (pattern.matches(env)) {
+      return ProbeInfo{env.src, env.tag, env.payload.size(), env.arrival_ns};
+    }
+  }
+  return std::nullopt;
+}
+
+bool MessageStore::try_recv_unexpected(const MatchPattern& pattern,
+                                       std::byte* dest, std::size_t capacity,
+                                       RecvResult* result) {
+  MANATEE_REQUIRE(result != nullptr, "try_recv_unexpected requires a result");
+  std::lock_guard lock(mutex_);
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (pattern.matches(*it)) {
+      const Posted p{pattern, dest, capacity, result};
+      complete(p, *it);
+      unexpected_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void MessageStore::wait(const std::function<bool()>& pred) {
+  std::unique_lock lock(mutex_);
+  const auto timeout = std::chrono::milliseconds(wait_timeout_ms());
+  if (!cv_.wait_for(lock, timeout, pred)) {
+    throw RuntimeFault(
+        "MessageStore::wait watchdog expired — likely distributed deadlock "
+        "(posted=" +
+        std::to_string(posted_.size()) +
+        ", unexpected=" + std::to_string(unexpected_.size()) + ")");
+  }
+}
+
+void MessageStore::notify() {
+  std::lock_guard lock(mutex_);
+  ++generation_;
+  cv_.notify_all();
+}
+
+MessageStore::WakeToken MessageStore::token() const {
+  std::lock_guard lock(mutex_);
+  return WakeToken{delivered_messages_, generation_};
+}
+
+void MessageStore::wait_changed(const WakeToken& since) {
+  std::unique_lock lock(mutex_);
+  const auto timeout = std::chrono::milliseconds(wait_timeout_ms());
+  const bool changed = cv_.wait_for(lock, timeout, [&] {
+    return delivered_messages_ != since.deliveries || generation_ != since.generation;
+  });
+  if (!changed) {
+    throw RuntimeFault(
+        "MessageStore::wait_changed watchdog expired — likely distributed "
+        "deadlock (posted=" +
+        std::to_string(posted_.size()) +
+        ", unexpected=" + std::to_string(unexpected_.size()) + ")");
+  }
+}
+
+std::vector<Envelope> MessageStore::snapshot_unexpected(
+    const std::function<bool(const Envelope&)>& keep) const {
+  std::lock_guard lock(mutex_);
+  std::vector<Envelope> out;
+  for (const auto& env : unexpected_) {
+    if (keep(env)) out.push_back(env);
+  }
+  return out;
+}
+
+std::size_t MessageStore::count_unexpected(
+    const std::function<bool(const Envelope&)>& keep) const {
+  std::lock_guard lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& env : unexpected_) {
+    if (keep(env)) ++n;
+  }
+  return n;
+}
+
+void MessageStore::inject(std::vector<Envelope> messages) {
+  std::lock_guard lock(mutex_);
+  for (auto& env : messages) {
+    unexpected_.push_back(std::move(env));
+  }
+  cv_.notify_all();
+}
+
+std::uint64_t MessageStore::delivered_messages() const noexcept {
+  std::lock_guard lock(mutex_);
+  return delivered_messages_;
+}
+
+std::uint64_t MessageStore::delivered_bytes() const noexcept {
+  std::lock_guard lock(mutex_);
+  return delivered_bytes_;
+}
+
+}  // namespace manatee::simnet

@@ -1,0 +1,127 @@
+// mailbox.hpp — per-rank message store with MPI-semantics matching.
+//
+// Implements the standard two-queue structure of real MPI libraries:
+//   * posted-receive queue: receives waiting for a message;
+//   * unexpected queue: messages that arrived before a matching receive.
+// Matching is eager: a delivered envelope is matched against posted
+// receives in post order; a posted receive is matched against unexpected
+// messages in arrival order. This preserves MPI's non-overtaking rule.
+//
+// The store also provides the blocking primitive every higher layer uses:
+// wait(pred) sleeps on the store's condition variable until pred() holds,
+// with a global watchdog timeout that converts distributed deadlock into a
+// loud RuntimeFault instead of a hung test suite.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "simnet/message.hpp"
+
+namespace manatee::simnet {
+
+/// Result of a successful (I)Probe: metadata of the first matching message.
+struct ProbeInfo {
+  int src = kAnySource;
+  int tag = kAnyTag;
+  std::size_t bytes = 0;
+  SimTime arrival_ns = 0;
+};
+
+class MessageStore {
+ public:
+  /// Watchdog for blocking waits, in milliseconds of *wall* time. Applies
+  /// process-wide; tests lower it to fail fast on real deadlocks.
+  static void set_wait_timeout_ms(long ms) noexcept;
+  static long wait_timeout_ms() noexcept;
+
+  /// Deliver a message into this store (called from the sender's thread).
+  /// If a posted receive matches, the payload is copied into its buffer and
+  /// its RecvResult completed in place; otherwise the envelope joins the
+  /// unexpected queue.
+  void deliver(Envelope&& env);
+
+  /// Post a receive. `result` must stay alive until completion or cancel.
+  /// If an unexpected message already matches, completes immediately.
+  void post_recv(const MatchPattern& pattern, std::byte* dest,
+                 std::size_t capacity, RecvResult* result);
+
+  /// Remove a posted-but-unmatched receive. Returns false if it already
+  /// completed (or was never posted).
+  bool cancel_recv(const RecvResult* result);
+
+  /// Non-blocking probe of the unexpected queue.
+  [[nodiscard]] std::optional<ProbeInfo> iprobe(const MatchPattern& pattern);
+
+  /// Pop the first unexpected message matching `pattern` into `dest`,
+  /// completing `result`. Returns false (leaving `result` untouched) if
+  /// nothing matches.
+  bool try_recv_unexpected(const MatchPattern& pattern, std::byte* dest,
+                           std::size_t capacity, RecvResult* result);
+
+  /// Block until pred() is true. pred is evaluated under the store lock and
+  /// re-checked on every delivery and on notify(). Throws RuntimeFault when
+  /// the watchdog expires.
+  void wait(const std::function<bool()>& pred);
+
+  /// Wake all waiters (used by out-of-band state changes, e.g. the
+  /// checkpoint coordinator flipping a flag the waiter's pred reads).
+  /// Bumps the generation counter so wait_changed() observers also wake.
+  void notify();
+
+  /// Snapshot of "has anything happened" state, for poll-style loops
+  /// (progress engines, blocking probe). Take a token, poll your condition,
+  /// and if unsatisfied call wait_changed(token): it returns as soon as any
+  /// delivery or notify() occurred after the token was taken.
+  struct WakeToken {
+    std::uint64_t deliveries = 0;
+    std::uint64_t generation = 0;
+  };
+  [[nodiscard]] WakeToken token() const;
+  void wait_changed(const WakeToken& since);
+
+  // --- checkpoint support ---
+
+  /// Copy of all unexpected envelopes satisfying `keep` (in queue order).
+  [[nodiscard]] std::vector<Envelope> snapshot_unexpected(
+      const std::function<bool(const Envelope&)>& keep) const;
+
+  /// Number of unexpected envelopes satisfying `keep`.
+  [[nodiscard]] std::size_t count_unexpected(
+      const std::function<bool(const Envelope&)>& keep) const;
+
+  /// Append saved envelopes (restart path: re-inject drained messages).
+  void inject(std::vector<Envelope> messages);
+
+  // --- stats ---
+  [[nodiscard]] std::uint64_t delivered_messages() const noexcept;
+  [[nodiscard]] std::uint64_t delivered_bytes() const noexcept;
+
+ private:
+  struct Posted {
+    MatchPattern pattern;
+    std::byte* dest = nullptr;
+    std::size_t capacity = 0;
+    RecvResult* result = nullptr;
+  };
+
+  static void complete(const Posted& p, Envelope& env);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Posted> posted_;
+  std::deque<Envelope> unexpected_;
+  std::uint64_t delivered_messages_ = 0;
+  std::uint64_t delivered_bytes_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace manatee::simnet

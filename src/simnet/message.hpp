@@ -1,0 +1,64 @@
+// message.hpp — message envelopes and match patterns for the fabric.
+//
+// An Envelope is one point-to-point message in flight or queued at the
+// receiver. Matching follows MPI semantics: a receive names
+// (context, source|ANY, tag|ANY) and messages match in arrival order with
+// per-(source,context) FIFO ordering (non-overtaking rule).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "simnet/time.hpp"
+
+namespace manatee::simnet {
+
+/// Wildcards, mirroring MPI_ANY_SOURCE / MPI_ANY_TAG.
+constexpr int kAnySource = -1;
+constexpr int kAnyTag = -1;
+
+/// Communication context: separates user point-to-point traffic, internal
+/// collective traffic, and checkpoint-protocol traffic, per communicator.
+/// (Real MPI implementations reserve distinct context ids the same way.)
+using ContextId = std::uint64_t;
+
+struct Envelope {
+  ContextId context = 0;
+  int src = 0;  ///< sender's rank within the communicator of `context`
+  int tag = 0;
+  std::uint64_t seq = 0;       ///< per-(src,dst,context) sequence, for debugging
+  SimTime arrival_ns = 0;      ///< virtual time at which the message lands
+  std::vector<std::byte> payload;
+};
+
+struct MatchPattern {
+  ContextId context = 0;
+  int src = kAnySource;
+  int tag = kAnyTag;
+
+  [[nodiscard]] bool matches(const Envelope& e) const noexcept {
+    return e.context == context && (src == kAnySource || e.src == src) &&
+           (tag == kAnyTag || e.tag == tag);
+  }
+};
+
+/// Completion record for a posted receive. Lives inside the receiver's
+/// request object; written exactly once, under the MessageStore lock.
+/// `done` is an acquire/release flag: all other fields are written before
+/// the store of `done`, so a reader that observes done==true may read the
+/// rest without holding the store lock.
+struct RecvResult {
+  std::atomic<bool> done{false};
+  bool truncated = false;  ///< payload larger than the posted buffer
+  int src = kAnySource;
+  int tag = kAnyTag;
+  std::size_t bytes = 0;
+  SimTime arrival_ns = 0;
+
+  [[nodiscard]] bool is_done() const noexcept {
+    return done.load(std::memory_order_acquire);
+  }
+};
+
+}  // namespace manatee::simnet

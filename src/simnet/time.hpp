@@ -1,0 +1,31 @@
+// time.hpp — virtual-time base types.
+//
+// MANATEE measures runtime overhead in *virtual time*: a deterministic
+// logical clock advanced by an explicit cost model, instead of noisy
+// wall-clock time. SimTime is integer nanoseconds so repeated runs are
+// bit-identical (no floating-point drift).
+#pragma once
+
+#include <cstdint>
+
+namespace manatee::simnet {
+
+/// Virtual time in nanoseconds.
+using SimTime = std::int64_t;
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1000;
+constexpr SimTime kMillisecond = 1000 * 1000;
+constexpr SimTime kSecond = 1000 * 1000 * 1000;
+
+/// Convert virtual nanoseconds to floating-point seconds for reporting.
+constexpr double to_seconds(SimTime t) noexcept {
+  return static_cast<double>(t) / 1e9;
+}
+
+/// Convert virtual nanoseconds to floating-point microseconds for reporting.
+constexpr double to_micros(SimTime t) noexcept {
+  return static_cast<double>(t) / 1e3;
+}
+
+}  // namespace manatee::simnet

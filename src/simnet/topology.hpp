@@ -1,0 +1,50 @@
+// topology.hpp — cluster topology model: which ranks share a node.
+//
+// The paper's experiments place 128 MPI processes per Perlmutter node; the
+// intra- vs inter-node distinction drives both the cost model (Slingshot
+// hop vs shared-memory copy) and the paper's Fig. 8 discussion (the 256-rank
+// dip at the first multi-node point).
+#pragma once
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace manatee::simnet {
+
+class Topology {
+ public:
+  /// `ranks_per_node == 0` is invalid; one rank per node is allowed.
+  Topology(int world_size, int ranks_per_node)
+      : world_size_(world_size), ranks_per_node_(ranks_per_node) {
+    MANATEE_REQUIRE(world_size > 0, "world size must be positive");
+    MANATEE_REQUIRE(ranks_per_node > 0, "ranks per node must be positive");
+  }
+
+  [[nodiscard]] int world_size() const noexcept { return world_size_; }
+  [[nodiscard]] int ranks_per_node() const noexcept { return ranks_per_node_; }
+
+  [[nodiscard]] int node_of(int world_rank) const noexcept {
+    return world_rank / ranks_per_node_;
+  }
+
+  [[nodiscard]] bool same_node(int a, int b) const noexcept {
+    return node_of(a) == node_of(b);
+  }
+
+  [[nodiscard]] int node_count() const noexcept {
+    return (world_size_ + ranks_per_node_ - 1) / ranks_per_node_;
+  }
+
+  [[nodiscard]] std::string describe() const {
+    return std::to_string(world_size_) + " ranks over " +
+           std::to_string(node_count()) + " node(s), " +
+           std::to_string(ranks_per_node_) + " ranks/node";
+  }
+
+ private:
+  int world_size_;
+  int ranks_per_node_;
+};
+
+}  // namespace manatee::simnet

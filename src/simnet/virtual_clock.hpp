@@ -1,0 +1,36 @@
+// virtual_clock.hpp — per-rank logical clock.
+//
+// Every rank thread owns exactly one VirtualClock. The clock advances on
+// causal events only (compute phases, message send overhead, message
+// completion), never on polling, so the final clock values are independent
+// of OS thread scheduling. Message envelopes carry the sender's clock;
+// receivers merge with max(), which models "waiting for the message to
+// arrive" exactly.
+#pragma once
+
+#include <algorithm>
+
+#include "simnet/time.hpp"
+
+namespace manatee::simnet {
+
+class VirtualClock {
+ public:
+  /// Current virtual time of this rank.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Advance by a non-negative cost (compute, software overhead).
+  void advance(SimTime cost) noexcept { now_ += cost; }
+
+  /// Merge with an event timestamp: models blocking until `t` (no-op if the
+  /// event is already in this rank's past).
+  void merge(SimTime t) noexcept { now_ = std::max(now_, t); }
+
+  /// Reset, used when a fresh runtime is created at restart.
+  void reset(SimTime t = 0) noexcept { now_ = t; }
+
+ private:
+  SimTime now_ = 0;
+};
+
+}  // namespace manatee::simnet

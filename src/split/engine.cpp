@@ -1,0 +1,153 @@
+#include "split/engine.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "core/cc_algorithm.hpp"
+#include "core/protocol_base.hpp"
+#include "core/two_phase_commit.hpp"
+
+namespace manatee::split {
+
+const char* protocol_name(Protocol p) noexcept {
+  switch (p) {
+    case Protocol::kNative: return "native";
+    case Protocol::kCC: return "cc";
+    case Protocol::kTpc: return "2pc";
+  }
+  return "?";
+}
+
+Engine::Engine(EngineConfig config)
+    : config_(std::move(config)),
+      runtime_(config_.runtime),
+      coordinator_(config_.runtime.world_size, &runtime_.fabric()) {
+  const int world = config_.runtime.world_size;
+  ctxs_.reserve(static_cast<std::size_t>(world));
+  for (int i = 0; i < world; ++i) {
+    auto ctx = std::make_unique<EngineRankCtx>();
+    ctx->trace.set_enabled(config_.record_trace);
+    ctx->manager = make_manager(runtime_.rank(i), &ctx->trace);
+    ctxs_.push_back(std::move(ctx));
+  }
+}
+
+Engine::~Engine() = default;
+
+std::unique_ptr<core::DrainManager> Engine::make_manager(umpi::Rank& rank,
+                                                         core::TraceLog* trace) {
+  switch (config_.protocol) {
+    case Protocol::kNative: return std::make_unique<core::NativeManager>();
+    case Protocol::kCC:
+      return std::make_unique<core::CcManager>(rank, coordinator_, trace);
+    case Protocol::kTpc:
+      return std::make_unique<core::TpcManager>(rank, coordinator_, trace);
+  }
+  throw UsageError("unknown protocol");
+}
+
+EngineRankCtx& Engine::rank_ctx(int world_rank) {
+  MANATEE_REQUIRE(world_rank >= 0 && world_rank < runtime_.world_size(),
+                  "rank out of range");
+  return *ctxs_[static_cast<std::size_t>(world_rank)];
+}
+
+void Engine::request_checkpoint() {
+  if (!coordinator_.request_checkpoint()) return;
+  for (int r = 0; r < runtime_.world_size(); ++r) {
+    ctxs_[static_cast<std::size_t>(r)]->manager->post_initial_state(r);
+  }
+}
+
+RunReport Engine::run(const WrappedApp& app) { return execute(app, false); }
+
+RunReport Engine::restart(const WrappedApp& app) {
+  MANATEE_REQUIRE(!config_.image_dir.empty(), "restart needs an image directory");
+  for (int i = 0; i < runtime_.world_size(); ++i) {
+    ctxs_[static_cast<std::size_t>(i)]->restore_image =
+        ckpt::CkptImage::read_file(ckpt::CkptImage::path_for(config_.image_dir, i));
+  }
+  return execute(app, true);
+}
+
+RunReport Engine::execute(const WrappedApp& app, bool restoring) {
+  MANATEE_REQUIRE(
+      config_.protocol != Protocol::kNative || config_.trigger_at_collectives.empty(),
+      "checkpoint triggers require the CC or 2PC protocol");
+
+  std::vector<std::uint64_t> coll_calls(
+      static_cast<std::size_t>(runtime_.world_size()), 0);
+  std::vector<std::uint64_t> p2p_calls(coll_calls.size(), 0);
+  std::vector<char> stopped(coll_calls.size(), 0);
+
+  runtime_.run([&](umpi::Rank& rank) {
+    auto& ctx = *ctxs_[static_cast<std::size_t>(rank.world_rank())];
+    Api api(rank, ctx, *this);
+    bool early = false;
+    try {
+      app(api);
+    } catch (const StopAfterCheckpoint&) {
+      early = true;
+      runtime_.request_stop();  // unblock peers waiting on this rank
+    } catch (const JobStopping&) {
+      early = true;
+    }
+    api.finalize(early);
+    coll_calls[static_cast<std::size_t>(rank.world_rank())] = api.collective_calls();
+    p2p_calls[static_cast<std::size_t>(rank.world_rank())] = api.p2p_calls();
+    stopped[static_cast<std::size_t>(rank.world_rank())] = early ? 1 : 0;
+  });
+
+  RunReport report;
+  report.makespan = runtime_.max_clock();
+  for (auto c : coll_calls) report.wrapper_collective_calls += c;
+  for (auto c : p2p_calls) report.wrapper_p2p_calls += c;
+  report.checkpoints = coordinator_.completed_cycles();
+  report.stopped_after_checkpoint =
+      std::any_of(stopped.begin(), stopped.end(), [](char s) { return s != 0; });
+  report.ckpt_protocol_messages =
+      runtime_.fabric().counters(simnet::TrafficClass::kCkptProtocol).messages;
+  report.collective_messages =
+      runtime_.fabric().counters(simnet::TrafficClass::kCollective).messages;
+
+  // Per-cycle checkpoint durations: request observed (min over ranks) to
+  // image written (max over ranks), in virtual time.
+  for (std::uint64_t cycle = 1; cycle <= report.checkpoints; ++cycle) {
+    simnet::SimTime start = std::numeric_limits<simnet::SimTime>::max();
+    simnet::SimTime end = 0;
+    bool have = true;
+    for (const auto& ctx : ctxs_) {
+      const auto* base =
+          dynamic_cast<const core::ProtocolManagerBase*>(ctx->manager.get());
+      if (base == nullptr || base->request_clocks().size() < cycle ||
+          base->write_clocks().size() < cycle) {
+        have = false;
+        break;
+      }
+      start = std::min(start, base->request_clocks()[cycle - 1]);
+      end = std::max(end, base->write_clocks()[cycle - 1]);
+    }
+    if (have) report.ckpt_durations.push_back(end - start);
+  }
+
+  for (const auto& ctx : ctxs_) {
+    report.image_bytes_total += ctx->image_bytes_written;
+  }
+  if (restoring) {
+    for (const auto& ctx : ctxs_) {
+      report.restart_duration = std::max(report.restart_duration,
+                                         ctx->replay_done_clock);
+    }
+  }
+  return report;
+}
+
+std::vector<std::vector<core::TraceEvent>> Engine::traces() const {
+  std::vector<std::vector<core::TraceEvent>> out;
+  out.reserve(ctxs_.size());
+  for (const auto& ctx : ctxs_) out.push_back(ctx->trace.events());
+  return out;
+}
+
+}  // namespace manatee::split

@@ -1,0 +1,125 @@
+// engine.hpp — the top-level orchestrator: launches an UMPI job under a
+// checkpoint protocol, takes checkpoints, and restarts jobs from images.
+//
+// One Engine = one job execution (a fresh "lower half"). A typical
+// chained-allocation workflow (the paper's motivating use case) is:
+//
+//   Engine first(config);                 // allocation 1
+//   auto r1 = first.run(app);             // checkpoints per config triggers
+//   Engine second(config);                // allocation 2 (fresh lower half)
+//   auto r2 = second.restart(app);        // resumes from the images
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ckpt/coordinator.hpp"
+#include "ckpt/image.hpp"
+#include "ckpt/registry.hpp"
+#include "core/drain_manager.hpp"
+#include "core/trace.hpp"
+#include "split/api.hpp"
+#include "umpi/runtime.hpp"
+
+namespace manatee::split {
+
+enum class Protocol { kNative, kCC, kTpc };
+
+[[nodiscard]] const char* protocol_name(Protocol p) noexcept;
+
+struct EngineConfig {
+  umpi::RuntimeConfig runtime;
+  Protocol protocol = Protocol::kNative;
+
+  /// Directory for checkpoint images (must exist when checkpointing).
+  std::string image_dir;
+
+  /// Deterministic trigger: request a checkpoint when `trigger_rank`'s
+  /// wrapper-level collective-call count reaches each listed value.
+  int trigger_rank = 0;
+  std::vector<std::uint64_t> trigger_at_collectives;
+
+  /// End the job right after the first completed checkpoint (the chained
+  /// resource-allocation pattern).
+  bool stop_after_checkpoint = false;
+
+  /// Record per-rank event traces for the drain-graph oracle (tests).
+  bool record_trace = false;
+};
+
+struct RunReport {
+  simnet::SimTime makespan = 0;
+  std::uint64_t wrapper_collective_calls = 0;
+  std::uint64_t wrapper_p2p_calls = 0;
+  std::uint64_t checkpoints = 0;
+  /// Per completed cycle: request-observed → all images written (virtual).
+  std::vector<simnet::SimTime> ckpt_durations;
+  /// restart(): virtual time until every rank finished replay.
+  simnet::SimTime restart_duration = 0;
+  bool stopped_after_checkpoint = false;
+  std::uint64_t ckpt_protocol_messages = 0;
+  std::uint64_t collective_messages = 0;
+  std::uint64_t image_bytes_total = 0;
+
+  [[nodiscard]] double seconds() const noexcept {
+    return simnet::to_seconds(makespan);
+  }
+};
+
+/// Per-rank engine context shared between Engine and Api.
+struct EngineRankCtx {
+  std::unique_ptr<core::DrainManager> manager;
+  ckpt::Registry registry;
+  core::TraceLog trace;
+  std::optional<ckpt::CkptImage> restore_image;
+  simnet::SimTime replay_done_clock = 0;
+  std::uint64_t image_bytes_written = 0;
+};
+
+using WrappedApp = std::function<void(Api&)>;
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Run the application from the beginning.
+  RunReport run(const WrappedApp& app);
+
+  /// Run the application resuming from the images in config.image_dir.
+  RunReport restart(const WrappedApp& app);
+
+  /// Thread-safe external checkpoint request (in addition to configured
+  /// triggers). Idempotent while a cycle is in flight. Posts every rank's
+  /// SEQ snapshot out-of-band (the DMTCP checkpoint-thread analogue), so
+  /// ranks blocked inside pre-request collectives still contribute their
+  /// clocks to Algorithm 1.
+  void request_checkpoint();
+
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+  [[nodiscard]] umpi::Runtime& runtime() noexcept { return runtime_; }
+  [[nodiscard]] ckpt::Coordinator& coordinator() noexcept { return coordinator_; }
+  [[nodiscard]] EngineRankCtx& rank_ctx(int world_rank);
+
+  /// Per-rank event traces (when config.record_trace), for the oracle.
+  [[nodiscard]] std::vector<std::vector<core::TraceEvent>> traces() const;
+
+ private:
+  RunReport execute(const WrappedApp& app, bool restoring);
+  std::unique_ptr<core::DrainManager> make_manager(umpi::Rank& rank,
+                                                   core::TraceLog* trace);
+
+  EngineConfig config_;
+  umpi::Runtime runtime_;
+  ckpt::Coordinator coordinator_;
+  std::vector<std::unique_ptr<EngineRankCtx>> ctxs_;
+};
+
+}  // namespace manatee::split

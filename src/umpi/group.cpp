@@ -1,0 +1,114 @@
+#include "umpi/group.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+
+namespace manatee::umpi {
+
+Group::Group(std::vector<int> members) : members_(std::move(members)) {
+  std::unordered_set<int> seen;
+  for (int w : members_) {
+    MANATEE_REQUIRE(w >= 0, "group member world ranks must be non-negative");
+    MANATEE_REQUIRE(seen.insert(w).second, "group members must be unique");
+  }
+}
+
+Group Group::world(int world_size) {
+  std::vector<int> m(static_cast<std::size_t>(world_size));
+  for (int i = 0; i < world_size; ++i) m[static_cast<std::size_t>(i)] = i;
+  return Group(std::move(m));
+}
+
+int Group::world_rank(int r) const {
+  MANATEE_REQUIRE(r >= 0 && r < size(), "group rank out of range");
+  return members_[static_cast<std::size_t>(r)];
+}
+
+int Group::rank_of_world(int w) const noexcept {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i] == w) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<int> Group::translate_ranks(std::span<const int> ranks,
+                                        const Group& other) const {
+  std::vector<int> out;
+  out.reserve(ranks.size());
+  for (int r : ranks) {
+    out.push_back(other.rank_of_world(world_rank(r)));
+  }
+  return out;
+}
+
+Group Group::incl(std::span<const int> ranks) const {
+  std::vector<int> m;
+  m.reserve(ranks.size());
+  for (int r : ranks) m.push_back(world_rank(r));
+  return Group(std::move(m));
+}
+
+Group Group::excl(std::span<const int> ranks) const {
+  std::unordered_set<int> drop;
+  for (int r : ranks) {
+    MANATEE_REQUIRE(r >= 0 && r < size(), "excl rank out of range");
+    drop.insert(r);
+  }
+  std::vector<int> m;
+  for (int i = 0; i < size(); ++i) {
+    if (!drop.contains(i)) m.push_back(members_[static_cast<std::size_t>(i)]);
+  }
+  return Group(std::move(m));
+}
+
+Group Group::set_union(const Group& other) const {
+  std::vector<int> m = members_;
+  for (int w : other.members_) {
+    if (!contains_world(w)) m.push_back(w);
+  }
+  return Group(std::move(m));
+}
+
+Group Group::set_intersection(const Group& other) const {
+  std::vector<int> m;
+  for (int w : members_) {
+    if (other.contains_world(w)) m.push_back(w);
+  }
+  return Group(std::move(m));
+}
+
+Group Group::set_difference(const Group& other) const {
+  std::vector<int> m;
+  for (int w : members_) {
+    if (!other.contains_world(w)) m.push_back(w);
+  }
+  return Group(std::move(m));
+}
+
+CompareResult Group::compare(const Group& other) const {
+  if (members_ == other.members_) return CompareResult::kIdent;
+  if (members_.size() != other.members_.size()) return CompareResult::kUnequal;
+  auto a = members_;
+  auto b = other.members_;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b ? CompareResult::kSimilar : CompareResult::kUnequal;
+}
+
+std::uint64_t Group::member_set_hash() const noexcept {
+  // Sort, then chain-hash: order-independence comes from the sort, and the
+  // chained mix64 keeps distinct sets from colliding the way a plain XOR or
+  // sum of per-rank hashes can.
+  auto sorted = members_;
+  std::sort(sorted.begin(), sorted.end());
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (int w : sorted) {
+    h = hash_combine(h, static_cast<std::uint64_t>(w) + 1);
+  }
+  return h;
+}
+
+}  // namespace manatee::umpi

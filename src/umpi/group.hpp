@@ -1,0 +1,70 @@
+// group.hpp — MPI groups: ordered sets of world ranks.
+//
+// A group maps "rank within the group" (position) to "rank within
+// MPI_COMM_WORLD" (value). Group operations mirror MPI_Group_incl/excl/
+// union/intersection/difference/translate_ranks/compare.
+//
+// member_set_hash() is the order-independent identity used by the paper's
+// global group id (ggid, §4.1): two groups that are MPI_SIMILAR — same
+// member set, any order — hash identically.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "umpi/types.hpp"
+
+namespace manatee::umpi {
+
+class Group {
+ public:
+  Group() = default;
+
+  /// `members[i]` is the world rank of group rank i. Must be unique, >= 0.
+  explicit Group(std::vector<int> members);
+
+  /// The trivial group {0, 1, ..., n-1} (the world group).
+  static Group world(int world_size);
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(members_.size()); }
+  [[nodiscard]] bool empty() const noexcept { return members_.empty(); }
+
+  /// World rank of group rank `r`.
+  [[nodiscard]] int world_rank(int r) const;
+
+  /// Group rank of world rank `w`, or -1 if not a member
+  /// (MPI_Group_rank / MPI_UNDEFINED).
+  [[nodiscard]] int rank_of_world(int w) const noexcept;
+
+  [[nodiscard]] bool contains_world(int w) const noexcept {
+    return rank_of_world(w) >= 0;
+  }
+
+  [[nodiscard]] const std::vector<int>& members() const noexcept { return members_; }
+
+  /// Translate ranks in this group to ranks in `other`
+  /// (MPI_Group_translate_ranks): result[i] = other rank of this->ranks[i],
+  /// or -1 where not a member of `other`.
+  [[nodiscard]] std::vector<int> translate_ranks(std::span<const int> ranks,
+                                                 const Group& other) const;
+
+  [[nodiscard]] Group incl(std::span<const int> ranks) const;
+  [[nodiscard]] Group excl(std::span<const int> ranks) const;
+  [[nodiscard]] Group set_union(const Group& other) const;
+  [[nodiscard]] Group set_intersection(const Group& other) const;
+  [[nodiscard]] Group set_difference(const Group& other) const;
+
+  [[nodiscard]] CompareResult compare(const Group& other) const;
+
+  /// Order-independent 64-bit hash of the member set; the basis of the
+  /// paper's ggid. MPI_SIMILAR groups collide by construction.
+  [[nodiscard]] std::uint64_t member_set_hash() const noexcept;
+
+  friend bool operator==(const Group&, const Group&) = default;
+
+ private:
+  std::vector<int> members_;
+};
+
+}  // namespace manatee::umpi

@@ -1,0 +1,143 @@
+// nbc.hpp — non-blocking collective operations as resumable state machines.
+//
+// Every collective algorithm (binomial broadcast, recursive-doubling
+// allreduce, ring allgather, pairwise alltoall, dissemination barrier, ...)
+// is implemented once, as an NbcOp whose step() makes as much progress as
+// currently-arrived messages allow. Blocking collectives drive the same op
+// to completion; non-blocking collectives park it in the request table and
+// progress it from Test/Wait — the schedule-based design used by libNBC and
+// by MPI implementations without asynchronous progress threads.
+//
+// This single-implementation design matters for the paper's reproduction:
+// the CC algorithm's non-blocking drain (§4.3.2, "keep calling MPI_Test
+// until all communication has completed") exercises exactly this progress
+// path.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "simnet/mailbox.hpp"
+#include "simnet/virtual_clock.hpp"
+#include "umpi/communicator.hpp"
+#include "umpi/op.hpp"
+#include "umpi/types.hpp"
+
+namespace manatee::umpi {
+
+class Rank;
+
+/// One in-flight collective operation on `comm` with collective-sequence
+/// tag `tag`.
+class NbcOp {
+ public:
+  NbcOp(CommPtr comm, int tag);
+  virtual ~NbcOp();
+
+  NbcOp(const NbcOp&) = delete;
+  NbcOp& operator=(const NbcOp&) = delete;
+
+  /// Attempt progress; returns true once the operation is locally complete.
+  /// Idempotent after completion.
+  bool try_progress(Rank& rank);
+
+  [[nodiscard]] bool complete() const noexcept { return complete_; }
+  [[nodiscard]] const CommPtr& comm() const noexcept { return comm_; }
+  [[nodiscard]] int tag() const noexcept { return tag_; }
+
+ protected:
+  /// Algorithm body: make progress, return true when complete.
+  virtual bool step(Rank& rank) = 0;
+
+  /// A receive slot. Stable address required after posting; subclasses keep
+  /// slots in a std::deque or a pre-sized vector. A slot destroyed while
+  /// its receive is still posted withdraws it from the store itself — this
+  /// must happen in the *slot's* destructor (derived-class members), not
+  /// the NbcOp base destructor, which runs only after the slots are gone.
+  struct Slot {
+    simnet::RecvResult result;
+    std::vector<std::byte> buf;  ///< internal staging buffer (optional)
+    std::byte* dest = nullptr;   ///< where the payload lands
+    std::size_t capacity = 0;
+    bool posted = false;
+    bool consumed = false;  ///< clock already merged for this completion
+    simnet::MessageStore* store = nullptr;  ///< set when posted
+
+    Slot() = default;
+    Slot(const Slot&) = delete;
+    Slot& operator=(const Slot&) = delete;
+    ~Slot() {
+      if (store != nullptr && posted && !result.is_done()) {
+        store->cancel_recv(&result);
+      }
+    }
+  };
+
+  /// Send `bytes` to communicator rank `dst` on the collective channel,
+  /// charged against the operation's own progress clock (see op_clock_).
+  void send_bytes(Rank& rank, int dst, std::span<const std::byte> bytes);
+
+  /// Charge local computation (reduction arithmetic) to the progress clock.
+  void charge_compute(simnet::SimTime cost) { op_clock_.advance(cost); }
+
+  /// Ensure a receive into the slot's internal buffer of `max_bytes` is
+  /// posted; returns true when the message has arrived (and merges the
+  /// receiver clock exactly once).
+  bool recv_ready(Rank& rank, Slot& slot, int src, std::size_t max_bytes);
+
+  /// Same, but the payload lands directly in caller-owned memory.
+  bool recv_ready_into(Rank& rank, Slot& slot, int src, std::span<std::byte> dest);
+
+  CommPtr comm_;
+  int tag_;
+  bool complete_ = false;
+
+  /// The operation's own causal clock. Once initiated, a collective
+  /// progresses "in background, completely independent" of when the
+  /// process happens to poll (MPI 4.0 §6.36 / paper §3); charging sends
+  /// and receive completions against this clock instead of the rank's
+  /// clock makes completion times causal and deterministic. The rank's
+  /// clock merges the op clock when it observes completion.
+  simnet::VirtualClock op_clock_;
+  bool op_clock_started_ = false;
+
+ private:
+  void post(Rank& rank, Slot& slot, int src);
+};
+
+// ---- factories ----------------------------------------------------------
+// Each factory captures the user buffers by pointer; the buffers must stay
+// valid until the op completes (standard MPI non-blocking contract).
+
+std::unique_ptr<NbcOp> make_ibarrier(CommPtr comm, int tag);
+std::unique_ptr<NbcOp> make_ibcast(CommPtr comm, int tag, std::span<std::byte> data,
+                                   int root);
+std::unique_ptr<NbcOp> make_ireduce(CommPtr comm, int tag,
+                                    std::span<const std::byte> send,
+                                    std::span<std::byte> recv, Datatype dt,
+                                    ReduceOp op, int root);
+std::unique_ptr<NbcOp> make_iallreduce(CommPtr comm, int tag,
+                                       std::span<const std::byte> send,
+                                       std::span<std::byte> recv, Datatype dt,
+                                       ReduceOp op);
+std::unique_ptr<NbcOp> make_igather(CommPtr comm, int tag,
+                                    std::span<const std::byte> send,
+                                    std::span<std::byte> recv, int root);
+std::unique_ptr<NbcOp> make_iscatter(CommPtr comm, int tag,
+                                     std::span<const std::byte> send,
+                                     std::span<std::byte> recv, int root);
+std::unique_ptr<NbcOp> make_iallgather(CommPtr comm, int tag,
+                                       std::span<const std::byte> send,
+                                       std::span<std::byte> recv);
+std::unique_ptr<NbcOp> make_ialltoall(CommPtr comm, int tag,
+                                      std::span<const std::byte> send,
+                                      std::span<std::byte> recv);
+std::unique_ptr<NbcOp> make_iscan(CommPtr comm, int tag,
+                                  std::span<const std::byte> send,
+                                  std::span<std::byte> recv, Datatype dt,
+                                  ReduceOp op);
+
+}  // namespace manatee::umpi

@@ -1,0 +1,76 @@
+#include "umpi/op.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace manatee::umpi {
+namespace {
+
+template <typename T>
+void apply_typed(ReduceOp op, std::span<std::byte> acc,
+                 std::span<const std::byte> in, std::size_t count) {
+  MANATEE_REQUIRE(acc.size() >= count * sizeof(T) && in.size() >= count * sizeof(T),
+                  "reduce buffer too small for count");
+  auto* a = reinterpret_cast<T*>(acc.data());
+  const auto* b = reinterpret_cast<const T*>(in.data());
+  switch (op) {
+    case ReduceOp::kSum:
+      for (std::size_t i = 0; i < count; ++i) a[i] = static_cast<T>(a[i] + b[i]);
+      return;
+    case ReduceOp::kProd:
+      for (std::size_t i = 0; i < count; ++i) a[i] = static_cast<T>(a[i] * b[i]);
+      return;
+    case ReduceOp::kMax:
+      for (std::size_t i = 0; i < count; ++i) a[i] = std::max(a[i], b[i]);
+      return;
+    case ReduceOp::kMin:
+      for (std::size_t i = 0; i < count; ++i) a[i] = std::min(a[i], b[i]);
+      return;
+    case ReduceOp::kLand:
+      for (std::size_t i = 0; i < count; ++i) {
+        a[i] = static_cast<T>((a[i] != T{}) && (b[i] != T{}) ? 1 : 0);
+      }
+      return;
+    case ReduceOp::kLor:
+      for (std::size_t i = 0; i < count; ++i) {
+        a[i] = static_cast<T>((a[i] != T{}) || (b[i] != T{}) ? 1 : 0);
+      }
+      return;
+    case ReduceOp::kBand:
+    case ReduceOp::kBor:
+      if constexpr (std::is_integral_v<T>) {
+        if (op == ReduceOp::kBand) {
+          for (std::size_t i = 0; i < count; ++i) a[i] = static_cast<T>(a[i] & b[i]);
+        } else {
+          for (std::size_t i = 0; i < count; ++i) a[i] = static_cast<T>(a[i] | b[i]);
+        }
+        return;
+      } else {
+        throw UsageError("bitwise reduce op on floating-point datatype");
+      }
+  }
+  throw UsageError("unknown reduce op");
+}
+
+}  // namespace
+
+bool op_supports_float(ReduceOp op) noexcept {
+  return op != ReduceOp::kBand && op != ReduceOp::kBor;
+}
+
+void apply_reduce(ReduceOp op, Datatype dt, std::span<std::byte> acc,
+                  std::span<const std::byte> in, std::size_t count) {
+  switch (dt) {
+    case Datatype::kByte: return apply_typed<std::uint8_t>(op, acc, in, count);
+    case Datatype::kInt32: return apply_typed<std::int32_t>(op, acc, in, count);
+    case Datatype::kInt64: return apply_typed<std::int64_t>(op, acc, in, count);
+    case Datatype::kUInt64: return apply_typed<std::uint64_t>(op, acc, in, count);
+    case Datatype::kFloat: return apply_typed<float>(op, acc, in, count);
+    case Datatype::kDouble: return apply_typed<double>(op, acc, in, count);
+  }
+  throw UsageError("unknown datatype in reduce");
+}
+
+}  // namespace manatee::umpi

@@ -1,0 +1,20 @@
+// op.hpp — elementwise reduction kernels for (All)Reduce/Scan.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "umpi/types.hpp"
+
+namespace manatee::umpi {
+
+/// acc[i] = acc[i] OP in[i], elementwise over `count` elements of type `dt`.
+/// Buffers are raw bytes of length count * datatype_size(dt).
+/// Throws UsageError for bitwise ops on floating-point types.
+void apply_reduce(ReduceOp op, Datatype dt, std::span<std::byte> acc,
+                  std::span<const std::byte> in, std::size_t count);
+
+/// True for operators defined on floating-point datatypes.
+[[nodiscard]] bool op_supports_float(ReduceOp op) noexcept;
+
+}  // namespace manatee::umpi

@@ -1,0 +1,605 @@
+#include "umpi/rank.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "umpi/runtime.hpp"
+
+namespace manatee::umpi {
+
+namespace {
+
+int checked_tag(int tag) {
+  MANATEE_REQUIRE(tag >= 0, "user message tags must be non-negative");
+  return tag;
+}
+
+void check_comm(const CommPtr& comm) {
+  MANATEE_REQUIRE(comm != nullptr, "operation on a null communicator");
+}
+
+}  // namespace
+
+Rank::Rank(Runtime& runtime, int world_rank)
+    : runtime_(runtime), world_rank_(world_rank) {
+  auto world = std::make_shared<Comm>();
+  world->base_context = kWorldBaseContext;
+  world->group = Group::world(runtime.world_size());
+  world->rank = world_rank;
+  world_comm_ = std::move(world);
+}
+
+Rank::~Rank() = default;
+
+int Rank::world_size() const noexcept { return runtime_.world_size(); }
+
+simnet::MessageStore& Rank::store() { return runtime_.fabric().store(world_rank_); }
+
+int Rank::comm_dst_world(const CommPtr& comm, int dst) const {
+  MANATEE_REQUIRE(dst >= 0 && dst < comm->size(), "peer rank out of range");
+  return comm->world_of(dst);
+}
+
+void Rank::fill_status(Status& out, const simnet::RecvResult& r) {
+  out.source = r.src;
+  out.tag = r.tag;
+  out.count_bytes = r.bytes;
+}
+
+// ---- point-to-point ---------------------------------------------------------
+
+void Rank::send(const CommPtr& comm, std::span<const std::byte> data, int dst,
+                int tag) {
+  check_comm(comm);
+  ++counters_.p2p_calls;
+  runtime_.fabric().send(world_rank_, comm_dst_world(comm, dst),
+                         comm->context(Channel::kUser), comm->rank,
+                         checked_tag(tag), data, clock_,
+                         simnet::TrafficClass::kUserP2P);
+}
+
+Request Rank::isend(const CommPtr& comm, std::span<const std::byte> data, int dst,
+                    int tag) {
+  // Eager-buffered send: the payload is copied into the fabric, so the
+  // operation is complete as soon as it is issued (a valid MPI
+  // implementation choice; the request exists for interface fidelity).
+  send(comm, data, dst, tag);
+  return new_request(RequestState{RequestState::Kind::kSend, nullptr, nullptr});
+}
+
+Status Rank::recv(const CommPtr& comm, std::span<std::byte> data, int src,
+                  int tag) {
+  check_comm(comm);
+  ++counters_.p2p_calls;
+  simnet::RecvResult result;
+  const simnet::MatchPattern pattern{comm->context(Channel::kUser), src, tag};
+  store().post_recv(pattern, data.data(), data.size(), &result);
+  drive([&] { return result.is_done(); });
+  clock_.merge(result.arrival_ns);
+  clock_.advance(runtime_.cost().recv_overhead());
+  if (result.truncated) throw UsageError("recv buffer too small (truncation)");
+  Status status;
+  fill_status(status, result);
+  return status;
+}
+
+Request Rank::irecv(const CommPtr& comm, std::span<std::byte> data, int src,
+                    int tag) {
+  check_comm(comm);
+  ++counters_.p2p_calls;
+  RequestState state;
+  state.kind = RequestState::Kind::kRecv;
+  state.recv = std::make_unique<simnet::RecvResult>();
+  const simnet::MatchPattern pattern{comm->context(Channel::kUser), src, tag};
+  store().post_recv(pattern, data.data(), data.size(), state.recv.get());
+  return new_request(std::move(state));
+}
+
+std::optional<simnet::ProbeInfo> Rank::iprobe(const CommPtr& comm, int src,
+                                              int tag) {
+  check_comm(comm);
+  return store().iprobe(
+      simnet::MatchPattern{comm->context(Channel::kUser), src, tag});
+}
+
+simnet::ProbeInfo Rank::probe(const CommPtr& comm, int src, int tag) {
+  check_comm(comm);
+  std::optional<simnet::ProbeInfo> found;
+  drive([&] {
+    found = iprobe(comm, src, tag);
+    return found.has_value();
+  });
+  return *found;
+}
+
+Status Rank::sendrecv(const CommPtr& comm, std::span<const std::byte> send_data,
+                      int dst, int send_tag, std::span<std::byte> recv_data,
+                      int src, int recv_tag) {
+  send(comm, send_data, dst, send_tag);
+  return recv(comm, recv_data, src, recv_tag);
+}
+
+// ---- requests ---------------------------------------------------------------
+
+Request Rank::new_request(RequestState state) {
+  const std::uint64_t id = next_request_id_++;
+  requests_.emplace(id, std::move(state));
+  return Request{id};
+}
+
+Rank::RequestState* Rank::find(const Request& request) {
+  const auto it = requests_.find(request.id);
+  return it == requests_.end() ? nullptr : &it->second;
+}
+
+bool Rank::is_active(const Request& request) const {
+  return !request.is_null() && requests_.contains(request.id);
+}
+
+void Rank::cancel(Request& request) {
+  if (request.is_null()) return;
+  RequestState* state = find(request);
+  if (state != nullptr) {
+    if (state->kind == RequestState::Kind::kRecv && !state->recv->is_done()) {
+      store().cancel_recv(state->recv.get());
+    }
+    requests_.erase(request.id);
+  }
+  request = kNullRequest;
+}
+
+bool Rank::request_done(const Request& request) {
+  if (request.is_null()) return true;
+  RequestState* state = find(request);
+  if (state == nullptr) return true;  // already consumed by test/wait
+  switch (state->kind) {
+    case RequestState::Kind::kSend: return true;
+    case RequestState::Kind::kRecv: return state->recv->is_done();
+    case RequestState::Kind::kNbc: return state->nbc->try_progress(*this);
+  }
+  return false;
+}
+
+bool Rank::complete_if_done(Request& request, RequestState& state, Status* status) {
+  switch (state.kind) {
+    case RequestState::Kind::kSend: {
+      if (status != nullptr) *status = Status{};
+      break;
+    }
+    case RequestState::Kind::kRecv: {
+      if (!state.recv->is_done()) return false;
+      clock_.merge(state.recv->arrival_ns);
+      clock_.advance(runtime_.cost().recv_overhead());
+      if (state.recv->truncated) {
+        throw UsageError("irecv buffer too small (truncation)");
+      }
+      if (status != nullptr) fill_status(*status, *state.recv);
+      break;
+    }
+    case RequestState::Kind::kNbc: {
+      if (!state.nbc->try_progress(*this)) return false;
+      if (status != nullptr) *status = Status{};
+      break;
+    }
+  }
+  requests_.erase(request.id);
+  request = kNullRequest;  // mirrors MPI setting the handle to MPI_REQUEST_NULL
+  return true;
+}
+
+bool Rank::test(Request& request, Status* status) {
+  if (request.is_null()) return true;
+  RequestState* state = find(request);
+  MANATEE_REQUIRE(state != nullptr, "test on an unknown request");
+  return complete_if_done(request, *state, status);
+}
+
+Status Rank::wait(Request& request) {
+  Status status;
+  if (request.is_null()) return status;
+  drive([&] { return test(request, &status); });
+  return status;
+}
+
+void Rank::waitall(std::span<Request> requests) {
+  drive([&] {
+    bool all_done = true;
+    for (Request& r : requests) {
+      if (!test(r)) all_done = false;
+    }
+    return all_done;
+  });
+}
+
+int Rank::waitany(std::span<Request> requests) {
+  int index = -1;
+  drive([&] {
+    bool any_live = false;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (requests[i].is_null()) continue;
+      any_live = true;
+      if (test(requests[i])) {
+        index = static_cast<int>(i);
+        return true;
+      }
+    }
+    return !any_live;  // all null: MPI returns MPI_UNDEFINED
+  });
+  return index;
+}
+
+void Rank::progress_outstanding() {
+  for (auto& [id, state] : requests_) {
+    if (state.kind == RequestState::Kind::kNbc && !state.nbc->complete()) {
+      state.nbc->try_progress(*this);
+    }
+  }
+}
+
+void Rank::drive(const std::function<bool()>& done) {
+  while (true) {
+    const auto token = store().token();
+    progress_outstanding();
+    if (done()) return;
+    if (runtime_.stop_requested()) throw JobStopping{};
+    if (runtime_.aborted()) {
+      throw RuntimeFault("peer rank failed; aborting wait on rank " +
+                         std::to_string(world_rank_));
+    }
+    store().wait_changed(token);
+  }
+}
+
+// ---- blocking collectives ------------------------------------------------------
+
+namespace {
+// Drives a freshly created op to completion (blocking collective façade).
+}  // namespace
+
+void Rank::barrier(const CommPtr& comm) {
+  check_comm(comm);
+  ++counters_.collective_calls;
+  auto op = make_ibarrier(comm, static_cast<int>(comm->coll_seq++));
+  drive([&] { return op->try_progress(*this); });
+}
+
+void Rank::bcast(const CommPtr& comm, std::span<std::byte> data, int root) {
+  check_comm(comm);
+  ++counters_.collective_calls;
+  auto op = make_ibcast(comm, static_cast<int>(comm->coll_seq++), data, root);
+  drive([&] { return op->try_progress(*this); });
+}
+
+void Rank::reduce(const CommPtr& comm, std::span<const std::byte> send,
+                  std::span<std::byte> recv, Datatype dt, ReduceOp op, int root) {
+  check_comm(comm);
+  ++counters_.collective_calls;
+  auto nbc =
+      make_ireduce(comm, static_cast<int>(comm->coll_seq++), send, recv, dt, op, root);
+  drive([&] { return nbc->try_progress(*this); });
+}
+
+void Rank::allreduce(const CommPtr& comm, std::span<const std::byte> send,
+                     std::span<std::byte> recv, Datatype dt, ReduceOp op) {
+  check_comm(comm);
+  ++counters_.collective_calls;
+  auto nbc =
+      make_iallreduce(comm, static_cast<int>(comm->coll_seq++), send, recv, dt, op);
+  drive([&] { return nbc->try_progress(*this); });
+}
+
+void Rank::gather(const CommPtr& comm, std::span<const std::byte> send,
+                  std::span<std::byte> recv, int root) {
+  check_comm(comm);
+  ++counters_.collective_calls;
+  auto nbc = make_igather(comm, static_cast<int>(comm->coll_seq++), send, recv, root);
+  drive([&] { return nbc->try_progress(*this); });
+}
+
+void Rank::allgather(const CommPtr& comm, std::span<const std::byte> send,
+                     std::span<std::byte> recv) {
+  check_comm(comm);
+  ++counters_.collective_calls;
+  auto nbc = make_iallgather(comm, static_cast<int>(comm->coll_seq++), send, recv);
+  drive([&] { return nbc->try_progress(*this); });
+}
+
+void Rank::scatter(const CommPtr& comm, std::span<const std::byte> send,
+                   std::span<std::byte> recv, int root) {
+  check_comm(comm);
+  ++counters_.collective_calls;
+  auto nbc = make_iscatter(comm, static_cast<int>(comm->coll_seq++), send, recv, root);
+  drive([&] { return nbc->try_progress(*this); });
+}
+
+void Rank::alltoall(const CommPtr& comm, std::span<const std::byte> send,
+                    std::span<std::byte> recv) {
+  check_comm(comm);
+  ++counters_.collective_calls;
+  auto nbc = make_ialltoall(comm, static_cast<int>(comm->coll_seq++), send, recv);
+  drive([&] { return nbc->try_progress(*this); });
+}
+
+void Rank::scan(const CommPtr& comm, std::span<const std::byte> send,
+                std::span<std::byte> recv, Datatype dt, ReduceOp op) {
+  check_comm(comm);
+  ++counters_.collective_calls;
+  auto nbc = make_iscan(comm, static_cast<int>(comm->coll_seq++), send, recv, dt, op);
+  drive([&] { return nbc->try_progress(*this); });
+}
+
+void Rank::reduce_scatter_block(const CommPtr& comm,
+                                std::span<const std::byte> send,
+                                std::span<std::byte> recv, Datatype dt,
+                                ReduceOp op) {
+  // Composite implementation (reduce to rank 0, then scatter), matching the
+  // simplest correct choice in real MPI libraries.
+  check_comm(comm);
+  ++counters_.collective_calls;
+  const auto p = static_cast<std::size_t>(comm->size());
+  MANATEE_REQUIRE(send.size() == recv.size() * p,
+                  "reduce_scatter_block: send must be comm_size * recv");
+  std::vector<std::byte> full(send.size());
+  {
+    auto nbc = make_ireduce(comm, static_cast<int>(comm->coll_seq++), send, full, dt,
+                            op, 0);
+    drive([&] { return nbc->try_progress(*this); });
+  }
+  {
+    auto nbc =
+        make_iscatter(comm, static_cast<int>(comm->coll_seq++), full, recv, 0);
+    drive([&] { return nbc->try_progress(*this); });
+  }
+}
+
+// ---- non-blocking collectives -----------------------------------------------------
+
+namespace {
+}  // namespace
+
+Request Rank::ibarrier(const CommPtr& comm) {
+  check_comm(comm);
+  ++counters_.collective_calls;
+  RequestState state;
+  state.kind = RequestState::Kind::kNbc;
+  state.nbc = make_ibarrier(comm, static_cast<int>(comm->coll_seq++));
+  state.nbc->try_progress(*this);  // initiate: issue first-round traffic now
+  return new_request(std::move(state));
+}
+
+Request Rank::ibcast(const CommPtr& comm, std::span<std::byte> data, int root) {
+  check_comm(comm);
+  ++counters_.collective_calls;
+  RequestState state;
+  state.kind = RequestState::Kind::kNbc;
+  state.nbc = make_ibcast(comm, static_cast<int>(comm->coll_seq++), data, root);
+  state.nbc->try_progress(*this);
+  return new_request(std::move(state));
+}
+
+Request Rank::ireduce(const CommPtr& comm, std::span<const std::byte> send,
+                      std::span<std::byte> recv, Datatype dt, ReduceOp op,
+                      int root) {
+  check_comm(comm);
+  ++counters_.collective_calls;
+  RequestState state;
+  state.kind = RequestState::Kind::kNbc;
+  state.nbc =
+      make_ireduce(comm, static_cast<int>(comm->coll_seq++), send, recv, dt, op, root);
+  state.nbc->try_progress(*this);
+  return new_request(std::move(state));
+}
+
+Request Rank::iallreduce(const CommPtr& comm, std::span<const std::byte> send,
+                         std::span<std::byte> recv, Datatype dt, ReduceOp op) {
+  check_comm(comm);
+  ++counters_.collective_calls;
+  RequestState state;
+  state.kind = RequestState::Kind::kNbc;
+  state.nbc =
+      make_iallreduce(comm, static_cast<int>(comm->coll_seq++), send, recv, dt, op);
+  state.nbc->try_progress(*this);
+  return new_request(std::move(state));
+}
+
+Request Rank::igather(const CommPtr& comm, std::span<const std::byte> send,
+                      std::span<std::byte> recv, int root) {
+  check_comm(comm);
+  ++counters_.collective_calls;
+  RequestState state;
+  state.kind = RequestState::Kind::kNbc;
+  state.nbc = make_igather(comm, static_cast<int>(comm->coll_seq++), send, recv, root);
+  state.nbc->try_progress(*this);
+  return new_request(std::move(state));
+}
+
+Request Rank::iallgather(const CommPtr& comm, std::span<const std::byte> send,
+                         std::span<std::byte> recv) {
+  check_comm(comm);
+  ++counters_.collective_calls;
+  RequestState state;
+  state.kind = RequestState::Kind::kNbc;
+  state.nbc = make_iallgather(comm, static_cast<int>(comm->coll_seq++), send, recv);
+  state.nbc->try_progress(*this);
+  return new_request(std::move(state));
+}
+
+Request Rank::ialltoall(const CommPtr& comm, std::span<const std::byte> send,
+                        std::span<std::byte> recv) {
+  check_comm(comm);
+  ++counters_.collective_calls;
+  RequestState state;
+  state.kind = RequestState::Kind::kNbc;
+  state.nbc = make_ialltoall(comm, static_cast<int>(comm->coll_seq++), send, recv);
+  state.nbc->try_progress(*this);
+  return new_request(std::move(state));
+}
+
+Request Rank::iscan(const CommPtr& comm, std::span<const std::byte> send,
+                    std::span<std::byte> recv, Datatype dt, ReduceOp op) {
+  check_comm(comm);
+  ++counters_.collective_calls;
+  RequestState state;
+  state.kind = RequestState::Kind::kNbc;
+  state.nbc = make_iscan(comm, static_cast<int>(comm->coll_seq++), send, recv, dt, op);
+  state.nbc->try_progress(*this);
+  return new_request(std::move(state));
+}
+
+// ---- communicator management -------------------------------------------------------
+
+std::uint64_t Rank::agree_context_block(const CommPtr& comm, int count) {
+  std::uint64_t base = 0;
+  if (comm->rank == 0 && count > 0) base = runtime_.allocate_context_block(count);
+  auto bytes = std::as_writable_bytes(std::span(&base, 1));
+  auto op = make_ibcast(comm, static_cast<int>(comm->coll_seq++), bytes, 0);
+  drive([&] { return op->try_progress(*this); });
+  return base;
+}
+
+CommPtr Rank::comm_dup(const CommPtr& comm) {
+  check_comm(comm);
+  ++counters_.collective_calls;
+  const std::uint64_t base = agree_context_block(comm, 1);
+  auto dup = std::make_shared<Comm>();
+  dup->base_context = base;
+  dup->group = comm->group;
+  dup->rank = comm->rank;
+  return dup;
+}
+
+CommPtr Rank::comm_split(const CommPtr& comm, int color, int key) {
+  check_comm(comm);
+  ++counters_.collective_calls;
+  const int p = comm->size();
+
+  struct ColorKey {
+    int color;
+    int key;
+    int world;
+  };
+  static_assert(sizeof(ColorKey) == 12);
+  ColorKey mine{color, key, world_rank_};
+  std::vector<ColorKey> all(static_cast<std::size_t>(p));
+  {
+    auto op = make_iallgather(comm, static_cast<int>(comm->coll_seq++),
+                              std::as_bytes(std::span(&mine, 1)),
+                              std::as_writable_bytes(std::span(all)));
+    drive([&] { return op->try_progress(*this); });
+  }
+
+  // Deterministic context assignment: one id per distinct color, in sorted
+  // color order, allocated by parent rank 0 and broadcast.
+  std::vector<int> colors;
+  for (const auto& ck : all) {
+    if (ck.color >= 0) colors.push_back(ck.color);
+  }
+  std::sort(colors.begin(), colors.end());
+  colors.erase(std::unique(colors.begin(), colors.end()), colors.end());
+
+  const std::uint64_t base =
+      agree_context_block(comm, static_cast<int>(colors.size()));
+  if (color < 0) return nullptr;  // MPI_UNDEFINED: this rank opts out
+
+  struct Member {
+    int key;
+    int parent_rank;
+    int world;
+  };
+  std::vector<Member> members;
+  for (int i = 0; i < p; ++i) {
+    const auto& ck = all[static_cast<std::size_t>(i)];
+    if (ck.color == color) members.push_back(Member{ck.key, i, ck.world});
+  }
+  std::sort(members.begin(), members.end(), [](const Member& a, const Member& b) {
+    return std::tie(a.key, a.parent_rank) < std::tie(b.key, b.parent_rank);
+  });
+
+  std::vector<int> world_ranks;
+  int my_new_rank = -1;
+  world_ranks.reserve(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    world_ranks.push_back(members[i].world);
+    if (members[i].world == world_rank_) my_new_rank = static_cast<int>(i);
+  }
+  MANATEE_CHECK(my_new_rank >= 0, "comm_split: caller missing from own color");
+
+  const auto color_index = static_cast<std::uint64_t>(
+      std::lower_bound(colors.begin(), colors.end(), color) - colors.begin());
+  auto result = std::make_shared<Comm>();
+  result->base_context = base + color_index;
+  result->group = Group(std::move(world_ranks));
+  result->rank = my_new_rank;
+  return result;
+}
+
+CommPtr Rank::comm_create(const CommPtr& comm, const Group& group) {
+  check_comm(comm);
+  ++counters_.collective_calls;
+  for (int w : group.members()) {
+    MANATEE_REQUIRE(comm->group.contains_world(w),
+                    "comm_create group member not in parent communicator");
+  }
+  const std::uint64_t base = agree_context_block(comm, 1);
+  const int my_rank = group.rank_of_world(world_rank_);
+  if (my_rank < 0) return nullptr;
+  auto result = std::make_shared<Comm>();
+  result->base_context = base;
+  result->group = group;
+  result->rank = my_rank;
+  return result;
+}
+
+// ---- checkpoint-protocol channel ---------------------------------------------------
+
+void Rank::ckpt_send(const CommPtr& comm, std::span<const std::byte> data, int dst,
+                     int tag) {
+  check_comm(comm);
+  runtime_.fabric().send(world_rank_, comm_dst_world(comm, dst),
+                         comm->context(Channel::kCkpt), comm->rank, tag, data,
+                         clock_, simnet::TrafficClass::kCkptProtocol);
+}
+
+std::optional<simnet::ProbeInfo> Rank::ckpt_iprobe(const CommPtr& comm, int src,
+                                                   int tag) {
+  check_comm(comm);
+  return store().iprobe(
+      simnet::MatchPattern{comm->context(Channel::kCkpt), src, tag});
+}
+
+std::optional<Status> Rank::ckpt_try_recv(const CommPtr& comm,
+                                          std::span<std::byte> data, int src,
+                                          int tag) {
+  check_comm(comm);
+  const simnet::MatchPattern pattern{comm->context(Channel::kCkpt), src, tag};
+  simnet::RecvResult result;
+  if (!store().try_recv_unexpected(pattern, data.data(), data.size(), &result)) {
+    return std::nullopt;
+  }
+  clock_.merge(result.arrival_ns);
+  clock_.advance(runtime_.cost().recv_overhead());
+  if (result.truncated) throw UsageError("ckpt_try_recv buffer too small");
+  Status status;
+  fill_status(status, result);
+  return status;
+}
+
+// ---- internals ------------------------------------------------------------------
+
+void Rank::internal_coll_send(const CommPtr& comm, int dst, int tag,
+                              std::span<const std::byte> bytes) {
+  internal_coll_send_at(comm, dst, tag, bytes, clock_);
+}
+
+void Rank::internal_coll_send_at(const CommPtr& comm, int dst, int tag,
+                                 std::span<const std::byte> bytes,
+                                 simnet::VirtualClock& clock) {
+  runtime_.fabric().send(world_rank_, comm_dst_world(comm, dst),
+                         comm->context(Channel::kColl), comm->rank, tag, bytes,
+                         clock, simnet::TrafficClass::kCollective);
+}
+
+}  // namespace manatee::umpi

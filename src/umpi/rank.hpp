@@ -1,0 +1,210 @@
+// rank.hpp — the per-process MPI-like API surface of UMPI.
+//
+// Each MPI process is a thread owning exactly one Rank object. The Rank
+// provides point-to-point operations, blocking and non-blocking collectives,
+// request completion (Test/Wait families), and collective communicator
+// management — the subset of MPI the paper's algorithms and workloads need.
+//
+// Rank is deliberately hook-free: checkpoint algorithms interpose from the
+// split-process wrapper layer above (src/split), never from inside the
+// "MPI library". That separation *is* the split-process architecture of
+// Figure 1 in the paper.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "simnet/fabric.hpp"
+#include "simnet/virtual_clock.hpp"
+#include "umpi/communicator.hpp"
+#include "umpi/nbc.hpp"
+#include "umpi/op.hpp"
+#include "umpi/types.hpp"
+
+namespace manatee::umpi {
+
+class Runtime;
+
+/// Per-rank call counters (the measurements behind Table 1).
+struct CallCounters {
+  std::uint64_t collective_calls = 0;  ///< blocking collectives + NBC initiations
+  std::uint64_t p2p_calls = 0;         ///< Send/Isend/Recv/Irecv
+};
+
+class Rank {
+ public:
+  Rank(Runtime& runtime, int world_rank);
+  ~Rank();
+
+  Rank(const Rank&) = delete;
+  Rank& operator=(const Rank&) = delete;
+
+  // --- identity -----------------------------------------------------------
+  [[nodiscard]] int world_rank() const noexcept { return world_rank_; }
+  [[nodiscard]] int world_size() const noexcept;
+  [[nodiscard]] const CommPtr& world() const noexcept { return world_comm_; }
+  [[nodiscard]] Runtime& runtime() noexcept { return runtime_; }
+  [[nodiscard]] simnet::VirtualClock& clock() noexcept { return clock_; }
+  [[nodiscard]] const simnet::VirtualClock& clock() const noexcept { return clock_; }
+  [[nodiscard]] simnet::MessageStore& store();
+
+  /// Advance this rank's virtual clock by a compute phase.
+  void advance_compute(simnet::SimTime cost) noexcept { clock_.advance(cost); }
+
+  // --- point-to-point (byte-level) ----------------------------------------
+  void send(const CommPtr& comm, std::span<const std::byte> data, int dst, int tag);
+  Status recv(const CommPtr& comm, std::span<std::byte> data, int src, int tag);
+  Request isend(const CommPtr& comm, std::span<const std::byte> data, int dst,
+                int tag);
+  Request irecv(const CommPtr& comm, std::span<std::byte> data, int src, int tag);
+  [[nodiscard]] std::optional<simnet::ProbeInfo> iprobe(const CommPtr& comm, int src,
+                                                        int tag);
+  simnet::ProbeInfo probe(const CommPtr& comm, int src, int tag);
+  Status sendrecv(const CommPtr& comm, std::span<const std::byte> send_data,
+                  int dst, int send_tag, std::span<std::byte> recv_data, int src,
+                  int recv_tag);
+
+  // --- typed convenience --------------------------------------------------
+  template <typename T>
+  void send(const CommPtr& comm, std::span<const T> data, int dst, int tag) {
+    send(comm, std::as_bytes(data), dst, tag);
+  }
+  template <typename T>
+  Status recv(const CommPtr& comm, std::span<T> data, int src, int tag) {
+    return recv(comm, std::as_writable_bytes(data), src, tag);
+  }
+
+  // --- request completion --------------------------------------------------
+  /// Non-blocking: returns true (and nulls the request) once complete.
+  bool test(Request& request, Status* status = nullptr);
+  Status wait(Request& request);
+  void waitall(std::span<Request> requests);
+  /// Blocks until at least one completes; returns its index.
+  int waitany(std::span<Request> requests);
+  /// True when `request` refers to a live (incomplete or unconsumed) op.
+  [[nodiscard]] bool is_active(const Request& request) const;
+
+  /// Non-consuming completion check: true when the operation behind
+  /// `request` has finished (or the request was already consumed). Unlike
+  /// test(), the request stays in the table for the owner to consume later
+  /// — the primitive behind the CC algorithm's checkpoint-time Test-drain.
+  [[nodiscard]] bool request_done(const Request& request);
+
+  /// Abandon a request without completing it (MPI_Cancel-like): posted
+  /// receives are withdrawn so late deliveries cannot write into buffers
+  /// that are about to go out of scope (job-stop teardown path).
+  void cancel(Request& request);
+
+  // --- blocking collectives -------------------------------------------------
+  void barrier(const CommPtr& comm);
+  void bcast(const CommPtr& comm, std::span<std::byte> data, int root);
+  void reduce(const CommPtr& comm, std::span<const std::byte> send,
+              std::span<std::byte> recv, Datatype dt, ReduceOp op, int root);
+  void allreduce(const CommPtr& comm, std::span<const std::byte> send,
+                 std::span<std::byte> recv, Datatype dt, ReduceOp op);
+  void gather(const CommPtr& comm, std::span<const std::byte> send,
+              std::span<std::byte> recv, int root);
+  void allgather(const CommPtr& comm, std::span<const std::byte> send,
+                 std::span<std::byte> recv);
+  void scatter(const CommPtr& comm, std::span<const std::byte> send,
+               std::span<std::byte> recv, int root);
+  void alltoall(const CommPtr& comm, std::span<const std::byte> send,
+                std::span<std::byte> recv);
+  void scan(const CommPtr& comm, std::span<const std::byte> send,
+            std::span<std::byte> recv, Datatype dt, ReduceOp op);
+  void reduce_scatter_block(const CommPtr& comm, std::span<const std::byte> send,
+                            std::span<std::byte> recv, Datatype dt, ReduceOp op);
+
+  // --- non-blocking collectives ----------------------------------------------
+  Request ibarrier(const CommPtr& comm);
+  Request ibcast(const CommPtr& comm, std::span<std::byte> data, int root);
+  Request ireduce(const CommPtr& comm, std::span<const std::byte> send,
+                  std::span<std::byte> recv, Datatype dt, ReduceOp op, int root);
+  Request iallreduce(const CommPtr& comm, std::span<const std::byte> send,
+                     std::span<std::byte> recv, Datatype dt, ReduceOp op);
+  Request igather(const CommPtr& comm, std::span<const std::byte> send,
+                  std::span<std::byte> recv, int root);
+  Request iallgather(const CommPtr& comm, std::span<const std::byte> send,
+                     std::span<std::byte> recv);
+  Request ialltoall(const CommPtr& comm, std::span<const std::byte> send,
+                    std::span<std::byte> recv);
+  Request iscan(const CommPtr& comm, std::span<const std::byte> send,
+                std::span<std::byte> recv, Datatype dt, ReduceOp op);
+
+  // --- communicator management (collective over the parent) -------------------
+  CommPtr comm_dup(const CommPtr& comm);
+  /// MPI_Comm_split; color < 0 acts as MPI_UNDEFINED (returns nullptr).
+  CommPtr comm_split(const CommPtr& comm, int color, int key);
+  /// MPI_Comm_create; returns nullptr on ranks outside `group`.
+  CommPtr comm_create(const CommPtr& comm, const Group& group);
+
+  // --- stats / checkpoint hooks ------------------------------------------------
+  [[nodiscard]] const CallCounters& counters() const noexcept { return counters_; }
+  void reset_counters() noexcept { counters_ = CallCounters{}; }
+
+  /// Drive this rank's event loop until `done()` returns true, progressing
+  /// all outstanding non-blocking collectives along the way. This is the
+  /// single blocking primitive all waits are built on, and it is what makes
+  /// the MPI-standard guarantee hold that initiated NBCs progress while the
+  /// process blocks elsewhere.
+  void drive(const std::function<bool()>& done);
+
+  /// Progress every outstanding non-blocking collective once.
+  void progress_outstanding();
+
+  /// Number of live requests (diagnostics / leak checks in tests).
+  [[nodiscard]] std::size_t live_requests() const noexcept { return requests_.size(); }
+
+  // --- checkpoint-protocol channel ------------------------------------------
+  // Out-of-band point-to-point used by the drain protocols (the "mana
+  // communicator" traffic of Algorithm 2/3). Not counted in CallCounters;
+  // carried on the kCkpt sub-channel so it never matches user receives.
+  void ckpt_send(const CommPtr& comm, std::span<const std::byte> data, int dst,
+                 int tag);
+  [[nodiscard]] std::optional<simnet::ProbeInfo> ckpt_iprobe(const CommPtr& comm,
+                                                             int src, int tag);
+  std::optional<Status> ckpt_try_recv(const CommPtr& comm, std::span<std::byte> data,
+                                      int src, int tag);
+
+  // Internal: used by NbcOp implementations.
+  void internal_coll_send(const CommPtr& comm, int dst, int tag,
+                          std::span<const std::byte> bytes);
+  /// Same, but charged against an operation-owned progress clock.
+  void internal_coll_send_at(const CommPtr& comm, int dst, int tag,
+                             std::span<const std::byte> bytes,
+                             simnet::VirtualClock& clock);
+
+ private:
+  friend class NbcOp;
+
+  struct RequestState {
+    enum class Kind : std::uint8_t { kSend, kRecv, kNbc } kind = Kind::kSend;
+    std::unique_ptr<simnet::RecvResult> recv;  // kRecv
+    std::unique_ptr<NbcOp> nbc;                // kNbc
+  };
+
+  Request new_request(RequestState state);
+  RequestState* find(const Request& request);
+  bool complete_if_done(Request& request, RequestState& state, Status* status);
+  int comm_dst_world(const CommPtr& comm, int dst) const;
+  static void fill_status(Status& out, const simnet::RecvResult& r);
+
+  /// Collective helper: allocate a context block (rank 0 of comm) and
+  /// broadcast it over the comm. Returns the agreed base id.
+  std::uint64_t agree_context_block(const CommPtr& comm, int count);
+
+  Runtime& runtime_;
+  int world_rank_;
+  simnet::VirtualClock clock_;
+  CommPtr world_comm_;
+  std::unordered_map<std::uint64_t, RequestState> requests_;
+  std::uint64_t next_request_id_ = 1;
+  CallCounters counters_;
+};
+
+}  // namespace manatee::umpi

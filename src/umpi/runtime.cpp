@@ -1,0 +1,86 @@
+#include "umpi/runtime.hpp"
+
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace manatee::umpi {
+
+Runtime::Runtime(RuntimeConfig config)
+    : config_(config),
+      fabric_(simnet::Topology(config.world_size, config.ranks_per_node),
+              simnet::CostModel(config.cost)),
+      next_base_context_(kWorldBaseContext + 1) {
+  MANATEE_REQUIRE(config.world_size > 0, "world size must be positive");
+  ranks_.reserve(static_cast<std::size_t>(config.world_size));
+  for (int i = 0; i < config.world_size; ++i) {
+    ranks_.push_back(std::make_unique<Rank>(*this, i));
+  }
+}
+
+Runtime::~Runtime() = default;
+
+Rank& Runtime::rank(int world_rank) {
+  MANATEE_REQUIRE(world_rank >= 0 && world_rank < config_.world_size,
+                  "world rank out of range");
+  return *ranks_[static_cast<std::size_t>(world_rank)];
+}
+
+void Runtime::run(const AppFn& app) {
+  MANATEE_REQUIRE(!ran_, "Runtime::run may be called once per Runtime");
+  ran_ = true;
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> threads;
+  threads.reserve(ranks_.size());
+  for (auto& rank : ranks_) {
+    threads.emplace_back([&, r = rank.get()] {
+      set_log_thread_label("rank " + std::to_string(r->world_rank()));
+      try {
+        app(*r);
+      } catch (...) {
+        {
+          std::lock_guard lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        aborted_.store(true, std::memory_order_release);
+        fabric_.notify_all_ranks();  // unblock peers so they observe the abort
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+simnet::SimTime Runtime::max_clock() const {
+  simnet::SimTime m = 0;
+  for (const auto& rank : ranks_) {
+    m = std::max(m, rank->clock().now());
+  }
+  return m;
+}
+
+CallCounters Runtime::total_counters() const {
+  CallCounters total;
+  for (const auto& rank : ranks_) {
+    total.collective_calls += rank->counters().collective_calls;
+    total.p2p_calls += rank->counters().p2p_calls;
+  }
+  return total;
+}
+
+void Runtime::request_stop() noexcept {
+  stopping_.store(true, std::memory_order_release);
+  fabric_.notify_all_ranks();
+}
+
+std::uint64_t Runtime::allocate_context_block(int count) {
+  MANATEE_REQUIRE(count > 0, "context block count must be positive");
+  return next_base_context_.fetch_add(static_cast<std::uint64_t>(count),
+                                      std::memory_order_relaxed);
+}
+
+}  // namespace manatee::umpi

@@ -1,0 +1,91 @@
+// runtime.hpp — the UMPI job: topology, fabric, and one thread per rank.
+//
+// A Runtime is one "job launch". Checkpoint/restart creates a *fresh*
+// Runtime (the paper's "get a fresh lower half at restart", Figure 1) and
+// replays communicator construction into it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "simnet/cost_model.hpp"
+#include "simnet/fabric.hpp"
+#include "simnet/topology.hpp"
+#include "umpi/rank.hpp"
+
+namespace manatee::umpi {
+
+struct RuntimeConfig {
+  int world_size = 4;
+  int ranks_per_node = 8;
+  simnet::CostParams cost{};
+};
+
+/// The function each rank thread executes (the "MPI application").
+using AppFn = std::function<void(Rank&)>;
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeConfig config);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Launch one thread per rank running `app`, join them all. Exceptions
+  /// thrown by rank threads are captured and the first one is rethrown
+  /// here. May be called once per Runtime.
+  void run(const AppFn& app);
+
+  [[nodiscard]] const RuntimeConfig& config() const noexcept { return config_; }
+  [[nodiscard]] simnet::Fabric& fabric() noexcept { return fabric_; }
+  [[nodiscard]] const simnet::Topology& topology() const noexcept {
+    return fabric_.topology();
+  }
+  [[nodiscard]] const simnet::CostModel& cost() const noexcept {
+    return fabric_.cost();
+  }
+  [[nodiscard]] int world_size() const noexcept { return config_.world_size; }
+
+  /// Rank objects are created in the constructor and live until the
+  /// Runtime is destroyed, so clocks and counters remain inspectable after
+  /// run() returns.
+  [[nodiscard]] Rank& rank(int world_rank);
+
+  /// Job makespan: maximum final virtual clock across ranks.
+  [[nodiscard]] simnet::SimTime max_clock() const;
+
+  /// Aggregate call counters across ranks.
+  [[nodiscard]] CallCounters total_counters() const;
+
+  /// Allocate `count` consecutive communicator base-context ids.
+  std::uint64_t allocate_context_block(int count);
+
+  /// True once any rank thread has failed; blocking waits observe this and
+  /// unwind instead of deadlocking on a dead peer.
+  [[nodiscard]] bool aborted() const noexcept {
+    return aborted_.load(std::memory_order_acquire);
+  }
+
+  /// Graceful job stop (set after a completed checkpoint when the engine is
+  /// configured to end the allocation): blocking waits unwind with
+  /// JobStopping instead of waiting on peers that have already stopped.
+  void request_stop() noexcept;
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return stopping_.load(std::memory_order_acquire);
+  }
+
+ private:
+  RuntimeConfig config_;
+  simnet::Fabric fabric_;
+  std::vector<std::unique_ptr<Rank>> ranks_;
+  std::atomic<std::uint64_t> next_base_context_;
+  std::atomic<bool> aborted_{false};
+  std::atomic<bool> stopping_{false};
+  bool ran_ = false;
+};
+
+}  // namespace manatee::umpi

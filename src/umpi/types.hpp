@@ -1,0 +1,96 @@
+// types.hpp — fundamental UMPI types: datatypes, reduction ops, status,
+// and well-known constants. UMPI is MANATEE's from-scratch, in-process MPI
+// runtime (the "MPI library + network" lower half of the split process).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simnet/message.hpp"
+
+namespace manatee::umpi {
+
+/// Rank wildcard (MPI_ANY_SOURCE) and tag wildcard (MPI_ANY_TAG).
+constexpr int kAnySource = simnet::kAnySource;
+constexpr int kAnyTag = simnet::kAnyTag;
+
+/// Element datatypes, mirroring the common MPI predefined datatypes.
+enum class Datatype : std::uint8_t {
+  kByte,
+  kInt32,
+  kInt64,
+  kUInt64,
+  kFloat,
+  kDouble,
+};
+
+/// Size in bytes of one element of `dt`.
+[[nodiscard]] constexpr std::size_t datatype_size(Datatype dt) noexcept {
+  switch (dt) {
+    case Datatype::kByte: return 1;
+    case Datatype::kInt32: return 4;
+    case Datatype::kInt64: return 8;
+    case Datatype::kUInt64: return 8;
+    case Datatype::kFloat: return 4;
+    case Datatype::kDouble: return 8;
+  }
+  return 0;
+}
+
+/// Map a C++ element type to its Datatype tag at compile time.
+template <typename T>
+struct DatatypeOf;
+template <> struct DatatypeOf<std::byte> { static constexpr Datatype value = Datatype::kByte; };
+template <> struct DatatypeOf<std::uint8_t> { static constexpr Datatype value = Datatype::kByte; };
+template <> struct DatatypeOf<std::int32_t> { static constexpr Datatype value = Datatype::kInt32; };
+template <> struct DatatypeOf<std::int64_t> { static constexpr Datatype value = Datatype::kInt64; };
+template <> struct DatatypeOf<std::uint64_t> { static constexpr Datatype value = Datatype::kUInt64; };
+template <> struct DatatypeOf<float> { static constexpr Datatype value = Datatype::kFloat; };
+template <> struct DatatypeOf<double> { static constexpr Datatype value = Datatype::kDouble; };
+
+template <typename T>
+constexpr Datatype datatype_of = DatatypeOf<T>::value;
+
+/// Reduction operators (MPI_SUM, MPI_MAX, ...).
+enum class ReduceOp : std::uint8_t {
+  kSum,
+  kProd,
+  kMax,
+  kMin,
+  kLand,  ///< logical and (nonzero = true)
+  kLor,   ///< logical or
+  kBand,  ///< bitwise and (integer types only)
+  kBor,   ///< bitwise or (integer types only)
+};
+
+/// Completion status of a receive (MPI_Status).
+struct Status {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  std::size_t count_bytes = 0;
+
+  /// Element count for a given datatype (MPI_Get_count).
+  [[nodiscard]] std::size_t count(Datatype dt) const noexcept {
+    const auto sz = datatype_size(dt);
+    return sz == 0 ? 0 : count_bytes / sz;
+  }
+};
+
+/// Result of comparing two groups/communicators (MPI_Comm_compare).
+enum class CompareResult : std::uint8_t {
+  kIdent,    ///< same ranks in the same order (and same context, for comms)
+  kCongruent,///< same ranks in the same order, different context
+  kSimilar,  ///< same ranks in a different order
+  kUnequal,
+};
+
+/// Opaque request handle. Valid only on the rank that created it.
+/// kNullRequest mirrors MPI_REQUEST_NULL.
+struct Request {
+  std::uint64_t id = 0;
+  [[nodiscard]] bool is_null() const noexcept { return id == 0; }
+  friend bool operator==(const Request&, const Request&) = default;
+};
+constexpr Request kNullRequest{};
+
+}  // namespace manatee::umpi

@@ -1,0 +1,61 @@
+#include "workloads/comd_proxy.hpp"
+
+namespace manatee::workloads {
+
+void CoMDProxy::operator()(Api& api) const {
+  const int rank = api.rank();
+
+  std::vector<double> atoms(static_cast<std::size_t>(halo_elems) * 4);
+  std::vector<double> halo_left(static_cast<std::size_t>(halo_elems));
+  std::vector<double> halo_right(static_cast<std::size_t>(halo_elems));
+  std::vector<double> halo_out(static_cast<std::size_t>(halo_elems));
+  double energy_local = 0, energy_global = 0;
+
+  api.register_state("atoms", atoms);
+  api.register_state("halo_left", halo_left);
+  api.register_state("halo_right", halo_right);
+  api.register_state("halo_out", halo_out);
+  api.register_value("energy_local", energy_local);
+  api.register_value("energy_global", energy_global);
+
+  api.once([&] { deterministic_fill(atoms, 0xc0d0 + static_cast<std::uint64_t>(rank)); });
+
+  for (int step = 0; step < timesteps; ++step) {
+    for (int h = 0; h < halos_per_step; ++h) {
+      api.once([&] {
+        for (std::size_t i = 0; i < halo_out.size(); ++i) {
+          halo_out[i] = atoms[i] + 1e-3 * step;
+        }
+      });
+      ring_halo_exchange(api, kWorldComm,
+                         std::as_writable_bytes(std::span(halo_left)),
+                         std::as_writable_bytes(std::span(halo_right)),
+                         std::as_bytes(std::span(halo_out)),
+                         std::as_bytes(std::span(halo_out)), 60 + 4 * h);
+      api.once([&] {
+        for (std::size_t i = 0; i < halo_left.size(); ++i) {
+          atoms[i] += (halo_left[i] + halo_right[i]) * 1e-6;
+        }
+      });
+    }
+    api.compute(compute_per_step_ns);
+
+    if (step % reduce_every == 0) {
+      api.once([&] {
+        energy_local = 0;
+        for (double a : atoms) energy_local += a * a;
+      });
+      api.allreduce(kWorldComm, std::as_bytes(std::span(&energy_local, 1)),
+                    std::as_writable_bytes(std::span(&energy_global, 1)),
+                    umpi::Datatype::kDouble, umpi::ReduceOp::kSum);
+      api.once([&] { atoms[0] += energy_global * 1e-12; });
+    }
+  }
+
+  Fingerprint fp;
+  fp.add_range<double>(atoms);
+  fp.add_value(energy_global);
+  outcome.fingerprint = fp.value();
+}
+
+}  // namespace manatee::workloads

@@ -1,0 +1,28 @@
+// comd_proxy.hpp — proxy for CoMD (Cu u6.eam molecular dynamics).
+//
+// Table 1 signature: point-to-point dominated (414.2 p2p calls/s) with
+// sparse collectives (7.8 coll/s): per timestep, atom/force halo exchanges
+// with spatial neighbours; every few steps a global energy allreduce.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace manatee::workloads {
+
+struct CoMDProxy {
+  int timesteps = 60;
+  /// Halo exchanges per timestep (atom positions + forces).
+  int halos_per_step = 2;
+  /// Bytes per halo face message.
+  int halo_elems = 512;
+  /// Timesteps between global energy reductions.
+  int reduce_every = 7;
+  /// Force/integration compute per step, ns (~19 ms ≈ Table 1 rates).
+  simnet::SimTime compute_per_step_ns = 19'000'000;
+
+  void operator()(Api& api) const;
+
+  mutable WorkloadOutcome outcome;
+};
+
+}  // namespace manatee::workloads

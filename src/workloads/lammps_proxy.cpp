@@ -1,0 +1,62 @@
+#include "workloads/lammps_proxy.hpp"
+
+namespace manatee::workloads {
+
+void LammpsProxy::operator()(Api& api) const {
+  const int rank = api.rank();
+
+  std::vector<double> particles(static_cast<std::size_t>(halo_elems) * 6);
+  std::vector<double> halo_left(static_cast<std::size_t>(halo_elems));
+  std::vector<double> halo_right(static_cast<std::size_t>(halo_elems));
+  std::vector<double> halo_out(static_cast<std::size_t>(halo_elems));
+  double thermo_local = 0, thermo_global = 0;
+
+  api.register_state("particles", particles);
+  api.register_state("halo_left", halo_left);
+  api.register_state("halo_right", halo_right);
+  api.register_state("halo_out", halo_out);
+  api.register_value("thermo_local", thermo_local);
+  api.register_value("thermo_global", thermo_global);
+
+  api.once(
+      [&] { deterministic_fill(particles, 0x1a44 + static_cast<std::uint64_t>(rank)); });
+
+  for (int step = 0; step < timesteps; ++step) {
+    for (int h = 0; h < halos_per_step; ++h) {
+      api.once([&] {
+        for (std::size_t i = 0; i < halo_out.size(); ++i) {
+          halo_out[i] = particles[i + static_cast<std::size_t>(h)] * 0.5;
+        }
+      });
+      ring_halo_exchange(api, kWorldComm,
+                         std::as_writable_bytes(std::span(halo_left)),
+                         std::as_writable_bytes(std::span(halo_right)),
+                         std::as_bytes(std::span(halo_out)),
+                         std::as_bytes(std::span(halo_out)), 80 + 4 * h);
+      api.once([&] {
+        for (std::size_t i = 0; i < halo_left.size(); ++i) {
+          particles[i] += (halo_left[i] - halo_right[i]) * 1e-7;
+        }
+      });
+      api.compute(compute_per_step_ns / halos_per_step);
+    }
+
+    if (step % reduce_every == 0) {
+      api.once([&] {
+        thermo_local = 0;
+        for (double v : particles) thermo_local += v;
+      });
+      api.allreduce(kWorldComm, std::as_bytes(std::span(&thermo_local, 1)),
+                    std::as_writable_bytes(std::span(&thermo_global, 1)),
+                    umpi::Datatype::kDouble, umpi::ReduceOp::kSum);
+      api.once([&] { particles[1] += thermo_global * 1e-12; });
+    }
+  }
+
+  Fingerprint fp;
+  fp.add_range<double>(particles);
+  fp.add_value(thermo_global);
+  outcome.fingerprint = fp.value();
+}
+
+}  // namespace manatee::workloads

@@ -1,0 +1,28 @@
+// lammps_proxy.hpp — proxy for LAMMPS (scaled LJ liquid).
+//
+// Table 1 signature: the most p2p-intensive of the five applications
+// (1707.5 p2p calls/s, 6.3 coll/s): every timestep performs forward and
+// reverse halo communication with several spatial neighbours plus
+// neighbor-list exchanges; thermodynamic reductions are rare.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace manatee::workloads {
+
+struct LammpsProxy {
+  int timesteps = 60;
+  /// Halo exchange rounds per step (forward + reverse + neighbor lists).
+  int halos_per_step = 8;
+  int halo_elems = 256;
+  /// Steps between thermo reductions.
+  int reduce_every = 8;
+  /// Pair-force compute per step, ns (~19 ms ≈ Table 1 rates).
+  simnet::SimTime compute_per_step_ns = 19'000'000;
+
+  void operator()(Api& api) const;
+
+  mutable WorkloadOutcome outcome;
+};
+
+}  // namespace manatee::workloads

@@ -1,0 +1,128 @@
+#include "workloads/osu.hpp"
+
+#include <algorithm>
+
+namespace manatee::workloads {
+
+const char* osu_collective_name(OsuCollective c, bool nonblocking) noexcept {
+  switch (c) {
+    case OsuCollective::kBcast: return nonblocking ? "MPI_Ibcast" : "MPI_Bcast";
+    case OsuCollective::kAlltoall:
+      return nonblocking ? "MPI_Ialltoall" : "MPI_Alltoall";
+    case OsuCollective::kAllreduce:
+      return nonblocking ? "MPI_Iallreduce" : "MPI_Allreduce";
+    case OsuCollective::kAllgather:
+      return nonblocking ? "MPI_Iallgather" : "MPI_Allgather";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Buffers {
+  std::vector<std::byte> send;
+  std::vector<std::byte> recv;
+};
+
+Buffers make_buffers(const OsuParams& p, int world) {
+  Buffers b;
+  const auto n = p.message_bytes;
+  switch (p.collective) {
+    case OsuCollective::kBcast:
+      b.recv.resize(n);  // bcast operates in-place on one buffer
+      break;
+    case OsuCollective::kAlltoall:
+      b.send.resize(n * static_cast<std::size_t>(world));
+      b.recv.resize(n * static_cast<std::size_t>(world));
+      break;
+    case OsuCollective::kAllreduce: {
+      // whole number of doubles
+      const auto elems = std::max<std::size_t>(1, n / sizeof(double));
+      b.send.resize(elems * sizeof(double));
+      b.recv.resize(elems * sizeof(double));
+      break;
+    }
+    case OsuCollective::kAllgather:
+      b.send.resize(n);
+      b.recv.resize(n * static_cast<std::size_t>(world));
+      break;
+  }
+  return b;
+}
+
+split::VReq issue(Api& api, const OsuParams& p, Buffers& b) {
+  switch (p.collective) {
+    case OsuCollective::kBcast:
+      if (p.nonblocking) return api.ibcast(kWorldComm, b.recv, 0);
+      api.bcast(kWorldComm, b.recv, 0);
+      return split::kNullReq;
+    case OsuCollective::kAlltoall:
+      if (p.nonblocking) return api.ialltoall(kWorldComm, b.send, b.recv);
+      api.alltoall(kWorldComm, b.send, b.recv);
+      return split::kNullReq;
+    case OsuCollective::kAllreduce:
+      if (p.nonblocking) {
+        return api.iallreduce(kWorldComm, b.send, b.recv, umpi::Datatype::kDouble,
+                              umpi::ReduceOp::kSum);
+      }
+      api.allreduce(kWorldComm, b.send, b.recv, umpi::Datatype::kDouble,
+                    umpi::ReduceOp::kSum);
+      return split::kNullReq;
+    case OsuCollective::kAllgather:
+      if (p.nonblocking) return api.iallgather(kWorldComm, b.send, b.recv);
+      api.allgather(kWorldComm, b.send, b.recv);
+      return split::kNullReq;
+  }
+  return split::kNullReq;
+}
+
+}  // namespace
+
+void OsuLatency::operator()(Api& api) const {
+  auto buffers = make_buffers(params, api.size());
+  api.register_state("osu_send", buffers.send);
+  api.register_state("osu_recv", buffers.recv);
+  for (int i = 0; i < params.warmup + params.iterations; ++i) {
+    auto req = issue(api, params, buffers);
+    if (!req.is_null()) api.wait(req);
+  }
+}
+
+void OsuOverlap::operator()(Api& api) const {
+  OsuParams p = params;
+  p.nonblocking = true;
+  auto buffers = make_buffers(p, api.size());
+  api.register_state("osu_send", buffers.send);
+  api.register_state("osu_recv", buffers.recv);
+
+  // Phase 1: pure Init+Wait latency.
+  for (int i = 0; i < p.warmup; ++i) {
+    auto req = issue(api, p, buffers);
+    api.wait(req);
+  }
+  const auto t0 = api.now();
+  for (int i = 0; i < p.iterations; ++i) {
+    auto req = issue(api, p, buffers);
+    api.wait(req);
+  }
+  const double t_pure =
+      static_cast<double>(api.now() - t0) / std::max(1, p.iterations);
+
+  // Phase 2: Init / compute(t_pure) / Wait.
+  const auto compute = static_cast<simnet::SimTime>(t_pure);
+  const auto t1 = api.now();
+  for (int i = 0; i < p.iterations; ++i) {
+    auto req = issue(api, p, buffers);
+    api.compute(compute);
+    api.wait(req);
+  }
+  const double t_overlap =
+      static_cast<double>(api.now() - t1) / std::max(1, p.iterations);
+
+  overlap_pct =
+      t_pure > 0.0
+          ? std::max(0.0, 100.0 * (1.0 - (t_overlap - t_pure) / t_pure))
+          : 0.0;
+}
+
+}  // namespace manatee::workloads

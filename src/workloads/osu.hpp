@@ -1,0 +1,46 @@
+// osu.hpp — OSU Micro-Benchmarks 7.0 style collective kernels.
+//
+// The paper uses OSU latency kernels for (I)Bcast, (I)Alltoall,
+// (I)Allreduce, (I)Allgather as the upper-limit stress test of collective
+// call rates (Table 1: ~255k Bcast calls/s at 512 ranks), and the OSU
+// overlap methodology for Figure 6. Timing here is virtual: the benchmark
+// harness derives latency from the job makespan, which is deterministic.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace manatee::workloads {
+
+enum class OsuCollective { kBcast, kAlltoall, kAllreduce, kAllgather };
+
+[[nodiscard]] const char* osu_collective_name(OsuCollective c,
+                                              bool nonblocking) noexcept;
+
+struct OsuParams {
+  OsuCollective collective = OsuCollective::kBcast;
+  bool nonblocking = false;
+  std::size_t message_bytes = 4;
+  int warmup = 3;
+  int iterations = 40;
+};
+
+/// Latency kernel: `warmup + iterations` back-to-back collectives.
+struct OsuLatency {
+  OsuParams params;
+  void operator()(Api& api) const;
+};
+
+/// Overlap kernel (Figure 6): measures communication/computation overlap of
+/// non-blocking collectives using the OSU methodology —
+///   t_pure    = latency of Init+Wait with no intervening compute;
+///   t_overlap = latency of Init / compute(t_pure) / Wait;
+///   overlap%  = max(0, 100 * (1 - (t_overlap - t_pure) / t_pure)).
+struct OsuOverlap {
+  OsuParams params;  // nonblocking is implied
+  void operator()(Api& api) const;
+
+  /// Per-rank result, averaged by the harness.
+  mutable double overlap_pct = 0.0;
+};
+
+}  // namespace manatee::workloads

@@ -1,0 +1,74 @@
+#include "workloads/poisson_cg.hpp"
+
+namespace manatee::workloads {
+
+void PoissonCg::operator()(Api& api) const {
+  const int rank = api.rank();
+
+  std::vector<double> x(static_cast<std::size_t>(local_n));
+  std::vector<double> r(static_cast<std::size_t>(local_n));
+  std::vector<double> p(static_cast<std::size_t>(local_n));
+  double dot_local = 0, dot_global = 0, rho_local = 0, rho_global = 0;
+
+  api.register_state("x", x);
+  api.register_state("r", r);
+  api.register_state("p", p);
+  api.register_value("dot_local", dot_local);
+  api.register_value("dot_global", dot_global);
+  api.register_value("rho_local", rho_local);
+  api.register_value("rho_global", rho_global);
+
+  api.once([&] {
+    deterministic_fill(r, 0xcafe + static_cast<std::uint64_t>(rank));
+    std::copy(r.begin(), r.end(), p.begin());
+  });
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    // rho = <r, r>, overlapped with part of the local stencil work.
+    api.once([&] {
+      rho_local = 0;
+      for (double v : r) rho_local += v * v;
+    });
+    auto rho_req = api.iallreduce(kWorldComm, std::as_bytes(std::span(&rho_local, 1)),
+                                  std::as_writable_bytes(std::span(&rho_global, 1)),
+                                  umpi::Datatype::kDouble, umpi::ReduceOp::kSum);
+    api.compute(compute_per_iter_ns / 2);  // overlapped A*p (first half)
+    api.wait(rho_req);
+
+    // alpha denominator = <p, A p>, again overlapped.
+    api.once([&] {
+      dot_local = 0;
+      for (std::size_t i = 0; i < p.size(); ++i) {
+        const double ap = 2.0 * p[i] -
+                          (i > 0 ? p[i - 1] : 0.0) -
+                          (i + 1 < p.size() ? p[i + 1] : 0.0);
+        dot_local += p[i] * ap;
+      }
+    });
+    auto dot_req = api.iallreduce(kWorldComm, std::as_bytes(std::span(&dot_local, 1)),
+                                  std::as_writable_bytes(std::span(&dot_global, 1)),
+                                  umpi::Datatype::kDouble, umpi::ReduceOp::kSum);
+    api.compute(compute_per_iter_ns / 2);  // overlapped vector updates
+    api.wait(dot_req);
+
+    // x, r, p updates with the reduced scalars.
+    api.once([&] {
+      const double alpha = dot_global != 0.0 ? rho_global / dot_global : 0.0;
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        const double ap = 2.0 * p[i] -
+                          (i > 0 ? p[i - 1] : 0.0) -
+                          (i + 1 < p.size() ? p[i + 1] : 0.0);
+        x[i] += alpha * p[i];
+        r[i] -= alpha * ap;
+        p[i] = r[i] + 0.5 * p[i];
+      }
+    });
+  }
+
+  Fingerprint fp;
+  fp.add_range<double>(x);
+  fp.add_value(rho_global);
+  outcome.fingerprint = fp.value();
+}
+
+}  // namespace manatee::workloads

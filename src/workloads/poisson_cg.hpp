@@ -1,0 +1,30 @@
+// poisson_cg.hpp — proxy for the Poisson solver of Hoefler et al. [25]:
+// a conjugate-gradient iteration using *non-blocking* collective
+// communication only (the workload 2PC cannot support, paper §5.3).
+//
+// Table 1 signature: 21.3 collective calls/s, no point-to-point. Each CG
+// iteration performs two dot products via MPI_Iallreduce, overlapping the
+// reduction with the local matrix-vector product, exactly the pattern the
+// original paper introduced non-blocking collectives for.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace manatee::workloads {
+
+struct PoissonCg {
+  /// Local unknowns per rank (1-D block row of the global grid).
+  int local_n = 2048;
+  /// CG iterations (fixed count; convergence decisions would be recorded
+  /// via api.decide(), but the paper's runs are compute-bound sweeps).
+  int iterations = 40;
+  /// Local sparse mat-vec + vector-update compute per iteration, ns.
+  /// ~47 ms per iteration reproduces Table 1's ~21 coll/s (2 NBC per iter).
+  simnet::SimTime compute_per_iter_ns = 47'000'000;
+
+  void operator()(Api& api) const;
+
+  mutable WorkloadOutcome outcome;
+};
+
+}  // namespace manatee::workloads

@@ -1,0 +1,61 @@
+#include "workloads/sw4_proxy.hpp"
+
+namespace manatee::workloads {
+
+void Sw4Proxy::operator()(Api& api) const {
+  const int rank = api.rank();
+
+  std::vector<double> field(static_cast<std::size_t>(halo_elems) * 3);
+  std::vector<double> halo_left(static_cast<std::size_t>(halo_elems));
+  std::vector<double> halo_right(static_cast<std::size_t>(halo_elems));
+  std::vector<double> halo_out(static_cast<std::size_t>(halo_elems));
+  double norm_local = 0, norm_global = 0;
+
+  api.register_state("field", field);
+  api.register_state("halo_left", halo_left);
+  api.register_state("halo_right", halo_right);
+  api.register_state("halo_out", halo_out);
+  api.register_value("norm_local", norm_local);
+  api.register_value("norm_global", norm_global);
+
+  api.once([&] { deterministic_fill(field, 0x5144 + static_cast<std::uint64_t>(rank)); });
+
+  for (int step = 0; step < timesteps; ++step) {
+    for (int h = 0; h < halos_per_step; ++h) {
+      api.once([&] {
+        for (std::size_t i = 0; i < halo_out.size(); ++i) {
+          halo_out[i] = field[i] * 0.25;
+        }
+      });
+      ring_halo_exchange(api, kWorldComm,
+                         std::as_writable_bytes(std::span(halo_left)),
+                         std::as_writable_bytes(std::span(halo_right)),
+                         std::as_bytes(std::span(halo_out)),
+                         std::as_bytes(std::span(halo_out)), 100 + 4 * h);
+      api.once([&] {
+        for (std::size_t i = 0; i < halo_left.size(); ++i) {
+          field[i] += (halo_left[i] + halo_right[i]) * 1e-8;
+        }
+      });
+    }
+    api.compute(compute_per_step_ns);
+
+    if (step % reduce_every == 0) {
+      api.once([&] {
+        norm_local = 0;
+        for (double v : field) norm_local += v * v;
+      });
+      api.allreduce(kWorldComm, std::as_bytes(std::span(&norm_local, 1)),
+                    std::as_writable_bytes(std::span(&norm_global, 1)),
+                    umpi::Datatype::kDouble, umpi::ReduceOp::kMax);
+      api.once([&] { field[2] += norm_global * 1e-15; });
+    }
+  }
+
+  Fingerprint fp;
+  fp.add_range<double>(field);
+  fp.add_value(norm_global);
+  outcome.fingerprint = fp.value();
+}
+
+}  // namespace manatee::workloads

@@ -1,0 +1,27 @@
+// sw4_proxy.hpp — proxy for SW4 (LOH.1-h50 seismic wave propagation).
+//
+// Table 1 signature: the least collective-intensive application
+// (0.6 coll/s, 157.9 p2p/s): a fourth-order stencil time-stepper with halo
+// exchanges every step and only occasional global reductions (stability
+// checks / io summaries).
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace manatee::workloads {
+
+struct Sw4Proxy {
+  int timesteps = 80;
+  int halos_per_step = 2;
+  int halo_elems = 1024;
+  /// Steps between global reductions (rare: ~1 per 40 steps).
+  int reduce_every = 40;
+  /// Stencil compute per step, ns (~50 ms ≈ Table 1 rates).
+  simnet::SimTime compute_per_step_ns = 50'000'000;
+
+  void operator()(Api& api) const;
+
+  mutable WorkloadOutcome outcome;
+};
+
+}  // namespace manatee::workloads

@@ -1,0 +1,105 @@
+#include "workloads/vasp_proxy.hpp"
+
+#include <algorithm>
+
+namespace manatee::workloads {
+
+void VaspProxy::operator()(Api& api) const {
+  const int rank = api.rank();
+  const int size = api.size();
+  const int groups = std::max(1, std::min(band_groups, size));
+
+  // Band communicator: contiguous split of the world.
+  const int color = rank / std::max(1, (size + groups - 1) / groups);
+  const VComm band = api.comm_split(kWorldComm, color, rank);
+  const int band_size = api.comm_size(band);
+
+  std::vector<double> wavefunction(static_cast<std::size_t>(wavefunction_elems));
+  std::vector<double> fft_send(
+      static_cast<std::size_t>(fft_block_elems * band_size));
+  std::vector<double> fft_recv(fft_send.size());
+  std::vector<double> halo_left(64), halo_right(64), halo_out(64);
+  double energy_local = 0, energy_total = 0, mix = 0;
+  std::uint64_t rng_state = 0xa5c0 + static_cast<std::uint64_t>(rank);
+
+  api.register_state("psi", wavefunction);
+  api.register_state("fft_send", fft_send);
+  api.register_state("fft_recv", fft_recv);
+  api.register_state("halo_left", halo_left);
+  api.register_state("halo_right", halo_right);
+  api.register_state("halo_out", halo_out);
+  api.register_value("energy_local", energy_local);
+  api.register_value("energy_total", energy_total);
+  api.register_value("mix", mix);
+  api.register_value("rng", rng_state);
+
+  api.once([&] {
+    deterministic_fill(wavefunction, rng_state);
+    deterministic_fill(fft_send, rng_state ^ 0x1111);
+  });
+
+  for (int scf = 0; scf < scf_iterations; ++scf) {
+    // FFT-heavy charge-density construction: forward + backward transposes.
+    for (int fft = 0; fft < ffts_per_iteration; ++fft) {
+      api.once(
+          [&] {
+            Rng rng(rng_state);
+            for (std::size_t i = 0; i < fft_send.size(); ++i) {
+              fft_send[i] =
+                  wavefunction[i % wavefunction.size()] * 0.5 +
+                  0.001 * static_cast<double>(rng.next_below(64));
+            }
+            rng_state = rng.state();
+          },
+          compute_per_fft_ns / 2);
+      api.alltoall(band, std::as_bytes(std::span(fft_send)),
+                   std::as_writable_bytes(std::span(fft_recv)));
+      api.once(
+          [&] {
+            for (std::size_t i = 0; i < fft_recv.size(); ++i) {
+              wavefunction[i % wavefunction.size()] +=
+                  fft_recv[i] * 1e-4;
+            }
+          },
+          compute_per_fft_ns / 2);
+      api.alltoall(band, std::as_bytes(std::span(fft_recv)),
+                   std::as_writable_bytes(std::span(fft_send)));
+
+      // Wavefunction halo exchange (the p2p component of Table 1).
+      api.once([&] {
+        for (std::size_t i = 0; i < halo_out.size(); ++i) {
+          halo_out[i] = wavefunction[i] + fft;
+        }
+      });
+      ring_halo_exchange(api, kWorldComm,
+                         std::as_writable_bytes(std::span(halo_left)),
+                         std::as_writable_bytes(std::span(halo_right)),
+                         std::as_bytes(std::span(halo_out)),
+                         std::as_bytes(std::span(halo_out)), 40);
+      api.once([&] {
+        wavefunction[0] += halo_left[0] * 1e-6 + halo_right[0] * 1e-6;
+      });
+
+      // Band energy contribution.
+      api.once([&] { energy_local = wavefunction[fft % wavefunction.size()]; });
+      api.allreduce(kWorldComm, std::as_bytes(std::span(&energy_local, 1)),
+                    std::as_writable_bytes(std::span(&energy_total, 1)),
+                    umpi::Datatype::kDouble, umpi::ReduceOp::kSum);
+      api.once([&] { wavefunction[1] += energy_total * 1e-7; });
+    }
+
+    // Density mixing broadcast (rank 0 decides the mixing parameter).
+    api.once([&] { mix = rank == 0 ? energy_total * 1e-3 : 0.0; });
+    api.bcast(kWorldComm, std::as_writable_bytes(std::span(&mix, 1)), 0);
+    api.once([&] {
+      for (auto& x : wavefunction) x = x * (1.0 - 1e-5) + mix * 1e-8;
+    });
+  }
+
+  Fingerprint fp;
+  fp.add_range<double>(wavefunction);
+  fp.add_value(energy_total);
+  outcome.fingerprint = fp.value();
+}
+
+}  // namespace manatee::workloads

@@ -1,0 +1,29 @@
+#include "workloads/workload.hpp"
+
+namespace manatee::workloads {
+
+void ring_halo_exchange(Api& api, VComm comm, std::span<std::byte> left_in,
+                        std::span<std::byte> right_in,
+                        std::span<const std::byte> left_out,
+                        std::span<const std::byte> right_out, int tag) {
+  const int size = api.comm_size(comm);
+  const int rank = api.comm_rank(comm);
+  if (size < 2) return;
+  const int right = (rank + 1) % size;
+  const int left = (rank - 1 + size) % size;
+  split::VReq reqs[2];
+  reqs[0] = api.irecv(comm, left_in, left, tag);
+  reqs[1] = api.irecv(comm, right_in, right, tag + 1);
+  api.send(comm, right_out, right, tag);      // arrives as the right's left_in
+  api.send(comm, left_out, left, tag + 1);    // arrives as the left's right_in
+  api.waitall(reqs);
+}
+
+void deterministic_fill(std::span<double> buffer, std::uint64_t seed) {
+  Rng rng(seed);
+  for (auto& x : buffer) {
+    x = rng.next_double() * 2.0 - 1.0;
+  }
+}
+
+}  // namespace manatee::workloads

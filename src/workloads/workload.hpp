@@ -1,0 +1,41 @@
+// workload.hpp — common scaffolding for the evaluation workloads.
+//
+// Every workload is a function object over split::Api following the
+// resumable-execution model, parameterized so the benchmark harnesses can
+// reproduce the paper's Table 1 call rates and Figures 5-9 shapes at any
+// scale. Workloads expose a per-rank result fingerprint so correctness
+// tests can assert checkpoint/restart equivalence on the *real* proxies,
+// not just synthetic test apps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "split/api.hpp"
+
+namespace manatee::workloads {
+
+using split::Api;
+using split::kWorldComm;
+using split::VComm;
+
+/// Summary a workload leaves behind (per rank).
+struct WorkloadOutcome {
+  std::uint64_t fingerprint = 0;
+};
+
+/// Ring halo exchange: send `bytes` to both neighbours, receive from both.
+/// The send/recv buffers must be registered by the caller. Counts as 4 p2p
+/// calls (2 irecv + 2 send) plus waits.
+void ring_halo_exchange(Api& api, VComm comm, std::span<std::byte> left_in,
+                        std::span<std::byte> right_in,
+                        std::span<const std::byte> left_out,
+                        std::span<const std::byte> right_out, int tag);
+
+/// Fill a buffer deterministically from a seed (initial conditions).
+void deterministic_fill(std::span<double> buffer, std::uint64_t seed);
+
+}  // namespace manatee::workloads

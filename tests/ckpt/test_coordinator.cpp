@@ -1,0 +1,184 @@
+// Unit tests for the coordinator's phase machine, target tables, and
+// termination-detection criteria (single-threaded: ranks simulated by
+// direct calls).
+#include "ckpt/coordinator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace manatee::ckpt {
+namespace {
+
+using SeqMap = std::map<std::uint64_t, std::uint64_t>;
+
+TEST(Coordinator, PhaseLifecycle) {
+  Coordinator c(2, nullptr);
+  EXPECT_EQ(c.phase(), CkptPhase::kIdle);
+  EXPECT_FALSE(c.ckpt_pending());
+
+  EXPECT_TRUE(c.request_checkpoint());
+  EXPECT_EQ(c.phase(), CkptPhase::kDrain);
+  EXPECT_TRUE(c.ckpt_pending());
+  EXPECT_FALSE(c.request_checkpoint());  // idempotent during a cycle
+}
+
+TEST(Coordinator, TargetsAreElementwiseMax) {
+  Coordinator c(2, nullptr);
+  c.request_checkpoint();
+  c.post_seq(0, SeqMap{{10, 5}, {20, 1}});
+  c.post_seq(1, SeqMap{{10, 3}, {30, 7}});
+
+  std::uint64_t version = 0;
+  SeqMap targets;
+  EXPECT_TRUE(c.pull_targets(version, targets));
+  EXPECT_EQ(targets, (SeqMap{{10, 5}, {20, 1}, {30, 7}}));
+  EXPECT_FALSE(c.pull_targets(version, targets));  // unchanged since
+}
+
+TEST(Coordinator, AllSeqPostedTracksContributions) {
+  Coordinator c(3, nullptr);
+  c.request_checkpoint();
+  EXPECT_FALSE(c.all_seq_posted());
+  c.post_seq(0, {});
+  c.post_seq(2, {});
+  EXPECT_FALSE(c.all_seq_posted());
+  c.post_seq(1, {});
+  EXPECT_TRUE(c.all_seq_posted());
+}
+
+TEST(Coordinator, CcWriteRequiresAllParkedAndBalanced) {
+  Coordinator c(2, nullptr);
+  c.request_checkpoint();
+  c.post_seq(0, SeqMap{{1, 1}});
+  c.post_seq(1, SeqMap{{1, 1}});
+  std::uint64_t version = 0;
+  SeqMap targets;
+  c.pull_targets(version, targets);
+
+  c.report_cc(0, true, 0, 0, version);
+  EXPECT_EQ(c.phase(), CkptPhase::kDrain);  // rank 1 not parked yet
+  c.report_cc(1, true, 1, 0, version);
+  EXPECT_EQ(c.phase(), CkptPhase::kDrain);  // Σsent=1 > Σrecv=0: in-flight update
+  c.report_cc(0, true, 0, 1, version);      // rank 0 consumed it
+  EXPECT_EQ(c.phase(), CkptPhase::kWrite);  // all parked, counts balanced
+}
+
+TEST(Coordinator, CcWriteRequiresCurrentVersion) {
+  Coordinator c(2, nullptr);
+  c.request_checkpoint();
+  c.post_seq(0, SeqMap{{1, 1}});
+  std::uint64_t v0 = 0;
+  SeqMap targets;
+  c.pull_targets(v0, targets);
+  c.report_cc(0, true, 0, 0, v0);
+
+  // Rank 1 posts later, bumping the version; rank 0's park is now stale.
+  c.post_seq(1, SeqMap{{1, 2}});
+  c.report_cc(1, true, 0, 0, v0 + 1);
+  EXPECT_EQ(c.phase(), CkptPhase::kDrain);  // rank 0 parked on stale version
+
+  c.report_cc(0, true, 0, 0, v0 + 1);
+  EXPECT_EQ(c.phase(), CkptPhase::kWrite);
+}
+
+TEST(Coordinator, WriteCompletesCycle) {
+  Coordinator c(2, nullptr);
+  c.request_checkpoint();
+  c.post_seq(0, {});
+  c.post_seq(1, {});
+  std::uint64_t v = 0;
+  SeqMap t;
+  c.pull_targets(v, t);
+  c.report_cc(0, true, 0, 0, v);
+  c.report_cc(1, true, 0, 0, v);
+  ASSERT_EQ(c.phase(), CkptPhase::kWrite);
+
+  c.report_written(0);
+  EXPECT_EQ(c.phase(), CkptPhase::kWrite);
+  c.report_written(1);
+  EXPECT_EQ(c.phase(), CkptPhase::kIdle);
+  EXPECT_EQ(c.completed_cycles(), 1u);
+
+  // A second cycle starts clean.
+  EXPECT_TRUE(c.request_checkpoint());
+  EXPECT_FALSE(c.all_seq_posted());
+}
+
+TEST(Coordinator, TpcFullyEnteredInstanceBlocksWrite) {
+  Coordinator c(2, nullptr);
+  // Both ranks enter the inserted barrier of instance (g=9, n=0).
+  c.tpc_enter(0, 9, 0, 2);
+  c.tpc_enter(1, 9, 0, 2);
+  c.request_checkpoint();
+  c.report_tpc(0, true);
+  c.report_tpc(1, true);
+  // All parked, but the instance is fully entered and not done: unsafe.
+  EXPECT_EQ(c.phase(), CkptPhase::kDrain);
+
+  // Both execute and finish the real collective; instance closes.
+  c.tpc_execute(0, 9, 0);
+  c.tpc_execute(1, 9, 0);
+  c.tpc_done(0, 9, 0);
+  c.tpc_done(1, 9, 0);
+  c.report_tpc(0, true);
+  c.report_tpc(1, true);
+  EXPECT_EQ(c.phase(), CkptPhase::kWrite);
+}
+
+TEST(Coordinator, TpcPartiallyEnteredInstanceIsSafe) {
+  Coordinator c(3, nullptr);
+  c.tpc_enter(0, 9, 0, 3);
+  c.tpc_enter(1, 9, 0, 3);  // rank 2 has not entered
+  c.request_checkpoint();
+  c.report_tpc(0, true);
+  c.report_tpc(1, true);
+  c.report_tpc(2, true);  // parked at a poll site
+  EXPECT_EQ(c.phase(), CkptPhase::kWrite);
+}
+
+TEST(Coordinator, TpcExecutingRankIsUnparked) {
+  Coordinator c(1, nullptr);
+  c.tpc_enter(0, 5, 0, 1);
+  c.request_checkpoint();
+  c.report_tpc(0, true);
+  // Execution clears the parked flag.
+  c.tpc_execute(0, 5, 0);
+  EXPECT_EQ(c.phase(), CkptPhase::kDrain);
+  c.tpc_done(0, 5, 0);
+  c.report_tpc(0, true);
+  EXPECT_EQ(c.phase(), CkptPhase::kWrite);
+}
+
+TEST(Coordinator, DoneRanksTracked) {
+  Coordinator c(2, nullptr);
+  EXPECT_FALSE(c.all_done());
+  c.report_done(0);
+  EXPECT_FALSE(c.all_done());
+  c.report_done(1);
+  EXPECT_TRUE(c.all_done());
+}
+
+TEST(Coordinator, CycleStatsRecordUpdateCounts) {
+  Coordinator c(1, nullptr);
+  c.request_checkpoint();
+  c.post_seq(0, SeqMap{{1, 1}});
+  std::uint64_t v = 0;
+  SeqMap t;
+  c.pull_targets(v, t);
+  c.report_cc(0, true, 5, 5, v);
+  ASSERT_EQ(c.phase(), CkptPhase::kWrite);
+  const auto stats = c.cycle_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].cycle, 1u);
+  EXPECT_EQ(stats[0].cc_updates_sent, 5u);
+}
+
+TEST(Coordinator, DebugDumpMentionsState) {
+  Coordinator c(2, nullptr);
+  c.request_checkpoint();
+  const auto dump = c.debug_dump();
+  EXPECT_NE(dump.find("phase=1"), std::string::npos);
+  EXPECT_NE(dump.find("rank 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace manatee::ckpt

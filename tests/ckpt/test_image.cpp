@@ -1,0 +1,93 @@
+#include "ckpt/image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/error.hpp"
+
+namespace manatee::ckpt {
+namespace {
+
+CkptImage sample_image() {
+  CkptImage img;
+  img.world_size = 4;
+  img.rank = 2;
+  img.cycle = 3;
+  img.blobs["app/state"] = std::vector<std::byte>(64, std::byte{0x5a});
+  img.blobs["engine/meta"] = std::vector<std::byte>{std::byte{1}, std::byte{2}};
+  img.blobs["empty"] = {};
+  return img;
+}
+
+TEST(CkptImage, SerializeDeserializeRoundTrip) {
+  const auto img = sample_image();
+  const auto bytes = img.serialize();
+  const auto back = CkptImage::deserialize(bytes);
+  EXPECT_EQ(back.world_size, 4);
+  EXPECT_EQ(back.rank, 2);
+  EXPECT_EQ(back.cycle, 3u);
+  EXPECT_EQ(back.blobs, img.blobs);
+}
+
+TEST(CkptImage, FileRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() / "manatee_img_test";
+  std::filesystem::create_directories(dir);
+  const auto path = CkptImage::path_for(dir.string(), 2);
+
+  const auto img = sample_image();
+  img.write_file(path);
+  const auto back = CkptImage::read_file(path);
+  EXPECT_EQ(back.blobs, img.blobs);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CkptImage, CorruptionDetectedByCrc) {
+  auto bytes = sample_image().serialize();
+  bytes[bytes.size() / 2] ^= std::byte{0x01};
+  EXPECT_THROW(CkptImage::deserialize(bytes), CheckpointError);
+}
+
+TEST(CkptImage, TruncationDetected) {
+  auto bytes = sample_image().serialize();
+  bytes.resize(bytes.size() - 10);
+  EXPECT_THROW(CkptImage::deserialize(bytes), CheckpointError);
+}
+
+TEST(CkptImage, TinyBufferRejected) {
+  std::vector<std::byte> tiny(3);
+  EXPECT_THROW(CkptImage::deserialize(tiny), CheckpointError);
+}
+
+TEST(CkptImage, BadMagicRejected) {
+  // Corrupt the magic but fix up a consistent CRC by rebuilding manually:
+  // easiest is to flip magic bytes and expect either CRC or magic error.
+  auto bytes = sample_image().serialize();
+  bytes[1] ^= std::byte{0xff};
+  EXPECT_THROW(CkptImage::deserialize(bytes), CheckpointError);
+}
+
+TEST(CkptImage, MissingBlobThrows) {
+  const auto img = sample_image();
+  EXPECT_THROW(img.blob("nonexistent"), CheckpointError);
+  EXPECT_NO_THROW(img.blob("app/state"));
+  EXPECT_TRUE(img.has("app/state"));
+  EXPECT_FALSE(img.has("nope"));
+}
+
+TEST(CkptImage, PayloadBytesCountsBlobAndNames) {
+  CkptImage img;
+  img.blobs["ab"] = std::vector<std::byte>(10);
+  EXPECT_EQ(img.payload_bytes(), 12u);
+}
+
+TEST(CkptImage, PathForFormat) {
+  EXPECT_EQ(CkptImage::path_for("/tmp/x", 7), "/tmp/x/ckpt_rank_7.img");
+}
+
+TEST(CkptImage, MissingFileThrows) {
+  EXPECT_THROW(CkptImage::read_file("/nonexistent/dir/img"), CheckpointError);
+}
+
+}  // namespace
+}  // namespace manatee::ckpt

@@ -1,0 +1,45 @@
+#include "common/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <vector>
+
+namespace manatee {
+namespace {
+
+std::span<const std::byte> bytes_of(std::string_view s) {
+  return std::as_bytes(std::span(s.data(), s.size()));
+}
+
+TEST(Crc32, EmptyIsZero) { EXPECT_EQ(Crc32::of({}), 0u); }
+
+TEST(Crc32, KnownVector123456789) {
+  // The canonical CRC-32 check value.
+  EXPECT_EQ(Crc32::of(bytes_of("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc32, KnownVectorAbc) {
+  EXPECT_EQ(Crc32::of(bytes_of("abc")), 0x352441C2u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  Crc32 inc;
+  inc.update(bytes_of("1234"));
+  inc.update(bytes_of("56789"));
+  EXPECT_EQ(inc.value(), Crc32::of(bytes_of("123456789")));
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::vector<std::byte> data(64, std::byte{0x5a});
+  const auto clean = Crc32::of(data);
+  data[17] ^= std::byte{0x01};
+  EXPECT_NE(Crc32::of(data), clean);
+}
+
+TEST(Crc32, DetectsTransposition) {
+  EXPECT_NE(Crc32::of(bytes_of("ab")), Crc32::of(bytes_of("ba")));
+}
+
+}  // namespace
+}  // namespace manatee

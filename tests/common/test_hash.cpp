@@ -1,0 +1,71 @@
+#include "common/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace manatee {
+namespace {
+
+TEST(Mix64, IsDeterministic) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(42), mix64(43));
+}
+
+TEST(Mix64, ZeroDoesNotMapToZero) { EXPECT_NE(mix64(0), 0u); }
+
+TEST(Mix64, SmallInputsSpread) {
+  // Consecutive inputs should produce well-separated outputs.
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 1000; ++i) outputs.insert(mix64(i));
+  EXPECT_EQ(outputs.size(), 1000u);
+}
+
+TEST(Fnv1a, EmptyInputGivesSeed) {
+  EXPECT_EQ(fnv1a(std::span<const std::byte>{}), 0xcbf29ce484222325ULL);
+}
+
+TEST(Fnv1a, KnownVector) {
+  // FNV-1a of "a" is a published test vector.
+  EXPECT_EQ(fnv1a(std::string_view("a")), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Fnv1a, OrderDependent) {
+  EXPECT_NE(fnv1a(std::string_view("ab")), fnv1a(std::string_view("ba")));
+}
+
+TEST(HashCombine, NotCommutative) {
+  EXPECT_NE(hash_combine(hash_combine(1, 2), 3),
+            hash_combine(hash_combine(1, 3), 2));
+}
+
+TEST(HashCombine, SensitiveToZero) {
+  EXPECT_NE(hash_combine(7, 0), 7u);
+}
+
+TEST(Fingerprint, AccumulatesOrderDependently) {
+  Fingerprint a;
+  a.add_value<int>(1);
+  a.add_value<int>(2);
+  Fingerprint b;
+  b.add_value<int>(2);
+  b.add_value<int>(1);
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(Fingerprint, RangeMatchesElementwise) {
+  const std::vector<double> xs{1.0, 2.5, -3.25};
+  Fingerprint a;
+  a.add_range<double>(xs);
+  Fingerprint b;
+  for (double x : xs) b.add_value(x);
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(Fingerprint, EmptyFingerprintsEqual) {
+  EXPECT_EQ(Fingerprint{}.value(), Fingerprint{}.value());
+}
+
+}  // namespace
+}  // namespace manatee

@@ -1,0 +1,64 @@
+#include "common/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace manatee {
+namespace {
+
+Options parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Options(static_cast<int>(args.size()),
+                 const_cast<char**>(args.data()));
+}
+
+TEST(Options, SpaceSeparatedValue) {
+  const auto o = parse({"--ranks", "32"});
+  EXPECT_EQ(o.get_int("ranks", 0), 32);
+}
+
+TEST(Options, EqualsSeparatedValue) {
+  const auto o = parse({"--ranks=64"});
+  EXPECT_EQ(o.get_int("ranks", 0), 64);
+}
+
+TEST(Options, BooleanFlag) {
+  const auto o = parse({"--full"});
+  EXPECT_TRUE(o.get_bool("full"));
+  EXPECT_TRUE(o.has("full"));
+}
+
+TEST(Options, MissingFallsBack) {
+  const auto o = parse({});
+  EXPECT_EQ(o.get("name", "dflt"), "dflt");
+  EXPECT_EQ(o.get_int("n", 9), 9);
+  EXPECT_FALSE(o.get_bool("flag"));
+  EXPECT_TRUE(o.get_bool("flag", true));
+}
+
+TEST(Options, DoubleValues) {
+  const auto o = parse({"--scale=2.5"});
+  EXPECT_DOUBLE_EQ(o.get_double("scale", 0.0), 2.5);
+}
+
+TEST(Options, PositionalArgsPreserved) {
+  const auto o = parse({"input.txt", "--n", "3", "output.txt"});
+  ASSERT_EQ(o.positional().size(), 2u);
+  EXPECT_EQ(o.positional()[0], "input.txt");
+  EXPECT_EQ(o.positional()[1], "output.txt");
+}
+
+TEST(Options, NonIntegerThrows) {
+  const auto o = parse({"--n=abc"});
+  EXPECT_THROW(o.get_int("n", 0), UsageError);
+}
+
+TEST(Options, FlagFollowedByOption) {
+  const auto o = parse({"--verbose", "--n", "5"});
+  EXPECT_TRUE(o.get_bool("verbose"));
+  EXPECT_EQ(o.get_int("n", 0), 5);
+}
+
+}  // namespace
+}  // namespace manatee

@@ -1,0 +1,80 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace manatee {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowZeroBoundIsZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, NextInSingletonRange) {
+  Rng rng(99);
+  EXPECT_EQ(rng.next_in(3, 3), 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliRoughlyFair) {
+  Rng rng(11);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.next_bool() ? 1 : 0;
+  EXPECT_GT(heads, 4500);
+  EXPECT_LT(heads, 5500);
+}
+
+TEST(Rng, StateRoundTripResumesSequence) {
+  Rng a(42);
+  a.next_u64();
+  a.next_u64();
+  const auto saved = a.state();
+  const auto expected = a.next_u64();
+
+  Rng b(0);
+  b.set_state(saved);
+  EXPECT_EQ(b.next_u64(), expected);
+}
+
+TEST(Rng, CoversFullRangeBuckets) {
+  // All 16 top-nibble buckets should be hit over a modest sample.
+  Rng rng(3);
+  int buckets[16] = {};
+  for (int i = 0; i < 4096; ++i) ++buckets[rng.next_u64() >> 60];
+  for (int b = 0; b < 16; ++b) EXPECT_GT(buckets[b], 0) << "bucket " << b;
+}
+
+}  // namespace
+}  // namespace manatee

@@ -1,0 +1,116 @@
+#include "common/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace manatee {
+namespace {
+
+TEST(Serialize, RoundTripsScalars) {
+  BinaryWriter w;
+  w.write_u8(0xab);
+  w.write_u32(0xdeadbeef);
+  w.write_u64(0x0123456789abcdefULL);
+  w.write_i64(-42);
+  w.write_f64(3.14159);
+
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.read_u8(), 0xab);
+  EXPECT_EQ(r.read_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.read_u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.read_i64(), -42);
+  EXPECT_DOUBLE_EQ(r.read_f64(), 3.14159);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Serialize, RoundTripsStringsAndBytes) {
+  BinaryWriter w;
+  w.write_string("hello manatee");
+  w.write_string("");
+  std::vector<std::byte> blob{std::byte{1}, std::byte{2}, std::byte{3}};
+  w.write_bytes(blob);
+
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.read_string(), "hello manatee");
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_EQ(r.read_bytes(), blob);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Serialize, RoundTripsPodVector) {
+  BinaryWriter w;
+  const std::vector<double> xs{1.0, -2.0, 1e300};
+  w.write_pod_vector(xs);
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.read_pod_vector<double>(), xs);
+}
+
+TEST(Serialize, RoundTripsEmptyPodVector) {
+  BinaryWriter w;
+  w.write_pod_vector(std::vector<int>{});
+  BinaryReader r(w.bytes());
+  EXPECT_TRUE(r.read_pod_vector<int>().empty());
+}
+
+TEST(Serialize, RoundTripsU64Map) {
+  BinaryWriter w;
+  const std::map<std::uint64_t, std::uint64_t> m{{1, 10}, {7, 70}, {42, 0}};
+  w.write_u64_map(m);
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.read_u64_map(), m);
+}
+
+TEST(Serialize, TagMismatchThrows) {
+  BinaryWriter w;
+  w.write_u32(5);
+  BinaryReader r(w.bytes());
+  EXPECT_THROW(r.read_u64(), SerializeError);
+}
+
+TEST(Serialize, TruncationThrows) {
+  BinaryWriter w;
+  w.write_u64(5);
+  auto bytes = w.bytes();
+  bytes.pop_back();
+  BinaryReader r(bytes);
+  EXPECT_THROW(r.read_u64(), SerializeError);
+}
+
+TEST(Serialize, TruncatedStringPayloadThrows) {
+  BinaryWriter w;
+  w.write_string("0123456789");
+  auto bytes = w.bytes();
+  bytes.resize(bytes.size() - 4);
+  BinaryReader r(bytes);
+  EXPECT_THROW(r.read_string(), SerializeError);
+}
+
+TEST(Serialize, MisalignedPodVectorThrows) {
+  BinaryWriter w;
+  std::vector<std::byte> blob(7);  // not a multiple of sizeof(double)
+  w.write_bytes(blob);
+  BinaryReader r(w.bytes());
+  EXPECT_THROW(r.read_pod_vector<double>(), SerializeError);
+}
+
+TEST(Serialize, ListAndMapHeaders) {
+  BinaryWriter w;
+  w.begin_list(3);
+  w.begin_map(2);
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.read_list_size(), 3u);
+  EXPECT_EQ(r.read_map_size(), 2u);
+}
+
+TEST(Serialize, PositionTracksConsumption) {
+  BinaryWriter w;
+  w.write_u8(1);
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.position(), 0u);
+  r.read_u8();
+  EXPECT_EQ(r.position(), w.size());
+}
+
+}  // namespace
+}  // namespace manatee

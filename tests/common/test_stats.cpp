@@ -1,0 +1,64 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace manatee {
+namespace {
+
+TEST(RunningStats, EmptyIsSane) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(7.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.5);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 7.5);
+  EXPECT_DOUBLE_EQ(s.max(), 7.5);
+}
+
+TEST(RunningStats, KnownMeanAndStddev) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStats, MinMaxTracked) {
+  RunningStats s;
+  s.add(3.0);
+  s.add(-1.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(RunningStats, LargeUniformSeriesStable) {
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 1.0);
+  EXPECT_NEAR(s.stddev(), 0.0, 1e-9);
+}
+
+TEST(OverheadPct, Basics) {
+  EXPECT_DOUBLE_EQ(overhead_pct(100.0, 110.0), 10.0);
+  EXPECT_DOUBLE_EQ(overhead_pct(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(overhead_pct(100.0, 90.0), -10.0);
+}
+
+TEST(OverheadPct, ZeroBaselineIsZero) {
+  EXPECT_DOUBLE_EQ(overhead_pct(0.0, 50.0), 0.0);
+}
+
+}  // namespace
+}  // namespace manatee

@@ -1,0 +1,123 @@
+// Unit tests for the §4.2.2 safe-state oracle on hand-built traces,
+// including the paper's Figure 2a/2b scenarios.
+#include "core/drain_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace manatee::core {
+namespace {
+
+TraceEvent coll(Ggid g, std::uint64_t seq, std::vector<int> members) {
+  return TraceEvent{TraceEventKind::kCollectiveExecuted, g, seq,
+                    std::move(members), 0};
+}
+TraceEvent request(std::uint64_t cycle = 1) {
+  return TraceEvent{TraceEventKind::kCkptRequestSeen, 0, 0, {}, cycle};
+}
+TraceEvent written(std::uint64_t cycle = 1) {
+  return TraceEvent{TraceEventKind::kImageWritten, 0, 0, {}, cycle};
+}
+
+TEST(DrainGraph, AcceptsFullyVisitedState) {
+  // Two ranks, one group, both executed ops 1 and 2 before writing.
+  std::vector<std::vector<TraceEvent>> t(2);
+  for (int r = 0; r < 2; ++r) {
+    t[r] = {coll(9, 1, {0, 1}), request(), coll(9, 2, {0, 1}), written()};
+  }
+  DrainGraph g(t);
+  EXPECT_TRUE(g.check_fully_visited(1).ok);
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.complete_cycles(), 1u);
+}
+
+TEST(DrainGraph, RejectsHalfVisitedNode) {
+  // Rank 0 executed node (9,1); rank 1 wrote without executing it:
+  // Invariant 1/2 violated.
+  std::vector<std::vector<TraceEvent>> t(2);
+  t[0] = {coll(9, 1, {0, 1}), request(), written()};
+  t[1] = {request(), written()};
+  DrainGraph g(t);
+  const auto verdict = g.check_fully_visited(1);
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_NE(verdict.error.find("rank 1 missing"), std::string::npos);
+}
+
+TEST(DrainGraph, MissingImageReported) {
+  std::vector<std::vector<TraceEvent>> t(2);
+  t[0] = {written()};
+  t[1] = {};  // never wrote
+  DrainGraph g(t);
+  EXPECT_FALSE(g.check_fully_visited(1).ok);
+  EXPECT_EQ(g.complete_cycles(), 0u);
+}
+
+TEST(DrainGraph, MinimalityAcceptsExactTargets) {
+  // Figure 2a: P1 visited (g,1) before the request; P2 reaches it during
+  // the drain — exactly the target, nothing more.
+  std::vector<std::vector<TraceEvent>> t(2);
+  t[0] = {coll(9, 1, {0, 1}), request(), written()};
+  t[1] = {request(), coll(9, 1, {0, 1}), written()};
+  DrainGraph g(t);
+  EXPECT_TRUE(g.check_safe_state(1, true).ok);
+}
+
+TEST(DrainGraph, MinimalityAcceptsCascade) {
+  // Figure 2b/3b: rank 1 owes group A (target 1); executing toward it
+  // pushes group B past its request-time target, legitimately extending
+  // the targets; rank 2 must then follow group B.
+  const Ggid A = 100, B = 200;
+  std::vector<std::vector<TraceEvent>> t(3);
+  // Rank 0 executed A#1 pre-request.
+  t[0] = {coll(A, 1, {0, 1}), request(), written()};
+  // Rank 1 (member of both): during the drain executes B#1 (beyond B's
+  // request-time target of 0 — admissible because A#1 is still owed),
+  // then A#1.
+  t[1] = {request(), coll(B, 1, {1, 2}), coll(A, 1, {0, 1}), written()};
+  // Rank 2 follows B's cascaded target.
+  t[2] = {request(), coll(B, 1, {1, 2}), written()};
+  DrainGraph g(t);
+  const auto verdict = g.check_safe_state(1, true);
+  EXPECT_TRUE(verdict.ok) << verdict.error;
+}
+
+TEST(DrainGraph, MinimalityRejectsGratuitousExecution) {
+  // Both ranks at their targets, yet they execute one more op before
+  // writing: violates "no other nodes visited".
+  std::vector<std::vector<TraceEvent>> t(2);
+  t[0] = {coll(9, 1, {0, 1}), request(), coll(9, 2, {0, 1}), written()};
+  t[1] = {coll(9, 1, {0, 1}), request(), coll(9, 2, {0, 1}), written()};
+  DrainGraph g(t);
+  EXPECT_TRUE(g.check_fully_visited(1).ok);  // consistent, but...
+  const auto verdict = g.check_minimality(1);
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_NE(verdict.error.find("minimality"), std::string::npos);
+}
+
+TEST(DrainGraph, InconsistentMembersDetected) {
+  std::vector<std::vector<TraceEvent>> t(2);
+  t[0] = {coll(9, 1, {0, 1}), written()};
+  t[1] = {coll(9, 1, {0, 1, 2}), written()};  // different member set
+  DrainGraph g(t);
+  EXPECT_FALSE(g.check_fully_visited(1).ok);
+}
+
+TEST(DrainGraph, MultiCycleTraces) {
+  std::vector<std::vector<TraceEvent>> t(1);
+  t[0] = {coll(9, 1, {0}), request(1), written(1), coll(9, 2, {0}), request(2),
+          written(2)};
+  DrainGraph g(t);
+  EXPECT_EQ(g.complete_cycles(), 2u);
+  EXPECT_TRUE(g.check_safe_state(1, true).ok);
+  EXPECT_TRUE(g.check_safe_state(2, true).ok);
+}
+
+TEST(DrainGraph, MissingRequestMarkerFailsMinimality) {
+  std::vector<std::vector<TraceEvent>> t(1);
+  t[0] = {coll(9, 1, {0}), written()};
+  DrainGraph g(t);
+  EXPECT_TRUE(g.check_fully_visited(1).ok);
+  EXPECT_FALSE(g.check_minimality(1).ok);
+}
+
+}  // namespace
+}  // namespace manatee::core

@@ -1,0 +1,111 @@
+#include "core/seq_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace manatee::core {
+namespace {
+
+TEST(SeqTracker, NoteGroupInitializesToZero) {
+  SeqTracker t;
+  t.note_group(42);
+  EXPECT_EQ(t.seq(42), 0u);
+  EXPECT_EQ(t.seq(99), 0u);  // unknown groups read as zero (paper §4.1)
+}
+
+TEST(SeqTracker, IncrementAdvancesClock) {
+  SeqTracker t;
+  t.note_group(7);
+  EXPECT_EQ(t.increment(7), 1u);
+  EXPECT_EQ(t.increment(7), 2u);
+  EXPECT_EQ(t.seq(7), 2u);
+}
+
+TEST(SeqTracker, NoteGroupIdempotent) {
+  SeqTracker t;
+  t.note_group(7);
+  t.increment(7);
+  t.note_group(7);  // must not reset
+  EXPECT_EQ(t.seq(7), 1u);
+}
+
+TEST(SeqTracker, MergeTargetsKeepsMax) {
+  SeqTracker t;
+  EXPECT_TRUE(t.merge_targets({{1, 5}, {2, 3}}));
+  EXPECT_FALSE(t.merge_targets({{1, 4}}));  // lower: no growth
+  EXPECT_TRUE(t.merge_targets({{1, 6}}));
+  EXPECT_EQ(t.target(1), 6u);
+  EXPECT_EQ(t.target(2), 3u);
+  EXPECT_EQ(t.target(3), 0u);
+}
+
+TEST(SeqTracker, TargetsMetOnlyConsidersOwnGroups) {
+  // Condition A' ranges over groups the process belongs to; foreign
+  // targets (published globally by the coordinator) are ignored.
+  SeqTracker t;
+  t.note_group(1);
+  t.increment(1);
+  t.merge_targets({{1, 1}, {999, 10}});  // 999: not a member
+  EXPECT_TRUE(t.targets_met());
+}
+
+TEST(SeqTracker, TargetsUnmetWhenBehind) {
+  SeqTracker t;
+  t.note_group(1);
+  t.merge_target(1, 2);
+  EXPECT_FALSE(t.targets_met());
+  t.increment(1);
+  EXPECT_FALSE(t.targets_met());
+  t.increment(1);
+  EXPECT_TRUE(t.targets_met());
+}
+
+TEST(SeqTracker, UnmetListsLaggingGroups) {
+  SeqTracker t;
+  t.note_group(1);
+  t.note_group(2);
+  t.increment(2);
+  t.merge_targets({{1, 3}, {2, 1}});
+  const auto unmet = t.unmet();
+  ASSERT_EQ(unmet.size(), 1u);
+  EXPECT_EQ(unmet.at(1), 3u);
+}
+
+TEST(SeqTracker, RaiseTargetToSeq) {
+  // Algorithm 2: executing past the target raises it (and triggers SEND).
+  SeqTracker t;
+  t.note_group(5);
+  t.merge_target(5, 1);
+  t.increment(5);
+  EXPECT_FALSE(t.raise_target_to_seq(5));  // seq == target: no raise
+  t.increment(5);
+  EXPECT_TRUE(t.raise_target_to_seq(5));  // seq 2 > target 1
+  EXPECT_EQ(t.target(5), 2u);
+}
+
+TEST(SeqTracker, ClearTargetsEndsDrain) {
+  SeqTracker t;
+  t.note_group(1);
+  t.merge_target(1, 5);
+  EXPECT_FALSE(t.targets_met());
+  t.clear_targets();
+  EXPECT_TRUE(t.targets_met());
+  EXPECT_EQ(t.seq(1), 0u);  // SEQ survives cycles; only targets reset
+}
+
+TEST(SeqTracker, RestoreSeqReplacesState) {
+  SeqTracker t;
+  t.note_group(1);
+  t.increment(1);
+  t.restore_seq({{2, 7}});
+  EXPECT_EQ(t.seq(1), 0u);
+  EXPECT_EQ(t.seq(2), 7u);
+}
+
+TEST(SeqTracker, VacuouslyMetWithNoTargets) {
+  SeqTracker t;
+  t.note_group(1);
+  EXPECT_TRUE(t.targets_met());
+}
+
+}  // namespace
+}  // namespace manatee::core

@@ -1,0 +1,167 @@
+// Shared miniature applications for checkpoint/restart integration tests.
+//
+// Each app follows MANATEE's resumable-execution model (split/api.hpp):
+// registered buffers hold all data state, every mutation happens inside an
+// MPI wrapper or an api.once() block, and loop counters are plain locals
+// reconstructed by replay. The property under test: for any checkpoint
+// trigger point,
+//     native final state == (run-to-checkpoint → kill → restart) final state.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "simnet/mailbox.hpp"
+#include "split/engine.hpp"
+
+namespace manatee::split::testing {
+
+/// A mixed-collective iterative app: allreduce + bcast + halo exchange +
+/// subcommunicator work + optional non-blocking collectives per iteration.
+struct MixedApp {
+  int iterations = 20;
+  int vector_len = 64;
+  bool use_subcomms = true;
+  bool use_nbc = false;  // non-blocking collectives (CC only)
+  bool use_p2p = true;
+
+  void operator()(Api& api) const {
+    const int rank = api.rank();
+    const int size = api.size();
+
+    std::vector<double> state(static_cast<std::size_t>(vector_len));
+    std::vector<double> tmp(static_cast<std::size_t>(vector_len));
+    std::vector<double> halo_in(8), halo_out(8);
+    double control = 0, part = 0, part_sum = 0, nbc_out = 0, nbc_in = 0;
+    std::uint64_t rng_state = 0x1234 + static_cast<std::uint64_t>(rank);
+
+    api.register_state("state", state);
+    api.register_state("tmp", tmp);
+    api.register_state("halo_in", halo_in);
+    api.register_state("halo_out", halo_out);
+    api.register_value("control", control);
+    api.register_value("part", part);
+    api.register_value("part_sum", part_sum);
+    api.register_value("nbc_out", nbc_out);
+    api.register_value("nbc_in", nbc_in);
+    api.register_value("rng", rng_state);
+
+    api.once([&] {
+      for (int i = 0; i < vector_len; ++i) {
+        state[static_cast<std::size_t>(i)] = rank + i * 0.25;
+      }
+    });
+
+    // Sub-communicators: even/odd split plus an overlapping middle group
+    // (multiple ggids; the Figure 3 chained-group topology).
+    VComm evenodd = kNullComm;
+    VComm middle = kNullComm;
+    if (use_subcomms && size >= 4) {
+      evenodd = api.comm_split(kWorldComm, rank % 2, rank);
+      std::vector<int> mid;
+      for (int r = size / 4; r < size - size / 4; ++r) mid.push_back(r);
+      middle = api.comm_create(kWorldComm, umpi::Group(mid));
+    }
+
+    for (int iter = 0; iter < iterations; ++iter) {
+      // Local compute.
+      api.once(
+          [&] {
+            Rng rng(rng_state);
+            for (auto& x : state) {
+              x = x * 0.5 + 0.125 * static_cast<double>(rng.next_below(16));
+            }
+            rng_state = rng.state();
+          },
+          2000);
+
+      // Global allreduce.
+      api.allreduce(kWorldComm, std::as_bytes(std::span(state)),
+                    std::as_writable_bytes(std::span(tmp)), umpi::Datatype::kDouble,
+                    umpi::ReduceOp::kSum);
+      api.once([&] { std::copy(tmp.begin(), tmp.end(), state.begin()); });
+
+      // Broadcast a control value from a rotating root.
+      const int root = iter % size;
+      api.once([&] { control = rank == root ? state[0] : 0.0; });
+      api.bcast(kWorldComm, std::as_writable_bytes(std::span(&control, 1)), root);
+      api.once([&] { state[0] += control * 1e-3; });
+
+      // Halo exchange with ring neighbours.
+      if (use_p2p && size > 1) {
+        const int right = (rank + 1) % size;
+        const int left = (rank - 1 + size) % size;
+        api.once([&] {
+          for (std::size_t i = 0; i < halo_out.size(); ++i) {
+            halo_out[i] = state[i] + static_cast<double>(iter);
+          }
+        });
+        auto rreq = api.irecv(kWorldComm, std::as_writable_bytes(std::span(halo_in)),
+                              left, 7);
+        api.send(kWorldComm, std::as_bytes(std::span(halo_out)), right, 7);
+        api.wait(rreq);
+        api.once([&] {
+          for (std::size_t i = 0; i < halo_in.size(); ++i) {
+            state[state.size() - 1 - i] += halo_in[i] * 1e-6;
+          }
+        });
+      }
+
+      // Work on the sub-communicators (different ggids, different rates).
+      if (!evenodd.is_null()) {
+        api.once([&] { part = state[1]; });
+        api.allreduce(evenodd, std::as_bytes(std::span(&part, 1)),
+                      std::as_writable_bytes(std::span(&part_sum, 1)),
+                      umpi::Datatype::kDouble, umpi::ReduceOp::kSum);
+        const double denom = api.comm_size(evenodd);
+        api.once([&] { state[1] = part_sum / denom; });
+      }
+      if (!middle.is_null() && iter % 3 == 0) {
+        api.barrier(middle);
+      }
+
+      // Non-blocking collectives (paper §4.3 path).
+      if (use_nbc) {
+        api.once([&] { nbc_out = state[2]; });
+        auto req = api.iallreduce(kWorldComm, std::as_bytes(std::span(&nbc_out, 1)),
+                                  std::as_writable_bytes(std::span(&nbc_in, 1)),
+                                  umpi::Datatype::kDouble, umpi::ReduceOp::kMax);
+        api.compute(1000);  // overlap
+        api.wait(req);
+        api.once([&] { state[2] = nbc_in; });
+      }
+    }
+
+    Fingerprint fp;
+    fp.add_range<double>(state);
+    fp.add_value(rng_state);
+    result = fp.value();
+  }
+
+  mutable std::uint64_t result = 0;
+};
+
+/// Run `app` natively (no checkpointing) and return per-rank fingerprints.
+template <typename App>
+std::vector<std::uint64_t> run_native(const App& app_template, int world,
+                                      int ranks_per_node = 4) {
+  simnet::MessageStore::set_wait_timeout_ms(20'000);
+  EngineConfig config;
+  config.runtime.world_size = world;
+  config.runtime.ranks_per_node = ranks_per_node;
+  config.protocol = Protocol::kNative;
+  Engine engine(config);
+  std::vector<std::uint64_t> results(static_cast<std::size_t>(world));
+  engine.run([&](Api& api) {
+    App app = app_template;
+    app(api);
+    results[static_cast<std::size_t>(api.rank())] = app.result;
+  });
+  return results;
+}
+
+}  // namespace manatee::split::testing

@@ -1,0 +1,278 @@
+// End-to-end tests of the CC algorithm: drain to a safe state, write
+// images, verify the safe state with the drain-graph oracle, restart from
+// the images, and check bit-identical results against a native run.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/drain_graph.hpp"
+#include "test_apps.hpp"
+
+namespace manatee::split {
+namespace {
+
+using testing::MixedApp;
+using testing::run_native;
+
+std::string fresh_dir(const std::string& tag) {
+  const auto dir = std::filesystem::temp_directory_path() / ("manatee_" + tag);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+EngineConfig cc_config(int world, const std::string& dir,
+                       std::vector<std::uint64_t> triggers,
+                       bool stop_after = false) {
+  simnet::MessageStore::set_wait_timeout_ms(20'000);
+  EngineConfig config;
+  config.runtime.world_size = world;
+  config.runtime.ranks_per_node = 4;
+  config.protocol = Protocol::kCC;
+  config.image_dir = dir;
+  config.trigger_at_collectives = std::move(triggers);
+  config.stop_after_checkpoint = stop_after;
+  config.record_trace = true;
+  return config;
+}
+
+struct CcCkptCase {
+  int world;
+  std::uint64_t trigger;
+  bool nbc;
+};
+
+class CcCheckpointP : public ::testing::TestWithParam<CcCkptCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CcCheckpointP,
+    ::testing::Values(CcCkptCase{4, 5, false}, CcCkptCase{4, 17, false},
+                      CcCkptCase{8, 9, false}, CcCkptCase{8, 30, false},
+                      CcCkptCase{6, 12, false}, CcCkptCase{4, 7, true},
+                      CcCkptCase{8, 21, true}, CcCkptCase{5, 11, true}),
+    [](const auto& info) {
+      return "w" + std::to_string(info.param.world) + "_t" +
+             std::to_string(info.param.trigger) + (info.param.nbc ? "_nbc" : "");
+    });
+
+TEST_P(CcCheckpointP, CheckpointRestartMatchesNative) {
+  const auto& param = GetParam();
+  MixedApp app;
+  app.iterations = 25;
+  app.use_nbc = param.nbc;
+
+  const auto native = run_native(app, param.world);
+
+  const auto dir = fresh_dir("cc_rr_" + std::to_string(param.world) + "_" +
+                             std::to_string(param.trigger) +
+                             (param.nbc ? "n" : "b"));
+  // Phase 1: run with a mid-run checkpoint, stop right after it.
+  std::uint64_t ckpts = 0;
+  {
+    Engine engine(cc_config(param.world, dir, {param.trigger}, /*stop=*/true));
+    RunReport report;
+    try {
+      report = engine.run([&](Api& api) {
+        MixedApp instance = app;
+        instance(api);
+      });
+    } catch (const std::exception& ex) {
+      FAIL() << ex.what() << "\n" << engine.coordinator().debug_dump();
+    }
+    EXPECT_TRUE(report.stopped_after_checkpoint);
+    EXPECT_EQ(report.checkpoints, 1u);
+    ckpts = report.checkpoints;
+
+    // Oracle: the frozen state satisfies the §4.2.2 safe-state conditions.
+    core::DrainGraph graph(engine.traces());
+    const auto verdict = graph.check_safe_state(1, /*minimality=*/true);
+    EXPECT_TRUE(verdict.ok) << verdict.error;
+  }
+  ASSERT_EQ(ckpts, 1u);
+
+  // Phase 2: fresh engine (fresh lower half), restart from images.
+  {
+    Engine engine(cc_config(param.world, dir, {}));
+    std::vector<std::uint64_t> restored(static_cast<std::size_t>(param.world));
+    const auto report = engine.restart([&](Api& api) {
+      MixedApp instance = app;
+      instance(api);
+      restored[static_cast<std::size_t>(api.rank())] = instance.result;
+    });
+    EXPECT_GT(report.restart_duration, 0);
+    EXPECT_EQ(restored, native);
+  }
+}
+
+TEST(CcCheckpoint, ResumeWithoutRestartMatchesNative) {
+  // Checkpoint taken mid-run, but the job continues (no kill): results must
+  // still match, and the image must exist.
+  const int world = 6;
+  MixedApp app;
+  app.iterations = 20;
+  const auto native = run_native(app, world);
+
+  const auto dir = fresh_dir("cc_resume");
+  Engine engine(cc_config(world, dir, {8}));
+  std::vector<std::uint64_t> got(static_cast<std::size_t>(world));
+  const auto report = engine.run([&](Api& api) {
+    MixedApp instance = app;
+    instance(api);
+    got[static_cast<std::size_t>(api.rank())] = instance.result;
+  });
+  EXPECT_EQ(report.checkpoints, 1u);
+  EXPECT_FALSE(report.stopped_after_checkpoint);
+  EXPECT_EQ(got, native);
+  for (int r = 0; r < world; ++r) {
+    EXPECT_TRUE(std::filesystem::exists(ckpt::CkptImage::path_for(dir, r)));
+  }
+}
+
+TEST(CcCheckpoint, MultipleCheckpointCycles) {
+  const int world = 4;
+  MixedApp app;
+  app.iterations = 30;
+  const auto native = run_native(app, world);
+
+  const auto dir = fresh_dir("cc_multi");
+  Engine engine(cc_config(world, dir, {6, 14, 22}));
+  std::vector<std::uint64_t> got(static_cast<std::size_t>(world));
+  const auto report = engine.run([&](Api& api) {
+    MixedApp instance = app;
+    instance(api);
+    got[static_cast<std::size_t>(api.rank())] = instance.result;
+  });
+  EXPECT_EQ(report.checkpoints, 3u);
+  EXPECT_EQ(got, native);
+  EXPECT_EQ(report.ckpt_durations.size(), 3u);
+
+  core::DrainGraph graph(engine.traces());
+  for (std::uint64_t cycle = 1; cycle <= 3; ++cycle) {
+    const auto verdict = graph.check_safe_state(cycle, true);
+    EXPECT_TRUE(verdict.ok) << "cycle " << cycle << ": " << verdict.error;
+  }
+
+  // Restart from the *last* checkpoint must also reproduce native results.
+  Engine engine2(cc_config(world, dir, {}));
+  std::vector<std::uint64_t> restored(static_cast<std::size_t>(world));
+  engine2.restart([&](Api& api) {
+    MixedApp instance = app;
+    instance(api);
+    restored[static_cast<std::size_t>(api.rank())] = instance.result;
+  });
+  EXPECT_EQ(restored, native);
+}
+
+TEST(CcCheckpoint, SteadyStateSendsNoProtocolMessages) {
+  // §4.2.1: without a checkpoint request the CC algorithm sends nothing.
+  const int world = 6;
+  MixedApp app;
+  app.iterations = 15;
+  EngineConfig config = cc_config(world, fresh_dir("cc_steady"), {});
+  Engine engine(config);
+  const auto report = engine.run([&](Api& api) {
+    MixedApp instance = app;
+    instance(api);
+  });
+  EXPECT_EQ(report.checkpoints, 0u);
+  EXPECT_EQ(report.ckpt_protocol_messages, 0u);
+}
+
+// thread-local scratch for the lambda-based app below
+thread_local std::uint64_t fingerprint = 0;
+
+TEST(CcCheckpoint, CheckpointDuringPureP2PPhase) {
+  // Request lands while ranks are only exchanging point-to-point traffic;
+  // the drain must wait for the next collective boundaries and not lose
+  // messages.
+  const int world = 4;
+  const auto dir = fresh_dir("cc_p2p");
+
+  auto app_fn = [](Api& api) {
+    const int size = api.size();
+    const int rank = api.rank();
+    std::vector<double> state(32);
+    double in = 0, out = 0;
+    api.register_state("state", state);
+    api.register_value("in", in);
+    api.register_value("out", out);
+    api.once([&] {
+      for (auto& x : state) x = rank * 1.0;
+    });
+
+    for (int iter = 0; iter < 12; ++iter) {
+      // Long p2p-only phase.
+      for (int k = 0; k < 10; ++k) {
+        const int right = (rank + 1) % size;
+        const int left = (rank - 1 + size) % size;
+        api.once([&] { out = state[0] + k; });
+        auto rr =
+            api.irecv(kWorldComm, std::as_writable_bytes(std::span(&in, 1)), left, 3);
+        api.send(kWorldComm, std::as_bytes(std::span(&out, 1)), right, 3);
+        api.wait(rr);
+        api.once([&] { state[0] += in * 1e-3; });
+        api.poll();
+      }
+      api.once([&] { out = state[0]; });
+      api.allreduce(kWorldComm, std::as_bytes(std::span(&out, 1)),
+                    std::as_writable_bytes(std::span(&in, 1)),
+                    umpi::Datatype::kDouble, umpi::ReduceOp::kSum);
+      api.once([&] { state[0] = in / size; });
+    }
+    Fingerprint fp;
+    fp.add_range<double>(state);
+    fingerprint = fp.value();
+  };
+
+  // Native baseline.
+  std::vector<std::uint64_t> native(static_cast<std::size_t>(world));
+  {
+    EngineConfig config;
+    config.runtime.world_size = world;
+    config.protocol = Protocol::kNative;
+    Engine engine(config);
+    engine.run([&](Api& api) {
+      fingerprint = 0;
+      app_fn(api);
+      native[static_cast<std::size_t>(api.rank())] = fingerprint;
+    });
+  }
+
+  Engine engine(cc_config(world, dir, {3}, /*stop=*/true));
+  const auto report = engine.run([&](Api& api) {
+    fingerprint = 0;
+    app_fn(api);
+  });
+  EXPECT_EQ(report.checkpoints, 1u);
+
+  Engine engine2(cc_config(world, dir, {}));
+  std::vector<std::uint64_t> restored(static_cast<std::size_t>(world));
+  engine2.restart([&](Api& api) {
+    fingerprint = 0;
+    app_fn(api);
+    restored[static_cast<std::size_t>(api.rank())] = fingerprint;
+  });
+  if (restored != native) {
+    Engine engine3(cc_config(world, dir, {}));
+    std::vector<std::uint64_t> again(static_cast<std::size_t>(world));
+    engine3.restart([&](Api& api) {
+      fingerprint = 0;
+      app_fn(api);
+      again[static_cast<std::size_t>(api.rank())] = fingerprint;
+    });
+    ASSERT_EQ(restored, again) << "replay itself nondeterministic";
+    for (int r = 0; r < world; ++r) {
+      const auto img =
+          ckpt::CkptImage::read_file(ckpt::CkptImage::path_for(dir, r));
+      BinaryReader meta(img.blob("engine/meta"));
+      std::cerr << "rank " << r << ": ops_completed=" << meta.read_u64()
+                << " vreqs_blob=" << img.blob("engine/vreqs").size()
+                << " unexpected_blob=" << img.blob("engine/unexpected").size()
+                << "\n";
+    }
+  }
+  EXPECT_EQ(restored, native);
+}
+
+}  // namespace
+}  // namespace manatee::split

@@ -1,0 +1,171 @@
+// End-to-end tests of the 2PC baseline (original MANA, paper §2.2):
+// inserted-barrier drains, checkpoint/restart equivalence, the
+// "all-entered ⇒ wait for completion" safety rule, and the documented
+// non-support of non-blocking collectives.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "core/drain_graph.hpp"
+#include "test_apps.hpp"
+
+namespace manatee::split {
+namespace {
+
+using testing::MixedApp;
+using testing::run_native;
+
+std::string fresh_dir(const std::string& tag) {
+  const auto dir = std::filesystem::temp_directory_path() / ("manatee_" + tag);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+EngineConfig tpc_config(int world, const std::string& dir,
+                        std::vector<std::uint64_t> triggers,
+                        bool stop_after = false) {
+  simnet::MessageStore::set_wait_timeout_ms(20'000);
+  EngineConfig config;
+  config.runtime.world_size = world;
+  config.runtime.ranks_per_node = 4;
+  config.protocol = Protocol::kTpc;
+  config.image_dir = dir;
+  config.trigger_at_collectives = std::move(triggers);
+  config.stop_after_checkpoint = stop_after;
+  config.record_trace = true;
+  return config;
+}
+
+struct TpcCase {
+  int world;
+  std::uint64_t trigger;
+};
+
+class TpcCheckpointP : public ::testing::TestWithParam<TpcCase> {};
+
+INSTANTIATE_TEST_SUITE_P(Grid, TpcCheckpointP,
+                         ::testing::Values(TpcCase{4, 5}, TpcCase{4, 18},
+                                           TpcCase{8, 11}, TpcCase{6, 23},
+                                           TpcCase{5, 9}),
+                         [](const auto& info) {
+                           return "w" + std::to_string(info.param.world) + "_t" +
+                                  std::to_string(info.param.trigger);
+                         });
+
+TEST_P(TpcCheckpointP, CheckpointRestartMatchesNative) {
+  const auto& param = GetParam();
+  MixedApp app;
+  app.iterations = 25;
+  app.use_nbc = false;  // 2PC does not support NBC
+
+  const auto native = run_native(app, param.world);
+
+  const auto dir = fresh_dir("tpc_rr_" + std::to_string(param.world) + "_" +
+                             std::to_string(param.trigger));
+  {
+    Engine engine(tpc_config(param.world, dir, {param.trigger}, /*stop=*/true));
+    const auto report = engine.run([&](Api& api) {
+      MixedApp instance = app;
+      instance(api);
+    });
+    EXPECT_EQ(report.checkpoints, 1u);
+    EXPECT_TRUE(report.stopped_after_checkpoint);
+
+    // Invariants 1-2 hold for 2PC too (no minimality: 2PC has no targets).
+    core::DrainGraph graph(engine.traces());
+    const auto verdict = graph.check_safe_state(1, /*minimality=*/false);
+    EXPECT_TRUE(verdict.ok) << verdict.error;
+  }
+  {
+    Engine engine(tpc_config(param.world, dir, {}));
+    std::vector<std::uint64_t> restored(static_cast<std::size_t>(param.world));
+    engine.restart([&](Api& api) {
+      MixedApp instance = app;
+      instance(api);
+      restored[static_cast<std::size_t>(api.rank())] = instance.result;
+    });
+    EXPECT_EQ(restored, native);
+  }
+}
+
+TEST(TpcCheckpoint, ResumeWithoutRestartMatchesNative) {
+  const int world = 6;
+  MixedApp app;
+  app.iterations = 18;
+  const auto native = run_native(app, world);
+
+  Engine engine(tpc_config(world, fresh_dir("tpc_resume"), {7}));
+  std::vector<std::uint64_t> got(static_cast<std::size_t>(world));
+  const auto report = engine.run([&](Api& api) {
+    MixedApp instance = app;
+    instance(api);
+    got[static_cast<std::size_t>(api.rank())] = instance.result;
+  });
+  EXPECT_EQ(report.checkpoints, 1u);
+  EXPECT_EQ(got, native);
+}
+
+TEST(TpcCheckpoint, InsertedBarrierCostsExtraMessages) {
+  // The 2PC mechanism itself: every blocking collective inserts a real
+  // Ibarrier, so collective-channel traffic strictly exceeds native.
+  const int world = 8;
+  MixedApp app;
+  app.iterations = 10;
+  app.use_p2p = false;
+
+  auto run_with = [&](Protocol p) {
+    EngineConfig config;
+    config.runtime.world_size = world;
+    config.protocol = p;
+    Engine engine(config);
+    return engine.run([&](Api& api) {
+      MixedApp instance = app;
+      instance(api);
+    });
+  };
+  const auto native = run_with(Protocol::kNative);
+  const auto tpc = run_with(Protocol::kTpc);
+  EXPECT_GT(tpc.collective_messages, native.collective_messages);
+  // And the barrier synchronization costs virtual time.
+  EXPECT_GT(tpc.makespan, native.makespan);
+}
+
+TEST(TpcCheckpoint, NbcThrows) {
+  EngineConfig config;
+  config.runtime.world_size = 2;
+  config.protocol = Protocol::kTpc;
+  Engine engine(config);
+  EXPECT_THROW(engine.run([&](Api& api) {
+                 double a = 0, b = 0;
+                 api.register_value("a", a);
+                 api.register_value("b", b);
+                 auto req = api.iallreduce(
+                     kWorldComm, std::as_bytes(std::span(&a, 1)),
+                     std::as_writable_bytes(std::span(&b, 1)),
+                     umpi::Datatype::kDouble, umpi::ReduceOp::kSum);
+                 api.wait(req);
+               }),
+               CheckpointError);
+}
+
+TEST(TpcCheckpoint, MultipleCycles) {
+  const int world = 4;
+  MixedApp app;
+  app.iterations = 24;
+  const auto native = run_native(app, world);
+
+  Engine engine(tpc_config(world, fresh_dir("tpc_multi"), {5, 15}));
+  std::vector<std::uint64_t> got(static_cast<std::size_t>(world));
+  const auto report = engine.run([&](Api& api) {
+    MixedApp instance = app;
+    instance(api);
+    got[static_cast<std::size_t>(api.rank())] = instance.result;
+  });
+  EXPECT_EQ(report.checkpoints, 2u);
+  EXPECT_EQ(got, native);
+}
+
+}  // namespace
+}  // namespace manatee::split

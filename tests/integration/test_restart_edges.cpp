@@ -1,0 +1,224 @@
+// Restart failure modes and edge cases: corrupted images, mismatched
+// worlds, decision-log replay, and checkpointing at program extremes.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "split/engine.hpp"
+
+namespace manatee::split {
+namespace {
+
+std::string fresh_dir(const std::string& tag) {
+  const auto dir = std::filesystem::temp_directory_path() / ("manatee_edge_" + tag);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+EngineConfig cc(int world, const std::string& dir) {
+  simnet::MessageStore::set_wait_timeout_ms(15'000);
+  EngineConfig config;
+  config.runtime.world_size = world;
+  config.runtime.ranks_per_node = 4;
+  config.protocol = Protocol::kCC;
+  config.image_dir = dir;
+  return config;
+}
+
+void simple_app(Api& api, int iterations) {
+  double v = api.rank(), s = 0;
+  api.register_value("v", v);
+  api.register_value("s", s);
+  for (int i = 0; i < iterations; ++i) {
+    api.allreduce(kWorldComm, std::as_bytes(std::span(&v, 1)),
+                  std::as_writable_bytes(std::span(&s, 1)), umpi::Datatype::kDouble,
+                  umpi::ReduceOp::kSum);
+    api.once([&] { v = s / api.size() + 1.0; });
+  }
+}
+
+void take_checkpoint(int world, const std::string& dir, std::uint64_t trigger,
+                     int iterations = 10) {
+  auto config = cc(world, dir);
+  config.trigger_at_collectives = {trigger};
+  Engine engine(config);
+  const auto report = engine.run([&](Api& api) { simple_app(api, iterations); });
+  ASSERT_EQ(report.checkpoints, 1u);
+}
+
+TEST(RestartEdges, CorruptedImageRejected) {
+  const auto dir = fresh_dir("corrupt");
+  take_checkpoint(4, dir, 3);
+
+  // Flip a byte in rank 2's image.
+  const auto path = ckpt::CkptImage::path_for(dir, 2);
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(40);
+  char c;
+  f.seekg(40);
+  f.get(c);
+  f.seekp(40);
+  f.put(static_cast<char>(c ^ 0x20));
+  f.close();
+
+  Engine engine(cc(4, dir));
+  EXPECT_THROW(engine.restart([&](Api& api) { simple_app(api, 10); }),
+               CheckpointError);
+}
+
+TEST(RestartEdges, MissingImageRejected) {
+  const auto dir = fresh_dir("missing");
+  take_checkpoint(4, dir, 3);
+  std::filesystem::remove(ckpt::CkptImage::path_for(dir, 1));
+  Engine engine(cc(4, dir));
+  EXPECT_THROW(engine.restart([&](Api& api) { simple_app(api, 10); }),
+               CheckpointError);
+}
+
+TEST(RestartEdges, WorldSizeMismatchRejected) {
+  const auto dir = fresh_dir("world");
+  take_checkpoint(4, dir, 3);
+  Engine engine(cc(8, dir));  // restart with a different world
+  EXPECT_THROW(engine.restart([&](Api& api) { simple_app(api, 10); }),
+               Error);
+}
+
+TEST(RestartEdges, RestartWithoutImageDirRejected) {
+  EngineConfig config;
+  config.runtime.world_size = 2;
+  config.protocol = Protocol::kCC;
+  Engine engine(config);
+  EXPECT_THROW(engine.restart([](Api&) {}), UsageError);
+}
+
+TEST(RestartEdges, SegmentSizeMismatchOnRestoreRejected) {
+  const auto dir = fresh_dir("segsize");
+  take_checkpoint(4, dir, 3);
+  Engine engine(cc(4, dir));
+  EXPECT_THROW(engine.restart([](Api& api) {
+                 // Register "v" with a different size than the image.
+                 std::vector<double> wrong(2);
+                 api.register_state("v", wrong);
+               }),
+               CheckpointError);
+}
+
+TEST(RestartEdges, DecisionLogReplaysBranches) {
+  const auto dir = fresh_dir("decide");
+  const int world = 4;
+
+  auto app = [](Api& api, std::uint64_t* out) {
+    double v = api.rank() + 1.0, s = 0;
+    std::int64_t bumps = 0;
+    api.register_value("v", v);
+    api.register_value("s", s);
+    api.register_value("bumps", bumps);
+    for (int i = 0; i < 12; ++i) {
+      api.allreduce(kWorldComm, std::as_bytes(std::span(&v, 1)),
+                    std::as_writable_bytes(std::span(&s, 1)),
+                    umpi::Datatype::kDouble, umpi::ReduceOp::kMax);
+      // Data-dependent branch: without decide(), replay would evaluate this
+      // against restored (future) data and diverge.
+      if (api.decide([&] { return s < api.size() + 6.0; })) {
+        api.once([&] {
+          v += 1.0;
+          ++bumps;
+        });
+      } else {
+        api.once([&] { v *= 0.5; });
+      }
+    }
+    *out = static_cast<std::uint64_t>(bumps) ^
+           std::bit_cast<std::uint64_t>(v);
+  };
+
+  // Native baseline.
+  std::vector<std::uint64_t> native(world);
+  {
+    EngineConfig config;
+    config.runtime.world_size = world;
+    Engine engine(config);
+    engine.run([&](Api& api) {
+      app(api, &native[static_cast<std::size_t>(api.rank())]);
+    });
+  }
+  {
+    auto config = cc(world, dir);
+    config.trigger_at_collectives = {5};
+    config.stop_after_checkpoint = true;
+    Engine engine(config);
+    std::uint64_t sink;
+    const auto report = engine.run([&](Api& api) { app(api, &sink); });
+    ASSERT_EQ(report.checkpoints, 1u);
+  }
+  Engine engine(cc(world, dir));
+  std::vector<std::uint64_t> restored(world);
+  engine.restart([&](Api& api) {
+    app(api, &restored[static_cast<std::size_t>(api.rank())]);
+  });
+  EXPECT_EQ(restored, native);
+}
+
+TEST(RestartEdges, CheckpointAtFirstCollective) {
+  const auto dir = fresh_dir("first");
+  take_checkpoint(4, dir, 1, /*iterations=*/6);
+  Engine engine(cc(4, dir));
+  EXPECT_NO_THROW(engine.restart([&](Api& api) { simple_app(api, 6); }));
+}
+
+TEST(RestartEdges, CheckpointAtLastCollective) {
+  const auto dir = fresh_dir("last");
+  take_checkpoint(4, dir, 6, /*iterations=*/6);  // the final collective
+  Engine engine(cc(4, dir));
+  EXPECT_NO_THROW(engine.restart([&](Api& api) { simple_app(api, 6); }));
+}
+
+TEST(RestartEdges, DoubleRestartFromSameImages) {
+  // Images are read-only: restarting twice from the same set must give the
+  // same results (the chained-allocation pattern re-reads on every retry).
+  const auto dir = fresh_dir("double");
+  take_checkpoint(4, dir, 4, 10);
+
+  auto run_restart = [&] {
+    Engine engine(cc(4, dir));
+    std::vector<double> out(4);
+    engine.restart([&](Api& api) {
+      double v = api.rank(), s = 0;
+      api.register_value("v", v);
+      api.register_value("s", s);
+      for (int i = 0; i < 10; ++i) {
+        api.allreduce(kWorldComm, std::as_bytes(std::span(&v, 1)),
+                      std::as_writable_bytes(std::span(&s, 1)),
+                      umpi::Datatype::kDouble, umpi::ReduceOp::kSum);
+        api.once([&] { v = s / api.size() + 1.0; });
+      }
+      out[static_cast<std::size_t>(api.rank())] = v;
+    });
+    return out;
+  };
+  EXPECT_EQ(run_restart(), run_restart());
+}
+
+TEST(RestartEdges, ImageMetadataSane) {
+  const auto dir = fresh_dir("meta");
+  take_checkpoint(4, dir, 3);
+  for (int r = 0; r < 4; ++r) {
+    const auto img = ckpt::CkptImage::read_file(ckpt::CkptImage::path_for(dir, r));
+    EXPECT_EQ(img.rank, r);
+    EXPECT_EQ(img.world_size, 4);
+    EXPECT_EQ(img.cycle, 1u);
+    EXPECT_TRUE(img.has("engine/meta"));
+    EXPECT_TRUE(img.has("engine/protocol"));
+    EXPECT_TRUE(img.has("engine/vreqs"));
+    EXPECT_TRUE(img.has("engine/unexpected"));
+    EXPECT_TRUE(img.has("engine/decisions"));
+    EXPECT_TRUE(img.has("app/v"));
+    EXPECT_TRUE(img.has("app/s"));
+  }
+}
+
+}  // namespace
+}  // namespace manatee::split

@@ -1,0 +1,96 @@
+#include "simnet/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace manatee::simnet {
+namespace {
+
+class FabricTest : public ::testing::Test {
+ protected:
+  FabricTest() : fabric_(Topology(4, 2), CostModel()) {}
+
+  Fabric fabric_;
+  VirtualClock clock_;
+};
+
+std::span<const std::byte> bytes_of(std::string_view s) {
+  return std::as_bytes(std::span(s.data(), s.size()));
+}
+
+TEST_F(FabricTest, SendChargesSenderOverhead) {
+  fabric_.send(0, 1, 1, 0, 0, bytes_of("hi"), clock_, TrafficClass::kUserP2P);
+  EXPECT_EQ(clock_.now(), fabric_.cost().send_overhead());
+}
+
+TEST_F(FabricTest, ArrivalTimeIncludesTransfer) {
+  fabric_.send(0, 1, 1, 0, 7, bytes_of("hi"), clock_, TrafficClass::kUserP2P);
+  const auto info = fabric_.store(1).iprobe(MatchPattern{1, 0, 7});
+  ASSERT_TRUE(info.has_value());
+  const auto expected =
+      fabric_.cost().send_overhead() + fabric_.cost().transfer_ns(2, true);
+  EXPECT_EQ(info->arrival_ns, expected);
+}
+
+TEST_F(FabricTest, CrossNodeArrivalSlower) {
+  VirtualClock c1, c2;
+  fabric_.send(0, 1, 1, 0, 0, bytes_of("x"), c1, TrafficClass::kUserP2P);  // same node
+  fabric_.send(0, 2, 1, 0, 0, bytes_of("x"), c2, TrafficClass::kUserP2P);  // cross node
+  const auto same = fabric_.store(1).iprobe(MatchPattern{1, 0, 0});
+  const auto cross = fabric_.store(2).iprobe(MatchPattern{1, 0, 0});
+  ASSERT_TRUE(same && cross);
+  EXPECT_GT(cross->arrival_ns, same->arrival_ns);
+}
+
+TEST_F(FabricTest, PayloadDeliveredIntact) {
+  fabric_.send(0, 3, 9, 0, 4, bytes_of("payload"), clock_, TrafficClass::kUserP2P);
+  std::byte buf[16];
+  RecvResult r;
+  ASSERT_TRUE(
+      fabric_.store(3).try_recv_unexpected(MatchPattern{9, 0, 4}, buf, sizeof buf, &r));
+  EXPECT_EQ(r.bytes, 7u);
+  EXPECT_EQ(std::memcmp(buf, "payload", 7), 0);
+}
+
+TEST_F(FabricTest, TrafficClassCounters) {
+  fabric_.send(0, 1, 1, 0, 0, bytes_of("abc"), clock_, TrafficClass::kUserP2P);
+  fabric_.send(0, 1, 1, 0, 0, bytes_of("de"), clock_, TrafficClass::kCollective);
+  fabric_.send(0, 1, 1, 0, 0, bytes_of("f"), clock_, TrafficClass::kCkptProtocol);
+
+  EXPECT_EQ(fabric_.counters(TrafficClass::kUserP2P).messages, 1u);
+  EXPECT_EQ(fabric_.counters(TrafficClass::kUserP2P).bytes, 3u);
+  EXPECT_EQ(fabric_.counters(TrafficClass::kCollective).messages, 1u);
+  EXPECT_EQ(fabric_.counters(TrafficClass::kCkptProtocol).messages, 1u);
+  EXPECT_EQ(fabric_.counters(TrafficClass::kControl).messages, 0u);
+  EXPECT_EQ(fabric_.total_messages(), 3u);
+}
+
+TEST_F(FabricTest, DeliverRawDoesNotChargeClocks) {
+  Envelope env;
+  env.context = 1;
+  env.src = 0;
+  env.tag = 0;
+  fabric_.deliver_raw(2, std::move(env), TrafficClass::kControl);
+  EXPECT_EQ(clock_.now(), 0);
+  EXPECT_EQ(fabric_.counters(TrafficClass::kControl).messages, 1u);
+}
+
+TEST_F(FabricTest, InvalidDestinationThrows) {
+  EXPECT_THROW(
+      fabric_.send(0, 99, 1, 0, 0, bytes_of("x"), clock_, TrafficClass::kUserP2P),
+      UsageError);
+  EXPECT_THROW(fabric_.store(-1), UsageError);
+}
+
+TEST_F(FabricTest, SenderClockAccumulatesAcrossSends) {
+  for (int i = 0; i < 5; ++i) {
+    fabric_.send(0, 1, 1, 0, 0, bytes_of("x"), clock_, TrafficClass::kUserP2P);
+  }
+  EXPECT_EQ(clock_.now(), 5 * fabric_.cost().send_overhead());
+}
+
+}  // namespace
+}  // namespace manatee::simnet

@@ -1,0 +1,210 @@
+#include "simnet/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace manatee::simnet {
+namespace {
+
+Envelope make_env(ContextId ctx, int src, int tag, std::string_view payload,
+                  SimTime arrival = 0) {
+  Envelope e;
+  e.context = ctx;
+  e.src = src;
+  e.tag = tag;
+  e.arrival_ns = arrival;
+  const auto* p = reinterpret_cast<const std::byte*>(payload.data());
+  e.payload.assign(p, p + payload.size());
+  return e;
+}
+
+class MailboxTest : public ::testing::Test {
+ protected:
+  MessageStore store_;
+  std::byte buf_[64]{};
+  RecvResult result_;
+};
+
+TEST_F(MailboxTest, UnexpectedThenRecv) {
+  store_.deliver(make_env(1, 0, 5, "hi", 42));
+  store_.post_recv(MatchPattern{1, 0, 5}, buf_, sizeof buf_, &result_);
+  ASSERT_TRUE(result_.is_done());
+  EXPECT_EQ(result_.src, 0);
+  EXPECT_EQ(result_.tag, 5);
+  EXPECT_EQ(result_.bytes, 2u);
+  EXPECT_EQ(result_.arrival_ns, 42);
+  EXPECT_EQ(std::memcmp(buf_, "hi", 2), 0);
+}
+
+TEST_F(MailboxTest, PostedThenDeliver) {
+  store_.post_recv(MatchPattern{1, 0, 5}, buf_, sizeof buf_, &result_);
+  EXPECT_FALSE(result_.is_done());
+  store_.deliver(make_env(1, 0, 5, "yo"));
+  ASSERT_TRUE(result_.is_done());
+  EXPECT_EQ(std::memcmp(buf_, "yo", 2), 0);
+}
+
+TEST_F(MailboxTest, WildcardSourceAndTag) {
+  store_.post_recv(MatchPattern{1, kAnySource, kAnyTag}, buf_, sizeof buf_,
+                   &result_);
+  store_.deliver(make_env(1, 3, 9, "x"));
+  ASSERT_TRUE(result_.is_done());
+  EXPECT_EQ(result_.src, 3);
+  EXPECT_EQ(result_.tag, 9);
+}
+
+TEST_F(MailboxTest, ContextMismatchDoesNotMatch) {
+  store_.post_recv(MatchPattern{1, kAnySource, kAnyTag}, buf_, sizeof buf_,
+                   &result_);
+  store_.deliver(make_env(2, 0, 0, "x"));
+  EXPECT_FALSE(result_.is_done());
+}
+
+TEST_F(MailboxTest, NonOvertakingFifoPerSource) {
+  store_.deliver(make_env(1, 0, 7, "first"));
+  store_.deliver(make_env(1, 0, 7, "second"));
+  store_.post_recv(MatchPattern{1, 0, 7}, buf_, sizeof buf_, &result_);
+  ASSERT_TRUE(result_.is_done());
+  EXPECT_EQ(std::memcmp(buf_, "first", 5), 0);
+
+  RecvResult r2;
+  std::byte buf2[64];
+  store_.post_recv(MatchPattern{1, 0, 7}, buf2, sizeof buf2, &r2);
+  ASSERT_TRUE(r2.is_done());
+  EXPECT_EQ(std::memcmp(buf2, "second", 6), 0);
+}
+
+TEST_F(MailboxTest, PostedReceivesMatchInPostOrder) {
+  RecvResult r2;
+  std::byte buf2[64];
+  store_.post_recv(MatchPattern{1, kAnySource, kAnyTag}, buf_, sizeof buf_,
+                   &result_);
+  store_.post_recv(MatchPattern{1, kAnySource, kAnyTag}, buf2, sizeof buf2, &r2);
+  store_.deliver(make_env(1, 0, 1, "a"));
+  EXPECT_TRUE(result_.is_done());
+  EXPECT_FALSE(r2.is_done());
+  store_.deliver(make_env(1, 0, 2, "b"));
+  EXPECT_TRUE(r2.is_done());
+}
+
+TEST_F(MailboxTest, SelectiveMatchSkipsNonMatching) {
+  // A posted recv for tag 9 must not consume a tag-5 message.
+  store_.post_recv(MatchPattern{1, kAnySource, 9}, buf_, sizeof buf_, &result_);
+  store_.deliver(make_env(1, 0, 5, "five"));
+  EXPECT_FALSE(result_.is_done());
+  store_.deliver(make_env(1, 0, 9, "nine"));
+  ASSERT_TRUE(result_.is_done());
+  EXPECT_EQ(std::memcmp(buf_, "nine", 4), 0);
+  // The tag-5 message is still probe-able.
+  EXPECT_TRUE(store_.iprobe(MatchPattern{1, kAnySource, 5}).has_value());
+}
+
+TEST_F(MailboxTest, TruncationFlagged) {
+  store_.deliver(make_env(1, 0, 0, "0123456789"));
+  std::byte tiny[4];
+  RecvResult r;
+  store_.post_recv(MatchPattern{1, 0, 0}, tiny, sizeof tiny, &r);
+  ASSERT_TRUE(r.is_done());
+  EXPECT_TRUE(r.truncated);
+  EXPECT_EQ(r.bytes, 4u);
+}
+
+TEST_F(MailboxTest, IprobePeeksWithoutConsuming) {
+  store_.deliver(make_env(1, 2, 3, "abc", 17));
+  const auto info = store_.iprobe(MatchPattern{1, kAnySource, kAnyTag});
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->src, 2);
+  EXPECT_EQ(info->tag, 3);
+  EXPECT_EQ(info->bytes, 3u);
+  EXPECT_EQ(info->arrival_ns, 17);
+  // Still there.
+  EXPECT_TRUE(store_.iprobe(MatchPattern{1, 2, 3}).has_value());
+}
+
+TEST_F(MailboxTest, IprobeMissReturnsNullopt) {
+  EXPECT_FALSE(store_.iprobe(MatchPattern{1, 0, 0}).has_value());
+}
+
+TEST_F(MailboxTest, TryRecvUnexpectedPopsMessage) {
+  store_.deliver(make_env(1, 4, 8, "pop"));
+  RecvResult r;
+  EXPECT_TRUE(store_.try_recv_unexpected(MatchPattern{1, 4, 8}, buf_, sizeof buf_, &r));
+  EXPECT_EQ(r.bytes, 3u);
+  RecvResult r2;
+  EXPECT_FALSE(
+      store_.try_recv_unexpected(MatchPattern{1, 4, 8}, buf_, sizeof buf_, &r2));
+}
+
+TEST_F(MailboxTest, CancelRemovesPostedRecv) {
+  store_.post_recv(MatchPattern{1, 0, 0}, buf_, sizeof buf_, &result_);
+  EXPECT_TRUE(store_.cancel_recv(&result_));
+  store_.deliver(make_env(1, 0, 0, "late"));
+  EXPECT_FALSE(result_.is_done());  // went to unexpected instead
+  EXPECT_TRUE(store_.iprobe(MatchPattern{1, 0, 0}).has_value());
+}
+
+TEST_F(MailboxTest, CancelAfterCompletionReturnsFalse) {
+  store_.deliver(make_env(1, 0, 0, "x"));
+  store_.post_recv(MatchPattern{1, 0, 0}, buf_, sizeof buf_, &result_);
+  ASSERT_TRUE(result_.is_done());
+  EXPECT_FALSE(store_.cancel_recv(&result_));
+}
+
+TEST_F(MailboxTest, WaitWakesOnDelivery) {
+  std::thread sender([this] { store_.deliver(make_env(1, 0, 0, "wake")); });
+  store_.post_recv(MatchPattern{1, 0, 0}, buf_, sizeof buf_, &result_);
+  store_.wait([&] { return result_.is_done(); });
+  sender.join();
+  EXPECT_TRUE(result_.is_done());
+}
+
+TEST_F(MailboxTest, WaitTimeoutThrows) {
+  const long saved = MessageStore::wait_timeout_ms();
+  MessageStore::set_wait_timeout_ms(50);
+  EXPECT_THROW(store_.wait([] { return false; }), RuntimeFault);
+  MessageStore::set_wait_timeout_ms(saved);
+}
+
+TEST_F(MailboxTest, WaitChangedWakesOnNotify) {
+  const auto token = store_.token();
+  std::thread waker([this] { store_.notify(); });
+  store_.wait_changed(token);  // must not throw (watchdog default is long)
+  waker.join();
+}
+
+TEST_F(MailboxTest, SnapshotAndInjectRoundTrip) {
+  store_.deliver(make_env(1, 0, 1, "keep"));
+  store_.deliver(make_env(2, 0, 1, "drop"));
+  const auto snap =
+      store_.snapshot_unexpected([](const Envelope& e) { return e.context == 1; });
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].context, 1u);
+
+  MessageStore fresh;
+  fresh.inject(snap);
+  RecvResult r;
+  EXPECT_TRUE(fresh.try_recv_unexpected(MatchPattern{1, 0, 1}, buf_, sizeof buf_, &r));
+  EXPECT_EQ(std::memcmp(buf_, "keep", 4), 0);
+}
+
+TEST_F(MailboxTest, CountUnexpectedFilters) {
+  store_.deliver(make_env(1, 0, 1, "a"));
+  store_.deliver(make_env(1, 1, 1, "b"));
+  store_.deliver(make_env(3, 0, 1, "c"));
+  EXPECT_EQ(store_.count_unexpected([](const Envelope& e) { return e.context == 1; }),
+            2u);
+}
+
+TEST_F(MailboxTest, StatsCountDeliveries) {
+  store_.deliver(make_env(1, 0, 0, "xyz"));
+  store_.deliver(make_env(1, 0, 0, "pq"));
+  EXPECT_EQ(store_.delivered_messages(), 2u);
+  EXPECT_EQ(store_.delivered_bytes(), 5u);
+}
+
+}  // namespace
+}  // namespace manatee::simnet

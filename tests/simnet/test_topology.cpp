@@ -1,0 +1,50 @@
+#include "simnet/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace manatee::simnet {
+namespace {
+
+TEST(Topology, NodeAssignment) {
+  const Topology t(8, 4);
+  EXPECT_EQ(t.node_of(0), 0);
+  EXPECT_EQ(t.node_of(3), 0);
+  EXPECT_EQ(t.node_of(4), 1);
+  EXPECT_EQ(t.node_of(7), 1);
+}
+
+TEST(Topology, SameNode) {
+  const Topology t(8, 4);
+  EXPECT_TRUE(t.same_node(0, 3));
+  EXPECT_FALSE(t.same_node(3, 4));
+  EXPECT_TRUE(t.same_node(5, 5));
+}
+
+TEST(Topology, NodeCountRoundsUp) {
+  EXPECT_EQ(Topology(8, 4).node_count(), 2);
+  EXPECT_EQ(Topology(9, 4).node_count(), 3);
+  EXPECT_EQ(Topology(1, 128).node_count(), 1);
+}
+
+TEST(Topology, SingleRankPerNode) {
+  const Topology t(4, 1);
+  EXPECT_FALSE(t.same_node(0, 1));
+  EXPECT_EQ(t.node_count(), 4);
+}
+
+TEST(Topology, InvalidArgsThrow) {
+  EXPECT_THROW(Topology(0, 4), UsageError);
+  EXPECT_THROW(Topology(4, 0), UsageError);
+  EXPECT_THROW(Topology(-1, 4), UsageError);
+}
+
+TEST(Topology, DescribeMentionsCounts) {
+  const auto s = Topology(16, 8).describe();
+  EXPECT_NE(s.find("16 ranks"), std::string::npos);
+  EXPECT_NE(s.find("2 node"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace manatee::simnet

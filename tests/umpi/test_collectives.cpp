@@ -1,0 +1,233 @@
+// Parameterized correctness tests for every blocking collective, swept over
+// world sizes including non-powers-of-two (the recursive-doubling fixup path)
+// and roots != 0 (the vrank rotation path).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "umpi/runtime.hpp"
+#include "umpi_test_util.hpp"
+
+namespace manatee::umpi {
+namespace {
+
+using testing::cspan;
+using testing::interesting_world_sizes;
+using testing::run_world;
+using testing::wspan;
+
+class CollectivesP : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, CollectivesP,
+                         ::testing::ValuesIn(interesting_world_sizes()));
+
+TEST_P(CollectivesP, BarrierCompletes) {
+  run_world(GetParam(), [](Rank& self) {
+    for (int i = 0; i < 3; ++i) self.barrier(self.world());
+  });
+}
+
+TEST_P(CollectivesP, BcastFromEveryRoot) {
+  const int p = GetParam();
+  run_world(p, [p](Rank& self) {
+    for (int root = 0; root < p; ++root) {
+      std::vector<std::int64_t> data(5, self.world_rank() == root ? 7 * root : -1);
+      self.bcast(self.world(), wspan(data), root);
+      for (auto v : data) EXPECT_EQ(v, 7 * root);
+    }
+  });
+}
+
+TEST_P(CollectivesP, ReduceSumToEveryRoot) {
+  const int p = GetParam();
+  run_world(p, [p](Rank& self) {
+    for (int root = 0; root < p; ++root) {
+      const std::vector<std::int64_t> mine{self.world_rank() + 1, 2};
+      std::vector<std::int64_t> out(2, -1);
+      self.reduce(self.world(), cspan(mine), wspan(out), Datatype::kInt64,
+                  ReduceOp::kSum, root);
+      if (self.world_rank() == root) {
+        EXPECT_EQ(out[0], static_cast<std::int64_t>(p) * (p + 1) / 2);
+        EXPECT_EQ(out[1], 2 * p);
+      }
+    }
+  });
+}
+
+TEST_P(CollectivesP, AllreduceSum) {
+  const int p = GetParam();
+  run_world(p, [p](Rank& self) {
+    const std::vector<double> mine{static_cast<double>(self.world_rank()), 1.0};
+    std::vector<double> out(2);
+    self.allreduce(self.world(), cspan(mine), wspan(out), Datatype::kDouble,
+                   ReduceOp::kSum);
+    EXPECT_DOUBLE_EQ(out[0], static_cast<double>(p) * (p - 1) / 2);
+    EXPECT_DOUBLE_EQ(out[1], static_cast<double>(p));
+  });
+}
+
+TEST_P(CollectivesP, AllreduceMaxMin) {
+  const int p = GetParam();
+  run_world(p, [p](Rank& self) {
+    const std::int64_t mine = self.world_rank();
+    std::int64_t mx = -1, mn = -1;
+    self.allreduce(self.world(), cspan(mine), wspan(mx), Datatype::kInt64,
+                   ReduceOp::kMax);
+    self.allreduce(self.world(), cspan(mine), wspan(mn), Datatype::kInt64,
+                   ReduceOp::kMin);
+    EXPECT_EQ(mx, p - 1);
+    EXPECT_EQ(mn, 0);
+  });
+}
+
+TEST_P(CollectivesP, AllreduceResultIdenticalOnAllRanks) {
+  // FP allreduce must return bitwise-identical results everywhere (required
+  // for the restart-equivalence property tests later).
+  const int p = GetParam();
+  run_world(p, [p](Rank& self) {
+    const double mine = 1.0 / (1 + self.world_rank());
+    double sum = 0;
+    self.allreduce(self.world(), cspan(mine), wspan(sum), Datatype::kDouble,
+                   ReduceOp::kSum);
+    std::vector<double> all(static_cast<std::size_t>(p));
+    self.allgather(self.world(), cspan(sum), wspan(all));
+    for (double v : all) EXPECT_EQ(v, all[0]);
+  });
+}
+
+TEST_P(CollectivesP, GatherToEveryRoot) {
+  const int p = GetParam();
+  run_world(p, [p](Rank& self) {
+    for (int root = 0; root < p; ++root) {
+      const std::int32_t mine = 100 + self.world_rank();
+      std::vector<std::int32_t> all(self.world_rank() == root ? p : 0);
+      self.gather(self.world(), cspan(mine), wspan(all), root);
+      if (self.world_rank() == root) {
+        for (int i = 0; i < p; ++i) EXPECT_EQ(all[static_cast<std::size_t>(i)], 100 + i);
+      }
+    }
+  });
+}
+
+TEST_P(CollectivesP, ScatterFromEveryRoot) {
+  const int p = GetParam();
+  run_world(p, [p](Rank& self) {
+    for (int root = 0; root < p; ++root) {
+      std::vector<std::int32_t> src;
+      if (self.world_rank() == root) {
+        src.resize(static_cast<std::size_t>(p));
+        std::iota(src.begin(), src.end(), 1000);
+      }
+      std::int32_t mine = -1;
+      self.scatter(self.world(), cspan(src), wspan(mine), root);
+      EXPECT_EQ(mine, 1000 + self.world_rank());
+    }
+  });
+}
+
+TEST_P(CollectivesP, AllgatherCollectsInRankOrder) {
+  const int p = GetParam();
+  run_world(p, [p](Rank& self) {
+    const std::uint64_t mine = 1ull << (self.world_rank() % 60);
+    std::vector<std::uint64_t> all(static_cast<std::size_t>(p));
+    self.allgather(self.world(), cspan(mine), wspan(all));
+    for (int i = 0; i < p; ++i) {
+      EXPECT_EQ(all[static_cast<std::size_t>(i)], 1ull << (i % 60));
+    }
+  });
+}
+
+TEST_P(CollectivesP, AlltoallTransposesBlocks) {
+  const int p = GetParam();
+  run_world(p, [p](Rank& self) {
+    const int r = self.world_rank();
+    std::vector<std::int32_t> send(static_cast<std::size_t>(p));
+    for (int i = 0; i < p; ++i) send[static_cast<std::size_t>(i)] = r * 1000 + i;
+    std::vector<std::int32_t> recv(static_cast<std::size_t>(p), -1);
+    self.alltoall(self.world(), cspan(send), wspan(recv));
+    for (int i = 0; i < p; ++i) {
+      EXPECT_EQ(recv[static_cast<std::size_t>(i)], i * 1000 + r);
+    }
+  });
+}
+
+TEST_P(CollectivesP, InclusiveScan) {
+  const int p = GetParam();
+  run_world(p, [](Rank& self) {
+    const std::int64_t mine = self.world_rank() + 1;
+    std::int64_t prefix = -1;
+    self.scan(self.world(), cspan(mine), wspan(prefix), Datatype::kInt64,
+              ReduceOp::kSum);
+    const std::int64_t r = self.world_rank() + 1;
+    EXPECT_EQ(prefix, r * (r + 1) / 2);
+  });
+}
+
+TEST_P(CollectivesP, ReduceScatterBlock) {
+  const int p = GetParam();
+  run_world(p, [p](Rank& self) {
+    std::vector<std::int64_t> send(static_cast<std::size_t>(p));
+    for (int i = 0; i < p; ++i) {
+      send[static_cast<std::size_t>(i)] = self.world_rank() + i;
+    }
+    std::int64_t mine = -1;
+    self.reduce_scatter_block(self.world(), cspan(send), wspan(mine),
+                              Datatype::kInt64, ReduceOp::kSum);
+    // Sum over ranks of (rank + my_index).
+    const std::int64_t expect =
+        static_cast<std::int64_t>(p) * (p - 1) / 2 +
+        static_cast<std::int64_t>(p) * self.world_rank();
+    EXPECT_EQ(mine, expect);
+  });
+}
+
+TEST_P(CollectivesP, LargePayloadBcast) {
+  const int p = GetParam();
+  run_world(p, [](Rank& self) {
+    std::vector<double> data(4096);
+    if (self.world_rank() == 0) {
+      for (std::size_t i = 0; i < data.size(); ++i) data[i] = 0.5 * static_cast<double>(i);
+    }
+    self.bcast(self.world(), wspan(data), 0);
+    for (std::size_t i = 0; i < data.size(); i += 997) {
+      EXPECT_DOUBLE_EQ(data[i], 0.5 * static_cast<double>(i));
+    }
+  });
+}
+
+TEST_P(CollectivesP, BackToBackMixedCollectives) {
+  // Successive collectives on one communicator must not cross-match.
+  const int p = GetParam();
+  run_world(p, [p](Rank& self) {
+    for (int iter = 0; iter < 5; ++iter) {
+      std::int64_t token = self.world_rank() == 0 ? iter : -1;
+      self.bcast(self.world(), wspan(token), 0);
+      EXPECT_EQ(token, iter);
+      std::int64_t sum = 0;
+      const std::int64_t one = 1;
+      self.allreduce(self.world(), cspan(one), wspan(sum), Datatype::kInt64,
+                     ReduceOp::kSum);
+      EXPECT_EQ(sum, p);
+      self.barrier(self.world());
+    }
+  });
+}
+
+TEST(Collectives, CollectiveCallCountersCount) {
+  auto rt = run_world(4, [](Rank& self) {
+    self.barrier(self.world());
+    std::int64_t x = 1, y = 0;
+    self.allreduce(self.world(), cspan(x), wspan(y), Datatype::kInt64,
+                   ReduceOp::kSum);
+  });
+  EXPECT_EQ(rt->total_counters().collective_calls, 8u);  // 2 calls x 4 ranks
+}
+
+TEST(Collectives, VirtualTimeAdvancesWithBarrier) {
+  auto rt = run_world(4, [](Rank& self) { self.barrier(self.world()); });
+  EXPECT_GT(rt->max_clock(), 0);
+}
+
+}  // namespace
+}  // namespace manatee::umpi

@@ -1,0 +1,180 @@
+// Communicator management: dup, split, create — including the overlapping-
+// group topologies the CC drain protocol is exercised on later.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "umpi/runtime.hpp"
+#include "umpi_test_util.hpp"
+
+namespace manatee::umpi {
+namespace {
+
+using testing::cspan;
+using testing::run_world;
+using testing::wspan;
+
+TEST(CommMgmt, DupPreservesGroupAndRank) {
+  run_world(4, [](Rank& self) {
+    auto dup = self.comm_dup(self.world());
+    ASSERT_NE(dup, nullptr);
+    EXPECT_EQ(dup->rank, self.world_rank());
+    EXPECT_EQ(dup->size(), 4);
+    EXPECT_NE(dup->base_context, self.world()->base_context);
+    EXPECT_EQ(dup->member_set_hash(), self.world()->member_set_hash());
+  });
+}
+
+TEST(CommMgmt, DupIsolatesTraffic) {
+  run_world(2, [](Rank& self) {
+    auto dup = self.comm_dup(self.world());
+    if (self.world_rank() == 0) {
+      const std::int32_t a = 1, b = 2;
+      self.send(self.world(), cspan(a), 1, 0);
+      self.send(dup, cspan(b), 1, 0);
+    } else {
+      std::int32_t v = 0;
+      self.recv(dup, wspan(v), 0, 0);  // dup first, despite send order
+      EXPECT_EQ(v, 2);
+      self.recv(self.world(), wspan(v), 0, 0);
+      EXPECT_EQ(v, 1);
+    }
+  });
+}
+
+TEST(CommMgmt, SplitEvenOdd) {
+  run_world(6, [](Rank& self) {
+    const int color = self.world_rank() % 2;
+    auto sub = self.comm_split(self.world(), color, self.world_rank());
+    ASSERT_NE(sub, nullptr);
+    EXPECT_EQ(sub->size(), 3);
+    EXPECT_EQ(sub->rank, self.world_rank() / 2);
+    EXPECT_EQ(sub->world_of(sub->rank), self.world_rank());
+    // Collective on the sub-communicator.
+    std::int64_t sum = 0;
+    const std::int64_t mine = 1;
+    self.allreduce(sub, cspan(mine), wspan(sum), Datatype::kInt64, ReduceOp::kSum);
+    EXPECT_EQ(sum, 3);
+  });
+}
+
+TEST(CommMgmt, SplitKeyControlsOrdering) {
+  run_world(4, [](Rank& self) {
+    // Reverse ordering via descending keys.
+    auto sub = self.comm_split(self.world(), 0, -self.world_rank());
+    ASSERT_NE(sub, nullptr);
+    EXPECT_EQ(sub->rank, 3 - self.world_rank());
+  });
+}
+
+TEST(CommMgmt, SplitUndefinedColorGetsNull) {
+  run_world(4, [](Rank& self) {
+    const int color = self.world_rank() == 0 ? -1 : 7;
+    auto sub = self.comm_split(self.world(), color, 0);
+    if (self.world_rank() == 0) {
+      EXPECT_EQ(sub, nullptr);
+    } else {
+      ASSERT_NE(sub, nullptr);
+      EXPECT_EQ(sub->size(), 3);
+    }
+  });
+}
+
+TEST(CommMgmt, SplitDistinctColorsGetDistinctContexts) {
+  run_world(4, [](Rank& self) {
+    auto sub = self.comm_split(self.world(), self.world_rank() % 2, 0);
+    ASSERT_NE(sub, nullptr);
+    // Exchange contexts through the parent to compare.
+    std::vector<std::uint64_t> ctxs(4);
+    const std::uint64_t mine = sub->base_context;
+    self.allgather(self.world(), cspan(mine), wspan(ctxs));
+    EXPECT_EQ(ctxs[0], ctxs[2]);
+    EXPECT_EQ(ctxs[1], ctxs[3]);
+    EXPECT_NE(ctxs[0], ctxs[1]);
+  });
+}
+
+TEST(CommMgmt, CreateSubgroupComm) {
+  run_world(5, [](Rank& self) {
+    const Group sub_group({1, 3, 4});
+    auto sub = self.comm_create(self.world(), sub_group);
+    if (sub_group.contains_world(self.world_rank())) {
+      ASSERT_NE(sub, nullptr);
+      EXPECT_EQ(sub->rank, sub_group.rank_of_world(self.world_rank()));
+      std::int64_t sum = 0;
+      const std::int64_t mine = self.world_rank();
+      self.allreduce(sub, cspan(mine), wspan(sum), Datatype::kInt64, ReduceOp::kSum);
+      EXPECT_EQ(sum, 8);  // 1 + 3 + 4
+    } else {
+      EXPECT_EQ(sub, nullptr);
+    }
+  });
+}
+
+TEST(CommMgmt, CreateRejectsNonSubset) {
+  EXPECT_THROW(run_world(3,
+                         [](Rank& self) {
+                           auto sub = self.comm_create(self.world(), Group({0, 9}));
+                           (void)sub;
+                         }),
+               UsageError);
+}
+
+TEST(CommMgmt, OverlappingGroupsViaCreate) {
+  // The paper's Fig. 3 topology: chained overlapping groups {1,2}, {2,3},
+  // {3,4,5}, {5,6} (0-indexed here as {0,1}, {1,2}, {2,3,4}, {4,5}).
+  run_world(6, [](Rank& self) {
+    const std::vector<Group> groups{Group({0, 1}), Group({1, 2}), Group({2, 3, 4}),
+                                    Group({4, 5})};
+    std::vector<CommPtr> comms;
+    for (const auto& g : groups) comms.push_back(self.comm_create(self.world(), g));
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      if (!groups[i].contains_world(self.world_rank())) continue;
+      std::int64_t sum = 0;
+      const std::int64_t one = 1;
+      self.allreduce(comms[i], cspan(one), wspan(sum), Datatype::kInt64,
+                     ReduceOp::kSum);
+      EXPECT_EQ(sum, groups[i].size());
+    }
+  });
+}
+
+TEST(CommMgmt, NestedSplit) {
+  run_world(8, [](Rank& self) {
+    auto half = self.comm_split(self.world(), self.world_rank() / 4, self.world_rank());
+    ASSERT_NE(half, nullptr);
+    auto quarter = self.comm_split(half, half->rank / 2, half->rank);
+    ASSERT_NE(quarter, nullptr);
+    EXPECT_EQ(quarter->size(), 2);
+    std::int64_t sum = 0;
+    const std::int64_t mine = self.world_rank();
+    self.allreduce(quarter, cspan(mine), wspan(sum), Datatype::kInt64, ReduceOp::kSum);
+    // Partner differs by 1 within each pair.
+    EXPECT_EQ(sum, 2 * self.world_rank() + (self.world_rank() % 2 == 0 ? 1 : -1));
+  });
+}
+
+TEST(CommMgmt, GgidSameForSimilarCommunicators) {
+  run_world(4, [](Rank& self) {
+    // Split with reversed keys produces a SIMILAR (not IDENT) communicator
+    // relative to a dup of the world — same member set, different order.
+    auto rev = self.comm_split(self.world(), 0, -self.world_rank());
+    auto dup = self.comm_dup(self.world());
+    ASSERT_NE(rev, nullptr);
+    EXPECT_EQ(rev->member_set_hash(), dup->member_set_hash());
+    EXPECT_EQ(rev->group.compare(dup->group), CompareResult::kSimilar);
+  });
+}
+
+TEST(CommMgmt, NullCommOperationsThrow) {
+  EXPECT_THROW(run_world(1,
+                         [](Rank& self) {
+                           CommPtr null;
+                           self.barrier(null);
+                         }),
+               UsageError);
+}
+
+}  // namespace
+}  // namespace manatee::umpi

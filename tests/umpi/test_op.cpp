@@ -1,0 +1,102 @@
+#include "umpi/op.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace manatee::umpi {
+namespace {
+
+template <typename T>
+std::vector<T> reduce_vec(ReduceOp op, std::vector<T> a, const std::vector<T>& b) {
+  apply_reduce(op, datatype_of<T>, std::as_writable_bytes(std::span(a)),
+               std::as_bytes(std::span(b)), a.size());
+  return a;
+}
+
+TEST(ApplyReduce, SumInt) {
+  EXPECT_EQ(reduce_vec<std::int32_t>(ReduceOp::kSum, {1, 2, 3}, {10, 20, 30}),
+            (std::vector<std::int32_t>{11, 22, 33}));
+}
+
+TEST(ApplyReduce, SumDouble) {
+  EXPECT_EQ(reduce_vec<double>(ReduceOp::kSum, {0.5}, {0.25}),
+            (std::vector<double>{0.75}));
+}
+
+TEST(ApplyReduce, ProdInt64) {
+  EXPECT_EQ(reduce_vec<std::int64_t>(ReduceOp::kProd, {3, -2}, {4, 5}),
+            (std::vector<std::int64_t>{12, -10}));
+}
+
+TEST(ApplyReduce, MaxMin) {
+  EXPECT_EQ(reduce_vec<std::int32_t>(ReduceOp::kMax, {1, 9}, {5, 2}),
+            (std::vector<std::int32_t>{5, 9}));
+  EXPECT_EQ(reduce_vec<std::int32_t>(ReduceOp::kMin, {1, 9}, {5, 2}),
+            (std::vector<std::int32_t>{1, 2}));
+}
+
+TEST(ApplyReduce, MaxDoubleNegatives) {
+  EXPECT_EQ(reduce_vec<double>(ReduceOp::kMax, {-3.0}, {-7.0}),
+            (std::vector<double>{-3.0}));
+}
+
+TEST(ApplyReduce, LogicalOps) {
+  EXPECT_EQ(reduce_vec<std::int32_t>(ReduceOp::kLand, {1, 0, 2}, {3, 1, 0}),
+            (std::vector<std::int32_t>{1, 0, 0}));
+  EXPECT_EQ(reduce_vec<std::int32_t>(ReduceOp::kLor, {0, 0, 2}, {0, 1, 0}),
+            (std::vector<std::int32_t>{0, 1, 1}));
+}
+
+TEST(ApplyReduce, BitwiseOps) {
+  EXPECT_EQ(reduce_vec<std::uint64_t>(ReduceOp::kBand, {0b1100}, {0b1010}),
+            (std::vector<std::uint64_t>{0b1000}));
+  EXPECT_EQ(reduce_vec<std::uint64_t>(ReduceOp::kBor, {0b1100}, {0b1010}),
+            (std::vector<std::uint64_t>{0b1110}));
+}
+
+TEST(ApplyReduce, BitwiseOnFloatThrows) {
+  std::vector<double> a{1.0}, b{2.0};
+  EXPECT_THROW(apply_reduce(ReduceOp::kBand, Datatype::kDouble,
+                            std::as_writable_bytes(std::span(a)),
+                            std::as_bytes(std::span(b)), 1),
+               UsageError);
+  EXPECT_FALSE(op_supports_float(ReduceOp::kBor));
+  EXPECT_TRUE(op_supports_float(ReduceOp::kSum));
+}
+
+TEST(ApplyReduce, ZeroCountIsNoop) {
+  std::vector<std::int32_t> a{42};
+  apply_reduce(ReduceOp::kSum, Datatype::kInt32,
+               std::as_writable_bytes(std::span(a)), std::as_bytes(std::span(a)), 0);
+  EXPECT_EQ(a[0], 42);
+}
+
+TEST(ApplyReduce, BufferTooSmallThrows) {
+  std::vector<std::int32_t> a{1}, b{2};
+  EXPECT_THROW(apply_reduce(ReduceOp::kSum, Datatype::kInt32,
+                            std::as_writable_bytes(std::span(a)),
+                            std::as_bytes(std::span(b)), 2),
+               UsageError);
+}
+
+TEST(DatatypeSize, AllTypes) {
+  EXPECT_EQ(datatype_size(Datatype::kByte), 1u);
+  EXPECT_EQ(datatype_size(Datatype::kInt32), 4u);
+  EXPECT_EQ(datatype_size(Datatype::kInt64), 8u);
+  EXPECT_EQ(datatype_size(Datatype::kUInt64), 8u);
+  EXPECT_EQ(datatype_size(Datatype::kFloat), 4u);
+  EXPECT_EQ(datatype_size(Datatype::kDouble), 8u);
+}
+
+TEST(Status, CountConvertsBytes) {
+  Status s;
+  s.count_bytes = 24;
+  EXPECT_EQ(s.count(Datatype::kDouble), 3u);
+  EXPECT_EQ(s.count(Datatype::kInt32), 6u);
+}
+
+}  // namespace
+}  // namespace manatee::umpi

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "umpi/runtime.hpp"
+#include "umpi_test_util.hpp"
+
+namespace manatee::umpi {
+namespace {
+
+using testing::cspan;
+using testing::run_world;
+using testing::wspan;
+
+TEST(P2P, SendRecvPair) {
+  run_world(2, [](Rank& self) {
+    if (self.world_rank() == 0) {
+      const int v = 42;
+      self.send(self.world(), cspan(v), 1, 0);
+    } else {
+      int v = 0;
+      const auto st = self.recv(self.world(), wspan(v), 0, 0);
+      EXPECT_EQ(v, 42);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 0);
+      EXPECT_EQ(st.count_bytes, sizeof v);
+    }
+  });
+}
+
+TEST(P2P, RecvBeforeSendBlocksThenCompletes) {
+  run_world(2, [](Rank& self) {
+    if (self.world_rank() == 1) {
+      double v = 0;
+      self.recv(self.world(), wspan(v), 0, 3);
+      EXPECT_DOUBLE_EQ(v, 2.5);
+    } else {
+      const double v = 2.5;
+      self.send(self.world(), cspan(v), 1, 3);
+    }
+  });
+}
+
+TEST(P2P, AnySourceAnyTag) {
+  run_world(3, [](Rank& self) {
+    if (self.world_rank() == 0) {
+      int got = 0;
+      const auto st = self.recv(self.world(), wspan(got), kAnySource, kAnyTag);
+      EXPECT_TRUE(st.source == 1 || st.source == 2);
+      EXPECT_EQ(got, 100 + st.source);
+      int got2 = 0;
+      const auto st2 = self.recv(self.world(), wspan(got2), kAnySource, kAnyTag);
+      EXPECT_NE(st2.source, st.source);
+      EXPECT_EQ(got2, 100 + st2.source);
+    } else {
+      const int v = 100 + self.world_rank();
+      self.send(self.world(), cspan(v), 0, self.world_rank());
+    }
+  });
+}
+
+TEST(P2P, TagSelectivity) {
+  run_world(2, [](Rank& self) {
+    if (self.world_rank() == 0) {
+      const int a = 1, b = 2;
+      self.send(self.world(), cspan(a), 1, 10);
+      self.send(self.world(), cspan(b), 1, 20);
+    } else {
+      int v = 0;
+      self.recv(self.world(), wspan(v), 0, 20);  // out of order by tag
+      EXPECT_EQ(v, 2);
+      self.recv(self.world(), wspan(v), 0, 10);
+      EXPECT_EQ(v, 1);
+    }
+  });
+}
+
+TEST(P2P, FifoOrderPerPair) {
+  run_world(2, [](Rank& self) {
+    constexpr int kN = 64;
+    if (self.world_rank() == 0) {
+      for (int i = 0; i < kN; ++i) self.send(self.world(), cspan(i), 1, 0);
+    } else {
+      for (int i = 0; i < kN; ++i) {
+        int v = -1;
+        self.recv(self.world(), wspan(v), 0, 0);
+        EXPECT_EQ(v, i);
+      }
+    }
+  });
+}
+
+TEST(P2P, IsendIrecvWaitall) {
+  run_world(2, [](Rank& self) {
+    std::vector<int> out(8), in(8, -1);
+    std::iota(out.begin(), out.end(), self.world_rank() * 100);
+    const int peer = 1 - self.world_rank();
+    std::vector<Request> reqs;
+    reqs.push_back(self.irecv(self.world(), wspan(in), peer, 1));
+    reqs.push_back(self.isend(self.world(), cspan(out), peer, 1));
+    self.waitall(reqs);
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(in[i], peer * 100 + i);
+    EXPECT_EQ(self.live_requests(), 0u);
+  });
+}
+
+TEST(P2P, TestPollsUntilComplete) {
+  run_world(2, [](Rank& self) {
+    if (self.world_rank() == 0) {
+      int v = 0;
+      auto req = self.irecv(self.world(), wspan(v), 1, 0);
+      Status st;
+      while (!self.test(req, &st)) {
+      }
+      EXPECT_EQ(v, 5);
+      EXPECT_EQ(st.source, 1);
+      EXPECT_TRUE(req.is_null());
+    } else {
+      const int v = 5;
+      self.send(self.world(), cspan(v), 0, 0);
+    }
+  });
+}
+
+TEST(P2P, WaitanyPicksCompleted) {
+  run_world(3, [](Rank& self) {
+    if (self.world_rank() == 0) {
+      int a = 0, b = 0;
+      std::vector<Request> reqs{self.irecv(self.world(), wspan(a), 1, 0),
+                                self.irecv(self.world(), wspan(b), 2, 0)};
+      const int first = self.waitany(reqs);
+      ASSERT_TRUE(first == 0 || first == 1);
+      EXPECT_TRUE(reqs[static_cast<std::size_t>(first)].is_null());
+      const int second = self.waitany(reqs);
+      EXPECT_EQ(second, 1 - first);
+      EXPECT_EQ(a, 11);
+      EXPECT_EQ(b, 22);
+      // All null now: MPI_UNDEFINED analog.
+      EXPECT_EQ(self.waitany(reqs), -1);
+    } else {
+      const int v = self.world_rank() == 1 ? 11 : 22;
+      self.send(self.world(), cspan(v), 0, 0);
+    }
+  });
+}
+
+TEST(P2P, ProbeThenRecv) {
+  run_world(2, [](Rank& self) {
+    if (self.world_rank() == 0) {
+      std::vector<double> v{1, 2, 3};
+      self.send(self.world(), cspan(v), 1, 9);
+    } else {
+      const auto info = self.probe(self.world(), 0, 9);
+      EXPECT_EQ(info.bytes, 3 * sizeof(double));
+      std::vector<double> v(info.bytes / sizeof(double));
+      self.recv(self.world(), wspan(v), 0, 9);
+      EXPECT_EQ(v, (std::vector<double>{1, 2, 3}));
+    }
+  });
+}
+
+TEST(P2P, IprobeMissAndHit) {
+  run_world(2, [](Rank& self) {
+    if (self.world_rank() == 1) {
+      // A probe for a message nobody will ever send must miss.
+      EXPECT_FALSE(self.iprobe(self.world(), 0, 12345).has_value());
+      const auto info = self.probe(self.world(), 0, 77);  // blocks until sent
+      EXPECT_EQ(info.tag, 77);
+      EXPECT_TRUE(self.iprobe(self.world(), 0, 77).has_value());
+      int v;
+      self.recv(self.world(), wspan(v), 0, 77);
+    } else {
+      const int v = 1;
+      self.send(self.world(), cspan(v), 1, 77);
+    }
+  });
+}
+
+TEST(P2P, SendrecvExchange) {
+  run_world(2, [](Rank& self) {
+    const int mine = self.world_rank() + 10;
+    int theirs = -1;
+    const int peer = 1 - self.world_rank();
+    self.sendrecv(self.world(), cspan(mine), peer, 0, wspan(theirs), peer, 0);
+    EXPECT_EQ(theirs, peer + 10);
+  });
+}
+
+TEST(P2P, SelfSend) {
+  run_world(1, [](Rank& self) {
+    const int v = 7;
+    auto req = self.irecv(self.world(), wspan(const_cast<int&>(v)), 0, 0);
+    int out = 7;
+    self.send(self.world(), cspan(out), 0, 0);
+    self.wait(req);
+  });
+}
+
+TEST(P2P, TruncationThrows) {
+  EXPECT_THROW(run_world(2,
+                         [](Rank& self) {
+                           if (self.world_rank() == 0) {
+                             std::vector<int> big(8);
+                             self.send(self.world(), cspan(big), 1, 0);
+                           } else {
+                             int small = 0;
+                             self.recv(self.world(), wspan(small), 0, 0);
+                           }
+                         }),
+               UsageError);
+}
+
+TEST(P2P, RankOutOfRangeThrows) {
+  EXPECT_THROW(run_world(1,
+                         [](Rank& self) {
+                           const int v = 0;
+                           self.send(self.world(), cspan(v), 5, 0);
+                         }),
+               UsageError);
+}
+
+TEST(P2P, NegativeTagThrows) {
+  EXPECT_THROW(run_world(2,
+                         [](Rank& self) {
+                           if (self.world_rank() == 0) {
+                             const int v = 0;
+                             self.send(self.world(), cspan(v), 1, -3);
+                           }
+                         }),
+               UsageError);
+}
+
+TEST(P2P, CountersTrackCalls) {
+  auto rt = run_world(2, [](Rank& self) {
+    const int v = 0;
+    int in = 0;
+    if (self.world_rank() == 0) {
+      self.send(self.world(), cspan(v), 1, 0);
+      self.send(self.world(), cspan(v), 1, 0);
+    } else {
+      self.recv(self.world(), wspan(in), 0, 0);
+      self.recv(self.world(), wspan(in), 0, 0);
+    }
+  });
+  EXPECT_EQ(rt->total_counters().p2p_calls, 4u);
+  EXPECT_EQ(rt->total_counters().collective_calls, 0u);
+}
+
+TEST(P2P, ManyRanksRing) {
+  auto rt = run_world(8, [](Rank& self) {
+    const int p = self.world_size();
+    const int r = self.world_rank();
+    const int right = (r + 1) % p;
+    const int left = (r - 1 + p) % p;
+    int token = r;
+    int got = -1;
+    self.sendrecv(self.world(), cspan(token), right, 0, wspan(got), left, 0);
+    EXPECT_EQ(got, left);
+  });
+  EXPECT_GT(rt->max_clock(), 0);
+}
+
+}  // namespace
+}  // namespace manatee::umpi

@@ -1,0 +1,48 @@
+// Shared helpers for UMPI tests: tiny worlds with a short deadlock watchdog.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "simnet/mailbox.hpp"
+#include "umpi/runtime.hpp"
+
+namespace manatee::umpi::testing {
+
+/// Run `app` on a fresh world of `n` ranks and return the Runtime for
+/// post-mortem inspection (clocks, counters).
+inline std::unique_ptr<Runtime> run_world(int n, const AppFn& app,
+                                          int ranks_per_node = 4) {
+  simnet::MessageStore::set_wait_timeout_ms(10'000);
+  RuntimeConfig config;
+  config.world_size = n;
+  config.ranks_per_node = ranks_per_node;
+  auto runtime = std::make_unique<Runtime>(config);
+  runtime->run(app);
+  return runtime;
+}
+
+/// World sizes exercised by parameterized collective tests: powers of two,
+/// non-powers, odd, single rank.
+inline std::vector<int> interesting_world_sizes() { return {1, 2, 3, 4, 5, 7, 8, 13}; }
+
+template <typename T>
+std::span<const std::byte> cspan(const T& v) {
+  return std::as_bytes(std::span(&v, 1));
+}
+
+template <typename T>
+std::span<std::byte> wspan(T& v) {
+  return std::as_writable_bytes(std::span(&v, 1));
+}
+
+template <typename T>
+std::span<const std::byte> cspan(const std::vector<T>& v) {
+  return std::as_bytes(std::span(v.data(), v.size()));
+}
+
+template <typename T>
+std::span<std::byte> wspan(std::vector<T>& v) {
+  return std::as_writable_bytes(std::span(v.data(), v.size()));
+}
+
+}  // namespace manatee::umpi::testing
