@@ -1,0 +1,189 @@
+// bench_coll_algorithms — sweeps message size × communicator size ×
+// algorithm for every collective with selectable algorithms and reports the
+// virtual time per operation, marking both the decision heuristic's pick
+// and the actually fastest variant. The heuristic is doing its job when the
+// two columns agree (or are within noise of each other).
+//
+//   ./bench_coll_algorithms [--ranks N | --full] [--iters 8]
+//                           [--coll-<collective>=<algorithm> ...]
+//
+// The --coll-* overrides (common/options) apply on top, demonstrating the
+// runtime-selection plumbing end to end.
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "umpi/coll/module.hpp"
+#include "umpi/runtime.hpp"
+
+namespace manatee::bench {
+namespace {
+
+using umpi::AppFn;
+using umpi::Datatype;
+using umpi::Rank;
+using umpi::ReduceOp;
+using umpi::RuntimeConfig;
+using umpi::coll::CollArgs;
+using umpi::coll::CollKind;
+using umpi::coll::CollTuning;
+using umpi::coll::Registry;
+
+struct Sweep {
+  CollKind kind;
+  /// Builds the per-rank app for one (message size, world) instance.
+  std::function<AppFn(std::size_t bytes, int world, int iters)> app;
+};
+
+simnet::SimTime run_once(int world, CollKind kind, const std::string& algo,
+                         const CollTuning& base, const AppFn& app) {
+  simnet::MessageStore::set_wait_timeout_ms(120'000);
+  RuntimeConfig config;
+  config.world_size = world;
+  config.ranks_per_node = 16;
+  config.coll = base;
+  config.coll.force(kind, algo);
+  umpi::Runtime runtime(config);
+  runtime.run(app);
+  return runtime.max_clock();
+}
+
+AppFn bcast_app(std::size_t bytes, int /*world*/, int iters) {
+  return [bytes, iters](Rank& self) {
+    std::vector<std::byte> data(bytes);
+    for (int i = 0; i < iters; ++i) {
+      self.bcast(self.world(), data, i % self.world_size());
+    }
+  };
+}
+
+AppFn allreduce_app(std::size_t bytes, int /*world*/, int iters) {
+  return [bytes, iters](Rank& self) {
+    const std::size_t n = std::max<std::size_t>(1, bytes / sizeof(double));
+    std::vector<double> in(n, 1.0), out(n);
+    for (int i = 0; i < iters; ++i) {
+      self.allreduce(self.world(), std::as_bytes(std::span(in)),
+                     std::as_writable_bytes(std::span(out)), Datatype::kDouble,
+                     ReduceOp::kSum);
+    }
+  };
+}
+
+AppFn allgather_app(std::size_t bytes, int world, int iters) {
+  return [bytes, world, iters](Rank& self) {
+    std::vector<std::byte> mine(bytes);
+    std::vector<std::byte> all(bytes * static_cast<std::size_t>(world));
+    for (int i = 0; i < iters; ++i) {
+      self.allgather(self.world(), mine, all);
+    }
+  };
+}
+
+AppFn alltoall_app(std::size_t bytes, int world, int iters) {
+  return [bytes, world, iters](Rank& self) {
+    std::vector<std::byte> send(bytes * static_cast<std::size_t>(world));
+    std::vector<std::byte> recv(send.size());
+    for (int i = 0; i < iters; ++i) {
+      self.alltoall(self.world(), send, recv);
+    }
+  };
+}
+
+AppFn reduce_app(std::size_t bytes, int /*world*/, int iters) {
+  return [bytes, iters](Rank& self) {
+    const std::size_t n = std::max<std::size_t>(1, bytes / sizeof(double));
+    std::vector<double> in(n, 1.0), out(n);
+    for (int i = 0; i < iters; ++i) {
+      self.reduce(self.world(), std::as_bytes(std::span(in)),
+                  std::as_writable_bytes(std::span(out)), Datatype::kDouble,
+                  ReduceOp::kSum, 0);
+    }
+  };
+}
+
+AppFn barrier_app(std::size_t /*bytes*/, int /*world*/, int iters) {
+  return [iters](Rank& self) {
+    for (int i = 0; i < iters; ++i) self.barrier(self.world());
+  };
+}
+
+/// Representative CollArgs for asking the heuristic what it would pick.
+CollArgs probe_args(CollKind kind, std::span<std::byte> buf) {
+  CollArgs args;
+  switch (kind) {
+    case CollKind::kBcast:
+    case CollKind::kScatter: args.recv = buf; break;
+    default: args.send = buf; break;
+  }
+  return args;
+}
+
+int run(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const auto worlds = (opts.has("ranks") || opts.get_bool("full"))
+                          ? world_sweep(opts)
+                          : std::vector<int>{4, 8, 16, 32};
+  const int iters = static_cast<int>(opts.get_int("iters", 8));
+  const std::vector<std::size_t> sizes{64, 4096, 65536, 1u << 20};
+  const CollTuning base = umpi::coll::tuning_from_options(opts);
+
+  print_header("Collective algorithm sweep: virtual time per operation",
+               "selection layer (src/umpi/coll), Open MPI tuned-style");
+
+  const std::vector<Sweep> sweeps{
+      {CollKind::kBarrier, barrier_app},   {CollKind::kBcast, bcast_app},
+      {CollKind::kReduce, reduce_app},     {CollKind::kAllreduce, allreduce_app},
+      {CollKind::kAllgather, allgather_app},
+      {CollKind::kAlltoall, alltoall_app},
+  };
+
+  std::printf("%-14s %10s %6s  %-40s %-12s %-12s\n", "collective", "msg_size",
+              "ranks", "per-op virtual time by algorithm [us]", "heuristic",
+              "fastest");
+  for (const auto& sweep : sweeps) {
+    for (const std::size_t bytes : sizes) {
+      if (sweep.kind == CollKind::kBarrier && bytes != sizes.front()) continue;
+      for (const int world : worlds) {
+        // Keep the biggest alltoall/allgather instances bounded.
+        if ((sweep.kind == CollKind::kAlltoall ||
+             sweep.kind == CollKind::kAllgather) &&
+            bytes >= (1u << 20) && world > 16) {
+          continue;
+        }
+        std::string cells;
+        std::string fastest;
+        simnet::SimTime best = 0;
+        for (const auto& entry : Registry::instance().entries(sweep.kind)) {
+          if (!entry.usable(world, CollArgs{})) continue;
+          const auto total = run_once(world, sweep.kind, entry.name, base,
+                                      sweep.app(bytes, world, iters));
+          const double us =
+              static_cast<double>(total) / (1000.0 * static_cast<double>(iters));
+          char cell[96];
+          std::snprintf(cell, sizeof cell, "%s=%.1f ", entry.name.c_str(), us);
+          cells += cell;
+          if (fastest.empty() || total < best) {
+            best = total;
+            fastest = entry.name;
+          }
+        }
+        std::vector<std::byte> probe(bytes);
+        const umpi::coll::CollModule module(base, world);
+        const auto& picked =
+            module.select(sweep.kind, probe_args(sweep.kind, probe));
+        std::printf("%-14s %10zu %6d  %-40s %-12s %-12s\n",
+                    umpi::coll::coll_name(sweep.kind),
+                    sweep.kind == CollKind::kBarrier ? 0 : bytes, world,
+                    cells.c_str(), picked.name.c_str(), fastest.c_str());
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace manatee::bench
+
+int main(int argc, char** argv) { return manatee::bench::run(argc, argv); }

@@ -5,7 +5,10 @@
 // images in a fresh engine (fresh "lower half"), and verifies the final
 // result is identical to an uninterrupted run.
 //
-//   ./quickstart [--ranks N] [--iterations N]
+//   ./quickstart [--ranks N] [--iterations N] [--coll-allreduce=ring ...]
+//
+// The --coll-* flags force a collective algorithm (see src/umpi/coll); the
+// restart verification holds for every registered algorithm.
 #include <cstdio>
 #include <filesystem>
 
@@ -50,6 +53,7 @@ int main(int argc, char** argv) {
   EngineConfig config;
   config.runtime.world_size = ranks;
   config.runtime.ranks_per_node = 4;
+  umpi::coll::apply_coll_options(config.runtime.coll, opts);
   config.protocol = Protocol::kCC;
   config.image_dir = dir.string();
   config.trigger_at_collectives = {static_cast<std::uint64_t>(iterations / 2)};
@@ -81,6 +85,7 @@ int main(int argc, char** argv) {
   EngineConfig native_config;
   native_config.runtime.world_size = ranks;
   native_config.runtime.ranks_per_node = 4;
+  native_config.runtime.coll = config.runtime.coll;
   Engine native(native_config);
   std::vector<double> expected(static_cast<std::size_t>(ranks));
   native.run([&](Api& api) {

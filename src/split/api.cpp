@@ -360,6 +360,51 @@ void Api::waitall(std::span<VReq> requests) {
   for (auto& r : requests) wait(r);
 }
 
+int Api::waitany(std::span<VReq> requests) {
+  bool any_live = false;
+  for (const auto& r : requests) {
+    if (!r.is_null()) {
+      any_live = true;
+      break;
+    }
+  }
+  if (!any_live) return -1;  // MPI_UNDEFINED
+  int index = -1;
+  blocking_loop(
+      [&] {
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+          const VReq& r = requests[i];
+          if (r.is_null()) continue;
+          const auto it = vreqs_.find(r.id);
+          if (it == vreqs_.end() || it->second.complete ||
+              rank_.request_done(it->second.lower)) {
+            index = static_cast<int>(i);
+            return true;
+          }
+        }
+        return false;
+      },
+      &kPassiveHooks);
+  const bool consumed = test(requests[static_cast<std::size_t>(index)]);
+  MANATEE_CHECK(consumed, "waitany candidate regressed to incomplete");
+  return index;
+}
+
+bool Api::testany(std::span<VReq> requests, int* index) {
+  MANATEE_REQUIRE(index != nullptr, "testany needs an index out-parameter");
+  *index = -1;
+  bool any_live = false;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].is_null()) continue;
+    any_live = true;
+    if (test(requests[i])) {
+      *index = static_cast<int>(i);
+      return true;
+    }
+  }
+  return !any_live;  // all null: MPI returns flag=true, MPI_UNDEFINED index
+}
+
 // ---- blocking collectives ---------------------------------------------------------------
 
 void Api::run_blocking_collective(const umpi::CommPtr& comm,
@@ -379,10 +424,11 @@ void Api::barrier(VComm comm) {
   run_blocking_collective(c, [&] { rank_.barrier(c); });
 }
 
-void Api::bcast(VComm comm, std::span<std::byte> data, int root) {
+void Api::bcast(VComm comm, std::span<std::byte> data, umpi::Datatype dt,
+                int root) {
   if (begin_op()) return;
   const auto& c = resolve(comm);
-  run_blocking_collective(c, [&] { rank_.bcast(c, data, root); });
+  run_blocking_collective(c, [&] { rank_.bcast(c, data, root, dt); });
 }
 
 void Api::reduce(VComm comm, std::span<const std::byte> send,
@@ -402,31 +448,31 @@ void Api::allreduce(VComm comm, std::span<const std::byte> send,
 }
 
 void Api::gather(VComm comm, std::span<const std::byte> send,
-                 std::span<std::byte> recv, int root) {
+                 std::span<std::byte> recv, umpi::Datatype dt, int root) {
   if (begin_op()) return;
   const auto& c = resolve(comm);
-  run_blocking_collective(c, [&] { rank_.gather(c, send, recv, root); });
+  run_blocking_collective(c, [&] { rank_.gather(c, send, recv, root, dt); });
 }
 
 void Api::allgather(VComm comm, std::span<const std::byte> send,
-                    std::span<std::byte> recv) {
+                    std::span<std::byte> recv, umpi::Datatype dt) {
   if (begin_op()) return;
   const auto& c = resolve(comm);
-  run_blocking_collective(c, [&] { rank_.allgather(c, send, recv); });
+  run_blocking_collective(c, [&] { rank_.allgather(c, send, recv, dt); });
 }
 
 void Api::scatter(VComm comm, std::span<const std::byte> send,
-                  std::span<std::byte> recv, int root) {
+                  std::span<std::byte> recv, umpi::Datatype dt, int root) {
   if (begin_op()) return;
   const auto& c = resolve(comm);
-  run_blocking_collective(c, [&] { rank_.scatter(c, send, recv, root); });
+  run_blocking_collective(c, [&] { rank_.scatter(c, send, recv, root, dt); });
 }
 
 void Api::alltoall(VComm comm, std::span<const std::byte> send,
-                   std::span<std::byte> recv) {
+                   std::span<std::byte> recv, umpi::Datatype dt) {
   if (begin_op()) return;
   const auto& c = resolve(comm);
-  run_blocking_collective(c, [&] { rank_.alltoall(c, send, recv); });
+  run_blocking_collective(c, [&] { rank_.alltoall(c, send, recv, dt); });
 }
 
 void Api::scan(VComm comm, std::span<const std::byte> send,
@@ -434,6 +480,75 @@ void Api::scan(VComm comm, std::span<const std::byte> send,
   if (begin_op()) return;
   const auto& c = resolve(comm);
   run_blocking_collective(c, [&] { rank_.scan(c, send, recv, dt, op); });
+}
+
+void Api::reduce_scatter(VComm comm, std::span<const std::byte> send,
+                         std::span<std::byte> recv, umpi::Datatype dt,
+                         umpi::ReduceOp op) {
+  if (begin_op()) return;
+  const auto& c = resolve(comm);
+  run_blocking_collective(
+      c, [&] { rank_.reduce_scatter_block(c, send, recv, dt, op); });
+}
+
+namespace {
+
+/// Element counts/displacements -> byte counts/displacements.
+std::vector<std::size_t> to_bytes(std::span<const int> counts,
+                                  umpi::Datatype dt) {
+  std::vector<std::size_t> out;
+  out.reserve(counts.size());
+  const auto esize = umpi::datatype_size(dt);
+  for (const int c : counts) {
+    MANATEE_REQUIRE(c >= 0, "vector collective counts must be non-negative");
+    out.push_back(static_cast<std::size_t>(c) * esize);
+  }
+  return out;
+}
+
+}  // namespace
+
+void Api::gatherv(VComm comm, std::span<const std::byte> send,
+                  std::span<std::byte> recv, std::span<const int> recv_counts,
+                  std::span<const int> recv_displs, umpi::Datatype dt, int root) {
+  if (begin_op()) return;
+  const auto& c = resolve(comm);
+  // MPI_Gatherv contract: counts/displacements are only meaningful (and only
+  // read) at the root.
+  const bool at_root = c->rank == root;
+  const auto counts = at_root ? to_bytes(recv_counts, dt)
+                              : std::vector<std::size_t>{};
+  const auto displs = at_root ? to_bytes(recv_displs, dt)
+                              : std::vector<std::size_t>{};
+  run_blocking_collective(
+      c, [&] { rank_.gatherv(c, send, recv, counts, displs, root); });
+}
+
+void Api::allgatherv(VComm comm, std::span<const std::byte> send,
+                     std::span<std::byte> recv, std::span<const int> recv_counts,
+                     std::span<const int> recv_displs, umpi::Datatype dt) {
+  if (begin_op()) return;
+  const auto& c = resolve(comm);
+  const auto counts = to_bytes(recv_counts, dt);
+  const auto displs = to_bytes(recv_displs, dt);
+  run_blocking_collective(
+      c, [&] { rank_.allgatherv(c, send, recv, counts, displs); });
+}
+
+void Api::alltoallv(VComm comm, std::span<const std::byte> send,
+                    std::span<const int> send_counts,
+                    std::span<const int> send_displs, std::span<std::byte> recv,
+                    std::span<const int> recv_counts,
+                    std::span<const int> recv_displs, umpi::Datatype dt) {
+  if (begin_op()) return;
+  const auto& c = resolve(comm);
+  const auto scounts = to_bytes(send_counts, dt);
+  const auto sdispls = to_bytes(send_displs, dt);
+  const auto rcounts = to_bytes(recv_counts, dt);
+  const auto rdispls = to_bytes(recv_displs, dt);
+  run_blocking_collective(c, [&] {
+    rank_.alltoallv(c, send, scounts, sdispls, recv, rcounts, rdispls);
+  });
 }
 
 // ---- non-blocking collectives --------------------------------------------------------------
@@ -466,8 +581,35 @@ VReq Api::ibarrier(VComm comm) {
   return start_nbc(comm, [&] { return rank_.ibarrier(resolve(comm)); });
 }
 
-VReq Api::ibcast(VComm comm, std::span<std::byte> data, int root) {
-  return start_nbc(comm, [&] { return rank_.ibcast(resolve(comm), data, root); });
+VReq Api::ibcast(VComm comm, std::span<std::byte> data, umpi::Datatype dt,
+                 int root) {
+  return start_nbc(comm,
+                   [&] { return rank_.ibcast(resolve(comm), data, root, dt); });
+}
+
+VReq Api::ireduce(VComm comm, std::span<const std::byte> send,
+                  std::span<std::byte> recv, umpi::Datatype dt, umpi::ReduceOp op,
+                  int root) {
+  return start_nbc(
+      comm, [&] { return rank_.ireduce(resolve(comm), send, recv, dt, op, root); });
+}
+
+VReq Api::igather(VComm comm, std::span<const std::byte> send,
+                  std::span<std::byte> recv, umpi::Datatype dt, int root) {
+  return start_nbc(
+      comm, [&] { return rank_.igather(resolve(comm), send, recv, root, dt); });
+}
+
+VReq Api::iscatter(VComm comm, std::span<const std::byte> send,
+                   std::span<std::byte> recv, umpi::Datatype dt, int root) {
+  return start_nbc(
+      comm, [&] { return rank_.iscatter(resolve(comm), send, recv, root, dt); });
+}
+
+VReq Api::iscan(VComm comm, std::span<const std::byte> send,
+                std::span<std::byte> recv, umpi::Datatype dt, umpi::ReduceOp op) {
+  return start_nbc(
+      comm, [&] { return rank_.iscan(resolve(comm), send, recv, dt, op); });
 }
 
 VReq Api::iallreduce(VComm comm, std::span<const std::byte> send,
@@ -478,13 +620,15 @@ VReq Api::iallreduce(VComm comm, std::span<const std::byte> send,
 }
 
 VReq Api::iallgather(VComm comm, std::span<const std::byte> send,
-                     std::span<std::byte> recv) {
-  return start_nbc(comm, [&] { return rank_.iallgather(resolve(comm), send, recv); });
+                     std::span<std::byte> recv, umpi::Datatype dt) {
+  return start_nbc(
+      comm, [&] { return rank_.iallgather(resolve(comm), send, recv, dt); });
 }
 
 VReq Api::ialltoall(VComm comm, std::span<const std::byte> send,
-                    std::span<std::byte> recv) {
-  return start_nbc(comm, [&] { return rank_.ialltoall(resolve(comm), send, recv); });
+                    std::span<std::byte> recv, umpi::Datatype dt) {
+  return start_nbc(
+      comm, [&] { return rank_.ialltoall(resolve(comm), send, recv, dt); });
 }
 
 // ---- communicator management ------------------------------------------------------------------

@@ -147,34 +147,188 @@ class Api {
   bool test(VReq& request);
   void wait(VReq& request);
   void waitall(std::span<VReq> requests);
+  /// Blocks until one request completes (consuming it); returns its index,
+  /// or -1 (MPI_UNDEFINED) when every handle is null. The returned index
+  /// can depend on message timing — route control flow derived from it
+  /// through decide() in resumable applications.
+  int waitany(std::span<VReq> requests);
+  /// Non-blocking waitany (MPI_Testany): true when one request completed
+  /// (its index in *index) or every handle is null (*index = -1).
+  bool testany(std::span<VReq> requests, int* index);
 
   // --- blocking collectives -------------------------------------------------------
+  // Unified, datatype-aware surface: every collective has a canonical
+  // byte-level form carrying the element Datatype (MPI argument order:
+  // buffers, datatype, op, root) plus a typed std::span<T> overload that
+  // infers the datatype. Send spans must be const-qualified
+  // (std::as_bytes / std::span<const T>) for template deduction.
   void barrier(VComm comm);
-  void bcast(VComm comm, std::span<std::byte> data, int root);
+  void bcast(VComm comm, std::span<std::byte> data, umpi::Datatype dt, int root);
   void reduce(VComm comm, std::span<const std::byte> send, std::span<std::byte> recv,
               umpi::Datatype dt, umpi::ReduceOp op, int root);
   void allreduce(VComm comm, std::span<const std::byte> send,
                  std::span<std::byte> recv, umpi::Datatype dt, umpi::ReduceOp op);
   void gather(VComm comm, std::span<const std::byte> send, std::span<std::byte> recv,
-              int root);
+              umpi::Datatype dt, int root);
   void allgather(VComm comm, std::span<const std::byte> send,
-                 std::span<std::byte> recv);
+                 std::span<std::byte> recv, umpi::Datatype dt);
   void scatter(VComm comm, std::span<const std::byte> send, std::span<std::byte> recv,
-               int root);
+               umpi::Datatype dt, int root);
   void alltoall(VComm comm, std::span<const std::byte> send,
-                std::span<std::byte> recv);
+                std::span<std::byte> recv, umpi::Datatype dt);
   void scan(VComm comm, std::span<const std::byte> send, std::span<std::byte> recv,
             umpi::Datatype dt, umpi::ReduceOp op);
+  void reduce_scatter(VComm comm, std::span<const std::byte> send,
+                      std::span<std::byte> recv, umpi::Datatype dt,
+                      umpi::ReduceOp op);
+
+  // --- vector collectives (counts/displacements in elements of dt) ----------------
+  /// Counts/displacements are only read at the root (MPI_Gatherv contract).
+  void gatherv(VComm comm, std::span<const std::byte> send,
+               std::span<std::byte> recv, std::span<const int> recv_counts,
+               std::span<const int> recv_displs, umpi::Datatype dt, int root);
+  void allgatherv(VComm comm, std::span<const std::byte> send,
+                  std::span<std::byte> recv, std::span<const int> recv_counts,
+                  std::span<const int> recv_displs, umpi::Datatype dt);
+  void alltoallv(VComm comm, std::span<const std::byte> send,
+                 std::span<const int> send_counts, std::span<const int> send_displs,
+                 std::span<std::byte> recv, std::span<const int> recv_counts,
+                 std::span<const int> recv_displs, umpi::Datatype dt);
+
+  // --- typed overloads --------------------------------------------------------------
+  template <typename T>
+  void bcast(VComm comm, std::span<T> data, int root) {
+    bcast(comm, std::as_writable_bytes(data), umpi::datatype_of<T>, root);
+  }
+  template <typename T>
+  void reduce(VComm comm, std::span<const T> send, std::span<T> recv,
+              umpi::ReduceOp op, int root) {
+    reduce(comm, std::as_bytes(send), std::as_writable_bytes(recv),
+           umpi::datatype_of<T>, op, root);
+  }
+  template <typename T>
+  void allreduce(VComm comm, std::span<const T> send, std::span<T> recv,
+                 umpi::ReduceOp op) {
+    allreduce(comm, std::as_bytes(send), std::as_writable_bytes(recv),
+              umpi::datatype_of<T>, op);
+  }
+  template <typename T>
+  void gather(VComm comm, std::span<const T> send, std::span<T> recv, int root) {
+    gather(comm, std::as_bytes(send), std::as_writable_bytes(recv),
+           umpi::datatype_of<T>, root);
+  }
+  template <typename T>
+  void allgather(VComm comm, std::span<const T> send, std::span<T> recv) {
+    allgather(comm, std::as_bytes(send), std::as_writable_bytes(recv),
+              umpi::datatype_of<T>);
+  }
+  template <typename T>
+  void scatter(VComm comm, std::span<const T> send, std::span<T> recv, int root) {
+    scatter(comm, std::as_bytes(send), std::as_writable_bytes(recv),
+            umpi::datatype_of<T>, root);
+  }
+  template <typename T>
+  void alltoall(VComm comm, std::span<const T> send, std::span<T> recv) {
+    alltoall(comm, std::as_bytes(send), std::as_writable_bytes(recv),
+             umpi::datatype_of<T>);
+  }
+  template <typename T>
+  void scan(VComm comm, std::span<const T> send, std::span<T> recv,
+            umpi::ReduceOp op) {
+    scan(comm, std::as_bytes(send), std::as_writable_bytes(recv),
+         umpi::datatype_of<T>, op);
+  }
+  template <typename T>
+  void reduce_scatter(VComm comm, std::span<const T> send, std::span<T> recv,
+                      umpi::ReduceOp op) {
+    reduce_scatter(comm, std::as_bytes(send), std::as_writable_bytes(recv),
+                   umpi::datatype_of<T>, op);
+  }
+  template <typename T>
+  void gatherv(VComm comm, std::span<const T> send, std::span<T> recv,
+               std::span<const int> recv_counts, std::span<const int> recv_displs,
+               int root) {
+    gatherv(comm, std::as_bytes(send), std::as_writable_bytes(recv), recv_counts,
+            recv_displs, umpi::datatype_of<T>, root);
+  }
+  template <typename T>
+  void allgatherv(VComm comm, std::span<const T> send, std::span<T> recv,
+                  std::span<const int> recv_counts,
+                  std::span<const int> recv_displs) {
+    allgatherv(comm, std::as_bytes(send), std::as_writable_bytes(recv), recv_counts,
+               recv_displs, umpi::datatype_of<T>);
+  }
+  template <typename T>
+  void alltoallv(VComm comm, std::span<const T> send,
+                 std::span<const int> send_counts, std::span<const int> send_displs,
+                 std::span<T> recv, std::span<const int> recv_counts,
+                 std::span<const int> recv_displs) {
+    alltoallv(comm, std::as_bytes(send), send_counts, send_displs,
+              std::as_writable_bytes(recv), recv_counts, recv_displs,
+              umpi::datatype_of<T>);
+  }
 
   // --- non-blocking collectives ------------------------------------------------------
   VReq ibarrier(VComm comm);
-  VReq ibcast(VComm comm, std::span<std::byte> data, int root);
+  VReq ibcast(VComm comm, std::span<std::byte> data, umpi::Datatype dt, int root);
+  VReq ireduce(VComm comm, std::span<const std::byte> send,
+               std::span<std::byte> recv, umpi::Datatype dt, umpi::ReduceOp op,
+               int root);
   VReq iallreduce(VComm comm, std::span<const std::byte> send,
                   std::span<std::byte> recv, umpi::Datatype dt, umpi::ReduceOp op);
+  VReq igather(VComm comm, std::span<const std::byte> send,
+               std::span<std::byte> recv, umpi::Datatype dt, int root);
+  VReq iscatter(VComm comm, std::span<const std::byte> send,
+                std::span<std::byte> recv, umpi::Datatype dt, int root);
   VReq iallgather(VComm comm, std::span<const std::byte> send,
-                  std::span<std::byte> recv);
+                  std::span<std::byte> recv, umpi::Datatype dt);
   VReq ialltoall(VComm comm, std::span<const std::byte> send,
-                 std::span<std::byte> recv);
+                 std::span<std::byte> recv, umpi::Datatype dt);
+  VReq iscan(VComm comm, std::span<const std::byte> send, std::span<std::byte> recv,
+             umpi::Datatype dt, umpi::ReduceOp op);
+
+  template <typename T>
+  VReq ibcast(VComm comm, std::span<T> data, int root) {
+    return ibcast(comm, std::as_writable_bytes(data), umpi::datatype_of<T>, root);
+  }
+  template <typename T>
+  VReq ireduce(VComm comm, std::span<const T> send, std::span<T> recv,
+               umpi::ReduceOp op, int root) {
+    return ireduce(comm, std::as_bytes(send), std::as_writable_bytes(recv),
+                   umpi::datatype_of<T>, op, root);
+  }
+  template <typename T>
+  VReq iallreduce(VComm comm, std::span<const T> send, std::span<T> recv,
+                  umpi::ReduceOp op) {
+    return iallreduce(comm, std::as_bytes(send), std::as_writable_bytes(recv),
+                      umpi::datatype_of<T>, op);
+  }
+  template <typename T>
+  VReq igather(VComm comm, std::span<const T> send, std::span<T> recv, int root) {
+    return igather(comm, std::as_bytes(send), std::as_writable_bytes(recv),
+                   umpi::datatype_of<T>, root);
+  }
+  template <typename T>
+  VReq iscatter(VComm comm, std::span<const T> send, std::span<T> recv, int root) {
+    return iscatter(comm, std::as_bytes(send), std::as_writable_bytes(recv),
+                    umpi::datatype_of<T>, root);
+  }
+  template <typename T>
+  VReq iallgather(VComm comm, std::span<const T> send, std::span<T> recv) {
+    return iallgather(comm, std::as_bytes(send), std::as_writable_bytes(recv),
+                      umpi::datatype_of<T>);
+  }
+  template <typename T>
+  VReq ialltoall(VComm comm, std::span<const T> send, std::span<T> recv) {
+    return ialltoall(comm, std::as_bytes(send), std::as_writable_bytes(recv),
+                     umpi::datatype_of<T>);
+  }
+  template <typename T>
+  VReq iscan(VComm comm, std::span<const T> send, std::span<T> recv,
+             umpi::ReduceOp op) {
+    return iscan(comm, std::as_bytes(send), std::as_writable_bytes(recv),
+                 umpi::datatype_of<T>, op);
+  }
 
   // --- communicator management ---------------------------------------------------------
   VComm comm_dup(VComm comm);

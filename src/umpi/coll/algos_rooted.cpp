@@ -1,0 +1,586 @@
+// algos_rooted.cpp — rooted collectives: bcast, reduce, gather, scatter,
+// gatherv. Each collective registers at least two algorithms:
+//
+//   bcast    — linear (root sends to all), binomial tree, ring (chain
+//              pipeline through vrank order; bandwidth-optimal without
+//              segmentation since every link carries the payload once)
+//   reduce   — linear (root folds contributions in rank order), binomial
+//   gather   — linear, binomial tree with contiguous vrank blocks
+//   scatter  — linear, reverse binomial tree
+//   gatherv  — linear (the v-variants are latency-insensitive bookkeeping
+//              collectives; one algorithm suffices)
+//
+// All "linear" algorithms fold/move data in communicator-rank order, which
+// makes them the canonical baseline for the cross-algorithm equivalence
+// property: with exact (integer or exactly-representable) arithmetic every
+// other algorithm must produce byte-identical buffers.
+#include "umpi/coll/algos.hpp"
+
+namespace manatee::umpi::coll {
+
+namespace {
+
+// ---- bcast: linear ---------------------------------------------------------
+
+class LinearBcastOp final : public NbcOp {
+ public:
+  LinearBcastOp(CommPtr comm, int tag, std::span<std::byte> data, int root)
+      : NbcOp(std::move(comm), tag), data_(data), root_(root) {
+    MANATEE_REQUIRE(root >= 0 && root < comm_->size(), "bcast root out of range");
+  }
+
+ protected:
+  bool step(Rank& rank) override {
+    const int p = comm_->size();
+    if (comm_->rank == root_) {
+      if (!sent_) {
+        for (int r = 0; r < p; ++r) {
+          if (r != root_) send_bytes(rank, r, data_);
+        }
+        sent_ = true;
+      }
+      return true;
+    }
+    return recv_ready_into(rank, rslot_, root_, data_);
+  }
+
+ private:
+  std::span<std::byte> data_;
+  int root_;
+  bool sent_ = false;
+  Slot rslot_;
+};
+
+// ---- bcast: binomial tree --------------------------------------------------
+
+class BinomialBcastOp final : public NbcOp {
+ public:
+  BinomialBcastOp(CommPtr comm, int tag, std::span<std::byte> data, int root)
+      : NbcOp(std::move(comm), tag), data_(data), root_(root) {
+    const int p = comm_->size();
+    MANATEE_REQUIRE(root >= 0 && root < p, "bcast root out of range");
+    vr_ = (comm_->rank - root + p) % p;
+    // Find the bit at which this vrank hangs off its parent.
+    int mask = 1;
+    while (mask < p && !(vr_ & mask)) mask <<= 1;
+    recv_mask_ = mask;  // >= p when vr_ == 0 (root: no parent)
+    send_mask_ = (vr_ == 0 ? ceil_pow2(p) : mask) >> 1;
+  }
+
+ protected:
+  bool step(Rank& rank) override {
+    const int p = comm_->size();
+    if (vr_ != 0 && !recv_done_) {
+      const int parent_vr = vr_ - recv_mask_;
+      if (!recv_ready_into(rank, rslot_, to_rank(parent_vr), data_)) return false;
+    }
+    recv_done_ = true;
+    while (send_mask_ > 0) {
+      if (vr_ + send_mask_ < p) send_bytes(rank, to_rank(vr_ + send_mask_), data_);
+      send_mask_ >>= 1;
+    }
+    return true;
+  }
+
+ private:
+  [[nodiscard]] int to_rank(int vr) const { return (vr + root_) % comm_->size(); }
+
+  std::span<std::byte> data_;
+  int root_;
+  int vr_;
+  int recv_mask_;
+  int send_mask_;
+  bool recv_done_ = false;
+  Slot rslot_;
+};
+
+// ---- bcast: ring (chain pipeline through vranks) ---------------------------
+
+class RingBcastOp final : public NbcOp {
+ public:
+  RingBcastOp(CommPtr comm, int tag, std::span<std::byte> data, int root)
+      : NbcOp(std::move(comm), tag), data_(data), root_(root) {
+    const int p = comm_->size();
+    MANATEE_REQUIRE(root >= 0 && root < p, "bcast root out of range");
+    vr_ = (comm_->rank - root + p) % p;
+  }
+
+ protected:
+  bool step(Rank& rank) override {
+    const int p = comm_->size();
+    if (vr_ > 0 && !recv_ready_into(rank, rslot_, to_rank(vr_ - 1), data_)) {
+      return false;
+    }
+    if (vr_ + 1 < p) send_bytes(rank, to_rank(vr_ + 1), data_);
+    return true;
+  }
+
+ private:
+  [[nodiscard]] int to_rank(int vr) const { return (vr + root_) % comm_->size(); }
+
+  std::span<std::byte> data_;
+  int root_;
+  int vr_;
+  Slot rslot_;
+};
+
+// ---- reduce: linear (rank-order fold at the root) --------------------------
+
+class LinearReduceOp final : public NbcOp {
+ public:
+  LinearReduceOp(CommPtr comm, int tag, std::span<const std::byte> send,
+                 std::span<std::byte> recv, Datatype dt, ReduceOp op, int root)
+      : NbcOp(std::move(comm), tag), send_(send), recv_(recv), dt_(dt), op_(op),
+        root_(root) {
+    const int p = comm_->size();
+    MANATEE_REQUIRE(root >= 0 && root < p, "reduce root out of range");
+    MANATEE_REQUIRE(send.size() % datatype_size(dt) == 0,
+                    "reduce buffer not a whole number of elements");
+    count_ = send.size() / datatype_size(dt);
+    if (comm_->rank == root) slots_.resize(static_cast<std::size_t>(p));
+  }
+
+ protected:
+  bool step(Rank& rank) override {
+    const int p = comm_->size();
+    if (comm_->rank != root_) {
+      send_bytes(rank, root_, send_);
+      return true;
+    }
+    while (next_src_ < p) {
+      std::span<const std::byte> contribution;
+      if (next_src_ == comm_->rank) {
+        contribution = send_;
+      } else {
+        Slot& slot = slots_[static_cast<std::size_t>(next_src_)];
+        if (!recv_ready(rank, slot, next_src_, send_.size())) return false;
+        contribution = slot.buf;
+      }
+      if (next_src_ == 0) {
+        acc_.assign(contribution.begin(), contribution.end());
+      } else {
+        apply_reduce(op_, dt_, acc_, contribution, count_);
+        charge_compute(rank.runtime().cost().reduce_cost(acc_.size()));
+      }
+      ++next_src_;
+    }
+    copy_bytes(recv_, acc_);
+    return true;
+  }
+
+ private:
+  std::span<const std::byte> send_;
+  std::span<std::byte> recv_;
+  Datatype dt_;
+  ReduceOp op_;
+  int root_;
+  std::size_t count_;
+  std::vector<std::byte> acc_;
+  std::deque<Slot> slots_;
+  int next_src_ = 0;
+};
+
+// ---- reduce: binomial tree --------------------------------------------------
+
+class BinomialReduceOp final : public NbcOp {
+ public:
+  BinomialReduceOp(CommPtr comm, int tag, std::span<const std::byte> send,
+                   std::span<std::byte> recv, Datatype dt, ReduceOp op, int root)
+      : NbcOp(std::move(comm), tag), recv_(recv), dt_(dt), op_(op), root_(root) {
+    const int p = comm_->size();
+    MANATEE_REQUIRE(root >= 0 && root < p, "reduce root out of range");
+    MANATEE_REQUIRE(send.size() % datatype_size(dt) == 0,
+                    "reduce buffer not a whole number of elements");
+    vr_ = (comm_->rank - root + p) % p;
+    acc_.assign(send.begin(), send.end());
+    count_ = send.size() / datatype_size(dt);
+  }
+
+ protected:
+  bool step(Rank& rank) override {
+    const int p = comm_->size();
+    while (mask_ < p) {
+      if (vr_ & mask_) {
+        send_bytes(rank, to_rank(vr_ - mask_), acc_);
+        mask_ = p;  // done: leaf for all further rounds
+        break;
+      }
+      const int src_vr = vr_ + mask_;
+      if (src_vr < p) {
+        slots_.resize(std::max(slots_.size(), used_slots_ + 1));
+        Slot& slot = slots_[used_slots_];
+        if (!recv_ready(rank, slot, to_rank(src_vr), acc_.size())) return false;
+        apply_reduce(op_, dt_, acc_, slot.buf, count_);
+        charge_compute(rank.runtime().cost().reduce_cost(acc_.size()));
+        ++used_slots_;
+      }
+      mask_ <<= 1;
+    }
+    if (vr_ == 0) copy_bytes(recv_, acc_);
+    return true;
+  }
+
+ private:
+  [[nodiscard]] int to_rank(int vr) const { return (vr + root_) % comm_->size(); }
+
+  std::span<std::byte> recv_;
+  Datatype dt_;
+  ReduceOp op_;
+  int root_;
+  int vr_;
+  std::size_t count_;
+  std::vector<std::byte> acc_;
+  std::deque<Slot> slots_;
+  std::size_t used_slots_ = 0;
+  int mask_ = 1;
+};
+
+// ---- gather: linear ---------------------------------------------------------
+
+class LinearGatherOp final : public NbcOp {
+ public:
+  LinearGatherOp(CommPtr comm, int tag, std::span<const std::byte> send,
+                 std::span<std::byte> recv, int root)
+      : NbcOp(std::move(comm), tag), send_(send), recv_(recv), root_(root),
+        block_(send.size()) {
+    const int p = comm_->size();
+    MANATEE_REQUIRE(root >= 0 && root < p, "gather root out of range");
+    if (comm_->rank == root) {
+      MANATEE_REQUIRE(recv.size() >= block_ * static_cast<std::size_t>(p),
+                      "gather recv buffer too small at root");
+      slots_.resize(static_cast<std::size_t>(p));
+    }
+  }
+
+ protected:
+  bool step(Rank& rank) override {
+    const int p = comm_->size();
+    if (comm_->rank != root_) {
+      send_bytes(rank, root_, send_);
+      return true;
+    }
+    copy_bytes(block_of(comm_->rank), send_);
+    while (next_src_ < p) {
+      if (next_src_ != comm_->rank &&
+          !recv_ready_into(rank, slots_[static_cast<std::size_t>(next_src_)],
+                           next_src_, block_of(next_src_))) {
+        return false;
+      }
+      ++next_src_;
+    }
+    return true;
+  }
+
+ private:
+  [[nodiscard]] std::span<std::byte> block_of(int idx) {
+    return recv_.subspan(static_cast<std::size_t>(idx) * block_, block_);
+  }
+
+  std::span<const std::byte> send_;
+  std::span<std::byte> recv_;
+  int root_;
+  std::size_t block_;
+  std::deque<Slot> slots_;
+  int next_src_ = 0;
+};
+
+// ---- gather: binomial tree --------------------------------------------------
+
+class BinomialGatherOp final : public NbcOp {
+ public:
+  BinomialGatherOp(CommPtr comm, int tag, std::span<const std::byte> send,
+                   std::span<std::byte> recv, int root)
+      : NbcOp(std::move(comm), tag), recv_(recv), root_(root),
+        block_(send.size()) {
+    const int p = comm_->size();
+    MANATEE_REQUIRE(root >= 0 && root < p, "gather root out of range");
+    vr_ = (comm_->rank - root + p) % p;
+    if (comm_->rank == root) {
+      MANATEE_REQUIRE(recv.size() >= block_ * static_cast<std::size_t>(p),
+                      "gather recv buffer too small at root");
+    }
+    tmp_.resize(block_ * static_cast<std::size_t>(p));
+    copy_bytes(std::span(tmp_).subspan(0, block_), send);
+  }
+
+ protected:
+  bool step(Rank& rank) override {
+    const int p = comm_->size();
+    while (mask_ < p) {
+      if (vr_ & mask_) {
+        const auto held = static_cast<std::size_t>(std::min(mask_, p - vr_));
+        send_bytes(rank, to_rank(vr_ - mask_),
+                   std::span(tmp_).subspan(0, held * block_));
+        mask_ = p;
+        break;
+      }
+      const int src_vr = vr_ + mask_;
+      if (src_vr < p) {
+        const auto cnt = static_cast<std::size_t>(std::min(mask_, p - src_vr));
+        slots_.resize(std::max(slots_.size(), used_slots_ + 1));
+        Slot& slot = slots_[used_slots_];
+        const auto off = static_cast<std::size_t>(mask_) * block_;
+        if (!recv_ready_into(rank, slot, to_rank(src_vr),
+                             std::span(tmp_).subspan(off, cnt * block_))) {
+          return false;
+        }
+        ++used_slots_;
+      }
+      mask_ <<= 1;
+    }
+    if (vr_ == 0 && block_ > 0) {
+      // Reorder from vrank order to true-rank order.
+      for (int v = 0; v < p; ++v) {
+        const int true_rank = (v + root_) % p;
+        std::memcpy(recv_.data() + static_cast<std::size_t>(true_rank) * block_,
+                    tmp_.data() + static_cast<std::size_t>(v) * block_, block_);
+      }
+    }
+    return true;
+  }
+
+ private:
+  [[nodiscard]] int to_rank(int vr) const { return (vr + root_) % comm_->size(); }
+
+  std::span<std::byte> recv_;
+  int root_;
+  std::size_t block_;
+  int vr_;
+  std::vector<std::byte> tmp_;
+  std::deque<Slot> slots_;
+  std::size_t used_slots_ = 0;
+  int mask_ = 1;
+};
+
+// ---- scatter: linear --------------------------------------------------------
+
+class LinearScatterOp final : public NbcOp {
+ public:
+  LinearScatterOp(CommPtr comm, int tag, std::span<const std::byte> send,
+                  std::span<std::byte> recv, int root)
+      : NbcOp(std::move(comm), tag), send_(send), recv_(recv), root_(root),
+        block_(recv.size()) {
+    const int p = comm_->size();
+    MANATEE_REQUIRE(root >= 0 && root < p, "scatter root out of range");
+    if (comm_->rank == root) {
+      MANATEE_REQUIRE(send.size() >= block_ * static_cast<std::size_t>(p),
+                      "scatter send buffer too small at root");
+    }
+  }
+
+ protected:
+  bool step(Rank& rank) override {
+    const int p = comm_->size();
+    if (comm_->rank == root_) {
+      if (!sent_) {
+        for (int r = 0; r < p; ++r) {
+          if (r != root_) send_bytes(rank, r, block_of(r));
+        }
+        sent_ = true;
+      }
+      copy_bytes(recv_, block_of(root_));
+      return true;
+    }
+    return recv_ready_into(rank, rslot_, root_, recv_);
+  }
+
+ private:
+  [[nodiscard]] std::span<const std::byte> block_of(int idx) const {
+    return send_.subspan(static_cast<std::size_t>(idx) * block_, block_);
+  }
+
+  std::span<const std::byte> send_;
+  std::span<std::byte> recv_;
+  int root_;
+  std::size_t block_;
+  bool sent_ = false;
+  Slot rslot_;
+};
+
+// ---- scatter: reverse binomial tree ----------------------------------------
+
+class BinomialScatterOp final : public NbcOp {
+ public:
+  BinomialScatterOp(CommPtr comm, int tag, std::span<const std::byte> send,
+                    std::span<std::byte> recv, int root)
+      : NbcOp(std::move(comm), tag), recv_(recv), root_(root),
+        block_(recv.size()) {
+    const int p = comm_->size();
+    MANATEE_REQUIRE(root >= 0 && root < p, "scatter root out of range");
+    vr_ = (comm_->rank - root + p) % p;
+    tmp_.resize(block_ * static_cast<std::size_t>(p));
+    if (comm_->rank == root) {
+      MANATEE_REQUIRE(send.size() >= block_ * static_cast<std::size_t>(p),
+                      "scatter send buffer too small at root");
+      // Rearrange into vrank order so subtree blocks are contiguous.
+      for (int v = 0; v < p && block_ > 0; ++v) {
+        const int true_rank = (v + root_) % p;
+        std::memcpy(tmp_.data() + static_cast<std::size_t>(v) * block_,
+                    send.data() + static_cast<std::size_t>(true_rank) * block_,
+                    block_);
+      }
+    }
+    int mask = 1;
+    while (mask < p && !(vr_ & mask)) mask <<= 1;
+    recv_mask_ = mask;
+    send_mask_ = (vr_ == 0 ? ceil_pow2(p) : mask) >> 1;
+  }
+
+ protected:
+  bool step(Rank& rank) override {
+    const int p = comm_->size();
+    if (vr_ != 0 && !recv_done_) {
+      const auto cnt = static_cast<std::size_t>(std::min(recv_mask_, p - vr_));
+      if (!recv_ready_into(rank, rslot_, to_rank(vr_ - recv_mask_),
+                           std::span(tmp_).subspan(0, cnt * block_))) {
+        return false;
+      }
+    }
+    recv_done_ = true;
+    while (send_mask_ > 0) {
+      const int child_vr = vr_ + send_mask_;
+      if (child_vr < p) {
+        const auto cnt = static_cast<std::size_t>(std::min(send_mask_, p - child_vr));
+        const auto off = static_cast<std::size_t>(send_mask_) * block_;
+        send_bytes(rank, to_rank(child_vr),
+                   std::span(tmp_).subspan(off, cnt * block_));
+      }
+      send_mask_ >>= 1;
+    }
+    copy_bytes(recv_, std::span(tmp_).subspan(0, block_));
+    return true;
+  }
+
+ private:
+  [[nodiscard]] int to_rank(int vr) const { return (vr + root_) % comm_->size(); }
+
+  std::span<std::byte> recv_;
+  int root_;
+  std::size_t block_;
+  int vr_;
+  std::vector<std::byte> tmp_;
+  int recv_mask_;
+  int send_mask_;
+  bool recv_done_ = false;
+  Slot rslot_;
+};
+
+// ---- gatherv: linear --------------------------------------------------------
+
+class LinearGathervOp final : public NbcOp {
+ public:
+  LinearGathervOp(CommPtr comm, int tag, const CollArgs& args)
+      : NbcOp(std::move(comm), tag), send_(args.send), recv_(args.recv),
+        root_(args.root) {
+    const int p = comm_->size();
+    MANATEE_REQUIRE(root_ >= 0 && root_ < p, "gatherv root out of range");
+    if (comm_->rank == root_) {
+      MANATEE_REQUIRE(args.recv_counts.size() == static_cast<std::size_t>(p),
+                      "gatherv needs one recv count per rank at the root");
+      MANATEE_REQUIRE(args.recv_displs.size() == static_cast<std::size_t>(p),
+                      "gatherv needs one recv displacement per rank at the root");
+      counts_.assign(args.recv_counts.begin(), args.recv_counts.end());
+      displs_.assign(args.recv_displs.begin(), args.recv_displs.end());
+      for (int r = 0; r < p; ++r) {
+        MANATEE_REQUIRE(displs_[static_cast<std::size_t>(r)] +
+                                counts_[static_cast<std::size_t>(r)] <=
+                            recv_.size(),
+                        "gatherv recv buffer too small at root");
+      }
+      slots_.resize(static_cast<std::size_t>(p));
+    }
+  }
+
+ protected:
+  bool step(Rank& rank) override {
+    const int p = comm_->size();
+    if (comm_->rank != root_) {
+      send_bytes(rank, root_, send_);
+      return true;
+    }
+    copy_bytes(block_of(comm_->rank), send_);
+    while (next_src_ < p) {
+      if (next_src_ != comm_->rank &&
+          !recv_ready_into(rank, slots_[static_cast<std::size_t>(next_src_)],
+                           next_src_, block_of(next_src_))) {
+        return false;
+      }
+      ++next_src_;
+    }
+    return true;
+  }
+
+ private:
+  [[nodiscard]] std::span<std::byte> block_of(int idx) {
+    const auto u = static_cast<std::size_t>(idx);
+    return recv_.subspan(displs_[u], counts_[u]);
+  }
+
+  std::span<const std::byte> send_;
+  std::span<std::byte> recv_;
+  int root_;
+  std::vector<std::size_t> counts_;
+  std::vector<std::size_t> displs_;
+  std::deque<Slot> slots_;
+  int next_src_ = 0;
+};
+
+}  // namespace
+
+void register_rooted_algorithms(Registry& registry) {
+  registry.add(CollKind::kBcast, "linear",
+               [](CommPtr comm, int tag, const CollArgs& a) -> std::unique_ptr<NbcOp> {
+                 return std::make_unique<LinearBcastOp>(std::move(comm), tag, a.recv,
+                                                        a.root);
+               });
+  registry.add(CollKind::kBcast, "binomial",
+               [](CommPtr comm, int tag, const CollArgs& a) -> std::unique_ptr<NbcOp> {
+                 return std::make_unique<BinomialBcastOp>(std::move(comm), tag,
+                                                          a.recv, a.root);
+               });
+  registry.add(CollKind::kBcast, "ring",
+               [](CommPtr comm, int tag, const CollArgs& a) -> std::unique_ptr<NbcOp> {
+                 return std::make_unique<RingBcastOp>(std::move(comm), tag, a.recv,
+                                                      a.root);
+               });
+
+  registry.add(CollKind::kReduce, "linear",
+               [](CommPtr comm, int tag, const CollArgs& a) -> std::unique_ptr<NbcOp> {
+                 return std::make_unique<LinearReduceOp>(std::move(comm), tag, a.send,
+                                                         a.recv, a.dt, a.op, a.root);
+               });
+  registry.add(CollKind::kReduce, "binomial",
+               [](CommPtr comm, int tag, const CollArgs& a) -> std::unique_ptr<NbcOp> {
+                 return std::make_unique<BinomialReduceOp>(
+                     std::move(comm), tag, a.send, a.recv, a.dt, a.op, a.root);
+               });
+
+  registry.add(CollKind::kGather, "linear",
+               [](CommPtr comm, int tag, const CollArgs& a) -> std::unique_ptr<NbcOp> {
+                 return std::make_unique<LinearGatherOp>(std::move(comm), tag, a.send,
+                                                         a.recv, a.root);
+               });
+  registry.add(CollKind::kGather, "binomial",
+               [](CommPtr comm, int tag, const CollArgs& a) -> std::unique_ptr<NbcOp> {
+                 return std::make_unique<BinomialGatherOp>(std::move(comm), tag,
+                                                           a.send, a.recv, a.root);
+               });
+
+  registry.add(CollKind::kScatter, "linear",
+               [](CommPtr comm, int tag, const CollArgs& a) -> std::unique_ptr<NbcOp> {
+                 return std::make_unique<LinearScatterOp>(std::move(comm), tag,
+                                                          a.send, a.recv, a.root);
+               });
+  registry.add(CollKind::kScatter, "binomial",
+               [](CommPtr comm, int tag, const CollArgs& a) -> std::unique_ptr<NbcOp> {
+                 return std::make_unique<BinomialScatterOp>(std::move(comm), tag,
+                                                            a.send, a.recv, a.root);
+               });
+
+  registry.add(CollKind::kGatherv, "linear",
+               [](CommPtr comm, int tag, const CollArgs& a) -> std::unique_ptr<NbcOp> {
+                 return std::make_unique<LinearGathervOp>(std::move(comm), tag, a);
+               });
+}
+
+}  // namespace manatee::umpi::coll

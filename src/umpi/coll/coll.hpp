@@ -1,0 +1,121 @@
+// coll.hpp — core vocabulary of the pluggable collective-algorithm layer.
+//
+// Every collective operation is identified by a CollKind and parameterized
+// by one CollArgs bundle (unused fields keep their defaults). Algorithms are
+// NbcOp factories registered under a (kind, name) key in the Registry; a
+// per-communicator CollModule (module.hpp) picks one at call time from the
+// communicator size, the message size, and the user's tuning overrides —
+// the decision-layer structure of Open MPI's tuned collective component.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "umpi/communicator.hpp"
+#include "umpi/types.hpp"
+
+namespace manatee::umpi {
+class NbcOp;
+}
+
+namespace manatee::umpi::coll {
+
+/// Collective operations with selectable algorithms.
+enum class CollKind : std::uint8_t {
+  kBarrier = 0,
+  kBcast,
+  kReduce,
+  kAllreduce,
+  kGather,
+  kScatter,
+  kAllgather,
+  kAlltoall,
+  kScan,
+  kReduceScatterBlock,
+  kGatherv,
+  kAllgatherv,
+  kAlltoallv,
+};
+inline constexpr int kNumCollKinds = 13;
+
+[[nodiscard]] const char* coll_name(CollKind kind) noexcept;
+
+/// Parse "bcast" → CollKind::kBcast; returns false for unknown names.
+[[nodiscard]] bool parse_coll_name(std::string_view name, CollKind* out) noexcept;
+
+/// Argument bundle covering every collective. All sizes are in bytes; the
+/// datatype describes the element layout for reductions (and is carried for
+/// byte-moving collectives so algorithms and traces stay element-aware).
+///
+/// For the vector collectives (gatherv/allgatherv/alltoallv) the counts and
+/// displacement spans give per-peer byte counts/offsets; algorithms copy
+/// them at construction, so callers only need them alive across the factory
+/// call.
+struct CollArgs {
+  std::span<const std::byte> send{};
+  std::span<std::byte> recv{};
+  Datatype dt = Datatype::kByte;
+  ReduceOp op = ReduceOp::kSum;
+  int root = 0;
+  std::span<const std::size_t> send_counts{};
+  std::span<const std::size_t> send_displs{};
+  std::span<const std::size_t> recv_counts{};
+  std::span<const std::size_t> recv_displs{};
+};
+
+/// Builds a ready-to-progress NbcOp for one collective instance. `tag` is
+/// the communicator's collective sequence number (identical across members
+/// at matching calls), exactly as in the pre-framework implementation — so
+/// algorithm choice never affects message matching, drain hooks, or the
+/// replay skip-counting of checkpoint restart.
+using AlgoFactory = std::function<std::unique_ptr<NbcOp>(
+    CommPtr comm, int tag, const CollArgs& args)>;
+
+/// True when the algorithm can run this instance (e.g. recursive-doubling
+/// allgather requires a power-of-two communicator). Must be a pure function
+/// of values identical on every member, so all ranks agree.
+using AlgoPredicate = std::function<bool(int comm_size, const CollArgs& args)>;
+
+struct AlgoEntry {
+  std::string name;
+  AlgoFactory make;
+  AlgoPredicate applicable;  ///< empty = always applicable
+
+  [[nodiscard]] bool usable(int comm_size, const CollArgs& args) const {
+    return !applicable || applicable(comm_size, args);
+  }
+};
+
+/// Process-wide table of collective algorithms, keyed by (kind, name).
+/// Built-in algorithms self-register on first access; tests may add more.
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Registers an algorithm. Re-registering an existing (kind, name) pair
+  /// replaces it (tests use this to interpose).
+  void add(CollKind kind, std::string name, AlgoFactory make,
+           AlgoPredicate applicable = {});
+
+  /// nullptr when no algorithm of that name exists for `kind`.
+  [[nodiscard]] const AlgoEntry* find(CollKind kind, std::string_view name) const;
+
+  [[nodiscard]] const std::vector<AlgoEntry>& entries(CollKind kind) const;
+  [[nodiscard]] std::vector<std::string> names(CollKind kind) const;
+
+ private:
+  Registry();
+  std::vector<AlgoEntry> entries_[kNumCollKinds];
+};
+
+/// Registers the built-in algorithm set (idempotent; called by
+/// Registry::instance()).
+void register_builtin_algorithms(Registry& registry);
+
+}  // namespace manatee::umpi::coll

@@ -1,0 +1,90 @@
+// module.hpp — per-communicator collective-algorithm selection.
+//
+// A CollModule owns the decision function: given a collective kind and its
+// arguments, pick a registered algorithm. Selection is a pure function of
+// (tuning, communicator size, message size) — all identical across the
+// members of a communicator — so every rank independently picks the same
+// algorithm without any extra agreement traffic. Forced overrides come from
+// CollTuning, fed either programmatically (RuntimeConfig/EngineConfig) or
+// from the command line (`--coll-bcast=ring`, see tuning_from_options).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "umpi/coll/coll.hpp"
+
+namespace manatee {
+class Options;
+}
+
+namespace manatee::umpi::coll {
+
+/// User-facing tuning knobs for the selection heuristic.
+struct CollTuning {
+  /// Forced algorithm name per collective kind; empty string = heuristic.
+  std::array<std::string, kNumCollKinds> forced{};
+
+  /// Below this payload (bytes), latency-optimal (logarithmic) algorithms
+  /// are preferred; above it, bandwidth-optimal ones. Calibrated with
+  /// bench_coll_algorithms against the default cost model.
+  std::size_t large_message_bytes = 256 * 1024;
+
+  /// Communicators at or below this size prefer the flat linear algorithms
+  /// (fewer total messages beat shallower trees at tiny scale).
+  int small_comm_size = 4;
+
+  void force(CollKind kind, std::string algorithm) {
+    forced[static_cast<std::size_t>(kind)] = std::move(algorithm);
+  }
+  [[nodiscard]] const std::string& forced_for(CollKind kind) const noexcept {
+    return forced[static_cast<std::size_t>(kind)];
+  }
+};
+
+/// Parse `--coll-<collective>=<algorithm>` (e.g. --coll-bcast=ring,
+/// --coll-allreduce=rdoubling) plus `--coll-large-message-bytes` and
+/// `--coll-small-comm-size` into `tuning`. Unknown algorithm names throw
+/// UsageError immediately (fail fast, before any communication).
+void apply_coll_options(CollTuning& tuning, const Options& options);
+
+[[nodiscard]] CollTuning tuning_from_options(const Options& options);
+
+class CollModule {
+ public:
+  CollModule(CollTuning tuning, int comm_size);
+
+  /// Chooses the algorithm for one collective instance. Honors the forced
+  /// override when set (throwing UsageError if the forced algorithm is
+  /// unknown or inapplicable to this instance), otherwise applies the
+  /// decision heuristic. `honor_forced = false` skips the override and
+  /// always uses the heuristic — for internal bookkeeping collectives
+  /// (context-id agreement, comm_split exchange) that must never fail on a
+  /// user's tuning choice.
+  [[nodiscard]] const AlgoEntry& select(CollKind kind, const CollArgs& args,
+                                        bool honor_forced = true) const;
+
+  [[nodiscard]] const CollTuning& tuning() const noexcept { return tuning_; }
+  [[nodiscard]] int comm_size() const noexcept { return comm_size_; }
+
+ private:
+  [[nodiscard]] const AlgoEntry& pick(CollKind kind, const char* name,
+                                      const CollArgs& args) const;
+  [[nodiscard]] const char* decide(CollKind kind, const CollArgs& args) const;
+
+  CollTuning tuning_;
+  int comm_size_;
+};
+
+using CollModulePtr = std::shared_ptr<const CollModule>;
+
+/// Builds the NbcOp for one collective instance on `comm`: selects the
+/// algorithm through the communicator's CollModule (default tuning when the
+/// communicator has none) and consumes one collective sequence number for
+/// the operation's message tag.
+std::unique_ptr<NbcOp> make_op(const CommPtr& comm, CollKind kind,
+                               const CollArgs& args, bool honor_forced = true);
+
+}  // namespace manatee::umpi::coll

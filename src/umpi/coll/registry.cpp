@@ -1,0 +1,81 @@
+#include "umpi/coll/coll.hpp"
+
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace manatee::umpi::coll {
+
+const char* coll_name(CollKind kind) noexcept {
+  switch (kind) {
+    case CollKind::kBarrier: return "barrier";
+    case CollKind::kBcast: return "bcast";
+    case CollKind::kReduce: return "reduce";
+    case CollKind::kAllreduce: return "allreduce";
+    case CollKind::kGather: return "gather";
+    case CollKind::kScatter: return "scatter";
+    case CollKind::kAllgather: return "allgather";
+    case CollKind::kAlltoall: return "alltoall";
+    case CollKind::kScan: return "scan";
+    case CollKind::kReduceScatterBlock: return "reduce-scatter";
+    case CollKind::kGatherv: return "gatherv";
+    case CollKind::kAllgatherv: return "allgatherv";
+    case CollKind::kAlltoallv: return "alltoallv";
+  }
+  return "?";
+}
+
+bool parse_coll_name(std::string_view name, CollKind* out) noexcept {
+  for (int k = 0; k < kNumCollKinds; ++k) {
+    const auto kind = static_cast<CollKind>(k);
+    if (name == coll_name(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+Registry::Registry() = default;
+
+Registry& Registry::instance() {
+  static Registry registry;
+  static std::once_flag once;
+  std::call_once(once, [] { register_builtin_algorithms(registry); });
+  return registry;
+}
+
+void Registry::add(CollKind kind, std::string name, AlgoFactory make,
+                   AlgoPredicate applicable) {
+  MANATEE_REQUIRE(!name.empty(), "collective algorithm needs a name");
+  auto& list = entries_[static_cast<std::size_t>(kind)];
+  for (auto& entry : list) {
+    if (entry.name == name) {
+      entry.make = std::move(make);
+      entry.applicable = std::move(applicable);
+      return;
+    }
+  }
+  list.push_back(AlgoEntry{std::move(name), std::move(make), std::move(applicable)});
+}
+
+const AlgoEntry* Registry::find(CollKind kind, std::string_view name) const {
+  for (const auto& entry : entries_[static_cast<std::size_t>(kind)]) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+const std::vector<AlgoEntry>& Registry::entries(CollKind kind) const {
+  return entries_[static_cast<std::size_t>(kind)];
+}
+
+std::vector<std::string> Registry::names(CollKind kind) const {
+  std::vector<std::string> out;
+  for (const auto& entry : entries_[static_cast<std::size_t>(kind)]) {
+    out.push_back(entry.name);
+  }
+  return out;
+}
+
+}  // namespace manatee::umpi::coll

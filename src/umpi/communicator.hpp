@@ -14,6 +14,10 @@
 
 namespace manatee::umpi {
 
+namespace coll {
+class CollModule;
+}
+
 /// Traffic sub-channels multiplexed over one communicator. Real MPI
 /// implementations reserve separate context ids for point-to-point and
 /// collective traffic in exactly this way; the checkpoint channel carries
@@ -29,6 +33,11 @@ struct Comm {
   std::uint64_t base_context = 0;
   Group group;
   int rank = -1;  ///< this process's rank within `group`
+
+  /// Per-communicator collective-algorithm selection (registry + decision
+  /// heuristic + forced overrides). Attached by Rank at creation time from
+  /// the runtime's tuning; a null module falls back to default tuning.
+  std::shared_ptr<const coll::CollModule> coll_module;
 
   /// Per-rank counter of collective operations initiated on this
   /// communicator. Because MPI requires all members to invoke collectives

@@ -1,53 +1,15 @@
-// nbc.cpp — collective algorithm state machines.
+// nbc.cpp — NbcOp base: progress-clock bookkeeping and receive slots.
 //
-// Algorithms follow the classical implementations (MPICH lineage):
-//   barrier    — dissemination
-//   bcast      — binomial tree
-//   reduce     — binomial tree (commutative operators)
-//   allreduce  — recursive doubling with non-power-of-two pre/post phases
-//   gather     — binomial tree with contiguous vrank blocks
-//   scatter    — reverse binomial tree
-//   allgather  — ring
-//   alltoall   — pairwise sendrecv rounds
-//   scan       — linear chain (inclusive)
-//
-// Every algorithm is expressed as a resumable step() so the same code path
-// serves blocking calls, non-blocking calls, and the CC algorithm's
-// checkpoint-time Test-drain of incomplete non-blocking collectives.
+// The collective algorithms themselves live in src/umpi/coll/algos_*.cpp,
+// registered with the coll::Registry and selected per call by the
+// communicator's coll::CollModule.
 #include "umpi/nbc.hpp"
-
-#include <cstring>
 
 #include "common/error.hpp"
 #include "umpi/rank.hpp"
 #include "umpi/runtime.hpp"
 
 namespace manatee::umpi {
-
-namespace {
-
-/// Smallest power of two >= p (p >= 1).
-int ceil_pow2(int p) {
-  int m = 1;
-  while (m < p) m <<= 1;
-  return m;
-}
-
-/// Largest power of two <= p (p >= 1).
-int floor_pow2(int p) {
-  int m = 1;
-  while (m * 2 <= p) m <<= 1;
-  return m;
-}
-
-void copy_bytes(std::span<std::byte> dst, std::span<const std::byte> src) {
-  MANATEE_CHECK(dst.size() >= src.size(), "collective buffer too small");
-  if (!src.empty()) std::memcpy(dst.data(), src.data(), src.size());
-}
-
-}  // namespace
-
-// ---- NbcOp base ----------------------------------------------------------
 
 NbcOp::NbcOp(CommPtr comm, int tag) : comm_(std::move(comm)), tag_(tag) {
   MANATEE_REQUIRE(comm_ != nullptr, "collective on a null communicator");
@@ -112,575 +74,6 @@ bool NbcOp::recv_ready_into(Rank& rank, Slot& slot, int src,
     op_clock_.advance(rank.runtime().cost().recv_overhead());
   }
   return true;
-}
-
-namespace {
-
-// ---- barrier: dissemination ------------------------------------------------
-
-class IbarrierOp final : public NbcOp {
- public:
-  IbarrierOp(CommPtr comm, int tag) : NbcOp(std::move(comm), tag) {
-    const int p = comm_->size();
-    int rounds = 0;
-    while ((1 << rounds) < p) ++rounds;
-    slots_.resize(static_cast<std::size_t>(rounds));
-  }
-
- protected:
-  bool step(Rank& rank) override {
-    const int p = comm_->size();
-    const int r = comm_->rank;
-    while (round_ < static_cast<int>(slots_.size())) {
-      const int dist = 1 << round_;
-      if (!sent_) {
-        send_bytes(rank, (r + dist) % p, {});
-        sent_ = true;
-      }
-      if (!recv_ready(rank, slots_[static_cast<std::size_t>(round_)],
-                      (r - dist % p + p) % p, 0)) {
-        return false;
-      }
-      ++round_;
-      sent_ = false;
-    }
-    return true;
-  }
-
- private:
-  std::deque<Slot> slots_;
-  int round_ = 0;
-  bool sent_ = false;
-};
-
-// ---- bcast: binomial tree ---------------------------------------------------
-
-class IbcastOp final : public NbcOp {
- public:
-  IbcastOp(CommPtr comm, int tag, std::span<std::byte> data, int root)
-      : NbcOp(std::move(comm), tag), data_(data), root_(root) {
-    const int p = comm_->size();
-    MANATEE_REQUIRE(root >= 0 && root < p, "bcast root out of range");
-    vr_ = (comm_->rank - root + p) % p;
-    // Find the bit at which this vrank hangs off its parent.
-    int mask = 1;
-    while (mask < p && !(vr_ & mask)) mask <<= 1;
-    recv_mask_ = mask;  // >= p when vr_ == 0 (root: no parent)
-    send_mask_ = (vr_ == 0 ? ceil_pow2(p) : mask) >> 1;
-  }
-
- protected:
-  bool step(Rank& rank) override {
-    const int p = comm_->size();
-    if (vr_ != 0 && !recv_done_) {
-      const int parent_vr = vr_ - recv_mask_;
-      if (!recv_ready_into(rank, rslot_, to_rank(parent_vr), data_)) return false;
-    }
-    recv_done_ = true;
-    while (send_mask_ > 0) {
-      if (vr_ + send_mask_ < p) send_bytes(rank, to_rank(vr_ + send_mask_), data_);
-      send_mask_ >>= 1;
-    }
-    return true;
-  }
-
- private:
-  [[nodiscard]] int to_rank(int vr) const { return (vr + root_) % comm_->size(); }
-
-  std::span<std::byte> data_;
-  int root_;
-  int vr_;
-  int recv_mask_;
-  int send_mask_;
-  bool recv_done_ = false;
-  Slot rslot_;
-};
-
-// ---- reduce: binomial tree --------------------------------------------------
-
-class IreduceOp final : public NbcOp {
- public:
-  IreduceOp(CommPtr comm, int tag, std::span<const std::byte> send,
-            std::span<std::byte> recv, Datatype dt, ReduceOp op, int root)
-      : NbcOp(std::move(comm), tag), recv_(recv), dt_(dt), op_(op), root_(root) {
-    const int p = comm_->size();
-    MANATEE_REQUIRE(root >= 0 && root < p, "reduce root out of range");
-    MANATEE_REQUIRE(send.size() % datatype_size(dt) == 0,
-                    "reduce buffer not a whole number of elements");
-    vr_ = (comm_->rank - root + p) % p;
-    acc_.assign(send.begin(), send.end());
-    count_ = send.size() / datatype_size(dt);
-  }
-
- protected:
-  bool step(Rank& rank) override {
-    const int p = comm_->size();
-    while (mask_ < p) {
-      if (vr_ & mask_) {
-        send_bytes(rank, to_rank(vr_ - mask_), acc_);
-        mask_ = p;  // done: leaf for all further rounds
-        break;
-      }
-      const int src_vr = vr_ + mask_;
-      if (src_vr < p) {
-        slots_.resize(std::max(slots_.size(), used_slots_ + 1));
-        Slot& slot = slots_[used_slots_];
-        if (!recv_ready(rank, slot, to_rank(src_vr), acc_.size())) return false;
-        apply_reduce(op_, dt_, acc_, slot.buf, count_);
-        charge_compute(rank.runtime().cost().reduce_cost(acc_.size()));
-        ++used_slots_;
-      }
-      mask_ <<= 1;
-    }
-    if (vr_ == 0) copy_bytes(recv_, acc_);
-    return true;
-  }
-
- private:
-  [[nodiscard]] int to_rank(int vr) const { return (vr + root_) % comm_->size(); }
-
-  std::span<std::byte> recv_;
-  Datatype dt_;
-  ReduceOp op_;
-  int root_;
-  int vr_;
-  std::size_t count_;
-  std::vector<std::byte> acc_;
-  std::deque<Slot> slots_;
-  std::size_t used_slots_ = 0;
-  int mask_ = 1;
-};
-
-// ---- allreduce: recursive doubling with non-power-of-two fixup ----------------
-
-class IallreduceOp final : public NbcOp {
- public:
-  IallreduceOp(CommPtr comm, int tag, std::span<const std::byte> send,
-               std::span<std::byte> recv, Datatype dt, ReduceOp op)
-      : NbcOp(std::move(comm), tag), recv_(recv), dt_(dt), op_(op) {
-    MANATEE_REQUIRE(send.size() == recv.size(),
-                    "allreduce send/recv size mismatch");
-    MANATEE_REQUIRE(send.size() % datatype_size(dt) == 0,
-                    "allreduce buffer not a whole number of elements");
-    copy_bytes(recv_, send);  // recv_ is the accumulator
-    count_ = send.size() / datatype_size(dt);
-    const int p = comm_->size();
-    p2_ = floor_pow2(p);
-    rem_ = p - p2_;
-    const int r = comm_->rank;
-    if (r < 2 * rem_) {
-      vr_ = (r % 2 == 0) ? -1 : r / 2;
-    } else {
-      vr_ = r - rem_;
-    }
-  }
-
- protected:
-  bool step(Rank& rank) override {
-    const int r = comm_->rank;
-    const auto bytes = recv_.size();
-
-    // Phase A: fold the remainder ranks into their odd partners.
-    if (phase_ == 0) {
-      if (r < 2 * rem_) {
-        if (r % 2 == 0) {
-          send_bytes(rank, r + 1, recv_);
-          phase_ = 2;  // wait for the final result in phase C
-        } else {
-          if (!recv_ready(rank, pre_slot_, r - 1, bytes)) return false;
-          apply_reduce(op_, dt_, recv_, pre_slot_.buf, count_);
-          charge_compute(rank.runtime().cost().reduce_cost(bytes));
-          phase_ = 1;
-        }
-      } else {
-        phase_ = 1;
-      }
-    }
-
-    // Phase B: recursive doubling among the p2 participating vranks.
-    if (phase_ == 1) {
-      while ((1 << round_) < p2_) {
-        const int partner_vr = vr_ ^ (1 << round_);
-        const int partner =
-            partner_vr < rem_ ? 2 * partner_vr + 1 : partner_vr + rem_;
-        if (!round_sent_) {
-          send_bytes(rank, partner, recv_);
-          round_sent_ = true;
-        }
-        rd_slots_.resize(std::max<std::size_t>(rd_slots_.size(),
-                                               static_cast<std::size_t>(round_) + 1));
-        Slot& slot = rd_slots_[static_cast<std::size_t>(round_)];
-        if (!recv_ready(rank, slot, partner, bytes)) return false;
-        apply_reduce(op_, dt_, recv_, slot.buf, count_);
-        charge_compute(rank.runtime().cost().reduce_cost(bytes));
-        ++round_;
-        round_sent_ = false;
-      }
-      phase_ = 2;
-    }
-
-    // Phase C: return results to the folded-out even ranks.
-    if (phase_ == 2) {
-      if (r < 2 * rem_) {
-        if (r % 2 == 0) {
-          if (!recv_ready_into(rank, post_slot_, r + 1, recv_)) return false;
-        } else {
-          send_bytes(rank, r - 1, recv_);
-        }
-      }
-      phase_ = 3;
-    }
-    return true;
-  }
-
- private:
-  std::span<std::byte> recv_;
-  Datatype dt_;
-  ReduceOp op_;
-  std::size_t count_ = 0;
-  int p2_ = 1;
-  int rem_ = 0;
-  int vr_ = -1;
-  int phase_ = 0;
-  int round_ = 0;
-  bool round_sent_ = false;
-  Slot pre_slot_;
-  Slot post_slot_;
-  std::deque<Slot> rd_slots_;
-};
-
-// ---- gather: binomial tree ----------------------------------------------------
-
-class IgatherOp final : public NbcOp {
- public:
-  IgatherOp(CommPtr comm, int tag, std::span<const std::byte> send,
-            std::span<std::byte> recv, int root)
-      : NbcOp(std::move(comm), tag), recv_(recv), root_(root),
-        block_(send.size()) {
-    const int p = comm_->size();
-    MANATEE_REQUIRE(root >= 0 && root < p, "gather root out of range");
-    vr_ = (comm_->rank - root + p) % p;
-    if (comm_->rank == root) {
-      MANATEE_REQUIRE(recv.size() >= block_ * static_cast<std::size_t>(p),
-                      "gather recv buffer too small at root");
-    }
-    tmp_.resize(block_ * static_cast<std::size_t>(p));
-    copy_bytes(std::span(tmp_).subspan(0, block_), send);
-  }
-
- protected:
-  bool step(Rank& rank) override {
-    const int p = comm_->size();
-    while (mask_ < p) {
-      if (vr_ & mask_) {
-        const auto held = static_cast<std::size_t>(std::min(mask_, p - vr_));
-        send_bytes(rank, to_rank(vr_ - mask_),
-                   std::span(tmp_).subspan(0, held * block_));
-        mask_ = p;
-        break;
-      }
-      const int src_vr = vr_ + mask_;
-      if (src_vr < p) {
-        const auto cnt = static_cast<std::size_t>(std::min(mask_, p - src_vr));
-        slots_.resize(std::max(slots_.size(), used_slots_ + 1));
-        Slot& slot = slots_[used_slots_];
-        const auto off = static_cast<std::size_t>(mask_) * block_;
-        if (!recv_ready_into(rank, slot, to_rank(src_vr),
-                             std::span(tmp_).subspan(off, cnt * block_))) {
-          return false;
-        }
-        ++used_slots_;
-      }
-      mask_ <<= 1;
-    }
-    if (vr_ == 0 && block_ > 0) {
-      // Reorder from vrank order to true-rank order.
-      for (int v = 0; v < p; ++v) {
-        const int true_rank = (v + root_) % p;
-        std::memcpy(recv_.data() + static_cast<std::size_t>(true_rank) * block_,
-                    tmp_.data() + static_cast<std::size_t>(v) * block_, block_);
-      }
-    }
-    return true;
-  }
-
- private:
-  [[nodiscard]] int to_rank(int vr) const { return (vr + root_) % comm_->size(); }
-
-  std::span<std::byte> recv_;
-  int root_;
-  std::size_t block_;
-  int vr_;
-  std::vector<std::byte> tmp_;
-  std::deque<Slot> slots_;
-  std::size_t used_slots_ = 0;
-  int mask_ = 1;
-};
-
-// ---- scatter: reverse binomial tree --------------------------------------------
-
-class IscatterOp final : public NbcOp {
- public:
-  IscatterOp(CommPtr comm, int tag, std::span<const std::byte> send,
-             std::span<std::byte> recv, int root)
-      : NbcOp(std::move(comm), tag), recv_(recv), root_(root),
-        block_(recv.size()) {
-    const int p = comm_->size();
-    MANATEE_REQUIRE(root >= 0 && root < p, "scatter root out of range");
-    vr_ = (comm_->rank - root + p) % p;
-    tmp_.resize(block_ * static_cast<std::size_t>(p));
-    if (comm_->rank == root) {
-      MANATEE_REQUIRE(send.size() >= block_ * static_cast<std::size_t>(p),
-                      "scatter send buffer too small at root");
-      // Rearrange into vrank order so subtree blocks are contiguous.
-      for (int v = 0; v < p && block_ > 0; ++v) {
-        const int true_rank = (v + root_) % p;
-        std::memcpy(tmp_.data() + static_cast<std::size_t>(v) * block_,
-                    send.data() + static_cast<std::size_t>(true_rank) * block_,
-                    block_);
-      }
-    }
-    int mask = 1;
-    while (mask < p && !(vr_ & mask)) mask <<= 1;
-    recv_mask_ = mask;
-    send_mask_ = (vr_ == 0 ? ceil_pow2(p) : mask) >> 1;
-  }
-
- protected:
-  bool step(Rank& rank) override {
-    const int p = comm_->size();
-    if (vr_ != 0 && !recv_done_) {
-      const auto cnt = static_cast<std::size_t>(std::min(recv_mask_, p - vr_));
-      if (!recv_ready_into(rank, rslot_, to_rank(vr_ - recv_mask_),
-                           std::span(tmp_).subspan(0, cnt * block_))) {
-        return false;
-      }
-    }
-    recv_done_ = true;
-    while (send_mask_ > 0) {
-      const int child_vr = vr_ + send_mask_;
-      if (child_vr < p) {
-        const auto cnt = static_cast<std::size_t>(std::min(send_mask_, p - child_vr));
-        const auto off = static_cast<std::size_t>(send_mask_) * block_;
-        send_bytes(rank, to_rank(child_vr),
-                   std::span(tmp_).subspan(off, cnt * block_));
-      }
-      send_mask_ >>= 1;
-    }
-    copy_bytes(recv_, std::span(tmp_).subspan(0, block_));
-    return true;
-  }
-
- private:
-  [[nodiscard]] int to_rank(int vr) const { return (vr + root_) % comm_->size(); }
-
-  std::span<std::byte> recv_;
-  int root_;
-  std::size_t block_;
-  int vr_;
-  std::vector<std::byte> tmp_;
-  int recv_mask_;
-  int send_mask_;
-  bool recv_done_ = false;
-  Slot rslot_;
-};
-
-// ---- allgather: ring -------------------------------------------------------------
-
-class IallgatherOp final : public NbcOp {
- public:
-  IallgatherOp(CommPtr comm, int tag, std::span<const std::byte> send,
-               std::span<std::byte> recv)
-      : NbcOp(std::move(comm), tag), recv_(recv), block_(send.size()) {
-    const int p = comm_->size();
-    MANATEE_REQUIRE(recv.size() >= block_ * static_cast<std::size_t>(p),
-                    "allgather recv buffer too small");
-    copy_bytes(block_of(comm_->rank), send);
-    slots_.resize(static_cast<std::size_t>(p > 0 ? p - 1 : 0));
-  }
-
- protected:
-  bool step(Rank& rank) override {
-    const int p = comm_->size();
-    const int r = comm_->rank;
-    const int right = (r + 1) % p;
-    const int left = (r - 1 + p) % p;
-    while (round_ < p - 1) {
-      if (!sent_) {
-        send_bytes(rank, right, block_of((r - round_ + p) % p));
-        sent_ = true;
-      }
-      const int recv_idx = (r - round_ - 1 + p) % p;
-      if (!recv_ready_into(rank, slots_[static_cast<std::size_t>(round_)], left,
-                           block_of(recv_idx))) {
-        return false;
-      }
-      ++round_;
-      sent_ = false;
-    }
-    return true;
-  }
-
- private:
-  [[nodiscard]] std::span<std::byte> block_of(int idx) {
-    return recv_.subspan(static_cast<std::size_t>(idx) * block_, block_);
-  }
-
-  std::span<std::byte> recv_;
-  std::size_t block_;
-  std::deque<Slot> slots_;
-  int round_ = 0;
-  bool sent_ = false;
-};
-
-// ---- alltoall: pairwise exchange ---------------------------------------------------
-
-class IalltoallOp final : public NbcOp {
- public:
-  IalltoallOp(CommPtr comm, int tag, std::span<const std::byte> send,
-              std::span<std::byte> recv)
-      : NbcOp(std::move(comm), tag), send_(send), recv_(recv) {
-    const int p = comm_->size();
-    MANATEE_REQUIRE(p > 0 && send.size() % static_cast<std::size_t>(p) == 0,
-                    "alltoall send buffer not divisible by comm size");
-    MANATEE_REQUIRE(recv.size() == send.size(),
-                    "alltoall send/recv size mismatch");
-    block_ = send.size() / static_cast<std::size_t>(p);
-    copy_bytes(recv_block(comm_->rank), send_block(comm_->rank));
-    slots_.resize(static_cast<std::size_t>(p > 0 ? p - 1 : 0));
-  }
-
- protected:
-  bool step(Rank& rank) override {
-    const int p = comm_->size();
-    const int r = comm_->rank;
-    while (round_ < p - 1) {
-      const int dst = (r + round_ + 1) % p;
-      const int src = (r - round_ - 1 + p) % p;
-      if (!sent_) {
-        send_bytes(rank, dst, send_block(dst));
-        sent_ = true;
-      }
-      if (!recv_ready_into(rank, slots_[static_cast<std::size_t>(round_)], src,
-                           recv_block(src))) {
-        return false;
-      }
-      ++round_;
-      sent_ = false;
-    }
-    return true;
-  }
-
- private:
-  [[nodiscard]] std::span<const std::byte> send_block(int idx) const {
-    return send_.subspan(static_cast<std::size_t>(idx) * block_, block_);
-  }
-  [[nodiscard]] std::span<std::byte> recv_block(int idx) {
-    return recv_.subspan(static_cast<std::size_t>(idx) * block_, block_);
-  }
-
-  std::span<const std::byte> send_;
-  std::span<std::byte> recv_;
-  std::size_t block_ = 0;
-  std::deque<Slot> slots_;
-  int round_ = 0;
-  bool sent_ = false;
-};
-
-// ---- scan: linear chain (inclusive) --------------------------------------------------
-
-class IscanOp final : public NbcOp {
- public:
-  IscanOp(CommPtr comm, int tag, std::span<const std::byte> send,
-          std::span<std::byte> recv, Datatype dt, ReduceOp op)
-      : NbcOp(std::move(comm), tag), send_(send), recv_(recv), dt_(dt), op_(op) {
-    MANATEE_REQUIRE(send.size() == recv.size(), "scan send/recv size mismatch");
-    MANATEE_REQUIRE(send.size() % datatype_size(dt) == 0,
-                    "scan buffer not a whole number of elements");
-    count_ = send.size() / datatype_size(dt);
-  }
-
- protected:
-  bool step(Rank& rank) override {
-    const int p = comm_->size();
-    const int r = comm_->rank;
-    if (r > 0) {
-      // recv_ <- partial from the left, then fold in our contribution.
-      if (!recv_ready_into(rank, rslot_, r - 1, recv_)) return false;
-      apply_reduce(op_, dt_, recv_, send_, count_);
-      charge_compute(rank.runtime().cost().reduce_cost(recv_.size()));
-    } else {
-      copy_bytes(recv_, send_);
-    }
-    if (r + 1 < p) send_bytes(rank, r + 1, recv_);
-    return true;
-  }
-
- private:
-  std::span<const std::byte> send_;
-  std::span<std::byte> recv_;
-  Datatype dt_;
-  ReduceOp op_;
-  std::size_t count_ = 0;
-  Slot rslot_;
-};
-
-}  // namespace
-
-// ---- factories -------------------------------------------------------------
-
-std::unique_ptr<NbcOp> make_ibarrier(CommPtr comm, int tag) {
-  return std::make_unique<IbarrierOp>(std::move(comm), tag);
-}
-
-std::unique_ptr<NbcOp> make_ibcast(CommPtr comm, int tag, std::span<std::byte> data,
-                                   int root) {
-  return std::make_unique<IbcastOp>(std::move(comm), tag, data, root);
-}
-
-std::unique_ptr<NbcOp> make_ireduce(CommPtr comm, int tag,
-                                    std::span<const std::byte> send,
-                                    std::span<std::byte> recv, Datatype dt,
-                                    ReduceOp op, int root) {
-  return std::make_unique<IreduceOp>(std::move(comm), tag, send, recv, dt, op, root);
-}
-
-std::unique_ptr<NbcOp> make_iallreduce(CommPtr comm, int tag,
-                                       std::span<const std::byte> send,
-                                       std::span<std::byte> recv, Datatype dt,
-                                       ReduceOp op) {
-  return std::make_unique<IallreduceOp>(std::move(comm), tag, send, recv, dt, op);
-}
-
-std::unique_ptr<NbcOp> make_igather(CommPtr comm, int tag,
-                                    std::span<const std::byte> send,
-                                    std::span<std::byte> recv, int root) {
-  return std::make_unique<IgatherOp>(std::move(comm), tag, send, recv, root);
-}
-
-std::unique_ptr<NbcOp> make_iscatter(CommPtr comm, int tag,
-                                     std::span<const std::byte> send,
-                                     std::span<std::byte> recv, int root) {
-  return std::make_unique<IscatterOp>(std::move(comm), tag, send, recv, root);
-}
-
-std::unique_ptr<NbcOp> make_iallgather(CommPtr comm, int tag,
-                                       std::span<const std::byte> send,
-                                       std::span<std::byte> recv) {
-  return std::make_unique<IallgatherOp>(std::move(comm), tag, send, recv);
-}
-
-std::unique_ptr<NbcOp> make_ialltoall(CommPtr comm, int tag,
-                                      std::span<const std::byte> send,
-                                      std::span<std::byte> recv) {
-  return std::make_unique<IalltoallOp>(std::move(comm), tag, send, recv);
-}
-
-std::unique_ptr<NbcOp> make_iscan(CommPtr comm, int tag,
-                                  std::span<const std::byte> send,
-                                  std::span<std::byte> recv, Datatype dt,
-                                  ReduceOp op) {
-  return std::make_unique<IscanOp>(std::move(comm), tag, send, recv, dt, op);
 }
 
 }  // namespace manatee::umpi

@@ -1,17 +1,20 @@
-// nbc.hpp — non-blocking collective operations as resumable state machines.
+// nbc.hpp — the resumable-state-machine base of all collective algorithms.
 //
 // Every collective algorithm (binomial broadcast, recursive-doubling
 // allreduce, ring allgather, pairwise alltoall, dissemination barrier, ...)
-// is implemented once, as an NbcOp whose step() makes as much progress as
-// currently-arrived messages allow. Blocking collectives drive the same op
-// to completion; non-blocking collectives park it in the request table and
-// progress it from Test/Wait — the schedule-based design used by libNBC and
-// by MPI implementations without asynchronous progress threads.
+// is an NbcOp whose step() makes as much progress as currently-arrived
+// messages allow. Blocking collectives drive the same op to completion;
+// non-blocking collectives park it in the request table and progress it
+// from Test/Wait — the schedule-based design used by libNBC and by MPI
+// implementations without asynchronous progress threads.
+//
+// The concrete algorithms live in src/umpi/coll/ and are selected at call
+// time by the per-communicator coll::CollModule (registry + decision layer).
 //
 // This single-implementation design matters for the paper's reproduction:
 // the CC algorithm's non-blocking drain (§4.3.2, "keep calling MPI_Test
 // until all communication has completed") exercises exactly this progress
-// path.
+// path, identically for every registered algorithm.
 #pragma once
 
 #include <cstdint>
@@ -107,37 +110,5 @@ class NbcOp {
  private:
   void post(Rank& rank, Slot& slot, int src);
 };
-
-// ---- factories ----------------------------------------------------------
-// Each factory captures the user buffers by pointer; the buffers must stay
-// valid until the op completes (standard MPI non-blocking contract).
-
-std::unique_ptr<NbcOp> make_ibarrier(CommPtr comm, int tag);
-std::unique_ptr<NbcOp> make_ibcast(CommPtr comm, int tag, std::span<std::byte> data,
-                                   int root);
-std::unique_ptr<NbcOp> make_ireduce(CommPtr comm, int tag,
-                                    std::span<const std::byte> send,
-                                    std::span<std::byte> recv, Datatype dt,
-                                    ReduceOp op, int root);
-std::unique_ptr<NbcOp> make_iallreduce(CommPtr comm, int tag,
-                                       std::span<const std::byte> send,
-                                       std::span<std::byte> recv, Datatype dt,
-                                       ReduceOp op);
-std::unique_ptr<NbcOp> make_igather(CommPtr comm, int tag,
-                                    std::span<const std::byte> send,
-                                    std::span<std::byte> recv, int root);
-std::unique_ptr<NbcOp> make_iscatter(CommPtr comm, int tag,
-                                     std::span<const std::byte> send,
-                                     std::span<std::byte> recv, int root);
-std::unique_ptr<NbcOp> make_iallgather(CommPtr comm, int tag,
-                                       std::span<const std::byte> send,
-                                       std::span<std::byte> recv);
-std::unique_ptr<NbcOp> make_ialltoall(CommPtr comm, int tag,
-                                      std::span<const std::byte> send,
-                                      std::span<std::byte> recv);
-std::unique_ptr<NbcOp> make_iscan(CommPtr comm, int tag,
-                                  std::span<const std::byte> send,
-                                  std::span<std::byte> recv, Datatype dt,
-                                  ReduceOp op);
 
 }  // namespace manatee::umpi

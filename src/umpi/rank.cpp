@@ -29,7 +29,12 @@ Rank::Rank(Runtime& runtime, int world_rank)
   world->base_context = kWorldBaseContext;
   world->group = Group::world(runtime.world_size());
   world->rank = world_rank;
+  world->coll_module = make_coll_module(world->group.size());
   world_comm_ = std::move(world);
+}
+
+coll::CollModulePtr Rank::make_coll_module(int size) const {
+  return std::make_shared<const coll::CollModule>(runtime_.config().coll, size);
 }
 
 Rank::~Rank() = default;
@@ -231,6 +236,21 @@ int Rank::waitany(std::span<Request> requests) {
   return index;
 }
 
+bool Rank::testany(std::span<Request> requests, int* index, Status* status) {
+  MANATEE_REQUIRE(index != nullptr, "testany needs an index out-parameter");
+  *index = -1;
+  bool any_live = false;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].is_null()) continue;
+    any_live = true;
+    if (test(requests[i], status)) {
+      *index = static_cast<int>(i);
+      return true;
+    }
+  }
+  return !any_live;  // all null: MPI returns flag=true, MPI_UNDEFINED index
+}
+
 void Rank::progress_outstanding() {
   for (auto& [id, state] : requests_) {
     if (state.kind == RequestState::Kind::kNbc && !state.nbc->complete()) {
@@ -255,198 +275,243 @@ void Rank::drive(const std::function<bool()>& done) {
 
 // ---- blocking collectives ------------------------------------------------------
 
-namespace {
-// Drives a freshly created op to completion (blocking collective façade).
-}  // namespace
-
-void Rank::barrier(const CommPtr& comm) {
+void Rank::run_coll(const CommPtr& comm, coll::CollKind kind,
+                    const coll::CollArgs& args) {
   check_comm(comm);
   ++counters_.collective_calls;
-  auto op = make_ibarrier(comm, static_cast<int>(comm->coll_seq++));
+  auto op = coll::make_op(comm, kind, args);
   drive([&] { return op->try_progress(*this); });
 }
 
-void Rank::bcast(const CommPtr& comm, std::span<std::byte> data, int root) {
-  check_comm(comm);
-  ++counters_.collective_calls;
-  auto op = make_ibcast(comm, static_cast<int>(comm->coll_seq++), data, root);
-  drive([&] { return op->try_progress(*this); });
+void Rank::barrier(const CommPtr& comm) {
+  run_coll(comm, coll::CollKind::kBarrier, {});
+}
+
+void Rank::bcast(const CommPtr& comm, std::span<std::byte> data, int root,
+                 Datatype dt) {
+  coll::CollArgs args;
+  args.recv = data;
+  args.root = root;
+  args.dt = dt;
+  run_coll(comm, coll::CollKind::kBcast, args);
 }
 
 void Rank::reduce(const CommPtr& comm, std::span<const std::byte> send,
                   std::span<std::byte> recv, Datatype dt, ReduceOp op, int root) {
-  check_comm(comm);
-  ++counters_.collective_calls;
-  auto nbc =
-      make_ireduce(comm, static_cast<int>(comm->coll_seq++), send, recv, dt, op, root);
-  drive([&] { return nbc->try_progress(*this); });
+  coll::CollArgs args;
+  args.send = send;
+  args.recv = recv;
+  args.dt = dt;
+  args.op = op;
+  args.root = root;
+  run_coll(comm, coll::CollKind::kReduce, args);
 }
 
 void Rank::allreduce(const CommPtr& comm, std::span<const std::byte> send,
                      std::span<std::byte> recv, Datatype dt, ReduceOp op) {
-  check_comm(comm);
-  ++counters_.collective_calls;
-  auto nbc =
-      make_iallreduce(comm, static_cast<int>(comm->coll_seq++), send, recv, dt, op);
-  drive([&] { return nbc->try_progress(*this); });
+  coll::CollArgs args;
+  args.send = send;
+  args.recv = recv;
+  args.dt = dt;
+  args.op = op;
+  run_coll(comm, coll::CollKind::kAllreduce, args);
 }
 
 void Rank::gather(const CommPtr& comm, std::span<const std::byte> send,
-                  std::span<std::byte> recv, int root) {
-  check_comm(comm);
-  ++counters_.collective_calls;
-  auto nbc = make_igather(comm, static_cast<int>(comm->coll_seq++), send, recv, root);
-  drive([&] { return nbc->try_progress(*this); });
+                  std::span<std::byte> recv, int root, Datatype dt) {
+  coll::CollArgs args;
+  args.send = send;
+  args.recv = recv;
+  args.root = root;
+  args.dt = dt;
+  run_coll(comm, coll::CollKind::kGather, args);
 }
 
 void Rank::allgather(const CommPtr& comm, std::span<const std::byte> send,
-                     std::span<std::byte> recv) {
-  check_comm(comm);
-  ++counters_.collective_calls;
-  auto nbc = make_iallgather(comm, static_cast<int>(comm->coll_seq++), send, recv);
-  drive([&] { return nbc->try_progress(*this); });
+                     std::span<std::byte> recv, Datatype dt) {
+  coll::CollArgs args;
+  args.send = send;
+  args.recv = recv;
+  args.dt = dt;
+  run_coll(comm, coll::CollKind::kAllgather, args);
 }
 
 void Rank::scatter(const CommPtr& comm, std::span<const std::byte> send,
-                   std::span<std::byte> recv, int root) {
-  check_comm(comm);
-  ++counters_.collective_calls;
-  auto nbc = make_iscatter(comm, static_cast<int>(comm->coll_seq++), send, recv, root);
-  drive([&] { return nbc->try_progress(*this); });
+                   std::span<std::byte> recv, int root, Datatype dt) {
+  coll::CollArgs args;
+  args.send = send;
+  args.recv = recv;
+  args.root = root;
+  args.dt = dt;
+  run_coll(comm, coll::CollKind::kScatter, args);
 }
 
 void Rank::alltoall(const CommPtr& comm, std::span<const std::byte> send,
-                    std::span<std::byte> recv) {
-  check_comm(comm);
-  ++counters_.collective_calls;
-  auto nbc = make_ialltoall(comm, static_cast<int>(comm->coll_seq++), send, recv);
-  drive([&] { return nbc->try_progress(*this); });
+                    std::span<std::byte> recv, Datatype dt) {
+  coll::CollArgs args;
+  args.send = send;
+  args.recv = recv;
+  args.dt = dt;
+  run_coll(comm, coll::CollKind::kAlltoall, args);
 }
 
 void Rank::scan(const CommPtr& comm, std::span<const std::byte> send,
                 std::span<std::byte> recv, Datatype dt, ReduceOp op) {
-  check_comm(comm);
-  ++counters_.collective_calls;
-  auto nbc = make_iscan(comm, static_cast<int>(comm->coll_seq++), send, recv, dt, op);
-  drive([&] { return nbc->try_progress(*this); });
+  coll::CollArgs args;
+  args.send = send;
+  args.recv = recv;
+  args.dt = dt;
+  args.op = op;
+  run_coll(comm, coll::CollKind::kScan, args);
 }
 
 void Rank::reduce_scatter_block(const CommPtr& comm,
                                 std::span<const std::byte> send,
                                 std::span<std::byte> recv, Datatype dt,
                                 ReduceOp op) {
-  // Composite implementation (reduce to rank 0, then scatter), matching the
-  // simplest correct choice in real MPI libraries.
-  check_comm(comm);
-  ++counters_.collective_calls;
-  const auto p = static_cast<std::size_t>(comm->size());
-  MANATEE_REQUIRE(send.size() == recv.size() * p,
-                  "reduce_scatter_block: send must be comm_size * recv");
-  std::vector<std::byte> full(send.size());
-  {
-    auto nbc = make_ireduce(comm, static_cast<int>(comm->coll_seq++), send, full, dt,
-                            op, 0);
-    drive([&] { return nbc->try_progress(*this); });
-  }
-  {
-    auto nbc =
-        make_iscatter(comm, static_cast<int>(comm->coll_seq++), full, recv, 0);
-    drive([&] { return nbc->try_progress(*this); });
-  }
+  coll::CollArgs args;
+  args.send = send;
+  args.recv = recv;
+  args.dt = dt;
+  args.op = op;
+  run_coll(comm, coll::CollKind::kReduceScatterBlock, args);
+}
+
+void Rank::gatherv(const CommPtr& comm, std::span<const std::byte> send,
+                   std::span<std::byte> recv,
+                   std::span<const std::size_t> recv_counts,
+                   std::span<const std::size_t> recv_displs, int root) {
+  coll::CollArgs args;
+  args.send = send;
+  args.recv = recv;
+  args.recv_counts = recv_counts;
+  args.recv_displs = recv_displs;
+  args.root = root;
+  run_coll(comm, coll::CollKind::kGatherv, args);
+}
+
+void Rank::allgatherv(const CommPtr& comm, std::span<const std::byte> send,
+                      std::span<std::byte> recv,
+                      std::span<const std::size_t> recv_counts,
+                      std::span<const std::size_t> recv_displs) {
+  coll::CollArgs args;
+  args.send = send;
+  args.recv = recv;
+  args.recv_counts = recv_counts;
+  args.recv_displs = recv_displs;
+  run_coll(comm, coll::CollKind::kAllgatherv, args);
+}
+
+void Rank::alltoallv(const CommPtr& comm, std::span<const std::byte> send,
+                     std::span<const std::size_t> send_counts,
+                     std::span<const std::size_t> send_displs,
+                     std::span<std::byte> recv,
+                     std::span<const std::size_t> recv_counts,
+                     std::span<const std::size_t> recv_displs) {
+  coll::CollArgs args;
+  args.send = send;
+  args.recv = recv;
+  args.send_counts = send_counts;
+  args.send_displs = send_displs;
+  args.recv_counts = recv_counts;
+  args.recv_displs = recv_displs;
+  run_coll(comm, coll::CollKind::kAlltoallv, args);
 }
 
 // ---- non-blocking collectives -----------------------------------------------------
 
-namespace {
-}  // namespace
-
-Request Rank::ibarrier(const CommPtr& comm) {
+Request Rank::start_coll(const CommPtr& comm, coll::CollKind kind,
+                         const coll::CollArgs& args) {
   check_comm(comm);
   ++counters_.collective_calls;
   RequestState state;
   state.kind = RequestState::Kind::kNbc;
-  state.nbc = make_ibarrier(comm, static_cast<int>(comm->coll_seq++));
+  state.nbc = coll::make_op(comm, kind, args);
   state.nbc->try_progress(*this);  // initiate: issue first-round traffic now
   return new_request(std::move(state));
 }
 
-Request Rank::ibcast(const CommPtr& comm, std::span<std::byte> data, int root) {
-  check_comm(comm);
-  ++counters_.collective_calls;
-  RequestState state;
-  state.kind = RequestState::Kind::kNbc;
-  state.nbc = make_ibcast(comm, static_cast<int>(comm->coll_seq++), data, root);
-  state.nbc->try_progress(*this);
-  return new_request(std::move(state));
+Request Rank::ibarrier(const CommPtr& comm) {
+  return start_coll(comm, coll::CollKind::kBarrier, {});
+}
+
+Request Rank::ibcast(const CommPtr& comm, std::span<std::byte> data, int root,
+                     Datatype dt) {
+  coll::CollArgs args;
+  args.recv = data;
+  args.root = root;
+  args.dt = dt;
+  return start_coll(comm, coll::CollKind::kBcast, args);
 }
 
 Request Rank::ireduce(const CommPtr& comm, std::span<const std::byte> send,
                       std::span<std::byte> recv, Datatype dt, ReduceOp op,
                       int root) {
-  check_comm(comm);
-  ++counters_.collective_calls;
-  RequestState state;
-  state.kind = RequestState::Kind::kNbc;
-  state.nbc =
-      make_ireduce(comm, static_cast<int>(comm->coll_seq++), send, recv, dt, op, root);
-  state.nbc->try_progress(*this);
-  return new_request(std::move(state));
+  coll::CollArgs args;
+  args.send = send;
+  args.recv = recv;
+  args.dt = dt;
+  args.op = op;
+  args.root = root;
+  return start_coll(comm, coll::CollKind::kReduce, args);
 }
 
 Request Rank::iallreduce(const CommPtr& comm, std::span<const std::byte> send,
                          std::span<std::byte> recv, Datatype dt, ReduceOp op) {
-  check_comm(comm);
-  ++counters_.collective_calls;
-  RequestState state;
-  state.kind = RequestState::Kind::kNbc;
-  state.nbc =
-      make_iallreduce(comm, static_cast<int>(comm->coll_seq++), send, recv, dt, op);
-  state.nbc->try_progress(*this);
-  return new_request(std::move(state));
+  coll::CollArgs args;
+  args.send = send;
+  args.recv = recv;
+  args.dt = dt;
+  args.op = op;
+  return start_coll(comm, coll::CollKind::kAllreduce, args);
 }
 
 Request Rank::igather(const CommPtr& comm, std::span<const std::byte> send,
-                      std::span<std::byte> recv, int root) {
-  check_comm(comm);
-  ++counters_.collective_calls;
-  RequestState state;
-  state.kind = RequestState::Kind::kNbc;
-  state.nbc = make_igather(comm, static_cast<int>(comm->coll_seq++), send, recv, root);
-  state.nbc->try_progress(*this);
-  return new_request(std::move(state));
+                      std::span<std::byte> recv, int root, Datatype dt) {
+  coll::CollArgs args;
+  args.send = send;
+  args.recv = recv;
+  args.root = root;
+  args.dt = dt;
+  return start_coll(comm, coll::CollKind::kGather, args);
+}
+
+Request Rank::iscatter(const CommPtr& comm, std::span<const std::byte> send,
+                       std::span<std::byte> recv, int root, Datatype dt) {
+  coll::CollArgs args;
+  args.send = send;
+  args.recv = recv;
+  args.root = root;
+  args.dt = dt;
+  return start_coll(comm, coll::CollKind::kScatter, args);
 }
 
 Request Rank::iallgather(const CommPtr& comm, std::span<const std::byte> send,
-                         std::span<std::byte> recv) {
-  check_comm(comm);
-  ++counters_.collective_calls;
-  RequestState state;
-  state.kind = RequestState::Kind::kNbc;
-  state.nbc = make_iallgather(comm, static_cast<int>(comm->coll_seq++), send, recv);
-  state.nbc->try_progress(*this);
-  return new_request(std::move(state));
+                         std::span<std::byte> recv, Datatype dt) {
+  coll::CollArgs args;
+  args.send = send;
+  args.recv = recv;
+  args.dt = dt;
+  return start_coll(comm, coll::CollKind::kAllgather, args);
 }
 
 Request Rank::ialltoall(const CommPtr& comm, std::span<const std::byte> send,
-                        std::span<std::byte> recv) {
-  check_comm(comm);
-  ++counters_.collective_calls;
-  RequestState state;
-  state.kind = RequestState::Kind::kNbc;
-  state.nbc = make_ialltoall(comm, static_cast<int>(comm->coll_seq++), send, recv);
-  state.nbc->try_progress(*this);
-  return new_request(std::move(state));
+                        std::span<std::byte> recv, Datatype dt) {
+  coll::CollArgs args;
+  args.send = send;
+  args.recv = recv;
+  args.dt = dt;
+  return start_coll(comm, coll::CollKind::kAlltoall, args);
 }
 
 Request Rank::iscan(const CommPtr& comm, std::span<const std::byte> send,
                     std::span<std::byte> recv, Datatype dt, ReduceOp op) {
-  check_comm(comm);
-  ++counters_.collective_calls;
-  RequestState state;
-  state.kind = RequestState::Kind::kNbc;
-  state.nbc = make_iscan(comm, static_cast<int>(comm->coll_seq++), send, recv, dt, op);
-  state.nbc->try_progress(*this);
-  return new_request(std::move(state));
+  coll::CollArgs args;
+  args.send = send;
+  args.recv = recv;
+  args.dt = dt;
+  args.op = op;
+  return start_coll(comm, coll::CollKind::kScan, args);
 }
 
 // ---- communicator management -------------------------------------------------------
@@ -455,7 +520,14 @@ std::uint64_t Rank::agree_context_block(const CommPtr& comm, int count) {
   std::uint64_t base = 0;
   if (comm->rank == 0 && count > 0) base = runtime_.allocate_context_block(count);
   auto bytes = std::as_writable_bytes(std::span(&base, 1));
-  auto op = make_ibcast(comm, static_cast<int>(comm->coll_seq++), bytes, 0);
+  coll::CollArgs args;
+  args.recv = bytes;
+  args.dt = Datatype::kUInt64;
+  args.root = 0;
+  // Bookkeeping collective: never subject to user-forced algorithms, which
+  // may be inapplicable on this communicator.
+  auto op = coll::make_op(comm, coll::CollKind::kBcast, args,
+                          /*honor_forced=*/false);
   drive([&] { return op->try_progress(*this); });
   return base;
 }
@@ -468,6 +540,7 @@ CommPtr Rank::comm_dup(const CommPtr& comm) {
   dup->base_context = base;
   dup->group = comm->group;
   dup->rank = comm->rank;
+  dup->coll_module = make_coll_module(dup->group.size());
   return dup;
 }
 
@@ -485,9 +558,11 @@ CommPtr Rank::comm_split(const CommPtr& comm, int color, int key) {
   ColorKey mine{color, key, world_rank_};
   std::vector<ColorKey> all(static_cast<std::size_t>(p));
   {
-    auto op = make_iallgather(comm, static_cast<int>(comm->coll_seq++),
-                              std::as_bytes(std::span(&mine, 1)),
-                              std::as_writable_bytes(std::span(all)));
+    coll::CollArgs args;
+    args.send = std::as_bytes(std::span(&mine, 1));
+    args.recv = std::as_writable_bytes(std::span(all));
+    auto op = coll::make_op(comm, coll::CollKind::kAllgather, args,
+                            /*honor_forced=*/false);
     drive([&] { return op->try_progress(*this); });
   }
 
@@ -533,6 +608,7 @@ CommPtr Rank::comm_split(const CommPtr& comm, int color, int key) {
   result->base_context = base + color_index;
   result->group = Group(std::move(world_ranks));
   result->rank = my_new_rank;
+  result->coll_module = make_coll_module(result->group.size());
   return result;
 }
 
@@ -550,6 +626,7 @@ CommPtr Rank::comm_create(const CommPtr& comm, const Group& group) {
   result->base_context = base;
   result->group = group;
   result->rank = my_rank;
+  result->coll_module = make_coll_module(result->group.size());
   return result;
 }
 

@@ -21,6 +21,7 @@
 
 #include "simnet/fabric.hpp"
 #include "simnet/virtual_clock.hpp"
+#include "umpi/coll/module.hpp"
 #include "umpi/communicator.hpp"
 #include "umpi/nbc.hpp"
 #include "umpi/op.hpp"
@@ -86,6 +87,9 @@ class Rank {
   void waitall(std::span<Request> requests);
   /// Blocks until at least one completes; returns its index.
   int waitany(std::span<Request> requests);
+  /// Non-blocking waitany (MPI_Testany): true when one request completed
+  /// (its index in *index) or every request is null (*index = -1).
+  bool testany(std::span<Request> requests, int* index, Status* status = nullptr);
   /// True when `request` refers to a live (incomplete or unconsumed) op.
   [[nodiscard]] bool is_active(const Request& request) const;
 
@@ -101,38 +105,62 @@ class Rank {
   void cancel(Request& request);
 
   // --- blocking collectives -------------------------------------------------
+  // The byte-moving collectives take a trailing element datatype (defaulted
+  // to kByte) so the algorithm-selection layer stays element-aware.
   void barrier(const CommPtr& comm);
-  void bcast(const CommPtr& comm, std::span<std::byte> data, int root);
+  void bcast(const CommPtr& comm, std::span<std::byte> data, int root,
+             Datatype dt = Datatype::kByte);
   void reduce(const CommPtr& comm, std::span<const std::byte> send,
               std::span<std::byte> recv, Datatype dt, ReduceOp op, int root);
   void allreduce(const CommPtr& comm, std::span<const std::byte> send,
                  std::span<std::byte> recv, Datatype dt, ReduceOp op);
   void gather(const CommPtr& comm, std::span<const std::byte> send,
-              std::span<std::byte> recv, int root);
+              std::span<std::byte> recv, int root, Datatype dt = Datatype::kByte);
   void allgather(const CommPtr& comm, std::span<const std::byte> send,
-                 std::span<std::byte> recv);
+                 std::span<std::byte> recv, Datatype dt = Datatype::kByte);
   void scatter(const CommPtr& comm, std::span<const std::byte> send,
-               std::span<std::byte> recv, int root);
+               std::span<std::byte> recv, int root, Datatype dt = Datatype::kByte);
   void alltoall(const CommPtr& comm, std::span<const std::byte> send,
-                std::span<std::byte> recv);
+                std::span<std::byte> recv, Datatype dt = Datatype::kByte);
   void scan(const CommPtr& comm, std::span<const std::byte> send,
             std::span<std::byte> recv, Datatype dt, ReduceOp op);
   void reduce_scatter_block(const CommPtr& comm, std::span<const std::byte> send,
                             std::span<std::byte> recv, Datatype dt, ReduceOp op);
 
+  // --- vector (per-rank counts) collectives, counts/displacements in bytes --
+  /// Counts/displacements are only read at the root (MPI_Gatherv contract).
+  void gatherv(const CommPtr& comm, std::span<const std::byte> send,
+               std::span<std::byte> recv, std::span<const std::size_t> recv_counts,
+               std::span<const std::size_t> recv_displs, int root);
+  void allgatherv(const CommPtr& comm, std::span<const std::byte> send,
+                  std::span<std::byte> recv,
+                  std::span<const std::size_t> recv_counts,
+                  std::span<const std::size_t> recv_displs);
+  void alltoallv(const CommPtr& comm, std::span<const std::byte> send,
+                 std::span<const std::size_t> send_counts,
+                 std::span<const std::size_t> send_displs,
+                 std::span<std::byte> recv,
+                 std::span<const std::size_t> recv_counts,
+                 std::span<const std::size_t> recv_displs);
+
   // --- non-blocking collectives ----------------------------------------------
   Request ibarrier(const CommPtr& comm);
-  Request ibcast(const CommPtr& comm, std::span<std::byte> data, int root);
+  Request ibcast(const CommPtr& comm, std::span<std::byte> data, int root,
+                 Datatype dt = Datatype::kByte);
   Request ireduce(const CommPtr& comm, std::span<const std::byte> send,
                   std::span<std::byte> recv, Datatype dt, ReduceOp op, int root);
   Request iallreduce(const CommPtr& comm, std::span<const std::byte> send,
                      std::span<std::byte> recv, Datatype dt, ReduceOp op);
   Request igather(const CommPtr& comm, std::span<const std::byte> send,
-                  std::span<std::byte> recv, int root);
+                  std::span<std::byte> recv, int root,
+                  Datatype dt = Datatype::kByte);
+  Request iscatter(const CommPtr& comm, std::span<const std::byte> send,
+                   std::span<std::byte> recv, int root,
+                   Datatype dt = Datatype::kByte);
   Request iallgather(const CommPtr& comm, std::span<const std::byte> send,
-                     std::span<std::byte> recv);
+                     std::span<std::byte> recv, Datatype dt = Datatype::kByte);
   Request ialltoall(const CommPtr& comm, std::span<const std::byte> send,
-                    std::span<std::byte> recv);
+                    std::span<std::byte> recv, Datatype dt = Datatype::kByte);
   Request iscan(const CommPtr& comm, std::span<const std::byte> send,
                 std::span<std::byte> recv, Datatype dt, ReduceOp op);
 
@@ -190,6 +218,14 @@ class Rank {
 
   Request new_request(RequestState state);
   RequestState* find(const Request& request);
+  /// Per-communicator algorithm-selection module for a comm of `size` ranks.
+  [[nodiscard]] coll::CollModulePtr make_coll_module(int size) const;
+  /// Runs a blocking collective through the selection layer.
+  void run_coll(const CommPtr& comm, coll::CollKind kind,
+                const coll::CollArgs& args);
+  /// Initiates a non-blocking collective through the selection layer.
+  Request start_coll(const CommPtr& comm, coll::CollKind kind,
+                     const coll::CollArgs& args);
   bool complete_if_done(Request& request, RequestState& state, Status* status);
   int comm_dst_world(const CommPtr& comm, int dst) const;
   static void fill_status(Status& out, const simnet::RecvResult& r);

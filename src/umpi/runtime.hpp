@@ -14,6 +14,7 @@
 #include "simnet/cost_model.hpp"
 #include "simnet/fabric.hpp"
 #include "simnet/topology.hpp"
+#include "umpi/coll/module.hpp"
 #include "umpi/rank.hpp"
 
 namespace manatee::umpi {
@@ -22,6 +23,11 @@ struct RuntimeConfig {
   int world_size = 4;
   int ranks_per_node = 8;
   simnet::CostParams cost{};
+
+  /// Collective-algorithm tuning applied to every communicator of the job
+  /// (forced algorithms + heuristic thresholds). Must be identical across
+  /// ranks — it is part of the job configuration, exactly like world_size.
+  coll::CollTuning coll{};
 };
 
 /// The function each rank thread executes (the "MPI application").

@@ -53,12 +53,16 @@ Buffers make_buffers(const OsuParams& p, int world) {
 split::VReq issue(Api& api, const OsuParams& p, Buffers& b) {
   switch (p.collective) {
     case OsuCollective::kBcast:
-      if (p.nonblocking) return api.ibcast(kWorldComm, b.recv, 0);
-      api.bcast(kWorldComm, b.recv, 0);
+      if (p.nonblocking) return api.ibcast(kWorldComm, std::span(b.recv), 0);
+      api.bcast(kWorldComm, std::span(b.recv), 0);
       return split::kNullReq;
     case OsuCollective::kAlltoall:
-      if (p.nonblocking) return api.ialltoall(kWorldComm, b.send, b.recv);
-      api.alltoall(kWorldComm, b.send, b.recv);
+      if (p.nonblocking) {
+        return api.ialltoall(kWorldComm, std::span<const std::byte>(b.send),
+                             std::span(b.recv));
+      }
+      api.alltoall(kWorldComm, std::span<const std::byte>(b.send),
+                   std::span(b.recv));
       return split::kNullReq;
     case OsuCollective::kAllreduce:
       if (p.nonblocking) {
@@ -69,8 +73,12 @@ split::VReq issue(Api& api, const OsuParams& p, Buffers& b) {
                     umpi::ReduceOp::kSum);
       return split::kNullReq;
     case OsuCollective::kAllgather:
-      if (p.nonblocking) return api.iallgather(kWorldComm, b.send, b.recv);
-      api.allgather(kWorldComm, b.send, b.recv);
+      if (p.nonblocking) {
+        return api.iallgather(kWorldComm, std::span<const std::byte>(b.send),
+                              std::span(b.recv));
+      }
+      api.allgather(kWorldComm, std::span<const std::byte>(b.send),
+                    std::span(b.recv));
       return split::kNullReq;
   }
   return split::kNullReq;

@@ -1,0 +1,231 @@
+// Tests for the unified datatype-aware collective surface of split::Api:
+// typed span<T> overloads, the vector collectives (gatherv / allgatherv /
+// alltoallv), reduce_scatter, and the waitany/testany completion calls.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "split/engine.hpp"
+
+namespace manatee::split {
+namespace {
+
+EngineConfig basic(int world) {
+  simnet::MessageStore::set_wait_timeout_ms(10'000);
+  EngineConfig config;
+  config.runtime.world_size = world;
+  config.runtime.ranks_per_node = 4;
+  return config;
+}
+
+TEST(ApiCollectives, TypedOverloadsInferDatatype) {
+  Engine engine(basic(4));
+  engine.run([](Api& api) {
+    const int p = api.size();
+    std::vector<double> mine{1.0 + api.rank(), 2.0};
+    std::vector<double> sum(2);
+    api.allreduce(kWorldComm, std::span<const double>(mine),
+                  std::span<double>(sum), umpi::ReduceOp::kSum);
+    EXPECT_DOUBLE_EQ(sum[0], p * (p + 1) / 2.0);
+    EXPECT_DOUBLE_EQ(sum[1], 2.0 * p);
+
+    std::int32_t top = api.rank();
+    api.bcast(kWorldComm, std::span(&top, 1), p - 1);
+    EXPECT_EQ(top, p - 1);
+
+    std::vector<std::int64_t> block{10LL * api.rank()};
+    std::vector<std::int64_t> all(static_cast<std::size_t>(p));
+    api.allgather(kWorldComm, std::span<const std::int64_t>(block),
+                  std::span<std::int64_t>(all));
+    for (int r = 0; r < p; ++r) EXPECT_EQ(all[static_cast<std::size_t>(r)], 10 * r);
+  });
+}
+
+TEST(ApiCollectives, ReduceScatterSumsBlocks) {
+  Engine engine(basic(4));
+  engine.run([](Api& api) {
+    const int p = api.size();
+    std::vector<std::int64_t> send(static_cast<std::size_t>(p) * 2);
+    for (int j = 0; j < p; ++j) {
+      send[static_cast<std::size_t>(2 * j)] = api.rank() + j;
+      send[static_cast<std::size_t>(2 * j) + 1] = 100 + j;
+    }
+    std::vector<std::int64_t> recv(2);
+    api.reduce_scatter(kWorldComm, std::span<const std::int64_t>(send),
+                       std::span<std::int64_t>(recv), umpi::ReduceOp::kSum);
+    EXPECT_EQ(recv[0], p * (p - 1) / 2 + p * api.rank());
+    EXPECT_EQ(recv[1], p * (100 + api.rank()));
+  });
+}
+
+TEST(ApiCollectives, GathervCollectsUnevenBlocks) {
+  Engine engine(basic(5));
+  engine.run([](Api& api) {
+    const int p = api.size();
+    const int me = api.rank();
+    const int root = 2;
+    std::vector<std::int32_t> mine(static_cast<std::size_t>(me) + 1);
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      mine[i] = 100 * me + static_cast<int>(i);
+    }
+    std::vector<int> counts, displs;
+    int total = 0;
+    for (int r = 0; r < p; ++r) {
+      counts.push_back(r + 1);
+      displs.push_back(total);
+      total += r + 1;
+    }
+    std::vector<std::int32_t> out(static_cast<std::size_t>(total), -1);
+    api.gatherv(kWorldComm, std::span<const std::int32_t>(mine),
+                std::span<std::int32_t>(out), counts, displs, root);
+    if (me == root) {
+      std::size_t idx = 0;
+      for (int r = 0; r < p; ++r) {
+        for (int i = 0; i <= r; ++i) EXPECT_EQ(out[idx++], 100 * r + i);
+      }
+    }
+  });
+}
+
+TEST(ApiCollectives, AllgathervMatchesOnEveryRank) {
+  Engine engine(basic(4));
+  engine.run([](Api& api) {
+    const int p = api.size();
+    const int me = api.rank();
+    std::vector<std::int32_t> mine(static_cast<std::size_t>(me) + 1,
+                                   1000 + me);
+    std::vector<int> counts, displs;
+    int total = 0;
+    for (int r = 0; r < p; ++r) {
+      counts.push_back(r + 1);
+      displs.push_back(total);
+      total += r + 1;
+    }
+    std::vector<std::int32_t> out(static_cast<std::size_t>(total), -1);
+    api.allgatherv(kWorldComm, std::span<const std::int32_t>(mine),
+                   std::span<std::int32_t>(out), counts, displs);
+    std::size_t idx = 0;
+    for (int r = 0; r < p; ++r) {
+      for (int i = 0; i <= r; ++i) EXPECT_EQ(out[idx++], 1000 + r);
+    }
+  });
+}
+
+TEST(ApiCollectives, AlltoallvRoutesUnevenBlocks) {
+  Engine engine(basic(3));
+  engine.run([](Api& api) {
+    const int p = api.size();
+    const int me = api.rank();
+    std::vector<int> scounts, sdispls, rcounts, rdispls;
+    int stotal = 0, rtotal = 0;
+    for (int j = 0; j < p; ++j) {
+      scounts.push_back(j + 1);
+      sdispls.push_back(stotal);
+      stotal += j + 1;
+      rcounts.push_back(me + 1);
+      rdispls.push_back(rtotal);
+      rtotal += me + 1;
+    }
+    std::vector<std::int32_t> send(static_cast<std::size_t>(stotal));
+    std::size_t idx = 0;
+    for (int j = 0; j < p; ++j) {
+      for (int i = 0; i <= j; ++i) send[idx++] = 10'000 * me + 100 * j + i;
+    }
+    std::vector<std::int32_t> recv(static_cast<std::size_t>(rtotal), -1);
+    api.alltoallv(kWorldComm, std::span<const std::int32_t>(send), scounts,
+                  sdispls, std::span<std::int32_t>(recv), rcounts, rdispls);
+    idx = 0;
+    for (int r = 0; r < p; ++r) {
+      for (int i = 0; i <= me; ++i) {
+        EXPECT_EQ(recv[idx++], 10'000 * r + 100 * me + i);
+      }
+    }
+  });
+}
+
+TEST(ApiCollectives, RootedNbcVariants) {
+  Engine engine(basic(4));
+  engine.run([](Api& api) {
+    const int p = api.size();
+    std::vector<std::int64_t> mine{api.rank() + 1LL};
+    std::vector<std::int64_t> out(1, -1);
+    auto red = api.ireduce(kWorldComm, std::span<const std::int64_t>(mine),
+                           std::span<std::int64_t>(out), umpi::ReduceOp::kSum, 0);
+    api.wait(red);
+    if (api.rank() == 0) EXPECT_EQ(out[0], p * (p + 1) / 2);
+
+    std::vector<std::int64_t> all(static_cast<std::size_t>(p));
+    std::iota(all.begin(), all.end(), 5);
+    std::vector<std::int64_t> part(1, -1);
+    auto sc = api.iscatter(kWorldComm, std::span<const std::int64_t>(all),
+                           std::span<std::int64_t>(part), 0);
+    api.wait(sc);
+    EXPECT_EQ(part[0], 5 + api.rank());
+
+    std::vector<std::int64_t> gathered(static_cast<std::size_t>(p), -1);
+    auto g = api.igather(kWorldComm, std::span<const std::int64_t>(part),
+                         std::span<std::int64_t>(gathered), p - 1);
+    api.wait(g);
+    if (api.rank() == p - 1) {
+      for (int r = 0; r < p; ++r) {
+        EXPECT_EQ(gathered[static_cast<std::size_t>(r)], 5 + r);
+      }
+    }
+  });
+}
+
+TEST(ApiCollectives, WaitanyReturnsACompletedRequest) {
+  Engine engine(basic(2));
+  engine.run([](Api& api) {
+    const int peer = 1 - api.rank();
+    std::int64_t in1 = -1, in2 = -1;
+    const std::int64_t out = 42 + api.rank();
+    std::vector<VReq> reqs;
+    reqs.push_back(api.irecv(kWorldComm, std::as_writable_bytes(std::span(&in1, 1)),
+                             peer, 1));
+    reqs.push_back(api.irecv(kWorldComm, std::as_writable_bytes(std::span(&in2, 1)),
+                             peer, 2));
+    api.send(kWorldComm, std::as_bytes(std::span(&out, 1)), peer, 2);
+    api.send(kWorldComm, std::as_bytes(std::span(&out, 1)), peer, 1);
+
+    const int first = api.waitany(reqs);
+    ASSERT_GE(first, 0);
+    ASSERT_LT(first, 2);
+    EXPECT_TRUE(reqs[static_cast<std::size_t>(first)].is_null());
+
+    const int second = api.waitany(reqs);
+    ASSERT_GE(second, 0);
+    EXPECT_NE(first, second);
+    EXPECT_EQ(in1, 42 + peer);
+    EXPECT_EQ(in2, 42 + peer);
+
+    EXPECT_EQ(api.waitany(reqs), -1);  // all handles null now
+  });
+}
+
+TEST(ApiCollectives, TestanyPollsWithoutBlocking) {
+  Engine engine(basic(2));
+  engine.run([](Api& api) {
+    const int peer = 1 - api.rank();
+    std::int64_t in = -1;
+    const std::int64_t out = 7;
+    std::vector<VReq> reqs;
+    reqs.push_back(api.irecv(kWorldComm, std::as_writable_bytes(std::span(&in, 1)),
+                             peer, 9));
+    int index = -2;
+    api.send(kWorldComm, std::as_bytes(std::span(&out, 1)), peer, 9);
+    while (!api.testany(reqs, &index)) {
+    }
+    EXPECT_EQ(index, 0);
+    EXPECT_EQ(in, 7);
+    EXPECT_TRUE(reqs[0].is_null());
+
+    // All-null vector: MPI semantics are flag=true, index undefined (-1).
+    EXPECT_TRUE(api.testany(reqs, &index));
+    EXPECT_EQ(index, -1);
+  });
+}
+
+}  // namespace
+}  // namespace manatee::split
