@@ -1,5 +1,7 @@
 #include "ckpt/coordinator.hpp"
 
+#include <set>
+
 #include "common/error.hpp"
 #include "common/log.hpp"
 
@@ -83,16 +85,96 @@ bool Coordinator::all_seq_posted() const {
   return true;
 }
 
-void Coordinator::report_cc(int rank, bool parked, std::uint64_t sent,
-                            std::uint64_t received, std::uint64_t seen_version) {
+void Coordinator::report_cc(int rank, const CcStatus& status) {
   std::lock_guard lock(mutex_);
   if (phase_ != CkptPhase::kDrain) return;  // late report after write began
   auto& state = ranks_[static_cast<std::size_t>(rank)];
-  state.parked = parked;
-  state.sent = sent;
-  state.received = received;
-  state.seen_version = seen_version;
+  state.parked = status.parked;
+  state.sent = status.sent;
+  state.received = status.received;
+  state.seen_version = status.seen_version;
+  state.blocked_on = status.blocked_on;
+  state.has_next = status.has_next;
+  state.next_ggid = status.next_ggid;
+  state.next_seq = status.next_seq;
   maybe_enter_write_locked();
+  maybe_force_p2p_cascade_locked();
+}
+
+void Coordinator::maybe_force_p2p_cascade_locked() {
+  if (phase_ != CkptPhase::kDrain) return;
+
+  // Stall certificate: every rank is accounted for (parked, finished, or
+  // blocked on a peer), everyone has pulled the current target table, no
+  // target update is in flight, and at least one rank still owes work.
+  // Anything less means some rank is free-running or a wakeup is already
+  // on its way, and forcing would needlessly widen the cut.
+  // Done ranks report from at_finalize like everyone else — their update
+  // counts stay in the balance (they may have sent raises before
+  // finishing), and their park state is classified the same way.
+  std::uint64_t sent = 0, received = 0;
+  bool any_unparked = false;
+  for (const auto& r : ranks_) {
+    if (!r.seq_posted || r.seen_version != targets_version_) return;
+    if (!r.parked) {
+      if (r.blocked_on == kNotBlocked) return;  // free-running
+      any_unparked = true;
+    }
+    sent += r.sent;
+    received += r.received;
+  }
+  if (!any_unparked || sent != received) return;
+
+  // Follow a blocked chain from any rank that owes work to an entry-parked
+  // rank, and force that rank's next collective into the target set. One
+  // node per stall round: each forced node unparks its group's members,
+  // whose progress either resolves the p2p dependency or re-forms the
+  // stall one collective further along.
+  for (std::size_t start = 0; start < ranks_.size(); ++start) {
+    const auto& r = ranks_[start];
+    if (r.done || r.parked) continue;
+    int cur = r.blocked_on;
+    std::set<int> visited{static_cast<int>(start)};
+    while (cur >= 0 && cur < static_cast<int>(ranks_.size()) &&
+           !visited.contains(cur)) {
+      visited.insert(cur);
+      const auto& s = ranks_[static_cast<std::size_t>(cur)];
+      if (s.parked && s.has_next) {
+        auto& target = targets_[s.next_ggid];
+        MANATEE_CHECK(s.next_seq > target,
+                      "p2p cascade would not grow the forced target");
+        target = s.next_seq;
+        forced_[completed_cycles_ + 1][s.next_ggid] = s.next_seq;
+        ++targets_version_;
+        LOG_DEBUG("coordinator: p2p stall — forcing ggid="
+                  << s.next_ggid << " to " << s.next_seq << " (rank " << cur
+                  << " parked at entry, rank " << start << " blocked)");
+        wake_all_locked();
+        return;
+      }
+      if (s.blocked_on >= 0) {
+        cur = s.blocked_on;
+        continue;
+      }
+      break;  // unknown-source block or finalize-parked: try another chain
+    }
+  }
+  // No resolvable chain: either a genuine application deadlock or every
+  // blocked rank has an unknown source; the store watchdog will surface it.
+}
+
+std::map<std::uint64_t, std::uint64_t> Coordinator::forced_targets(
+    std::uint64_t cycle) const {
+  std::lock_guard lock(mutex_);
+  const auto it = forced_.find(cycle);
+  return it == forced_.end() ? std::map<std::uint64_t, std::uint64_t>{}
+                             : it->second;
+}
+
+std::map<std::uint64_t, std::map<std::uint64_t, std::uint64_t>>
+Coordinator::forced_by_cycle() const {
+  std::lock_guard lock(mutex_);
+  return forced_;
 }
 
 void Coordinator::maybe_enter_write_locked() {
@@ -251,7 +333,19 @@ std::string Coordinator::debug_dump() const {
            " sent=" + std::to_string(r.sent) + " recv=" + std::to_string(r.received) +
            " seen=" + std::to_string(r.seen_version) +
            " written=" + std::to_string(r.written) +
-           " done=" + std::to_string(r.done) + "\n";
+           " done=" + std::to_string(r.done) +
+           " blocked_on=" + std::to_string(r.blocked_on);
+    if (r.has_next) {
+      out += " next=(" + std::to_string(r.next_ggid) + "," +
+             std::to_string(r.next_seq) + ")";
+    }
+    out += "\n";
+  }
+  for (const auto& [cycle, forced] : forced_) {
+    for (const auto& [g, t] : forced) {
+      out += "  forced cycle " + std::to_string(cycle) + ": ggid=" +
+             std::to_string(g) + " target=" + std::to_string(t) + "\n";
+    }
   }
   for (const auto& [key, inst] : tpc_instances_) {
     out += "  tpc(" + std::to_string(key.first) + "," + std::to_string(key.second) +

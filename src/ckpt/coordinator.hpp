@@ -66,16 +66,58 @@ class Coordinator {
   [[nodiscard]] bool all_seq_posted() const;
 
   // --- CC: count-based termination detection ----------------------------------
-  /// Report this rank's drain status: `parked` = sitting in
-  /// Wait_for_new_targets with every target met; `sent`/`received` =
-  /// cumulative counts of peer target-update messages; `seen_version` = the
-  /// target-table version this rank last pulled. Counts must be reported
-  /// monotonically; increment `sent` *before* injecting the message into
-  /// the fabric, and `received` *after* consuming one, so a balanced count
-  /// proves no update is in flight. The drain is complete when every rank
+  /// Not blocked on any peer (CcStatus::blocked_on).
+  static constexpr int kNotBlocked = -1;
+  /// Blocked, but the peer is unknown (wildcard receive, waitany, NBC wait).
+  static constexpr int kBlockedUnknown = -2;
+
+  /// One rank's drain status, reported on every drain-protocol step.
+  struct CcStatus {
+    /// Sitting in Wait_for_new_targets (or a suspended blocking wait) with
+    /// every target met.
+    bool parked = false;
+    /// Cumulative counts of peer target-update messages. Must be reported
+    /// monotonically; increment `sent` *before* injecting the message into
+    /// the fabric and `received` *after* consuming one, so a balanced
+    /// count proves no update is in flight.
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+    /// The target-table version this rank last pulled.
+    std::uint64_t seen_version = 0;
+    /// World rank whose message this rank is blocked waiting for
+    /// (kNotBlocked / kBlockedUnknown otherwise). Drives the p2p-aware
+    /// target cascade below.
+    int blocked_on = kNotBlocked;
+    /// When parked at a collective entry: the group and sequence number of
+    /// the collective this rank would execute next. The coordinator can
+    /// *force* that node into the target set to resolve a p2p stall.
+    bool has_next = false;
+    std::uint64_t next_ggid = 0;
+    std::uint64_t next_seq = 0;
+  };
+
+  /// Report a rank's drain status. The drain is complete when every rank
   /// is parked against the *current* table version with balanced counts.
-  void report_cc(int rank, bool parked, std::uint64_t sent, std::uint64_t received,
-                 std::uint64_t seen_version);
+  ///
+  /// P2P-aware cascade: the request-time target cut is computed from
+  /// collective clocks only, but a rank that owes collectives can be
+  /// blocked in a point-to-point receive whose matching send lies *beyond*
+  /// a parked peer's frontier (the peer would only send it after its next
+  /// collective). When every rank is either parked or blocked on a parked
+  /// peer, with balanced counts and a current table (a stall certificate),
+  /// the coordinator follows a blocked chain to an entry-parked rank and
+  /// raises that rank's next collective into the target table, pushing the
+  /// cut forward one node at a time until the p2p dependency is satisfied.
+  void report_cc(int rank, const CcStatus& status);
+
+  /// Targets this cycle that were forced by the p2p cascade rather than
+  /// derived from request-time clocks (per completed-cycle+1 index). The
+  /// minimality oracle treats them as part of the cut definition.
+  [[nodiscard]] std::map<std::uint64_t, std::uint64_t> forced_targets(
+      std::uint64_t cycle) const;
+  /// All cycles' forced targets (cycle -> ggid -> target).
+  [[nodiscard]] std::map<std::uint64_t, std::map<std::uint64_t, std::uint64_t>>
+  forced_by_cycle() const;
 
   // --- 2PC: inserted-barrier instance tracking --------------------------------
   /// Rank entered the Ibarrier test loop of collective instance
@@ -122,6 +164,7 @@ class Coordinator {
  private:
   void wake_all_locked();
   void maybe_enter_write_locked();
+  void maybe_force_p2p_cascade_locked();
 
   struct RankState {
     bool parked = false;
@@ -131,6 +174,10 @@ class Coordinator {
     bool seq_posted = false;
     bool written = false;
     bool done = false;
+    int blocked_on = kNotBlocked;
+    bool has_next = false;
+    std::uint64_t next_ggid = 0;
+    std::uint64_t next_seq = 0;
   };
 
   struct TpcInstance {
@@ -151,6 +198,9 @@ class Coordinator {
   std::map<std::uint64_t, std::uint64_t> targets_;
   std::uint64_t targets_version_ = 0;
   std::vector<RankState> ranks_;
+  /// cycle -> targets forced by the p2p cascade (persists across cycles
+  /// for the oracle).
+  std::map<std::uint64_t, std::map<std::uint64_t, std::uint64_t>> forced_;
 
   // 2PC state: instances persist across the run (entered/done counts span
   // the request boundary).

@@ -29,7 +29,7 @@ struct SegmentRef {
 class Registry {
  public:
   /// Register (or re-register, on restart) a named segment of application
-  /// memory. The span must stay valid until deregistered or the registry is
+  /// memory. The span must stay valid until the registry is detached or
   /// destroyed. Size is fixed per name: re-registering with a different
   /// size throws (the app's state layout must be deterministic).
   void register_segment(const std::string& name, std::span<std::byte> data);
@@ -45,8 +45,23 @@ class Registry {
   [[nodiscard]] std::size_t segment_count() const { return segments_.size(); }
   [[nodiscard]] std::size_t total_bytes() const;
 
-  /// Copy out the current contents of every segment.
+  /// Copy out the current contents of every segment: the live spans while
+  /// the application frame is alive, the shadow copies after detach().
   [[nodiscard]] std::map<std::string, std::vector<std::byte>> capture() const;
+
+  /// Refresh every segment's owned shadow copy from its live span. The
+  /// wrapper layer calls this at op boundaries — the resumable-execution
+  /// contract guarantees registered state only mutates inside wrapped
+  /// operations, so a boundary shadow is exact at every legal capture point.
+  void sync_shadow();
+
+  /// The application function returned: its frame (and thus every live
+  /// span) is about to die. Freeze the shadows — a checkpoint that catches
+  /// this rank after finalization (late request while the rank sits in
+  /// at_finalize) captures the exit-state shadow instead of reading freed
+  /// stack/heap memory.
+  void detach() noexcept { detached_ = true; }
+  [[nodiscard]] bool detached() const noexcept { return detached_; }
 
   /// Copy saved blobs back into the registered spans. Every blob must have
   /// a registered segment of exactly matching size; segments without blobs
@@ -63,7 +78,13 @@ class Registry {
   [[nodiscard]] std::span<std::byte> resolve(const SegmentRef& ref) const;
 
  private:
-  std::map<std::string, std::span<std::byte>> segments_;
+  struct Segment {
+    std::span<std::byte> live;      ///< app memory; dangles after detach()
+    std::vector<std::byte> shadow;  ///< owned copy, exact at op boundaries
+  };
+
+  std::map<std::string, Segment> segments_;
+  bool detached_ = false;
 };
 
 }  // namespace manatee::ckpt

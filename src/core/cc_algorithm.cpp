@@ -28,7 +28,9 @@ void CcManager::ensure_request_seen() {
   if (posted_cycle_ >= cycle) return;
   posted_cycle_ = cycle;
   note_request_observed();
-  if (trace_ != nullptr) trace_->record_request_seen(cycle);
+  if (trace_ != nullptr) {
+    trace_->record_request_seen(cycle, rank_.clock().now());
+  }
   {
     std::lock_guard lock(seq_mutex_);
     coordinator_.post_seq(rank_.world_rank(), clocks_.seq_map());
@@ -39,7 +41,13 @@ void CcManager::refresh_targets() {
   // Coordinator table (Algorithm 1's asynchronous max-merge).
   SeqMap table;
   if (coordinator_.pull_targets(seen_version_, table)) {
-    clocks_.merge_targets(table);
+    SeqMap changed;
+    clocks_.merge_targets(table, trace_ != nullptr ? &changed : nullptr);
+    if (trace_ != nullptr) {
+      for (const auto& [g, t] : changed) {
+        trace_->record_target_learned(g, t, rank_.clock().now());
+      }
+    }
   }
   // Peer updates (Algorithm 3's Iprobe/Recv of mana_updates_tag).
   TargetUpdate update;
@@ -48,13 +56,35 @@ void CcManager::refresh_targets() {
              .ckpt_try_recv(rank_.world(), bytes, umpi::kAnySource, kTagTargetUpdate)
              .has_value()) {
     ++received_;
-    clocks_.merge_target(update.ggid, update.value);
+    if (clocks_.merge_target(update.ggid, update.value) && trace_ != nullptr) {
+      trace_->record_target_learned(update.ggid, update.value,
+                                    rank_.clock().now());
+    }
   }
 }
 
-void CcManager::report(bool parked) {
-  coordinator_.report_cc(rank_.world_rank(), parked, sent_, received_,
-                         seen_version_);
+void CcManager::report(bool parked, const char* site) {
+  if (trace_ != nullptr && parked != reported_parked_) {
+    if (parked) {
+      trace_->record_parked(site, rank_.clock().now());
+    } else {
+      trace_->record_unparked(site, rank_.clock().now());
+    }
+  }
+  reported_parked_ = parked;
+  ckpt::Coordinator::CcStatus status;
+  status.parked = parked;
+  status.sent = sent_;
+  status.received = received_;
+  status.seen_version = seen_version_;
+  status.blocked_on = blocked_on_;
+  if (entry_comm_ != nullptr) {
+    status.has_next = true;
+    status.next_ggid = ggid_of(*entry_comm_);
+    std::lock_guard lock(seq_mutex_);
+    status.next_seq = clocks_.seq(status.next_ggid) + 1;
+  }
+  coordinator_.report_cc(rank_.world_rank(), status);
 }
 
 void CcManager::advance_clock(const umpi::CommPtr& comm) {
@@ -66,19 +96,23 @@ void CcManager::advance_clock(const umpi::CommPtr& comm) {
     seq = clocks_.increment(ggid);
   }
   if (trace_ != nullptr) {
-    trace_->record_collective(ggid, seq, comm->group.members());
+    trace_->record_collective(ggid, seq, comm->group.members(),
+                              rank_.clock().now());
   }
   if (coordinator_.ckpt_pending()) {
     ensure_request_seen();
     refresh_targets();
     if (clocks_.raise_target_to_seq(ggid)) {
+      if (trace_ != nullptr) {
+        trace_->record_target_raised(ggid, seq, rank_.clock().now());
+      }
       // Algorithm 2, SEND: the new target goes to every other member of the
       // group. The member world ranks are locally known (the paper's
       // MPI_Group_translate_ranks step). Count before injecting so the
       // coordinator can never observe received > sent.
       const auto& members = comm->group.members();
       sent_ += members.size() - 1;
-      report(false);
+      report(false, "raise");
       const TargetUpdate update{ggid, seq};
       const auto bytes = std::as_bytes(std::span(&update, 1));
       for (int w : members) {
@@ -92,7 +126,7 @@ void CcManager::advance_clock(const umpi::CommPtr& comm) {
 }
 
 void CcManager::pre_collective(const umpi::CommPtr& comm) {
-  wait_for_new_targets();
+  wait_for_new_targets(&comm);
   advance_clock(comm);
 }
 
@@ -109,14 +143,14 @@ void CcManager::post_collective(const umpi::CommPtr& comm) {
   if (coordinator_.phase() != ckpt::CkptPhase::kDrain) return;
   ensure_request_seen();
   refresh_targets();
-  report(false);
+  report(false, "exit");
 }
 
 void CcManager::pre_nbc(const umpi::CommPtr& comm) {
   // §4.3.1: SEQ increments at initiation; the wrapper parks at entry like a
   // blocking collective, but there is no completion-side park (completion
   // is observed through Test/Wait).
-  wait_for_new_targets();
+  wait_for_new_targets(&comm);
   advance_clock(comm);
 }
 
@@ -127,10 +161,17 @@ void CcManager::register_nbc(umpi::Request request) {
   pending_nbc_.push_back(request);
 }
 
-void CcManager::wait_for_new_targets() {
+void CcManager::wait_for_new_targets(const umpi::CommPtr* entry_comm) {
+  // While parked at a collective entry, expose which node this rank would
+  // execute next — the coordinator's p2p cascade may force it into the
+  // target set to unblock a peer.
+  entry_comm_ = entry_comm;
   while (true) {
     const auto phase = coordinator_.phase();
-    if (phase == ckpt::CkptPhase::kIdle) return;
+    if (phase == ckpt::CkptPhase::kIdle) {
+      entry_comm_ = nullptr;
+      return;
+    }
     if (phase == ckpt::CkptPhase::kWrite) {
       perform_write_cycle();
       continue;
@@ -141,11 +182,12 @@ void CcManager::wait_for_new_targets() {
     refresh_targets();
     if (!clocks_.targets_met()) {
       // Condition A': some group still below target — keep executing.
-      report(false);
+      entry_comm_ = nullptr;
+      report(false, "entry");
       return;
     }
     rank_.progress_outstanding();  // parked ranks must progress their NBCs
-    report(true);
+    report(true, "entry");
     if (coordinator_.phase() != ckpt::CkptPhase::kDrain) continue;
     if (rank_.runtime().aborted()) {
       throw RuntimeFault("peer rank failed during drain");
@@ -155,9 +197,11 @@ void CcManager::wait_for_new_targets() {
 }
 
 void CcManager::blocked_step(const std::function<bool()>& done,
-                             const ParkHooks* hooks) {
+                             const ParkHooks* hooks, int blocked_src_world) {
+  blocked_on_ = blocked_src_world;
   const auto phase = coordinator_.phase();
   if (phase == ckpt::CkptPhase::kIdle) {
+    blocked_on_ = ckpt::Coordinator::kNotBlocked;
     if (blocked_parked_) {
       blocked_parked_ = false;
       if (hooks != nullptr && hooks->resume) hooks->resume();
@@ -184,7 +228,7 @@ void CcManager::blocked_step(const std::function<bool()>& done,
       blocked_parked_ = false;
       if (hooks != nullptr && hooks->resume) hooks->resume();
     }
-    report(false);
+    report(false, "blocked");
     return;
   }
   if (!blocked_parked_) {
@@ -198,11 +242,19 @@ void CcManager::blocked_step(const std::function<bool()>& done,
     if (hooks != nullptr && hooks->suspend && !hooks->suspend()) return;
     blocked_parked_ = true;
   }
-  report(true);
+  report(true, "blocked");
 }
 
 void CcManager::blocked_finish(const ParkHooks* hooks) {
   (void)hooks;
+  // The wait completed: this rank is no longer blocked on anyone. Clear
+  // the coordinator's record too — a stale blocked_on could otherwise
+  // certify a p2p stall against a rank that is actually free-running,
+  // forcing a gratuitous target.
+  blocked_on_ = ckpt::Coordinator::kNotBlocked;
+  if (!blocked_parked_ && coordinator_.phase() == ckpt::CkptPhase::kDrain) {
+    report(false, "blocked-finish");
+  }
   // The blocked operation completed while parked (its message was sent by
   // a peer that had not yet parked). Resuming is only legal while the
   // drain is still in progress; once the safe state is declared we must
@@ -216,7 +268,7 @@ void CcManager::blocked_finish(const ParkHooks* hooks) {
     }
     if (coordinator_.try_unpark(rank_.world_rank())) {
       blocked_parked_ = false;
-      report(false);
+      report(false, "blocked-finish");
       break;
     }
   }
@@ -250,7 +302,7 @@ void CcManager::at_finalize() {
             "completed with unbalanced collective calls");
       }
       rank_.progress_outstanding();
-      report(true);
+      report(true, "finalize");
     }
     if (coordinator_.all_done() && coordinator_.phase() == ckpt::CkptPhase::kIdle) {
       return;
@@ -263,7 +315,9 @@ void CcManager::at_finalize() {
 void CcManager::pre_write() {
   // §4.3.2: every incomplete non-blocking collective was initiated by all
   // members (safe-state invariant), so Test-driving them to completion
-  // terminates.
+  // terminates. Progression rides each operation's own clock; only once
+  // everything is done does this rank's clock merge the completion times,
+  // so the drain never serializes the operations against each other.
   while (true) {
     const auto token = rank_.store().token();
     rank_.progress_outstanding();
@@ -274,6 +328,9 @@ void CcManager::pre_write() {
     if (all_done) break;
     rank_.store().wait_changed(token);
   }
+  for (const auto& request : pending_nbc_) {
+    rank_.merge_request_completion(request);
+  }
   pending_nbc_.clear();
 }
 
@@ -282,6 +339,7 @@ void CcManager::post_cycle() {
   sent_ = 0;
   received_ = 0;
   seen_version_ = 0;
+  reported_parked_ = false;
 }
 
 void CcManager::post_initial_state(int world_rank) {

@@ -41,8 +41,8 @@ class CcManager final : public ProtocolManagerBase {
   void post_collective(const umpi::CommPtr& comm) override;
   void pre_nbc(const umpi::CommPtr& comm) override;
   void register_nbc(umpi::Request request) override;
-  void blocked_step(const std::function<bool()>& done,
-                    const ParkHooks* hooks) override;
+  void blocked_step(const std::function<bool()>& done, const ParkHooks* hooks,
+                    int blocked_src_world) override;
   void blocked_finish(const ParkHooks* hooks) override;
   void poll() override;
   void at_finalize() override;
@@ -63,12 +63,17 @@ class CcManager final : public ProtocolManagerBase {
   /// Algorithm 2's increment + conditional target raise + SEND.
   void advance_clock(const umpi::CommPtr& comm);
   /// Algorithm 3: park until some target is unmet or no checkpoint pends.
-  void wait_for_new_targets();
+  /// `entry_comm` (may be null) is the communicator of the collective this
+  /// rank is about to execute — advertised to the coordinator while parked
+  /// so the p2p cascade can force that node if a peer is starved.
+  void wait_for_new_targets(const umpi::CommPtr* entry_comm = nullptr);
   /// First-notice actions for a cycle: post SEQ to the coordinator.
   void ensure_request_seen();
   /// Drain coordinator table + peer updates into local TARGETs.
   void refresh_targets();
-  void report(bool parked);
+  /// Report drain status to the coordinator; `site` labels the wrapper
+  /// site for the trace's park/unpark edges.
+  void report(bool parked, const char* site = "?");
   void pre_write() override;   // §4.3.2 Test-drain of pending NBCs
   void post_cycle() override;  // reset per-cycle drain state
 
@@ -86,6 +91,11 @@ class CcManager final : public ProtocolManagerBase {
   std::uint64_t received_ = 0;
   std::uint64_t seen_version_ = 0;
   bool blocked_parked_ = false;
+  bool reported_parked_ = false;  ///< last reported state (trace edges)
+  /// World rank this rank is blocked waiting on (p2p cascade input).
+  int blocked_on_ = ckpt::Coordinator::kNotBlocked;
+  /// Non-null while sitting in wait_for_new_targets at a collective entry.
+  const umpi::CommPtr* entry_comm_ = nullptr;
 };
 
 }  // namespace manatee::core

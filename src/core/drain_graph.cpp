@@ -10,8 +10,10 @@ namespace {
 using NodeId = std::pair<Ggid, std::uint64_t>;
 }  // namespace
 
-DrainGraph::DrainGraph(std::vector<std::vector<TraceEvent>> per_rank_events)
-    : events_(std::move(per_rank_events)) {}
+DrainGraph::DrainGraph(std::vector<std::vector<TraceEvent>> per_rank_events,
+                       std::map<std::uint64_t, TargetMap> forced_by_cycle)
+    : events_(std::move(per_rank_events)),
+      forced_by_cycle_(std::move(forced_by_cycle)) {}
 
 std::ptrdiff_t DrainGraph::write_marker(int rank, std::uint64_t cycle) const {
   const auto& ev = events_[static_cast<std::size_t>(rank)];
@@ -105,6 +107,13 @@ DrainCheckResult DrainGraph::check_minimality(std::uint64_t cycle) const {
   // observed the request (exactly what Algorithm 1 computes).
   std::map<Ggid, std::uint64_t> targets;
   for (int r = 0; r < static_cast<int>(events_.size()); ++r) {
+    if (write_marker(r, cycle) < 0) {
+      // Also guards the cursor walks below: a deadlocked drain's trace has
+      // request markers but no image markers.
+      return DrainCheckResult::failure("rank " + std::to_string(r) +
+                                       " has no image for cycle " +
+                                       std::to_string(cycle));
+    }
     const auto req = request_marker(r, cycle);
     if (req < 0) {
       return DrainCheckResult::failure("rank " + std::to_string(r) +
@@ -124,6 +133,15 @@ DrainCheckResult DrainGraph::check_minimality(std::uint64_t cycle) const {
     }
   }
 
+  // Targets forced by the coordinator's p2p cascade are part of the cut
+  // definition: a rank blocked in a point-to-point receive whose matching
+  // send lies beyond a parked peer's frontier legitimately widens the cut.
+  if (const auto it = forced_by_cycle_.find(cycle); it != forced_by_cycle_.end()) {
+    for (const auto& [g, t] : it->second) {
+      targets[g] = std::max(targets[g], t);
+    }
+  }
+
   // The drain itself may legitimately *raise* targets (Figure 3b: executing
   // toward one target pushes another group past its target). Minimality in
   // the paper's sense is therefore checked against the final, cascaded
@@ -140,11 +158,29 @@ DrainCheckResult DrainGraph::check_minimality(std::uint64_t cycle) const {
   // events; an event (g, s) with s > targets[g] is only admissible if at
   // the time of execution the rank still had some group h with
   // seq_r(h) < targets[h]; executing it raises targets[g] to s.
-  bool changed = true;
+  // Group membership, from the recorded member lists: a rank can only
+  // "owe" (and thus justify a cascade through) groups it belongs to —
+  // without this restriction every rank trivially owes every foreign
+  // group's target and minimality never rejects anything.
+  std::map<Ggid, std::set<int>> members_of;
+  for (const auto& rank_events : events_) {
+    for (const auto& e : rank_events) {
+      if (e.kind != TraceEventKind::kCollectiveExecuted) continue;
+      members_of[e.ggid].insert(e.members.begin(), e.members.end());
+    }
+  }
+
+  // Fixpoint over per-rank cursors. An event that is not (yet) admissible
+  // stalls its rank's cursor rather than failing outright: the raise that
+  // justifies it may still be waiting in another rank's unprocessed prefix
+  // (target raises propagate in arbitrary order between ranks). Only when
+  // a full pass advances nothing and some cursor is still stuck is the
+  // cut genuinely non-minimal.
+  bool progressed = true;
   std::vector<std::size_t> cursor(events_.size(), 0);
   std::vector<std::map<Ggid, std::uint64_t>> rank_seq(events_.size());
-  while (changed) {
-    changed = false;
+  while (progressed) {
+    progressed = false;
     for (int r = 0; r < static_cast<int>(events_.size()); ++r) {
       const auto marker = write_marker(r, cycle);
       const auto& ev = events_[static_cast<std::size_t>(r)];
@@ -154,14 +190,17 @@ DrainCheckResult DrainGraph::check_minimality(std::uint64_t cycle) const {
         const auto& e = ev[pos];
         if (e.kind != TraceEventKind::kCollectiveExecuted) {
           ++pos;
-          changed = true;
+          progressed = true;
           continue;
         }
         // Admissible if within current targets...
         const bool within = e.seq <= targets[e.ggid];
-        // ...or the rank still owes some target (cascade case).
+        // ...or the rank still owes some target of a group it belongs to
+        // (cascade case).
         bool owes = false;
         for (const auto& [g, t] : targets) {
+          const auto mit = members_of.find(g);
+          if (mit == members_of.end() || !mit->second.contains(r)) continue;
           std::uint64_t mine = 0;
           if (const auto it = seqs.find(g); it != seqs.end()) mine = it->second;
           if (mine < t) {
@@ -169,19 +208,25 @@ DrainCheckResult DrainGraph::check_minimality(std::uint64_t cycle) const {
             break;
           }
         }
-        if (!within && !owes) {
-          std::ostringstream os;
-          os << "minimality violated: rank " << r << " executed (ggid=" << e.ggid
-             << ", seq=" << e.seq << ") beyond target " << targets[e.ggid]
-             << " with no unmet targets of its own";
-          return DrainCheckResult::failure(os.str());
-        }
+        if (!within && !owes) break;  // stall: maybe justified by a peer later
         if (!within) targets[e.ggid] = std::max(targets[e.ggid], e.seq);
         seqs[e.ggid] = std::max(seqs[e.ggid], e.seq);
         ++pos;
-        changed = true;
+        progressed = true;
       }
     }
+  }
+
+  for (int r = 0; r < static_cast<int>(events_.size()); ++r) {
+    const auto marker = write_marker(r, cycle);
+    const auto pos = cursor[static_cast<std::size_t>(r)];
+    if (pos >= static_cast<std::size_t>(marker)) continue;
+    const auto& e = events_[static_cast<std::size_t>(r)][pos];
+    std::ostringstream os;
+    os << "minimality violated: rank " << r << " executed (ggid=" << e.ggid
+       << ", seq=" << e.seq << ") beyond target " << targets[e.ggid]
+       << " with no unmet targets of its own";
+    return DrainCheckResult::failure(os.str());
   }
   return DrainCheckResult{};
 }

@@ -34,8 +34,15 @@ struct DrainCheckResult {
 
 class DrainGraph {
  public:
-  /// Build from one event vector per world rank.
-  explicit DrainGraph(std::vector<std::vector<TraceEvent>> per_rank_events);
+  using TargetMap = std::map<Ggid, std::uint64_t>;
+
+  /// Build from one event vector per world rank. `forced_by_cycle` carries
+  /// the targets the coordinator's p2p-aware cascade forced per checkpoint
+  /// cycle (Coordinator::forced_by_cycle()); they are part of the cut
+  /// definition, so minimality is checked against request-time targets
+  /// merged with them.
+  explicit DrainGraph(std::vector<std::vector<TraceEvent>> per_rank_events,
+                      std::map<std::uint64_t, TargetMap> forced_by_cycle = {});
 
   /// Verify condition (1) for checkpoint cycle `cycle`: every node visited
   /// before the cycle's image writes is fully visited.
@@ -62,6 +69,7 @@ class DrainGraph {
   [[nodiscard]] std::ptrdiff_t request_marker(int rank, std::uint64_t cycle) const;
 
   std::vector<std::vector<TraceEvent>> events_;
+  std::map<std::uint64_t, TargetMap> forced_by_cycle_;
 };
 
 }  // namespace manatee::core

@@ -60,12 +60,16 @@ class DrainManager {
 
   /// One iteration's worth of drain participation inside a blocking wait
   /// loop (blocking recv, Wait, Waitall). The loop structure is:
-  ///   while (!done()) { token; progress; blocked_step(done, hooks); wait }
+  ///   while (!done()) { token; progress; blocked_step(done, hooks, src); wait }
+  /// `blocked_src_world` is the world rank whose message the wait is for
+  /// (Coordinator::kBlockedUnknown for wildcard receives, waitany, and NBC
+  /// waits) — input to the CC drain's p2p-aware target cascade.
   /// Default: nothing (native).
   virtual void blocked_step(const std::function<bool()>& done,
-                            const ParkHooks* hooks) {
+                            const ParkHooks* hooks, int blocked_src_world) {
     (void)done;
     (void)hooks;
+    (void)blocked_src_world;
   }
 
   /// Called when a blocking wait loop exits (its operation completed).

@@ -40,14 +40,17 @@ class SeqTracker {
   [[nodiscard]] const SeqMap& target_map() const noexcept { return target_; }
 
   /// Merge externally learned targets (coordinator table or peer update),
-  /// keeping the elementwise max. Returns true if any target grew.
-  bool merge_targets(const SeqMap& update) {
+  /// keeping the elementwise max. Returns true if any target grew. When
+  /// `changed` is given, every (ggid, new target) that actually grew is
+  /// appended — the drain trace records these transitions.
+  bool merge_targets(const SeqMap& update, SeqMap* changed = nullptr) {
     bool grew = false;
     for (const auto& [g, n] : update) {
       auto& t = target_[g];
       if (n > t) {
         t = n;
         grew = true;
+        if (changed != nullptr) (*changed)[g] = n;
       }
     }
     return grew;

@@ -1,0 +1,50 @@
+#include "core/trace.hpp"
+
+#include <sstream>
+
+namespace manatee::core {
+
+std::string describe_event(const TraceEvent& e) {
+  std::ostringstream os;
+  os << "t=" << e.when << " ";
+  switch (e.kind) {
+    case TraceEventKind::kCollectiveExecuted:
+      os << "exec ggid=" << e.ggid << " seq=" << e.seq << " members=[";
+      for (std::size_t i = 0; i < e.members.size(); ++i) {
+        if (i != 0) os << ",";
+        os << e.members[i];
+      }
+      os << "]";
+      break;
+    case TraceEventKind::kCkptRequestSeen:
+      os << "request-seen cycle=" << e.cycle;
+      break;
+    case TraceEventKind::kImageWritten:
+      os << "image-written cycle=" << e.cycle;
+      break;
+    case TraceEventKind::kTargetRaised:
+      os << "target-raised ggid=" << e.ggid << " target=" << e.seq;
+      break;
+    case TraceEventKind::kTargetLearned:
+      os << "target-learned ggid=" << e.ggid << " target=" << e.seq;
+      break;
+    case TraceEventKind::kParked:
+      os << "parked at " << (e.site != nullptr ? e.site : "?");
+      break;
+    case TraceEventKind::kUnparked:
+      os << "unparked at " << (e.site != nullptr ? e.site : "?");
+      break;
+  }
+  return os.str();
+}
+
+std::string describe_tail(const std::vector<TraceEvent>& events, std::size_t n) {
+  std::ostringstream os;
+  const std::size_t start = events.size() > n ? events.size() - n : 0;
+  for (std::size_t i = start; i < events.size(); ++i) {
+    os << "  [" << i << "] " << describe_event(events[i]) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace manatee::core

@@ -85,8 +85,9 @@ void TpcManager::park_until_idle() {
 }
 
 void TpcManager::blocked_step(const std::function<bool()>& done,
-                              const ParkHooks* hooks) {
+                              const ParkHooks* hooks, int blocked_src_world) {
   (void)done;
+  (void)blocked_src_world;  // 2PC parks anywhere outside MPI; no cascade
   const auto phase = coordinator_.phase();
   if (phase == ckpt::CkptPhase::kIdle) {
     if (blocked_parked_) {

@@ -31,8 +31,8 @@ class TpcManager final : public ProtocolManagerBase {
   void pre_collective(const umpi::CommPtr& comm) override;
   void post_collective(const umpi::CommPtr& comm) override;
   void pre_nbc(const umpi::CommPtr& comm) override;
-  void blocked_step(const std::function<bool()>& done,
-                    const ParkHooks* hooks) override;
+  void blocked_step(const std::function<bool()>& done, const ParkHooks* hooks,
+                    int blocked_src_world) override;
   void blocked_finish(const ParkHooks* hooks) override;
   void poll() override;
   void at_finalize() override;

@@ -118,6 +118,11 @@ void MessageStore::notify() {
   cv_.notify_all();
 }
 
+void MessageStore::with_delivery_lock(const std::function<void()>& fn) {
+  std::lock_guard lock(mutex_);
+  fn();
+}
+
 MessageStore::WakeToken MessageStore::token() const {
   std::lock_guard lock(mutex_);
   return WakeToken{delivered_messages_, generation_};
@@ -160,9 +165,31 @@ std::size_t MessageStore::count_unexpected(
 
 void MessageStore::inject(std::vector<Envelope> messages) {
   std::lock_guard lock(mutex_);
+  // Injected messages were in flight at the checkpoint cut, so they are
+  // causally OLDER than anything the fresh runtime has delivered: a peer
+  // may already be replaying and its post-cut sends may have arrived before
+  // this rank got around to re-injecting its saved queue. To preserve MPI's
+  // non-overtaking order across the restart boundary, injected envelopes
+  // match already-posted receives first and otherwise line up IN FRONT of
+  // the newer unexpected envelopes, keeping their saved order.
+  std::deque<Envelope> pending;
   for (auto& env : messages) {
-    unexpected_.push_back(std::move(env));
+    env.seq = next_seq_++;
+    bool matched = false;
+    for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+      if (it->pattern.matches(env)) {
+        complete(*it, env);
+        posted_.erase(it);
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) pending.push_back(std::move(env));
   }
+  unexpected_.insert(unexpected_.begin(),
+                     std::make_move_iterator(pending.begin()),
+                     std::make_move_iterator(pending.end()));
+  ++generation_;  // wake wait_changed() observers like notify() does
   cv_.notify_all();
 }
 

@@ -76,6 +76,12 @@ class MessageStore {
   /// Bumps the generation counter so wait_changed() observers also wake.
   void notify();
 
+  /// Run `fn` under the store mutex, excluding concurrent deliveries: a
+  /// caller that must consistently read buffers targeted by posted
+  /// receives (the checkpoint registry's shadow sync) runs inside. `fn`
+  /// must not call back into this store.
+  void with_delivery_lock(const std::function<void()>& fn);
+
   /// Snapshot of "has anything happened" state, for poll-style loops
   /// (progress engines, blocking probe). Take a token, poll your condition,
   /// and if unsatisfied call wait_changed(token): it returns as soon as any

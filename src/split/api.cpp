@@ -45,6 +45,11 @@ const umpi::CommPtr& Api::resolve(VComm comm) const {
 int Api::comm_rank(VComm comm) const { return resolve(comm)->rank; }
 int Api::comm_size(VComm comm) const { return resolve(comm)->size(); }
 
+int Api::blocked_src_of(const umpi::CommPtr& comm, int src) const {
+  if (src == umpi::kAnySource) return ckpt::Coordinator::kBlockedUnknown;
+  return comm->world_of(src);
+}
+
 VComm Api::bind_comm(umpi::CommPtr comm) {
   const VComm handle{next_vcomm_++};
   comms_.emplace(handle.id, std::move(comm));
@@ -73,7 +78,21 @@ bool Api::begin_op() {
   return skip;
 }
 
-void Api::end_op() { ++ops_completed_; }
+void Api::sync_registry_shadow() {
+  // Keep the registry's shadow exact at op/wait boundaries: if this turns
+  // out to be the app's last mutation, a late checkpoint (caught in
+  // at_finalize, app frame gone) captures this state. Native runs never
+  // checkpoint, so they skip the copy. The store's delivery lock excludes
+  // peers concurrently completing posted receives into registered buffers
+  // while the shadow reads them.
+  if (engine_.config().protocol == Protocol::kNative) return;
+  rank_.store().with_delivery_lock([&] { ctx_.registry.sync_shadow(); });
+}
+
+void Api::end_op() {
+  ++ops_completed_;
+  sync_registry_shadow();
+}
 
 void Api::replay_caught_up() {
   ctx_.replay_done_clock = rank_.clock().now();
@@ -89,10 +108,22 @@ void Api::charge_collective_wrapper() {
   }
 }
 
-void Api::charge_nbc_wrapper() {
+void Api::charge_nbc_initiation() {
+  // The initiation share of the NBC wrapper (the SEQ increment) precedes
+  // the lower-half call, so it delays the operation's start.
   const auto& cost = rank_.runtime().cost();
   if (engine_.config().protocol == Protocol::kCC) {
-    rank_.advance_compute(cost.cc_nbc_wrapper_cost());
+    rank_.advance_compute(cost.cc_nbc_initiation_cost());
+  }
+}
+
+void Api::charge_nbc_completion() {
+  // The completion share (request-tracking teardown) is paid on the
+  // Test/Wait that observes completion — charged *after* the rank's clock
+  // has merged the operation's completion time, never absorbed by it.
+  const auto& cost = rank_.runtime().cost();
+  if (engine_.config().protocol == Protocol::kCC) {
+    rank_.advance_compute(cost.cc_nbc_completion_cost());
   }
 }
 
@@ -175,11 +206,11 @@ bool Api::decide(const std::function<bool()>& fn) {
 // ---- blocking loop --------------------------------------------------------------------
 
 void Api::blocking_loop(const std::function<bool()>& done,
-                        const core::ParkHooks* hooks) {
+                        const core::ParkHooks* hooks, int blocked_src_world) {
   while (true) {
     const auto token = rank_.store().token();
     rank_.progress_outstanding();
-    mgr_.blocked_step(done, hooks);
+    mgr_.blocked_step(done, hooks, blocked_src_world);
     if (done()) break;
     // A job configured to stop after its checkpoint must also unblock
     // ranks parked in waits whose peers have already stopped.
@@ -237,7 +268,8 @@ umpi::Status Api::recv(VComm comm, std::span<std::byte> data, int src, int tag) 
       }};
 
   try {
-    blocking_loop([&] { return posted && result.is_done(); }, &hooks);
+    blocking_loop([&] { return posted && result.is_done(); }, &hooks,
+                  blocked_src_of(c, src));
   } catch (...) {
     if (posted) store.cancel_recv(&result);
     throw;
@@ -332,10 +364,12 @@ bool Api::test(VReq& request) {
   }
   mgr_.poll();
   if (!rank_.request_done(state.lower)) return false;
-  if (state.is_nbc) charge_nbc_wrapper();  // completion-side interposition
+  const bool was_nbc = state.is_nbc;
   rank_.test(state.lower);
+  if (was_nbc) charge_nbc_completion();  // completion-side interposition
   vreqs_.erase(it);
   request = kNullReq;
+  sync_registry_shadow();  // completion may have filled receive buffers
   return true;
 }
 
@@ -348,12 +382,18 @@ void Api::wait(VReq& request) {
   }
   VReqState& state = it->second;
   if (!state.complete) {
-    blocking_loop([&] { return rank_.request_done(state.lower); }, &kPassiveHooks);
-    if (state.is_nbc) charge_nbc_wrapper();
+    const int src_world =
+        state.is_recv ? blocked_src_of(resolve(VComm{state.vcomm}), state.src)
+                      : ckpt::Coordinator::kBlockedUnknown;
+    blocking_loop([&] { return rank_.request_done(state.lower); }, &kPassiveHooks,
+                  src_world);
+    const bool was_nbc = state.is_nbc;
     rank_.test(state.lower);
+    if (was_nbc) charge_nbc_completion();
   }
   vreqs_.erase(it);
   request = kNullReq;
+  sync_registry_shadow();  // completion may have filled receive buffers
 }
 
 void Api::waitall(std::span<VReq> requests) {
@@ -565,7 +605,7 @@ VReq Api::start_nbc(VComm comm, const std::function<umpi::Request()>& initiate) 
   }
   ++collective_calls_;
   maybe_trigger_checkpoint();
-  charge_nbc_wrapper();
+  charge_nbc_initiation();
   const auto& c = resolve(comm);
   mgr_.pre_nbc(c);
   VReqState state;
@@ -693,6 +733,10 @@ VComm Api::comm_create(VComm comm, const umpi::Group& group) {
 // ---- finalize -------------------------------------------------------------------------------------
 
 void Api::finalize(bool stopped_early) {
+  // The app function has returned: every registered span now points into a
+  // dead frame. Freeze the registry so a late checkpoint captures the
+  // exit-state shadow instead of freed memory.
+  ctx_.registry.detach();
   if (stopped_early) {
     // The job is ending mid-application (chained-allocation stop): posted
     // receives reference application stack buffers that are about to go

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/coordinator.hpp"
 #include "ckpt/registry.hpp"
 #include "core/drain_manager.hpp"
 #include "umpi/rank.hpp"
@@ -364,8 +365,10 @@ class Api {
   // Wrapper skeleton helpers.
   bool begin_op();      // returns true when this op must be skipped (replay)
   void end_op();        // op effects are now in registered state
+  void sync_registry_shadow();
   void charge_collective_wrapper();
-  void charge_nbc_wrapper();
+  void charge_nbc_initiation();
+  void charge_nbc_completion();
   void charge_p2p_wrapper();
   void maybe_trigger_checkpoint();
   void maybe_stop_after_checkpoint();
@@ -376,8 +379,14 @@ class Api {
   VReq bind_req(VReqState state);
   VReq replay_req();  // assign next vreq id from the saved table during replay
 
+  /// `blocked_src_world`: the world rank whose message the loop is waiting
+  /// for, when statically known (drives the drain's p2p-aware cascade).
   void blocking_loop(const std::function<bool()>& done,
-                     const core::ParkHooks* hooks);
+                     const core::ParkHooks* hooks,
+                     int blocked_src_world = ckpt::Coordinator::kBlockedUnknown);
+  /// Resolve a comm-relative source rank to a world rank for blocking_loop
+  /// (kBlockedUnknown for MPI_ANY_SOURCE).
+  [[nodiscard]] int blocked_src_of(const umpi::CommPtr& comm, int src) const;
   void run_blocking_collective(const umpi::CommPtr& comm,
                                const std::function<void()>& execute);
   VReq start_nbc(VComm comm, const std::function<umpi::Request()>& initiate);

@@ -150,4 +150,17 @@ std::vector<std::vector<core::TraceEvent>> Engine::traces() const {
   return out;
 }
 
+core::DrainGraph Engine::make_drain_graph() const {
+  return core::DrainGraph(traces(), coordinator_.forced_by_cycle());
+}
+
+std::string Engine::describe_traces(std::size_t tail) const {
+  std::string out;
+  for (std::size_t r = 0; r < ctxs_.size(); ++r) {
+    out += "rank " + std::to_string(r) + " trace tail:\n" +
+           core::describe_tail(ctxs_[r]->trace.events(), tail);
+  }
+  return out;
+}
+
 }  // namespace manatee::split

@@ -20,6 +20,7 @@
 #include "ckpt/coordinator.hpp"
 #include "ckpt/image.hpp"
 #include "ckpt/registry.hpp"
+#include "core/drain_graph.hpp"
 #include "core/drain_manager.hpp"
 #include "core/trace.hpp"
 #include "split/api.hpp"
@@ -110,6 +111,13 @@ class Engine {
 
   /// Per-rank event traces (when config.record_trace), for the oracle.
   [[nodiscard]] std::vector<std::vector<core::TraceEvent>> traces() const;
+
+  /// Drain-graph oracle wired with this engine's traces and the
+  /// coordinator's forced-target record (the p2p-cascade cut extension).
+  [[nodiscard]] core::DrainGraph make_drain_graph() const;
+
+  /// Human-readable tail of every rank's drain trace (failure diagnostics).
+  [[nodiscard]] std::string describe_traces(std::size_t tail = 20) const;
 
  private:
   RunReport execute(const WrappedApp& app, bool restoring);

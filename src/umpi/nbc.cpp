@@ -25,12 +25,20 @@ bool NbcOp::try_progress(Rank& rank) {
     op_clock_started_ = true;
   }
   complete_ = step(rank);
-  if (complete_) {
-    // Local completion: the caller observes it no earlier than the causal
-    // completion time of the operation itself.
-    rank.clock().merge(op_clock_.now());
-  }
+  // Deliberately no rank-clock merge here: try_progress runs from arbitrary
+  // progress contexts (initiation, progress_outstanding, the checkpoint
+  // Test-drain), and which of those first observes completion depends on OS
+  // thread scheduling. Merging here would make virtual time — and thus the
+  // whole simulation — schedule-dependent, and would serialize compute
+  // phases after communication that MPI semantics let run in background.
+  // The rank clock merges completion_ns() at the *observation* point only
+  // (Test/Wait consumption, the blocking-collective drive, pre-write drain).
   return complete_;
+}
+
+simnet::SimTime NbcOp::completion_ns() const {
+  MANATEE_CHECK(complete_, "completion_ns on an incomplete collective op");
+  return op_clock_.now();
 }
 
 void NbcOp::send_bytes(Rank& rank, int dst, std::span<const std::byte> bytes) {

@@ -44,8 +44,12 @@ class NbcOp {
   NbcOp& operator=(const NbcOp&) = delete;
 
   /// Attempt progress; returns true once the operation is locally complete.
-  /// Idempotent after completion.
+  /// Idempotent after completion. Never touches the rank's clock — the
+  /// caller merges completion_ns() when the completion is *observed*.
   bool try_progress(Rank& rank);
+
+  /// Causal completion time of the operation (valid once complete()).
+  [[nodiscard]] simnet::SimTime completion_ns() const;
 
   [[nodiscard]] bool complete() const noexcept { return complete_; }
   [[nodiscard]] const CommPtr& comm() const noexcept { return comm_; }

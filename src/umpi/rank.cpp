@@ -168,6 +168,21 @@ bool Rank::request_done(const Request& request) {
   return false;
 }
 
+void Rank::merge_request_completion(const Request& request) {
+  if (request.is_null()) return;
+  RequestState* state = find(request);
+  if (state == nullptr) return;  // already consumed — clock merged then
+  switch (state->kind) {
+    case RequestState::Kind::kSend: break;
+    case RequestState::Kind::kRecv:
+      if (state->recv->is_done()) clock_.merge(state->recv->arrival_ns);
+      break;
+    case RequestState::Kind::kNbc:
+      if (state->nbc->complete()) clock_.merge(state->nbc->completion_ns());
+      break;
+  }
+}
+
 bool Rank::complete_if_done(Request& request, RequestState& state, Status* status) {
   switch (state.kind) {
     case RequestState::Kind::kSend: {
@@ -186,6 +201,8 @@ bool Rank::complete_if_done(Request& request, RequestState& state, Status* statu
     }
     case RequestState::Kind::kNbc: {
       if (!state.nbc->try_progress(*this)) return false;
+      // The consuming Test/Wait is where the process observes completion.
+      clock_.merge(state.nbc->completion_ns());
       if (status != nullptr) *status = Status{};
       break;
     }
@@ -281,6 +298,7 @@ void Rank::run_coll(const CommPtr& comm, coll::CollKind kind,
   ++counters_.collective_calls;
   auto op = coll::make_op(comm, kind, args);
   drive([&] { return op->try_progress(*this); });
+  clock_.merge(op->completion_ns());
 }
 
 void Rank::barrier(const CommPtr& comm) {
@@ -529,6 +547,7 @@ std::uint64_t Rank::agree_context_block(const CommPtr& comm, int count) {
   auto op = coll::make_op(comm, coll::CollKind::kBcast, args,
                           /*honor_forced=*/false);
   drive([&] { return op->try_progress(*this); });
+  clock_.merge(op->completion_ns());
   return base;
 }
 
@@ -564,6 +583,7 @@ CommPtr Rank::comm_split(const CommPtr& comm, int color, int key) {
     auto op = coll::make_op(comm, coll::CollKind::kAllgather, args,
                             /*honor_forced=*/false);
     drive([&] { return op->try_progress(*this); });
+    clock_.merge(op->completion_ns());
   }
 
   // Deterministic context assignment: one id per distinct color, in sorted

@@ -97,7 +97,16 @@ class Rank {
   /// `request` has finished (or the request was already consumed). Unlike
   /// test(), the request stays in the table for the owner to consume later
   /// — the primitive behind the CC algorithm's checkpoint-time Test-drain.
+  /// Never advances this rank's clock: drain-time progression rides each
+  /// operation's own clock so it cannot serialize the caller.
   [[nodiscard]] bool request_done(const Request& request);
+
+  /// Merge a *finished* request's causal completion time into this rank's
+  /// clock without consuming the request. The checkpoint-time Test-drain
+  /// uses this once all pending operations are done, so the image write is
+  /// causally ordered after the communication it waited for while the
+  /// requests stay live for the application to consume later.
+  void merge_request_completion(const Request& request);
 
   /// Abandon a request without completing it (MPI_Cancel-like): posted
   /// receives are withdrawn so late deliveries cannot write into buffers

@@ -127,9 +127,15 @@ void OsuOverlap::operator()(Api& api) const {
   const double t_overlap =
       static_cast<double>(api.now() - t1) / std::max(1, p.iterations);
 
+  t_pure_ns = t_pure;
+  t_overlap_ns = t_overlap;
+  // OSU convention: clamp to [0, 100] so measurement wobble (t_overlap
+  // marginally below t_pure) cannot report >100% and skew the native-vs-CC
+  // comparison; a degenerate t_pure (zero iterations or a free collective)
+  // reports 0 rather than dividing by zero.
   overlap_pct =
       t_pure > 0.0
-          ? std::max(0.0, 100.0 * (1.0 - (t_overlap - t_pure) / t_pure))
+          ? std::clamp(100.0 * (1.0 - (t_overlap - t_pure) / t_pure), 0.0, 100.0)
           : 0.0;
 }
 

@@ -41,6 +41,9 @@ struct OsuOverlap {
 
   /// Per-rank result, averaged by the harness.
   mutable double overlap_pct = 0.0;
+  /// Raw per-iteration timings behind overlap_pct (diagnostics / benches).
+  mutable double t_pure_ns = 0.0;
+  mutable double t_overlap_ns = 0.0;
 };
 
 }  // namespace manatee::workloads

@@ -54,11 +54,11 @@ TEST(Coordinator, CcWriteRequiresAllParkedAndBalanced) {
   SeqMap targets;
   c.pull_targets(version, targets);
 
-  c.report_cc(0, true, 0, 0, version);
+  c.report_cc(0, Coordinator::CcStatus{true, 0, 0, version});
   EXPECT_EQ(c.phase(), CkptPhase::kDrain);  // rank 1 not parked yet
-  c.report_cc(1, true, 1, 0, version);
+  c.report_cc(1, Coordinator::CcStatus{true, 1, 0, version});
   EXPECT_EQ(c.phase(), CkptPhase::kDrain);  // Σsent=1 > Σrecv=0: in-flight update
-  c.report_cc(0, true, 0, 1, version);      // rank 0 consumed it
+  c.report_cc(0, Coordinator::CcStatus{true, 0, 1, version});      // rank 0 consumed it
   EXPECT_EQ(c.phase(), CkptPhase::kWrite);  // all parked, counts balanced
 }
 
@@ -69,14 +69,14 @@ TEST(Coordinator, CcWriteRequiresCurrentVersion) {
   std::uint64_t v0 = 0;
   SeqMap targets;
   c.pull_targets(v0, targets);
-  c.report_cc(0, true, 0, 0, v0);
+  c.report_cc(0, Coordinator::CcStatus{true, 0, 0, v0});
 
   // Rank 1 posts later, bumping the version; rank 0's park is now stale.
   c.post_seq(1, SeqMap{{1, 2}});
-  c.report_cc(1, true, 0, 0, v0 + 1);
+  c.report_cc(1, Coordinator::CcStatus{true, 0, 0, v0 + 1});
   EXPECT_EQ(c.phase(), CkptPhase::kDrain);  // rank 0 parked on stale version
 
-  c.report_cc(0, true, 0, 0, v0 + 1);
+  c.report_cc(0, Coordinator::CcStatus{true, 0, 0, v0 + 1});
   EXPECT_EQ(c.phase(), CkptPhase::kWrite);
 }
 
@@ -88,8 +88,8 @@ TEST(Coordinator, WriteCompletesCycle) {
   std::uint64_t v = 0;
   SeqMap t;
   c.pull_targets(v, t);
-  c.report_cc(0, true, 0, 0, v);
-  c.report_cc(1, true, 0, 0, v);
+  c.report_cc(0, Coordinator::CcStatus{true, 0, 0, v});
+  c.report_cc(1, Coordinator::CcStatus{true, 0, 0, v});
   ASSERT_EQ(c.phase(), CkptPhase::kWrite);
 
   c.report_written(0);
@@ -164,7 +164,7 @@ TEST(Coordinator, CycleStatsRecordUpdateCounts) {
   std::uint64_t v = 0;
   SeqMap t;
   c.pull_targets(v, t);
-  c.report_cc(0, true, 5, 5, v);
+  c.report_cc(0, Coordinator::CcStatus{true, 5, 5, v});
   ASSERT_EQ(c.phase(), CkptPhase::kWrite);
   const auto stats = c.cycle_stats();
   ASSERT_EQ(stats.size(), 1u);
@@ -178,6 +178,144 @@ TEST(Coordinator, DebugDumpMentionsState) {
   const auto dump = c.debug_dump();
   EXPECT_NE(dump.find("phase=1"), std::string::npos);
   EXPECT_NE(dump.find("rank 0"), std::string::npos);
+}
+
+// ---- p2p-aware target cascade ------------------------------------------------
+//
+// The stall structure captured from RandomDrainP s1770_w8_t23_cc: a rank
+// that owes collectives is blocked in a point-to-point receive whose
+// matching send lies beyond a parked peer's collective frontier. The
+// coordinator must force the parked peer's next collective into the
+// target set — and must do so only under a full stall certificate.
+
+constexpr std::uint64_t kG = 42;
+
+/// World 3: request delivered, rank 0 one op ahead on group kG.
+void start_stall_cycle(Coordinator& c) {
+  c.request_checkpoint();
+  c.post_seq(0, SeqMap{{kG, 1}});
+  c.post_seq(1, {});
+  c.post_seq(2, {});
+}
+
+Coordinator::CcStatus parked_at_entry(std::uint64_t version, std::uint64_t g,
+                                      std::uint64_t next_seq) {
+  Coordinator::CcStatus s;
+  s.parked = true;
+  s.seen_version = version;
+  s.has_next = true;
+  s.next_ggid = g;
+  s.next_seq = next_seq;
+  return s;
+}
+
+Coordinator::CcStatus blocked_on(std::uint64_t version, int src) {
+  Coordinator::CcStatus s;
+  s.parked = false;
+  s.seen_version = version;
+  s.blocked_on = src;
+  return s;
+}
+
+TEST(Coordinator, P2pCascadeForcesParkedEntryOnCertifiedStall) {
+  Coordinator c(3, nullptr);
+  start_stall_cycle(c);
+  std::uint64_t v = 0;
+  SeqMap targets;
+  c.pull_targets(v, targets);
+
+  c.report_cc(0, parked_at_entry(v, kG, 2));
+  c.report_cc(1, Coordinator::CcStatus{true, 0, 0, v});
+  c.report_cc(2, blocked_on(v, 0));
+
+  // Stall certified: targets must now include the forced node (kG, 2).
+  SeqMap after;
+  std::uint64_t v2 = v;
+  ASSERT_TRUE(c.pull_targets(v2, after));
+  EXPECT_GT(v2, v);
+  EXPECT_EQ(after[kG], 2u);
+  const auto forced = c.forced_targets(1);
+  ASSERT_TRUE(forced.contains(kG));
+  EXPECT_EQ(forced.at(kG), 2u);
+  EXPECT_EQ(c.phase(), CkptPhase::kDrain);  // still draining, wider cut
+}
+
+TEST(Coordinator, P2pCascadeWaitsForFreeRunningRanks) {
+  Coordinator c(3, nullptr);
+  start_stall_cycle(c);
+  std::uint64_t v = 0;
+  SeqMap targets;
+  c.pull_targets(v, targets);
+
+  c.report_cc(0, parked_at_entry(v, kG, 2));
+  // Rank 1 is executing (not parked, not blocked): no stall.
+  c.report_cc(1, Coordinator::CcStatus{false, 0, 0, v});
+  c.report_cc(2, blocked_on(v, 0));
+  EXPECT_TRUE(c.forced_targets(1).empty());
+}
+
+TEST(Coordinator, P2pCascadeWaitsForCurrentVersionAndBalance) {
+  {
+    Coordinator c(3, nullptr);
+  start_stall_cycle(c);
+    std::uint64_t v = 0;
+    SeqMap targets;
+    c.pull_targets(v, targets);
+    c.report_cc(0, parked_at_entry(v, kG, 2));
+    c.report_cc(1, Coordinator::CcStatus{true, 0, 0, v - 1});  // stale table
+    c.report_cc(2, blocked_on(v, 0));
+    EXPECT_TRUE(c.forced_targets(1).empty());
+  }
+  {
+    Coordinator c(3, nullptr);
+  start_stall_cycle(c);
+    std::uint64_t v = 0;
+    SeqMap targets;
+    c.pull_targets(v, targets);
+    c.report_cc(0, parked_at_entry(v, kG, 2));
+    Coordinator::CcStatus unbalanced;  // an update is still in flight
+    unbalanced.parked = true;
+    unbalanced.sent = 1;
+    unbalanced.seen_version = v;
+    c.report_cc(1, unbalanced);
+    c.report_cc(2, blocked_on(v, 0));
+    EXPECT_TRUE(c.forced_targets(1).empty());
+  }
+}
+
+TEST(Coordinator, P2pCascadeFollowsChainThroughBlockedParkedRank) {
+  Coordinator c(3, nullptr);
+  start_stall_cycle(c);
+  std::uint64_t v = 0;
+  SeqMap targets;
+  c.pull_targets(v, targets);
+
+  // Rank 2 blocked on rank 1; rank 1 parked *inside a receive* (no entry
+  // info) blocked on rank 0; rank 0 entry-parked: force rank 0's node.
+  c.report_cc(0, parked_at_entry(v, kG, 2));
+  Coordinator::CcStatus parked_blocked;
+  parked_blocked.parked = true;
+  parked_blocked.seen_version = v;
+  parked_blocked.blocked_on = 0;
+  c.report_cc(1, parked_blocked);
+  c.report_cc(2, blocked_on(v, 1));
+
+  const auto forced = c.forced_targets(1);
+  ASSERT_TRUE(forced.contains(kG));
+  EXPECT_EQ(forced.at(kG), 2u);
+}
+
+TEST(Coordinator, P2pCascadeUnknownSourceLeftToWatchdog) {
+  Coordinator c(3, nullptr);
+  start_stall_cycle(c);
+  std::uint64_t v = 0;
+  SeqMap targets;
+  c.pull_targets(v, targets);
+
+  c.report_cc(0, parked_at_entry(v, kG, 2));
+  c.report_cc(1, Coordinator::CcStatus{true, 0, 0, v});
+  c.report_cc(2, blocked_on(v, Coordinator::kBlockedUnknown));
+  EXPECT_TRUE(c.forced_targets(1).empty());
 }
 
 }  // namespace

@@ -111,12 +111,87 @@ TEST(DrainGraph, MultiCycleTraces) {
   EXPECT_TRUE(g.check_safe_state(2, true).ok);
 }
 
+TEST(DrainGraph, MinimalityGuardsMissingImageMarker) {
+  // A deadlocked drain's trace shape: requests observed, but some rank
+  // never wrote its image. Must fail cleanly, not walk off the events.
+  std::vector<std::vector<TraceEvent>> t(2);
+  t[0] = {coll(9, 1, {0, 1}), request(), written()};
+  t[1] = {request(), coll(9, 1, {0, 1})};  // never wrote
+  DrainGraph g(t);
+  const auto verdict = g.check_minimality(1);
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_NE(verdict.error.find("no image"), std::string::npos);
+}
+
 TEST(DrainGraph, MissingRequestMarkerFailsMinimality) {
   std::vector<std::vector<TraceEvent>> t(1);
   t[0] = {coll(9, 1, {0}), written()};
   DrainGraph g(t);
   EXPECT_TRUE(g.check_fully_visited(1).ok);
   EXPECT_FALSE(g.check_minimality(1).ok);
+}
+
+// ---- forced targets (p2p cascade) -------------------------------------------
+//
+// Replays the drain shape captured from the RandomDrainP s1770_w8_t23_cc
+// deadlock, distilled to five ranks: rank 0 ran ahead on group G before
+// the request (eager root / NBC-initiation completion), so ranks 3 and 4
+// owe G#1..2 — but rank 3 first needs a point-to-point message rank 1
+// only sends after its next collective H#1, which lies beyond H's
+// request-time target of 0, and no H member owes anything itself (the
+// p2p dependency is invisible to the collective-only graph). The
+// coordinator's p2p cascade forces (H, 1); the oracle must accept the
+// wider cut when (and only when) told about the forced node.
+
+std::vector<std::vector<TraceEvent>> s1770_style_trace() {
+  const Ggid G = 100, H = 200;
+  std::vector<std::vector<TraceEvent>> t(5);
+  t[0] = {coll(G, 1, {0, 3, 4}), coll(G, 2, {0, 3, 4}), request(), written()};
+  // Ranks 1 and 2 owe nothing by request-time targets; H#1 was forced so
+  // rank 3 could receive rank 1's post-H#1 send.
+  t[1] = {request(), coll(H, 1, {1, 2}), written()};
+  t[2] = {request(), coll(H, 1, {1, 2}), written()};
+  // Ranks 3 and 4 then execute the G ops they owe.
+  t[3] = {request(), coll(G, 1, {0, 3, 4}), coll(G, 2, {0, 3, 4}), written()};
+  t[4] = {request(), coll(G, 1, {0, 3, 4}), coll(G, 2, {0, 3, 4}), written()};
+  return t;
+}
+
+TEST(DrainGraph, ForcedTargetWidensTheCut) {
+  const Ggid H = 200;
+  DrainGraph g(s1770_style_trace(), {{1, DrainGraph::TargetMap{{H, 1}}}});
+  const auto verdict = g.check_safe_state(1, /*minimality=*/true);
+  EXPECT_TRUE(verdict.ok) << verdict.error;
+}
+
+TEST(DrainGraph, UnforcedCutRejectsTheSameTrace) {
+  // Without the forced-node record, rank 1's H#1 is a gratuitous execution
+  // (rank 1 owed nothing): the strict oracle must reject it.
+  DrainGraph g(s1770_style_trace());
+  EXPECT_TRUE(g.check_fully_visited(1).ok);
+  const auto verdict = g.check_minimality(1);
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_NE(verdict.error.find("minimality"), std::string::npos);
+}
+
+TEST(DrainGraph, DescribeTailFormatsDrainEvents) {
+  TraceLog log;
+  log.set_enabled(true);
+  log.record_collective(9, 1, {0, 1}, 100);
+  log.record_request_seen(1, 200);
+  log.record_target_learned(9, 2, 200);
+  log.record_parked("entry", 300);
+  log.record_unparked("entry", 400);
+  log.record_target_raised(9, 3, 400);
+  log.record_written(1, 500);
+  const auto text = describe_tail(log.events(), 10);
+  EXPECT_NE(text.find("exec ggid=9 seq=1"), std::string::npos);
+  EXPECT_NE(text.find("request-seen cycle=1"), std::string::npos);
+  EXPECT_NE(text.find("target-learned ggid=9 target=2"), std::string::npos);
+  EXPECT_NE(text.find("parked at entry"), std::string::npos);
+  EXPECT_NE(text.find("unparked at entry"), std::string::npos);
+  EXPECT_NE(text.find("target-raised ggid=9 target=3"), std::string::npos);
+  EXPECT_NE(text.find("image-written cycle=1"), std::string::npos);
 }
 
 }  // namespace

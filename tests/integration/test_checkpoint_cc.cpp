@@ -84,7 +84,7 @@ TEST_P(CcCheckpointP, CheckpointRestartMatchesNative) {
     ckpts = report.checkpoints;
 
     // Oracle: the frozen state satisfies the §4.2.2 safe-state conditions.
-    core::DrainGraph graph(engine.traces());
+    core::DrainGraph graph = engine.make_drain_graph();
     const auto verdict = graph.check_safe_state(1, /*minimality=*/true);
     EXPECT_TRUE(verdict.ok) << verdict.error;
   }
@@ -146,7 +146,7 @@ TEST(CcCheckpoint, MultipleCheckpointCycles) {
   EXPECT_EQ(got, native);
   EXPECT_EQ(report.ckpt_durations.size(), 3u);
 
-  core::DrainGraph graph(engine.traces());
+  core::DrainGraph graph = engine.make_drain_graph();
   for (std::uint64_t cycle = 1; cycle <= 3; ++cycle) {
     const auto verdict = graph.check_safe_state(cycle, true);
     EXPECT_TRUE(verdict.ok) << "cycle " << cycle << ": " << verdict.error;
@@ -178,8 +178,110 @@ TEST(CcCheckpoint, SteadyStateSendsNoProtocolMessages) {
   EXPECT_EQ(report.ckpt_protocol_messages, 0u);
 }
 
-// thread-local scratch for the lambda-based app below
+// thread-local scratch for the lambda-based apps below
 thread_local std::uint64_t fingerprint = 0;
+
+TEST(CcCheckpoint, P2pStarvationCascade) {
+  // Regression for the RandomDrainP s1770_w8_t23_cc deadlock class: the
+  // request-time target cut can be inconsistent under p2p dependencies.
+  // Rank 0 runs ahead on group {0,1} via non-blocking initiations, so
+  // rank 1 owes {0,1} collectives — but rank 1 is blocked in a receive
+  // whose matching send rank 2 only performs after a {0,2} collective
+  // that lies beyond {0,2}'s request-time target. The coordinator's
+  // p2p-aware cascade must force that node instead of deadlocking.
+  //
+  // Whether the stall actually materializes depends on thread timing, so
+  // the scenario is repeated; every repetition must drain, verify safe,
+  // and restart to native-identical results.
+  const int world = 3;
+  simnet::MessageStore::set_wait_timeout_ms(20'000);
+
+  auto app_fn = [](Api& api) {
+    const int rank = api.rank();
+    double token = 0, out = 0;
+    std::vector<double> state(4);
+    api.register_value("token", token);
+    api.register_value("out", out);
+    api.register_state("state", state);
+    api.once([&] {
+      for (auto& x : state) x = rank + 0.25;
+    });
+
+    const VComm g01 = api.comm_create(kWorldComm, umpi::Group({0, 1}));
+    const VComm g02 = api.comm_create(kWorldComm, umpi::Group({0, 2}));
+
+    if (rank == 0) {
+      api.barrier(g02);                 // {0,2}#1
+      VReq r1 = api.ibarrier(g01);      // {0,1}#1
+      VReq r2 = api.ibarrier(g01);      // {0,1}#2 — the trigger fires here
+      api.barrier(g02);                 // {0,2}#2 (beyond the request cut)
+      api.wait(r1);
+      api.wait(r2);
+    } else if (rank == 1) {
+      api.recv(kWorldComm, std::as_writable_bytes(std::span(&token, 1)), 2, 7);
+      VReq r1 = api.ibarrier(g01);
+      VReq r2 = api.ibarrier(g01);
+      api.wait(r1);
+      api.wait(r2);
+      api.once([&] { state[0] += token; });
+    } else {
+      api.barrier(g02);                 // {0,2}#1
+      api.barrier(g02);                 // {0,2}#2 — parks here during drain
+      api.once([&] { out = state[1] + 41.0; });
+      api.send(kWorldComm, std::as_bytes(std::span(&out, 1)), 1, 7);
+    }
+
+    Fingerprint fp;
+    fp.add_range<double>(state);
+    fingerprint = fp.value();
+  };
+
+  // Native baseline.
+  std::vector<std::uint64_t> native(static_cast<std::size_t>(world));
+  {
+    EngineConfig config;
+    config.runtime.world_size = world;
+    config.protocol = Protocol::kNative;
+    Engine engine(config);
+    engine.run([&](Api& api) {
+      app_fn(api);
+      native[static_cast<std::size_t>(api.rank())] = fingerprint;
+    });
+  }
+
+  for (int rep = 0; rep < 25; ++rep) {
+    const auto dir = fresh_dir("cc_cascade");
+    // Trigger at rank 0's 5th collective call: comm_create x2, barrier,
+    // ibarrier, ibarrier — i.e. while initiating {0,1}#2.
+    std::uint64_t ckpts = 0;
+    {
+      Engine engine(cc_config(world, dir, {5}, /*stop=*/true));
+      RunReport report;
+      try {
+        report = engine.run([&](Api& api) { app_fn(api); });
+      } catch (const std::exception& ex) {
+        FAIL() << "rep " << rep << ": " << ex.what() << "\n"
+               << engine.coordinator().debug_dump() << "\n"
+               << engine.describe_traces();
+      }
+      ckpts = report.checkpoints;
+      ASSERT_EQ(ckpts, 1u) << "rep " << rep;
+      core::DrainGraph graph = engine.make_drain_graph();
+      const auto verdict = graph.check_safe_state(1, /*minimality=*/true);
+      EXPECT_TRUE(verdict.ok)
+          << "rep " << rep << ": " << verdict.error << "\n"
+          << engine.describe_traces();
+    }
+
+    Engine engine2(cc_config(world, dir, {}));
+    std::vector<std::uint64_t> restored(static_cast<std::size_t>(world));
+    engine2.restart([&](Api& api) {
+      app_fn(api);
+      restored[static_cast<std::size_t>(api.rank())] = fingerprint;
+    });
+    ASSERT_EQ(restored, native) << "rep " << rep;
+  }
+}
 
 TEST(CcCheckpoint, CheckpointDuringPureP2PPhase) {
   // Request lands while ranks are only exchanging point-to-point traffic;

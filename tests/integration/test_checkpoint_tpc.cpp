@@ -74,7 +74,7 @@ TEST_P(TpcCheckpointP, CheckpointRestartMatchesNative) {
     EXPECT_TRUE(report.stopped_after_checkpoint);
 
     // Invariants 1-2 hold for 2PC too (no minimality: 2PC has no targets).
-    core::DrainGraph graph(engine.traces());
+    core::DrainGraph graph = engine.make_drain_graph();
     const auto verdict = graph.check_safe_state(1, /*minimality=*/false);
     EXPECT_TRUE(verdict.ok) << verdict.error;
   }

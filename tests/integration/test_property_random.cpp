@@ -152,6 +152,9 @@ class RandomDrainP : public ::testing::TestWithParam<PropertyCase> {};
 
 std::vector<PropertyCase> make_cases() {
   std::vector<PropertyCase> cases;
+  // The original 14 seeds, names preserved verbatim (s1770_w8_t23_cc is
+  // the canonical regression for the at-finalize capture and p2p-cascade
+  // fixes — see DESIGN.md "debugging a drain failure").
   Rng rng(0xfeedface);
   for (int i = 0; i < 14; ++i) {
     PropertyCase c;
@@ -159,6 +162,18 @@ std::vector<PropertyCase> make_cases() {
     c.world = 3 + static_cast<int>(rng.next_below(6));  // 3..8
     c.trigger = 3 + rng.next_below(25);
     c.protocol = (i % 3 == 2) ? Protocol::kTpc : Protocol::kCC;
+    cases.push_back(c);
+  }
+  // Seeded sweep extension: ≥64 cases total across world sizes 2..16. Each
+  // seed draws a fresh random app (mixed p2p/collective/NBC phases over
+  // random overlapping communicators).
+  Rng sweep(0xdeadbea7);
+  for (int i = 14; i < 64; ++i) {
+    PropertyCase c;
+    c.seed = 1000 + static_cast<std::uint64_t>(i) * 77;
+    c.world = 2 + static_cast<int>(sweep.next_below(15));  // 2..16
+    c.trigger = 3 + sweep.next_below(25);
+    c.protocol = (i % 4 == 3) ? Protocol::kTpc : Protocol::kCC;
     cases.push_back(c);
   }
   return cases;
@@ -221,14 +236,17 @@ TEST_P(RandomDrainP, SafeStateAndRestartEquivalence) {
         instance(api);
       });
     } catch (const std::exception& ex) {
-      FAIL() << ex.what() << "\n" << engine.coordinator().debug_dump();
+      FAIL() << ex.what() << "\n"
+             << engine.coordinator().debug_dump() << "\n"
+             << engine.describe_traces();
     }
     checkpoints = report.checkpoints;
     if (checkpoints == 1) {
-      core::DrainGraph graph(engine.traces());
+      core::DrainGraph graph = engine.make_drain_graph();
       const auto verdict =
           graph.check_safe_state(1, param.protocol == Protocol::kCC);
-      EXPECT_TRUE(verdict.ok) << verdict.error;
+      EXPECT_TRUE(verdict.ok) << verdict.error << "\n"
+                              << engine.describe_traces();
     }
   }
 
