@@ -65,17 +65,13 @@ BENCHMARK(BM_GroupTranslateRanks)->Arg(16)->Arg(128);
 
 void BM_MailboxDeliverMatch(benchmark::State& state) {
   simnet::MessageStore store;
-  std::byte buf[64];
+  std::byte buf[2048];
   const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::byte> payload(bytes);
   for (auto _ : state) {
     simnet::RecvResult result;
     store.post_recv(simnet::MatchPattern{1, 0, 0}, buf, sizeof buf, &result);
-    simnet::Envelope env;
-    env.context = 1;
-    env.src = 0;
-    env.tag = 0;
-    env.payload.resize(bytes);
-    store.deliver(std::move(env));
+    store.deliver_bytes(1, 0, 0, 0, payload, simnet::TrafficClass::kUserP2P);
     benchmark::DoNotOptimize(result.is_done());
   }
 }

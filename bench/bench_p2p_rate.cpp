@@ -1,0 +1,202 @@
+// bench_p2p_rate — wall-clock microbenchmark of the simnet point-to-point
+// data path, with an interposed global-allocation counter.
+//
+// Three measurements:
+//   * store eager path   — post_recv before send: the delivery must complete
+//                          the receive in place. The pool-backed data path
+//                          promises ZERO envelope heap allocations here.
+//   * store unexpected   — send before post_recv: the payload is staged in
+//                          the unexpected queue (pool hit, not a heap hit,
+//                          once the pool is warm).
+//   * rank ping-pong     — two rank threads exchanging blocking send/recv,
+//                          the end-to-end wall msgs/sec of the simulator.
+//
+// Emits machine-readable JSON with --json <path> for scripts/run_benches.sh.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <string>
+
+#include "common/options.hpp"
+#include "simnet/fabric.hpp"
+#include "umpi/rank.hpp"
+#include "umpi/runtime.hpp"
+
+// ---- interposed allocation counter ------------------------------------------
+// Strong definitions override the library operators for this binary only.
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc{};
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace manatee::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Sample {
+  double ns_per_op = 0;
+  double allocs_per_op = 0;
+  double ops_per_sec = 0;
+};
+
+template <typename Fn>
+Sample measure_loop(std::uint64_t iters, Fn&& op) {
+  const std::uint64_t allocs0 = g_alloc_count.load(std::memory_order_relaxed);
+  const auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) op();
+  const auto t1 = Clock::now();
+  const std::uint64_t allocs1 = g_alloc_count.load(std::memory_order_relaxed);
+  const double ns =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  Sample s;
+  s.ns_per_op = ns / static_cast<double>(iters);
+  s.allocs_per_op =
+      static_cast<double>(allocs1 - allocs0) / static_cast<double>(iters);
+  s.ops_per_sec = s.ns_per_op > 0 ? 1e9 / s.ns_per_op : 0;
+  return s;
+}
+
+Sample bench_store_eager(std::uint64_t iters, std::size_t bytes) {
+  simnet::Fabric fabric(simnet::Topology(2, 2), simnet::CostModel{});
+  simnet::VirtualClock clock;
+  std::vector<std::byte> payload(bytes, std::byte{0x5a});
+  std::vector<std::byte> dest(bytes ? bytes : 1);
+  auto op = [&] {
+    simnet::RecvResult result;
+    fabric.store(0).post_recv(simnet::MatchPattern{7, 1, 3}, dest.data(),
+                              dest.size(), &result);
+    fabric.send(1, 0, 7, 1, 3, payload, clock, simnet::TrafficClass::kUserP2P);
+    if (!result.is_done()) std::abort();
+  };
+  for (int i = 0; i < 4096; ++i) op();  // warm pool, bins, deque chunks
+  return measure_loop(iters, op);
+}
+
+Sample bench_store_unexpected(std::uint64_t iters, std::size_t bytes) {
+  simnet::Fabric fabric(simnet::Topology(2, 2), simnet::CostModel{});
+  simnet::VirtualClock clock;
+  std::vector<std::byte> payload(bytes, std::byte{0x5a});
+  std::vector<std::byte> dest(bytes ? bytes : 1);
+  auto op = [&] {
+    fabric.send(1, 0, 7, 1, 3, payload, clock, simnet::TrafficClass::kUserP2P);
+    simnet::RecvResult result;
+    fabric.store(0).post_recv(simnet::MatchPattern{7, 1, 3}, dest.data(),
+                              dest.size(), &result);
+    if (!result.is_done()) std::abort();
+  };
+  for (int i = 0; i < 4096; ++i) op();
+  return measure_loop(iters, op);
+}
+
+Sample bench_pingpong(std::uint64_t iters, std::size_t bytes) {
+  simnet::MessageStore::set_wait_timeout_ms(120'000);
+  umpi::RuntimeConfig config;
+  config.world_size = 2;
+  config.ranks_per_node = 2;
+  umpi::Runtime runtime(config);
+  const std::uint64_t allocs0 = g_alloc_count.load(std::memory_order_relaxed);
+  const auto t0 = Clock::now();
+  runtime.run([&](umpi::Rank& rank) {
+    std::vector<std::byte> buf(bytes ? bytes : 1, std::byte{1});
+    const auto& world = rank.world();
+    const int peer = 1 - rank.world_rank();
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      if (rank.world_rank() == 0) {
+        rank.send(world, std::span<const std::byte>(buf.data(), bytes), peer, 0);
+        rank.recv(world, std::span<std::byte>(buf.data(), bytes), peer, 0);
+      } else {
+        rank.recv(world, std::span<std::byte>(buf.data(), bytes), peer, 0);
+        rank.send(world, std::span<const std::byte>(buf.data(), bytes), peer, 0);
+      }
+    }
+  });
+  const auto t1 = Clock::now();
+  const std::uint64_t allocs1 = g_alloc_count.load(std::memory_order_relaxed);
+  const double ns =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  const double msgs = static_cast<double>(2 * iters);
+  Sample s;
+  s.ns_per_op = ns / msgs;
+  s.allocs_per_op = static_cast<double>(allocs1 - allocs0) / msgs;
+  s.ops_per_sec = s.ns_per_op > 0 ? 1e9 / s.ns_per_op : 0;
+  return s;
+}
+
+void print_sample(const char* name, const Sample& s) {
+  std::printf("%-24s %12.1f ns/op %14.1f ops/s %10.3f allocs/op\n", name,
+              s.ns_per_op, s.ops_per_sec, s.allocs_per_op);
+}
+
+int run(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const auto iters = static_cast<std::uint64_t>(opts.get_int("iters", 200'000));
+  const auto ping_iters =
+      static_cast<std::uint64_t>(opts.get_int("ping-iters", 20'000));
+  const auto bytes = static_cast<std::size_t>(opts.get_int("bytes", 8));
+
+  std::printf("=== p2p data-path rates (%zu-byte payloads) ===\n", bytes);
+  const Sample eager = bench_store_eager(iters, bytes);
+  print_sample("store eager (posted)", eager);
+  const Sample unexpected = bench_store_unexpected(iters, bytes);
+  print_sample("store unexpected", unexpected);
+  const Sample pingpong = bench_pingpong(ping_iters, bytes);
+  print_sample("rank ping-pong", pingpong);
+
+  if (opts.has("json")) {
+    const std::string path = opts.get("json", "");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"p2p_store_eager\": {\"ns_per_op\": %.2f, \"msgs_per_sec\": "
+                 "%.1f, \"allocs_per_op\": %.4f},\n"
+                 "  \"p2p_store_unexpected\": {\"ns_per_op\": %.2f, "
+                 "\"msgs_per_sec\": %.1f, \"allocs_per_op\": %.4f},\n"
+                 "  \"p2p_pingpong\": {\"ns_per_op\": %.2f, \"msgs_per_sec\": "
+                 "%.1f, \"allocs_per_op\": %.4f}\n"
+                 "}\n",
+                 eager.ns_per_op, eager.ops_per_sec, eager.allocs_per_op,
+                 unexpected.ns_per_op, unexpected.ops_per_sec,
+                 unexpected.allocs_per_op, pingpong.ns_per_op,
+                 pingpong.ops_per_sec, pingpong.allocs_per_op);
+    std::fclose(f);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace manatee::bench
+
+int main(int argc, char** argv) { return manatee::bench::run(argc, argv); }

@@ -1,0 +1,46 @@
+// function_ref.hpp — a non-owning, non-allocating callable reference.
+//
+// std::function on a hot path costs a potential heap allocation at every
+// construction and an indirect call through type-erased storage. The
+// MessageStore primitives (wait predicates, delivery-lock sections,
+// snapshot filters) only ever *borrow* a callable for the duration of one
+// synchronous call, so a two-word {object pointer, trampoline} reference is
+// enough — the C++26 std::function_ref shape, reduced to what this codebase
+// needs.
+//
+// Lifetime rule: a FunctionRef must not outlive the callable it was built
+// from. Every use in this repo passes a lambda down one synchronous call —
+// never store a FunctionRef in a member.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace manatee::common {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+             std::is_invocable_r_v<R, F&, Args...>)
+  FunctionRef(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return static_cast<R>((*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...));
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace manatee::common

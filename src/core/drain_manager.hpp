@@ -41,6 +41,11 @@ class DrainManager {
   /// Protocol name for reports ("native", "cc", "2pc").
   [[nodiscard]] virtual const char* name() const = 0;
 
+  /// True when every hook is a no-op (native): the wrapper layer may skip
+  /// blocked_step entirely and use targeted waits instead of generic
+  /// wake-on-anything loops.
+  [[nodiscard]] virtual bool passive() const { return false; }
+
   /// A communicator became visible to the upper half (creation or restart
   /// replay): initialize its collective clock (SEQ[ggid] = 0).
   virtual void note_comm(const umpi::CommPtr& comm) { (void)comm; }
@@ -109,6 +114,7 @@ class DrainManager {
 class NativeManager final : public DrainManager {
  public:
   [[nodiscard]] const char* name() const override { return "native"; }
+  [[nodiscard]] bool passive() const override { return true; }
 };
 
 }  // namespace manatee::core

@@ -8,7 +8,7 @@ Fabric::Fabric(Topology topology, CostModel cost)
     : topology_(topology), cost_(cost) {
   stores_.reserve(static_cast<std::size_t>(topology_.world_size()));
   for (int i = 0; i < topology_.world_size(); ++i) {
-    stores_.push_back(std::make_unique<MessageStore>());
+    stores_.push_back(std::make_unique<MessageStore>(&pool_));
   }
 }
 
@@ -24,22 +24,15 @@ void Fabric::send(int src_world, int dst_world, ContextId context, int src_in_co
   MANATEE_REQUIRE(dst_world >= 0 && dst_world < topology_.world_size(),
                   "destination world rank out of range");
   src_clock.advance(cost_.injection_ns(payload.size()));
-  Envelope env;
-  env.context = context;
-  env.src = src_in_comm;
-  env.tag = tag;
-  env.arrival_ns = src_clock.now() +
-                   cost_.transfer_ns(payload.size(),
-                                     topology_.same_node(src_world, dst_world));
-  env.payload.assign(payload.begin(), payload.end());
-  deliver_raw(dst_world, std::move(env), traffic);
+  const SimTime arrival =
+      src_clock.now() + cost_.transfer_ns(payload.size(),
+                                          topology_.same_node(src_world, dst_world));
+  store(dst_world).deliver_bytes(context, src_in_comm, tag, arrival, payload,
+                                 traffic);
 }
 
 void Fabric::deliver_raw(int dst_world, Envelope env, TrafficClass traffic) {
-  const auto cls = static_cast<std::size_t>(traffic);
-  class_messages_[cls].fetch_add(1, std::memory_order_relaxed);
-  class_bytes_[cls].fetch_add(env.payload.size(), std::memory_order_relaxed);
-  store(dst_world).deliver(std::move(env));
+  store(dst_world).deliver(std::move(env), traffic);
 }
 
 void Fabric::notify_all_ranks() {
@@ -47,14 +40,22 @@ void Fabric::notify_all_ranks() {
 }
 
 TrafficCounters Fabric::counters(TrafficClass traffic) const {
-  const auto cls = static_cast<std::size_t>(traffic);
-  return TrafficCounters{class_messages_[cls].load(std::memory_order_relaxed),
-                         class_bytes_[cls].load(std::memory_order_relaxed)};
+  TrafficCounters total;
+  for (const auto& s : stores_) {
+    const TrafficCounters c = s->traffic(traffic);
+    total.messages += c.messages;
+    total.bytes += c.bytes;
+  }
+  return total;
 }
 
 std::uint64_t Fabric::total_messages() const {
   std::uint64_t total = 0;
-  for (const auto& c : class_messages_) total += c.load(std::memory_order_relaxed);
+  for (const auto& s : stores_) {
+    for (int cls = 0; cls < kTrafficClassCount; ++cls) {
+      total += s->traffic(static_cast<TrafficClass>(cls)).messages;
+    }
+  }
   return total;
 }
 

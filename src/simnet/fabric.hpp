@@ -1,13 +1,16 @@
-// fabric.hpp — the interconnect: owns every rank's MessageStore, routes
-// envelopes, applies the cost model, and keeps per-traffic-class counters.
+// fabric.hpp — the interconnect: owns every rank's MessageStore and the
+// shared payload BufferPool, routes messages, applies the cost model, and
+// keeps per-traffic-class counters.
 //
 // Traffic classes let the benchmarks demonstrate *why* 2PC is slow: the
 // extra barrier messages it injects are visible as kCkptProtocol traffic,
 // while CC's steady-state message count is identical to native.
+//
+// Counters are sharded per destination store (updated under that store's
+// delivery lock) and folded on read — concurrent senders to different
+// destinations never contend on a shared counter cache line.
 #pragma once
 
-#include <array>
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -16,23 +19,11 @@
 #include "simnet/cost_model.hpp"
 #include "simnet/mailbox.hpp"
 #include "simnet/message.hpp"
+#include "simnet/payload.hpp"
 #include "simnet/topology.hpp"
 #include "simnet/virtual_clock.hpp"
 
 namespace manatee::simnet {
-
-enum class TrafficClass : int {
-  kUserP2P = 0,      ///< application Send/Recv
-  kCollective = 1,   ///< internal messages of collective algorithms
-  kCkptProtocol = 2, ///< drain-protocol traffic (CC target updates, 2PC barriers)
-  kControl = 3,      ///< coordinator control
-};
-constexpr int kTrafficClassCount = 4;
-
-struct TrafficCounters {
-  std::uint64_t messages = 0;
-  std::uint64_t bytes = 0;
-};
 
 class Fabric {
  public:
@@ -43,12 +34,18 @@ class Fabric {
 
   [[nodiscard]] MessageStore& store(int world_rank);
 
+  /// Payload pool backing every store's unexpected queue and the collective
+  /// algorithms' scratch buffers.
+  [[nodiscard]] BufferPool& pool() noexcept { return pool_; }
+
   /// Send `payload` from world rank `src_world` to `dst_world`.
   ///
   /// Charges the sender's clock the injection overhead, stamps the arrival
-  /// time from the cost model, and delivers. `src_in_comm` is the sender's
-  /// rank inside the communicator that owns `context` (what the receiver's
-  /// match pattern sees).
+  /// time from the cost model, and delivers zero-copy: a matching posted
+  /// receive is completed straight from `payload` (single memcpy, no
+  /// envelope); otherwise the bytes are staged in a pool-backed envelope.
+  /// `src_in_comm` is the sender's rank inside the communicator that owns
+  /// `context` (what the receiver's match pattern sees).
   void send(int src_world, int dst_world, ContextId context, int src_in_comm,
             int tag, std::span<const std::byte> payload, VirtualClock& src_clock,
             TrafficClass traffic);
@@ -57,7 +54,7 @@ class Fabric {
   /// re-injection and coordinator control messages).
   void deliver_raw(int dst_world, Envelope env, TrafficClass traffic);
 
-  /// Wake every rank blocked in a MessageStore::wait (out-of-band events).
+  /// Wake every rank blocked in a MessageStore wait (out-of-band events).
   void notify_all_ranks();
 
   [[nodiscard]] TrafficCounters counters(TrafficClass traffic) const;
@@ -66,9 +63,8 @@ class Fabric {
  private:
   Topology topology_;
   CostModel cost_;
+  BufferPool pool_;  ///< declared before stores_: destroyed after them
   std::vector<std::unique_ptr<MessageStore>> stores_;
-  std::array<std::atomic<std::uint64_t>, kTrafficClassCount> class_messages_{};
-  std::array<std::atomic<std::uint64_t>, kTrafficClassCount> class_bytes_{};
 };
 
 }  // namespace manatee::simnet

@@ -1,8 +1,9 @@
 #include "simnet/mailbox.hpp"
 
-#include <atomic>
+#include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <string>
 
 namespace manatee::simnet {
 
@@ -18,57 +19,281 @@ long MessageStore::wait_timeout_ms() noexcept {
   return g_wait_timeout_ms.load(std::memory_order_relaxed);
 }
 
-void MessageStore::complete(const Posted& p, Envelope& env) {
-  const std::size_t n = env.payload.size();
+void MessageStore::complete_posted(const Posted& p, int src, int tag,
+                                   SimTime arrival_ns,
+                                   std::span<const std::byte> payload) {
+  const std::size_t n = payload.size();
   const std::size_t copied = std::min(n, p.capacity);
-  if (copied > 0) std::memcpy(p.dest, env.payload.data(), copied);
+  if (copied > 0) std::memcpy(p.dest, payload.data(), copied);
   p.result->truncated = n > p.capacity;
-  p.result->src = env.src;
-  p.result->tag = env.tag;
+  p.result->src = src;
+  p.result->tag = tag;
   p.result->bytes = copied;
-  p.result->arrival_ns = env.arrival_ns;
+  p.result->arrival_ns = arrival_ns;
   p.result->done.store(true, std::memory_order_release);
 }
 
-void MessageStore::deliver(Envelope&& env) {
-  std::lock_guard lock(mutex_);
-  env.seq = next_seq_++;
-  ++delivered_messages_;
-  delivered_bytes_ += env.payload.size();
-  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
-    if (it->pattern.matches(env)) {
-      complete(*it, env);
-      posted_.erase(it);
-      cv_.notify_all();
-      return;
+MessageStore::ContextBins* MessageStore::find_context(ContextId context) {
+  if (cached_context_ != nullptr && context == cached_context_id_) {
+    return cached_context_;
+  }
+  const auto it = contexts_.find(context);
+  if (it == contexts_.end()) return nullptr;
+  cached_context_id_ = context;
+  cached_context_ = &it->second;
+  return cached_context_;
+}
+
+MessageStore::ContextBins& MessageStore::context_for(ContextId context) {
+  if (cached_context_ != nullptr && context == cached_context_id_) {
+    return *cached_context_;
+  }
+  ContextBins& cb = contexts_[context];
+  cached_context_id_ = context;
+  cached_context_ = &cb;
+  return cb;
+}
+
+MessageStore::Bin& MessageStore::bin_for(ContextId context, int src) {
+  return context_for(context).get(src);
+}
+
+bool MessageStore::pop_matching_posted(ContextId context, int src, int tag,
+                                       Posted* out) {
+  ContextBins* cbp = find_context(context);
+  if (cbp == nullptr) return false;
+  ContextBins& cb = *cbp;
+
+  std::vector<Posted>* bin_list = nullptr;
+  std::size_t bin_idx = 0;
+  if (Bin* bin = cb.find(src)) {
+    auto& posted = bin->posted;
+    for (std::size_t i = 0; i < posted.size(); ++i) {
+      if (posted[i].pattern.matches_tag(tag)) {
+        bin_list = &posted;
+        bin_idx = i;
+        break;
+      }
     }
   }
-  unexpected_.push_back(std::move(env));
-  cv_.notify_all();
+
+  std::vector<Posted>* wild_list = nullptr;
+  std::size_t wild_idx = 0;
+  for (std::size_t i = 0; i < cb.wildcard.size(); ++i) {
+    if (cb.wildcard[i].pattern.matches_tag(tag)) {
+      wild_list = &cb.wildcard;
+      wild_idx = i;
+      break;
+    }
+  }
+
+  std::vector<Posted>* list = bin_list;
+  std::size_t idx = bin_idx;
+  if (wild_list != nullptr &&
+      (list == nullptr ||
+       cb.wildcard[wild_idx].post_seq < (*list)[idx].post_seq)) {
+    list = wild_list;
+    idx = wild_idx;
+  }
+  if (list == nullptr) return false;
+  *out = (*list)[idx];
+  list->erase(list->begin() + static_cast<std::ptrdiff_t>(idx));
+  --posted_count_;
+  return true;
+}
+
+bool MessageStore::find_unexpected(const MatchPattern& pattern, Bin** bin_out,
+                                   std::size_t* index_out) {
+  ContextBins* cbp = find_context(pattern.context);
+  if (cbp == nullptr) return false;
+  ContextBins& cb = *cbp;
+
+  Bin* best_bin = nullptr;
+  std::size_t best_idx = 0;
+  std::int64_t best_seq = 0;
+  auto consider = [&](Bin& bin) {
+    for (std::size_t i = 0; i < bin.unexpected.size(); ++i) {
+      const Envelope& env = bin.unexpected[i];
+      if (!pattern.matches_tag(env.tag)) continue;
+      if (best_bin == nullptr || env.seq < best_seq) {
+        best_bin = &bin;
+        best_idx = i;
+        best_seq = env.seq;
+      }
+      break;  // bin is FIFO: the first tag match is this bin's candidate
+    }
+  };
+
+  if (pattern.src != kAnySource) {
+    Bin* bin = cb.find(pattern.src);
+    if (bin == nullptr) return false;
+    consider(*bin);
+  } else {
+    for (auto& [src, bin] : cb.by_src) consider(bin);
+  }
+  if (best_bin == nullptr) return false;
+  *bin_out = best_bin;
+  *index_out = best_idx;
+  return true;
+}
+
+// ---- wakeup targeting -------------------------------------------------------
+
+void MessageStore::wake_all_locked() {
+  for (Waiter* w : waiters_) w->cv.notify_one();
+}
+
+void MessageStore::wake_for_result_locked(const RecvResult* result) {
+  for (Waiter* w : waiters_) {
+    if (w->want == Waiter::Want::kAny ||
+        (w->want == Waiter::Want::kResult && w->result == result)) {
+      w->cv.notify_one();
+    }
+  }
+}
+
+void MessageStore::wake_for_unexpected_locked(const Envelope& env) {
+  for (Waiter* w : waiters_) {
+    if (w->want == Waiter::Want::kAny ||
+        (w->want == Waiter::Want::kProbe && w->pattern->matches(env))) {
+      w->cv.notify_one();
+    }
+  }
+}
+
+std::string MessageStore::wait_diagnostics_locked(const char* what) const {
+  return std::string("MessageStore::") + what +
+         " watchdog expired — likely distributed deadlock (posted=" +
+         std::to_string(posted_count_) +
+         ", unexpected=" + std::to_string(unexpected_count_) + ")";
+}
+
+void MessageStore::wait_on_locked(std::unique_lock<std::mutex>& lock,
+                                  Waiter& waiter,
+                                  common::FunctionRef<bool()> pred,
+                                  const char* what) {
+  if (pred()) return;
+  waiters_.push_back(&waiter);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(wait_timeout_ms());
+  try {
+    while (!pred()) {
+      if (waiter.cv.wait_until(lock, deadline) == std::cv_status::timeout &&
+          !pred()) {
+        throw RuntimeFault(wait_diagnostics_locked(what));
+      }
+    }
+  } catch (...) {
+    std::erase(waiters_, &waiter);
+    throw;
+  }
+  std::erase(waiters_, &waiter);
+}
+
+// ---- delivery ---------------------------------------------------------------
+
+void MessageStore::deliver_locked(ContextId context, int src, int tag,
+                                  SimTime arrival_ns,
+                                  std::span<const std::byte> payload,
+                                  TrafficClass traffic, Envelope* staged) {
+  const std::int64_t seq = next_seq_++;
+  auto& counters = traffic_[static_cast<std::size_t>(traffic)];
+  ++counters.messages;
+  counters.bytes += payload.size();
+
+  Posted p;
+  if (pop_matching_posted(context, src, tag, &p)) {
+    // The zero-copy eager path: sender buffer → receive buffer, one memcpy,
+    // no envelope.
+    complete_posted(p, src, tag, arrival_ns, payload);
+    ++eager_completions_;
+    wake_for_result_locked(p.result);
+  } else {
+    Envelope env;
+    if (staged != nullptr) {
+      env = std::move(*staged);
+    } else {
+      env.context = context;
+      env.src = src;
+      env.tag = tag;
+      env.arrival_ns = arrival_ns;
+      env.payload.assign(pool_, payload);
+    }
+    env.seq = seq;
+    wake_for_unexpected_locked(env);
+    bin_for(context, src).unexpected.push_back(std::move(env));
+    ++unexpected_count_;
+  }
+  delivered_bytes_ += payload.size();
+  ++delivered_messages_;
+}
+
+void MessageStore::deliver(Envelope&& env, TrafficClass traffic) {
+  MANATEE_REQUIRE(env.src != kAnySource,
+                  "delivered messages need a concrete source rank");
+  std::lock_guard lock(mutex_);
+  deliver_locked(env.context, env.src, env.tag, env.arrival_ns, env.payload,
+                 traffic, &env);
+}
+
+void MessageStore::deliver_bytes(ContextId context, int src, int tag,
+                                 SimTime arrival_ns,
+                                 std::span<const std::byte> payload,
+                                 TrafficClass traffic) {
+  MANATEE_REQUIRE(src != kAnySource,
+                  "delivered messages need a concrete source rank");
+  std::lock_guard lock(mutex_);
+  deliver_locked(context, src, tag, arrival_ns, payload, traffic, nullptr);
+}
+
+// ---- receives ---------------------------------------------------------------
+
+bool MessageStore::try_complete_from_unexpected_locked(
+    const MatchPattern& pattern, std::byte* dest, std::size_t capacity,
+    RecvResult* result) {
+  Bin* bin = nullptr;
+  std::size_t idx = 0;
+  if (!find_unexpected(pattern, &bin, &idx)) return false;
+  const Envelope env = bin->unexpected.remove(idx);
+  const Posted p{pattern, dest, capacity, result, 0};
+  complete_posted(p, env.src, env.tag, env.arrival_ns, env.payload);
+  --unexpected_count_;
+  return true;
 }
 
 void MessageStore::post_recv(const MatchPattern& pattern, std::byte* dest,
                              std::size_t capacity, RecvResult* result) {
   MANATEE_REQUIRE(result != nullptr, "post_recv requires a result record");
   std::lock_guard lock(mutex_);
-  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
-    if (pattern.matches(*it)) {
-      Posted p{pattern, dest, capacity, result};
-      complete(p, *it);
-      unexpected_.erase(it);
-      cv_.notify_all();
-      return;
-    }
+  if (try_complete_from_unexpected_locked(pattern, dest, capacity, result)) {
+    return;
   }
-  posted_.push_back(Posted{pattern, dest, capacity, result});
+  const Posted p{pattern, dest, capacity, result, next_post_seq_++};
+  ContextBins& cb = context_for(pattern.context);
+  if (pattern.src == kAnySource) {
+    cb.wildcard.push_back(p);
+  } else {
+    cb.get(pattern.src).posted.push_back(p);
+  }
+  ++posted_count_;
 }
 
 bool MessageStore::cancel_recv(const RecvResult* result) {
   std::lock_guard lock(mutex_);
-  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
-    if (it->result == result) {
-      posted_.erase(it);
-      return true;
+  auto scan = [&](std::vector<Posted>& list) {
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (list[i].result == result) {
+        list.erase(list.begin() + static_cast<std::ptrdiff_t>(i));
+        --posted_count_;
+        return true;
+      }
+    }
+    return false;
+  };
+  for (auto& [context, cb] : contexts_) {
+    if (scan(cb.wildcard)) return true;
+    for (auto& [src, bin] : cb.by_src) {
+      if (scan(bin.posted)) return true;
     }
   }
   return false;
@@ -76,12 +301,11 @@ bool MessageStore::cancel_recv(const RecvResult* result) {
 
 std::optional<ProbeInfo> MessageStore::iprobe(const MatchPattern& pattern) {
   std::lock_guard lock(mutex_);
-  for (const auto& env : unexpected_) {
-    if (pattern.matches(env)) {
-      return ProbeInfo{env.src, env.tag, env.payload.size(), env.arrival_ns};
-    }
-  }
-  return std::nullopt;
+  Bin* bin = nullptr;
+  std::size_t idx = 0;
+  if (!find_unexpected(pattern, &bin, &idx)) return std::nullopt;
+  const Envelope& env = bin->unexpected[idx];
+  return ProbeInfo{env.src, env.tag, env.payload.size(), env.arrival_ns};
 }
 
 bool MessageStore::try_recv_unexpected(const MatchPattern& pattern,
@@ -89,36 +313,59 @@ bool MessageStore::try_recv_unexpected(const MatchPattern& pattern,
                                        RecvResult* result) {
   MANATEE_REQUIRE(result != nullptr, "try_recv_unexpected requires a result");
   std::lock_guard lock(mutex_);
-  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
-    if (pattern.matches(*it)) {
-      const Posted p{pattern, dest, capacity, result};
-      complete(p, *it);
-      unexpected_.erase(it);
-      return true;
-    }
-  }
-  return false;
+  return try_complete_from_unexpected_locked(pattern, dest, capacity, result);
 }
 
-void MessageStore::wait(const std::function<bool()>& pred) {
+// ---- blocking primitives ----------------------------------------------------
+
+void MessageStore::wait(common::FunctionRef<bool()> pred) {
   std::unique_lock lock(mutex_);
-  const auto timeout = std::chrono::milliseconds(wait_timeout_ms());
-  if (!cv_.wait_for(lock, timeout, pred)) {
-    throw RuntimeFault(
-        "MessageStore::wait watchdog expired — likely distributed deadlock "
-        "(posted=" +
-        std::to_string(posted_.size()) +
-        ", unexpected=" + std::to_string(unexpected_.size()) + ")");
-  }
+  Waiter waiter;
+  wait_on_locked(lock, waiter, pred, "wait");
+}
+
+void MessageStore::wait_recv(const RecvResult& result,
+                             common::FunctionRef<bool()> interrupt) {
+  std::unique_lock lock(mutex_);
+  Waiter waiter;
+  waiter.want = Waiter::Want::kResult;
+  waiter.result = &result;
+  wait_on_locked(
+      lock, waiter, [&] { return result.is_done() || interrupt(); },
+      "wait_recv");
+}
+
+std::optional<ProbeInfo> MessageStore::wait_probe(
+    const MatchPattern& pattern, common::FunctionRef<bool()> interrupt) {
+  std::unique_lock lock(mutex_);
+  Waiter waiter;
+  waiter.want = Waiter::Want::kProbe;
+  waiter.pattern = &pattern;
+  std::optional<ProbeInfo> found;
+  wait_on_locked(
+      lock, waiter,
+      [&] {
+        Bin* bin = nullptr;
+        std::size_t idx = 0;
+        if (find_unexpected(pattern, &bin, &idx)) {
+          const Envelope& env = bin->unexpected[idx];
+          found = ProbeInfo{env.src, env.tag, env.payload.size(),
+                            env.arrival_ns};
+          return true;
+        }
+        return interrupt();
+      },
+      "wait_probe");
+  return found;
 }
 
 void MessageStore::notify() {
   std::lock_guard lock(mutex_);
+  wake_all_locked();
   ++generation_;
-  cv_.notify_all();
 }
 
-void MessageStore::with_delivery_lock(const std::function<void()>& fn) {
+void MessageStore::with_delivery_lock(common::FunctionRef<void()> fn) {
   std::lock_guard lock(mutex_);
   fn();
 }
@@ -130,40 +377,61 @@ MessageStore::WakeToken MessageStore::token() const {
 
 void MessageStore::wait_changed(const WakeToken& since) {
   std::unique_lock lock(mutex_);
-  const auto timeout = std::chrono::milliseconds(wait_timeout_ms());
-  const bool changed = cv_.wait_for(lock, timeout, [&] {
-    return delivered_messages_ != since.deliveries || generation_ != since.generation;
-  });
-  if (!changed) {
-    throw RuntimeFault(
-        "MessageStore::wait_changed watchdog expired — likely distributed "
-        "deadlock (posted=" +
-        std::to_string(posted_.size()) +
-        ", unexpected=" + std::to_string(unexpected_.size()) + ")");
-  }
+  Waiter waiter;
+  wait_on_locked(
+      lock, waiter,
+      [&] {
+        return delivered_messages_ != since.deliveries ||
+               generation_ != since.generation;
+      },
+      "wait_changed");
 }
 
-std::vector<Envelope> MessageStore::snapshot_unexpected(
-    const std::function<bool(const Envelope&)>& keep) const {
+// ---- checkpoint support -----------------------------------------------------
+
+std::vector<CapturedEnvelope> MessageStore::snapshot_unexpected(
+    common::FunctionRef<bool(const Envelope&)> keep) const {
   std::lock_guard lock(mutex_);
-  std::vector<Envelope> out;
-  for (const auto& env : unexpected_) {
-    if (keep(env)) out.push_back(env);
+  std::vector<CapturedEnvelope> out;
+  for (const auto& [context, cb] : contexts_) {
+    for (const auto& [src, bin] : cb.by_src) {
+      for (std::size_t i = 0; i < bin.unexpected.size(); ++i) {
+        const Envelope& env = bin.unexpected[i];
+        if (!keep(env)) continue;
+        CapturedEnvelope c;
+        c.context = env.context;
+        c.src = env.src;
+        c.tag = env.tag;
+        c.seq = env.seq;
+        c.arrival_ns = env.arrival_ns;
+        c.payload = env.payload.to_vector();
+        out.push_back(std::move(c));
+      }
+    }
   }
+  // Bins hold disjoint slices of one arrival order; seq restores it.
+  std::sort(out.begin(), out.end(),
+            [](const CapturedEnvelope& a, const CapturedEnvelope& b) {
+              return a.seq < b.seq;
+            });
   return out;
 }
 
 std::size_t MessageStore::count_unexpected(
-    const std::function<bool(const Envelope&)>& keep) const {
+    common::FunctionRef<bool(const Envelope&)> keep) const {
   std::lock_guard lock(mutex_);
   std::size_t n = 0;
-  for (const auto& env : unexpected_) {
-    if (keep(env)) ++n;
+  for (const auto& [context, cb] : contexts_) {
+    for (const auto& [src, bin] : cb.by_src) {
+      for (std::size_t i = 0; i < bin.unexpected.size(); ++i) {
+        if (keep(bin.unexpected[i])) ++n;
+      }
+    }
   }
   return n;
 }
 
-void MessageStore::inject(std::vector<Envelope> messages) {
+void MessageStore::inject(std::vector<CapturedEnvelope> messages) {
   std::lock_guard lock(mutex_);
   // Injected messages were in flight at the checkpoint cut, so they are
   // causally OLDER than anything the fresh runtime has delivered: a peer
@@ -171,36 +439,59 @@ void MessageStore::inject(std::vector<Envelope> messages) {
   // this rank got around to re-injecting its saved queue. To preserve MPI's
   // non-overtaking order across the restart boundary, injected envelopes
   // match already-posted receives first and otherwise line up IN FRONT of
-  // the newer unexpected envelopes, keeping their saved order.
-  std::deque<Envelope> pending;
-  for (auto& env : messages) {
-    env.seq = next_seq_++;
-    bool matched = false;
-    for (auto it = posted_.begin(); it != posted_.end(); ++it) {
-      if (it->pattern.matches(env)) {
-        complete(*it, env);
-        posted_.erase(it);
-        matched = true;
-        break;
-      }
+  // the newer unexpected envelopes (negative seq), keeping their saved order.
+  const auto k = static_cast<std::int64_t>(messages.size());
+  const std::int64_t base = next_front_seq_ - k + 1;
+  next_front_seq_ -= k;
+
+  std::vector<Envelope> leftover;
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    CapturedEnvelope& m = messages[i];
+    Posted p;
+    if (pop_matching_posted(m.context, m.src, m.tag, &p)) {
+      complete_posted(p, m.src, m.tag, m.arrival_ns, m.payload);
+      continue;
     }
-    if (!matched) pending.push_back(std::move(env));
+    Envelope env;
+    env.context = m.context;
+    env.src = m.src;
+    env.tag = m.tag;
+    env.seq = base + static_cast<std::int64_t>(i);
+    env.arrival_ns = m.arrival_ns;
+    env.payload.assign(pool_, m.payload);
+    leftover.push_back(std::move(env));
   }
-  unexpected_.insert(unexpected_.begin(),
-                     std::make_move_iterator(pending.begin()),
-                     std::make_move_iterator(pending.end()));
-  ++generation_;  // wake wait_changed() observers like notify() does
-  cv_.notify_all();
+  // Reverse insertion at each bin's front preserves the saved order of the
+  // leftovers within every bin.
+  for (auto it = leftover.rbegin(); it != leftover.rend(); ++it) {
+    Bin& bin = bin_for(it->context, it->src);
+    bin.unexpected.push_front(std::move(*it));
+    ++unexpected_count_;
+  }
+  wake_all_locked();  // like notify(): preds may now hold
+  ++generation_;
 }
 
-std::uint64_t MessageStore::delivered_messages() const noexcept {
+// ---- stats ------------------------------------------------------------------
+
+std::uint64_t MessageStore::delivered_messages() const {
   std::lock_guard lock(mutex_);
   return delivered_messages_;
 }
 
-std::uint64_t MessageStore::delivered_bytes() const noexcept {
+std::uint64_t MessageStore::delivered_bytes() const {
   std::lock_guard lock(mutex_);
   return delivered_bytes_;
+}
+
+TrafficCounters MessageStore::traffic(TrafficClass traffic) const {
+  std::lock_guard lock(mutex_);
+  return traffic_[static_cast<std::size_t>(traffic)];
+}
+
+std::uint64_t MessageStore::eager_completions() const {
+  std::lock_guard lock(mutex_);
+  return eager_completions_;
 }
 
 }  // namespace manatee::simnet

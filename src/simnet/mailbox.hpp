@@ -1,28 +1,44 @@
 // mailbox.hpp — per-rank message store with MPI-semantics matching.
 //
-// Implements the standard two-queue structure of real MPI libraries:
-//   * posted-receive queue: receives waiting for a message;
-//   * unexpected queue: messages that arrived before a matching receive.
-// Matching is eager: a delivered envelope is matched against posted
-// receives in post order; a posted receive is matched against unexpected
-// messages in arrival order. This preserves MPI's non-overtaking rule.
+// Implements the two-queue structure of real MPI libraries — posted
+// receives waiting for messages, unexpected messages waiting for receives —
+// with both queues *binned by (context, source)*:
 //
-// The store also provides the blocking primitive every higher layer uses:
-// wait(pred) sleeps on the store's condition variable until pred() holds,
-// with a global watchdog timeout that converts distributed deadlock into a
-// loud RuntimeFault instead of a hung test suite.
+//   * a message always has a concrete (context, src), so it lands in
+//     exactly one bin and a specific-source receive scans only its bin;
+//   * ANY_SOURCE receives live in a per-context wildcard list; the
+//     globally monotone Envelope::seq (arrival order) and a posted-order
+//     counter arbitrate between bins and wildcard entries, preserving the
+//     exact matching order of a single linear queue — MPI non-overtaking
+//     per source, post-order matching across receives (the property tests
+//     in tests/simnet/test_mailbox_property.cpp check equivalence against
+//     a reference linear matcher).
+//
+// Delivery is eager and zero-copy: Fabric::send hands the store the
+// sender's payload span, and when a posted receive matches, the bytes move
+// straight into the receive buffer — one memcpy, no envelope allocation.
+// Only unexpected messages materialize an Envelope, whose payload storage
+// comes from the fabric's BufferPool (inline for ≤64 B).
+//
+// Blocking primitives use per-waiter condition variables with interest
+// tracking: a delivery wakes only waiters whose posted receive completed
+// (wait_recv), whose probe pattern the new unexpected message matches
+// (wait_probe), or who asked for any event (wait / wait_changed). All
+// waits carry a global watchdog timeout that converts distributed deadlock
+// into a loud RuntimeFault instead of a hung test suite.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <mutex>
 #include <optional>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/function_ref.hpp"
 #include "simnet/message.hpp"
 
 namespace manatee::simnet {
@@ -37,16 +53,25 @@ struct ProbeInfo {
 
 class MessageStore {
  public:
+  /// `pool` backs unexpected-message payloads (null: global allocator —
+  /// standalone stores in unit tests need no wiring).
+  explicit MessageStore(BufferPool* pool = nullptr) noexcept : pool_(pool) {}
+
   /// Watchdog for blocking waits, in milliseconds of *wall* time. Applies
   /// process-wide; tests lower it to fail fast on real deadlocks.
   static void set_wait_timeout_ms(long ms) noexcept;
   static long wait_timeout_ms() noexcept;
 
-  /// Deliver a message into this store (called from the sender's thread).
-  /// If a posted receive matches, the payload is copied into its buffer and
-  /// its RecvResult completed in place; otherwise the envelope joins the
-  /// unexpected queue.
-  void deliver(Envelope&& env);
+  /// Deliver a pre-built envelope (restart re-injection, control traffic,
+  /// tests). If a posted receive matches, the payload is copied into its
+  /// buffer; otherwise the envelope joins its unexpected bin.
+  void deliver(Envelope&& env, TrafficClass traffic = TrafficClass::kUserP2P);
+
+  /// Zero-copy delivery straight from the sender's buffer (Fabric::send).
+  /// When a posted receive matches, the payload moves source→destination
+  /// with a single memcpy and no envelope is ever materialized.
+  void deliver_bytes(ContextId context, int src, int tag, SimTime arrival_ns,
+                     std::span<const std::byte> payload, TrafficClass traffic);
 
   /// Post a receive. `result` must stay alive until completion or cancel.
   /// If an unexpected message already matches, completes immediately.
@@ -57,7 +82,7 @@ class MessageStore {
   /// completed (or was never posted).
   bool cancel_recv(const RecvResult* result);
 
-  /// Non-blocking probe of the unexpected queue.
+  /// Non-blocking probe of the unexpected queues.
   [[nodiscard]] std::optional<ProbeInfo> iprobe(const MatchPattern& pattern);
 
   /// Pop the first unexpected message matching `pattern` into `dest`,
@@ -68,8 +93,20 @@ class MessageStore {
 
   /// Block until pred() is true. pred is evaluated under the store lock and
   /// re-checked on every delivery and on notify(). Throws RuntimeFault when
-  /// the watchdog expires.
-  void wait(const std::function<bool()>& pred);
+  /// the watchdog expires. Wakes on *any* store event.
+  void wait(common::FunctionRef<bool()> pred);
+
+  /// Targeted wait: block until `result` completes or `interrupt()` turns
+  /// true (interrupt is re-checked on notify()/inject, which wake every
+  /// waiter). Deliveries that cannot have completed `result` do not wake
+  /// the caller. The caller distinguishes the two outcomes itself.
+  void wait_recv(const RecvResult& result, common::FunctionRef<bool()> interrupt);
+
+  /// Targeted probe wait: block until an unexpected message matches
+  /// `pattern` (returning its metadata) or `interrupt()` turns true
+  /// (returning nullopt). Only matching unexpected arrivals wake the caller.
+  std::optional<ProbeInfo> wait_probe(const MatchPattern& pattern,
+                                      common::FunctionRef<bool()> interrupt);
 
   /// Wake all waiters (used by out-of-band state changes, e.g. the
   /// checkpoint coordinator flipping a flag the waiter's pred reads).
@@ -80,7 +117,7 @@ class MessageStore {
   /// caller that must consistently read buffers targeted by posted
   /// receives (the checkpoint registry's shadow sync) runs inside. `fn`
   /// must not call back into this store.
-  void with_delivery_lock(const std::function<void()>& fn);
+  void with_delivery_lock(common::FunctionRef<void()> fn);
 
   /// Snapshot of "has anything happened" state, for poll-style loops
   /// (progress engines, blocking probe). Take a token, poll your condition,
@@ -95,20 +132,33 @@ class MessageStore {
 
   // --- checkpoint support ---
 
-  /// Copy of all unexpected envelopes satisfying `keep` (in queue order).
-  [[nodiscard]] std::vector<Envelope> snapshot_unexpected(
-      const std::function<bool(const Envelope&)>& keep) const;
+  /// Deep copies (out of the pool) of all unexpected envelopes satisfying
+  /// `keep`, in exact arrival order across bins.
+  [[nodiscard]] std::vector<CapturedEnvelope> snapshot_unexpected(
+      common::FunctionRef<bool(const Envelope&)> keep) const;
 
   /// Number of unexpected envelopes satisfying `keep`.
   [[nodiscard]] std::size_t count_unexpected(
-      const std::function<bool(const Envelope&)>& keep) const;
+      common::FunctionRef<bool(const Envelope&)> keep) const;
 
-  /// Append saved envelopes (restart path: re-inject drained messages).
-  void inject(std::vector<Envelope> messages);
+  /// Restart path: re-inject saved messages. Injected envelopes match
+  /// already-posted receives first; the rest line up IN FRONT of every
+  /// newer unexpected envelope (negative sequence numbers), keeping their
+  /// saved order — MPI non-overtaking across the restart boundary.
+  void inject(std::vector<CapturedEnvelope> messages);
 
   // --- stats ---
-  [[nodiscard]] std::uint64_t delivered_messages() const noexcept;
-  [[nodiscard]] std::uint64_t delivered_bytes() const noexcept;
+  [[nodiscard]] std::uint64_t delivered_messages() const;
+  [[nodiscard]] std::uint64_t delivered_bytes() const;
+
+  /// Per-class delivery counters of this store (folded across stores by
+  /// Fabric::counters — per-destination sharding keeps concurrent senders
+  /// off any shared cache line).
+  [[nodiscard]] TrafficCounters traffic(TrafficClass traffic) const;
+
+  /// Deliveries that completed a posted receive in place (the zero-copy
+  /// eager path); the complement materialized an unexpected envelope.
+  [[nodiscard]] std::uint64_t eager_completions() const;
 
  private:
   struct Posted {
@@ -116,17 +166,159 @@ class MessageStore {
     std::byte* dest = nullptr;
     std::size_t capacity = 0;
     RecvResult* result = nullptr;
+    std::uint64_t post_seq = 0;  ///< global post order (bins vs wildcard)
   };
 
-  static void complete(const Posted& p, Envelope& env);
+  /// FIFO envelope queue: a vector with a head cursor, so the overwhelmingly
+  /// common pop-at-front (in-order tag match) is O(1) and steady-state
+  /// traffic reuses capacity instead of reallocating. (A plain vector
+  /// erase-from-front goes quadratic exactly in the regime the benches
+  /// stress: a collective root racing iterations ahead of its children
+  /// floods their bins with in-order messages.)
+  class EnvelopeQueue {
+   public:
+    [[nodiscard]] std::size_t size() const noexcept {
+      return items_.size() - head_;
+    }
+    [[nodiscard]] bool empty() const noexcept { return head_ == items_.size(); }
+    [[nodiscard]] Envelope& operator[](std::size_t i) noexcept {
+      return items_[head_ + i];
+    }
+    [[nodiscard]] const Envelope& operator[](std::size_t i) const noexcept {
+      return items_[head_ + i];
+    }
 
+    void push_back(Envelope&& env) { items_.push_back(std::move(env)); }
+
+    /// Restart injection: line up in front of everything queued.
+    void push_front(Envelope&& env) {
+      if (head_ > 0) {
+        items_[--head_] = std::move(env);
+      } else {
+        items_.insert(items_.begin(), std::move(env));
+      }
+    }
+
+    /// Removes and returns the i-th queued envelope (front pop is O(1)).
+    Envelope remove(std::size_t i) {
+      Envelope out = std::move(items_[head_ + i]);
+      if (i == 0) {
+        ++head_;
+        if (head_ == items_.size()) {
+          items_.clear();
+          head_ = 0;
+        } else if (head_ >= 32 && head_ >= items_.size() / 2) {
+          items_.erase(items_.begin(),
+                       items_.begin() + static_cast<std::ptrdiff_t>(head_));
+          head_ = 0;
+        }
+      } else {
+        items_.erase(items_.begin() +
+                     static_cast<std::ptrdiff_t>(head_ + i));
+      }
+      return out;
+    }
+
+   private:
+    std::vector<Envelope> items_;
+    std::size_t head_ = 0;  ///< index of the queue front within items_
+  };
+
+  /// One (context, src) bin: FIFO unexpected messages + posted receives
+  /// naming this exact source.
+  struct Bin {
+    EnvelopeQueue unexpected;
+    std::vector<Posted> posted;
+  };
+
+  struct ContextBins {
+    std::unordered_map<int, Bin> by_src;
+    std::vector<Posted> wildcard;  ///< ANY_SOURCE receives, post order
+
+    // One-entry lookup cache: hot paths hammer a single (context, src)
+    // pair (ping-pong, a collective's fixed neighbor), and unordered_map
+    // nodes are address-stable, so the cached pointer stays valid for the
+    // store's lifetime (bins are never erased). Guarded by the store mutex.
+    int cached_src = kAnySource;
+    Bin* cached_bin = nullptr;
+
+    [[nodiscard]] Bin* find(int src) {
+      if (src == cached_src) return cached_bin;
+      const auto it = by_src.find(src);
+      if (it == by_src.end()) return nullptr;
+      cached_src = src;
+      cached_bin = &it->second;
+      return cached_bin;
+    }
+    [[nodiscard]] Bin& get(int src) {
+      if (src == cached_src) return *cached_bin;
+      Bin& bin = by_src[src];
+      cached_src = src;
+      cached_bin = &bin;
+      return bin;
+    }
+  };
+
+  struct Waiter {
+    enum class Want : std::uint8_t { kAny, kResult, kProbe };
+    std::condition_variable cv;
+    Want want = Want::kAny;
+    const RecvResult* result = nullptr;
+    const MatchPattern* pattern = nullptr;
+  };
+
+  static void complete_posted(const Posted& p, int src, int tag,
+                              SimTime arrival_ns,
+                              std::span<const std::byte> payload);
+
+  [[nodiscard]] ContextBins* find_context(ContextId context);
+  [[nodiscard]] ContextBins& context_for(ContextId context);
+  [[nodiscard]] Bin& bin_for(ContextId context, int src);
+  /// Shared delivery body (deliver / deliver_bytes). `staged` is the
+  /// caller's pre-built envelope to enqueue on an unexpected miss (null:
+  /// materialize one from the pool). Caller holds mutex_.
+  void deliver_locked(ContextId context, int src, int tag, SimTime arrival_ns,
+                      std::span<const std::byte> payload, TrafficClass traffic,
+                      Envelope* staged);
+  /// Pops the matching posted receive with the lowest post_seq (bin +
+  /// wildcard merged), if any.
+  bool pop_matching_posted(ContextId context, int src, int tag, Posted* out);
+  /// First unexpected envelope matching `pattern` across bins (lowest seq);
+  /// returns bin + index, or false.
+  bool find_unexpected(const MatchPattern& pattern, Bin** bin_out,
+                       std::size_t* index_out);
+  /// Pops the first matching unexpected envelope into `dest`, completing
+  /// `result` (the shared body of post_recv's eager match and
+  /// try_recv_unexpected). Caller holds mutex_.
+  bool try_complete_from_unexpected_locked(const MatchPattern& pattern,
+                                           std::byte* dest,
+                                           std::size_t capacity,
+                                           RecvResult* result);
+
+  void wake_all_locked();
+  void wake_for_result_locked(const RecvResult* result);
+  void wake_for_unexpected_locked(const Envelope& env);
+  /// Registers `waiter`, blocks until pred() holds (watchdog-guarded),
+  /// deregisters. Must be entered with `lock` held.
+  void wait_on_locked(std::unique_lock<std::mutex>& lock, Waiter& waiter,
+                      common::FunctionRef<bool()> pred, const char* what);
+  [[nodiscard]] std::string wait_diagnostics_locked(const char* what) const;
+
+  BufferPool* pool_;
   mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Posted> posted_;
-  std::deque<Envelope> unexpected_;
+  std::unordered_map<ContextId, ContextBins> contexts_;
+  ContextId cached_context_id_ = 0;
+  ContextBins* cached_context_ = nullptr;  ///< one-entry context cache
+  std::vector<Waiter*> waiters_;
+  std::size_t posted_count_ = 0;
+  std::size_t unexpected_count_ = 0;
+  std::uint64_t next_post_seq_ = 0;
+  std::int64_t next_seq_ = 0;        ///< arrival order, counts up
+  std::int64_t next_front_seq_ = -1; ///< restart injection, counts down
+  std::uint64_t eager_completions_ = 0;
+  TrafficCounters traffic_[kTrafficClassCount];
   std::uint64_t delivered_messages_ = 0;
   std::uint64_t delivered_bytes_ = 0;
-  std::uint64_t next_seq_ = 0;
   std::uint64_t generation_ = 0;
 };
 

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "simnet/payload.hpp"
 #include "simnet/time.hpp"
 
 namespace manatee::simnet {
@@ -23,12 +24,45 @@ constexpr int kAnyTag = -1;
 /// (Real MPI implementations reserve distinct context ids the same way.)
 using ContextId = std::uint64_t;
 
+/// Traffic classes, for the per-class counters behind the paper's message
+/// accounting (2PC's extra barrier traffic shows up as kCkptProtocol while
+/// CC's steady state matches native).
+enum class TrafficClass : int {
+  kUserP2P = 0,      ///< application Send/Recv
+  kCollective = 1,   ///< internal messages of collective algorithms
+  kCkptProtocol = 2, ///< drain-protocol traffic (CC target updates, 2PC barriers)
+  kControl = 3,      ///< coordinator control
+};
+constexpr int kTrafficClassCount = 4;
+
+struct TrafficCounters {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
 struct Envelope {
   ContextId context = 0;
   int src = 0;  ///< sender's rank within the communicator of `context`
   int tag = 0;
-  std::uint64_t seq = 0;       ///< per-(src,dst,context) sequence, for debugging
-  SimTime arrival_ns = 0;      ///< virtual time at which the message lands
+  /// Store-wide arrival order. Load-bearing under binned matching: it is
+  /// the tie-breaker that keeps ANY_SOURCE receives and checkpoint
+  /// snapshots in exact arrival order across (context, src) bins. Restart
+  /// injection assigns *negative* sequence numbers so re-injected messages
+  /// order in front of everything the fresh runtime delivered.
+  std::int64_t seq = 0;
+  SimTime arrival_ns = 0;  ///< virtual time at which the message lands
+  PayloadBuffer payload;   ///< inline ≤64 B, pool-backed above that
+};
+
+/// An unexpected-queue envelope deep-copied out of the pool: what
+/// checkpoint capture stores in the image and restart hands back to
+/// MessageStore::inject. Owns its payload independently of any fabric.
+struct CapturedEnvelope {
+  ContextId context = 0;
+  int src = 0;
+  int tag = 0;
+  std::int64_t seq = 0;
+  SimTime arrival_ns = 0;
   std::vector<std::byte> payload;
 };
 
@@ -40,6 +74,9 @@ struct MatchPattern {
   [[nodiscard]] bool matches(const Envelope& e) const noexcept {
     return e.context == context && (src == kAnySource || e.src == src) &&
            (tag == kAnyTag || e.tag == tag);
+  }
+  [[nodiscard]] bool matches_tag(int tag_in) const noexcept {
+    return tag == kAnyTag || tag_in == tag;
   }
 };
 

@@ -1,0 +1,236 @@
+// payload.hpp — pooled message payload storage for the simnet data path.
+//
+// A PayloadBuffer replaces std::vector<std::byte> inside Envelope (and the
+// collective algorithms' staging buffers): payloads of up to
+// kInlineCapacity (64) bytes live inline in the buffer object itself — the
+// eager-message regime of the paper's benchmarks never touches the heap —
+// and larger payloads borrow a slab block from a BufferPool, a per-fabric
+// thread-safe size-class allocator. Blocks return to their pool when the
+// buffer dies, so steady-state traffic recycles a small working set
+// instead of hammering the global allocator from every rank thread.
+//
+// Checkpoint images must not retain pool blocks across a fabric teardown;
+// capture paths deep-copy payloads out via to_vector() (see
+// MessageStore::snapshot_unexpected).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace manatee::simnet {
+
+/// Thread-safe slab allocator with power-of-two size classes (128 B up to
+/// 128 KiB). Larger requests fall through to the global allocator; freed
+/// class blocks are cached up to a per-class cap.
+class BufferPool {
+ public:
+  static constexpr std::size_t kMinBlock = 128;
+  static constexpr int kClassCount = 11;  // 128 B << 10 == 128 KiB
+  static constexpr std::size_t kMaxPooled = kMinBlock << (kClassCount - 1);
+  static constexpr std::size_t kMaxFreePerClass = 1024;
+
+  BufferPool() = default;
+  ~BufferPool() {
+    for (auto& cls : classes_) {
+      for (std::byte* block : cls.free) ::operator delete(block);
+    }
+  }
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns a block of at least `min_bytes`; *capacity_out receives the
+  /// actual block capacity (pass it back verbatim to release()).
+  [[nodiscard]] std::byte* acquire(std::size_t min_bytes,
+                                   std::size_t* capacity_out) {
+    if (min_bytes > kMaxPooled) {
+      *capacity_out = min_bytes;
+      oversize_.fetch_add(1, std::memory_order_relaxed);
+      return static_cast<std::byte*>(::operator new(min_bytes));
+    }
+    const int idx = class_of(min_bytes);
+    const std::size_t cap = kMinBlock << idx;
+    *capacity_out = cap;
+    Class& cls = classes_[static_cast<std::size_t>(idx)];
+    {
+      std::lock_guard lock(cls.mutex);
+      if (!cls.free.empty()) {
+        std::byte* block = cls.free.back();
+        cls.free.pop_back();
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return block;
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return static_cast<std::byte*>(::operator new(cap));
+  }
+
+  void release(std::byte* block, std::size_t capacity) noexcept {
+    if (capacity > kMaxPooled) {
+      ::operator delete(block);
+      return;
+    }
+    Class& cls = classes_[static_cast<std::size_t>(class_of(capacity))];
+    {
+      std::lock_guard lock(cls.mutex);
+      if (cls.free.size() < kMaxFreePerClass) {
+        cls.free.push_back(block);
+        return;
+      }
+    }
+    ::operator delete(block);
+  }
+
+  struct Stats {
+    std::uint64_t hits = 0;      ///< blocks served from a free list
+    std::uint64_t misses = 0;    ///< blocks newly allocated for a class
+    std::uint64_t oversize = 0;  ///< requests beyond kMaxPooled
+  };
+  [[nodiscard]] Stats stats() const noexcept {
+    return Stats{hits_.load(std::memory_order_relaxed),
+                 misses_.load(std::memory_order_relaxed),
+                 oversize_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  [[nodiscard]] static int class_of(std::size_t n) noexcept {
+    int idx = 0;
+    std::size_t cap = kMinBlock;
+    while (cap < n) {
+      cap <<= 1;
+      ++idx;
+    }
+    return idx;
+  }
+
+  struct Class {
+    std::mutex mutex;
+    std::vector<std::byte*> free;
+  };
+  std::array<Class, static_cast<std::size_t>(kClassCount)> classes_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> oversize_{0};
+};
+
+/// Byte buffer with 64-byte inline storage and optional pool backing.
+/// Move-only; the destructor returns a pooled block to its pool (pools must
+/// outlive every buffer they back — the Fabric declares its pool before its
+/// stores for exactly this reason). ensure()/assign() without a pool fall
+/// back to the global allocator, so standalone MessageStores (unit tests)
+/// need no pool wiring.
+class PayloadBuffer {
+ public:
+  static constexpr std::size_t kInlineCapacity = 64;
+
+  PayloadBuffer() noexcept = default;
+
+  PayloadBuffer(PayloadBuffer&& other) noexcept { steal(other); }
+  PayloadBuffer& operator=(PayloadBuffer&& other) noexcept {
+    if (this != &other) {
+      free_block();
+      steal(other);
+    }
+    return *this;
+  }
+
+  PayloadBuffer(const PayloadBuffer&) = delete;
+  PayloadBuffer& operator=(const PayloadBuffer&) = delete;
+
+  ~PayloadBuffer() { free_block(); }
+
+  [[nodiscard]] std::byte* data() noexcept {
+    return heap_ != nullptr ? heap_ : inline_.data();
+  }
+  [[nodiscard]] const std::byte* data() const noexcept {
+    return heap_ != nullptr ? heap_ : inline_.data();
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] std::span<std::byte> span() noexcept { return {data(), size_}; }
+  [[nodiscard]] std::span<const std::byte> span() const noexcept {
+    return {data(), size_};
+  }
+  operator std::span<std::byte>() noexcept { return span(); }
+  operator std::span<const std::byte>() const noexcept { return span(); }
+
+  /// Grow/shrink to exactly `n` bytes of *uninitialized* storage (existing
+  /// contents are NOT preserved across a reallocation). `pool` may be null.
+  void ensure(BufferPool* pool, std::size_t n) {
+    if (n > capacity()) {
+      free_block();
+      if (pool != nullptr) {
+        heap_ = pool->acquire(n, &heap_cap_);
+        pool_ = pool;
+      } else {
+        heap_ = static_cast<std::byte*>(::operator new(n));
+        heap_cap_ = n;
+        pool_ = nullptr;
+      }
+    }
+    size_ = n;
+  }
+
+  void assign(BufferPool* pool, std::span<const std::byte> bytes) {
+    ensure(pool, bytes.size());
+    if (!bytes.empty()) std::memcpy(data(), bytes.data(), bytes.size());
+  }
+  void assign(std::span<const std::byte> bytes) { assign(nullptr, bytes); }
+
+  /// Logical clear; keeps the block for reuse.
+  void clear() noexcept { size_ = 0; }
+
+  /// Deep copy into independently-owned storage (checkpoint capture).
+  [[nodiscard]] std::vector<std::byte> to_vector() const {
+    return std::vector<std::byte>(data(), data() + size_);
+  }
+
+ private:
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return heap_ != nullptr ? heap_cap_ : kInlineCapacity;
+  }
+
+  void free_block() noexcept {
+    if (heap_ != nullptr) {
+      if (pool_ != nullptr) {
+        pool_->release(heap_, heap_cap_);
+      } else {
+        ::operator delete(heap_);
+      }
+      heap_ = nullptr;
+      pool_ = nullptr;
+      heap_cap_ = 0;
+    }
+    size_ = 0;
+  }
+
+  void steal(PayloadBuffer& other) noexcept {
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      heap_cap_ = other.heap_cap_;
+      pool_ = other.pool_;
+      other.heap_ = nullptr;
+      other.heap_cap_ = 0;
+      other.pool_ = nullptr;
+    } else if (other.size_ > 0) {
+      std::memcpy(inline_.data(), other.inline_.data(), other.size_);
+    }
+    size_ = other.size_;
+    other.size_ = 0;
+  }
+
+  BufferPool* pool_ = nullptr;  ///< owner of heap_ (null: global allocator)
+  std::byte* heap_ = nullptr;   ///< null: payload lives in inline_
+  std::size_t heap_cap_ = 0;
+  std::size_t size_ = 0;
+  alignas(std::max_align_t) std::array<std::byte, kInlineCapacity> inline_;
+};
+
+}  // namespace manatee::simnet

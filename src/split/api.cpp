@@ -205,12 +205,18 @@ bool Api::decide(const std::function<bool()>& fn) {
 
 // ---- blocking loop --------------------------------------------------------------------
 
-void Api::blocking_loop(const std::function<bool()>& done,
-                        const core::ParkHooks* hooks, int blocked_src_world) {
+void Api::blocking_loop(common::FunctionRef<bool()> done,
+                        const core::ParkHooks* hooks, int blocked_src_world,
+                        const simnet::RecvResult* recv_hint) {
+  const bool passive = mgr_.passive();
+  // Real drain managers take `done` as a std::function (their hook API);
+  // build it once per loop, not at all for passive (native) managers.
+  std::function<bool()> done_fn;
+  if (!passive) done_fn = [&done] { return done(); };
   while (true) {
     const auto token = rank_.store().token();
     rank_.progress_outstanding();
-    mgr_.blocked_step(done, hooks, blocked_src_world);
+    if (!passive) mgr_.blocked_step(done_fn, hooks, blocked_src_world);
     if (done()) break;
     // A job configured to stop after its checkpoint must also unblock
     // ranks parked in waits whose peers have already stopped.
@@ -219,9 +225,20 @@ void Api::blocking_loop(const std::function<bool()>& done,
     if (rank_.runtime().aborted()) {
       throw RuntimeFault("peer rank failed during blocking wait");
     }
-    rank_.store().wait_changed(token);
+    if (passive && recv_hint != nullptr && !rank_.has_nbc_requests() &&
+        !engine_.config().stop_after_checkpoint) {
+      // `done` reduces to this receive completing: sleep until exactly
+      // that (stop/abort flips arrive via notify_all_ranks, which wakes
+      // every waiter). The loop re-evaluates `done` on wake.
+      auto& runtime = rank_.runtime();
+      rank_.store().wait_recv(*recv_hint, [&] {
+        return runtime.stop_requested() || runtime.aborted();
+      });
+    } else {
+      rank_.store().wait_changed(token);
+    }
   }
-  mgr_.blocked_finish(hooks);
+  if (!passive) mgr_.blocked_finish(hooks);
 }
 
 // ---- point-to-point ----------------------------------------------------------------------
@@ -250,26 +267,29 @@ umpi::Status Api::recv(VComm comm, std::span<std::byte> data, int src, int tag) 
   // Park hooks: a checkpoint taken while we are blocked here must find the
   // receive *unposted* so that a message arriving during the write window
   // lands in the unexpected queue (which is saved) rather than silently
-  // completing an operation the restart will re-execute.
-  const core::ParkHooks hooks{
-      [&]() -> bool {
-        if (!posted) return true;
-        if (store.cancel_recv(&result)) {
-          posted = false;
-          return true;
-        }
-        return false;  // matched concurrently: do not park
-      },
-      [&] {
-        if (!posted) {
-          store.post_recv(pattern, data.data(), data.size(), &result);
-          posted = true;
-        }
-      }};
+  // completing an operation the restart will re-execute. Passive (native)
+  // managers never park, so skip building the hook closures entirely.
+  core::ParkHooks hooks;
+  if (!mgr_.passive()) {
+    hooks.suspend = [&]() -> bool {
+      if (!posted) return true;
+      if (store.cancel_recv(&result)) {
+        posted = false;
+        return true;
+      }
+      return false;  // matched concurrently: do not park
+    };
+    hooks.resume = [&] {
+      if (!posted) {
+        store.post_recv(pattern, data.data(), data.size(), &result);
+        posted = true;
+      }
+    };
+  }
 
   try {
     blocking_loop([&] { return posted && result.is_done(); }, &hooks,
-                  blocked_src_of(c, src));
+                  blocked_src_of(c, src), &result);
   } catch (...) {
     if (posted) store.cancel_recv(&result);
     throw;
@@ -386,7 +406,7 @@ void Api::wait(VReq& request) {
         state.is_recv ? blocked_src_of(resolve(VComm{state.vcomm}), state.src)
                       : ckpt::Coordinator::kBlockedUnknown;
     blocking_loop([&] { return rank_.request_done(state.lower); }, &kPassiveHooks,
-                  src_world);
+                  src_world, rank_.recv_result(state.lower));
     const bool was_nbc = state.is_nbc;
     rank_.test(state.lower);
     if (was_nbc) charge_nbc_completion();
@@ -815,7 +835,7 @@ void Api::capture_and_write() {
   {
     auto& store = rank_.store();
     BinaryWriter w;
-    std::vector<std::pair<std::uint64_t, simnet::Envelope>> saved;
+    std::vector<std::pair<std::uint64_t, simnet::CapturedEnvelope>> saved;
     for (const auto& [vid, comm] : comms_) {
       const auto user_ctx = comm->context(umpi::Channel::kUser);
       for (auto& env : store.snapshot_unexpected(
@@ -911,11 +931,11 @@ void Api::restore_from_image() {
 
 void Api::flush_pending_unexpected() {
   if (pending_unexpected_.empty()) return;
-  std::vector<simnet::Envelope> inject;
+  std::vector<simnet::CapturedEnvelope> inject;
   std::erase_if(pending_unexpected_, [&](SavedMessage& m) {
     const auto it = comms_.find(m.vcomm);
     if (it == comms_.end()) return false;
-    simnet::Envelope env;
+    simnet::CapturedEnvelope env;
     env.context = it->second->context(umpi::Channel::kUser);
     env.src = m.src;
     env.tag = m.tag;

@@ -28,6 +28,7 @@
 
 #include "ckpt/coordinator.hpp"
 #include "ckpt/registry.hpp"
+#include "common/function_ref.hpp"
 #include "core/drain_manager.hpp"
 #include "umpi/rank.hpp"
 
@@ -381,9 +382,13 @@ class Api {
 
   /// `blocked_src_world`: the world rank whose message the loop is waiting
   /// for, when statically known (drives the drain's p2p-aware cascade).
-  void blocking_loop(const std::function<bool()>& done,
+  /// `recv_hint`: the receive completion `done` reduces to, when it does —
+  /// under a passive (native) manager with no outstanding NBCs the loop
+  /// then sleeps on a targeted wait instead of waking on every delivery.
+  void blocking_loop(common::FunctionRef<bool()> done,
                      const core::ParkHooks* hooks,
-                     int blocked_src_world = ckpt::Coordinator::kBlockedUnknown);
+                     int blocked_src_world = ckpt::Coordinator::kBlockedUnknown,
+                     const simnet::RecvResult* recv_hint = nullptr);
   /// Resolve a comm-relative source rank to a world rank for blocking_loop
   /// (kBlockedUnknown for MPI_ANY_SOURCE).
   [[nodiscard]] int blocked_src_of(const umpi::CommPtr& comm, int src) const;

@@ -25,13 +25,23 @@ class DisseminationBarrierOp final : public NbcOp {
     const int p = comm_->size();
     int rounds = 0;
     while ((1 << rounds) < p) ++rounds;
-    slots_.resize(static_cast<std::size_t>(rounds));
+    slots_.reserve(static_cast<std::size_t>(rounds));
+    slots_.ensure_size(static_cast<std::size_t>(rounds));
   }
 
  protected:
   bool step(Rank& rank) override {
     const int p = comm_->size();
     const int r = comm_->rank;
+    if (!preposted_) {
+      // Round sources (r - 2^k mod p) are pairwise distinct: post the whole
+      // receive window up front (arrivals complete in place, any order).
+      for (std::size_t k = 0; k < slots_.size(); ++k) {
+        const int dist = 1 << k;
+        prepost(rank, slots_[k], (r - dist % p + p) % p, 0);
+      }
+      preposted_ = true;
+    }
     while (round_ < static_cast<int>(slots_.size())) {
       const int dist = 1 << round_;
       if (!sent_) {
@@ -49,9 +59,10 @@ class DisseminationBarrierOp final : public NbcOp {
   }
 
  private:
-  std::deque<Slot> slots_;
+  SlotArray slots_;
   int round_ = 0;
   bool sent_ = false;
+  bool preposted_ = false;
 };
 
 // ---- barrier: tree (binomial gather to rank 0, binomial release) -----------
@@ -65,6 +76,9 @@ class TreeBarrierOp final : public NbcOp {
     while (mask < p && !(r & mask)) mask <<= 1;
     parent_mask_ = mask;  // >= p when r == 0
     release_mask_ = (r == 0 ? ceil_pow2(p) : mask) >> 1;
+    int rounds = 0;
+    while ((1 << rounds) < p) ++rounds;
+    slots_.reserve(static_cast<std::size_t>(rounds) + 1);
   }
 
  protected:
@@ -75,7 +89,7 @@ class TreeBarrierOp final : public NbcOp {
     while (gather_mask_ < p && gather_mask_ < parent_mask_) {
       const int child = r + gather_mask_;
       if (child < p) {
-        slots_.resize(std::max(slots_.size(), used_slots_ + 1));
+        slots_.ensure_size(used_slots_ + 1);
         if (!recv_ready(rank, slots_[used_slots_], child, 0)) return false;
         ++used_slots_;
       }
@@ -100,7 +114,7 @@ class TreeBarrierOp final : public NbcOp {
   int parent_mask_;
   int release_mask_;
   int gather_mask_ = 1;
-  std::deque<Slot> slots_;
+  SlotArray slots_;
   std::size_t used_slots_ = 0;
   bool signalled_parent_ = false;
   Slot release_slot_;
@@ -111,14 +125,20 @@ class TreeBarrierOp final : public NbcOp {
 class LinearAllreduceOp final : public NbcOp {
  public:
   LinearAllreduceOp(CommPtr comm, int tag, std::span<const std::byte> send,
-                    std::span<std::byte> recv, Datatype dt, ReduceOp op)
-      : NbcOp(std::move(comm), tag), send_(send), recv_(recv), dt_(dt), op_(op) {
+                    std::span<std::byte> recv, Datatype dt, ReduceOp op,
+                    simnet::BufferPool* pool)
+      : NbcOp(std::move(comm), tag), send_(send), recv_(recv), dt_(dt), op_(op),
+        pool_(pool) {
     MANATEE_REQUIRE(send.size() == recv.size(),
                     "allreduce send/recv size mismatch");
     MANATEE_REQUIRE(send.size() % datatype_size(dt) == 0,
                     "allreduce buffer not a whole number of elements");
     count_ = send.size() / datatype_size(dt);
-    if (comm_->rank == 0) slots_.resize(static_cast<std::size_t>(comm_->size()));
+    if (comm_->rank == 0) {
+      const auto p = static_cast<std::size_t>(comm_->size());
+      slots_.reserve(p);
+      slots_.ensure_size(p);
+    }
   }
 
  protected:
@@ -132,11 +152,17 @@ class LinearAllreduceOp final : public NbcOp {
       }
       return recv_ready_into(rank, result_slot_, 0, recv_);
     }
+    if (!preposted_) {
+      for (int s = 1; s < p; ++s) {
+        prepost(rank, slots_[static_cast<std::size_t>(s)], s, send_.size());
+      }
+      preposted_ = true;
+    }
     while (next_src_ < p) {
       std::span<const std::byte> contribution;
       if (next_src_ == 0) {
         contribution = send_;
-        acc_.assign(contribution.begin(), contribution.end());
+        acc_.assign(pool_, contribution);
       } else {
         Slot& slot = slots_[static_cast<std::size_t>(next_src_)];
         if (!recv_ready(rank, slot, next_src_, send_.size())) return false;
@@ -155,12 +181,14 @@ class LinearAllreduceOp final : public NbcOp {
   std::span<std::byte> recv_;
   Datatype dt_;
   ReduceOp op_;
+  simnet::BufferPool* pool_;
   std::size_t count_ = 0;
-  std::vector<std::byte> acc_;
-  std::deque<Slot> slots_;
+  simnet::PayloadBuffer acc_;
+  SlotArray slots_;
   Slot result_slot_;
   int next_src_ = 0;
   bool sent_ = false;
+  bool preposted_ = false;
 };
 
 // ---- allreduce: recursive doubling with non-power-of-two fixup --------------
@@ -185,6 +213,9 @@ class RdoublingAllreduceOp final : public NbcOp {
     } else {
       vr_ = r - rem_;
     }
+    int rounds = 0;
+    while ((1 << rounds) < p2_) ++rounds;
+    rd_slots_.reserve(static_cast<std::size_t>(rounds));
   }
 
  protected:
@@ -219,8 +250,7 @@ class RdoublingAllreduceOp final : public NbcOp {
           send_bytes(rank, partner, recv_);
           round_sent_ = true;
         }
-        rd_slots_.resize(std::max<std::size_t>(rd_slots_.size(),
-                                               static_cast<std::size_t>(round_) + 1));
+        rd_slots_.ensure_size(static_cast<std::size_t>(round_) + 1);
         Slot& slot = rd_slots_[static_cast<std::size_t>(round_)];
         if (!recv_ready(rank, slot, partner, bytes)) return false;
         apply_reduce(op_, dt_, recv_, slot.buf, count_);
@@ -258,7 +288,7 @@ class RdoublingAllreduceOp final : public NbcOp {
   bool round_sent_ = false;
   Slot pre_slot_;
   Slot post_slot_;
-  std::deque<Slot> rd_slots_;
+  SlotArray rd_slots_;
 };
 
 // ---- allreduce: ring (reduce-scatter + allgather, uneven blocks) ------------
@@ -280,7 +310,9 @@ class RingAllreduceOp final : public NbcOp {
     copy_bytes(recv_, send);  // recv_ is the accumulator
     count_ = send.size() / datatype_size(dt);
     const int p = comm_->size();
-    slots_.resize(2 * static_cast<std::size_t>(p > 0 ? p - 1 : 0));
+    const auto n = 2 * static_cast<std::size_t>(p > 0 ? p - 1 : 0);
+    slots_.reserve(n);
+    slots_.ensure_size(n);
   }
 
  protected:
@@ -290,6 +322,23 @@ class RingAllreduceOp final : public NbcOp {
     const int right = (r + 1) % p;
     const int left = (r - 1 + p) % p;
     const auto esize = datatype_size(dt_);
+
+    if (!preposted_) {
+      // Every receive comes from `left` with this op's tag; posting the
+      // whole window in round order matches the sender's send order under
+      // non-overtaking, so blocks land in the right slots zero-copy.
+      for (int s = 0; s < p - 1; ++s) {
+        const int recv_idx = ((r - s - 2) % p + p) % p;
+        prepost(rank, slots_[static_cast<std::size_t>(s)], left,
+                block(recv_idx).size());
+      }
+      for (int s = p - 1; s < 2 * (p - 1); ++s) {
+        const int recv_idx = ((r - (s - (p - 1)) - 1) % p + p) % p;
+        prepost_into(rank, slots_[static_cast<std::size_t>(s)], left,
+                     block(recv_idx));
+      }
+      preposted_ = true;
+    }
 
     // Phase 1: reduce-scatter.
     while (step_ < p - 1) {
@@ -339,9 +388,10 @@ class RingAllreduceOp final : public NbcOp {
   Datatype dt_;
   ReduceOp op_;
   std::size_t count_ = 0;
-  std::deque<Slot> slots_;
+  SlotArray slots_;
   int step_ = 0;
   bool sent_ = false;
+  bool preposted_ = false;
 };
 
 // ---- allgather: linear ------------------------------------------------------
@@ -355,7 +405,8 @@ class LinearAllgatherOp final : public NbcOp {
     MANATEE_REQUIRE(recv.size() >= block_ * static_cast<std::size_t>(p),
                     "allgather recv buffer too small");
     copy_bytes(block_of(comm_->rank), send);
-    slots_.resize(static_cast<std::size_t>(p));
+    slots_.reserve(static_cast<std::size_t>(p));
+    slots_.ensure_size(static_cast<std::size_t>(p));
   }
 
  protected:
@@ -363,6 +414,12 @@ class LinearAllgatherOp final : public NbcOp {
     const int p = comm_->size();
     const int r = comm_->rank;
     if (!sent_) {
+      for (int s = 0; s < p; ++s) {
+        if (s != r) {
+          prepost_into(rank, slots_[static_cast<std::size_t>(s)], s,
+                       block_of(s));
+        }
+      }
       for (int dst = 0; dst < p; ++dst) {
         if (dst != r) send_bytes(rank, dst, block_of(r));
       }
@@ -386,7 +443,7 @@ class LinearAllgatherOp final : public NbcOp {
 
   std::span<std::byte> recv_;
   std::size_t block_;
-  std::deque<Slot> slots_;
+  SlotArray slots_;
   int next_src_ = 0;
   bool sent_ = false;
 };
@@ -402,7 +459,9 @@ class RingAllgatherOp final : public NbcOp {
     MANATEE_REQUIRE(recv.size() >= block_ * static_cast<std::size_t>(p),
                     "allgather recv buffer too small");
     copy_bytes(block_of(comm_->rank), send);
-    slots_.resize(static_cast<std::size_t>(p > 0 ? p - 1 : 0));
+    const auto n = static_cast<std::size_t>(p > 0 ? p - 1 : 0);
+    slots_.reserve(n);
+    slots_.ensure_size(n);
   }
 
  protected:
@@ -411,6 +470,13 @@ class RingAllgatherOp final : public NbcOp {
     const int r = comm_->rank;
     const int right = (r + 1) % p;
     const int left = (r - 1 + p) % p;
+    if (!preposted_) {
+      for (int k = 0; k < p - 1; ++k) {
+        prepost_into(rank, slots_[static_cast<std::size_t>(k)], left,
+                     block_of((r - k - 1 + p) % p));
+      }
+      preposted_ = true;
+    }
     while (round_ < p - 1) {
       if (!sent_) {
         send_bytes(rank, right, block_of((r - round_ + p) % p));
@@ -434,9 +500,10 @@ class RingAllgatherOp final : public NbcOp {
 
   std::span<std::byte> recv_;
   std::size_t block_;
-  std::deque<Slot> slots_;
+  SlotArray slots_;
   int round_ = 0;
   bool sent_ = false;
+  bool preposted_ = false;
 };
 
 // ---- allgather: recursive doubling (power-of-two communicators) -------------
@@ -454,7 +521,8 @@ class RdoublingAllgatherOp final : public NbcOp {
     copy_bytes(region(comm_->rank, 1), send);
     int rounds = 0;
     while ((1 << rounds) < p) ++rounds;
-    slots_.resize(static_cast<std::size_t>(rounds));
+    slots_.reserve(static_cast<std::size_t>(rounds));
+    slots_.ensure_size(static_cast<std::size_t>(rounds));
   }
 
  protected:
@@ -489,7 +557,7 @@ class RdoublingAllgatherOp final : public NbcOp {
 
   std::span<std::byte> recv_;
   std::size_t block_;
-  std::deque<Slot> slots_;
+  SlotArray slots_;
   int dist_ = 1;
   int round_ = 0;
   bool sent_ = false;
@@ -509,13 +577,25 @@ class PairwiseAlltoallOp final : public NbcOp {
                     "alltoall send/recv size mismatch");
     block_ = send.size() / static_cast<std::size_t>(p);
     copy_bytes(recv_block(comm_->rank), send_block(comm_->rank));
-    slots_.resize(static_cast<std::size_t>(p > 0 ? p - 1 : 0));
+    const auto n = static_cast<std::size_t>(p > 0 ? p - 1 : 0);
+    slots_.reserve(n);
+    slots_.ensure_size(n);
   }
 
  protected:
   bool step(Rank& rank) override {
     const int p = comm_->size();
     const int r = comm_->rank;
+    if (!preposted_) {
+      // One distinct source per round: post the whole receive window so
+      // every block lands zero-copy in its final position.
+      for (int k = 0; k < p - 1; ++k) {
+        const int src = (r - k - 1 + p) % p;
+        prepost_into(rank, slots_[static_cast<std::size_t>(k)], src,
+                     recv_block(src));
+      }
+      preposted_ = true;
+    }
     while (round_ < p - 1) {
       const int dst = (r + round_ + 1) % p;
       const int src = (r - round_ - 1 + p) % p;
@@ -544,9 +624,10 @@ class PairwiseAlltoallOp final : public NbcOp {
   std::span<const std::byte> send_;
   std::span<std::byte> recv_;
   std::size_t block_ = 0;
-  std::deque<Slot> slots_;
+  SlotArray slots_;
   int round_ = 0;
   bool sent_ = false;
+  bool preposted_ = false;
 };
 
 // ---- alltoall: Bruck --------------------------------------------------------
@@ -559,15 +640,15 @@ class PairwiseAlltoallOp final : public NbcOp {
 class BruckAlltoallOp final : public NbcOp {
  public:
   BruckAlltoallOp(CommPtr comm, int tag, std::span<const std::byte> send,
-                  std::span<std::byte> recv)
-      : NbcOp(std::move(comm), tag), recv_(recv) {
+                  std::span<std::byte> recv, simnet::BufferPool* pool)
+      : NbcOp(std::move(comm), tag), recv_(recv), pool_(pool) {
     const int p = comm_->size();
     MANATEE_REQUIRE(p > 0 && send.size() % static_cast<std::size_t>(p) == 0,
                     "alltoall send buffer not divisible by comm size");
     MANATEE_REQUIRE(recv.size() == send.size(),
                     "alltoall send/recv size mismatch");
     block_ = send.size() / static_cast<std::size_t>(p);
-    tmp_.resize(send.size());
+    tmp_.ensure(pool_, send.size());
     const int r = comm_->rank;
     // Local rotation: tmp[i] holds our block destined for rank (r + i).
     for (int i = 0; i < p && block_ > 0; ++i) {
@@ -575,6 +656,10 @@ class BruckAlltoallOp final : public NbcOp {
       std::memcpy(tmp_.data() + static_cast<std::size_t>(i) * block_,
                   send.data() + static_cast<std::size_t>(dst) * block_, block_);
     }
+    int rounds = 0;
+    while ((1 << rounds) < p) ++rounds;
+    slots_.reserve(static_cast<std::size_t>(rounds));
+    moving_.reserve(static_cast<std::size_t>(p));
   }
 
  protected:
@@ -583,16 +668,18 @@ class BruckAlltoallOp final : public NbcOp {
     const int r = comm_->rank;
     while (dist_ < p) {
       if (!sent_) {
-        moving_ = moving_indices(p);
-        staging_.clear();
-        for (const int i : moving_) {
-          const auto* src = tmp_.data() + static_cast<std::size_t>(i) * block_;
-          staging_.insert(staging_.end(), src, src + block_);
+        refresh_moving(p);
+        staging_.ensure(pool_, moving_.size() * block_);
+        for (std::size_t j = 0; j < moving_.size(); ++j) {
+          std::memcpy(
+              staging_.data() + j * block_,
+              tmp_.data() + static_cast<std::size_t>(moving_[j]) * block_,
+              block_);
         }
         send_bytes(rank, (r + dist_) % p, staging_);
         sent_ = true;
       }
-      slots_.resize(std::max(slots_.size(), static_cast<std::size_t>(round_) + 1));
+      slots_.ensure_size(static_cast<std::size_t>(round_) + 1);
       Slot& slot = slots_[static_cast<std::size_t>(round_)];
       if (!recv_ready(rank, slot, (r - dist_ + p) % p, moving_.size() * block_)) {
         return false;
@@ -617,20 +704,20 @@ class BruckAlltoallOp final : public NbcOp {
   }
 
  private:
-  [[nodiscard]] std::vector<int> moving_indices(int p) const {
-    std::vector<int> out;
+  void refresh_moving(int p) {
+    moving_.clear();
     for (int i = 0; i < p; ++i) {
-      if (i & dist_) out.push_back(i);
+      if (i & dist_) moving_.push_back(i);
     }
-    return out;
   }
 
   std::span<std::byte> recv_;
   std::size_t block_ = 0;
-  std::vector<std::byte> tmp_;
-  std::vector<std::byte> staging_;
+  simnet::BufferPool* pool_;
+  simnet::PayloadBuffer tmp_;
+  simnet::PayloadBuffer staging_;
   std::vector<int> moving_;  ///< block indices in flight this round
-  std::deque<Slot> slots_;
+  SlotArray slots_;
   int dist_ = 1;
   int round_ = 0;
   bool sent_ = false;
@@ -686,6 +773,9 @@ class RdoublingScanOp final : public NbcOp {
                     "scan buffer not a whole number of elements");
     count_ = send.size() / datatype_size(dt);
     copy_bytes(recv_, send);  // recv_ is the running prefix
+    int rounds = 0;
+    while ((1 << rounds) < comm_->size()) ++rounds;
+    slots_.reserve(static_cast<std::size_t>(rounds));
   }
 
  protected:
@@ -697,7 +787,7 @@ class RdoublingScanOp final : public NbcOp {
       if (!sent_ && r + dist_ < p) send_bytes(rank, r + dist_, recv_);
       sent_ = true;
       if (r >= dist_) {
-        slots_.resize(std::max(slots_.size(), static_cast<std::size_t>(round_) + 1));
+        slots_.ensure_size(static_cast<std::size_t>(round_) + 1);
         Slot& slot = slots_[static_cast<std::size_t>(round_)];
         if (!recv_ready(rank, slot, r - dist_, recv_.size())) return false;
         apply_reduce(op_, dt_, recv_, slot.buf, count_);
@@ -715,7 +805,7 @@ class RdoublingScanOp final : public NbcOp {
   Datatype dt_;
   ReduceOp op_;
   std::size_t count_ = 0;
-  std::deque<Slot> slots_;
+  SlotArray slots_;
   int dist_ = 1;
   int round_ = 0;
   bool sent_ = false;
@@ -730,16 +820,18 @@ class RdoublingScanOp final : public NbcOp {
 class DirectReduceScatterOp final : public NbcOp {
  public:
   DirectReduceScatterOp(CommPtr comm, int tag, std::span<const std::byte> send,
-                        std::span<std::byte> recv, Datatype dt, ReduceOp op)
+                        std::span<std::byte> recv, Datatype dt, ReduceOp op,
+                        simnet::BufferPool* pool)
       : NbcOp(std::move(comm), tag), send_(send), recv_(recv), dt_(dt), op_(op),
-        block_(recv.size()) {
+        pool_(pool), block_(recv.size()) {
     const int p = comm_->size();
     MANATEE_REQUIRE(send.size() == block_ * static_cast<std::size_t>(p),
                     "reduce_scatter_block: send must be comm_size * recv");
     MANATEE_REQUIRE(block_ % datatype_size(dt) == 0,
                     "reduce_scatter_block buffer not a whole number of elements");
     count_ = block_ / datatype_size(dt);
-    slots_.resize(static_cast<std::size_t>(p));
+    slots_.reserve(static_cast<std::size_t>(p));
+    slots_.ensure_size(static_cast<std::size_t>(p));
   }
 
  protected:
@@ -747,6 +839,11 @@ class DirectReduceScatterOp final : public NbcOp {
     const int p = comm_->size();
     const int r = comm_->rank;
     if (!sent_) {
+      for (int s = 0; s < p; ++s) {
+        if (s != r) {
+          prepost(rank, slots_[static_cast<std::size_t>(s)], s, block_);
+        }
+      }
       for (int dst = 0; dst < p; ++dst) {
         if (dst != r) send_bytes(rank, dst, send_block(dst));
       }
@@ -762,7 +859,7 @@ class DirectReduceScatterOp final : public NbcOp {
         contribution = slot.buf;
       }
       if (next_src_ == 0) {
-        acc_.assign(contribution.begin(), contribution.end());
+        acc_.assign(pool_, contribution);
       } else {
         apply_reduce(op_, dt_, acc_, contribution, count_);
         charge_compute(rank.runtime().cost().reduce_cost(block_));
@@ -782,10 +879,11 @@ class DirectReduceScatterOp final : public NbcOp {
   std::span<std::byte> recv_;
   Datatype dt_;
   ReduceOp op_;
+  simnet::BufferPool* pool_;
   std::size_t block_;
   std::size_t count_ = 0;
-  std::vector<std::byte> acc_;
-  std::deque<Slot> slots_;
+  simnet::PayloadBuffer acc_;
+  SlotArray slots_;
   int next_src_ = 0;
   bool sent_ = false;
 };
@@ -798,7 +896,8 @@ class DirectReduceScatterOp final : public NbcOp {
 class RingReduceScatterOp final : public NbcOp {
  public:
   RingReduceScatterOp(CommPtr comm, int tag, std::span<const std::byte> send,
-                      std::span<std::byte> recv, Datatype dt, ReduceOp op)
+                      std::span<std::byte> recv, Datatype dt, ReduceOp op,
+                      simnet::BufferPool* pool)
       : NbcOp(std::move(comm), tag), recv_(recv), dt_(dt), op_(op),
         block_(recv.size()) {
     const int p = comm_->size();
@@ -807,8 +906,10 @@ class RingReduceScatterOp final : public NbcOp {
     MANATEE_REQUIRE(block_ % datatype_size(dt) == 0,
                     "reduce_scatter_block buffer not a whole number of elements");
     count_ = block_ / datatype_size(dt);
-    acc_.assign(send.begin(), send.end());
-    slots_.resize(static_cast<std::size_t>(p > 0 ? p - 1 : 0));
+    acc_.assign(pool, send);
+    const auto n = static_cast<std::size_t>(p > 0 ? p - 1 : 0);
+    slots_.reserve(n);
+    slots_.ensure_size(n);
   }
 
  protected:
@@ -817,6 +918,12 @@ class RingReduceScatterOp final : public NbcOp {
     const int r = comm_->rank;
     const int right = (r + 1) % p;
     const int left = (r - 1 + p) % p;
+    if (!preposted_) {
+      for (int s = 0; s < p - 1; ++s) {
+        prepost(rank, slots_[static_cast<std::size_t>(s)], left, block_);
+      }
+      preposted_ = true;
+    }
     while (step_ < p - 1) {
       const int send_idx = ((r - step_ - 1) % p + p) % p;
       const int recv_idx = ((r - step_ - 2) % p + p) % p;
@@ -839,7 +946,7 @@ class RingReduceScatterOp final : public NbcOp {
 
  private:
   [[nodiscard]] std::span<std::byte> acc_block(int idx) {
-    return std::span(acc_).subspan(static_cast<std::size_t>(idx) * block_, block_);
+    return acc_.span().subspan(static_cast<std::size_t>(idx) * block_, block_);
   }
 
   std::span<std::byte> recv_;
@@ -847,10 +954,11 @@ class RingReduceScatterOp final : public NbcOp {
   ReduceOp op_;
   std::size_t block_;
   std::size_t count_ = 0;
-  std::vector<std::byte> acc_;
-  std::deque<Slot> slots_;
+  simnet::PayloadBuffer acc_;
+  SlotArray slots_;
   int step_ = 0;
   bool sent_ = false;
+  bool preposted_ = false;
 };
 
 // ---- allgatherv: linear -----------------------------------------------------
@@ -875,7 +983,8 @@ class LinearAllgathervOp final : public NbcOp {
                       "allgatherv recv buffer too small");
     }
     copy_bytes(recv_.subspan(displs_[r], counts_[r]), args.send);
-    slots_.resize(static_cast<std::size_t>(p));
+    slots_.reserve(static_cast<std::size_t>(p));
+    slots_.ensure_size(static_cast<std::size_t>(p));
   }
 
  protected:
@@ -883,6 +992,12 @@ class LinearAllgathervOp final : public NbcOp {
     const int p = comm_->size();
     const int r = comm_->rank;
     if (!sent_) {
+      for (int s = 0; s < p; ++s) {
+        if (s != r) {
+          prepost_into(rank, slots_[static_cast<std::size_t>(s)], s,
+                       block_of(s));
+        }
+      }
       const auto own = block_of(r);
       for (int dst = 0; dst < p; ++dst) {
         if (dst != r) send_bytes(rank, dst, own);
@@ -909,7 +1024,7 @@ class LinearAllgathervOp final : public NbcOp {
   std::span<std::byte> recv_;
   std::vector<std::size_t> counts_;
   std::vector<std::size_t> displs_;
-  std::deque<Slot> slots_;
+  SlotArray slots_;
   int next_src_ = 0;
   bool sent_ = false;
 };
@@ -941,7 +1056,8 @@ class DirectAlltoallvOp final : public NbcOp {
                     "alltoallv self block count mismatch");
     copy_bytes(recv_.subspan(recv_displs_[r], recv_counts_[r]),
                send_.subspan(send_displs_[r], send_counts_[r]));
-    slots_.resize(up);
+    slots_.reserve(up);
+    slots_.ensure_size(up);
   }
 
  protected:
@@ -949,6 +1065,13 @@ class DirectAlltoallvOp final : public NbcOp {
     const int p = comm_->size();
     const int r = comm_->rank;
     if (!sent_) {
+      for (int s = 0; s < p; ++s) {
+        const auto u = static_cast<std::size_t>(s);
+        if (s != r) {
+          prepost_into(rank, slots_[u], s,
+                       recv_.subspan(recv_displs_[u], recv_counts_[u]));
+        }
+      }
       for (int dst = 0; dst < p; ++dst) {
         const auto u = static_cast<std::size_t>(dst);
         if (dst != r) {
@@ -976,7 +1099,7 @@ class DirectAlltoallvOp final : public NbcOp {
   std::vector<std::size_t> send_displs_;
   std::vector<std::size_t> recv_counts_;
   std::vector<std::size_t> recv_displs_;
-  std::deque<Slot> slots_;
+  SlotArray slots_;
   int next_src_ = 0;
   bool sent_ = false;
 };
@@ -995,8 +1118,8 @@ void register_global_algorithms(Registry& registry) {
 
   registry.add(CollKind::kAllreduce, "linear",
                [](CommPtr comm, int tag, const CollArgs& a) -> std::unique_ptr<NbcOp> {
-                 return std::make_unique<LinearAllreduceOp>(std::move(comm), tag,
-                                                            a.send, a.recv, a.dt, a.op);
+                 return std::make_unique<LinearAllreduceOp>(
+                     std::move(comm), tag, a.send, a.recv, a.dt, a.op, a.pool);
                });
   registry.add(CollKind::kAllreduce, "rdoubling",
                [](CommPtr comm, int tag, const CollArgs& a) -> std::unique_ptr<NbcOp> {
@@ -1035,7 +1158,7 @@ void register_global_algorithms(Registry& registry) {
   registry.add(CollKind::kAlltoall, "bruck",
                [](CommPtr comm, int tag, const CollArgs& a) -> std::unique_ptr<NbcOp> {
                  return std::make_unique<BruckAlltoallOp>(std::move(comm), tag, a.send,
-                                                          a.recv);
+                                                          a.recv, a.pool);
                });
 
   registry.add(CollKind::kScan, "linear",
@@ -1052,12 +1175,12 @@ void register_global_algorithms(Registry& registry) {
   registry.add(CollKind::kReduceScatterBlock, "direct",
                [](CommPtr comm, int tag, const CollArgs& a) -> std::unique_ptr<NbcOp> {
                  return std::make_unique<DirectReduceScatterOp>(
-                     std::move(comm), tag, a.send, a.recv, a.dt, a.op);
+                     std::move(comm), tag, a.send, a.recv, a.dt, a.op, a.pool);
                });
   registry.add(CollKind::kReduceScatterBlock, "ring",
                [](CommPtr comm, int tag, const CollArgs& a) -> std::unique_ptr<NbcOp> {
                  return std::make_unique<RingReduceScatterOp>(
-                     std::move(comm), tag, a.send, a.recv, a.dt, a.op);
+                     std::move(comm), tag, a.send, a.recv, a.dt, a.op, a.pool);
                });
 
   registry.add(CollKind::kAllgatherv, "linear",

@@ -129,15 +129,19 @@ class RingBcastOp final : public NbcOp {
 class LinearReduceOp final : public NbcOp {
  public:
   LinearReduceOp(CommPtr comm, int tag, std::span<const std::byte> send,
-                 std::span<std::byte> recv, Datatype dt, ReduceOp op, int root)
+                 std::span<std::byte> recv, Datatype dt, ReduceOp op, int root,
+                 simnet::BufferPool* pool)
       : NbcOp(std::move(comm), tag), send_(send), recv_(recv), dt_(dt), op_(op),
-        root_(root) {
+        root_(root), pool_(pool) {
     const int p = comm_->size();
     MANATEE_REQUIRE(root >= 0 && root < p, "reduce root out of range");
     MANATEE_REQUIRE(send.size() % datatype_size(dt) == 0,
                     "reduce buffer not a whole number of elements");
     count_ = send.size() / datatype_size(dt);
-    if (comm_->rank == root) slots_.resize(static_cast<std::size_t>(p));
+    if (comm_->rank == root) {
+      slots_.reserve(static_cast<std::size_t>(p));
+      slots_.ensure_size(static_cast<std::size_t>(p));
+    }
   }
 
  protected:
@@ -146,6 +150,14 @@ class LinearReduceOp final : public NbcOp {
     if (comm_->rank != root_) {
       send_bytes(rank, root_, send_);
       return true;
+    }
+    if (!preposted_) {
+      for (int s = 0; s < p; ++s) {
+        if (s != comm_->rank) {
+          prepost(rank, slots_[static_cast<std::size_t>(s)], s, send_.size());
+        }
+      }
+      preposted_ = true;
     }
     while (next_src_ < p) {
       std::span<const std::byte> contribution;
@@ -157,7 +169,7 @@ class LinearReduceOp final : public NbcOp {
         contribution = slot.buf;
       }
       if (next_src_ == 0) {
-        acc_.assign(contribution.begin(), contribution.end());
+        acc_.assign(pool_, contribution);
       } else {
         apply_reduce(op_, dt_, acc_, contribution, count_);
         charge_compute(rank.runtime().cost().reduce_cost(acc_.size()));
@@ -174,10 +186,12 @@ class LinearReduceOp final : public NbcOp {
   Datatype dt_;
   ReduceOp op_;
   int root_;
+  simnet::BufferPool* pool_;
   std::size_t count_;
-  std::vector<std::byte> acc_;
-  std::deque<Slot> slots_;
+  simnet::PayloadBuffer acc_;
+  SlotArray slots_;
   int next_src_ = 0;
+  bool preposted_ = false;
 };
 
 // ---- reduce: binomial tree --------------------------------------------------
@@ -185,15 +199,19 @@ class LinearReduceOp final : public NbcOp {
 class BinomialReduceOp final : public NbcOp {
  public:
   BinomialReduceOp(CommPtr comm, int tag, std::span<const std::byte> send,
-                   std::span<std::byte> recv, Datatype dt, ReduceOp op, int root)
+                   std::span<std::byte> recv, Datatype dt, ReduceOp op, int root,
+                   simnet::BufferPool* pool)
       : NbcOp(std::move(comm), tag), recv_(recv), dt_(dt), op_(op), root_(root) {
     const int p = comm_->size();
     MANATEE_REQUIRE(root >= 0 && root < p, "reduce root out of range");
     MANATEE_REQUIRE(send.size() % datatype_size(dt) == 0,
                     "reduce buffer not a whole number of elements");
     vr_ = (comm_->rank - root + p) % p;
-    acc_.assign(send.begin(), send.end());
+    acc_.assign(pool, send);
     count_ = send.size() / datatype_size(dt);
+    int rounds = 0;
+    while ((1 << rounds) < p) ++rounds;
+    slots_.reserve(static_cast<std::size_t>(rounds));
   }
 
  protected:
@@ -207,7 +225,7 @@ class BinomialReduceOp final : public NbcOp {
       }
       const int src_vr = vr_ + mask_;
       if (src_vr < p) {
-        slots_.resize(std::max(slots_.size(), used_slots_ + 1));
+        slots_.ensure_size(used_slots_ + 1);
         Slot& slot = slots_[used_slots_];
         if (!recv_ready(rank, slot, to_rank(src_vr), acc_.size())) return false;
         apply_reduce(op_, dt_, acc_, slot.buf, count_);
@@ -229,8 +247,8 @@ class BinomialReduceOp final : public NbcOp {
   int root_;
   int vr_;
   std::size_t count_;
-  std::vector<std::byte> acc_;
-  std::deque<Slot> slots_;
+  simnet::PayloadBuffer acc_;
+  SlotArray slots_;
   std::size_t used_slots_ = 0;
   int mask_ = 1;
 };
@@ -248,7 +266,8 @@ class LinearGatherOp final : public NbcOp {
     if (comm_->rank == root) {
       MANATEE_REQUIRE(recv.size() >= block_ * static_cast<std::size_t>(p),
                       "gather recv buffer too small at root");
-      slots_.resize(static_cast<std::size_t>(p));
+      slots_.reserve(static_cast<std::size_t>(p));
+      slots_.ensure_size(static_cast<std::size_t>(p));
     }
   }
 
@@ -258,6 +277,15 @@ class LinearGatherOp final : public NbcOp {
     if (comm_->rank != root_) {
       send_bytes(rank, root_, send_);
       return true;
+    }
+    if (!preposted_) {
+      for (int s = 0; s < p; ++s) {
+        if (s != comm_->rank) {
+          prepost_into(rank, slots_[static_cast<std::size_t>(s)], s,
+                       block_of(s));
+        }
+      }
+      preposted_ = true;
     }
     copy_bytes(block_of(comm_->rank), send_);
     while (next_src_ < p) {
@@ -280,8 +308,9 @@ class LinearGatherOp final : public NbcOp {
   std::span<std::byte> recv_;
   int root_;
   std::size_t block_;
-  std::deque<Slot> slots_;
+  SlotArray slots_;
   int next_src_ = 0;
+  bool preposted_ = false;
 };
 
 // ---- gather: binomial tree --------------------------------------------------
@@ -289,7 +318,8 @@ class LinearGatherOp final : public NbcOp {
 class BinomialGatherOp final : public NbcOp {
  public:
   BinomialGatherOp(CommPtr comm, int tag, std::span<const std::byte> send,
-                   std::span<std::byte> recv, int root)
+                   std::span<std::byte> recv, int root,
+                   simnet::BufferPool* pool)
       : NbcOp(std::move(comm), tag), recv_(recv), root_(root),
         block_(send.size()) {
     const int p = comm_->size();
@@ -299,8 +329,11 @@ class BinomialGatherOp final : public NbcOp {
       MANATEE_REQUIRE(recv.size() >= block_ * static_cast<std::size_t>(p),
                       "gather recv buffer too small at root");
     }
-    tmp_.resize(block_ * static_cast<std::size_t>(p));
-    copy_bytes(std::span(tmp_).subspan(0, block_), send);
+    tmp_.ensure(pool, block_ * static_cast<std::size_t>(p));
+    copy_bytes(tmp_.span().subspan(0, block_), send);
+    int rounds = 0;
+    while ((1 << rounds) < p) ++rounds;
+    slots_.reserve(static_cast<std::size_t>(rounds));
   }
 
  protected:
@@ -310,18 +343,18 @@ class BinomialGatherOp final : public NbcOp {
       if (vr_ & mask_) {
         const auto held = static_cast<std::size_t>(std::min(mask_, p - vr_));
         send_bytes(rank, to_rank(vr_ - mask_),
-                   std::span(tmp_).subspan(0, held * block_));
+                   tmp_.span().subspan(0, held * block_));
         mask_ = p;
         break;
       }
       const int src_vr = vr_ + mask_;
       if (src_vr < p) {
         const auto cnt = static_cast<std::size_t>(std::min(mask_, p - src_vr));
-        slots_.resize(std::max(slots_.size(), used_slots_ + 1));
+        slots_.ensure_size(used_slots_ + 1);
         Slot& slot = slots_[used_slots_];
         const auto off = static_cast<std::size_t>(mask_) * block_;
         if (!recv_ready_into(rank, slot, to_rank(src_vr),
-                             std::span(tmp_).subspan(off, cnt * block_))) {
+                             tmp_.span().subspan(off, cnt * block_))) {
           return false;
         }
         ++used_slots_;
@@ -346,8 +379,8 @@ class BinomialGatherOp final : public NbcOp {
   int root_;
   std::size_t block_;
   int vr_;
-  std::vector<std::byte> tmp_;
-  std::deque<Slot> slots_;
+  simnet::PayloadBuffer tmp_;
+  SlotArray slots_;
   std::size_t used_slots_ = 0;
   int mask_ = 1;
 };
@@ -402,13 +435,14 @@ class LinearScatterOp final : public NbcOp {
 class BinomialScatterOp final : public NbcOp {
  public:
   BinomialScatterOp(CommPtr comm, int tag, std::span<const std::byte> send,
-                    std::span<std::byte> recv, int root)
+                    std::span<std::byte> recv, int root,
+                    simnet::BufferPool* pool)
       : NbcOp(std::move(comm), tag), recv_(recv), root_(root),
         block_(recv.size()) {
     const int p = comm_->size();
     MANATEE_REQUIRE(root >= 0 && root < p, "scatter root out of range");
     vr_ = (comm_->rank - root + p) % p;
-    tmp_.resize(block_ * static_cast<std::size_t>(p));
+    tmp_.ensure(pool, block_ * static_cast<std::size_t>(p));
     if (comm_->rank == root) {
       MANATEE_REQUIRE(send.size() >= block_ * static_cast<std::size_t>(p),
                       "scatter send buffer too small at root");
@@ -432,7 +466,7 @@ class BinomialScatterOp final : public NbcOp {
     if (vr_ != 0 && !recv_done_) {
       const auto cnt = static_cast<std::size_t>(std::min(recv_mask_, p - vr_));
       if (!recv_ready_into(rank, rslot_, to_rank(vr_ - recv_mask_),
-                           std::span(tmp_).subspan(0, cnt * block_))) {
+                           tmp_.span().subspan(0, cnt * block_))) {
         return false;
       }
     }
@@ -443,11 +477,11 @@ class BinomialScatterOp final : public NbcOp {
         const auto cnt = static_cast<std::size_t>(std::min(send_mask_, p - child_vr));
         const auto off = static_cast<std::size_t>(send_mask_) * block_;
         send_bytes(rank, to_rank(child_vr),
-                   std::span(tmp_).subspan(off, cnt * block_));
+                   tmp_.span().subspan(off, cnt * block_));
       }
       send_mask_ >>= 1;
     }
-    copy_bytes(recv_, std::span(tmp_).subspan(0, block_));
+    copy_bytes(recv_, tmp_.span().subspan(0, block_));
     return true;
   }
 
@@ -458,7 +492,7 @@ class BinomialScatterOp final : public NbcOp {
   int root_;
   std::size_t block_;
   int vr_;
-  std::vector<std::byte> tmp_;
+  simnet::PayloadBuffer tmp_;
   int recv_mask_;
   int send_mask_;
   bool recv_done_ = false;
@@ -487,7 +521,8 @@ class LinearGathervOp final : public NbcOp {
                             recv_.size(),
                         "gatherv recv buffer too small at root");
       }
-      slots_.resize(static_cast<std::size_t>(p));
+      slots_.reserve(static_cast<std::size_t>(p));
+      slots_.ensure_size(static_cast<std::size_t>(p));
     }
   }
 
@@ -497,6 +532,15 @@ class LinearGathervOp final : public NbcOp {
     if (comm_->rank != root_) {
       send_bytes(rank, root_, send_);
       return true;
+    }
+    if (!preposted_) {
+      for (int s = 0; s < p; ++s) {
+        if (s != comm_->rank) {
+          prepost_into(rank, slots_[static_cast<std::size_t>(s)], s,
+                       block_of(s));
+        }
+      }
+      preposted_ = true;
     }
     copy_bytes(block_of(comm_->rank), send_);
     while (next_src_ < p) {
@@ -521,8 +565,9 @@ class LinearGathervOp final : public NbcOp {
   int root_;
   std::vector<std::size_t> counts_;
   std::vector<std::size_t> displs_;
-  std::deque<Slot> slots_;
+  SlotArray slots_;
   int next_src_ = 0;
+  bool preposted_ = false;
 };
 
 }  // namespace
@@ -547,12 +592,14 @@ void register_rooted_algorithms(Registry& registry) {
   registry.add(CollKind::kReduce, "linear",
                [](CommPtr comm, int tag, const CollArgs& a) -> std::unique_ptr<NbcOp> {
                  return std::make_unique<LinearReduceOp>(std::move(comm), tag, a.send,
-                                                         a.recv, a.dt, a.op, a.root);
+                                                         a.recv, a.dt, a.op, a.root,
+                                                         a.pool);
                });
   registry.add(CollKind::kReduce, "binomial",
                [](CommPtr comm, int tag, const CollArgs& a) -> std::unique_ptr<NbcOp> {
                  return std::make_unique<BinomialReduceOp>(
-                     std::move(comm), tag, a.send, a.recv, a.dt, a.op, a.root);
+                     std::move(comm), tag, a.send, a.recv, a.dt, a.op, a.root,
+                     a.pool);
                });
 
   registry.add(CollKind::kGather, "linear",
@@ -562,8 +609,8 @@ void register_rooted_algorithms(Registry& registry) {
                });
   registry.add(CollKind::kGather, "binomial",
                [](CommPtr comm, int tag, const CollArgs& a) -> std::unique_ptr<NbcOp> {
-                 return std::make_unique<BinomialGatherOp>(std::move(comm), tag,
-                                                           a.send, a.recv, a.root);
+                 return std::make_unique<BinomialGatherOp>(
+                     std::move(comm), tag, a.send, a.recv, a.root, a.pool);
                });
 
   registry.add(CollKind::kScatter, "linear",
@@ -573,8 +620,8 @@ void register_rooted_algorithms(Registry& registry) {
                });
   registry.add(CollKind::kScatter, "binomial",
                [](CommPtr comm, int tag, const CollArgs& a) -> std::unique_ptr<NbcOp> {
-                 return std::make_unique<BinomialScatterOp>(std::move(comm), tag,
-                                                            a.send, a.recv, a.root);
+                 return std::make_unique<BinomialScatterOp>(
+                     std::move(comm), tag, a.send, a.recv, a.root, a.pool);
                });
 
   registry.add(CollKind::kGatherv, "linear",

@@ -20,6 +20,10 @@
 #include "umpi/communicator.hpp"
 #include "umpi/types.hpp"
 
+namespace manatee::simnet {
+class BufferPool;
+}
+
 namespace manatee::umpi {
 class NbcOp;
 }
@@ -67,6 +71,10 @@ struct CollArgs {
   std::span<const std::size_t> send_displs{};
   std::span<const std::size_t> recv_counts{};
   std::span<const std::size_t> recv_displs{};
+  /// Scratch-buffer pool for algorithm-internal accumulators and staging
+  /// (the fabric's pool; Rank fills it in). Null falls back to the global
+  /// allocator, so directly-constructed ops in tests keep working.
+  simnet::BufferPool* pool = nullptr;
 };
 
 /// Builds a ready-to-progress NbcOp for one collective instance. `tag` is

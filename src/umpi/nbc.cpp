@@ -52,14 +52,33 @@ void NbcOp::post(Rank& rank, Slot& slot, int src) {
   slot.posted = true;
 }
 
+void NbcOp::prepost(Rank& rank, Slot& slot, int src, std::size_t max_bytes) {
+  if (slot.posted) return;
+  slot.buf.ensure(&rank.runtime().fabric().pool(), max_bytes);
+  slot.dest = slot.buf.data();
+  slot.capacity = max_bytes;
+  post(rank, slot, src);
+}
+
+void NbcOp::prepost_into(Rank& rank, Slot& slot, int src,
+                         std::span<std::byte> dest) {
+  if (slot.posted) return;
+  slot.dest = dest.data();
+  slot.capacity = dest.size();
+  post(rank, slot, src);
+}
+
 bool NbcOp::recv_ready(Rank& rank, Slot& slot, int src, std::size_t max_bytes) {
   if (!slot.posted) {
-    slot.buf.resize(max_bytes);
+    slot.buf.ensure(&rank.runtime().fabric().pool(), max_bytes);
     slot.dest = slot.buf.data();
     slot.capacity = max_bytes;
     post(rank, slot, src);
   }
-  if (!slot.result.is_done()) return false;
+  if (!slot.result.is_done()) {
+    blocking_on_ = &slot.result;
+    return false;
+  }
   if (!slot.consumed) {
     slot.consumed = true;
     op_clock_.merge(slot.result.arrival_ns);
@@ -75,7 +94,10 @@ bool NbcOp::recv_ready_into(Rank& rank, Slot& slot, int src,
     slot.capacity = dest.size();
     post(rank, slot, src);
   }
-  if (!slot.result.is_done()) return false;
+  if (!slot.result.is_done()) {
+    blocking_on_ = &slot.result;
+    return false;
+  }
   if (!slot.consumed) {
     slot.consumed = true;
     op_clock_.merge(slot.result.arrival_ns);

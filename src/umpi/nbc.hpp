@@ -18,11 +18,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
+#include <new>
 #include <span>
 #include <vector>
 
+#include "common/error.hpp"
 #include "simnet/mailbox.hpp"
 #include "simnet/virtual_clock.hpp"
 #include "umpi/communicator.hpp"
@@ -51,6 +52,16 @@ class NbcOp {
   /// Causal completion time of the operation (valid once complete()).
   [[nodiscard]] simnet::SimTime completion_ns() const;
 
+  /// The single posted receive the last try_progress stopped at, when it
+  /// did (every algorithm consumes its receives in a deterministic order,
+  /// so an incomplete op is always blocked on exactly one result). The
+  /// blocking-collective wait targets this: the rank sleeps until *that*
+  /// receive completes, while other arrivals — pre-posted later rounds,
+  /// unrelated traffic — complete in place without waking it.
+  [[nodiscard]] const simnet::RecvResult* blocking_on() const noexcept {
+    return complete_ ? nullptr : blocking_on_;
+  }
+
   [[nodiscard]] bool complete() const noexcept { return complete_; }
   [[nodiscard]] const CommPtr& comm() const noexcept { return comm_; }
   [[nodiscard]] int tag() const noexcept { return tag_; }
@@ -60,14 +71,14 @@ class NbcOp {
   virtual bool step(Rank& rank) = 0;
 
   /// A receive slot. Stable address required after posting; subclasses keep
-  /// slots in a std::deque or a pre-sized vector. A slot destroyed while
+  /// slots in a SlotArray (or as direct members). A slot destroyed while
   /// its receive is still posted withdraws it from the store itself — this
   /// must happen in the *slot's* destructor (derived-class members), not
   /// the NbcOp base destructor, which runs only after the slots are gone.
   struct Slot {
     simnet::RecvResult result;
-    std::vector<std::byte> buf;  ///< internal staging buffer (optional)
-    std::byte* dest = nullptr;   ///< where the payload lands
+    simnet::PayloadBuffer buf;  ///< internal staging buffer (pool-backed)
+    std::byte* dest = nullptr;  ///< where the payload lands
     std::size_t capacity = 0;
     bool posted = false;
     bool consumed = false;  ///< clock already merged for this completion
@@ -81,6 +92,55 @@ class NbcOp {
         store->cancel_recv(&result);
       }
     }
+  };
+
+  /// Fixed-capacity slot storage: one allocation for the whole operation
+  /// (a std::deque<Slot> costs several even when empty) and stable
+  /// addresses by construction. Every algorithm knows a bound on its slot
+  /// count up front (p, log2(p), ...); reserve() it once, then size()/grow
+  /// with operator[] semantics via ensure_size().
+  class SlotArray {
+   public:
+    SlotArray() = default;
+    SlotArray(const SlotArray&) = delete;
+    SlotArray& operator=(const SlotArray&) = delete;
+    ~SlotArray() { clear(); }
+
+    /// Allocates capacity for `cap` default-constructed-on-demand slots.
+    void reserve(std::size_t cap) {
+      MANATEE_CHECK(storage_ == nullptr, "SlotArray::reserve called twice");
+      if (cap == 0) return;
+      storage_ = static_cast<Slot*>(
+          ::operator new(cap * sizeof(Slot), std::align_val_t{alignof(Slot)}));
+      cap_ = cap;
+    }
+
+    /// Grows the constructed prefix to `n` (within reserved capacity).
+    void ensure_size(std::size_t n) {
+      MANATEE_CHECK(n <= cap_, "SlotArray overflow: reserve a larger bound");
+      while (size_ < n) new (&storage_[size_++]) Slot();
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] Slot& operator[](std::size_t i) {
+      MANATEE_CHECK(i < size_, "SlotArray index out of range");
+      return storage_[i];
+    }
+
+   private:
+    void clear() noexcept {
+      for (std::size_t i = size_; i > 0; --i) storage_[i - 1].~Slot();
+      if (storage_ != nullptr) {
+        ::operator delete(storage_, std::align_val_t{alignof(Slot)});
+      }
+      storage_ = nullptr;
+      size_ = 0;
+      cap_ = 0;
+    }
+
+    Slot* storage_ = nullptr;
+    std::size_t size_ = 0;
+    std::size_t cap_ = 0;
   };
 
   /// Send `bytes` to communicator rank `dst` on the collective channel,
@@ -98,6 +158,17 @@ class NbcOp {
   /// Same, but the payload lands directly in caller-owned memory.
   bool recv_ready_into(Rank& rank, Slot& slot, int src, std::span<std::byte> dest);
 
+  /// Receive-window pre-posting: post the slot's receive without waiting.
+  /// An algorithm whose full receive set is known up front posts it all in
+  /// its first step, so every arrival completes zero-copy into its final
+  /// destination (single memcpy, no unexpected-queue staging) no matter how
+  /// far ahead the senders run. Matching stays exact: slots aimed at the
+  /// same (source, tag) are consumed in post order, which MPI's
+  /// non-overtaking rule aligns with the sender's round order. The later
+  /// recv_ready/recv_ready_into call on the same slot consumes the result.
+  void prepost(Rank& rank, Slot& slot, int src, std::size_t max_bytes);
+  void prepost_into(Rank& rank, Slot& slot, int src, std::span<std::byte> dest);
+
   CommPtr comm_;
   int tag_;
   bool complete_ = false;
@@ -113,6 +184,8 @@ class NbcOp {
 
  private:
   void post(Rank& rank, Slot& slot, int src);
+
+  const simnet::RecvResult* blocking_on_ = nullptr;
 };
 
 }  // namespace manatee::umpi

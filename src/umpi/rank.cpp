@@ -1,6 +1,7 @@
 #include "umpi/rank.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <tuple>
 
@@ -82,7 +83,20 @@ Status Rank::recv(const CommPtr& comm, std::span<std::byte> data, int src,
   simnet::RecvResult result;
   const simnet::MatchPattern pattern{comm->context(Channel::kUser), src, tag};
   store().post_recv(pattern, data.data(), data.size(), &result);
-  drive([&] { return result.is_done(); });
+  if (!has_nbc_requests()) {
+    // Targeted fast path: nothing else needs progressing, so sleep until
+    // the delivery that completes *this* receive (or a job stop/abort).
+    store().wait_recv(result, [&] { return wait_interrupted(); });
+    // On interrupt, withdraw the receive so no late delivery writes into
+    // this dying stack frame; a cancel that fails lost the race to a
+    // concurrent completion, which wins (mirrors drive()'s done-first
+    // ordering).
+    if (!result.is_done() && store().cancel_recv(&result)) {
+      throw_wait_interrupt();
+    }
+  } else {
+    drive([&] { return result.is_done(); });
+  }
   clock_.merge(result.arrival_ns);
   clock_.advance(runtime_.cost().recv_overhead());
   if (result.truncated) throw UsageError("recv buffer too small (truncation)");
@@ -112,6 +126,13 @@ std::optional<simnet::ProbeInfo> Rank::iprobe(const CommPtr& comm, int src,
 
 simnet::ProbeInfo Rank::probe(const CommPtr& comm, int src, int tag) {
   check_comm(comm);
+  if (!has_nbc_requests()) {
+    const simnet::MatchPattern pattern{comm->context(Channel::kUser), src, tag};
+    const auto found =
+        store().wait_probe(pattern, [&] { return wait_interrupted(); });
+    if (!found.has_value()) throw_wait_interrupt();
+    return *found;
+  }
   std::optional<simnet::ProbeInfo> found;
   drive([&] {
     found = iprobe(comm, src, tag);
@@ -131,8 +152,28 @@ Status Rank::sendrecv(const CommPtr& comm, std::span<const std::byte> send_data,
 
 Request Rank::new_request(RequestState state) {
   const std::uint64_t id = next_request_id_++;
+  if (state.kind == RequestState::Kind::kNbc) ++nbc_requests_;
   requests_.emplace(id, std::move(state));
   return Request{id};
+}
+
+const simnet::RecvResult* Rank::recv_result(const Request& request) {
+  if (request.is_null()) return nullptr;
+  const RequestState* state = find(request);
+  if (state == nullptr || state->kind != RequestState::Kind::kRecv) {
+    return nullptr;
+  }
+  return state->recv.get();
+}
+
+bool Rank::wait_interrupted() const noexcept {
+  return runtime_.stop_requested() || runtime_.aborted();
+}
+
+void Rank::throw_wait_interrupt() {
+  if (runtime_.stop_requested()) throw JobStopping{};
+  throw RuntimeFault("peer rank failed; aborting wait on rank " +
+                     std::to_string(world_rank_));
 }
 
 Rank::RequestState* Rank::find(const Request& request) {
@@ -151,6 +192,7 @@ void Rank::cancel(Request& request) {
     if (state->kind == RequestState::Kind::kRecv && !state->recv->is_done()) {
       store().cancel_recv(state->recv.get());
     }
+    if (state->kind == RequestState::Kind::kNbc) --nbc_requests_;
     requests_.erase(request.id);
   }
   request = kNullRequest;
@@ -207,6 +249,7 @@ bool Rank::complete_if_done(Request& request, RequestState& state, Status* statu
       break;
     }
   }
+  if (state.kind == RequestState::Kind::kNbc) --nbc_requests_;
   requests_.erase(request.id);
   request = kNullRequest;  // mirrors MPI setting the handle to MPI_REQUEST_NULL
   return true;
@@ -222,6 +265,14 @@ bool Rank::test(Request& request, Status* status) {
 Status Rank::wait(Request& request) {
   Status status;
   if (request.is_null()) return status;
+  const simnet::RecvResult* recv = recv_result(request);
+  if (recv != nullptr && !has_nbc_requests()) {
+    // Targeted fast path (see Rank::recv). The posted receive stays owned
+    // by the request table on interrupt, so no cancel here — the table's
+    // owner (cancel()/teardown) withdraws it.
+    store().wait_recv(*recv, [&] { return wait_interrupted(); });
+    if (!recv->is_done()) throw_wait_interrupt();
+  }
   drive([&] { return test(request, &status); });
   return status;
 }
@@ -269,6 +320,7 @@ bool Rank::testany(std::span<Request> requests, int* index, Status* status) {
 }
 
 void Rank::progress_outstanding() {
+  if (nbc_requests_ == 0) return;
   for (auto& [id, state] : requests_) {
     if (state.kind == RequestState::Kind::kNbc && !state.nbc->complete()) {
       state.nbc->try_progress(*this);
@@ -276,7 +328,7 @@ void Rank::progress_outstanding() {
   }
 }
 
-void Rank::drive(const std::function<bool()>& done) {
+void Rank::drive(common::FunctionRef<bool()> done) {
   while (true) {
     const auto token = store().token();
     progress_outstanding();
@@ -292,12 +344,36 @@ void Rank::drive(const std::function<bool()>& done) {
 
 // ---- blocking collectives ------------------------------------------------------
 
+void Rank::drive_coll(NbcOp& op) {
+  static const bool disable_targeted =
+      std::getenv("MANATEE_NO_TARGETED_COLL") != nullptr;
+  if (disable_targeted || has_nbc_requests()) {
+    // Other collectives may need progressing: fall back to wake-on-anything.
+    drive([&] { return op.try_progress(*this); });
+    return;
+  }
+  while (!op.try_progress(*this)) {
+    const simnet::RecvResult* blocker = op.blocking_on();
+    if (blocker == nullptr) {
+      drive([&] { return op.try_progress(*this); });
+      return;
+    }
+    // Targeted: sleep until exactly the receive the algorithm is stuck on.
+    // Arrivals for pre-posted later rounds complete in place without waking
+    // this rank, collapsing a p-message fan-in into one sleep/wake.
+    store().wait_recv(*blocker, [&] { return wait_interrupted(); });
+    if (!blocker->is_done()) throw_wait_interrupt();
+  }
+}
+
 void Rank::run_coll(const CommPtr& comm, coll::CollKind kind,
                     const coll::CollArgs& args) {
   check_comm(comm);
   ++counters_.collective_calls;
-  auto op = coll::make_op(comm, kind, args);
-  drive([&] { return op->try_progress(*this); });
+  coll::CollArgs pooled = args;
+  pooled.pool = &runtime_.fabric().pool();
+  auto op = coll::make_op(comm, kind, pooled);
+  drive_coll(*op);
   clock_.merge(op->completion_ns());
 }
 
@@ -442,9 +518,11 @@ Request Rank::start_coll(const CommPtr& comm, coll::CollKind kind,
                          const coll::CollArgs& args) {
   check_comm(comm);
   ++counters_.collective_calls;
+  coll::CollArgs pooled = args;
+  pooled.pool = &runtime_.fabric().pool();
   RequestState state;
   state.kind = RequestState::Kind::kNbc;
-  state.nbc = coll::make_op(comm, kind, args);
+  state.nbc = coll::make_op(comm, kind, pooled);
   state.nbc->try_progress(*this);  // initiate: issue first-round traffic now
   return new_request(std::move(state));
 }
@@ -542,11 +620,12 @@ std::uint64_t Rank::agree_context_block(const CommPtr& comm, int count) {
   args.recv = bytes;
   args.dt = Datatype::kUInt64;
   args.root = 0;
+  args.pool = &runtime_.fabric().pool();
   // Bookkeeping collective: never subject to user-forced algorithms, which
   // may be inapplicable on this communicator.
   auto op = coll::make_op(comm, coll::CollKind::kBcast, args,
                           /*honor_forced=*/false);
-  drive([&] { return op->try_progress(*this); });
+  drive_coll(*op);
   clock_.merge(op->completion_ns());
   return base;
 }
@@ -580,9 +659,10 @@ CommPtr Rank::comm_split(const CommPtr& comm, int color, int key) {
     coll::CollArgs args;
     args.send = std::as_bytes(std::span(&mine, 1));
     args.recv = std::as_writable_bytes(std::span(all));
+    args.pool = &runtime_.fabric().pool();
     auto op = coll::make_op(comm, coll::CollKind::kAllgather, args,
                             /*honor_forced=*/false);
-    drive([&] { return op->try_progress(*this); });
+    drive_coll(*op);
     clock_.merge(op->completion_ns());
   }
 

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/function_ref.hpp"
 #include "simnet/fabric.hpp"
 #include "simnet/virtual_clock.hpp"
 #include "umpi/coll/module.hpp"
@@ -188,8 +189,22 @@ class Rank {
   /// all outstanding non-blocking collectives along the way. This is the
   /// single blocking primitive all waits are built on, and it is what makes
   /// the MPI-standard guarantee hold that initiated NBCs progress while the
-  /// process blocks elsewhere.
-  void drive(const std::function<bool()>& done);
+  /// process blocks elsewhere. (Blocking point-to-point takes a targeted
+  /// fast path instead when no non-blocking collective is outstanding —
+  /// nothing needs driving, so the rank sleeps on its receive's completion
+  /// and is only woken by the delivery that completes it.)
+  void drive(common::FunctionRef<bool()> done);
+
+  /// True while any non-blocking collective request is live in the request
+  /// table (complete-but-unconsumed counts: cheap superset check gating the
+  /// targeted-wait fast paths).
+  [[nodiscard]] bool has_nbc_requests() const noexcept {
+    return nbc_requests_ > 0;
+  }
+
+  /// The completion record behind a kRecv request (null for sends, NBCs,
+  /// consumed or unknown requests) — the wrapper layer's targeted-wait hint.
+  [[nodiscard]] const simnet::RecvResult* recv_result(const Request& request);
 
   /// Progress every outstanding non-blocking collective once.
   void progress_outstanding();
@@ -229,6 +244,9 @@ class Rank {
   RequestState* find(const Request& request);
   /// Per-communicator algorithm-selection module for a comm of `size` ranks.
   [[nodiscard]] coll::CollModulePtr make_coll_module(int size) const;
+  /// Drives one collective op to completion, sleeping targeted on the
+  /// receive it is blocked on whenever nothing else needs progressing.
+  void drive_coll(NbcOp& op);
   /// Runs a blocking collective through the selection layer.
   void run_coll(const CommPtr& comm, coll::CollKind kind,
                 const coll::CollArgs& args);
@@ -243,12 +261,20 @@ class Rank {
   /// broadcast it over the comm. Returns the agreed base id.
   std::uint64_t agree_context_block(const CommPtr& comm, int count);
 
+  /// Shared interrupt predicate of the targeted waits: job stop or abort
+  /// (both flipped with a notify_all_ranks(), which wakes every waiter).
+  [[nodiscard]] bool wait_interrupted() const noexcept;
+  /// Rethrows whatever wait_interrupted() observed (stop wins over abort,
+  /// matching drive()'s check order).
+  [[noreturn]] void throw_wait_interrupt();
+
   Runtime& runtime_;
   int world_rank_;
   simnet::VirtualClock clock_;
   CommPtr world_comm_;
   std::unordered_map<std::uint64_t, RequestState> requests_;
   std::uint64_t next_request_id_ = 1;
+  std::size_t nbc_requests_ = 0;  ///< kNbc entries in requests_
   CallCounters counters_;
 };
 

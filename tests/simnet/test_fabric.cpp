@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <thread>
+#include <vector>
 
 #include "common/error.hpp"
 
@@ -90,6 +92,61 @@ TEST_F(FabricTest, SenderClockAccumulatesAcrossSends) {
     fabric_.send(0, 1, 1, 0, 0, bytes_of("x"), clock_, TrafficClass::kUserP2P);
   }
   EXPECT_EQ(clock_.now(), 5 * fabric_.cost().send_overhead());
+}
+
+TEST_F(FabricTest, EagerPostedReceiveCompletesInPlace) {
+  std::byte buf[8];
+  RecvResult r;
+  fabric_.store(1).post_recv(MatchPattern{1, 0, 0}, buf, sizeof buf, &r);
+  const auto eager_before = fabric_.store(1).eager_completions();
+  fabric_.send(0, 1, 1, 0, 0, bytes_of("zc"), clock_, TrafficClass::kUserP2P);
+  ASSERT_TRUE(r.is_done());
+  EXPECT_EQ(std::memcmp(buf, "zc", 2), 0);
+  EXPECT_EQ(fabric_.store(1).eager_completions(), eager_before + 1);
+  // Nothing was staged: no unexpected envelope, so no pool/heap traffic.
+  EXPECT_EQ(fabric_.store(1).count_unexpected([](const Envelope&) {
+    return true;
+  }), 0u);
+}
+
+// Concurrent senders from many threads to overlapping destinations and
+// traffic classes must fold to exact totals (run under the TSan CI job,
+// which catches any racy counter accumulation).
+TEST_F(FabricTest, TrafficCountersRaceFreeUnderConcurrentSends) {
+  constexpr int kThreads = 8;
+  constexpr int kSendsPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t] {
+      VirtualClock clock;
+      const auto cls = static_cast<TrafficClass>(t % kTrafficClassCount);
+      for (int i = 0; i < kSendsPerThread; ++i) {
+        fabric_.send(t % 4, (t + 1) % 4, 1, 0, 0, bytes_of("abc"), clock, cls);
+      }
+    });
+  }
+  // Concurrent folded reads must be safe (not just the final totals).
+  std::uint64_t observed = 0;
+  while (observed < kThreads * kSendsPerThread) {
+    observed = fabric_.total_messages();
+  }
+  for (auto& th : threads) th.join();
+
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  for (int c = 0; c < kTrafficClassCount; ++c) {
+    const auto counters = fabric_.counters(static_cast<TrafficClass>(c));
+    messages += counters.messages;
+    bytes += counters.bytes;
+    // kThreads/kTrafficClassCount threads per class.
+    EXPECT_EQ(counters.messages,
+              static_cast<std::uint64_t>(kThreads / kTrafficClassCount) *
+                  kSendsPerThread);
+  }
+  EXPECT_EQ(messages, static_cast<std::uint64_t>(kThreads) * kSendsPerThread);
+  EXPECT_EQ(bytes, messages * 3);
+  EXPECT_EQ(fabric_.total_messages(), messages);
 }
 
 }  // namespace

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
+#include <span>
 #include <thread>
 
 #include "common/error.hpp"
@@ -17,8 +19,7 @@ Envelope make_env(ContextId ctx, int src, int tag, std::string_view payload,
   e.src = src;
   e.tag = tag;
   e.arrival_ns = arrival;
-  const auto* p = reinterpret_cast<const std::byte*>(payload.data());
-  e.payload.assign(p, p + payload.size());
+  e.payload.assign(std::as_bytes(std::span(payload.data(), payload.size())));
   return e;
 }
 
@@ -174,6 +175,60 @@ TEST_F(MailboxTest, WaitChangedWakesOnNotify) {
   std::thread waker([this] { store_.notify(); });
   store_.wait_changed(token);  // must not throw (watchdog default is long)
   waker.join();
+}
+
+TEST_F(MailboxTest, WaitRecvWakesOnMatchingDelivery) {
+  store_.post_recv(MatchPattern{1, 0, 0}, buf_, sizeof buf_, &result_);
+  std::thread sender([this] {
+    // An unrelated message first (must not complete the wait), then the one
+    // that matches the posted receive.
+    store_.deliver(make_env(2, 1, 9, "unrelated"));
+    store_.deliver(make_env(1, 0, 0, "target"));
+  });
+  store_.wait_recv(result_, [] { return false; });
+  sender.join();
+  ASSERT_TRUE(result_.is_done());
+  EXPECT_EQ(std::memcmp(buf_, "target", 6), 0);
+}
+
+TEST_F(MailboxTest, WaitRecvInterruptViaNotify) {
+  std::atomic<bool> stop{false};
+  store_.post_recv(MatchPattern{1, 0, 0}, buf_, sizeof buf_, &result_);
+  std::thread interrupter([&] {
+    stop.store(true, std::memory_order_release);
+    store_.notify();
+  });
+  store_.wait_recv(result_,
+                   [&] { return stop.load(std::memory_order_acquire); });
+  interrupter.join();
+  EXPECT_FALSE(result_.is_done());
+  EXPECT_TRUE(store_.cancel_recv(&result_));
+}
+
+TEST_F(MailboxTest, WaitProbeReturnsMatchMetadata) {
+  const MatchPattern pattern{1, kAnySource, 5};
+  std::thread sender([this] {
+    store_.deliver(make_env(1, 3, 4, "wrong tag"));
+    store_.deliver(make_env(1, 2, 5, "right", 99));
+  });
+  const auto info = store_.wait_probe(pattern, [] { return false; });
+  sender.join();
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->src, 2);
+  EXPECT_EQ(info->tag, 5);
+  EXPECT_EQ(info->bytes, 5u);
+  EXPECT_EQ(info->arrival_ns, 99);
+  // Probing does not consume.
+  EXPECT_TRUE(store_.iprobe(MatchPattern{1, 2, 5}).has_value());
+}
+
+TEST_F(MailboxTest, WaitRecvWatchdogThrows) {
+  const long saved = MessageStore::wait_timeout_ms();
+  MessageStore::set_wait_timeout_ms(50);
+  store_.post_recv(MatchPattern{1, 0, 0}, buf_, sizeof buf_, &result_);
+  EXPECT_THROW(store_.wait_recv(result_, [] { return false; }), RuntimeFault);
+  MessageStore::set_wait_timeout_ms(saved);
+  EXPECT_TRUE(store_.cancel_recv(&result_));
 }
 
 TEST_F(MailboxTest, SnapshotAndInjectRoundTrip) {

@@ -1,0 +1,403 @@
+// test_mailbox_property.cpp — equivalence of the binned matcher against a
+// reference implementation of the old single-linear-queue matcher.
+//
+// MPI matching semantics (non-overtaking per (context, source), post-order
+// matching across receives, arrival-order ANY_SOURCE/ANY_TAG selection,
+// restart-injection prepend order) are fully determined by the linear
+// two-queue model. The binned store must be observationally equivalent: we
+// drive both with identical randomized operation streams — deliveries,
+// posted receives (wildcard mixes), truncating receives, try_recv, cancel,
+// probes, and inject batches — and compare every observable after every
+// step.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "simnet/mailbox.hpp"
+
+namespace manatee::simnet {
+namespace {
+
+// ---- reference: the pre-binning linear matcher ------------------------------
+
+struct RefEnv {
+  ContextId context = 0;
+  int src = 0;
+  int tag = 0;
+  SimTime arrival_ns = 0;
+  std::vector<std::byte> payload;
+};
+
+class RefStore {
+ public:
+  void deliver(ContextId ctx, int src, int tag, SimTime arrival,
+               std::vector<std::byte> payload) {
+    RefEnv env{ctx, src, tag, arrival, std::move(payload)};
+    for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+      if (matches(it->pattern, env)) {
+        complete(*it, env);
+        posted_.erase(it);
+        return;
+      }
+    }
+    unexpected_.push_back(std::move(env));
+  }
+
+  void post_recv(const MatchPattern& pattern, std::byte* dest,
+                 std::size_t capacity, RecvResult* result) {
+    for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+      if (matches(pattern, *it)) {
+        const Posted p{pattern, dest, capacity, result};
+        complete(p, *it);
+        unexpected_.erase(it);
+        return;
+      }
+    }
+    posted_.push_back(Posted{pattern, dest, capacity, result});
+  }
+
+  bool cancel_recv(const RecvResult* result) {
+    for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+      if (it->result == result) {
+        posted_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::optional<ProbeInfo> iprobe(const MatchPattern& pattern) const {
+    for (const auto& env : unexpected_) {
+      if (matches(pattern, env)) {
+        return ProbeInfo{env.src, env.tag, env.payload.size(), env.arrival_ns};
+      }
+    }
+    return std::nullopt;
+  }
+
+  bool try_recv_unexpected(const MatchPattern& pattern, std::byte* dest,
+                           std::size_t capacity, RecvResult* result) {
+    for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+      if (matches(pattern, *it)) {
+        const Posted p{pattern, dest, capacity, result};
+        complete(p, *it);
+        unexpected_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void inject(const std::vector<RefEnv>& messages) {
+    std::deque<RefEnv> pending;
+    for (const auto& m : messages) {
+      RefEnv env = m;
+      bool matched = false;
+      for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+        if (matches(it->pattern, env)) {
+          complete(*it, env);
+          posted_.erase(it);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) pending.push_back(std::move(env));
+    }
+    unexpected_.insert(unexpected_.begin(),
+                       std::make_move_iterator(pending.begin()),
+                       std::make_move_iterator(pending.end()));
+  }
+
+  [[nodiscard]] const std::deque<RefEnv>& unexpected() const {
+    return unexpected_;
+  }
+
+ private:
+  struct Posted {
+    MatchPattern pattern;
+    std::byte* dest = nullptr;
+    std::size_t capacity = 0;
+    RecvResult* result = nullptr;
+  };
+
+  static bool matches(const MatchPattern& p, const RefEnv& e) {
+    return e.context == p.context && (p.src == kAnySource || e.src == p.src) &&
+           (p.tag == kAnyTag || e.tag == p.tag);
+  }
+
+  static void complete(const Posted& p, const RefEnv& env) {
+    const std::size_t copied = std::min(env.payload.size(), p.capacity);
+    if (copied > 0) std::memcpy(p.dest, env.payload.data(), copied);
+    p.result->truncated = env.payload.size() > p.capacity;
+    p.result->src = env.src;
+    p.result->tag = env.tag;
+    p.result->bytes = copied;
+    p.result->arrival_ns = env.arrival_ns;
+    p.result->done.store(true, std::memory_order_release);
+  }
+
+  std::deque<Posted> posted_;
+  std::deque<RefEnv> unexpected_;
+};
+
+// ---- randomized driver ------------------------------------------------------
+
+constexpr std::size_t kBufCap = 96;
+
+struct RecvPair {
+  std::unique_ptr<RecvResult> real = std::make_unique<RecvResult>();
+  std::unique_ptr<RecvResult> ref = std::make_unique<RecvResult>();
+  std::array<std::byte, kBufCap> real_buf{};
+  std::array<std::byte, kBufCap> ref_buf{};
+  std::size_t capacity = 0;
+  bool cancelled = false;
+};
+
+class MirrorDriver {
+ public:
+  explicit MirrorDriver(std::uint64_t seed) : rng_(seed) {}
+
+  void run(int ops) {
+    for (int i = 0; i < ops; ++i) step();
+    check_unexpected_equal();
+    drain_and_compare();
+  }
+
+ private:
+  ContextId rand_ctx() { return 1 + rng_() % 3; }
+  int rand_src() { return static_cast<int>(rng_() % 4); }
+  int rand_tag() { return static_cast<int>(rng_() % 3); }
+
+  std::vector<std::byte> rand_payload() {
+    // Sizes straddle the 64-byte inline capacity and the posted buffer
+    // capacity (truncation).
+    static constexpr std::size_t kSizes[] = {0, 3, 17, 64, 65, 90, 200};
+    const std::size_t n = kSizes[rng_() % std::size(kSizes)];
+    std::vector<std::byte> payload(n);
+    for (auto& b : payload) b = static_cast<std::byte>(rng_() & 0xff);
+    return payload;
+  }
+
+  MatchPattern rand_pattern() {
+    MatchPattern p;
+    p.context = rand_ctx();
+    p.src = (rng_() % 3 == 0) ? kAnySource : rand_src();
+    p.tag = (rng_() % 3 == 0) ? kAnyTag : rand_tag();
+    return p;
+  }
+
+  void step() {
+    switch (rng_() % 8) {
+      case 0:
+      case 1:
+      case 2: {  // deliver
+        const ContextId ctx = rand_ctx();
+        const int src = rand_src();
+        const int tag = rand_tag();
+        const SimTime arrival = static_cast<SimTime>(rng_() % 1000);
+        auto payload = rand_payload();
+        Envelope env;
+        env.context = ctx;
+        env.src = src;
+        env.tag = tag;
+        env.arrival_ns = arrival;
+        env.payload.assign(payload);
+        real_.deliver(std::move(env));
+        ref_.deliver(ctx, src, tag, arrival, std::move(payload));
+        break;
+      }
+      case 3:
+      case 4: {  // post_recv
+        const MatchPattern pattern = rand_pattern();
+        auto pair = std::make_unique<RecvPair>();
+        pair->capacity = (rng_() % 4 == 0) ? 32 : kBufCap;  // some truncate
+        real_.post_recv(pattern, pair->real_buf.data(), pair->capacity,
+                        pair->real.get());
+        ref_.post_recv(pattern, pair->ref_buf.data(), pair->capacity,
+                       pair->ref.get());
+        pairs_.push_back(std::move(pair));
+        break;
+      }
+      case 5: {  // iprobe
+        const MatchPattern pattern = rand_pattern();
+        const auto a = real_.iprobe(pattern);
+        const auto b = ref_.iprobe(pattern);
+        ASSERT_EQ(a.has_value(), b.has_value());
+        if (a.has_value()) {
+          EXPECT_EQ(a->src, b->src);
+          EXPECT_EQ(a->tag, b->tag);
+          EXPECT_EQ(a->bytes, b->bytes);
+          EXPECT_EQ(a->arrival_ns, b->arrival_ns);
+        }
+        break;
+      }
+      case 6: {  // try_recv_unexpected
+        const MatchPattern pattern = rand_pattern();
+        auto pair = std::make_unique<RecvPair>();
+        pair->capacity = kBufCap;
+        const bool a = real_.try_recv_unexpected(
+            pattern, pair->real_buf.data(), pair->capacity, pair->real.get());
+        const bool b = ref_.try_recv_unexpected(
+            pattern, pair->ref_buf.data(), pair->capacity, pair->ref.get());
+        ASSERT_EQ(a, b);
+        if (a) pairs_.push_back(std::move(pair));
+        break;
+      }
+      case 7: {  // cancel a random live pair, or inject a batch
+        if (rng_() % 2 == 0 && !pairs_.empty()) {
+          RecvPair& pair = *pairs_[rng_() % pairs_.size()];
+          const bool a = real_.cancel_recv(pair.real.get());
+          const bool b = ref_.cancel_recv(pair.ref.get());
+          ASSERT_EQ(a, b);
+          if (a) pair.cancelled = true;
+        } else {
+          const std::size_t k = 1 + rng_() % 4;
+          std::vector<CapturedEnvelope> real_batch;
+          std::vector<RefEnv> ref_batch;
+          for (std::size_t i = 0; i < k; ++i) {
+            CapturedEnvelope c;
+            c.context = rand_ctx();
+            c.src = rand_src();
+            c.tag = rand_tag();
+            c.arrival_ns = static_cast<SimTime>(rng_() % 1000);
+            c.payload = rand_payload();
+            ref_batch.push_back(
+                RefEnv{c.context, c.src, c.tag, c.arrival_ns, c.payload});
+            real_batch.push_back(std::move(c));
+          }
+          real_.inject(std::move(real_batch));
+          ref_.inject(ref_batch);
+        }
+        break;
+      }
+    }
+    compare_pairs();
+  }
+
+  void compare_pairs() {
+    for (const auto& pair : pairs_) {
+      ASSERT_EQ(pair->real->is_done(), pair->ref->is_done());
+      if (!pair->real->is_done() || pair->cancelled) continue;
+      EXPECT_EQ(pair->real->src, pair->ref->src);
+      EXPECT_EQ(pair->real->tag, pair->ref->tag);
+      EXPECT_EQ(pair->real->bytes, pair->ref->bytes);
+      EXPECT_EQ(pair->real->truncated, pair->ref->truncated);
+      EXPECT_EQ(pair->real->arrival_ns, pair->ref->arrival_ns);
+      EXPECT_EQ(std::memcmp(pair->real_buf.data(), pair->ref_buf.data(),
+                            pair->real->bytes),
+                0);
+    }
+  }
+
+  void check_unexpected_equal() {
+    const auto snap =
+        real_.snapshot_unexpected([](const Envelope&) { return true; });
+    const auto& ref = ref_.unexpected();
+    ASSERT_EQ(snap.size(), ref.size());
+    for (std::size_t i = 0; i < snap.size(); ++i) {
+      EXPECT_EQ(snap[i].context, ref[i].context) << "at " << i;
+      EXPECT_EQ(snap[i].src, ref[i].src) << "at " << i;
+      EXPECT_EQ(snap[i].tag, ref[i].tag) << "at " << i;
+      EXPECT_EQ(snap[i].arrival_ns, ref[i].arrival_ns) << "at " << i;
+      EXPECT_EQ(snap[i].payload, ref[i].payload) << "at " << i;
+    }
+  }
+
+  /// Pop every remaining unexpected message via wildcard receives from both
+  /// stores: the pop order must agree exactly (global arrival order).
+  void drain_and_compare() {
+    for (ContextId ctx = 1; ctx <= 3; ++ctx) {
+      while (true) {
+        const MatchPattern pattern{ctx, kAnySource, kAnyTag};
+        auto pair = std::make_unique<RecvPair>();
+        pair->capacity = kBufCap;
+        const bool a = real_.try_recv_unexpected(
+            pattern, pair->real_buf.data(), pair->capacity, pair->real.get());
+        const bool b = ref_.try_recv_unexpected(
+            pattern, pair->ref_buf.data(), pair->capacity, pair->ref.get());
+        ASSERT_EQ(a, b);
+        if (!a) break;
+        pairs_.push_back(std::move(pair));
+        compare_pairs();
+      }
+    }
+  }
+
+  std::mt19937_64 rng_;
+  MessageStore real_;
+  RefStore ref_;
+  std::vector<std::unique_ptr<RecvPair>> pairs_;
+};
+
+class MailboxProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MailboxProperty, EquivalentToLinearMatcher) {
+  MirrorDriver driver(GetParam());
+  driver.run(300);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MailboxProperty,
+                         ::testing::Range<std::uint64_t>(1, 65));
+
+// Restart scenario distilled: messages already delivered by a fast peer,
+// then an inject of causally-older saved messages, must order the injected
+// ones first — including when a posted receive is waiting.
+TEST(MailboxInject, PrependOrderAcrossBins) {
+  MessageStore store;
+  Envelope fresh;
+  fresh.context = 1;
+  fresh.src = 0;
+  fresh.tag = 7;
+  fresh.payload.assign(std::as_bytes(std::span("new", 3)));
+  store.deliver(std::move(fresh));
+
+  std::vector<CapturedEnvelope> saved(2);
+  saved[0].context = 1;
+  saved[0].src = 0;
+  saved[0].tag = 7;
+  saved[0].payload = {std::byte{'a'}, std::byte{'b'}, std::byte{'c'}};
+  saved[1].context = 1;
+  saved[1].src = 1;
+  saved[1].tag = 7;
+  saved[1].payload = {std::byte{'x'}, std::byte{'y'}, std::byte{'z'}};
+  store.inject(saved);
+
+  // ANY_SOURCE pops must see: saved[0], saved[1], then the fresh message.
+  std::byte buf[16];
+  RecvResult r1, r2, r3;
+  ASSERT_TRUE(store.try_recv_unexpected(MatchPattern{1, kAnySource, kAnyTag},
+                                        buf, sizeof buf, &r1));
+  EXPECT_EQ(std::memcmp(buf, "abc", 3), 0);
+  ASSERT_TRUE(store.try_recv_unexpected(MatchPattern{1, kAnySource, kAnyTag},
+                                        buf, sizeof buf, &r2));
+  EXPECT_EQ(std::memcmp(buf, "xyz", 3), 0);
+  ASSERT_TRUE(store.try_recv_unexpected(MatchPattern{1, kAnySource, kAnyTag},
+                                        buf, sizeof buf, &r3));
+  EXPECT_EQ(std::memcmp(buf, "new", 3), 0);
+}
+
+TEST(MailboxInject, MatchesPostedBeforeQueueing) {
+  MessageStore store;
+  std::byte buf[8];
+  RecvResult result;
+  store.post_recv(MatchPattern{1, 2, 5}, buf, sizeof buf, &result);
+
+  std::vector<CapturedEnvelope> saved(1);
+  saved[0].context = 1;
+  saved[0].src = 2;
+  saved[0].tag = 5;
+  saved[0].payload = {std::byte{'q'}};
+  store.inject(saved);
+
+  ASSERT_TRUE(result.is_done());
+  EXPECT_EQ(buf[0], std::byte{'q'});
+  EXPECT_EQ(store.count_unexpected([](const Envelope&) { return true; }), 0u);
+}
+
+}  // namespace
+}  // namespace manatee::simnet
