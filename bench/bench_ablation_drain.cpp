@@ -41,7 +41,7 @@ DrainStats run_case(Protocol protocol, int world, int n_groups, bool checkpoint)
   config.runtime.ranks_per_node = 8;
   config.protocol = protocol;
   config.image_dir = dir.string();
-  if (checkpoint) config.trigger_at_collectives = {static_cast<std::uint64_t>(20)};
+  if (checkpoint) config.failures.at_collectives = {static_cast<std::uint64_t>(20)};
 
   Engine engine(config);
   const auto report = engine.run([&](Api& api) {

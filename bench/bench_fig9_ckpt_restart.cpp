@@ -36,7 +36,7 @@ CkptTimes measure(Protocol protocol, int world, int rpn, const Options& opts) {
   config.runtime.ranks_per_node = rpn;
   config.protocol = protocol;
   config.image_dir = dir.string();
-  config.trigger_at_collectives = {25};  // mid-run request
+  config.failures.at_collectives = {25};  // mid-run request
 
   CkptTimes times;
   {
@@ -51,7 +51,7 @@ CkptTimes measure(Protocol protocol, int world, int rpn, const Options& opts) {
   }
   {
     EngineConfig config2 = config;
-    config2.trigger_at_collectives.clear();
+    config2.failures.at_collectives.clear();
     Engine engine(config2);
     const auto report = engine.restart([&](Api& api) {
       workloads::VaspProxy instance = vasp;

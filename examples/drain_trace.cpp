@@ -30,7 +30,7 @@ int main() {
   config.runtime.ranks_per_node = 3;
   config.protocol = Protocol::kCC;
   config.image_dir = dir.string();
-  config.trigger_at_collectives = {7};
+  config.failures.at_collectives = {7};
   config.record_trace = true;
 
   Engine engine(config);

@@ -1,0 +1,109 @@
+// failure_storm — the LAMMPS proxy surviving a storm of Poisson-arrival
+// failures through the lifecycle driver.
+//
+// A seeded Poisson process (the classic MTBF model) injects five failures
+// into the run; after each one the job checkpoints, "crashes", and a fresh
+// engine restarts it from the newest valid image generation — the paper's
+// chained-resource-allocation workflow generalized to arbitrarily many
+// hops. Old generations are pruned to the newest K after every crash. The
+// final state must be bit-identical to one uninterrupted run.
+//
+//   ./failure_storm [--ranks N] [--failures N] [--seed S]
+#include <cstdio>
+#include <filesystem>
+
+#include "ckpt/generation.hpp"
+#include "common/options.hpp"
+#include "split/lifecycle.hpp"
+#include "workloads/lammps_proxy.hpp"
+
+using namespace manatee;
+using namespace manatee::split;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const int ranks = static_cast<int>(opts.get_int("ranks", 8));
+  const auto failures = static_cast<std::uint64_t>(opts.get_int("failures", 5));
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 0x57a7));
+
+  workloads::LammpsProxy lammps;
+  lammps.timesteps = 24;
+  lammps.halos_per_step = 4;
+  lammps.halo_elems = 128;
+  lammps.reduce_every = 4;
+  lammps.compute_per_step_ns = 2'000'000;  // demo pace, ~48 ms virtual
+
+  // Uninterrupted baseline.
+  std::vector<std::uint64_t> expected(static_cast<std::size_t>(ranks));
+  simnet::SimTime makespan = 0;
+  {
+    EngineConfig config;
+    config.runtime.world_size = ranks;
+    Engine engine(config);
+    const auto report = engine.run([&](Api& api) {
+      auto instance = lammps;
+      instance(api);
+      expected[static_cast<std::size_t>(api.rank())] = instance.outcome.fingerprint;
+    });
+    makespan = report.makespan;
+  }
+  std::printf("baseline: %.1f ms virtual, failure-free\n",
+              simnet::to_seconds(makespan) * 1e3);
+
+  const auto dir = std::filesystem::temp_directory_path() / "manatee_failure_storm";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  LifecycleConfig lifecycle;
+  lifecycle.engine.runtime.world_size = ranks;
+  lifecycle.engine.protocol = Protocol::kCC;
+  lifecycle.engine.image_dir = dir.string();
+  lifecycle.engine.retain_generations = 3;
+  // Poisson failure arrivals dense enough that all `failures` land inside
+  // the run, spaced at least two drain windows apart.
+  lifecycle.engine.failures.poisson_mean_ns =
+      static_cast<double>(makespan) / static_cast<double>(2 * failures);
+  lifecycle.engine.failures.poisson_min_spacing_ns = makespan / 32;
+  lifecycle.engine.failures.poisson_seed = seed;
+  lifecycle.engine.failures.poisson_max_arrivals = failures;
+  lifecycle.max_segments = static_cast<std::size_t>(failures) + 4;
+  lifecycle.on_segment = [](Engine&, const RunReport& report, std::size_t segment) {
+    if (report.stopped_after_checkpoint) {
+      std::printf("segment %zu: FAILURE injected at %.1f ms virtual — "
+                  "checkpointed, crashed%s\n",
+                  segment + 1, simnet::to_seconds(report.makespan) * 1e3,
+                  segment == 0 ? "" : " (restarted run)");
+    } else {
+      std::printf("segment %zu: ran to completion at %.1f ms virtual\n",
+                  segment + 1, simnet::to_seconds(report.makespan) * 1e3);
+    }
+  };
+
+  std::printf("unleashing a %llu-failure Poisson storm (seed %llu)...\n",
+              static_cast<unsigned long long>(failures),
+              static_cast<unsigned long long>(seed));
+  std::vector<std::uint64_t> survived(static_cast<std::size_t>(ranks));
+  Lifecycle driver(lifecycle);
+  const auto report = driver.run([&](Api& api) {
+    auto instance = lammps;
+    instance(api);
+    survived[static_cast<std::size_t>(api.rank())] = instance.outcome.fingerprint;
+  });
+
+  std::printf("storm over: %llu crashes, %llu checkpoints, "
+              "final generation %llu (%zu kept on disk)\n",
+              static_cast<unsigned long long>(report.crashes),
+              static_cast<unsigned long long>(report.checkpoints),
+              static_cast<unsigned long long>(report.final_generation),
+              ckpt::GenerationStore::list(dir.string()).size());
+
+  const bool survived_all = report.completed && report.crashes >= failures;
+  const bool identical = survived == expected;
+  std::printf("final state %s the uninterrupted run\n",
+              identical ? "bit-identical to" : "DIVERGED from");
+
+  std::filesystem::remove_all(dir);
+  const bool ok = survived_all && identical;
+  std::printf("%s\n", ok ? "SUCCESS" : "FAILURE");
+  return ok ? 0 : 1;
+}

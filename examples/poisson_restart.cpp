@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
   config.runtime.world_size = ranks;
   config.protocol = Protocol::kCC;
   config.image_dir = dir.string();
-  config.trigger_at_collectives = {23};  // mid-CG, between the two Iallreduces
+  config.failures.at_collectives = {23};  // mid-CG, between the two Iallreduces
   config.stop_after_checkpoint = true;
 
   std::printf("[1/3] CG under CC, checkpoint while Iallreduce in flight...\n");
@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
 
   std::printf("[2/3] restart and run to convergence...\n");
   EngineConfig config2 = config;
-  config2.trigger_at_collectives.clear();
+  config2.failures.at_collectives.clear();
   config2.stop_after_checkpoint = false;
   Engine second(config2);
   std::vector<std::uint64_t> restored(static_cast<std::size_t>(ranks));

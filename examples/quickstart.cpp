@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
   umpi::coll::apply_coll_options(config.runtime.coll, opts);
   config.protocol = Protocol::kCC;
   config.image_dir = dir.string();
-  config.trigger_at_collectives = {static_cast<std::uint64_t>(iterations / 2)};
+  config.failures.at_collectives = {static_cast<std::uint64_t>(iterations / 2)};
   config.stop_after_checkpoint = true;  // simulate the allocation ending
 
   std::printf("[1/3] running %d ranks, checkpoint at collective #%d...\n", ranks,
@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
 
   std::printf("[2/3] restarting from %s in a fresh engine...\n", dir.c_str());
   EngineConfig config2 = config;
-  config2.trigger_at_collectives.clear();
+  config2.failures.at_collectives.clear();
   config2.stop_after_checkpoint = false;
   Engine second(config2);
   std::vector<double> restarted(static_cast<std::size_t>(ranks));

@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
     config.image_dir = dir.string();
     const bool last = alloc == allocations;
     if (!last) {
-      config.trigger_at_collectives = {static_cast<std::uint64_t>(36 * alloc)};
+      config.failures.at_collectives = {static_cast<std::uint64_t>(36 * alloc)};
       config.stop_after_checkpoint = true;
     }
 

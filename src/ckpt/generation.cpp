@@ -1,0 +1,140 @@
+#include "ckpt/generation.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace manatee::ckpt {
+
+namespace fs = std::filesystem;
+
+namespace {
+constexpr const char* kPrefix = "gen_";
+}
+
+std::string GenerationStore::dir_for(const std::string& root,
+                                     std::uint64_t gen) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%06llu", kPrefix,
+                static_cast<unsigned long long>(gen));
+  return root + "/" + buf;
+}
+
+std::string GenerationStore::image_path(const std::string& root,
+                                        std::uint64_t gen, int rank) {
+  return CkptImage::path_for(dir_for(root, gen), rank);
+}
+
+std::vector<std::uint64_t> GenerationStore::list(const std::string& root) {
+  std::vector<std::uint64_t> gens;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    if (!entry.is_directory()) continue;
+    const auto name = entry.path().filename().string();
+    if (!name.starts_with(kPrefix)) continue;
+    const auto digits = name.substr(std::string(kPrefix).size());
+    // Malformed or overflowing entries are foreign files, not generations.
+    std::uint64_t gen = 0;
+    const auto [end, ec2] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), gen);
+    if (ec2 != std::errc{} || end != digits.data() + digits.size() ||
+        digits.empty()) {
+      continue;
+    }
+    gens.push_back(gen);
+  }
+  std::sort(gens.begin(), gens.end());
+  return gens;
+}
+
+std::uint64_t GenerationStore::latest(const std::string& root) {
+  const auto gens = list(root);
+  return gens.empty() ? 0 : gens.back();
+}
+
+bool GenerationStore::has_generations(const std::string& root) {
+  return !list(root).empty();
+}
+
+void GenerationStore::create(const std::string& root, std::uint64_t gen) {
+  std::error_code ec;
+  fs::create_directories(dir_for(root, gen), ec);
+  if (ec) {
+    throw CheckpointError("cannot create generation directory " +
+                          dir_for(root, gen) + ": " + ec.message());
+  }
+}
+
+std::optional<std::vector<CkptImage>> GenerationStore::read_world(
+    const std::string& root, std::uint64_t gen, int world, std::string* why) {
+  std::vector<CkptImage> images;
+  images.reserve(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    try {
+      images.push_back(CkptImage::read_file(image_path(root, gen, r)));
+    } catch (const Error& e) {
+      if (why != nullptr) {
+        *why = "generation " + std::to_string(gen) + " rank " +
+               std::to_string(r) + ": " + e.what();
+      }
+      return std::nullopt;
+    }
+    const auto& img = images.back();
+    if (img.rank != r || img.world_size != world ||
+        img.cycle != images.front().cycle) {
+      if (why != nullptr) {
+        *why = "generation " + std::to_string(gen) + " rank " +
+               std::to_string(r) + ": inconsistent metadata (rank=" +
+               std::to_string(img.rank) + " world=" +
+               std::to_string(img.world_size) + " cycle=" +
+               std::to_string(img.cycle) + ")";
+      }
+      return std::nullopt;
+    }
+  }
+  return images;
+}
+
+std::optional<GenerationStore::ValidGeneration> GenerationStore::latest_valid(
+    const std::string& root, int world) {
+  auto gens = list(root);
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    std::string why;
+    if (auto images = read_world(root, *it, world, &why)) {
+      return ValidGeneration{*it, std::move(*images)};
+    }
+    LOG_WARN("skipping unusable checkpoint " << why);
+  }
+  return std::nullopt;
+}
+
+void GenerationStore::retain(const std::string& root, std::size_t keep,
+                             int world) {
+  MANATEE_REQUIRE(keep >= 1, "generation retention must keep at least one");
+  const auto gens = list(root);
+  if (gens.size() <= keep) return;
+  std::size_t cutoff = gens.size() - keep;  // delete gens[0, cutoff)
+  if (world > 0) {
+    // Never delete the newest *valid* generation: with the newest K all
+    // corrupt (a half-written latest checkpoint), pruning by number alone
+    // would destroy the only restart point the fallback could still use.
+    const auto valid = latest_valid(root, world);
+    if (!valid.has_value()) return;  // nothing usable to protect — keep all
+    const auto it = std::find(gens.begin(), gens.end(), valid->gen);
+    cutoff = std::min(cutoff,
+                      static_cast<std::size_t>(std::distance(gens.begin(), it)));
+  }
+  for (std::size_t i = 0; i < cutoff; ++i) {
+    std::error_code ec;
+    fs::remove_all(dir_for(root, gens[i]), ec);
+    if (ec) {
+      LOG_WARN("failed to prune generation " << gens[i] << ": " << ec.message());
+    }
+  }
+}
+
+}  // namespace manatee::ckpt

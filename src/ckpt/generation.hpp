@@ -1,0 +1,83 @@
+// generation.hpp — numbered checkpoint-image generations on disk.
+//
+// A lifecycle of chained allocations produces a *sequence* of checkpoints.
+// Instead of overwriting one flat image set (the original layout, still
+// supported for single-hop runs), generational mode keeps each completed
+// cycle in its own numbered subdirectory of the image root:
+//
+//   <root>/gen_000001/ckpt_rank_<r>.img
+//   <root>/gen_000002/ckpt_rank_<r>.img
+//   ...
+//
+// Generation numbers are monotone across the whole lifecycle (a fresh
+// engine scans the root and continues after the highest existing number).
+// Restart resolves the *latest valid* generation: a generation is valid
+// only if every rank's image is present, CRC-clean, and metadata-consistent;
+// otherwise restart falls back generation by generation (a half-written or
+// corrupted latest checkpoint must never strand the job when an older one
+// can still make progress). Retention deletes the oldest generations beyond
+// a configured count K, never touching the newest K.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ckpt/image.hpp"
+
+namespace manatee::ckpt {
+
+class GenerationStore {
+ public:
+  /// Directory holding one generation's per-rank images.
+  [[nodiscard]] static std::string dir_for(const std::string& root,
+                                           std::uint64_t gen);
+
+  /// Path of one rank's image within a generation.
+  [[nodiscard]] static std::string image_path(const std::string& root,
+                                              std::uint64_t gen, int rank);
+
+  /// All generation numbers present under `root`, sorted ascending.
+  /// A missing root directory is simply an empty store.
+  [[nodiscard]] static std::vector<std::uint64_t> list(const std::string& root);
+
+  /// Highest generation number present (0 when the store is empty).
+  [[nodiscard]] static std::uint64_t latest(const std::string& root);
+
+  /// True when `root` contains at least one generation directory
+  /// (distinguishes generational from flat single-image layouts).
+  [[nodiscard]] static bool has_generations(const std::string& root);
+
+  /// Create the directory for generation `gen` (idempotent).
+  static void create(const std::string& root, std::uint64_t gen);
+
+  /// Read every rank image of generation `gen`, validating completeness
+  /// (all `world` ranks present), integrity (CRC/format), and consistency
+  /// (matching rank/world metadata). On any defect returns std::nullopt and
+  /// stores a description in `*why` (when non-null) instead of throwing —
+  /// callers fall back to an older generation.
+  [[nodiscard]] static std::optional<std::vector<CkptImage>> read_world(
+      const std::string& root, std::uint64_t gen, int world,
+      std::string* why = nullptr);
+
+  /// Newest generation that read_world accepts, searching newest → oldest
+  /// and logging every generation it skips. Returns the generation number
+  /// together with its already-validated images so callers restore without
+  /// a second read of the payloads.
+  struct ValidGeneration {
+    std::uint64_t gen = 0;
+    std::vector<CkptImage> images;
+  };
+  [[nodiscard]] static std::optional<ValidGeneration> latest_valid(
+      const std::string& root, int world);
+
+  /// Delete the oldest generations so at most `keep` remain. keep == 0 is
+  /// rejected, and with `world` > 0 the newest *valid* generation is never
+  /// deleted even when newer (corrupt) generations outnumber `keep` —
+  /// retention must never destroy the only restart point the fallback
+  /// could still use.
+  static void retain(const std::string& root, std::size_t keep, int world = 0);
+};
+
+}  // namespace manatee::ckpt

@@ -138,11 +138,21 @@ void Api::charge_p2p_wrapper() {
 
 void Api::maybe_trigger_checkpoint() {
   const auto& config = engine_.config();
-  if (config.trigger_at_collectives.empty()) return;
-  if (rank_.world_rank() != config.trigger_rank) return;
-  if (std::find(config.trigger_at_collectives.begin(),
-                config.trigger_at_collectives.end(),
-                collective_calls_) != config.trigger_at_collectives.end()) {
+  if (config.failures.empty()) return;
+  if (rank_.world_rank() != config.failures.trigger_rank) return;
+  // Triggers never fire mid-replay: a restarted segment re-arms only after
+  // it has caught up to the restored frontier, so the chain always makes
+  // forward progress.
+  if (replaying()) return;
+  // While a cycle is in flight (the trigger rank may execute collectives
+  // to reach its drain targets) or the job is about to stop after a
+  // completed checkpoint, leave the schedule untouched: pending thresholds
+  // belong to the next idle window — or, in a lifecycle, to the next
+  // segment.
+  const auto& coord = engine_.coordinator();
+  if (coord.phase() != ckpt::CkptPhase::kIdle) return;
+  if (config.stop_after_checkpoint && coord.completed_cycles() > 0) return;
+  if (engine_.schedule_should_fire(collective_calls_, rank_.clock().now())) {
     engine_.request_checkpoint();
   }
 }
@@ -176,10 +186,16 @@ void Api::register_state(const std::string& name, std::span<std::byte> data) {
 
 void Api::compute(simnet::SimTime cost) {
   rank_.advance_compute(cost);
+  // Virtual-time failure triggers must be able to land inside long
+  // compute/p2p-only phases, not just at collective boundaries.
+  maybe_trigger_checkpoint();
   mgr_.poll();
 }
 
-void Api::poll() { mgr_.poll(); }
+void Api::poll() {
+  maybe_trigger_checkpoint();
+  mgr_.poll();
+}
 
 void Api::once(const std::function<void()>& fn, simnet::SimTime cost) {
   if (begin_op()) return;
@@ -866,7 +882,7 @@ void Api::capture_and_write() {
     image.blobs["app/" + name] = std::move(bytes);
   }
 
-  image.write_file(ckpt::CkptImage::path_for(config.image_dir, rank_.world_rank()));
+  image.write_file(engine_.image_path_for(rank_.world_rank(), image.cycle));
   ctx_.image_bytes_written = image.payload_bytes();
 
   // Model the stable-storage write (Lustre bandwidth shared by the job).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ckpt/generation.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "core/cc_algorithm.hpp"
@@ -22,7 +23,15 @@ const char* protocol_name(Protocol p) noexcept {
 Engine::Engine(EngineConfig config)
     : config_(std::move(config)),
       runtime_(config_.runtime),
-      coordinator_(config_.runtime.world_size, &runtime_.fabric()) {
+      coordinator_(config_.runtime.world_size, &runtime_.fabric()),
+      cursor_(config_.failures) {
+  MANATEE_REQUIRE(config_.retain_generations >= 0,
+                  "retain_generations must be non-negative");
+  MANATEE_REQUIRE(config_.retain_generations == 0 || !config_.image_dir.empty(),
+                  "generational checkpoints need an image directory");
+  if (config_.retain_generations > 0) {
+    base_generation_ = ckpt::GenerationStore::latest(config_.image_dir);
+  }
   const int world = config_.runtime.world_size;
   ctxs_.reserve(static_cast<std::size_t>(world));
   for (int i = 0; i < world; ++i) {
@@ -55,25 +64,68 @@ EngineRankCtx& Engine::rank_ctx(int world_rank) {
 
 void Engine::request_checkpoint() {
   if (!coordinator_.request_checkpoint()) return;
+  if (config_.retain_generations > 0) {
+    // The write phase starts only after the drain completes, and the
+    // coordinator's phase transition orders this creation before any
+    // rank's image write.
+    ckpt::GenerationStore::create(
+        config_.image_dir, generation_for_cycle(coordinator_.completed_cycles() + 1));
+  }
   for (int r = 0; r < runtime_.world_size(); ++r) {
     ctxs_[static_cast<std::size_t>(r)]->manager->post_initial_state(r);
   }
 }
 
+std::uint64_t Engine::generation_for_cycle(std::uint64_t cycle) const {
+  return config_.retain_generations > 0 ? base_generation_ + cycle : 0;
+}
+
+std::string Engine::image_path_for(int world_rank, std::uint64_t cycle) const {
+  if (config_.retain_generations > 0) {
+    return ckpt::GenerationStore::image_path(config_.image_dir,
+                                             generation_for_cycle(cycle),
+                                             world_rank);
+  }
+  return ckpt::CkptImage::path_for(config_.image_dir, world_rank);
+}
+
 RunReport Engine::run(const WrappedApp& app) { return execute(app, false); }
+
+std::uint64_t Engine::load_restore_images() {
+  const int world = runtime_.world_size();
+  if (!ckpt::GenerationStore::has_generations(config_.image_dir)) {
+    // Flat single-image layout.
+    for (int i = 0; i < world; ++i) {
+      ctxs_[static_cast<std::size_t>(i)]->restore_image =
+          ckpt::CkptImage::read_file(
+              ckpt::CkptImage::path_for(config_.image_dir, i));
+    }
+    return 0;
+  }
+  // Generational layout: newest valid generation wins; a corrupt or
+  // incomplete latest generation falls back to its predecessor
+  // (GenerationStore::latest_valid logs every generation it skips).
+  auto valid = ckpt::GenerationStore::latest_valid(config_.image_dir, world);
+  if (!valid.has_value()) {
+    throw CheckpointError("no usable checkpoint generation under " +
+                          config_.image_dir);
+  }
+  for (int i = 0; i < world; ++i) {
+    ctxs_[static_cast<std::size_t>(i)]->restore_image =
+        std::move(valid->images[static_cast<std::size_t>(i)]);
+  }
+  return valid->gen;
+}
 
 RunReport Engine::restart(const WrappedApp& app) {
   MANATEE_REQUIRE(!config_.image_dir.empty(), "restart needs an image directory");
-  for (int i = 0; i < runtime_.world_size(); ++i) {
-    ctxs_[static_cast<std::size_t>(i)]->restore_image =
-        ckpt::CkptImage::read_file(ckpt::CkptImage::path_for(config_.image_dir, i));
-  }
+  restored_generation_ = load_restore_images();
   return execute(app, true);
 }
 
 RunReport Engine::execute(const WrappedApp& app, bool restoring) {
   MANATEE_REQUIRE(
-      config_.protocol != Protocol::kNative || config_.trigger_at_collectives.empty(),
+      config_.protocol != Protocol::kNative || config_.failures.empty(),
       "checkpoint triggers require the CC or 2PC protocol");
 
   std::vector<std::uint64_t> coll_calls(
@@ -135,6 +187,7 @@ RunReport Engine::execute(const WrappedApp& app, bool restoring) {
     report.image_bytes_total += ctx->image_bytes_written;
   }
   if (restoring) {
+    report.restored_generation = restored_generation_;
     for (const auto& ctx : ctxs_) {
       report.restart_duration = std::max(report.restart_duration,
                                          ctx->replay_done_clock);

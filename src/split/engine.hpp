@@ -24,6 +24,7 @@
 #include "core/drain_manager.hpp"
 #include "core/trace.hpp"
 #include "split/api.hpp"
+#include "split/failure_schedule.hpp"
 #include "umpi/runtime.hpp"
 
 namespace manatee::split {
@@ -39,14 +40,20 @@ struct EngineConfig {
   /// Directory for checkpoint images (must exist when checkpointing).
   std::string image_dir;
 
-  /// Deterministic trigger: request a checkpoint when `trigger_rank`'s
-  /// wrapper-level collective-call count reaches each listed value.
-  int trigger_rank = 0;
-  std::vector<std::uint64_t> trigger_at_collectives;
+  /// When this run requests checkpoints: collective-count triggers, fixed
+  /// virtual-time points, and/or seeded Poisson arrivals (all deterministic;
+  /// see failure_schedule.hpp).
+  FailureSchedule failures;
 
   /// End the job right after the first completed checkpoint (the chained
   /// resource-allocation pattern).
   bool stop_after_checkpoint = false;
+
+  /// 0: flat image layout (one image set, overwritten each cycle).
+  /// K ≥ 1: generational layout — every cycle writes a new numbered
+  /// generation under image_dir and the Lifecycle driver prunes all but the
+  /// newest K after each segment (ckpt/generation.hpp).
+  int retain_generations = 0;
 
   /// Record per-rank event traces for the drain-graph oracle (tests).
   bool record_trace = false;
@@ -62,6 +69,9 @@ struct RunReport {
   /// restart(): virtual time until every rank finished replay.
   simnet::SimTime restart_duration = 0;
   bool stopped_after_checkpoint = false;
+  /// restart() in generational mode: the generation the run restored from
+  /// (0 for flat-layout restores).
+  std::uint64_t restored_generation = 0;
   std::uint64_t ckpt_protocol_messages = 0;
   std::uint64_t collective_messages = 0;
   std::uint64_t image_bytes_total = 0;
@@ -104,6 +114,27 @@ class Engine {
   /// clocks to Algorithm 1.
   void request_checkpoint();
 
+  /// Schedule check at a wrapper boundary. Called only on the trigger
+  /// rank's thread (single consumer, no locking); a true return means the
+  /// caller should request_checkpoint(). No-op during replay.
+  [[nodiscard]] bool schedule_should_fire(std::uint64_t collective_calls,
+                                          simnet::SimTime now) {
+    return cursor_.should_fire(collective_calls, now);
+  }
+  /// Cursor state after the run — per-source consumption counts and the
+  /// Poisson stream position, for chaining schedules across segments.
+  [[nodiscard]] const ScheduleCursor& schedule_cursor() const noexcept {
+    return cursor_;
+  }
+
+  /// Where this rank's image of checkpoint cycle `cycle` is written:
+  /// flat layout (retain_generations == 0) or the numbered generation
+  /// directory continuing after the generations already on disk.
+  [[nodiscard]] std::string image_path_for(int world_rank,
+                                           std::uint64_t cycle) const;
+  /// Generation number cycle `cycle` of this engine maps to (0 in flat mode).
+  [[nodiscard]] std::uint64_t generation_for_cycle(std::uint64_t cycle) const;
+
   [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
   [[nodiscard]] umpi::Runtime& runtime() noexcept { return runtime_; }
   [[nodiscard]] ckpt::Coordinator& coordinator() noexcept { return coordinator_; }
@@ -123,11 +154,19 @@ class Engine {
   RunReport execute(const WrappedApp& app, bool restoring);
   std::unique_ptr<core::DrainManager> make_manager(umpi::Rank& rank,
                                                    core::TraceLog* trace);
+  /// Generational restore: newest valid generation, falling back past
+  /// corrupt/missing ones; throws CheckpointError when none is usable.
+  std::uint64_t load_restore_images();
 
   EngineConfig config_;
   umpi::Runtime runtime_;
   ckpt::Coordinator coordinator_;
   std::vector<std::unique_ptr<EngineRankCtx>> ctxs_;
+  ScheduleCursor cursor_;
+  /// Highest generation already on disk at construction; this engine's
+  /// cycle c writes generation base_generation_ + c.
+  std::uint64_t base_generation_ = 0;
+  std::uint64_t restored_generation_ = 0;
 };
 
 }  // namespace manatee::split

@@ -1,16 +1,15 @@
-// Shared miniature applications for checkpoint/restart integration tests.
+// apps.hpp — shared miniature applications for checkpoint/restart tests.
 //
 // Each app follows MANATEE's resumable-execution model (split/api.hpp):
 // registered buffers hold all data state, every mutation happens inside an
 // MPI wrapper or an api.once() block, and loop counters are plain locals
-// reconstructed by replay. The property under test: for any checkpoint
-// trigger point,
-//     native final state == (run-to-checkpoint → kill → restart) final state.
+// reconstructed by replay. The property under test: for any failure
+// schedule,
+//     failure-free final state == chained crash/restart final state.
 #pragma once
 
-#include <gtest/gtest.h>
-
 #include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "common/hash.hpp"
@@ -18,7 +17,7 @@
 #include "simnet/mailbox.hpp"
 #include "split/engine.hpp"
 
-namespace manatee::split::testing {
+namespace manatee::harness {
 
 /// A mixed-collective iterative app: allreduce + bcast + halo exchange +
 /// subcommunicator work + optional non-blocking collectives per iteration.
@@ -29,7 +28,10 @@ struct MixedApp {
   bool use_nbc = false;  // non-blocking collectives (CC only)
   bool use_p2p = true;
 
-  void operator()(Api& api) const {
+  void operator()(split::Api& api) const {
+    using split::VComm;
+    using split::kNullComm;
+    using split::kWorldComm;
     const int rank = api.rank();
     const int size = api.size();
 
@@ -150,13 +152,13 @@ template <typename App>
 std::vector<std::uint64_t> run_native(const App& app_template, int world,
                                       int ranks_per_node = 4) {
   simnet::MessageStore::set_wait_timeout_ms(20'000);
-  EngineConfig config;
+  split::EngineConfig config;
   config.runtime.world_size = world;
   config.runtime.ranks_per_node = ranks_per_node;
-  config.protocol = Protocol::kNative;
-  Engine engine(config);
+  config.protocol = split::Protocol::kNative;
+  split::Engine engine(config);
   std::vector<std::uint64_t> results(static_cast<std::size_t>(world));
-  engine.run([&](Api& api) {
+  engine.run([&](split::Api& api) {
     App app = app_template;
     app(api);
     results[static_cast<std::size_t>(api.rank())] = app.result;
@@ -164,4 +166,4 @@ std::vector<std::uint64_t> run_native(const App& app_template, int world,
   return results;
 }
 
-}  // namespace manatee::split::testing
+}  // namespace manatee::harness

@@ -1,0 +1,91 @@
+// seed_reporter.hpp — failure-time reproduction lines for randomized suites.
+//
+// Randomized sweeps (RandomDrainP, the mailbox property suite, the
+// lifecycle soak) derive everything from a seed, but a red CI line is
+// useless unless it says how to re-run exactly that case. Tests register
+// their seed (and optionally the ctest name their suite is registered
+// under) at the top of the test body; on any failure the listener prints
+// the seed plus ready-to-paste `--gtest_filter` and `ctest -R` lines.
+//
+// Usage, once per randomized test body:
+//
+//   harness::SeedReporter::note(param.seed, "RandomDrainP");
+//
+// and once per test binary (any TU):
+//
+//   MANATEE_INSTALL_SEED_REPORTER();
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace manatee::harness {
+
+class SeedReporter : public ::testing::EmptyTestEventListener {
+ public:
+  /// Record the active seed and (optionally) the ctest test name this
+  /// suite is registered under. Reset automatically at every test start.
+  static void note(std::uint64_t seed, const std::string& ctest_name = {}) {
+    state().has_seed = true;
+    state().seed = seed;
+    if (!ctest_name.empty()) state().ctest_name = ctest_name;
+  }
+
+  /// Append the listener to gtest (idempotent per process).
+  static void install() {
+    static const bool installed = [] {
+      ::testing::UnitTest::GetInstance()->listeners().Append(new SeedReporter);
+      return true;
+    }();
+    (void)installed;
+  }
+
+ private:
+  struct State {
+    bool has_seed = false;
+    std::uint64_t seed = 0;
+    std::string ctest_name;
+  };
+  static State& state() {
+    static State s;
+    return s;
+  }
+
+  void OnTestStart(const ::testing::TestInfo&) override { state() = State{}; }
+
+  void OnTestEnd(const ::testing::TestInfo& info) override {
+    if (!info.result()->Failed()) return;
+    const std::string full =
+        std::string(info.test_suite_name()) + "." + info.name();
+    std::fprintf(stderr, "\n[seed-reporter] FAILED: %s\n", full.c_str());
+    if (state().has_seed) {
+      std::fprintf(stderr, "[seed-reporter] seed: %llu\n",
+                   static_cast<unsigned long long>(state().seed));
+    }
+    std::fprintf(stderr,
+                 "[seed-reporter] reproduce: <test-binary> "
+                 "--gtest_filter='%s'\n",
+                 full.c_str());
+    if (!state().ctest_name.empty()) {
+      std::fprintf(stderr,
+                   "[seed-reporter] reproduce via ctest: ctest -R '^%s$' "
+                   "--output-on-failure\n",
+                   state().ctest_name.c_str());
+    }
+    std::fflush(stderr);
+  }
+};
+
+}  // namespace manatee::harness
+
+/// Install the reporter before main() runs in this binary.
+#define MANATEE_INSTALL_SEED_REPORTER()                                    \
+  namespace {                                                              \
+  const bool manatee_seed_reporter_installed_ = [] {                       \
+    ::manatee::harness::SeedReporter::install();                           \
+    return true;                                                           \
+  }();                                                                     \
+  }

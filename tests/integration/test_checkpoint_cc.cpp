@@ -1,40 +1,20 @@
-// End-to-end tests of the CC algorithm: drain to a safe state, write
-// images, verify the safe state with the drain-graph oracle, restart from
-// the images, and check bit-identical results against a native run.
+// End-to-end tests of the CC algorithm, driven by the scenario harness:
+// drain to a safe state, write images, verify with the drain-graph oracle,
+// crash, restart from the image generations, and check bit-identical
+// results against the failure-free golden run.
 #include <gtest/gtest.h>
 
 #include <filesystem>
 
 #include "core/drain_graph.hpp"
-#include "test_apps.hpp"
+#include "harness/apps.hpp"
+#include "harness/scenario.hpp"
 
 namespace manatee::split {
 namespace {
 
-using testing::MixedApp;
-using testing::run_native;
-
-std::string fresh_dir(const std::string& tag) {
-  const auto dir = std::filesystem::temp_directory_path() / ("manatee_" + tag);
-  std::filesystem::remove_all(dir);
-  std::filesystem::create_directories(dir);
-  return dir.string();
-}
-
-EngineConfig cc_config(int world, const std::string& dir,
-                       std::vector<std::uint64_t> triggers,
-                       bool stop_after = false) {
-  simnet::MessageStore::set_wait_timeout_ms(20'000);
-  EngineConfig config;
-  config.runtime.world_size = world;
-  config.runtime.ranks_per_node = 4;
-  config.protocol = Protocol::kCC;
-  config.image_dir = dir;
-  config.trigger_at_collectives = std::move(triggers);
-  config.stop_after_checkpoint = stop_after;
-  config.record_trace = true;
-  return config;
-}
+using harness::MixedApp;
+using harness::run_native;
 
 struct CcCkptCase {
   int world;
@@ -55,53 +35,27 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.trigger) + (info.param.nbc ? "_nbc" : "");
     });
 
-TEST_P(CcCheckpointP, CheckpointRestartMatchesNative) {
+TEST_P(CcCheckpointP, CheckpointCrashRestartMatchesGolden) {
   const auto& param = GetParam();
-  MixedApp app;
-  app.iterations = 25;
-  app.use_nbc = param.nbc;
 
-  const auto native = run_native(app, param.world);
-
-  const auto dir = fresh_dir("cc_rr_" + std::to_string(param.world) + "_" +
-                             std::to_string(param.trigger) +
-                             (param.nbc ? "n" : "b"));
-  // Phase 1: run with a mid-run checkpoint, stop right after it.
-  std::uint64_t ckpts = 0;
-  {
-    Engine engine(cc_config(param.world, dir, {param.trigger}, /*stop=*/true));
-    RunReport report;
-    try {
-      report = engine.run([&](Api& api) {
-        MixedApp instance = app;
-        instance(api);
-      });
-    } catch (const std::exception& ex) {
-      FAIL() << ex.what() << "\n" << engine.coordinator().debug_dump();
-    }
-    EXPECT_TRUE(report.stopped_after_checkpoint);
-    EXPECT_EQ(report.checkpoints, 1u);
-    ckpts = report.checkpoints;
-
-    // Oracle: the frozen state satisfies the §4.2.2 safe-state conditions.
-    core::DrainGraph graph = engine.make_drain_graph();
-    const auto verdict = graph.check_safe_state(1, /*minimality=*/true);
-    EXPECT_TRUE(verdict.ok) << verdict.error;
-  }
-  ASSERT_EQ(ckpts, 1u);
-
-  // Phase 2: fresh engine (fresh lower half), restart from images.
-  {
-    Engine engine(cc_config(param.world, dir, {}));
-    std::vector<std::uint64_t> restored(static_cast<std::size_t>(param.world));
-    const auto report = engine.restart([&](Api& api) {
-      MixedApp instance = app;
-      instance(api);
-      restored[static_cast<std::size_t>(api.rank())] = instance.result;
-    });
-    EXPECT_GT(report.restart_duration, 0);
-    EXPECT_EQ(restored, native);
-  }
+  harness::Scenario scenario;
+  scenario.tag = "cc_rr_" + std::to_string(param.world) + "_" +
+                 std::to_string(param.trigger) + (param.nbc ? "n" : "b");
+  scenario.world = param.world;
+  scenario.protocol = Protocol::kCC;
+  scenario.custom_app = [&param](Api& api) {
+    MixedApp app;
+    app.iterations = 25;
+    app.use_nbc = param.nbc;
+    app(api);
+    return app.result;
+  };
+  scenario.failures.at_collectives = {param.trigger};
+  const auto out = harness::expect_scenario_roundtrip(scenario);
+  // Guard against vacuous passes: the trigger must actually have produced
+  // a checkpoint → crash → restart hop.
+  EXPECT_EQ(out.lifecycle.crashes, 1u);
+  EXPECT_EQ(out.lifecycle.checkpoints, 1u);
 }
 
 TEST(CcCheckpoint, ResumeWithoutRestartMatchesNative) {
@@ -112,8 +66,8 @@ TEST(CcCheckpoint, ResumeWithoutRestartMatchesNative) {
   app.iterations = 20;
   const auto native = run_native(app, world);
 
-  const auto dir = fresh_dir("cc_resume");
-  Engine engine(cc_config(world, dir, {8}));
+  const auto dir = harness::fresh_dir("cc_resume");
+  Engine engine(harness::make_engine_config(Protocol::kCC, world, dir, {8}));
   std::vector<std::uint64_t> got(static_cast<std::size_t>(world));
   const auto report = engine.run([&](Api& api) {
     MixedApp instance = app;
@@ -134,8 +88,9 @@ TEST(CcCheckpoint, MultipleCheckpointCycles) {
   app.iterations = 30;
   const auto native = run_native(app, world);
 
-  const auto dir = fresh_dir("cc_multi");
-  Engine engine(cc_config(world, dir, {6, 14, 22}));
+  const auto dir = harness::fresh_dir("cc_multi");
+  Engine engine(
+      harness::make_engine_config(Protocol::kCC, world, dir, {6, 14, 22}));
   std::vector<std::uint64_t> got(static_cast<std::size_t>(world));
   const auto report = engine.run([&](Api& api) {
     MixedApp instance = app;
@@ -145,15 +100,10 @@ TEST(CcCheckpoint, MultipleCheckpointCycles) {
   EXPECT_EQ(report.checkpoints, 3u);
   EXPECT_EQ(got, native);
   EXPECT_EQ(report.ckpt_durations.size(), 3u);
-
-  core::DrainGraph graph = engine.make_drain_graph();
-  for (std::uint64_t cycle = 1; cycle <= 3; ++cycle) {
-    const auto verdict = graph.check_safe_state(cycle, true);
-    EXPECT_TRUE(verdict.ok) << "cycle " << cycle << ": " << verdict.error;
-  }
+  harness::expect_safe_state(engine, 3, /*minimality=*/true);
 
   // Restart from the *last* checkpoint must also reproduce native results.
-  Engine engine2(cc_config(world, dir, {}));
+  Engine engine2(harness::make_engine_config(Protocol::kCC, world, dir));
   std::vector<std::uint64_t> restored(static_cast<std::size_t>(world));
   engine2.restart([&](Api& api) {
     MixedApp instance = app;
@@ -168,8 +118,8 @@ TEST(CcCheckpoint, SteadyStateSendsNoProtocolMessages) {
   const int world = 6;
   MixedApp app;
   app.iterations = 15;
-  EngineConfig config = cc_config(world, fresh_dir("cc_steady"), {});
-  Engine engine(config);
+  Engine engine(harness::make_engine_config(Protocol::kCC, world,
+                                            harness::fresh_dir("cc_steady")));
   const auto report = engine.run([&](Api& api) {
     MixedApp instance = app;
     instance(api);
@@ -250,12 +200,13 @@ TEST(CcCheckpoint, P2pStarvationCascade) {
   }
 
   for (int rep = 0; rep < 25; ++rep) {
-    const auto dir = fresh_dir("cc_cascade");
+    const auto dir = harness::fresh_dir("cc_cascade");
     // Trigger at rank 0's 5th collective call: comm_create x2, barrier,
     // ibarrier, ibarrier — i.e. while initiating {0,1}#2.
     std::uint64_t ckpts = 0;
     {
-      Engine engine(cc_config(world, dir, {5}, /*stop=*/true));
+      Engine engine(harness::make_engine_config(Protocol::kCC, world, dir, {5},
+                                                /*stop=*/true));
       RunReport report;
       try {
         report = engine.run([&](Api& api) { app_fn(api); });
@@ -273,7 +224,7 @@ TEST(CcCheckpoint, P2pStarvationCascade) {
           << engine.describe_traces();
     }
 
-    Engine engine2(cc_config(world, dir, {}));
+    Engine engine2(harness::make_engine_config(Protocol::kCC, world, dir));
     std::vector<std::uint64_t> restored(static_cast<std::size_t>(world));
     engine2.restart([&](Api& api) {
       app_fn(api);
@@ -286,11 +237,11 @@ TEST(CcCheckpoint, P2pStarvationCascade) {
 TEST(CcCheckpoint, CheckpointDuringPureP2PPhase) {
   // Request lands while ranks are only exchanging point-to-point traffic;
   // the drain must wait for the next collective boundaries and not lose
-  // messages.
-  const int world = 4;
-  const auto dir = fresh_dir("cc_p2p");
-
-  auto app_fn = [](Api& api) {
+  // messages. Runs through the harness as a full crash/restart scenario.
+  harness::Scenario scenario;
+  scenario.tag = "cc_p2p";
+  scenario.world = 4;
+  scenario.custom_app = [](Api& api) {
     const int size = api.size();
     const int rank = api.rank();
     std::vector<double> state(32);
@@ -308,8 +259,8 @@ TEST(CcCheckpoint, CheckpointDuringPureP2PPhase) {
         const int right = (rank + 1) % size;
         const int left = (rank - 1 + size) % size;
         api.once([&] { out = state[0] + k; });
-        auto rr =
-            api.irecv(kWorldComm, std::as_writable_bytes(std::span(&in, 1)), left, 3);
+        auto rr = api.irecv(kWorldComm,
+                            std::as_writable_bytes(std::span(&in, 1)), left, 3);
         api.send(kWorldComm, std::as_bytes(std::span(&out, 1)), right, 3);
         api.wait(rr);
         api.once([&] { state[0] += in * 1e-3; });
@@ -323,57 +274,11 @@ TEST(CcCheckpoint, CheckpointDuringPureP2PPhase) {
     }
     Fingerprint fp;
     fp.add_range<double>(state);
-    fingerprint = fp.value();
+    return fp.value();
   };
-
-  // Native baseline.
-  std::vector<std::uint64_t> native(static_cast<std::size_t>(world));
-  {
-    EngineConfig config;
-    config.runtime.world_size = world;
-    config.protocol = Protocol::kNative;
-    Engine engine(config);
-    engine.run([&](Api& api) {
-      fingerprint = 0;
-      app_fn(api);
-      native[static_cast<std::size_t>(api.rank())] = fingerprint;
-    });
-  }
-
-  Engine engine(cc_config(world, dir, {3}, /*stop=*/true));
-  const auto report = engine.run([&](Api& api) {
-    fingerprint = 0;
-    app_fn(api);
-  });
-  EXPECT_EQ(report.checkpoints, 1u);
-
-  Engine engine2(cc_config(world, dir, {}));
-  std::vector<std::uint64_t> restored(static_cast<std::size_t>(world));
-  engine2.restart([&](Api& api) {
-    fingerprint = 0;
-    app_fn(api);
-    restored[static_cast<std::size_t>(api.rank())] = fingerprint;
-  });
-  if (restored != native) {
-    Engine engine3(cc_config(world, dir, {}));
-    std::vector<std::uint64_t> again(static_cast<std::size_t>(world));
-    engine3.restart([&](Api& api) {
-      fingerprint = 0;
-      app_fn(api);
-      again[static_cast<std::size_t>(api.rank())] = fingerprint;
-    });
-    ASSERT_EQ(restored, again) << "replay itself nondeterministic";
-    for (int r = 0; r < world; ++r) {
-      const auto img =
-          ckpt::CkptImage::read_file(ckpt::CkptImage::path_for(dir, r));
-      BinaryReader meta(img.blob("engine/meta"));
-      std::cerr << "rank " << r << ": ops_completed=" << meta.read_u64()
-                << " vreqs_blob=" << img.blob("engine/vreqs").size()
-                << " unexpected_blob=" << img.blob("engine/unexpected").size()
-                << "\n";
-    }
-  }
-  EXPECT_EQ(restored, native);
+  scenario.failures.at_collectives = {3};
+  const auto out = harness::expect_scenario_roundtrip(scenario);
+  EXPECT_EQ(out.lifecycle.crashes, 1u);
 }
 
 }  // namespace

@@ -1,42 +1,19 @@
-// End-to-end tests of the 2PC baseline (original MANA, paper §2.2):
-// inserted-barrier drains, checkpoint/restart equivalence, the
-// "all-entered ⇒ wait for completion" safety rule, and the documented
-// non-support of non-blocking collectives.
+// End-to-end tests of the 2PC baseline (original MANA, paper §2.2), driven
+// by the scenario harness: inserted-barrier drains, crash/restart
+// equivalence against the failure-free golden run, the "all-entered ⇒ wait
+// for completion" safety rule, and the documented non-support of
+// non-blocking collectives.
 #include <gtest/gtest.h>
 
-#include <filesystem>
-
 #include "common/error.hpp"
-#include "core/drain_graph.hpp"
-#include "test_apps.hpp"
+#include "harness/apps.hpp"
+#include "harness/scenario.hpp"
 
 namespace manatee::split {
 namespace {
 
-using testing::MixedApp;
-using testing::run_native;
-
-std::string fresh_dir(const std::string& tag) {
-  const auto dir = std::filesystem::temp_directory_path() / ("manatee_" + tag);
-  std::filesystem::remove_all(dir);
-  std::filesystem::create_directories(dir);
-  return dir.string();
-}
-
-EngineConfig tpc_config(int world, const std::string& dir,
-                        std::vector<std::uint64_t> triggers,
-                        bool stop_after = false) {
-  simnet::MessageStore::set_wait_timeout_ms(20'000);
-  EngineConfig config;
-  config.runtime.world_size = world;
-  config.runtime.ranks_per_node = 4;
-  config.protocol = Protocol::kTpc;
-  config.image_dir = dir;
-  config.trigger_at_collectives = std::move(triggers);
-  config.stop_after_checkpoint = stop_after;
-  config.record_trace = true;
-  return config;
-}
+using harness::MixedApp;
+using harness::run_native;
 
 struct TpcCase {
   int world;
@@ -54,40 +31,27 @@ INSTANTIATE_TEST_SUITE_P(Grid, TpcCheckpointP,
                                   std::to_string(info.param.trigger);
                          });
 
-TEST_P(TpcCheckpointP, CheckpointRestartMatchesNative) {
+TEST_P(TpcCheckpointP, CheckpointCrashRestartMatchesGolden) {
   const auto& param = GetParam();
-  MixedApp app;
-  app.iterations = 25;
-  app.use_nbc = false;  // 2PC does not support NBC
 
-  const auto native = run_native(app, param.world);
-
-  const auto dir = fresh_dir("tpc_rr_" + std::to_string(param.world) + "_" +
-                             std::to_string(param.trigger));
-  {
-    Engine engine(tpc_config(param.world, dir, {param.trigger}, /*stop=*/true));
-    const auto report = engine.run([&](Api& api) {
-      MixedApp instance = app;
-      instance(api);
-    });
-    EXPECT_EQ(report.checkpoints, 1u);
-    EXPECT_TRUE(report.stopped_after_checkpoint);
-
-    // Invariants 1-2 hold for 2PC too (no minimality: 2PC has no targets).
-    core::DrainGraph graph = engine.make_drain_graph();
-    const auto verdict = graph.check_safe_state(1, /*minimality=*/false);
-    EXPECT_TRUE(verdict.ok) << verdict.error;
-  }
-  {
-    Engine engine(tpc_config(param.world, dir, {}));
-    std::vector<std::uint64_t> restored(static_cast<std::size_t>(param.world));
-    engine.restart([&](Api& api) {
-      MixedApp instance = app;
-      instance(api);
-      restored[static_cast<std::size_t>(api.rank())] = instance.result;
-    });
-    EXPECT_EQ(restored, native);
-  }
+  harness::Scenario scenario;
+  scenario.tag = "tpc_rr_" + std::to_string(param.world) + "_" +
+                 std::to_string(param.trigger);
+  scenario.world = param.world;
+  scenario.protocol = Protocol::kTpc;
+  scenario.custom_app = [](Api& api) {
+    MixedApp app;
+    app.iterations = 25;
+    app.use_nbc = false;  // 2PC does not support NBC
+    app(api);
+    return app.result;
+  };
+  scenario.failures.at_collectives = {param.trigger};
+  const auto out = harness::expect_scenario_roundtrip(scenario);
+  // Guard against vacuous passes: the trigger must actually have produced
+  // a checkpoint → crash → restart hop.
+  EXPECT_EQ(out.lifecycle.crashes, 1u);
+  EXPECT_EQ(out.lifecycle.checkpoints, 1u);
 }
 
 TEST(TpcCheckpoint, ResumeWithoutRestartMatchesNative) {
@@ -96,7 +60,8 @@ TEST(TpcCheckpoint, ResumeWithoutRestartMatchesNative) {
   app.iterations = 18;
   const auto native = run_native(app, world);
 
-  Engine engine(tpc_config(world, fresh_dir("tpc_resume"), {7}));
+  Engine engine(harness::make_engine_config(Protocol::kTpc, world,
+                                            harness::fresh_dir("tpc_resume"), {7}));
   std::vector<std::uint64_t> got(static_cast<std::size_t>(world));
   const auto report = engine.run([&](Api& api) {
     MixedApp instance = app;
@@ -156,7 +121,9 @@ TEST(TpcCheckpoint, MultipleCycles) {
   app.iterations = 24;
   const auto native = run_native(app, world);
 
-  Engine engine(tpc_config(world, fresh_dir("tpc_multi"), {5, 15}));
+  Engine engine(harness::make_engine_config(Protocol::kTpc, world,
+                                            harness::fresh_dir("tpc_multi"),
+                                            {5, 15}));
   std::vector<std::uint64_t> got(static_cast<std::size_t>(world));
   const auto report = engine.run([&](Api& api) {
     MixedApp instance = app;

@@ -145,7 +145,7 @@ EngineConfig make_config(int world, Protocol protocol, const std::string& dir,
   if (!algo.empty()) config.runtime.coll.force(kind, algo);
   config.protocol = protocol;
   config.image_dir = dir;
-  config.trigger_at_collectives = std::move(triggers);
+  config.failures.at_collectives = std::move(triggers);
   config.stop_after_checkpoint = stop;
   return config;
 }

@@ -1,0 +1,177 @@
+// The lifecycle soak: 64 seeded scenarios, each a multi-failure
+// crash/restart chain over a real workload proxy under the CC protocol,
+// with randomized failure schedules (Poisson arrivals, fixed virtual-time
+// points, collective-count ladders), world sizes, retention depths, and
+// occasional collective-algorithm overrides. Every chain's final per-rank
+// fingerprints must equal the failure-free golden run's, and every crashed
+// segment's drain must satisfy the §4.2.2 safe-state oracle.
+//
+// Registered as its own ctest (`ctest -R LifecycleSoak`, label `soak`) so
+// CI can repeat it nightly under Release and TSan.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "harness/scenario.hpp"
+#include "harness/seed_reporter.hpp"
+
+namespace manatee::split {
+namespace {
+
+MANATEE_INSTALL_SEED_REPORTER();
+
+struct SoakCase {
+  std::uint64_t seed = 0;
+  harness::Scenario scenario;
+};
+
+/// Derive a full scenario from one seed. Everything downstream (schedule,
+/// world, workload, overrides) is a pure function of the seed, so a red CI
+/// line reproduces with exactly this case.
+SoakCase make_case(std::uint64_t seed) {
+  Rng rng(seed);
+  SoakCase c;
+  c.seed = seed;
+  auto& s = c.scenario;
+  s.tag = "soak_" + std::to_string(seed);
+  s.protocol = Protocol::kCC;
+
+  const auto kinds = harness::workloads_for(s.protocol);
+  s.workload = kinds[rng.next_below(kinds.size())];
+  s.world = 2 + static_cast<int>(rng.next_below(7));  // 2..8
+  s.ranks_per_node = rng.next_bool(0.5) ? 4 : 2;
+  s.retain_generations = 2 + static_cast<int>(rng.next_below(2));  // 2..3
+  s.max_segments = 12;
+
+  // One case in four forces a non-default collective algorithm, composing
+  // the override axis into the storm.
+  if (rng.next_bool(0.25)) {
+    switch (rng.next_below(3)) {
+      case 0: s.coll.force(umpi::coll::CollKind::kBcast, "ring"); break;
+      case 1: s.coll.force(umpi::coll::CollKind::kAllreduce, "ring"); break;
+      default: s.coll.force(umpi::coll::CollKind::kBarrier, "tree"); break;
+    }
+  }
+
+  // Failure schedule: aim for 2–4 crashes per chain. Collective-count
+  // ladders only fit collective-rich proxies; the p2p-heavy ones (LAMMPS,
+  // CoMD, SW4 — a handful of collectives per run) get time-based storms.
+  const auto makespan = harness::approx_virtual_makespan_ns(s.workload);
+  const auto colls = harness::approx_collective_calls(s.workload);
+  const std::uint64_t want = 2 + rng.next_below(3);  // 2..4 failures
+  const auto pick = rng.next_below(colls >= 16 ? 3 : 2);
+  switch (pick) {
+    case 0: {  // Poisson arrivals (the MTBF model)
+      // Denser than makespan/want: exponential tails must still land all
+      // `want` arrivals inside the run for every frozen seed.
+      s.failures.poisson_mean_ns =
+          static_cast<double>(makespan) / static_cast<double>(2 * want + 2);
+      s.failures.poisson_min_spacing_ns =
+          static_cast<simnet::SimTime>(s.failures.poisson_mean_ns / 4);
+      s.failures.poisson_seed = seed * 0x9e3779b97f4a7c15ULL + 1;
+      s.failures.poisson_max_arrivals = want;
+      break;
+    }
+    case 1: {  // fixed virtual-time points, spread over the first ~3/4
+      for (std::uint64_t k = 1; k <= want; ++k) {
+        s.failures.at_times.push_back(static_cast<simnet::SimTime>(
+            makespan * 3 * k / (4 * (want + 1)) + rng.next_below(makespan / 16)));
+      }
+      break;
+    }
+    default: {  // collective-count ladder (segment-local, increasing)
+      std::uint64_t step = 2 + rng.next_below(3);
+      for (std::uint64_t k = 0; k < want; ++k) {
+        s.failures.at_collectives.push_back(step);
+        step += 1 + rng.next_below(3);
+      }
+      break;
+    }
+  }
+  return c;
+}
+
+std::vector<SoakCase> make_cases() {
+  std::vector<SoakCase> cases;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    cases.push_back(make_case(7'000 + i * 131));
+  }
+  return cases;
+}
+
+class LifecycleSoakP : public ::testing::TestWithParam<SoakCase> {
+ public:
+  // Sweep-wide failure tally. A single case's *later* failures may
+  // legitimately not fit before the app ends (the checkpoint cut position
+  // — hence the resumption point — depends on thread timing), so
+  // multi-failure density is asserted over the whole sweep, where the
+  // margin is wide, instead of per case.
+  static inline std::uint64_t cases_run = 0;
+  static inline std::uint64_t total_crashes = 0;
+  static inline std::uint64_t multi_crash_cases = 0;
+
+  static void TearDownTestSuite() {
+    if (cases_run < 64) return;  // partial --gtest_filter run: no verdict
+    EXPECT_GE(total_crashes, 110u)
+        << "the sweep lost its multi-failure density";
+    EXPECT_GE(multi_crash_cases, 40u)
+        << "too few cases chained two or more crash/restart hops";
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LifecycleSoakP, ::testing::ValuesIn(make_cases()),
+                         [](const auto& info) {
+                           return "s" + std::to_string(info.param.seed) + "_" +
+                                  harness::workload_name(
+                                      info.param.scenario.workload) +
+                                  "_w" + std::to_string(info.param.scenario.world);
+                         });
+
+TEST_P(LifecycleSoakP, ChainedRestartMatchesGoldenRun) {
+  const auto& param = GetParam();
+  harness::SeedReporter::note(param.seed, "LifecycleSoak");
+  const auto out = harness::expect_scenario_roundtrip(param.scenario);
+  // A schedule that never fires would pass the round trip vacuously: the
+  // first failure always lands (segment 1 runs from virtual time 0 with no
+  // cut variance, and every frozen seed's first trigger sits well inside
+  // the run). Later failures may or may not fit before the app ends —
+  // counted in the sweep-wide tally checked in TearDownTestSuite.
+  EXPECT_GE(out.lifecycle.crashes, 1u)
+      << "soak schedule produced no crash at all (makespan anchor off?)";
+  ++cases_run;
+  total_crashes += out.lifecycle.crashes;
+  if (out.lifecycle.crashes >= 2) ++multi_crash_cases;
+  RecordProperty("crashes", static_cast<int>(out.lifecycle.crashes));
+  std::printf("[soak] seed=%llu %s: crashes=%llu checkpoints=%llu segments=%zu\n",
+              static_cast<unsigned long long>(param.seed),
+              harness::workload_name(param.scenario.workload),
+              static_cast<unsigned long long>(out.lifecycle.crashes),
+              static_cast<unsigned long long>(out.lifecycle.checkpoints),
+              out.lifecycle.segments.size());
+}
+
+TEST(LifecycleSoak, SweepCoversTheWorkloadProxies) {
+  // The acceptance bar: the 64 seeds must spread over at least 4 distinct
+  // workload proxies and all three schedule kinds.
+  std::set<harness::WorkloadKind> workloads;
+  int poisson = 0, fixed = 0, counts = 0, overrides = 0;
+  for (const auto& c : make_cases()) {
+    workloads.insert(c.scenario.workload);
+    if (c.scenario.failures.poisson_mean_ns > 0) ++poisson;
+    if (!c.scenario.failures.at_times.empty()) ++fixed;
+    if (!c.scenario.failures.at_collectives.empty()) ++counts;
+    for (const auto& forced : c.scenario.coll.forced) {
+      if (!forced.empty()) {
+        ++overrides;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(workloads.size(), 4u);
+  EXPECT_GT(poisson, 0);
+  EXPECT_GT(fixed, 0);
+  EXPECT_GT(counts, 0);
+  EXPECT_GT(overrides, 0);
+}
+
+}  // namespace
+}  // namespace manatee::split

@@ -111,7 +111,7 @@ TEST(PaperFigures, Fig3aUnevenRates) {
   config.runtime.world_size = 6;
   config.protocol = Protocol::kCC;
   config.image_dir = fresh_dir("3a");
-  config.trigger_at_collectives = {9};
+  config.failures.at_collectives = {9};
   config.record_trace = true;
 
   const std::vector<umpi::Group> groups{umpi::Group({0, 1}), umpi::Group({1, 2}),
@@ -239,7 +239,7 @@ TEST(PaperFigures, SimilarCommunicatorsShareClock) {
   config.runtime.world_size = 4;
   config.protocol = Protocol::kCC;
   config.image_dir = fresh_dir("similar");
-  config.trigger_at_collectives = {6};
+  config.failures.at_collectives = {6};
   config.record_trace = true;
 
   Engine engine(config);

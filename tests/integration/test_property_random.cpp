@@ -10,10 +10,13 @@
 #include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "core/drain_graph.hpp"
+#include "harness/seed_reporter.hpp"
 #include "split/engine.hpp"
 
 namespace manatee::split {
 namespace {
+
+MANATEE_INSTALL_SEED_REPORTER();
 
 /// A deterministic random app derived from a seed: a random set of
 /// overlapping communicators and a random per-iteration schedule of
@@ -190,6 +193,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RandomDrainP, ::testing::ValuesIn(make_cases()),
 
 TEST_P(RandomDrainP, SafeStateAndRestartEquivalence) {
   const auto& param = GetParam();
+  harness::SeedReporter::note(param.seed, "RandomDrainP");
   simnet::MessageStore::set_wait_timeout_ms(20'000);
 
   RandomApp app;
@@ -222,7 +226,7 @@ TEST_P(RandomDrainP, SafeStateAndRestartEquivalence) {
   config.runtime.world_size = param.world;
   config.protocol = param.protocol;
   config.image_dir = dir.string();
-  config.trigger_at_collectives = {param.trigger};
+  config.failures.at_collectives = {param.trigger};
   config.stop_after_checkpoint = true;
   config.record_trace = true;
 
@@ -255,7 +259,7 @@ TEST_P(RandomDrainP, SafeStateAndRestartEquivalence) {
   if (checkpoints == 0) GTEST_SKIP() << "trigger beyond app's collective count";
 
   EngineConfig config2 = config;
-  config2.trigger_at_collectives.clear();
+  config2.failures.at_collectives.clear();
   config2.stop_after_checkpoint = false;
   Engine engine2(config2);
   std::vector<std::uint64_t> restored(static_cast<std::size_t>(param.world));

@@ -1,31 +1,26 @@
 // Restart failure modes and edge cases: corrupted images, mismatched
-// worlds, decision-log replay, and checkpointing at program extremes.
+// worlds, decision-log replay, checkpointing at program extremes, and the
+// chained-restart generation machinery (restart from a restart's images,
+// stale/corrupt generation fallback, N-times-chained stop_after_checkpoint).
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <filesystem>
 #include <fstream>
 
+#include "ckpt/generation.hpp"
 #include "common/error.hpp"
-#include "split/engine.hpp"
+#include "harness/scenario.hpp"
+#include "split/lifecycle.hpp"
 
 namespace manatee::split {
 namespace {
 
-std::string fresh_dir(const std::string& tag) {
-  const auto dir = std::filesystem::temp_directory_path() / ("manatee_edge_" + tag);
-  std::filesystem::remove_all(dir);
-  std::filesystem::create_directories(dir);
-  return dir.string();
-}
+using harness::fresh_dir;
 
 EngineConfig cc(int world, const std::string& dir) {
-  simnet::MessageStore::set_wait_timeout_ms(15'000);
-  EngineConfig config;
-  config.runtime.world_size = world;
-  config.runtime.ranks_per_node = 4;
-  config.protocol = Protocol::kCC;
-  config.image_dir = dir;
-  return config;
+  return harness::make_engine_config(Protocol::kCC, world, dir, {}, false, 4,
+                                     /*record_trace=*/false);
 }
 
 void simple_app(Api& api, int iterations) {
@@ -40,29 +35,56 @@ void simple_app(Api& api, int iterations) {
   }
 }
 
+std::uint64_t simple_fingerprint_app(Api& api, int iterations) {
+  double v = api.rank(), s = 0;
+  api.register_value("v", v);
+  api.register_value("s", s);
+  for (int i = 0; i < iterations; ++i) {
+    api.allreduce(kWorldComm, std::as_bytes(std::span(&v, 1)),
+                  std::as_writable_bytes(std::span(&s, 1)), umpi::Datatype::kDouble,
+                  umpi::ReduceOp::kSum);
+    api.once([&] { v = s / api.size() + 1.0; });
+  }
+  return std::bit_cast<std::uint64_t>(v) ^ std::bit_cast<std::uint64_t>(s);
+}
+
 void take_checkpoint(int world, const std::string& dir, std::uint64_t trigger,
                      int iterations = 10) {
   auto config = cc(world, dir);
-  config.trigger_at_collectives = {trigger};
+  config.failures.at_collectives = {trigger};
   Engine engine(config);
   const auto report = engine.run([&](Api& api) { simple_app(api, iterations); });
   ASSERT_EQ(report.checkpoints, 1u);
 }
 
+/// One run writing a numbered generation per trigger (no crash between).
+void take_generations(int world, const std::string& dir,
+                      std::vector<std::uint64_t> triggers, int iterations = 10) {
+  auto config = cc(world, dir);
+  config.failures.at_collectives = std::move(triggers);
+  config.retain_generations = 8;
+  const auto expected = config.failures.at_collectives.size();
+  Engine engine(config);
+  const auto report = engine.run([&](Api& api) { simple_app(api, iterations); });
+  ASSERT_EQ(report.checkpoints, expected);
+}
+
+void corrupt_file(const std::string& path, std::streamoff offset = 40) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open()) << path;
+  char c;
+  f.seekg(offset);
+  f.get(c);
+  f.seekp(offset);
+  f.put(static_cast<char>(c ^ 0x20));
+}
+
 TEST(RestartEdges, CorruptedImageRejected) {
-  const auto dir = fresh_dir("corrupt");
+  const auto dir = fresh_dir("edge_corrupt");
   take_checkpoint(4, dir, 3);
 
   // Flip a byte in rank 2's image.
-  const auto path = ckpt::CkptImage::path_for(dir, 2);
-  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
-  f.seekp(40);
-  char c;
-  f.seekg(40);
-  f.get(c);
-  f.seekp(40);
-  f.put(static_cast<char>(c ^ 0x20));
-  f.close();
+  corrupt_file(ckpt::CkptImage::path_for(dir, 2));
 
   Engine engine(cc(4, dir));
   EXPECT_THROW(engine.restart([&](Api& api) { simple_app(api, 10); }),
@@ -70,7 +92,7 @@ TEST(RestartEdges, CorruptedImageRejected) {
 }
 
 TEST(RestartEdges, MissingImageRejected) {
-  const auto dir = fresh_dir("missing");
+  const auto dir = fresh_dir("edge_missing");
   take_checkpoint(4, dir, 3);
   std::filesystem::remove(ckpt::CkptImage::path_for(dir, 1));
   Engine engine(cc(4, dir));
@@ -79,7 +101,7 @@ TEST(RestartEdges, MissingImageRejected) {
 }
 
 TEST(RestartEdges, WorldSizeMismatchRejected) {
-  const auto dir = fresh_dir("world");
+  const auto dir = fresh_dir("edge_world");
   take_checkpoint(4, dir, 3);
   Engine engine(cc(8, dir));  // restart with a different world
   EXPECT_THROW(engine.restart([&](Api& api) { simple_app(api, 10); }),
@@ -95,7 +117,7 @@ TEST(RestartEdges, RestartWithoutImageDirRejected) {
 }
 
 TEST(RestartEdges, SegmentSizeMismatchOnRestoreRejected) {
-  const auto dir = fresh_dir("segsize");
+  const auto dir = fresh_dir("edge_segsize");
   take_checkpoint(4, dir, 3);
   Engine engine(cc(4, dir));
   EXPECT_THROW(engine.restart([](Api& api) {
@@ -107,7 +129,7 @@ TEST(RestartEdges, SegmentSizeMismatchOnRestoreRejected) {
 }
 
 TEST(RestartEdges, DecisionLogReplaysBranches) {
-  const auto dir = fresh_dir("decide");
+  const auto dir = fresh_dir("edge_decide");
   const int world = 4;
 
   auto app = [](Api& api, std::uint64_t* out) {
@@ -147,7 +169,7 @@ TEST(RestartEdges, DecisionLogReplaysBranches) {
   }
   {
     auto config = cc(world, dir);
-    config.trigger_at_collectives = {5};
+    config.failures.at_collectives = {5};
     config.stop_after_checkpoint = true;
     Engine engine(config);
     std::uint64_t sink;
@@ -163,14 +185,14 @@ TEST(RestartEdges, DecisionLogReplaysBranches) {
 }
 
 TEST(RestartEdges, CheckpointAtFirstCollective) {
-  const auto dir = fresh_dir("first");
+  const auto dir = fresh_dir("edge_first");
   take_checkpoint(4, dir, 1, /*iterations=*/6);
   Engine engine(cc(4, dir));
   EXPECT_NO_THROW(engine.restart([&](Api& api) { simple_app(api, 6); }));
 }
 
 TEST(RestartEdges, CheckpointAtLastCollective) {
-  const auto dir = fresh_dir("last");
+  const auto dir = fresh_dir("edge_last");
   take_checkpoint(4, dir, 6, /*iterations=*/6);  // the final collective
   Engine engine(cc(4, dir));
   EXPECT_NO_THROW(engine.restart([&](Api& api) { simple_app(api, 6); }));
@@ -179,7 +201,7 @@ TEST(RestartEdges, CheckpointAtLastCollective) {
 TEST(RestartEdges, DoubleRestartFromSameImages) {
   // Images are read-only: restarting twice from the same set must give the
   // same results (the chained-allocation pattern re-reads on every retry).
-  const auto dir = fresh_dir("double");
+  const auto dir = fresh_dir("edge_double");
   take_checkpoint(4, dir, 4, 10);
 
   auto run_restart = [&] {
@@ -203,7 +225,7 @@ TEST(RestartEdges, DoubleRestartFromSameImages) {
 }
 
 TEST(RestartEdges, ImageMetadataSane) {
-  const auto dir = fresh_dir("meta");
+  const auto dir = fresh_dir("edge_meta");
   take_checkpoint(4, dir, 3);
   for (int r = 0; r < 4; ++r) {
     const auto img = ckpt::CkptImage::read_file(ckpt::CkptImage::path_for(dir, r));
@@ -218,6 +240,162 @@ TEST(RestartEdges, ImageMetadataSane) {
     EXPECT_TRUE(img.has("app/v"));
     EXPECT_TRUE(img.has("app/s"));
   }
+}
+
+// ---- chained-restart / generation edge cases ---------------------------------
+
+TEST(RestartEdges, RestartFromARestartsImages) {
+  // Two chained crashes: segment 2 restores generation 1 and writes
+  // generation 2; segment 3 must restore from generation 2 — a checkpoint
+  // taken *by a restarted run*.
+  harness::Scenario scenario;
+  scenario.tag = "edge_chain2";
+  scenario.world = 4;
+  scenario.custom_app = [](Api& api) { return simple_fingerprint_app(api, 12); };
+  scenario.failures.at_collectives = {3, 6};
+  harness::ScenarioOutcome out;
+  ASSERT_NO_THROW(out = harness::run_scenario(scenario));
+  ASSERT_TRUE(out.lifecycle.completed);
+  ASSERT_EQ(out.lifecycle.crashes, 2u);
+  ASSERT_EQ(out.lifecycle.restored_generations, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(out.chained, out.golden);
+}
+
+TEST(RestartEdges, StaleGenerationPresentPicksNewest) {
+  // Two generations on disk; restart must restore the newest, not the
+  // stale one.
+  const int world = 4;
+  const auto dir = fresh_dir("edge_stale");
+  take_generations(world, dir, {3, 7});
+  ASSERT_EQ(ckpt::GenerationStore::list(dir),
+            (std::vector<std::uint64_t>{1, 2}));
+
+  Engine engine(cc(world, dir));
+  const auto report =
+      engine.restart([&](Api& api) { simple_app(api, 10); });
+  EXPECT_EQ(report.restored_generation, 2u);
+}
+
+TEST(RestartEdges, CorruptLatestGenerationFallsBackToPrevious) {
+  // The acceptance case: latest generation corrupted → restart falls back
+  // to generation K−1 and still reproduces the failure-free result.
+  const int world = 4;
+  const int iterations = 10;
+
+  // Failure-free baseline.
+  std::vector<std::uint64_t> native(world);
+  {
+    EngineConfig config;
+    config.runtime.world_size = world;
+    Engine engine(config);
+    engine.run([&](Api& api) {
+      native[static_cast<std::size_t>(api.rank())] =
+          simple_fingerprint_app(api, iterations);
+    });
+  }
+
+  const auto dir = fresh_dir("edge_fallback");
+  take_generations(world, dir, {3, 7}, iterations);
+  corrupt_file(ckpt::GenerationStore::image_path(dir, 2, 1));
+
+  Engine engine(cc(world, dir));
+  std::vector<std::uint64_t> restored(world);
+  const auto report = engine.restart([&](Api& api) {
+    restored[static_cast<std::size_t>(api.rank())] =
+        simple_fingerprint_app(api, iterations);
+  });
+  EXPECT_EQ(report.restored_generation, 1u)
+      << "corrupt latest generation must fall back to its predecessor";
+  EXPECT_EQ(restored, native);
+}
+
+TEST(RestartEdges, MissingRankImageInLatestGenerationFallsBack) {
+  const int world = 4;
+  const auto dir = fresh_dir("edge_missing_gen");
+  take_generations(world, dir, {3, 7});
+  std::filesystem::remove(ckpt::GenerationStore::image_path(dir, 2, 3));
+
+  Engine engine(cc(world, dir));
+  const auto report = engine.restart([&](Api& api) { simple_app(api, 10); });
+  EXPECT_EQ(report.restored_generation, 1u);
+}
+
+TEST(RestartEdges, AllGenerationsUnusableRejected) {
+  const int world = 4;
+  const auto dir = fresh_dir("edge_all_bad");
+  take_generations(world, dir, {3, 7});
+  corrupt_file(ckpt::GenerationStore::image_path(dir, 1, 0));
+  corrupt_file(ckpt::GenerationStore::image_path(dir, 2, 0));
+
+  Engine engine(cc(world, dir));
+  EXPECT_THROW(engine.restart([&](Api& api) { simple_app(api, 10); }),
+               CheckpointError);
+}
+
+TEST(RestartEdges, StopAfterCheckpointChainedNTimes) {
+  // The chained-allocation pattern N deep: every segment crashes right
+  // after its checkpoint; generations number monotonically; retention
+  // keeps only the newest K; the final segment completes and matches the
+  // failure-free run.
+  harness::Scenario scenario;
+  scenario.tag = "edge_chainN";
+  scenario.world = 4;
+  scenario.retain_generations = 2;
+  scenario.custom_app = [](Api& api) { return simple_fingerprint_app(api, 16); };
+  // Collective triggers count *executed* (post-replay) collectives, so each
+  // is relative to the segment it fires in: crashes land ~2, ~5, ~9, ~14
+  // collectives into the 16-iteration run.
+  scenario.failures.at_collectives = {2, 3, 4, 5};
+  harness::ScenarioOutcome out;
+  ASSERT_NO_THROW(out = harness::run_scenario(scenario));
+  ASSERT_TRUE(out.lifecycle.completed);
+  EXPECT_EQ(out.lifecycle.crashes, 4u);
+  EXPECT_EQ(out.lifecycle.segments.size(), 5u);
+  EXPECT_EQ(out.lifecycle.restored_generations,
+            (std::vector<std::uint64_t>{1, 2, 3, 4}));
+  EXPECT_EQ(out.lifecycle.final_generation, 4u);
+  EXPECT_LE(ckpt::GenerationStore::list(out.image_dir).size(), 3u);
+  EXPECT_EQ(out.chained, out.golden);
+}
+
+TEST(RestartEdges, RetentionNeverDeletesTheNewestGeneration) {
+  const auto dir = fresh_dir("edge_retain");
+  take_generations(4, dir, {2, 5, 8});
+  ckpt::GenerationStore::retain(dir, 1);
+  EXPECT_EQ(ckpt::GenerationStore::list(dir), (std::vector<std::uint64_t>{3}));
+  // And keep==0 is refused outright.
+  EXPECT_THROW(ckpt::GenerationStore::retain(dir, 0), UsageError);
+}
+
+TEST(RestartEdges, RetentionProtectsTheNewestValidGeneration) {
+  // A half-written latest checkpoint must not let numeric retention delete
+  // the only generation the restart fallback could still use.
+  const int world = 4;
+  const auto dir = fresh_dir("edge_retain_valid");
+  take_generations(world, dir, {3, 7});
+  corrupt_file(ckpt::GenerationStore::image_path(dir, 2, 0));
+
+  // keep=1 by number alone would keep only the corrupt gen 2; the
+  // world-aware overload must also preserve gen 1 (the newest valid).
+  ckpt::GenerationStore::retain(dir, 1, world);
+  EXPECT_EQ(ckpt::GenerationStore::list(dir),
+            (std::vector<std::uint64_t>{1, 2}));
+
+  // Restart still succeeds, from the protected generation.
+  Engine engine(cc(world, dir));
+  const auto report = engine.restart([&](Api& api) { simple_app(api, 10); });
+  EXPECT_EQ(report.restored_generation, 1u);
+}
+
+TEST(RestartEdges, ForeignDirectoryNamesIgnoredByGenerationScan) {
+  // Overflowing or non-numeric gen_* names are foreign files, not
+  // generations — the scan must skip them instead of throwing.
+  const auto dir = fresh_dir("edge_foreign");
+  take_generations(4, dir, {3});
+  std::filesystem::create_directories(
+      std::filesystem::path(dir) / "gen_99999999999999999999999");
+  std::filesystem::create_directories(std::filesystem::path(dir) / "gen_x7");
+  EXPECT_EQ(ckpt::GenerationStore::list(dir), (std::vector<std::uint64_t>{1}));
 }
 
 }  // namespace

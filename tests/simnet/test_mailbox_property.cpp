@@ -18,10 +18,14 @@
 #include <random>
 #include <vector>
 
+#include "harness/seed_reporter.hpp"
+
 #include "simnet/mailbox.hpp"
 
 namespace manatee::simnet {
 namespace {
+
+MANATEE_INSTALL_SEED_REPORTER();
 
 // ---- reference: the pre-binning linear matcher ------------------------------
 
@@ -337,6 +341,7 @@ class MirrorDriver {
 class MailboxProperty : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(MailboxProperty, EquivalentToLinearMatcher) {
+  manatee::harness::SeedReporter::note(GetParam(), "simnet");
   MirrorDriver driver(GetParam());
   driver.run(300);
 }

@@ -151,7 +151,7 @@ TEST(Api, WrapperCostChargedUnderCcOnly) {
 
 TEST(Api, TriggerRequiresProtocol) {
   EngineConfig config = basic(2, Protocol::kNative);
-  config.trigger_at_collectives = {1};
+  config.failures.at_collectives = {1};
   Engine engine(config);
   EXPECT_THROW(engine.run([](Api&) {}), UsageError);
 }
@@ -163,7 +163,7 @@ TEST(Api, RegisteredStateSurvivesCapture) {
 
   EngineConfig config = basic(2, Protocol::kCC);
   config.image_dir = dir.string();
-  config.trigger_at_collectives = {2};
+  config.failures.at_collectives = {2};
   Engine engine(config);
   engine.run([](Api& api) {
     std::vector<double> state(16, api.rank() + 0.5);
@@ -187,7 +187,7 @@ TEST(Api, UnregisteredIrecvBufferFailsCheckpoint) {
 
   EngineConfig config = basic(2, Protocol::kCC);
   config.image_dir = dir.string();
-  config.trigger_at_collectives = {1};
+  config.failures.at_collectives = {1};
   Engine engine(config);
   EXPECT_THROW(
       engine.run([](Api& api) {

@@ -73,7 +73,7 @@ void expect_ckpt_restart_equivalent(const W& workload, int world,
   config.runtime.ranks_per_node = 4;
   config.protocol = Protocol::kCC;
   config.image_dir = dir.string();
-  config.trigger_at_collectives = {trigger};
+  config.failures.at_collectives = {trigger};
   config.stop_after_checkpoint = true;
   {
     Engine engine(config);
@@ -84,7 +84,7 @@ void expect_ckpt_restart_equivalent(const W& workload, int world,
     ASSERT_EQ(report.checkpoints, 1u) << "trigger missed";
   }
   EngineConfig config2 = config;
-  config2.trigger_at_collectives.clear();
+  config2.failures.at_collectives.clear();
   config2.stop_after_checkpoint = false;
   Engine engine(config2);
   std::vector<std::uint64_t> restored(static_cast<std::size_t>(world));
