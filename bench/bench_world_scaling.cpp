@@ -1,0 +1,204 @@
+// bench_world_scaling — the scheduler-backend headline chart: wall time and
+// peak memory per rank as the simulated world grows, threads vs fibers.
+//
+// One OS thread per rank stops scaling long before the paper's world sizes
+// fit on a developer box: thousands of threads mean thousands of kernel
+// stacks, futex round trips on every message, and scheduler thrash. The
+// fiber backend multiplexes the same ranks onto a worker pool sized to the
+// hardware, so 4096-rank figure runs become routine.
+//
+// Each (ranks, backend) cell runs in a freshly exec'd child process
+// (`--single`), so VmHWM from /proc/self/status is that configuration's own
+// peak RSS — no contamination from earlier cells. The parent aggregates the
+// table, writes --json, and gates --check: fibers must not lose to threads
+// on wall time at >= 256 ranks.
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/error.hpp"
+
+namespace manatee::bench {
+namespace {
+
+struct Cell {
+  int ranks = 0;
+  std::string sched;
+  double wall_secs = 0;
+  double virt_secs = 0;       ///< virtual-time makespan (backend-invariant)
+  std::uint64_t hwm_kb = 0;   ///< child VmHWM (peak RSS)
+  double kb_per_rank = 0;
+};
+
+std::uint64_t vm_hwm_kb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %" SCNu64 " kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb;
+}
+
+/// The figure workload: iterated allreduce + barrier, iterations scaled
+/// down with the world so total message volume stays comparable across
+/// sizes (the cost being measured is the scheduler, not the collective).
+void run_single(int ranks, sched::Backend backend) {
+  simnet::MessageStore::set_wait_timeout_ms(600'000);
+  const int iters = std::max(2, 8192 / ranks);
+  EngineConfig config;
+  config.runtime.world_size = ranks;
+  config.runtime.ranks_per_node = 64;
+  config.runtime.sched.backend = backend;
+  Engine engine(config);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto report = engine.run([&](Api& api) {
+    std::int64_t mine = api.rank() + 1;
+    std::int64_t sum = 0;
+    for (int i = 0; i < iters; ++i) {
+      api.allreduce(split::kWorldComm,
+                    std::as_bytes(std::span(&mine, 1)),
+                    std::as_writable_bytes(std::span(&sum, 1)),
+                    umpi::Datatype::kInt64, umpi::ReduceOp::kSum);
+      api.barrier(split::kWorldComm);
+    }
+    if (sum != static_cast<std::int64_t>(ranks) * (ranks + 1) / 2) {
+      std::fprintf(stderr, "allreduce mismatch at rank %d\n", api.rank());
+      std::abort();
+    }
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+  // Single machine-parsable line consumed by the parent process.
+  std::printf("RESULT ranks=%d sched=%s wall=%.6f virt=%.6f hwm_kb=%" PRIu64
+              "\n",
+              ranks, sched::backend_name(backend),
+              std::chrono::duration<double>(t1 - t0).count(), report.seconds(),
+              vm_hwm_kb());
+}
+
+Cell run_cell(const std::string& self, int ranks, const char* sched) {
+  const std::string cmd = self + " --single --ranks " + std::to_string(ranks) +
+                          " --sched " + sched + " 2>/dev/null";
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) throw RuntimeFault("popen failed: " + cmd);
+  Cell cell;
+  cell.ranks = ranks;
+  cell.sched = sched;
+  char line[512];
+  bool parsed = false;
+  while (std::fgets(line, sizeof line, pipe) != nullptr) {
+    char name[32];
+    if (std::sscanf(line,
+                    "RESULT ranks=%*d sched=%31s wall=%lf virt=%lf "
+                    "hwm_kb=%" SCNu64,
+                    name, &cell.wall_secs, &cell.virt_secs,
+                    &cell.hwm_kb) == 4) {
+      parsed = true;
+    }
+  }
+  const int status = pclose(pipe);
+  if (!parsed || status != 0) {
+    throw RuntimeFault("child failed (" + std::to_string(status) +
+                       "): " + cmd);
+  }
+  cell.kb_per_rank = static_cast<double>(cell.hwm_kb) / ranks;
+  return cell;
+}
+
+int run(int argc, char** argv) {
+  const Options opts(argc, argv);
+
+  if (opts.has("single")) {
+    const int ranks = static_cast<int>(opts.get_int("ranks", 64));
+    run_single(ranks, sched::parse_backend(opts.get("sched", "threads")));
+    return 0;
+  }
+
+  std::vector<int> sweep{16, 64, 256, 1024};
+  if (opts.get_bool("full")) sweep.push_back(4096);
+  if (opts.has("ranks")) {
+    sweep = {static_cast<int>(opts.get_int("ranks", 64))};
+  }
+
+  print_header("World scaling: threads vs fibers",
+               "the fiber-scheduler headline chart (wall time + peak RSS "
+               "per rank while the simulated world grows)");
+
+  std::vector<Cell> cells;
+  for (const int ranks : sweep) {
+    for (const char* sched : {"threads", "fibers"}) {
+      cells.push_back(run_cell(argv[0], ranks, sched));
+    }
+  }
+
+  std::printf("%8s %-8s %12s %12s %12s %14s\n", "ranks", "sched", "wall s",
+              "virtual s", "peak RSS MB", "RSS KB/rank");
+  for (const auto& c : cells) {
+    std::printf("%8d %-8s %12.3f %12.3f %12.1f %14.1f\n", c.ranks,
+                c.sched.c_str(), c.wall_secs, c.virt_secs,
+                static_cast<double>(c.hwm_kb) / 1024.0, c.kb_per_rank);
+  }
+  for (std::size_t i = 0; i + 1 < cells.size(); i += 2) {
+    const Cell& t = cells[i];
+    const Cell& f = cells[i + 1];
+    std::printf("  %d ranks: fibers %.2fx wall speedup, %.2fx less peak RSS\n",
+                t.ranks, f.wall_secs > 0 ? t.wall_secs / f.wall_secs : 0.0,
+                f.hwm_kb > 0 ? static_cast<double>(t.hwm_kb) / f.hwm_kb : 0.0);
+  }
+
+  if (opts.has("json")) {
+    const std::string path = opts.get("json", "");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"cells\": [\n");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const auto& c = cells[i];
+      std::fprintf(f,
+                   "    {\"ranks\": %d, \"sched\": \"%s\", \"wall_secs\": "
+                   "%.4f, \"virtual_secs\": %.4f, \"hwm_kb\": %" PRIu64
+                   ", \"kb_per_rank\": %.1f}%s\n",
+                   c.ranks, c.sched.c_str(), c.wall_secs, c.virt_secs,
+                   c.hwm_kb, c.kb_per_rank,
+                   i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+
+  if (opts.has("check")) {
+    // The regression gate: at >= 256 ranks the fiber backend must beat the
+    // thread backend on wall time (that is the whole point of the
+    // subsystem; the margin is large enough that noise cannot flip it).
+    bool ok = true;
+    for (std::size_t i = 0; i + 1 < cells.size(); i += 2) {
+      const Cell& t = cells[i];
+      const Cell& f = cells[i + 1];
+      if (t.ranks >= 256 && f.wall_secs >= t.wall_secs) {
+        std::fprintf(stderr,
+                     "FAIL: fibers (%.3fs) not faster than threads (%.3fs) "
+                     "at %d ranks\n",
+                     f.wall_secs, t.wall_secs, t.ranks);
+        ok = false;
+      }
+    }
+    if (!ok) return 1;
+    std::printf("\ncheck OK: fibers beat threads at every world >= 256\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace manatee::bench
+
+int main(int argc, char** argv) { return manatee::bench::run(argc, argv); }

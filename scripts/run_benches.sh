@@ -3,19 +3,24 @@
 #
 # Builds the perf-relevant benchmarks in Release mode, runs them, and merges
 # their JSON output into one report (default: BENCH_3.json in the repo root).
+# The scheduler world-scaling sweep (threads vs fibers) is written separately
+# to BENCH_6.json and self-gates: fibers must beat threads on wall time at
+# every world size >= 256 ranks.
 # With --check <committed.json> it additionally fails (exit 1) when the fresh
 # measurement regresses the committed reference by more than the tolerance
 # (default 20%) on the gated wall-clock call rates, or when the eager
 # posted-receive path performs any heap allocation per operation.
 #
 # Usage:
-#   scripts/run_benches.sh [--build-dir DIR] [--out FILE] [--label NAME]
-#                          [--check FILE] [--tolerance PCT] [--quick]
+#   scripts/run_benches.sh [--build-dir DIR] [--out FILE] [--out-scaling FILE]
+#                          [--label NAME] [--check FILE] [--tolerance PCT]
+#                          [--quick]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=build-release
 OUT=BENCH_3.json
+OUT_SCALING=BENCH_6.json
 LABEL=current
 CHECK=""
 TOLERANCE="${MANATEE_BENCH_TOLERANCE:-20}"
@@ -25,6 +30,7 @@ while [[ $# -gt 0 ]]; do
   case "$1" in
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
     --out) OUT="$2"; shift 2 ;;
+    --out-scaling) OUT_SCALING="$2"; shift 2 ;;
     --label) LABEL="$2"; shift 2 ;;
     --check) CHECK="$2"; shift 2 ;;
     --tolerance) TOLERANCE="$2"; shift 2 ;;
@@ -34,7 +40,7 @@ while [[ $# -gt 0 ]]; do
 done
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-TARGETS=(bench_table1_call_rates bench_p2p_rate)
+TARGETS=(bench_table1_call_rates bench_p2p_rate bench_world_scaling)
 if grep -q "GOOGLE_BENCHMARK_LIB:FILEPATH=.*benchmark" "$BUILD_DIR/CMakeCache.txt" 2>/dev/null; then
   TARGETS+=(bench_micro_components)
 fi
@@ -50,7 +56,15 @@ if [[ $QUICK -eq 1 ]]; then
   P2P_ARGS+=(--iters 50000 --ping-iters 5000)
 fi
 
+SCALING_ARGS=()
+if [[ $QUICK -eq 0 ]]; then
+  SCALING_ARGS+=(--full)   # adds the 4096-rank cells (~7 extra seconds)
+fi
+
 "$BUILD_DIR/bench_table1_call_rates" "${TABLE1_ARGS[@]}" --json "$TMP/table1.json"
+# --check is the scheduler gate: fibers beat threads at every world >= 256.
+"$BUILD_DIR/bench_world_scaling" "${SCALING_ARGS[@]}" --json "$OUT_SCALING" --check
+echo "wrote $OUT_SCALING"
 "$BUILD_DIR/bench_p2p_rate" "${P2P_ARGS[@]}" --json "$TMP/p2p.json"
 if [[ -x "$BUILD_DIR/bench_micro_components" ]]; then
   "$BUILD_DIR/bench_micro_components" \

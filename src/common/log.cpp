@@ -12,7 +12,14 @@ namespace {
 std::atomic<int> g_level{-1};  // -1 = uninitialized
 std::mutex g_emit_mutex;
 
-thread_local std::string t_label = "-";
+thread_local std::string t_thread_label = "-";
+// Active label slot: null means "this thread's own label"; the fiber
+// scheduler points it at the running fiber's label across switches.
+thread_local std::string* t_label_slot = nullptr;
+
+std::string& label_ref() noexcept {
+  return t_label_slot != nullptr ? *t_label_slot : t_thread_label;
+}
 
 LogLevel level_from_env() noexcept {
   const char* env = std::getenv("MANATEE_LOG");
@@ -52,13 +59,20 @@ void set_level(LogLevel level) noexcept {
 }
 
 void emit(LogLevel level, const std::string& msg) {
+  const std::string& label = label_ref();
   std::lock_guard lock(g_emit_mutex);
-  std::fprintf(stderr, "[manatee %s] [%s] %s\n", tag(level), t_label.c_str(),
+  std::fprintf(stderr, "[manatee %s] [%s] %s\n", tag(level), label.c_str(),
                msg.c_str());
 }
 
-void set_thread_label(std::string label) { t_label = std::move(label); }
+void set_thread_label(std::string label) { label_ref() = std::move(label); }
 
-const std::string& thread_label() noexcept { return t_label; }
+const std::string& thread_label() noexcept { return label_ref(); }
+
+std::string* exchange_label_slot(std::string* slot) noexcept {
+  std::string* prev = t_label_slot;
+  t_label_slot = slot;
+  return prev;
+}
 
 }  // namespace manatee::log_detail

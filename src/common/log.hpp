@@ -22,9 +22,19 @@ void set_level(LogLevel level) noexcept;
 /// Emit one already-formatted line (adds level tag + thread label).
 void emit(LogLevel level, const std::string& msg);
 
-/// Per-thread label shown in log lines ("rank 3", "coord", ...).
+/// Per-context label shown in log lines ("rank 3", "coord", ...). The
+/// label lives behind a thread-local *slot pointer*: by default the slot
+/// targets a per-OS-thread string, but the fiber scheduler repoints it at
+/// the running fiber's own label around every context switch, so
+/// set_thread_label / thread_label are fiber-local on multiplexed ranks
+/// (and unchanged for plain threads) with zero string copies per switch.
 void set_thread_label(std::string label);
 const std::string& thread_label() noexcept;
+
+/// Redirect this thread's label slot (nullptr = the thread's own label).
+/// Returns the previous slot so schedulers can restore it. Internal — used
+/// by sched::FiberBackend on context switches.
+std::string* exchange_label_slot(std::string* slot) noexcept;
 
 }  // namespace log_detail
 

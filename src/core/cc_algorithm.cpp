@@ -1,6 +1,7 @@
 #include "core/cc_algorithm.hpp"
 
 #include "common/error.hpp"
+#include "sched/scheduler.hpp"
 #include "umpi/runtime.hpp"
 #include "common/log.hpp"
 
@@ -271,6 +272,10 @@ void CcManager::blocked_finish(const ParkHooks* hooks) {
       report(false, "blocked-finish");
       break;
     }
+    // This loop polls coordinator state without a blocking wait; under a
+    // cooperative fiber backend the ranks whose progress it depends on
+    // only run if we give the worker back.
+    sched::yield();
   }
 }
 

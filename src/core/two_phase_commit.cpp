@@ -1,6 +1,7 @@
 #include "core/two_phase_commit.hpp"
 
 #include "common/error.hpp"
+#include "sched/scheduler.hpp"
 #include "umpi/runtime.hpp"
 #include "common/log.hpp"
 
@@ -128,6 +129,9 @@ void TpcManager::blocked_finish(const ParkHooks* hooks) {
       blocked_parked_ = false;
       break;
     }
+    // Poll loop with no blocking wait: yield so the peers this unpark
+    // depends on can run under a cooperative fiber backend.
+    sched::yield();
   }
 }
 

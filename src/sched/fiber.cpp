@@ -1,0 +1,321 @@
+#include "sched/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.hpp"
+
+// ---- sanitizer detection ----------------------------------------------------
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MANATEE_ASAN_FIBERS 1
+#endif
+#if __has_feature(thread_sanitizer)
+#define MANATEE_TSAN_FIBERS 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__) && !defined(MANATEE_ASAN_FIBERS)
+#define MANATEE_ASAN_FIBERS 1
+#endif
+#if defined(__SANITIZE_THREAD__) && !defined(MANATEE_TSAN_FIBERS)
+#define MANATEE_TSAN_FIBERS 1
+#endif
+
+#if defined(MANATEE_ASAN_FIBERS)
+#include <sanitizer/common_interface_defs.h>
+#endif
+#if defined(MANATEE_TSAN_FIBERS)
+#include <sanitizer/tsan_interface.h>
+#endif
+#if defined(MANATEE_ASAN_FIBERS) || defined(MANATEE_TSAN_FIBERS)
+#include <pthread.h>
+#endif
+
+// ---- context-switch backend selection ---------------------------------------
+//
+// x86-64: hand-rolled assembly switch (saves the SysV callee-saved set plus
+// the FP control words; ~20 instructions, no syscall). Everything else:
+// POSIX ucontext (correct by construction, one sigprocmask syscall per
+// switch). MANATEE_FIBER_FORCE_UCONTEXT forces the fallback for testing.
+
+#if defined(__x86_64__) && !defined(MANATEE_FIBER_FORCE_UCONTEXT)
+#define MANATEE_FIBER_ASM_X86_64 1
+#else
+#include <ucontext.h>
+#endif
+
+namespace manatee::sched::detail {
+namespace {
+
+[[noreturn]] void fiber_first_entry(Fiber* fiber) {
+#if defined(MANATEE_ASAN_FIBERS)
+  // First activation: there is no previous start_switch in this context.
+  __sanitizer_finish_switch_fiber(nullptr, nullptr, nullptr);
+#endif
+  fiber_entry(fiber);
+}
+
+}  // namespace
+}  // namespace manatee::sched::detail
+
+#if defined(MANATEE_FIBER_ASM_X86_64)
+
+// Saved frame layout (descending addresses, matching push order):
+//   [sp+56] return address        [sp+40] rbx   [sp+24] r13   [sp+8]  r15
+//   [sp+48] rbp                   [sp+32] r12   [sp+16] r14   [sp+0]  mxcsr:fcw
+asm(R"(
+.text
+.align 16
+.globl manatee_fiber_switch
+.hidden manatee_fiber_switch
+.type manatee_fiber_switch,@function
+manatee_fiber_switch:
+    pushq %rbp
+    pushq %rbx
+    pushq %r12
+    pushq %r13
+    pushq %r14
+    pushq %r15
+    subq $8, %rsp
+    stmxcsr 0(%rsp)
+    fnstcw 4(%rsp)
+    movq %rsp, (%rdi)
+    movq %rsi, %rsp
+    ldmxcsr 0(%rsp)
+    fldcw 4(%rsp)
+    addq $8, %rsp
+    popq %r15
+    popq %r14
+    popq %r13
+    popq %r12
+    popq %rbx
+    popq %rbp
+    retq
+.size manatee_fiber_switch,.-manatee_fiber_switch
+
+.align 16
+.globl manatee_fiber_trampoline
+.hidden manatee_fiber_trampoline
+.type manatee_fiber_trampoline,@function
+manatee_fiber_trampoline:
+    movq %r12, %rdi
+    xorl %ebp, %ebp
+    callq manatee_fiber_entry_thunk@PLT
+    ud2
+.size manatee_fiber_trampoline,.-manatee_fiber_trampoline
+)");
+
+extern "C" {
+void manatee_fiber_switch(void** save_sp, void* resume_sp);
+void manatee_fiber_trampoline();
+
+[[noreturn]] void manatee_fiber_entry_thunk(void* fiber) {
+  manatee::sched::detail::fiber_first_entry(
+      static_cast<manatee::sched::Fiber*>(fiber));
+}
+}  // extern "C"
+
+#endif  // MANATEE_FIBER_ASM_X86_64
+
+namespace manatee::sched {
+
+// ---- guarded stacks ---------------------------------------------------------
+
+namespace {
+
+std::size_t page_size() {
+  static const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return page;
+}
+
+}  // namespace
+
+StackPool::StackPool(std::size_t stack_bytes) : stack_bytes_(stack_bytes) {
+  MANATEE_REQUIRE(stack_bytes_ >= 4 * page_size(),
+                  "fiber stacks need at least four pages");
+}
+
+StackPool::~StackPool() {
+  for (const StackAllocation& s : free_) ::munmap(s.base, s.size);
+}
+
+StackAllocation StackPool::acquire() {
+  if (!free_.empty()) {
+    const StackAllocation s = free_.back();
+    free_.pop_back();
+    ++reused_;
+    return s;
+  }
+  const std::size_t page = page_size();
+  const std::size_t usable = (stack_bytes_ + page - 1) / page * page;
+  const std::size_t total = usable + page;  // + guard page
+  void* base = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  MANATEE_REQUIRE(base != MAP_FAILED,
+                  "fiber stack mmap failed — raise vm.max_map_count or lower "
+                  "SchedConfig::stack_bytes for very large worlds");
+  MANATEE_REQUIRE(::mprotect(base, page, PROT_NONE) == 0,
+                  "fiber stack guard-page mprotect failed");
+  ++mapped_;
+  StackAllocation s;
+  s.base = base;
+  s.size = total;
+  s.limit = static_cast<std::byte*>(base) + page;
+  s.top = static_cast<std::byte*>(base) + total;
+  return s;
+}
+
+void StackPool::release(StackAllocation stack) { free_.push_back(stack); }
+
+// ---- context switching ------------------------------------------------------
+
+namespace detail {
+
+void init_thread_context(ExecContext* ctx) {
+  *ctx = ExecContext{};
+#if defined(MANATEE_ASAN_FIBERS) || defined(MANATEE_TSAN_FIBERS)
+  pthread_attr_t attr;
+  if (pthread_getattr_np(pthread_self(), &attr) == 0) {
+    void* addr = nullptr;
+    std::size_t size = 0;
+    if (pthread_attr_getstack(&attr, &addr, &size) == 0) {
+      ctx->stack_limit = addr;
+      ctx->stack_size = size;
+    }
+    pthread_attr_destroy(&attr);
+  }
+#endif
+#if defined(MANATEE_TSAN_FIBERS)
+  ctx->tsan_fiber = __tsan_get_current_fiber();
+#endif
+#if !defined(MANATEE_FIBER_ASM_X86_64)
+  ctx->sp = std::calloc(1, sizeof(ucontext_t));
+  MANATEE_REQUIRE(ctx->sp != nullptr, "ucontext allocation failed");
+#endif
+}
+
+void destroy_thread_context(ExecContext* ctx) {
+#if !defined(MANATEE_FIBER_ASM_X86_64)
+  std::free(ctx->sp);
+#endif
+  ctx->sp = nullptr;
+}
+
+#if defined(MANATEE_FIBER_ASM_X86_64)
+
+void make_fiber_context(Fiber* fiber) {
+  ExecContext& ctx = fiber->ctx;
+  ctx.stack_limit = fiber->stack.limit;
+  ctx.stack_size = fiber->stack.usable();
+  ctx.asan_fake_stack = nullptr;
+#if defined(MANATEE_TSAN_FIBERS)
+  ctx.tsan_fiber = __tsan_create_fiber(0);
+#endif
+  // Build the initial saved frame so the restore path of
+  // manatee_fiber_switch "returns" into the trampoline with r12 = fiber.
+  auto top = reinterpret_cast<std::uintptr_t>(fiber->stack.top) & ~15ULL;
+  auto* frame = reinterpret_cast<std::uintptr_t*>(top - 64);
+  std::memset(frame, 0, 64);
+  std::uint32_t mxcsr = 0;
+  std::uint16_t fcw = 0;
+  asm volatile("stmxcsr %0\n\tfnstcw %1" : "=m"(mxcsr), "=m"(fcw));
+  std::memcpy(reinterpret_cast<std::byte*>(frame) + 0, &mxcsr, sizeof(mxcsr));
+  std::memcpy(reinterpret_cast<std::byte*>(frame) + 4, &fcw, sizeof(fcw));
+  frame[4] = reinterpret_cast<std::uintptr_t>(fiber);  // r12
+  frame[7] = reinterpret_cast<std::uintptr_t>(&manatee_fiber_trampoline);
+  ctx.sp = frame;
+}
+
+namespace {
+void raw_switch(ExecContext* from, ExecContext* to) {
+  manatee_fiber_switch(&from->sp, to->sp);
+}
+}  // namespace
+
+#else  // ucontext fallback
+
+void make_fiber_context(Fiber* fiber) {
+  ExecContext& ctx = fiber->ctx;
+  ctx.stack_limit = fiber->stack.limit;
+  ctx.stack_size = fiber->stack.usable();
+  ctx.asan_fake_stack = nullptr;
+#if defined(MANATEE_TSAN_FIBERS)
+  ctx.tsan_fiber = __tsan_create_fiber(0);
+#endif
+  auto* uc = static_cast<ucontext_t*>(std::calloc(1, sizeof(ucontext_t)));
+  MANATEE_REQUIRE(uc != nullptr, "ucontext allocation failed");
+  MANATEE_REQUIRE(::getcontext(uc) == 0, "getcontext failed");
+  uc->uc_stack.ss_sp = ctx.stack_limit;
+  uc->uc_stack.ss_size = ctx.stack_size;
+  uc->uc_link = nullptr;
+  // makecontext passes ints; split the pointer into two 32-bit halves.
+  const auto bits = reinterpret_cast<std::uintptr_t>(fiber);
+  const auto lo = static_cast<unsigned>(bits & 0xffffffffu);
+  const auto hi = static_cast<unsigned>(bits >> 32);
+  ::makecontext(
+      uc,
+      reinterpret_cast<void (*)()>(+[](unsigned a, unsigned b) {
+        const auto ptr = static_cast<std::uintptr_t>(a) |
+                         (static_cast<std::uintptr_t>(b) << 32);
+        fiber_first_entry(reinterpret_cast<Fiber*>(ptr));
+      }),
+      2, lo, hi);
+  ctx.sp = uc;
+}
+
+namespace {
+void raw_switch(ExecContext* from, ExecContext* to) {
+  MANATEE_REQUIRE(::swapcontext(static_cast<ucontext_t*>(from->sp),
+                                static_cast<ucontext_t*>(to->sp)) == 0,
+                  "swapcontext failed");
+}
+}  // namespace
+
+#endif  // context-switch backend
+
+void switch_context(ExecContext* from, ExecContext* to) {
+#if defined(MANATEE_ASAN_FIBERS)
+  __sanitizer_start_switch_fiber(&from->asan_fake_stack, to->stack_limit,
+                                 to->stack_size);
+#endif
+#if defined(MANATEE_TSAN_FIBERS)
+  __tsan_switch_to_fiber(to->tsan_fiber, 0);
+#endif
+  raw_switch(from, to);
+  // Somebody resumed `from`: complete its side of their switch.
+#if defined(MANATEE_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(from->asan_fake_stack, nullptr, nullptr);
+#endif
+}
+
+void switch_context_final(ExecContext* from, ExecContext* to) {
+#if defined(MANATEE_ASAN_FIBERS)
+  // nullptr fake-stack save: ASan retires the dying fiber's fake stack.
+  __sanitizer_start_switch_fiber(nullptr, to->stack_limit, to->stack_size);
+#endif
+#if defined(MANATEE_TSAN_FIBERS)
+  __tsan_switch_to_fiber(to->tsan_fiber, 0);
+#endif
+  raw_switch(from, to);
+  std::abort();  // a finished fiber must never be resumed
+}
+
+void destroy_fiber_context(Fiber* fiber) {
+#if defined(MANATEE_TSAN_FIBERS)
+  if (fiber->ctx.tsan_fiber != nullptr) {
+    __tsan_destroy_fiber(fiber->ctx.tsan_fiber);
+  }
+#endif
+#if !defined(MANATEE_FIBER_ASM_X86_64)
+  std::free(fiber->ctx.sp);
+#endif
+  fiber->ctx = ExecContext{};
+}
+
+}  // namespace detail
+
+}  // namespace manatee::sched

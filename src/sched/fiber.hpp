@@ -1,0 +1,131 @@
+// fiber.hpp — stackful cooperative fibers: the mechanism under the
+// FiberBackend (scheduler.hpp).
+//
+// A Fiber is a suspended computation with its own guarded stack. Switching
+// is symmetric and explicit: `switch_context` saves the callee-saved
+// register state of the current context and resumes another one, exactly
+// like boost::context's fcontext switch. On x86-64 the switch is a
+// hand-rolled ~20-instruction assembly routine (no sigprocmask syscall,
+// unlike glibc's swapcontext); other architectures fall back to ucontext.
+//
+// Stacks are mmap'd with a PROT_NONE guard page below the usable range, so
+// an overflow faults loudly instead of corrupting a neighboring fiber.
+// Finished fibers return their stacks to a free list (StackPool) because
+// lifecycle chains create runtimes — and therefore fiber fleets —
+// repeatedly.
+//
+// Sanitizer support: when built with ASan/TSan the switch is annotated with
+// __sanitizer_start/finish_switch_fiber and __tsan_switch_to_fiber so the
+// sanitizers track the stack change; without them fibers look like wild
+// stack-pointer corruption.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace manatee::sched {
+
+/// One mmap'd fiber stack: [guard page][usable range). `top` is the highest
+/// usable address (stacks grow down).
+struct StackAllocation {
+  void* base = nullptr;   ///< mmap base (the guard page)
+  std::size_t size = 0;   ///< total mapping size including the guard
+  void* limit = nullptr;  ///< lowest usable address (guard page end)
+  void* top = nullptr;    ///< highest usable address
+
+  [[nodiscard]] std::size_t usable() const noexcept {
+    return static_cast<std::size_t>(static_cast<std::byte*>(top) -
+                                    static_cast<std::byte*>(limit));
+  }
+};
+
+/// Guarded-stack allocator with a free list. Not thread-safe; the owning
+/// scheduler serializes access under its own mutex.
+class StackPool {
+ public:
+  explicit StackPool(std::size_t stack_bytes);
+  ~StackPool();
+
+  StackPool(const StackPool&) = delete;
+  StackPool& operator=(const StackPool&) = delete;
+
+  [[nodiscard]] StackAllocation acquire();
+  void release(StackAllocation stack);
+
+  /// Stacks ever mmap'd (== acquire() calls that missed the free list).
+  [[nodiscard]] std::uint64_t mapped() const noexcept { return mapped_; }
+  /// acquire() calls served from the free list (the reuse counter).
+  [[nodiscard]] std::uint64_t reused() const noexcept { return reused_; }
+
+ private:
+  std::size_t stack_bytes_;
+  std::vector<StackAllocation> free_;
+  std::uint64_t mapped_ = 0;
+  std::uint64_t reused_ = 0;
+};
+
+class FiberBackend;
+
+/// Saved execution context: either a fiber or a worker thread's own stack.
+/// The embedded sanitizer bookkeeping travels with the context across
+/// switches. On the assembly path `sp` is the saved stack pointer; on the
+/// ucontext fallback it owns a heap-allocated ucontext_t instead.
+struct ExecContext {
+  void* sp = nullptr;           ///< saved stack pointer / ucontext_t*
+  void* stack_limit = nullptr;  ///< stack bounds, for sanitizer annotations
+  std::size_t stack_size = 0;
+  void* asan_fake_stack = nullptr;
+  void* tsan_fiber = nullptr;
+};
+
+/// A rank fiber. Owned by the FiberBackend; waiters reference it while the
+/// fiber is parked.
+struct Fiber {
+  ExecContext ctx;
+  StackAllocation stack;
+  FiberBackend* backend = nullptr;
+  std::function<void()> body;
+  int task_index = -1;
+  /// Fiber-local log label storage; the scheduler points the logger's
+  /// label slot here while the fiber runs (see common/log.hpp).
+  std::string log_label = "-";
+  bool started = false;  ///< stack allocated lazily at first dispatch
+  bool finished = false;
+};
+
+namespace detail {
+
+/// Saves the current context into `from` and resumes `to`. Returns when
+/// somebody switches back to `from`. Both sides must be annotated contexts
+/// (worker registers itself via `init_thread_context`).
+void switch_context(ExecContext* from, ExecContext* to);
+
+/// Last switch out of a finishing fiber: like switch_context, but tells
+/// ASan to retire the dying context's fake stack. Never returns.
+[[noreturn]] void switch_context_final(ExecContext* from, ExecContext* to);
+
+/// Prepare `fiber` so the first switch_context into it enters
+/// `fiber_trampoline(fiber)` on its own stack.
+void make_fiber_context(Fiber* fiber);
+
+/// Register the calling OS thread's native stack as a switchable context
+/// (fills stack bounds and the TSan fiber handle for the running thread).
+void init_thread_context(ExecContext* ctx);
+
+/// Release resources of a thread context registered above.
+void destroy_thread_context(ExecContext* ctx);
+
+/// Release per-context sanitizer state of a finished fiber. Must run on a
+/// different context (you cannot destroy the context you stand on).
+void destroy_fiber_context(Fiber* fiber);
+
+/// The fiber's first and only frame, defined by the scheduler: runs
+/// fiber->body and switches away forever. Never returns.
+[[noreturn]] void fiber_entry(Fiber* fiber);
+
+}  // namespace detail
+
+}  // namespace manatee::sched

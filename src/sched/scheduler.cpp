@@ -1,0 +1,344 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace manatee::sched {
+
+namespace {
+
+// The worker hosting the calling thread (null on non-scheduler threads).
+// Private to the backend; all outside access goes through current_fiber().
+thread_local FiberBackend::Worker* t_worker = nullptr;
+
+constexpr auto kIdleScanPeriod = std::chrono::milliseconds(100);
+
+}  // namespace
+
+// ---- backend selection ------------------------------------------------------
+
+const char* backend_name(Backend backend) noexcept {
+  return backend == Backend::kThreads ? "threads" : "fibers";
+}
+
+Backend parse_backend(const std::string& name) {
+  if (name == "threads") return Backend::kThreads;
+  if (name == "fibers") return Backend::kFibers;
+  throw UsageError("unknown scheduler backend '" + name +
+                   "' (expected threads|fibers)");
+}
+
+Backend default_backend() noexcept {
+  static const Backend selected = [] {
+    const char* env = std::getenv("MANATEE_SCHED");
+    if (env == nullptr || *env == '\0') return Backend::kThreads;
+    if (std::strcmp(env, "fibers") == 0) return Backend::kFibers;
+    if (std::strcmp(env, "threads") != 0) {
+      LOG_WARN("MANATEE_SCHED='" << env
+                                 << "' not recognized (threads|fibers); "
+                                    "using threads");
+    }
+    return Backend::kThreads;
+  }();
+  return selected;
+}
+
+Fiber* current_fiber() noexcept {
+  return t_worker != nullptr ? t_worker->current : nullptr;
+}
+
+void yield() {
+  if (t_worker != nullptr && t_worker->current != nullptr) {
+    t_worker->backend->yield_current();
+  } else {
+    std::this_thread::yield();
+  }
+}
+
+// ---- run_tasks --------------------------------------------------------------
+
+SchedStats run_tasks(const SchedConfig& config, int n, const TaskFn& task) {
+  MANATEE_REQUIRE(n >= 0, "task count must be non-negative");
+  // Launching a pool from inside a fiber would block this worker thread on
+  // the join (threads backend) or corrupt the worker state (fiber backend),
+  // starving every rank multiplexed here. Nested runtimes must be driven
+  // from a plain thread.
+  MANATEE_REQUIRE(current_fiber() == nullptr,
+                  "run_tasks may not be called from inside a fiber");
+  SchedStats stats;
+  if (n == 0) return stats;
+  if (config.backend == Backend::kThreads) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      threads.emplace_back([&task, i] { task(i); });
+    }
+    for (auto& t : threads) t.join();
+    stats.workers = n;
+    return stats;
+  }
+  FiberBackend backend(config, n, task);
+  return backend.run();
+}
+
+// ---- FiberBackend -----------------------------------------------------------
+
+FiberBackend::FiberBackend(const SchedConfig& config, int n, const TaskFn& task)
+    : config_(config), stacks_(config.stack_bytes) {
+  MANATEE_REQUIRE(n >= 0, "task count must be non-negative");
+  fibers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto fiber = std::make_unique<Fiber>();
+    fiber->backend = this;
+    fiber->task_index = i;
+    fiber->body = [&task, i] { task(i); };
+    ready_.push_back(fiber.get());
+    fibers_.push_back(std::move(fiber));
+  }
+  live_ = fibers_.size();
+}
+
+FiberBackend::~FiberBackend() = default;
+
+SchedStats FiberBackend::run() {
+  MANATEE_REQUIRE(!ran_, "FiberBackend::run may be called once");
+  MANATEE_REQUIRE(current_fiber() == nullptr,
+                  "fiber schedulers cannot be nested inside a fiber");
+  ran_ = true;
+
+  const int n = static_cast<int>(fibers_.size());
+  int workers = config_.workers;
+  if (workers <= 0) {
+    workers = std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  }
+  workers = std::max(1, std::min(workers, n));
+
+  std::vector<std::thread> extra;
+  extra.reserve(static_cast<std::size_t>(workers - 1));
+  for (int i = 1; i < workers; ++i) {
+    extra.emplace_back([this, i] {
+      set_log_thread_label("sched-worker " + std::to_string(i));
+      Worker worker;
+      worker_loop(worker);
+    });
+  }
+  // The calling thread doubles as worker 0 — with one hardware thread the
+  // whole job runs fully cooperatively, no cross-thread handoff at all.
+  Worker worker0;
+  worker_loop(worker0);
+  for (auto& t : extra) t.join();
+
+  SchedStats stats;
+  stats.workers = workers;
+  stats.stacks_mapped = stacks_.mapped();
+  stats.stacks_reused = stacks_.reused();
+  stats.dispatches = dispatches_;
+  return stats;
+}
+
+void FiberBackend::worker_loop(Worker& worker) {
+  worker.backend = this;
+  detail::init_thread_context(&worker.ctx);
+  Worker* const prev_worker = t_worker;
+  t_worker = &worker;
+
+  std::unique_lock lock(mutex_);
+  while (live_ > 0) {
+    if (ready_.empty()) {
+      // All live fibers are parked or running elsewhere. Sleep with a
+      // bounded period so the watchdog deadlines of parked fibers are
+      // still enforced (distributed deadlock must stay loud).
+      work_cv_.wait_for(lock, kIdleScanPeriod);
+      expire_timeouts_locked();
+      continue;
+    }
+    Fiber* fiber = ready_.front();
+    ready_.pop_front();
+    if (!fiber->started) {
+      fiber->stack = stacks_.acquire();
+      detail::make_fiber_context(fiber);
+      fiber->started = true;
+    }
+    ++dispatches_;
+    lock.unlock();
+    dispatch(worker, fiber);
+    lock.lock();
+    process_pending_locked(worker);
+  }
+  work_cv_.notify_all();  // final fiber done: release the other workers
+  lock.unlock();
+
+  t_worker = prev_worker;
+  detail::destroy_thread_context(&worker.ctx);
+}
+
+void FiberBackend::dispatch(Worker& worker, Fiber* fiber) {
+  worker.current = fiber;
+  std::string* prev_slot = log_detail::exchange_label_slot(&fiber->log_label);
+  detail::switch_context(&worker.ctx, &fiber->ctx);
+  log_detail::exchange_label_slot(prev_slot);
+  worker.current = nullptr;
+}
+
+void FiberBackend::process_pending_locked(Worker& worker) {
+  if (Waiter* waiter = worker.pending_park; waiter != nullptr) {
+    worker.pending_park = nullptr;
+    if (waiter->state_ == ParkState::kNotified) {
+      // notify() landed between the store-mutex release and this point;
+      // the fiber never actually sleeps.
+      enqueue_ready_locked(waiter->fiber_);
+    } else {
+      waiter->state_ = ParkState::kParked;
+      link_parked_locked(*waiter);
+    }
+  }
+  if (Fiber* fiber = worker.pending_yield; fiber != nullptr) {
+    worker.pending_yield = nullptr;
+    enqueue_ready_locked(fiber);
+  }
+  if (Fiber* fiber = worker.pending_done; fiber != nullptr) {
+    worker.pending_done = nullptr;
+    stacks_.release(fiber->stack);
+    fiber->stack = StackAllocation{};
+    detail::destroy_fiber_context(fiber);
+    --live_;
+    if (live_ == 0) work_cv_.notify_all();
+  }
+}
+
+void FiberBackend::expire_timeouts_locked() {
+  if (parked_head_ == nullptr) return;
+  const auto now = std::chrono::steady_clock::now();
+  Waiter* waiter = parked_head_;
+  while (waiter != nullptr) {
+    Waiter* next = waiter->next_;
+    if (waiter->deadline_ <= now) {
+      unlink_parked_locked(*waiter);
+      waiter->state_ = ParkState::kNotified;
+      waiter->timed_out_ = true;
+      enqueue_ready_locked(waiter->fiber_);
+    }
+    waiter = next;
+  }
+}
+
+void FiberBackend::enqueue_ready_locked(Fiber* fiber) {
+  ready_.push_back(fiber);
+  work_cv_.notify_one();
+}
+
+void FiberBackend::link_parked_locked(Waiter& waiter) {
+  waiter.prev_ = nullptr;
+  waiter.next_ = parked_head_;
+  if (parked_head_ != nullptr) parked_head_->prev_ = &waiter;
+  parked_head_ = &waiter;
+}
+
+void FiberBackend::unlink_parked_locked(Waiter& waiter) {
+  if (waiter.prev_ != nullptr) {
+    waiter.prev_->next_ = waiter.next_;
+  } else {
+    parked_head_ = waiter.next_;
+  }
+  if (waiter.next_ != nullptr) waiter.next_->prev_ = waiter.prev_;
+  waiter.prev_ = nullptr;
+  waiter.next_ = nullptr;
+}
+
+void FiberBackend::prepare_park(
+    Waiter& waiter, Fiber* fiber,
+    std::chrono::steady_clock::time_point deadline) {
+  std::lock_guard lock(mutex_);
+  waiter.fiber_ = fiber;
+  waiter.deadline_ = deadline;
+  waiter.timed_out_ = false;
+  waiter.state_ = ParkState::kParking;
+}
+
+void FiberBackend::suspend_current(Waiter* waiter) {
+  Worker* worker = t_worker;
+  worker->pending_park = waiter;
+  detail::switch_context(&worker->current->ctx, &worker->ctx);
+  // Resumed (possibly on a different worker): the park is over.
+}
+
+void FiberBackend::notify_waiter(Waiter& waiter) {
+  std::lock_guard lock(mutex_);
+  switch (waiter.state_) {
+    case ParkState::kParked:
+      unlink_parked_locked(waiter);
+      waiter.state_ = ParkState::kNotified;
+      enqueue_ready_locked(waiter.fiber_);
+      break;
+    case ParkState::kParking:
+      // The fiber is mid-suspend; its worker completes the park and sees
+      // kNotified, re-enqueueing immediately (no lost wakeup).
+      waiter.state_ = ParkState::kNotified;
+      break;
+    case ParkState::kNotified:
+    case ParkState::kIdle:
+      break;  // already woken / nobody parked
+  }
+}
+
+void FiberBackend::yield_current() {
+  Worker* worker = t_worker;
+  worker->pending_yield = worker->current;
+  detail::switch_context(&worker->current->ctx, &worker->ctx);
+}
+
+void FiberBackend::fiber_main(Fiber* fiber) {
+  try {
+    fiber->body();
+  } catch (...) {
+    // Task bodies own their error handling (Runtime::run catches rank
+    // exceptions inside the task); an escape here is unrecoverable.
+    LOG_ERROR("fiber task " << fiber->task_index
+                            << " leaked an exception; terminating");
+    std::terminate();
+  }
+  fiber->finished = true;
+  Worker* worker = t_worker;
+  worker->pending_done = fiber;
+  detail::switch_context_final(&fiber->ctx, &worker->ctx);
+}
+
+namespace detail {
+
+void fiber_entry(Fiber* fiber) { fiber->backend->fiber_main(fiber); }
+
+}  // namespace detail
+
+// ---- Waiter -----------------------------------------------------------------
+
+bool Waiter::park_until(std::unique_lock<std::mutex>& lock,
+                        std::chrono::steady_clock::time_point deadline) {
+  Fiber* fiber = current_fiber();
+  if (fiber == nullptr) {
+    // Thread backend (and any non-scheduler thread): the classic CV path.
+    return cv_.wait_until(lock, deadline) != std::cv_status::timeout;
+  }
+  FiberBackend* backend = fiber->backend;
+  fiber_mode_ = true;  // guarded by `lock`, like notify()'s read
+  backend->prepare_park(*this, fiber, deadline);
+  lock.unlock();
+  backend->suspend_current(this);
+  lock.lock();
+  fiber_mode_ = false;
+  return !timed_out_;
+}
+
+void Waiter::notify() {
+  if (fiber_mode_) {
+    fiber_->backend->notify_waiter(*this);
+  } else {
+    cv_.notify_one();
+  }
+}
+
+}  // namespace manatee::sched

@@ -1,0 +1,145 @@
+// scheduler.hpp — the rank scheduler: run N rank tasks under one of two
+// backends.
+//
+//   * ThreadBackend — one OS thread per rank (the historical model, and
+//     still the default): simple, preemptive, but futex-bound once rank
+//     ping-pong dominates and capped at a few thousand ranks per process.
+//   * FiberBackend — N stackful fibers multiplexed onto a worker pool
+//     sized to hardware concurrency. Ranks block cooperatively through
+//     sched::Waiter (waiter.hpp): a park suspends the fiber in user space
+//     and the delivery that satisfies its declared interest re-enqueues
+//     exactly that fiber. On the 1-CPU figure box this turns every
+//     rank-to-rank hop from a ~2.5 µs futex round trip into a ~100 ns
+//     context switch, which is what lets 1k–16k-rank worlds run at all.
+//
+// Selection is per job via SchedConfig (RuntimeConfig::sched); the
+// MANATEE_SCHED environment variable ("threads" | "fibers") overrides the
+// built-in default so whole suites (e.g. the nightly lifecycle soak) can be
+// flipped wholesale. Semantics are backend-independent by construction —
+// virtual-time merges happen at observation points only (DESIGN.md §8) —
+// and the cross-backend equivalence suite (tests/sched) holds the two
+// backends to bit-identical results.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sched/fiber.hpp"
+#include "sched/waiter.hpp"
+
+namespace manatee::sched {
+
+enum class Backend { kThreads, kFibers };
+
+[[nodiscard]] const char* backend_name(Backend backend) noexcept;
+
+/// Parse "threads" / "fibers" (throws UsageError on anything else).
+[[nodiscard]] Backend parse_backend(const std::string& name);
+
+/// Process default: MANATEE_SCHED when set and valid, else kThreads.
+[[nodiscard]] Backend default_backend() noexcept;
+
+struct SchedConfig {
+  Backend backend = default_backend();
+  /// FiberBackend worker threads; 0 = min(hardware_concurrency, tasks).
+  int workers = 0;
+  /// Usable bytes per fiber stack (a guard page is added on top). Rank
+  /// bodies keep bulk data on the heap, so the default is deliberately
+  /// small: at 16k ranks stacks are the dominant address-space cost.
+  std::size_t stack_bytes = 256 * 1024;
+};
+
+/// Counters reported by a FiberBackend run (all zero under threads except
+/// `workers`).
+struct SchedStats {
+  int workers = 0;
+  std::uint64_t stacks_mapped = 0;   ///< stacks mmap'd fresh
+  std::uint64_t stacks_reused = 0;   ///< stacks served from the free list
+  std::uint64_t dispatches = 0;      ///< fiber activations (worker→fiber)
+};
+
+/// The per-task closure: receives the task index [0, n).
+using TaskFn = std::function<void(int)>;
+
+/// Run tasks 0..n-1 to completion under `config` and block until all have
+/// finished. Tasks must not let exceptions escape (same contract as a
+/// thread body). May not be called from inside a fiber.
+SchedStats run_tasks(const SchedConfig& config, int n, const TaskFn& task);
+
+/// The fiber hosting the calling context, or nullptr on a plain thread.
+[[nodiscard]] Fiber* current_fiber() noexcept;
+
+/// Cooperative pause for spin-style loops that poll shared state without a
+/// blocking wait: on a fiber, re-enqueues the caller at the tail of the
+/// ready queue (other ranks run before the next poll — the single-worker
+/// livelock guard); on a thread, std::this_thread::yield().
+void yield();
+
+/// The FiberBackend. Normally driven through run_tasks; exposed so the
+/// scheduler unit tests can exercise park/unpark directly.
+class FiberBackend {
+ public:
+  FiberBackend(const SchedConfig& config, int n, const TaskFn& task);
+  ~FiberBackend();
+
+  FiberBackend(const FiberBackend&) = delete;
+  FiberBackend& operator=(const FiberBackend&) = delete;
+
+  /// Run all fibers to completion. The calling thread doubles as worker 0.
+  SchedStats run();
+
+  /// Per-OS-thread worker state. Public only for the scheduler's own
+  /// thread-local plumbing; not part of the API surface.
+  struct Worker {
+    FiberBackend* backend = nullptr;
+    ExecContext ctx;
+    Fiber* current = nullptr;
+    // Actions the departing fiber left for the worker to complete on its
+    // own stack (a fiber cannot finish its own park: the notifier must
+    // find a consistent state under the scheduler mutex).
+    Waiter* pending_park = nullptr;
+    Fiber* pending_yield = nullptr;
+    Fiber* pending_done = nullptr;
+  };
+
+ private:
+  friend class Waiter;
+  friend void yield();
+  friend void detail::fiber_entry(Fiber* fiber);
+
+  void worker_loop(Worker& worker);
+  void dispatch(Worker& worker, Fiber* fiber);
+  void process_pending_locked(Worker& worker);
+  void expire_timeouts_locked();
+  void enqueue_ready_locked(Fiber* fiber);
+  void link_parked_locked(Waiter& waiter);
+  void unlink_parked_locked(Waiter& waiter);
+
+  // Waiter/fiber entry points.
+  void prepare_park(Waiter& waiter, Fiber* fiber,
+                    std::chrono::steady_clock::time_point deadline);
+  void suspend_current(Waiter* waiter);
+  void notify_waiter(Waiter& waiter);
+  void yield_current();
+  [[noreturn]] void fiber_main(Fiber* fiber);
+
+  SchedConfig config_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<Fiber*> ready_;
+  Waiter* parked_head_ = nullptr;
+  std::size_t live_ = 0;
+  std::uint64_t dispatches_ = 0;
+  StackPool stacks_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  bool ran_ = false;
+};
+
+}  // namespace manatee::sched

@@ -1,0 +1,82 @@
+// waiter.hpp — backend-neutral blocking: the one primitive every park site
+// in the runtime goes through.
+//
+// A sched::Waiter replaces a raw per-waiter condition variable. The calling
+// context decides the mechanism at park time:
+//
+//   * on a plain OS thread, park_until degrades to exactly the old
+//     condition_variable::wait_until path (ThreadBackend semantics);
+//   * on a fiber, the park suspends the fiber (the worker thread moves on
+//     to the next ready fiber) and notify() re-enqueues exactly that fiber
+//     — no futex, no OS context switch.
+//
+// Usage contract (matching MessageStore): park_until is called with the
+// waiter's interest mutex held; notify() is called only while that same
+// mutex is held. This makes the lost-wakeup handoff race-free: the
+// predicate is made true and notify() issued inside the critical section
+// the parker re-checks the predicate under.
+//
+// A Waiter serves ONE parking context at a time (it holds a single Fiber
+// slot). That matches the mailbox exactly — every waiting call stack-
+// allocates its own Waiter — but means a Waiter must not be shared by two
+// concurrently-parking fibers.
+//
+// The fiber-side handoff is a small state machine guarded by the backend's
+// scheduler mutex:
+//
+//   kIdle --prepare_park--> kParking --worker completes--> kParked
+//     kParking --notify--> kNotified   (worker re-enqueues immediately)
+//     kParked  --notify--> kNotified   (notifier unlinks + re-enqueues)
+//
+// The watchdog deadline travels with the parked waiter; an idle worker
+// expires overdue parks (timed_out() true) so distributed-deadlock
+// detection keeps working when every rank is a fiber.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace manatee::sched {
+
+class FiberBackend;
+struct Fiber;
+
+enum class ParkState : std::uint8_t { kIdle, kParking, kParked, kNotified };
+
+class Waiter {
+ public:
+  Waiter() = default;
+  Waiter(const Waiter&) = delete;
+  Waiter& operator=(const Waiter&) = delete;
+
+  /// Block until notify() or `deadline`. `lock` is released while blocked
+  /// and re-held on return. Returns false only when the deadline expired
+  /// before a wakeup (spurious wakeups return true; callers loop on their
+  /// predicate either way).
+  bool park_until(std::unique_lock<std::mutex>& lock,
+                  std::chrono::steady_clock::time_point deadline);
+
+  /// Wake the parked context (caller holds the same mutex `park_until` was
+  /// entered with). No-op when nobody is parked.
+  void notify();
+
+ private:
+  friend class FiberBackend;
+
+  std::condition_variable cv_;  ///< thread path
+
+  // Fiber path. `fiber_mode_` is guarded by the caller's interest mutex
+  // (held across both park_until entry and notify); everything else is
+  // guarded by the owning backend's scheduler mutex.
+  bool fiber_mode_ = false;
+  Fiber* fiber_ = nullptr;
+  ParkState state_ = ParkState::kIdle;
+  bool timed_out_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  Waiter* prev_ = nullptr;  ///< intrusive parked-list links
+  Waiter* next_ = nullptr;
+};
+
+}  // namespace manatee::sched

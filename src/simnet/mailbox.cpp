@@ -140,14 +140,14 @@ bool MessageStore::find_unexpected(const MatchPattern& pattern, Bin** bin_out,
 // ---- wakeup targeting -------------------------------------------------------
 
 void MessageStore::wake_all_locked() {
-  for (Waiter* w : waiters_) w->cv.notify_one();
+  for (Waiter* w : waiters_) w->parker.notify();
 }
 
 void MessageStore::wake_for_result_locked(const RecvResult* result) {
   for (Waiter* w : waiters_) {
     if (w->want == Waiter::Want::kAny ||
         (w->want == Waiter::Want::kResult && w->result == result)) {
-      w->cv.notify_one();
+      w->parker.notify();
     }
   }
 }
@@ -156,7 +156,7 @@ void MessageStore::wake_for_unexpected_locked(const Envelope& env) {
   for (Waiter* w : waiters_) {
     if (w->want == Waiter::Want::kAny ||
         (w->want == Waiter::Want::kProbe && w->pattern->matches(env))) {
-      w->cv.notify_one();
+      w->parker.notify();
     }
   }
 }
@@ -178,8 +178,9 @@ void MessageStore::wait_on_locked(std::unique_lock<std::mutex>& lock,
                         std::chrono::milliseconds(wait_timeout_ms());
   try {
     while (!pred()) {
-      if (waiter.cv.wait_until(lock, deadline) == std::cv_status::timeout &&
-          !pred()) {
+      // park_until blocks on a CV (thread ranks) or suspends the calling
+      // fiber (fiber ranks); false means the watchdog deadline passed.
+      if (!waiter.parker.park_until(lock, deadline) && !pred()) {
         throw RuntimeFault(wait_diagnostics_locked(what));
       }
     }

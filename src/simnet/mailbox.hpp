@@ -20,16 +20,21 @@
 // Only unexpected messages materialize an Envelope, whose payload storage
 // comes from the fabric's BufferPool (inline for ≤64 B).
 //
-// Blocking primitives use per-waiter condition variables with interest
+// Blocking primitives use per-waiter sched::Waiter parks with interest
 // tracking: a delivery wakes only waiters whose posted receive completed
 // (wait_recv), whose probe pattern the new unexpected message matches
-// (wait_probe), or who asked for any event (wait / wait_changed). All
-// waits carry a global watchdog timeout that converts distributed deadlock
-// into a loud RuntimeFault instead of a hung test suite.
+// (wait_probe), or who asked for any event (wait / wait_changed). The
+// Waiter is backend-neutral (sched/waiter.hpp): a rank hosted on an OS
+// thread blocks on a condition variable exactly as before, while a rank
+// hosted on a fiber suspends cooperatively and the wake re-enqueues that
+// fiber on its scheduler — this one chokepoint is what makes every park
+// site in the runtime (recv/wait/probe/drive, blocking_loop, drain and
+// 2PC parks) fiber-safe without call-site changes. All waits carry a
+// global watchdog timeout that converts distributed deadlock into a loud
+// RuntimeFault instead of a hung test suite.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -39,6 +44,7 @@
 
 #include "common/error.hpp"
 #include "common/function_ref.hpp"
+#include "sched/waiter.hpp"
 #include "simnet/message.hpp"
 
 namespace manatee::simnet {
@@ -261,7 +267,7 @@ class MessageStore {
 
   struct Waiter {
     enum class Want : std::uint8_t { kAny, kResult, kProbe };
-    std::condition_variable cv;
+    sched::Waiter parker;
     Want want = Want::kAny;
     const RecvResult* result = nullptr;
     const MatchPattern* pattern = nullptr;

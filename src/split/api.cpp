@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "sched/scheduler.hpp"
 #include "split/engine.hpp"
 #include "umpi/runtime.hpp"
 
@@ -399,7 +400,13 @@ bool Api::test(VReq& request) {
     return true;
   }
   mgr_.poll();
-  if (!rank_.request_done(state.lower)) return false;
+  if (!rank_.request_done(state.lower)) {
+    // Busy-polling MPI_Test loops are legal application code: yield so the
+    // peer that must complete this request can run under a cooperative
+    // scheduler backend (no-op hint under the threads backend).
+    sched::yield();
+    return false;
+  }
   const bool was_nbc = state.is_nbc;
   rank_.test(state.lower);
   if (was_nbc) charge_nbc_completion();  // completion-side interposition

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "sched/scheduler.hpp"
 #include "umpi/runtime.hpp"
 
 namespace manatee::umpi {
@@ -120,8 +121,13 @@ Request Rank::irecv(const CommPtr& comm, std::span<std::byte> data, int src,
 std::optional<simnet::ProbeInfo> Rank::iprobe(const CommPtr& comm, int src,
                                               int tag) {
   check_comm(comm);
-  return store().iprobe(
+  auto found = store().iprobe(
       simnet::MatchPattern{comm->context(Channel::kUser), src, tag});
+  // MPI permits busy-polling Iprobe until a message appears. Yield on a
+  // miss so the peer this loop depends on can run under a cooperative
+  // scheduler backend (a no-op hint under the threads backend).
+  if (!found.has_value()) sched::yield();
+  return found;
 }
 
 simnet::ProbeInfo Rank::probe(const CommPtr& comm, int src, int tag) {
@@ -259,7 +265,12 @@ bool Rank::test(Request& request, Status* status) {
   if (request.is_null()) return true;
   RequestState* state = find(request);
   MANATEE_REQUIRE(state != nullptr, "test on an unknown request");
-  return complete_if_done(request, *state, status);
+  const bool done = complete_if_done(request, *state, status);
+  // MPI permits `while (!MPI_Test(...)) {}` busy loops. Yield on an
+  // incomplete request so the peer that must complete it can run under a
+  // cooperative scheduler backend (no-op hint under threads).
+  if (!done) sched::yield();
+  return done;
 }
 
 Status Rank::wait(Request& request) {
@@ -316,6 +327,7 @@ bool Rank::testany(std::span<Request> requests, int* index, Status* status) {
       return true;
     }
   }
+  if (any_live) sched::yield();  // see Rank::test: busy-poll loops are legal
   return !any_live;  // all null: MPI returns flag=true, MPI_UNDEFINED index
 }
 

@@ -1,6 +1,6 @@
 #include "umpi/runtime.hpp"
 
-#include <thread>
+#include <mutex>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
@@ -34,24 +34,24 @@ void Runtime::run(const AppFn& app) {
   std::mutex error_mutex;
   std::exception_ptr first_error;
 
-  std::vector<std::thread> threads;
-  threads.reserve(ranks_.size());
-  for (auto& rank : ranks_) {
-    threads.emplace_back([&, r = rank.get()] {
-      set_log_thread_label("rank " + std::to_string(r->world_rank()));
-      try {
-        app(*r);
-      } catch (...) {
-        {
-          std::lock_guard lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
+  // One task per rank, executed by the configured scheduler backend — OS
+  // threads or fibers on a worker pool. set_log_thread_label writes through
+  // the fiber-local label slot, so multiplexed ranks keep their own labels.
+  sched_stats_ = sched::run_tasks(
+      config_.sched, config_.world_size, [&](int world_rank) {
+        Rank& r = *ranks_[static_cast<std::size_t>(world_rank)];
+        set_log_thread_label("rank " + std::to_string(r.world_rank()));
+        try {
+          app(r);
+        } catch (...) {
+          {
+            std::lock_guard lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+          aborted_.store(true, std::memory_order_release);
+          fabric_.notify_all_ranks();  // unblock peers to observe the abort
         }
-        aborted_.store(true, std::memory_order_release);
-        fabric_.notify_all_ranks();  // unblock peers so they observe the abort
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
+      });
   if (first_error) std::rethrow_exception(first_error);
 }
 

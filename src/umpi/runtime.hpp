@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "sched/scheduler.hpp"
 #include "simnet/cost_model.hpp"
 #include "simnet/fabric.hpp"
 #include "simnet/topology.hpp"
@@ -28,6 +29,11 @@ struct RuntimeConfig {
   /// (forced algorithms + heuristic thresholds). Must be identical across
   /// ranks — it is part of the job configuration, exactly like world_size.
   coll::CollTuning coll{};
+
+  /// Rank scheduling backend: one OS thread per rank (default) or N rank
+  /// fibers multiplexed onto a worker pool (sched/scheduler.hpp). Purely an
+  /// execution-engine choice — results are bit-identical across backends.
+  sched::SchedConfig sched{};
 };
 
 /// The function each rank thread executes (the "MPI application").
@@ -41,10 +47,16 @@ class Runtime {
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
-  /// Launch one thread per rank running `app`, join them all. Exceptions
-  /// thrown by rank threads are captured and the first one is rethrown
-  /// here. May be called once per Runtime.
+  /// Launch one task per rank running `app` on the configured scheduler
+  /// backend (one OS thread per rank, or fibers on a worker pool) and
+  /// block until all finish. Exceptions thrown by rank tasks are captured
+  /// and the first one is rethrown here. May be called once per Runtime.
   void run(const AppFn& app);
+
+  /// Scheduler counters of the completed run() (fiber backend only).
+  [[nodiscard]] const sched::SchedStats& sched_stats() const noexcept {
+    return sched_stats_;
+  }
 
   [[nodiscard]] const RuntimeConfig& config() const noexcept { return config_; }
   [[nodiscard]] simnet::Fabric& fabric() noexcept { return fabric_; }
@@ -91,6 +103,7 @@ class Runtime {
   std::atomic<std::uint64_t> next_base_context_;
   std::atomic<bool> aborted_{false};
   std::atomic<bool> stopping_{false};
+  sched::SchedStats sched_stats_{};
   bool ran_ = false;
 };
 

@@ -156,6 +156,7 @@ std::string Scenario::describe() const {
     out += " poisson{mean=" + std::to_string(failures.poisson_mean_ns) +
            "ns seed=" + std::to_string(failures.poisson_seed) + "}";
   }
+  out += " sched=" + std::string(sched::backend_name(sched.backend));
   out += " retain=" + std::to_string(retain_generations) + "}";
   return out;
 }
@@ -210,6 +211,7 @@ ScenarioOutcome run_scenario(const Scenario& scenario) {
     config.runtime.world_size = scenario.world;
     config.runtime.ranks_per_node = scenario.ranks_per_node;
     config.runtime.coll = scenario.coll;
+    config.runtime.sched = scenario.sched;
     config.protocol = Protocol::kNative;
     Engine engine(config);
     engine.run([&](Api& api) {
@@ -223,6 +225,7 @@ ScenarioOutcome run_scenario(const Scenario& scenario) {
   lifecycle.engine.runtime.world_size = scenario.world;
   lifecycle.engine.runtime.ranks_per_node = scenario.ranks_per_node;
   lifecycle.engine.runtime.coll = scenario.coll;
+  lifecycle.engine.runtime.sched = scenario.sched;
   lifecycle.engine.protocol = scenario.protocol;
   lifecycle.engine.image_dir = outcome.image_dir;
   lifecycle.engine.failures = scenario.failures;
