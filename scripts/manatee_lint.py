@@ -1,0 +1,515 @@
+#!/usr/bin/env python3
+"""manatee_lint.py — project concurrency-invariant linter.
+
+Enforces the repo-wide concurrency contract (DESIGN.md §9) that Clang's
+thread-safety analysis cannot express, so violations fail CI on any
+compiler:
+
+  raw-condvar     std::condition_variable anywhere but the two sanctioned
+                  park/wakeup sites (sched::Waiter, the FiberBackend's
+                  worker CV), each of which carries an inline waiver.
+  raw-thread      std::thread / std::jthread outside src/sched/ — rank
+                  code must not spawn OS threads behind the scheduler's
+                  back.
+  blocking-call   sleep/usleep/nanosleep/sleep_for/sleep_until on any
+                  fiber-reachable path (all of src/): a sleeping fiber
+                  pins its worker and stalls every rank multiplexed on
+                  it. std::this_thread::yield outside src/sched/ is also
+                  rejected — rank code must use sched::yield(), which
+                  suspends the fiber instead of spinning the worker.
+  raw-mutex       std::mutex (and friends) declared outside
+                  common/mutex.hpp — all locking goes through the
+                  annotated common::Mutex.
+  raw-mutex-guard std::lock_guard/unique_lock/scoped_lock — locking uses
+                  common::MutexLock so held regions are visible to the
+                  analysis and to this linter.
+  bare-lock       explicit .lock()/.unlock() on a Mutex. Reserved (via
+                  waiver) for the two chokepoints where lock ownership
+                  crosses a fiber suspension point.
+  native-handle   Mutex::native() outside the scheduler's CV bridges — a
+                  CV wait over native() anywhere else is an unsanctioned
+                  park site that would block a fiber's worker thread.
+  ntsa-justified  every MANATEE_NO_THREAD_SAFETY_ANALYSIS needs an
+                  adjacent comment saying why the analysis cannot see
+                  the invariant.
+  mutex-manifest  every common::Mutex declared in src/ must be registered
+                  in scripts/lock_order.json (and no stale entries).
+  lock-order      inside a held region of mutex H, acquiring (directly or
+                  through a registered entry point) any mutex with
+                  level >= level(H) is an inversion.
+
+Waivers: a line may carry `// manatee-lint: allow(rule[, rule]) — reason`
+to suppress named rules on that line. Waivers are part of the reviewed
+contract; the reason is mandatory prose.
+
+Usage:
+  scripts/manatee_lint.py [--root DIR] [--compile-commands PATH] [-v]
+
+Exit status: 0 clean, 1 violations, 2 usage/config error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+RULES = (
+    "raw-condvar",
+    "raw-thread",
+    "blocking-call",
+    "raw-mutex",
+    "raw-mutex-guard",
+    "bare-lock",
+    "native-handle",
+    "ntsa-justified",
+    "mutex-manifest",
+    "lock-order",
+)
+
+WAIVER_RE = re.compile(r"//\s*manatee-lint:\s*allow\(([^)]*)\)")
+
+# --- source model -----------------------------------------------------------
+
+
+@dataclass
+class Line:
+    """One physical source line with comments/strings blanked for matching."""
+
+    number: int
+    raw: str
+    code: str
+    waivers: frozenset[str] = frozenset()
+
+
+def strip_noncode(text: str) -> list[Line]:
+    """Blank out comments and string/char literals, preserving line structure.
+
+    Waivers are collected from comments before they are blanked. Column
+    positions are preserved (replaced with spaces) so regex matches stay
+    meaningful.
+    """
+    lines_raw = text.split("\n")
+    out_chars: list[list[str]] = [list(line) for line in lines_raw]
+    state = "code"  # code | line-comment | block-comment | string | char
+    for li, line in enumerate(lines_raw):
+        ci = 0
+        if state == "line-comment":
+            state = "code"
+        while ci < len(line):
+            ch = line[ci]
+            nxt = line[ci + 1] if ci + 1 < len(line) else ""
+            if state == "code":
+                if ch == "/" and nxt == "/":
+                    for k in range(ci, len(line)):
+                        out_chars[li][k] = " "
+                    state = "line-comment"
+                    break
+                if ch == "/" and nxt == "*":
+                    out_chars[li][ci] = " "
+                    out_chars[li][ci + 1] = " "
+                    ci += 2
+                    state = "block-comment"
+                    continue
+                if ch == '"':
+                    ci += 1
+                    state = "string"
+                    continue
+                if ch == "'":
+                    ci += 1
+                    state = "char"
+                    continue
+                ci += 1
+            elif state == "block-comment":
+                if ch == "*" and nxt == "/":
+                    out_chars[li][ci] = " "
+                    out_chars[li][ci + 1] = " "
+                    ci += 2
+                    state = "code"
+                    continue
+                out_chars[li][ci] = " "
+                ci += 1
+            elif state in ("string", "char"):
+                quote = '"' if state == "string" else "'"
+                if ch == "\\":
+                    out_chars[li][ci] = " "
+                    if ci + 1 < len(line):
+                        out_chars[li][ci + 1] = " "
+                    ci += 2
+                    continue
+                if ch == quote:
+                    ci += 1
+                    state = "code"
+                    continue
+                out_chars[li][ci] = " "
+                ci += 1
+        if state == "line-comment":
+            state = "code"
+    result = []
+    for li, raw in enumerate(lines_raw):
+        m = WAIVER_RE.search(raw)
+        waivers = frozenset(
+            r.strip() for r in m.group(1).split(",")) if m else frozenset()
+        result.append(
+            Line(number=li + 1, raw=raw, code="".join(out_chars[li]),
+                 waivers=waivers))
+    return result
+
+
+# --- manifest ---------------------------------------------------------------
+
+
+@dataclass
+class MutexEntry:
+    name: str
+    level: int
+    decl: str
+    files: list[str]
+    names: list[str]
+    entry_points: list[re.Pattern]
+    matched_decl: bool = False
+
+
+def load_manifest(path: str) -> list[MutexEntry]:
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    entries = []
+    levels_seen: dict[int, str] = {}
+    for raw in data["mutexes"]:
+        level = int(raw["level"])
+        if level in levels_seen:
+            raise ValueError(
+                f"lock_order.json: level {level} used by both "
+                f"{levels_seen[level]} and {raw['name']}")
+        levels_seen[level] = raw["name"]
+        entries.append(
+            MutexEntry(
+                name=raw["name"],
+                level=level,
+                decl=raw["decl"],
+                files=list(raw["files"]),
+                names=list(raw["names"]),
+                entry_points=[re.compile(p) for p in raw["entry_points"]],
+            ))
+    return entries
+
+
+def mutex_for_expr(entries: list[MutexEntry], relpath: str,
+                   expr: str) -> MutexEntry | None:
+    """Resolve a lock-site expression to a manifest entry by tail name."""
+    tail = re.split(r"\.|->", expr.strip())[-1].strip()
+    for entry in entries:
+        if relpath in entry.files and tail in entry.names:
+            return entry
+    return None
+
+
+# --- findings ---------------------------------------------------------------
+
+
+@dataclass
+class Finding:
+    relpath: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.relpath}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --- per-line rules ---------------------------------------------------------
+
+CONDVAR_RE = re.compile(r"\bstd::condition_variable(?:_any)?\b")
+THREAD_RE = re.compile(r"\bstd::j?thread\b")
+SLEEP_RE = re.compile(
+    r"\bsleep_for\s*\(|\bsleep_until\s*\(|\busleep\s*\(|\bnanosleep\s*\("
+    r"|(?<![\w:])sleep\s*\(|\bpoll\s*\(\s*nullptr|\bselect\s*\(\s*0\s*,")
+STD_YIELD_RE = re.compile(r"\bstd::this_thread::yield\b")
+RAW_MUTEX_RE = re.compile(
+    r"\bstd::(?:recursive_|timed_|recursive_timed_|shared_)?mutex\b")
+RAW_GUARD_RE = re.compile(
+    r"\bstd::(?:lock_guard|unique_lock|scoped_lock)\b")
+BARE_LOCK_RE = re.compile(r"[\w\)\]]\s*(?:\.|->)\s*(?:lock|unlock)\s*\(\s*\)")
+NATIVE_RE = re.compile(r"[\w\)\]]\s*(?:\.|->)\s*native\s*\(\s*\)")
+NTSA_RE = re.compile(r"\bMANATEE_NO_THREAD_SAFETY_ANALYSIS\b")
+MUTEX_DECL_RE = re.compile(
+    r"(?:^|\s)(?:mutable\s+)?(?:common::|manatee::common::)?Mutex\s+(\w+)\s*(?:;|\{|=)")
+MUTEXLOCK_RE = re.compile(r"\bMutexLock\s+\w+\s*[({]\s*([^;]+?)\s*[)}]\s*;")
+LOCK_CALL_RE = re.compile(r"([\w.\->]+?)\s*(?:\.|->)\s*(lock|unlock)\s*\(\s*\)")
+
+
+def is_sub(relpath: str, prefix: str) -> bool:
+    return relpath == prefix or relpath.startswith(prefix.rstrip("/") + "/")
+
+
+def scan_file(root: str, relpath: str, entries: list[MutexEntry],
+              findings: list[Finding]) -> None:
+    with open(os.path.join(root, relpath), encoding="utf-8") as fh:
+        lines = strip_noncode(fh.read())
+
+    in_mutex_hpp = relpath == "src/common/mutex.hpp"
+    in_sched = is_sub(relpath, "src/sched")
+
+    def report(line: Line, rule: str, message: str) -> None:
+        if rule not in line.waivers:
+            findings.append(Finding(relpath, line.number, rule, message))
+
+    for line in lines:
+        code = line.code
+        if CONDVAR_RE.search(code):
+            report(line, "raw-condvar",
+                   "std::condition_variable outside sched::Waiter — parks "
+                   "must go through the Waiter so fibers suspend instead of "
+                   "blocking their worker")
+        if THREAD_RE.search(code) and not in_sched:
+            report(line, "raw-thread",
+                   "std::thread outside src/sched/ — rank code runs on "
+                   "scheduler workers, never its own OS threads")
+        if SLEEP_RE.search(code):
+            report(line, "blocking-call",
+                   "blocking sleep on a fiber-reachable path pins the worker "
+                   "thread; park via sched::Waiter or use virtual time")
+        if STD_YIELD_RE.search(code) and not in_sched:
+            report(line, "blocking-call",
+                   "std::this_thread::yield outside src/sched/ — use "
+                   "sched::yield(), which suspends the calling fiber")
+        if RAW_MUTEX_RE.search(code) and not in_mutex_hpp:
+            report(line, "raw-mutex",
+                   "raw std::mutex — use common::Mutex so the lock is "
+                   "visible to the thread-safety analysis and this linter")
+        if RAW_GUARD_RE.search(code) and not in_mutex_hpp:
+            report(line, "raw-mutex-guard",
+                   "raw std:: lock guard — use common::MutexLock")
+        if BARE_LOCK_RE.search(code) and not in_mutex_hpp:
+            report(line, "bare-lock",
+                   "explicit lock()/unlock() — use common::MutexLock unless "
+                   "ownership crosses a fiber suspension point (waiver)")
+        if NATIVE_RE.search(code) and not in_mutex_hpp:
+            report(line, "native-handle",
+                   "Mutex::native() outside the scheduler's CV bridges — "
+                   "this is how unsanctioned park sites are born")
+        for m in MUTEX_DECL_RE.finditer(code):
+            if in_mutex_hpp:
+                continue
+            entry = mutex_for_expr(entries, relpath, m.group(1))
+            if entry is None:
+                report(line, "mutex-manifest",
+                       f"common::Mutex `{m.group(1)}` not registered in "
+                       "scripts/lock_order.json — every mutex needs a level "
+                       "in the lock hierarchy")
+            else:
+                entry.matched_decl = True
+
+    # ntsa-justified: the macro needs an explanatory comment on the same
+    # line or within the three lines above its use.
+    for idx, line in enumerate(lines):
+        if not NTSA_RE.search(line.code):
+            continue
+        if relpath == "src/common/thread_annotations.hpp":
+            continue  # the definition site
+        window = lines[max(0, idx - 3):idx + 1]
+        if not any("//" in w.raw or "///" in w.raw for w in window):
+            report(line, "ntsa-justified",
+                   "MANATEE_NO_THREAD_SAFETY_ANALYSIS without an adjacent "
+                   "comment explaining why the analysis cannot see the "
+                   "invariant")
+
+    check_lock_order(relpath, lines, entries, findings)
+
+
+# --- lock-order -------------------------------------------------------------
+
+FUNC_DEF_RE = re.compile(r"\b[\w~]+(?:<[^<>]*>)?::(\w+)\s*\(")
+
+
+def check_lock_order(relpath: str, lines: list[Line],
+                     entries: list[MutexEntry],
+                     findings: list[Finding]) -> None:
+    """Walk brace scopes tracking held mutexes; flag non-descending edges.
+
+    Held regions come from three sources: common::MutexLock guards (held to
+    the end of their brace scope), explicit lock()/unlock() toggles, and
+    the `_locked` method-name convention (the function runs entirely under
+    its class's own mutex). Acquisition events are direct guards/locks plus
+    any manifest entry-point match.
+    """
+    depth = 0
+    # held: list of (entry, release_depth | None for explicit unlock)
+    held: list[tuple[MutexEntry, int | None]] = []
+    func_locked_mutex: MutexEntry | None = None
+    func_depth = 0
+
+    def held_entries() -> list[MutexEntry]:
+        hs = [h[0] for h in held]
+        if func_locked_mutex is not None:
+            hs.append(func_locked_mutex)
+        return hs
+
+    def check_acquire(line: Line, acquired: MutexEntry, how: str) -> None:
+        if "lock-order" in line.waivers:
+            return
+        for h in held_entries():
+            if h.name == acquired.name:
+                findings.append(Finding(
+                    relpath, line.number, "lock-order",
+                    f"re-enters {acquired.name} {how} while already "
+                    "holding it — common::Mutex is not recursive"))
+            elif acquired.level >= h.level:
+                findings.append(Finding(
+                    relpath, line.number, "lock-order",
+                    f"acquires {acquired.name} (level {acquired.level}) "
+                    f"{how} while holding {h.name} (level {h.level}) — "
+                    "the hierarchy requires strictly descending levels"))
+
+    for line in lines:
+        code = line.code
+
+        # Entering a `_locked` method definition: its own mutex is held.
+        if depth == 0 or (depth == 1 and func_locked_mutex is None):
+            m = FUNC_DEF_RE.search(code)
+            if m and "{" in code.split("//")[0]:
+                fname = m.group(1)
+                func_locked_mutex = None
+                if fname.endswith("_locked"):
+                    func_locked_mutex = mutex_for_expr(
+                        entries, relpath, "mutex_")
+                    func_depth = depth
+
+        # Direct guard acquisitions.
+        for m in MUTEXLOCK_RE.finditer(code):
+            entry = mutex_for_expr(entries, relpath, m.group(1))
+            if entry is not None:
+                check_acquire(line, entry, "via MutexLock")
+                held.append((entry, depth))
+
+        # Explicit lock()/unlock() toggles.
+        for m in LOCK_CALL_RE.finditer(code):
+            entry = mutex_for_expr(entries, relpath, m.group(1))
+            if entry is None:
+                continue
+            if m.group(2) == "lock":
+                check_acquire(line, entry, "via lock()")
+                held.append((entry, None))
+            else:
+                for i in range(len(held) - 1, -1, -1):
+                    if held[i][0].name == entry.name:
+                        held.pop(i)
+                        break
+
+        # Entry-point acquisitions (cross-component edges).
+        if held_entries():
+            for entry in entries:
+                for pat in entry.entry_points:
+                    if pat.search(code):
+                        check_acquire(line, entry, "via entry point")
+                        break
+
+        # Brace tracking releases scoped guards.
+        for ch in code:
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                held = [h for h in held
+                        if h[1] is None or h[1] < depth + 1]
+                if func_locked_mutex is not None and depth <= func_depth:
+                    func_locked_mutex = None
+
+
+# --- compile-commands check -------------------------------------------------
+
+
+def check_compile_commands(root: str, path: str, src_files: list[str],
+                           findings: list[Finding]) -> None:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            db = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        findings.append(Finding(
+            os.path.relpath(path, root), 0, "mutex-manifest",
+            f"compile_commands.json unreadable ({err}) — keep "
+            "CMAKE_EXPORT_COMPILE_COMMANDS ON"))
+        return
+    compiled = {os.path.normpath(os.path.join(e["directory"], e["file"]))
+                for e in db}
+    for rel in src_files:
+        if not rel.endswith(".cpp"):
+            continue
+        absolute = os.path.normpath(os.path.join(root, rel))
+        if absolute not in compiled:
+            findings.append(Finding(
+                rel, 0, "mutex-manifest",
+                "source file missing from compile_commands.json — the "
+                "static-analysis job would silently skip it"))
+
+
+# --- main -------------------------------------------------------------------
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: this script's parent dir)")
+    parser.add_argument("--compile-commands", default=None,
+                        help="verify every src/*.cpp appears in this "
+                        "compile database")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        print("\n".join(RULES))
+        return 0
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    manifest_path = os.path.join(root, "scripts", "lock_order.json")
+    try:
+        entries = load_manifest(manifest_path)
+    except (OSError, ValueError, KeyError) as err:
+        print(f"manatee_lint: cannot load {manifest_path}: {err}",
+              file=sys.stderr)
+        return 2
+
+    src_files: list[str] = []
+    for dirpath, _dirnames, filenames in os.walk(os.path.join(root, "src")):
+        for fn in sorted(filenames):
+            if fn.endswith((".hpp", ".cpp", ".h", ".cc")):
+                src_files.append(
+                    os.path.relpath(os.path.join(dirpath, fn), root))
+    src_files.sort()
+    if not src_files:
+        print("manatee_lint: no sources under src/ — wrong --root?",
+              file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    for rel in src_files:
+        scan_file(root, rel, entries, findings)
+
+    for entry in entries:
+        if not entry.matched_decl:
+            findings.append(Finding(
+                "scripts/lock_order.json", 0, "mutex-manifest",
+                f"stale manifest entry {entry.name}: no matching "
+                f"common::Mutex declaration found in {entry.files}"))
+
+    if args.compile_commands:
+        check_compile_commands(root, args.compile_commands, src_files,
+                               findings)
+
+    for f in sorted(findings, key=lambda f: (f.relpath, f.line, f.rule)):
+        print(f.render())
+    if args.verbose:
+        print(f"manatee_lint: scanned {len(src_files)} files, "
+              f"{len(entries)} mutexes in manifest, "
+              f"{len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

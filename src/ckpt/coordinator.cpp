@@ -18,7 +18,7 @@ void Coordinator::wake_all_locked() {
 }
 
 bool Coordinator::request_checkpoint() {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (phase_ != CkptPhase::kIdle) return false;
   phase_ = CkptPhase::kDrain;
   targets_.clear();
@@ -35,19 +35,19 @@ bool Coordinator::request_checkpoint() {
 }
 
 CkptPhase Coordinator::phase() const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   return phase_;
 }
 
 std::uint64_t Coordinator::completed_cycles() const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   return completed_cycles_;
 }
 
 // ---- CC ------------------------------------------------------------------------
 
 void Coordinator::post_seq(int rank, const std::map<std::uint64_t, std::uint64_t>& seq) {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   MANATEE_CHECK(phase_ == CkptPhase::kDrain, "post_seq outside a drain");
   auto& state = ranks_[static_cast<std::size_t>(rank)];
   bool grew = false;
@@ -70,7 +70,7 @@ void Coordinator::post_seq(int rank, const std::map<std::uint64_t, std::uint64_t
 
 bool Coordinator::pull_targets(std::uint64_t& seen_version,
                                std::map<std::uint64_t, std::uint64_t>& out) const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (seen_version == targets_version_) return false;
   seen_version = targets_version_;
   out = targets_;
@@ -78,7 +78,7 @@ bool Coordinator::pull_targets(std::uint64_t& seen_version,
 }
 
 bool Coordinator::all_seq_posted() const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   for (const auto& r : ranks_) {
     if (!r.seq_posted) return false;
   }
@@ -86,7 +86,7 @@ bool Coordinator::all_seq_posted() const {
 }
 
 void Coordinator::report_cc(int rank, const CcStatus& status) {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (phase_ != CkptPhase::kDrain) return;  // late report after write began
   auto& state = ranks_[static_cast<std::size_t>(rank)];
   state.parked = status.parked;
@@ -165,7 +165,7 @@ void Coordinator::maybe_force_p2p_cascade_locked() {
 
 std::map<std::uint64_t, std::uint64_t> Coordinator::forced_targets(
     std::uint64_t cycle) const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   const auto it = forced_.find(cycle);
   return it == forced_.end() ? std::map<std::uint64_t, std::uint64_t>{}
                              : it->second;
@@ -173,7 +173,7 @@ std::map<std::uint64_t, std::uint64_t> Coordinator::forced_targets(
 
 std::map<std::uint64_t, std::map<std::uint64_t, std::uint64_t>>
 Coordinator::forced_by_cycle() const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   return forced_;
 }
 
@@ -237,7 +237,7 @@ void Coordinator::maybe_enter_write_locked() {
 void Coordinator::tpc_enter(int rank, std::uint64_t ggid, std::uint64_t instance,
                             int members) {
   (void)rank;
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto& inst = tpc_instances_[{ggid, instance}];
   if (inst.members == 0) {
     inst.members = members;
@@ -253,7 +253,7 @@ void Coordinator::tpc_enter(int rank, std::uint64_t ggid, std::uint64_t instance
 }
 
 void Coordinator::tpc_execute(int rank, std::uint64_t ggid, std::uint64_t instance) {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto& inst = tpc_instances_[{ggid, instance}];
   ++inst.executing;
   ranks_[static_cast<std::size_t>(rank)].parked = false;
@@ -261,7 +261,7 @@ void Coordinator::tpc_execute(int rank, std::uint64_t ggid, std::uint64_t instan
 
 void Coordinator::tpc_done(int rank, std::uint64_t ggid, std::uint64_t instance) {
   (void)rank;
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto& inst = tpc_instances_[{ggid, instance}];
   --inst.executing;
   ++inst.done;
@@ -272,7 +272,7 @@ void Coordinator::tpc_done(int rank, std::uint64_t ggid, std::uint64_t instance)
 }
 
 void Coordinator::report_tpc(int rank, bool parked) {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (phase_ != CkptPhase::kDrain) return;
   ranks_[static_cast<std::size_t>(rank)].parked = parked;
   maybe_enter_write_locked();
@@ -281,14 +281,14 @@ void Coordinator::report_tpc(int rank, bool parked) {
 // ---- write / resume ---------------------------------------------------------------
 
 bool Coordinator::try_unpark(int rank) {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (phase_ == CkptPhase::kWrite) return false;
   ranks_[static_cast<std::size_t>(rank)].parked = false;
   return true;
 }
 
 void Coordinator::report_written(int rank) {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   MANATEE_CHECK(phase_ == CkptPhase::kWrite, "report_written outside write phase");
   auto& state = ranks_[static_cast<std::size_t>(rank)];
   MANATEE_CHECK(!state.written, "rank reported written twice");
@@ -303,13 +303,13 @@ void Coordinator::report_written(int rank) {
 }
 
 void Coordinator::report_done(int rank) {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   ranks_[static_cast<std::size_t>(rank)].done = true;
   wake_all_locked();
 }
 
 bool Coordinator::all_done() const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   for (const auto& r : ranks_) {
     if (!r.done) return false;
   }
@@ -317,12 +317,12 @@ bool Coordinator::all_done() const {
 }
 
 std::vector<Coordinator::CycleStats> Coordinator::cycle_stats() const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   return stats_;
 }
 
 std::string Coordinator::debug_dump() const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::string out = "coordinator{phase=" + std::to_string(static_cast<int>(phase_)) +
                     " cycles=" + std::to_string(completed_cycles_) +
                     " tver=" + std::to_string(targets_version_) + "\n";

@@ -22,10 +22,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "simnet/fabric.hpp"
 
 namespace manatee::ckpt {
@@ -162,9 +163,9 @@ class Coordinator {
   [[nodiscard]] std::string debug_dump() const;
 
  private:
-  void wake_all_locked();
-  void maybe_enter_write_locked();
-  void maybe_force_p2p_cascade_locked();
+  void wake_all_locked() MANATEE_REQUIRES(mutex_);
+  void maybe_enter_write_locked() MANATEE_REQUIRES(mutex_);
+  void maybe_force_p2p_cascade_locked() MANATEE_REQUIRES(mutex_);
 
   struct RankState {
     bool parked = false;
@@ -187,26 +188,30 @@ class Coordinator {
     int done = 0;
   };
 
-  mutable std::mutex mutex_;
+  /// Lock level 80: wake_all_locked holds it across the stores' interest
+  /// mutexes (level 60); never acquired with a store mutex already held.
+  mutable common::Mutex mutex_;
   int world_size_;
   simnet::Fabric* fabric_;
 
-  CkptPhase phase_ = CkptPhase::kIdle;
-  std::uint64_t completed_cycles_ = 0;
+  CkptPhase phase_ MANATEE_GUARDED_BY(mutex_) = CkptPhase::kIdle;
+  std::uint64_t completed_cycles_ MANATEE_GUARDED_BY(mutex_) = 0;
 
   // CC state (reset each cycle)
-  std::map<std::uint64_t, std::uint64_t> targets_;
-  std::uint64_t targets_version_ = 0;
-  std::vector<RankState> ranks_;
+  std::map<std::uint64_t, std::uint64_t> targets_ MANATEE_GUARDED_BY(mutex_);
+  std::uint64_t targets_version_ MANATEE_GUARDED_BY(mutex_) = 0;
+  std::vector<RankState> ranks_ MANATEE_GUARDED_BY(mutex_);
   /// cycle -> targets forced by the p2p cascade (persists across cycles
   /// for the oracle).
-  std::map<std::uint64_t, std::map<std::uint64_t, std::uint64_t>> forced_;
+  std::map<std::uint64_t, std::map<std::uint64_t, std::uint64_t>> forced_
+      MANATEE_GUARDED_BY(mutex_);
 
   // 2PC state: instances persist across the run (entered/done counts span
   // the request boundary).
-  std::map<std::pair<std::uint64_t, std::uint64_t>, TpcInstance> tpc_instances_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, TpcInstance> tpc_instances_
+      MANATEE_GUARDED_BY(mutex_);
 
-  std::vector<CycleStats> stats_;
+  std::vector<CycleStats> stats_ MANATEE_GUARDED_BY(mutex_);
 };
 
 }  // namespace manatee::ckpt

@@ -28,6 +28,12 @@
 
 namespace manatee::ckpt {
 
+// Concurrency contract (DESIGN.md §9): GenerationStore is all-static and
+// lock-free on purpose — every call happens on the single engine/driver
+// thread (Engine::run_lifecycle and restart resolution), never from rank
+// threads, so filesystem state needs no mutex. If images are ever written
+// rank-parallel, the per-generation directory becomes the shared resource
+// and create()/retain() must move behind a coordinator-level lock.
 class GenerationStore {
  public:
   /// Directory holding one generation's per-rank images.

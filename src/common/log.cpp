@@ -4,13 +4,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+
+#include "common/mutex.hpp"
 
 namespace manatee::log_detail {
 namespace {
 
 std::atomic<int> g_level{-1};  // -1 = uninitialized
-std::mutex g_emit_mutex;
+common::Mutex g_emit_mutex;  // lock level 10: leaf — emit() takes no other lock
 
 thread_local std::string t_thread_label = "-";
 // Active label slot: null means "this thread's own label"; the fiber
@@ -60,7 +61,7 @@ void set_level(LogLevel level) noexcept {
 
 void emit(LogLevel level, const std::string& msg) {
   const std::string& label = label_ref();
-  std::lock_guard lock(g_emit_mutex);
+  common::MutexLock lock(g_emit_mutex);
   std::fprintf(stderr, "[manatee %s] [%s] %s\n", tag(level), label.c_str(),
                msg.c_str());
 }

@@ -1,0 +1,66 @@
+// mutex.hpp — the project mutex: std::mutex wrapped as an annotated Clang
+// capability, plus the RAII guard every locking site uses.
+//
+// All mutexes in src/ are common::Mutex (scripts/manatee_lint.py rejects
+// raw std::mutex), every mutex is registered with a level in
+// scripts/lock_order.json, and all acquisition is through MutexLock —
+// bare lock()/unlock() pairs are reserved for the two blocking chokepoints
+// (sched::Waiter::park_until and the FiberBackend worker loop) where lock
+// ownership crosses a suspension point.
+//
+// native() exists solely so those chokepoints can run a
+// std::condition_variable wait over the wrapped mutex (std::adopt_lock in,
+// release() out). It is not an API: the linter's `native-handle` rule
+// rejects any other caller, because a park site that bypasses
+// sched::Waiter breaks the fiber backend (the rank would block its worker
+// thread instead of suspending).
+#pragma once
+
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace manatee::common {
+
+class MANATEE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MANATEE_ACQUIRE() { m_.lock(); }
+  void unlock() MANATEE_RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() MANATEE_TRY_ACQUIRE(true) {
+    return m_.try_lock();
+  }
+
+  /// Tell the analysis this context holds the mutex. For code paths the
+  /// analysis cannot follow — above all, predicate lambdas handed to
+  /// MessageStore's wait primitives, which the store evaluates under its
+  /// own lock. Compiles to nothing; use only where holding is a documented
+  /// caller contract.
+  void assert_held() const MANATEE_ASSERT_CAPABILITY() {}
+
+  /// The wrapped mutex, for condition-variable waits inside the scheduler
+  /// only (see file comment). Ownership stays with the annotated wrapper.
+  [[nodiscard]] std::mutex& native() noexcept { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII guard (std::lock_guard shape) carrying the scoped-capability
+/// annotation: the analysis treats the guarded region as holding `mu`.
+class MANATEE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MANATEE_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() MANATEE_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace manatee::common

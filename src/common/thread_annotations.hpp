@@ -1,0 +1,90 @@
+// thread_annotations.hpp — Clang thread-safety-analysis macros.
+//
+// These wrap Clang's capability attributes (-Wthread-safety) so the
+// locking rules of the concurrent core — "counters sharded under the
+// delivery lock", "park/notify under the store's interest mutex", "the
+// scheduler's ready deque under the backend mutex" — are checked at
+// compile time instead of living in comments and TSan interleavings.
+// The static-analysis CI job builds with
+//   -Werror=thread-safety -Werror=thread-safety-beta
+// so a violation is a build error; on GCC (which has no such analysis)
+// every macro expands to nothing and the annotated code is unchanged.
+//
+// Conventions (DESIGN.md §9):
+//   * mutexes are common::Mutex (common/mutex.hpp), never raw std::mutex
+//     — scripts/manatee_lint.py enforces this;
+//   * every field a mutex protects carries MANATEE_GUARDED_BY(mutex_);
+//   * private helpers that assume the lock carry MANATEE_REQUIRES(mutex_)
+//     and, by convention, a name ending in `_locked` (the linter uses the
+//     suffix to derive held-sets for its lock-order check);
+//   * MANATEE_NO_THREAD_SAFETY_ANALYSIS is an escape hatch of last resort
+//     and every use must carry a one-line justification comment.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define MANATEE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MANATEE_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// A type that is a lockable capability ("mutex").
+#define MANATEE_CAPABILITY(x) MANATEE_THREAD_ANNOTATION(capability(x))
+
+/// A RAII type that acquires a capability in its constructor and releases
+/// it in its destructor (std::lock_guard shape).
+#define MANATEE_SCOPED_CAPABILITY MANATEE_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field or variable readable/writable only with `x` held.
+#define MANATEE_GUARDED_BY(x) MANATEE_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer whose *pointee* is protected by `x` (the pointer itself is not).
+#define MANATEE_PT_GUARDED_BY(x) MANATEE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that must be called with the listed capabilities held
+/// (exclusively / shared) and returns with them still held.
+#define MANATEE_REQUIRES(...) \
+  MANATEE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define MANATEE_REQUIRES_SHARED(...) \
+  MANATEE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function that acquires / releases the listed capabilities. With no
+/// argument (on a capability type's own methods) it refers to `this`.
+#define MANATEE_ACQUIRE(...) \
+  MANATEE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define MANATEE_ACQUIRE_SHARED(...) \
+  MANATEE_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define MANATEE_RELEASE(...) \
+  MANATEE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define MANATEE_RELEASE_SHARED(...) \
+  MANATEE_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// try_lock-shaped function: acquires the capability iff it returns `b`.
+#define MANATEE_TRY_ACQUIRE(...) \
+  MANATEE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function that must be called with the listed capabilities NOT held
+/// (deadlock guard for self-locking public entry points).
+#define MANATEE_EXCLUDES(...) MANATEE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declared acquisition order between mutex members (checked under
+/// -Wthread-safety-beta). The machine-readable project-wide order lives in
+/// scripts/lock_order.json; use these for same-class member pairs.
+#define MANATEE_ACQUIRED_BEFORE(...) \
+  MANATEE_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define MANATEE_ACQUIRED_AFTER(...) \
+  MANATEE_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function returning a reference to a capability (lock accessors).
+#define MANATEE_RETURN_CAPABILITY(x) MANATEE_THREAD_ANNOTATION(lock_returned(x))
+
+/// Assertion that the calling context holds the capability (for call
+/// graphs the analysis cannot follow, e.g. lambdas invoked under a lock —
+/// see common::Mutex::assert_held). No argument means `this`.
+#define MANATEE_ASSERT_CAPABILITY(...) \
+  MANATEE_THREAD_ANNOTATION(assert_capability(__VA_ARGS__))
+
+/// Escape hatch: disable the analysis for one function. Every use MUST
+/// carry a one-line comment explaining why the analysis cannot see the
+/// invariant (scripts/manatee_lint.py flags undocumented uses).
+#define MANATEE_NO_THREAD_SAFETY_ANALYSIS \
+  MANATEE_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -19,7 +19,7 @@ static_assert(sizeof(TargetUpdate) == 16);
 }  // namespace
 
 void CcManager::note_comm(const umpi::CommPtr& comm) {
-  std::lock_guard lock(seq_mutex_);
+  common::MutexLock lock(seq_mutex_);
   clocks_.note_group(ggid_of(comm));
 }
 
@@ -33,17 +33,24 @@ void CcManager::ensure_request_seen() {
     trace_->record_request_seen(cycle, rank_.clock().now());
   }
   {
-    std::lock_guard lock(seq_mutex_);
+    common::MutexLock lock(seq_mutex_);
     coordinator_.post_seq(rank_.world_rank(), clocks_.seq_map());
   }
 }
 
 void CcManager::refresh_targets() {
+  // Target merges take seq_mutex_: the requesting thread snapshots the
+  // table concurrently (post_initial_state / serialize), and an unlocked
+  // merge raced those reads. Drain-path only, so the lock is uncontended
+  // in steady state.
   // Coordinator table (Algorithm 1's asynchronous max-merge).
   SeqMap table;
   if (coordinator_.pull_targets(seen_version_, table)) {
     SeqMap changed;
-    clocks_.merge_targets(table, trace_ != nullptr ? &changed : nullptr);
+    {
+      common::MutexLock lock(seq_mutex_);
+      clocks_.merge_targets(table, trace_ != nullptr ? &changed : nullptr);
+    }
     if (trace_ != nullptr) {
       for (const auto& [g, t] : changed) {
         trace_->record_target_learned(g, t, rank_.clock().now());
@@ -57,11 +64,21 @@ void CcManager::refresh_targets() {
              .ckpt_try_recv(rank_.world(), bytes, umpi::kAnySource, kTagTargetUpdate)
              .has_value()) {
     ++received_;
-    if (clocks_.merge_target(update.ggid, update.value) && trace_ != nullptr) {
+    bool merged = false;
+    {
+      common::MutexLock lock(seq_mutex_);
+      merged = clocks_.merge_target(update.ggid, update.value);
+    }
+    if (merged && trace_ != nullptr) {
       trace_->record_target_learned(update.ggid, update.value,
                                     rank_.clock().now());
     }
   }
+}
+
+bool CcManager::targets_met_now() const {
+  common::MutexLock lock(seq_mutex_);
+  return clocks_.targets_met();
 }
 
 void CcManager::report(bool parked, const char* site) {
@@ -82,7 +99,7 @@ void CcManager::report(bool parked, const char* site) {
   if (entry_comm_ != nullptr) {
     status.has_next = true;
     status.next_ggid = ggid_of(*entry_comm_);
-    std::lock_guard lock(seq_mutex_);
+    common::MutexLock lock(seq_mutex_);
     status.next_seq = clocks_.seq(status.next_ggid) + 1;
   }
   coordinator_.report_cc(rank_.world_rank(), status);
@@ -92,7 +109,7 @@ void CcManager::advance_clock(const umpi::CommPtr& comm) {
   const Ggid ggid = ggid_of(comm);
   std::uint64_t seq = 0;
   {
-    std::lock_guard lock(seq_mutex_);
+    common::MutexLock lock(seq_mutex_);
     clocks_.note_group(ggid);
     seq = clocks_.increment(ggid);
   }
@@ -103,7 +120,12 @@ void CcManager::advance_clock(const umpi::CommPtr& comm) {
   if (coordinator_.ckpt_pending()) {
     ensure_request_seen();
     refresh_targets();
-    if (clocks_.raise_target_to_seq(ggid)) {
+    bool raised = false;
+    {
+      common::MutexLock lock(seq_mutex_);
+      raised = clocks_.raise_target_to_seq(ggid);
+    }
+    if (raised) {
       if (trace_ != nullptr) {
         trace_->record_target_raised(ggid, seq, rank_.clock().now());
       }
@@ -181,7 +203,7 @@ void CcManager::wait_for_new_targets(const umpi::CommPtr* entry_comm) {
     const auto token = rank_.store().token();
     ensure_request_seen();
     refresh_targets();
-    if (!clocks_.targets_met()) {
+    if (!targets_met_now()) {
       // Condition A': some group still below target — keep executing.
       entry_comm_ = nullptr;
       report(false, "entry");
@@ -221,7 +243,7 @@ void CcManager::blocked_step(const std::function<bool()>& done,
   // kDrain.
   ensure_request_seen();
   refresh_targets();
-  if (!clocks_.targets_met()) {
+  if (!targets_met_now()) {
     // Condition A': this rank still owes collective work; it stays an
     // *executing* (unparked) rank even while blocked here — the message it
     // waits for comes from a peer that sends before parking.
@@ -301,7 +323,7 @@ void CcManager::at_finalize() {
     if (phase == ckpt::CkptPhase::kDrain) {
       ensure_request_seen();
       refresh_targets();
-      if (!clocks_.targets_met()) {
+      if (!targets_met_now()) {
         throw CheckpointError(
             "finalized rank has unmet collective targets — the application "
             "completed with unbalanced collective calls");
@@ -340,7 +362,10 @@ void CcManager::pre_write() {
 }
 
 void CcManager::post_cycle() {
-  clocks_.clear_targets();
+  {
+    common::MutexLock lock(seq_mutex_);
+    clocks_.clear_targets();
+  }
   sent_ = 0;
   received_ = 0;
   seen_version_ = 0;
@@ -348,17 +373,17 @@ void CcManager::post_cycle() {
 }
 
 void CcManager::post_initial_state(int world_rank) {
-  std::lock_guard lock(seq_mutex_);
+  common::MutexLock lock(seq_mutex_);
   coordinator_.post_seq(world_rank, clocks_.seq_map());
 }
 
 void CcManager::serialize(BinaryWriter& w) const {
-  std::lock_guard lock(seq_mutex_);
+  common::MutexLock lock(seq_mutex_);
   w.write_u64_map(clocks_.seq_map());
 }
 
 void CcManager::restore(BinaryReader& r) {
-  std::lock_guard lock(seq_mutex_);
+  common::MutexLock lock(seq_mutex_);
   clocks_.restore_seq(r.read_u64_map());
 }
 

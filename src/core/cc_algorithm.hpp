@@ -17,9 +17,10 @@
 // Test loop before the image is written.
 #pragma once
 
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/protocol_base.hpp"
 #include "core/seq_tracker.hpp"
 
@@ -54,7 +55,13 @@ class CcManager final : public ProtocolManagerBase {
   /// checkpoint-thread analogue; see DrainManager::post_initial_state).
   void post_initial_state(int world_rank) override;
 
-  [[nodiscard]] const SeqTracker& clocks() const noexcept { return clocks_; }
+  /// Post-run inspection hook for tests: callers read the tracker after
+  /// Runtime::run has joined every rank, when no writer exists any more —
+  /// the analysis cannot see that the program is single-threaded again.
+  [[nodiscard]] const SeqTracker& clocks() const noexcept
+      MANATEE_NO_THREAD_SAFETY_ANALYSIS {
+    return clocks_;
+  }
   [[nodiscard]] std::size_t pending_nbc_count() const noexcept {
     return pending_nbc_.size();
   }
@@ -71,6 +78,9 @@ class CcManager final : public ProtocolManagerBase {
   void ensure_request_seen();
   /// Drain coordinator table + peer updates into local TARGETs.
   void refresh_targets();
+  /// Condition A' test under the SEQ lock (the rank thread races the
+  /// requesting thread's post_initial_state snapshot).
+  [[nodiscard]] bool targets_met_now() const MANATEE_EXCLUDES(seq_mutex_);
   /// Report drain status to the coordinator; `site` labels the wrapper
   /// site for the trace's park/unpark edges.
   void report(bool parked, const char* site = "?");
@@ -80,9 +90,10 @@ class CcManager final : public ProtocolManagerBase {
   /// Guards mutations and snapshots of the SEQ table: the table is written
   /// by the rank thread (wrapper increments) and read out-of-band by the
   /// requesting thread at checkpoint time. Uncontended in steady state —
-  /// this lock is part of the modeled CC wrapper cost.
-  mutable std::mutex seq_mutex_;
-  SeqTracker clocks_;
+  /// this lock is part of the modeled CC wrapper cost. Lock level 90: may
+  /// be held across coordinator_.post_seq (level 80).
+  mutable common::Mutex seq_mutex_;
+  SeqTracker clocks_ MANATEE_GUARDED_BY(seq_mutex_);
   std::vector<umpi::Request> pending_nbc_;
 
   // per-cycle drain state

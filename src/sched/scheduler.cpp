@@ -135,10 +135,22 @@ SchedStats FiberBackend::run() {
 
   SchedStats stats;
   stats.workers = workers;
-  stats.stacks_mapped = stacks_.mapped();
-  stats.stacks_reused = stacks_.reused();
-  stats.dispatches = dispatches_;
+  {
+    common::MutexLock lock(mutex_);  // workers joined; lock kept for the analysis
+    stats.stacks_mapped = stacks_.mapped();
+    stats.stacks_reused = stacks_.reused();
+    stats.dispatches = dispatches_;
+  }
   return stats;
+}
+
+void FiberBackend::wait_for_work_locked(std::chrono::milliseconds period) {
+  // Bridge the annotated mutex into the CV wait: adopt the already-held
+  // lock, wait (releasing and re-acquiring it), then release the
+  // std::unique_lock's claim so ownership stays with the caller.
+  std::unique_lock<std::mutex> cv_lock(mutex_.native(), std::adopt_lock);  // manatee-lint: allow(raw-mutex, raw-mutex-guard, native-handle) — CV bridge over the annotated mutex
+  work_cv_.wait_for(cv_lock, period);
+  cv_lock.release();
 }
 
 void FiberBackend::worker_loop(Worker& worker) {
@@ -147,13 +159,13 @@ void FiberBackend::worker_loop(Worker& worker) {
   Worker* const prev_worker = t_worker;
   t_worker = &worker;
 
-  std::unique_lock lock(mutex_);
+  mutex_.lock();  // manatee-lint: allow(bare-lock) — ownership spans the dispatch suspension points below
   while (live_ > 0) {
     if (ready_.empty()) {
       // All live fibers are parked or running elsewhere. Sleep with a
       // bounded period so the watchdog deadlines of parked fibers are
       // still enforced (distributed deadlock must stay loud).
-      work_cv_.wait_for(lock, kIdleScanPeriod);
+      wait_for_work_locked(kIdleScanPeriod);
       expire_timeouts_locked();
       continue;
     }
@@ -165,13 +177,13 @@ void FiberBackend::worker_loop(Worker& worker) {
       fiber->started = true;
     }
     ++dispatches_;
-    lock.unlock();
+    mutex_.unlock();  // manatee-lint: allow(bare-lock) — dropped around the dispatch (fiber code must not run under the backend lock)
     dispatch(worker, fiber);
-    lock.lock();
+    mutex_.lock();  // manatee-lint: allow(bare-lock) — re-taken after the fiber yields the worker back
     process_pending_locked(worker);
   }
   work_cv_.notify_all();  // final fiber done: release the other workers
-  lock.unlock();
+  mutex_.unlock();  // manatee-lint: allow(bare-lock) — closes the worker_loop ownership span opened above
 
   t_worker = prev_worker;
   detail::destroy_thread_context(&worker.ctx);
@@ -253,7 +265,7 @@ void FiberBackend::unlink_parked_locked(Waiter& waiter) {
 void FiberBackend::prepare_park(
     Waiter& waiter, Fiber* fiber,
     std::chrono::steady_clock::time_point deadline) {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   waiter.fiber_ = fiber;
   waiter.deadline_ = deadline;
   waiter.timed_out_ = false;
@@ -268,7 +280,7 @@ void FiberBackend::suspend_current(Waiter* waiter) {
 }
 
 void FiberBackend::notify_waiter(Waiter& waiter) {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   switch (waiter.state_) {
     case ParkState::kParked:
       unlink_parked_locked(waiter);
@@ -316,20 +328,28 @@ void fiber_entry(Fiber* fiber) { fiber->backend->fiber_main(fiber); }
 
 // ---- Waiter -----------------------------------------------------------------
 
-bool Waiter::park_until(std::unique_lock<std::mutex>& lock,
+bool Waiter::park_until(common::Mutex& mu,
                         std::chrono::steady_clock::time_point deadline) {
   Fiber* fiber = current_fiber();
   if (fiber == nullptr) {
     // Thread backend (and any non-scheduler thread): the classic CV path.
-    return cv_.wait_until(lock, deadline) != std::cv_status::timeout;
+    // Adopt the held interest mutex for the wait, then release the claim —
+    // ownership stays with the caller either way.
+    std::unique_lock<std::mutex> cv_lock(mu.native(), std::adopt_lock);  // manatee-lint: allow(raw-mutex, raw-mutex-guard, native-handle) — CV bridge over the annotated interest mutex
+    const auto status = cv_.wait_until(cv_lock, deadline);
+    cv_lock.release();
+    return status != std::cv_status::timeout;
   }
   FiberBackend* backend = fiber->backend;
-  fiber_mode_ = true;  // guarded by `lock`, like notify()'s read
+  fiber_mode_ = true;  // guarded by `mu`, like notify()'s read
   backend->prepare_park(*this, fiber, deadline);
-  lock.unlock();
+  mu.unlock();  // manatee-lint: allow(bare-lock) — the park suspends this fiber; the interest mutex must not travel into the scheduler
   backend->suspend_current(this);
-  lock.lock();
+  mu.lock();  // manatee-lint: allow(bare-lock) — the fiber resumed; re-take the interest mutex for the caller
   fiber_mode_ = false;
+  // timed_out_ was written by the expiring worker under the scheduler
+  // mutex before this fiber was re-enqueued; the dispatch that resumed us
+  // orders that write before this read.
   return !timed_out_;
 }
 

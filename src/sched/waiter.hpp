@@ -38,6 +38,8 @@
 #include <cstdint>
 #include <mutex>
 
+#include "common/mutex.hpp"
+
 namespace manatee::sched {
 
 class FiberBackend;
@@ -51,12 +53,14 @@ class Waiter {
   Waiter(const Waiter&) = delete;
   Waiter& operator=(const Waiter&) = delete;
 
-  /// Block until notify() or `deadline`. `lock` is released while blocked
-  /// and re-held on return. Returns false only when the deadline expired
-  /// before a wakeup (spurious wakeups return true; callers loop on their
-  /// predicate either way).
-  bool park_until(std::unique_lock<std::mutex>& lock,
-                  std::chrono::steady_clock::time_point deadline);
+  /// Block until notify() or `deadline`. `mu` — the caller's interest
+  /// mutex, held on entry — is released while blocked and re-held on
+  /// return. Returns false only when the deadline expired before a wakeup
+  /// (spurious wakeups return true; callers loop on their predicate either
+  /// way).
+  bool park_until(common::Mutex& mu,
+                  std::chrono::steady_clock::time_point deadline)
+      MANATEE_REQUIRES(mu);
 
   /// Wake the parked context (caller holds the same mutex `park_until` was
   /// entered with). No-op when nobody is parked.
@@ -65,7 +69,9 @@ class Waiter {
  private:
   friend class FiberBackend;
 
-  std::condition_variable cv_;  ///< thread path
+  // Thread path. The Waiter abstraction is exactly why this CV may exist:
+  // every other park site in the runtime must come here instead.
+  std::condition_variable cv_;  // manatee-lint: allow(raw-condvar) — Waiter IS the one sanctioned CV park site
 
   // Fiber path. `fiber_mode_` is guarded by the caller's interest mutex
   // (held across both park_until entry and notify); everything else is

@@ -61,6 +61,11 @@ class Fabric {
   [[nodiscard]] std::uint64_t total_messages() const;
 
  private:
+  // Concurrency contract (DESIGN.md §9): the Fabric itself holds no lock.
+  // Every member below is written once in the constructor and immutable
+  // afterwards; all mutable state lives behind each MessageStore's own
+  // mutex (level 60) or the pool's per-class mutexes (level 30), so a
+  // send() is exactly one store lock plus at most one pool-class lock.
   Topology topology_;
   CostModel cost_;
   BufferPool pool_;  ///< declared before stores_: destroyed after them

@@ -168,8 +168,7 @@ std::string MessageStore::wait_diagnostics_locked(const char* what) const {
          ", unexpected=" + std::to_string(unexpected_count_) + ")";
 }
 
-void MessageStore::wait_on_locked(std::unique_lock<std::mutex>& lock,
-                                  Waiter& waiter,
+void MessageStore::wait_on_locked(Waiter& waiter,
                                   common::FunctionRef<bool()> pred,
                                   const char* what) {
   if (pred()) return;
@@ -180,7 +179,7 @@ void MessageStore::wait_on_locked(std::unique_lock<std::mutex>& lock,
     while (!pred()) {
       // park_until blocks on a CV (thread ranks) or suspends the calling
       // fiber (fiber ranks); false means the watchdog deadline passed.
-      if (!waiter.parker.park_until(lock, deadline) && !pred()) {
+      if (!waiter.parker.park_until(mutex_, deadline) && !pred()) {
         throw RuntimeFault(wait_diagnostics_locked(what));
       }
     }
@@ -232,7 +231,7 @@ void MessageStore::deliver_locked(ContextId context, int src, int tag,
 void MessageStore::deliver(Envelope&& env, TrafficClass traffic) {
   MANATEE_REQUIRE(env.src != kAnySource,
                   "delivered messages need a concrete source rank");
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   deliver_locked(env.context, env.src, env.tag, env.arrival_ns, env.payload,
                  traffic, &env);
 }
@@ -243,7 +242,7 @@ void MessageStore::deliver_bytes(ContextId context, int src, int tag,
                                  TrafficClass traffic) {
   MANATEE_REQUIRE(src != kAnySource,
                   "delivered messages need a concrete source rank");
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   deliver_locked(context, src, tag, arrival_ns, payload, traffic, nullptr);
 }
 
@@ -265,7 +264,7 @@ bool MessageStore::try_complete_from_unexpected_locked(
 void MessageStore::post_recv(const MatchPattern& pattern, std::byte* dest,
                              std::size_t capacity, RecvResult* result) {
   MANATEE_REQUIRE(result != nullptr, "post_recv requires a result record");
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (try_complete_from_unexpected_locked(pattern, dest, capacity, result)) {
     return;
   }
@@ -280,7 +279,7 @@ void MessageStore::post_recv(const MatchPattern& pattern, std::byte* dest,
 }
 
 bool MessageStore::cancel_recv(const RecvResult* result) {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   auto scan = [&](std::vector<Posted>& list) {
     for (std::size_t i = 0; i < list.size(); ++i) {
       if (list[i].result == result) {
@@ -301,7 +300,7 @@ bool MessageStore::cancel_recv(const RecvResult* result) {
 }
 
 std::optional<ProbeInfo> MessageStore::iprobe(const MatchPattern& pattern) {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   Bin* bin = nullptr;
   std::size_t idx = 0;
   if (!find_unexpected(pattern, &bin, &idx)) return std::nullopt;
@@ -313,39 +312,38 @@ bool MessageStore::try_recv_unexpected(const MatchPattern& pattern,
                                        std::byte* dest, std::size_t capacity,
                                        RecvResult* result) {
   MANATEE_REQUIRE(result != nullptr, "try_recv_unexpected requires a result");
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   return try_complete_from_unexpected_locked(pattern, dest, capacity, result);
 }
 
 // ---- blocking primitives ----------------------------------------------------
 
 void MessageStore::wait(common::FunctionRef<bool()> pred) {
-  std::unique_lock lock(mutex_);
+  common::MutexLock lock(mutex_);
   Waiter waiter;
-  wait_on_locked(lock, waiter, pred, "wait");
+  wait_on_locked(waiter, pred, "wait");
 }
 
 void MessageStore::wait_recv(const RecvResult& result,
                              common::FunctionRef<bool()> interrupt) {
-  std::unique_lock lock(mutex_);
+  common::MutexLock lock(mutex_);
   Waiter waiter;
   waiter.want = Waiter::Want::kResult;
   waiter.result = &result;
-  wait_on_locked(
-      lock, waiter, [&] { return result.is_done() || interrupt(); },
+  wait_on_locked(waiter, [&] { return result.is_done() || interrupt(); },
       "wait_recv");
 }
 
 std::optional<ProbeInfo> MessageStore::wait_probe(
     const MatchPattern& pattern, common::FunctionRef<bool()> interrupt) {
-  std::unique_lock lock(mutex_);
+  common::MutexLock lock(mutex_);
   Waiter waiter;
   waiter.want = Waiter::Want::kProbe;
   waiter.pattern = &pattern;
   std::optional<ProbeInfo> found;
-  wait_on_locked(
-      lock, waiter,
+  wait_on_locked(waiter,
       [&] {
+        mutex_.assert_held();  // preds run under the store lock
         Bin* bin = nullptr;
         std::size_t idx = 0;
         if (find_unexpected(pattern, &bin, &idx)) {
@@ -361,27 +359,27 @@ std::optional<ProbeInfo> MessageStore::wait_probe(
 }
 
 void MessageStore::notify() {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   wake_all_locked();
   ++generation_;
 }
 
 void MessageStore::with_delivery_lock(common::FunctionRef<void()> fn) {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   fn();
 }
 
 MessageStore::WakeToken MessageStore::token() const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   return WakeToken{delivered_messages_, generation_};
 }
 
 void MessageStore::wait_changed(const WakeToken& since) {
-  std::unique_lock lock(mutex_);
+  common::MutexLock lock(mutex_);
   Waiter waiter;
-  wait_on_locked(
-      lock, waiter,
+  wait_on_locked(waiter,
       [&] {
+        mutex_.assert_held();  // preds run under the store lock
         return delivered_messages_ != since.deliveries ||
                generation_ != since.generation;
       },
@@ -392,7 +390,7 @@ void MessageStore::wait_changed(const WakeToken& since) {
 
 std::vector<CapturedEnvelope> MessageStore::snapshot_unexpected(
     common::FunctionRef<bool(const Envelope&)> keep) const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::vector<CapturedEnvelope> out;
   for (const auto& [context, cb] : contexts_) {
     for (const auto& [src, bin] : cb.by_src) {
@@ -420,7 +418,7 @@ std::vector<CapturedEnvelope> MessageStore::snapshot_unexpected(
 
 std::size_t MessageStore::count_unexpected(
     common::FunctionRef<bool(const Envelope&)> keep) const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::size_t n = 0;
   for (const auto& [context, cb] : contexts_) {
     for (const auto& [src, bin] : cb.by_src) {
@@ -433,7 +431,7 @@ std::size_t MessageStore::count_unexpected(
 }
 
 void MessageStore::inject(std::vector<CapturedEnvelope> messages) {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   // Injected messages were in flight at the checkpoint cut, so they are
   // causally OLDER than anything the fresh runtime has delivered: a peer
   // may already be replaying and its post-cut sends may have arrived before
@@ -476,22 +474,22 @@ void MessageStore::inject(std::vector<CapturedEnvelope> messages) {
 // ---- stats ------------------------------------------------------------------
 
 std::uint64_t MessageStore::delivered_messages() const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   return delivered_messages_;
 }
 
 std::uint64_t MessageStore::delivered_bytes() const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   return delivered_bytes_;
 }
 
 TrafficCounters MessageStore::traffic(TrafficClass traffic) const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   return traffic_[static_cast<std::size_t>(traffic)];
 }
 
 std::uint64_t MessageStore::eager_completions() const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   return eager_completions_;
 }
 

@@ -36,7 +36,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -44,6 +43,7 @@
 
 #include "common/error.hpp"
 #include "common/function_ref.hpp"
+#include "common/mutex.hpp"
 #include "sched/waiter.hpp"
 #include "simnet/message.hpp"
 
@@ -277,55 +277,71 @@ class MessageStore {
                               SimTime arrival_ns,
                               std::span<const std::byte> payload);
 
-  [[nodiscard]] ContextBins* find_context(ContextId context);
-  [[nodiscard]] ContextBins& context_for(ContextId context);
-  [[nodiscard]] Bin& bin_for(ContextId context, int src);
+  [[nodiscard]] ContextBins* find_context(ContextId context)
+      MANATEE_REQUIRES(mutex_);
+  [[nodiscard]] ContextBins& context_for(ContextId context)
+      MANATEE_REQUIRES(mutex_);
+  [[nodiscard]] Bin& bin_for(ContextId context, int src)
+      MANATEE_REQUIRES(mutex_);
   /// Shared delivery body (deliver / deliver_bytes). `staged` is the
   /// caller's pre-built envelope to enqueue on an unexpected miss (null:
-  /// materialize one from the pool). Caller holds mutex_.
+  /// materialize one from the pool).
   void deliver_locked(ContextId context, int src, int tag, SimTime arrival_ns,
                       std::span<const std::byte> payload, TrafficClass traffic,
-                      Envelope* staged);
+                      Envelope* staged) MANATEE_REQUIRES(mutex_);
   /// Pops the matching posted receive with the lowest post_seq (bin +
   /// wildcard merged), if any.
-  bool pop_matching_posted(ContextId context, int src, int tag, Posted* out);
+  bool pop_matching_posted(ContextId context, int src, int tag, Posted* out)
+      MANATEE_REQUIRES(mutex_);
   /// First unexpected envelope matching `pattern` across bins (lowest seq);
   /// returns bin + index, or false.
   bool find_unexpected(const MatchPattern& pattern, Bin** bin_out,
-                       std::size_t* index_out);
+                       std::size_t* index_out) MANATEE_REQUIRES(mutex_);
   /// Pops the first matching unexpected envelope into `dest`, completing
   /// `result` (the shared body of post_recv's eager match and
-  /// try_recv_unexpected). Caller holds mutex_.
+  /// try_recv_unexpected).
   bool try_complete_from_unexpected_locked(const MatchPattern& pattern,
                                            std::byte* dest,
                                            std::size_t capacity,
-                                           RecvResult* result);
+                                           RecvResult* result)
+      MANATEE_REQUIRES(mutex_);
 
-  void wake_all_locked();
-  void wake_for_result_locked(const RecvResult* result);
-  void wake_for_unexpected_locked(const Envelope& env);
+  void wake_all_locked() MANATEE_REQUIRES(mutex_);
+  void wake_for_result_locked(const RecvResult* result)
+      MANATEE_REQUIRES(mutex_);
+  void wake_for_unexpected_locked(const Envelope& env)
+      MANATEE_REQUIRES(mutex_);
   /// Registers `waiter`, blocks until pred() holds (watchdog-guarded),
-  /// deregisters. Must be entered with `lock` held.
-  void wait_on_locked(std::unique_lock<std::mutex>& lock, Waiter& waiter,
-                      common::FunctionRef<bool()> pred, const char* what);
-  [[nodiscard]] std::string wait_diagnostics_locked(const char* what) const;
+  /// deregisters. mutex_ is released while parked and re-held on return.
+  void wait_on_locked(Waiter& waiter, common::FunctionRef<bool()> pred,
+                      const char* what) MANATEE_REQUIRES(mutex_);
+  [[nodiscard]] std::string wait_diagnostics_locked(const char* what) const
+      MANATEE_REQUIRES(mutex_);
 
-  BufferPool* pool_;
-  mutable std::mutex mutex_;
-  std::unordered_map<ContextId, ContextBins> contexts_;
-  ContextId cached_context_id_ = 0;
-  ContextBins* cached_context_ = nullptr;  ///< one-entry context cache
-  std::vector<Waiter*> waiters_;
-  std::size_t posted_count_ = 0;
-  std::size_t unexpected_count_ = 0;
-  std::uint64_t next_post_seq_ = 0;
-  std::int64_t next_seq_ = 0;        ///< arrival order, counts up
-  std::int64_t next_front_seq_ = -1; ///< restart injection, counts down
-  std::uint64_t eager_completions_ = 0;
-  TrafficCounters traffic_[kTrafficClassCount];
-  std::uint64_t delivered_messages_ = 0;
-  std::uint64_t delivered_bytes_ = 0;
-  std::uint64_t generation_ = 0;
+  BufferPool* pool_;  ///< set once at construction, immutable afterwards
+  // The store's interest mutex (lock level 60 in scripts/lock_order.json):
+  // guards the two-queue matching structure, the waiter list, and every
+  // counter. Park/notify go through sched::Waiter while it is held; pool
+  // blocks for unexpected payloads are acquired under it (level 30).
+  mutable common::Mutex mutex_;
+  std::unordered_map<ContextId, ContextBins> contexts_
+      MANATEE_GUARDED_BY(mutex_);
+  ContextId cached_context_id_ MANATEE_GUARDED_BY(mutex_) = 0;
+  /// One-entry context cache (nodes are address-stable).
+  ContextBins* cached_context_ MANATEE_GUARDED_BY(mutex_) = nullptr;
+  std::vector<Waiter*> waiters_ MANATEE_GUARDED_BY(mutex_);
+  std::size_t posted_count_ MANATEE_GUARDED_BY(mutex_) = 0;
+  std::size_t unexpected_count_ MANATEE_GUARDED_BY(mutex_) = 0;
+  std::uint64_t next_post_seq_ MANATEE_GUARDED_BY(mutex_) = 0;
+  /// Arrival order, counts up.
+  std::int64_t next_seq_ MANATEE_GUARDED_BY(mutex_) = 0;
+  /// Restart injection, counts down.
+  std::int64_t next_front_seq_ MANATEE_GUARDED_BY(mutex_) = -1;
+  std::uint64_t eager_completions_ MANATEE_GUARDED_BY(mutex_) = 0;
+  TrafficCounters traffic_[kTrafficClassCount] MANATEE_GUARDED_BY(mutex_);
+  std::uint64_t delivered_messages_ MANATEE_GUARDED_BY(mutex_) = 0;
+  std::uint64_t delivered_bytes_ MANATEE_GUARDED_BY(mutex_) = 0;
+  std::uint64_t generation_ MANATEE_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace manatee::simnet

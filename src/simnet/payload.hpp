@@ -19,9 +19,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
-#include <mutex>
 #include <span>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace manatee::simnet {
 
@@ -59,7 +61,7 @@ class BufferPool {
     *capacity_out = cap;
     Class& cls = classes_[static_cast<std::size_t>(idx)];
     {
-      std::lock_guard lock(cls.mutex);
+      common::MutexLock lock(cls.mutex);
       if (!cls.free.empty()) {
         std::byte* block = cls.free.back();
         cls.free.pop_back();
@@ -78,7 +80,7 @@ class BufferPool {
     }
     Class& cls = classes_[static_cast<std::size_t>(class_of(capacity))];
     {
-      std::lock_guard lock(cls.mutex);
+      common::MutexLock lock(cls.mutex);
       if (cls.free.size() < kMaxFreePerClass) {
         cls.free.push_back(block);
         return;
@@ -110,8 +112,8 @@ class BufferPool {
   }
 
   struct Class {
-    std::mutex mutex;
-    std::vector<std::byte*> free;
+    common::Mutex mutex;  // lock level 30 (leaf under the store mutex)
+    std::vector<std::byte*> free MANATEE_GUARDED_BY(mutex);
   };
   std::array<Class, static_cast<std::size_t>(kClassCount)> classes_;
   std::atomic<std::uint64_t> hits_{0};

@@ -1,9 +1,8 @@
 #include "umpi/runtime.hpp"
 
-#include <mutex>
-
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "common/mutex.hpp"
 
 namespace manatee::umpi {
 
@@ -31,7 +30,7 @@ void Runtime::run(const AppFn& app) {
   MANATEE_REQUIRE(!ran_, "Runtime::run may be called once per Runtime");
   ran_ = true;
 
-  std::mutex error_mutex;
+  common::Mutex error_mutex;  // lock level 20: leaf, only on the abort path
   std::exception_ptr first_error;
 
   // One task per rank, executed by the configured scheduler backend — OS
@@ -45,7 +44,7 @@ void Runtime::run(const AppFn& app) {
           app(r);
         } catch (...) {
           {
-            std::lock_guard lock(error_mutex);
+            common::MutexLock lock(error_mutex);
             if (!first_error) first_error = std::current_exception();
           }
           aborted_.store(true, std::memory_order_release);

@@ -4,13 +4,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "common/mutex.hpp"
 #include "sched/fiber.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/waiter.hpp"
@@ -138,19 +138,19 @@ TEST(SchedBackend, FiberLocalLogLabels) {
 }
 
 TEST(Waiter, ThreadModeParkAndNotify) {
-  std::mutex m;
+  common::Mutex m;
   Waiter w;
   bool ready = false;
   bool woke = false;
   std::thread t([&] {
-    std::unique_lock lock(m);
+    common::MutexLock lock(m);
     while (!ready) {
-      ASSERT_TRUE(w.park_until(lock, std::chrono::steady_clock::now() + 5s));
+      ASSERT_TRUE(w.park_until(m, std::chrono::steady_clock::now() + 5s));
     }
     woke = true;
   });
   {
-    std::unique_lock lock(m);
+    common::MutexLock lock(m);
     ready = true;
     w.notify();
   }
@@ -159,26 +159,26 @@ TEST(Waiter, ThreadModeParkAndNotify) {
 }
 
 TEST(Waiter, ThreadModeTimeout) {
-  std::mutex m;
+  common::Mutex m;
   Waiter w;
-  std::unique_lock lock(m);
-  EXPECT_FALSE(w.park_until(lock, std::chrono::steady_clock::now() + 10ms));
+  common::MutexLock lock(m);
+  EXPECT_FALSE(w.park_until(m, std::chrono::steady_clock::now() + 10ms));
 }
 
 TEST(Waiter, FiberParkAndNotify) {
-  std::mutex m;
+  common::Mutex m;
   Waiter w;
   bool ready = false;
   bool woke = false;
   run_tasks(fibers(1), 2, [&](int i) {
     if (i == 0) {
-      std::unique_lock lock(m);
+      common::MutexLock lock(m);
       while (!ready) {
-        ASSERT_TRUE(w.park_until(lock, std::chrono::steady_clock::now() + 5s));
+        ASSERT_TRUE(w.park_until(m, std::chrono::steady_clock::now() + 5s));
       }
       woke = true;
     } else {
-      std::unique_lock lock(m);
+      common::MutexLock lock(m);
       ready = true;
       w.notify();
     }
@@ -191,29 +191,30 @@ TEST(Waiter, NotifyWakesExactlyTheTargetedFiber) {
   // the first fiber to resume must be #2 (wake-one targeting, the mailbox's
   // targeted-wakeup contract).
   constexpr int kWaiters = 4;
-  std::mutex m;
+  common::Mutex m;
   Waiter waiters[kWaiters];
   bool ready[kWaiters] = {};
   std::vector<int> wake_order;
   run_tasks(fibers(1), kWaiters + 1, [&](int i) {
     if (i < kWaiters) {
-      std::unique_lock lock(m);
+      common::MutexLock lock(m);
       while (!ready[i]) {
         ASSERT_TRUE(waiters[i].park_until(
-            lock, std::chrono::steady_clock::now() + 5s));
+            m, std::chrono::steady_clock::now() + 5s));
       }
       wake_order.push_back(i);
     } else {
-      std::unique_lock lock(m);
+      m.lock();
       ready[2] = true;
       waiters[2].notify();
-      lock.unlock();
+      m.unlock();
       yield();  // let #2 run before releasing the rest
-      lock.lock();
+      m.lock();
       for (int k = 0; k < kWaiters; ++k) {
         ready[k] = true;
         waiters[k].notify();
       }
+      m.unlock();
     }
   });
   ASSERT_EQ(wake_order.size(), static_cast<std::size_t>(kWaiters));
@@ -223,11 +224,11 @@ TEST(Waiter, NotifyWakesExactlyTheTargetedFiber) {
 TEST(Waiter, FiberTimeoutExpiresViaIdleScan) {
   const auto start = std::chrono::steady_clock::now();
   run_tasks(fibers(1), 1, [&](int) {
-    std::mutex m;
+    common::Mutex m;
     Waiter w;
-    std::unique_lock lock(m);
+    common::MutexLock lock(m);
     EXPECT_FALSE(
-        w.park_until(lock, std::chrono::steady_clock::now() + 20ms));
+        w.park_until(m, std::chrono::steady_clock::now() + 20ms));
   });
   // The idle worker scans parked deadlines every 100ms; expiry must land
   // within a couple of scan periods, not hang.
@@ -239,15 +240,15 @@ TEST(Waiter, PingPongManyRoundsWithoutLostWakeups) {
   // the mailbox contract) and notifies its peer's. 50 rounds on two
   // workers exercise the notify-while-kParking window; a single lost
   // wakeup deadlocks the test.
-  std::mutex m;
+  common::Mutex m;
   Waiter waiters[2];
   int turn = 0;
   run_tasks(fibers(2), 2, [&](int i) {
     for (int round = 0; round < 50; ++round) {
-      std::unique_lock lock(m);
+      common::MutexLock lock(m);
       while (turn % 2 != i) {
         ASSERT_TRUE(waiters[i].park_until(
-            lock, std::chrono::steady_clock::now() + 5s));
+            m, std::chrono::steady_clock::now() + 5s));
       }
       ++turn;
       waiters[1 - i].notify();

@@ -1,0 +1,42 @@
+// Positive control for the negative-compile family: correctly annotated,
+// correctly locked code MUST build cleanly under -Werror=thread-safety.
+// If this case fails, the toolchain/flag wiring is broken and the
+// WILL_FAIL siblings are passing for the wrong reason.
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace manatee::static_test {
+
+class Counter {
+ public:
+  void add(int delta) {
+    common::MutexLock lock(mu_);
+    value_ += delta;
+  }
+
+  [[nodiscard]] int snapshot() const {
+    common::MutexLock lock(mu_);
+    return value_;
+  }
+
+  void add_locked(int delta) MANATEE_REQUIRES(mu_) { value_ += delta; }
+
+  void add_twice(int delta) {
+    common::MutexLock lock(mu_);
+    add_locked(delta);
+    add_locked(delta);
+  }
+
+ private:
+  mutable common::Mutex mu_;
+  int value_ MANATEE_GUARDED_BY(mu_) = 0;
+};
+
+int drive() {
+  Counter counter;
+  counter.add(1);
+  counter.add_twice(2);
+  return counter.snapshot();
+}
+
+}  // namespace manatee::static_test

@@ -1,0 +1,26 @@
+// Negative-compile case: touching a MANATEE_GUARDED_BY field without its
+// mutex held must FAIL the build under -Werror=thread-safety. Registered
+// with WILL_FAIL in tests/static/CMakeLists.txt — if this file ever
+// compiles, the static gate has stopped gating.
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace manatee::static_test {
+
+class Counter {
+ public:
+  // BAD: reads value_ with mu_ not held — the exact bug class the
+  // annotations exist to catch (cross-thread reads of protected state).
+  [[nodiscard]] int racy_snapshot() const { return value_; }
+
+ private:
+  mutable common::Mutex mu_;
+  int value_ MANATEE_GUARDED_BY(mu_) = 0;
+};
+
+int drive() {
+  Counter counter;
+  return counter.racy_snapshot();
+}
+
+}  // namespace manatee::static_test

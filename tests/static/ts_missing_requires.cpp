@@ -1,0 +1,27 @@
+// Negative-compile case: calling a MANATEE_REQUIRES(mu_) method without
+// holding mu_ must FAIL the build under -Werror=thread-safety. Registered
+// with WILL_FAIL in tests/static/CMakeLists.txt.
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace manatee::static_test {
+
+class Counter {
+ public:
+  void add_locked(int delta) MANATEE_REQUIRES(mu_) { value_ += delta; }
+
+  // BAD: forwards to a *_locked helper without taking the lock first —
+  // the mistake the `_locked` suffix convention is designed to surface.
+  void add(int delta) { add_locked(delta); }
+
+ private:
+  mutable common::Mutex mu_;
+  int value_ MANATEE_GUARDED_BY(mu_) = 0;
+};
+
+void drive() {
+  Counter counter;
+  counter.add(1);
+}
+
+}  // namespace manatee::static_test
