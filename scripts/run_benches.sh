@@ -5,7 +5,10 @@
 # their JSON output into one report (default: BENCH_3.json in the repo root).
 # The scheduler world-scaling sweep (threads vs fibers) is written separately
 # to BENCH_6.json and self-gates: fibers must beat threads on wall time at
-# every world size >= 256 ranks.
+# every world size >= 256 ranks. The checkpoint-pipeline sweep (sync-full vs
+# async-delta) is written to BENCH_8.json and self-gates on virtual-time
+# ratios: async-delta stall <= 0.5x sync-full at world >= 64, and delta
+# bytes-per-generation below full everywhere.
 # With --check <committed.json> it additionally fails (exit 1) when the fresh
 # measurement regresses the committed reference by more than the tolerance
 # (default 20%) on the gated wall-clock call rates, or when the eager
@@ -13,14 +16,15 @@
 #
 # Usage:
 #   scripts/run_benches.sh [--build-dir DIR] [--out FILE] [--out-scaling FILE]
-#                          [--label NAME] [--check FILE] [--tolerance PCT]
-#                          [--quick]
+#                          [--out-ckpt FILE] [--label NAME] [--check FILE]
+#                          [--tolerance PCT] [--quick]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=build-release
 OUT=BENCH_3.json
 OUT_SCALING=BENCH_6.json
+OUT_CKPT=BENCH_8.json
 LABEL=current
 CHECK=""
 TOLERANCE="${MANATEE_BENCH_TOLERANCE:-20}"
@@ -31,6 +35,7 @@ while [[ $# -gt 0 ]]; do
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
     --out) OUT="$2"; shift 2 ;;
     --out-scaling) OUT_SCALING="$2"; shift 2 ;;
+    --out-ckpt) OUT_CKPT="$2"; shift 2 ;;
     --label) LABEL="$2"; shift 2 ;;
     --check) CHECK="$2"; shift 2 ;;
     --tolerance) TOLERANCE="$2"; shift 2 ;;
@@ -40,7 +45,7 @@ while [[ $# -gt 0 ]]; do
 done
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-TARGETS=(bench_table1_call_rates bench_p2p_rate bench_world_scaling)
+TARGETS=(bench_table1_call_rates bench_p2p_rate bench_world_scaling bench_fig9_ckpt_restart)
 if grep -q "GOOGLE_BENCHMARK_LIB:FILEPATH=.*benchmark" "$BUILD_DIR/CMakeCache.txt" 2>/dev/null; then
   TARGETS+=(bench_micro_components)
 fi
@@ -65,6 +70,11 @@ fi
 # --check is the scheduler gate: fibers beat threads at every world >= 256.
 "$BUILD_DIR/bench_world_scaling" "${SCALING_ARGS[@]}" --json "$OUT_SCALING" --check
 echo "wrote $OUT_SCALING"
+# --check is the pipeline gate: async-delta stall <= 0.5x sync-full at
+# world >= 64 and delta bytes/gen < full bytes/gen (virtual-time ratios, so
+# no machine-dependent tolerance is needed).
+"$BUILD_DIR/bench_fig9_ckpt_restart" --json "$OUT_CKPT" --check
+echo "wrote $OUT_CKPT"
 "$BUILD_DIR/bench_p2p_rate" "${P2P_ARGS[@]}" --json "$TMP/p2p.json"
 if [[ -x "$BUILD_DIR/bench_micro_components" ]]; then
   "$BUILD_DIR/bench_micro_components" \

@@ -1,9 +1,13 @@
 #include "ckpt/generation.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <charconv>
 #include <cstdio>
 #include <filesystem>
+#include <set>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
@@ -12,9 +16,117 @@ namespace manatee::ckpt {
 
 namespace fs = std::filesystem;
 
+common::Mutex GenerationStore::mutex_;
+
 namespace {
+
 constexpr const char* kPrefix = "gen_";
+constexpr const char* kNodePrefix = "node_";
+/// Hard bound on delta-chain hops while resolving a rank image — a chain
+/// longer than this means the full-every-K policy broke or the linkage is
+/// corrupt; either way restart should fall back, not loop.
+constexpr int kMaxChainHops = 64;
+
+void set_why(std::string* why, std::uint64_t gen, int rank,
+             const std::string& what) {
+  if (why != nullptr) {
+    *why = "generation " + std::to_string(gen) + " rank " +
+           std::to_string(rank) + ": " + what;
+  }
 }
+
+/// Ordered restore candidates: flat primary, node primaries, partner
+/// replicas. Only files that exist; validation happens on read.
+std::vector<std::string> candidates_for(const std::string& root,
+                                        std::uint64_t gen, int rank) {
+  const std::string dir = GenerationStore::dir_for(root, gen);
+  const std::string leaf = "ckpt_rank_" + std::to_string(rank) + ".img";
+  std::vector<std::string> out;
+  std::error_code ec;
+  if (fs::is_regular_file(dir + "/" + leaf, ec)) out.push_back(dir + "/" + leaf);
+  std::vector<std::string> nodes;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_directory() &&
+        entry.path().filename().string().starts_with(kNodePrefix)) {
+      nodes.push_back(entry.path().string());
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+  for (const auto& node : nodes) {
+    if (fs::is_regular_file(node + "/" + leaf, ec)) {
+      out.push_back(node + "/" + leaf);
+    }
+  }
+  for (const auto& node : nodes) {
+    if (fs::is_regular_file(node + "/replica/" + leaf, ec)) {
+      out.push_back(node + "/replica/" + leaf);
+    }
+  }
+  return out;
+}
+
+/// Parse the first candidate that reads cleanly (primary, then replica —
+/// this is where a corrupted primary falls over to the partner copy).
+std::optional<ImageFile> load_rank_file(const std::string& root,
+                                        std::uint64_t gen, int rank,
+                                        std::string* why) {
+  const auto paths = candidates_for(root, gen, rank);
+  if (paths.empty()) {
+    set_why(why, gen, rank, "no image file (primary or replica)");
+    return std::nullopt;
+  }
+  std::string first_error;
+  for (const auto& path : paths) {
+    try {
+      return ImageFile::read_file(path);
+    } catch (const Error& e) {
+      if (first_error.empty()) first_error = e.what();
+    }
+  }
+  set_why(why, gen, rank, first_error);
+  return std::nullopt;
+}
+
+/// Resolve one rank's image at `gen`, absorbing base-chain chunks until the
+/// manifest is fully backed. Links must strictly decrease.
+std::optional<ImageFile> resolve_rank_chain(const std::string& root,
+                                            std::uint64_t gen, int rank,
+                                            std::string* why) {
+  auto file = load_rank_file(root, gen, rank, why);
+  if (!file.has_value()) return std::nullopt;
+  std::uint64_t prev = gen;
+  std::uint64_t link = file->base_gen;
+  for (int hops = 0; !file->missing().empty(); ++hops) {
+    if (hops >= kMaxChainHops || link == 0 || link >= prev) {
+      set_why(why, gen, rank,
+              "unresolvable delta chain (missing chunks, next base " +
+                  std::to_string(link) + " after generation " +
+                  std::to_string(prev) + ")");
+      return std::nullopt;
+    }
+    auto base = load_rank_file(root, link, rank, why);
+    if (!base.has_value()) return std::nullopt;
+    file->absorb(*base);
+    prev = link;
+    link = base->base_gen;
+  }
+  return file;
+}
+
+/// Header of any one image under the generation directory (rank choice is
+/// irrelevant: the writer applies one full/delta policy per generation).
+std::optional<ImageHeader> peek_any_header(const std::string& root,
+                                           std::uint64_t gen) {
+  std::error_code ec;
+  for (const auto& entry : fs::recursive_directory_iterator(
+           GenerationStore::dir_for(root, gen), ec)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".img") continue;
+    if (auto header = peek_image_header(entry.path().string())) return header;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
 
 std::string GenerationStore::dir_for(const std::string& root,
                                      std::uint64_t gen) {
@@ -24,12 +136,18 @@ std::string GenerationStore::dir_for(const std::string& root,
   return root + "/" + buf;
 }
 
+std::string GenerationStore::tmp_dir_for(const std::string& root,
+                                         std::uint64_t gen) {
+  return dir_for(root, gen) + ".tmp";
+}
+
 std::string GenerationStore::image_path(const std::string& root,
                                         std::uint64_t gen, int rank) {
   return CkptImage::path_for(dir_for(root, gen), rank);
 }
 
-std::vector<std::uint64_t> GenerationStore::list(const std::string& root) {
+std::vector<std::uint64_t> GenerationStore::list_locked(
+    const std::string& root) {
   std::vector<std::uint64_t> gens;
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(root, ec)) {
@@ -37,7 +155,9 @@ std::vector<std::uint64_t> GenerationStore::list(const std::string& root) {
     const auto name = entry.path().filename().string();
     if (!name.starts_with(kPrefix)) continue;
     const auto digits = name.substr(std::string(kPrefix).size());
-    // Malformed or overflowing entries are foreign files, not generations.
+    // Malformed or overflowing entries are foreign files, not generations
+    // (this is also what keeps staged `gen_NNNNNN.tmp` directories
+    // invisible until publication).
     std::uint64_t gen = 0;
     const auto [end, ec2] =
         std::from_chars(digits.data(), digits.data() + digits.size(), gen);
@@ -51,16 +171,24 @@ std::vector<std::uint64_t> GenerationStore::list(const std::string& root) {
   return gens;
 }
 
+std::vector<std::uint64_t> GenerationStore::list(const std::string& root) {
+  common::MutexLock lock(mutex_);
+  return list_locked(root);
+}
+
 std::uint64_t GenerationStore::latest(const std::string& root) {
-  const auto gens = list(root);
+  common::MutexLock lock(mutex_);
+  const auto gens = list_locked(root);
   return gens.empty() ? 0 : gens.back();
 }
 
 bool GenerationStore::has_generations(const std::string& root) {
-  return !list(root).empty();
+  common::MutexLock lock(mutex_);
+  return !list_locked(root).empty();
 }
 
 void GenerationStore::create(const std::string& root, std::uint64_t gen) {
+  common::MutexLock lock(mutex_);
   std::error_code ec;
   fs::create_directories(dir_for(root, gen), ec);
   if (ec) {
@@ -69,42 +197,102 @@ void GenerationStore::create(const std::string& root, std::uint64_t gen) {
   }
 }
 
-std::optional<std::vector<CkptImage>> GenerationStore::read_world(
+std::string GenerationStore::create_tmp(const std::string& root,
+                                        std::uint64_t gen) {
+  common::MutexLock lock(mutex_);
+  const auto tmp = tmp_dir_for(root, gen);
+  std::error_code ec;
+  // A stale staging directory is the residue of a crash between tmp-write
+  // and rename; its contents are unpublished by definition, so discard.
+  fs::remove_all(tmp, ec);
+  fs::create_directories(tmp, ec);
+  if (ec) {
+    throw CheckpointError("cannot create staging directory " + tmp + ": " +
+                          ec.message());
+  }
+  return tmp;
+}
+
+void GenerationStore::publish(const std::string& root, std::uint64_t gen) {
+  common::MutexLock lock(mutex_);
+  const auto tmp = tmp_dir_for(root, gen);
+  const auto final_dir = dir_for(root, gen);
+  std::error_code ec;
+  if (!fs::is_directory(tmp, ec)) {
+    throw CheckpointError("publish without a staged generation: " + tmp);
+  }
+  // Durability first: every staged byte reaches the device before the
+  // rename makes the generation visible.
+  for (const auto& entry : fs::recursive_directory_iterator(tmp, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const int fd = ::open(entry.path().c_str(), O_RDONLY);
+    if (fd >= 0) {
+      ::fsync(fd);
+      ::close(fd);
+    }
+  }
+  const int dir_fd = ::open(tmp.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  fs::rename(tmp, final_dir, ec);
+  if (ec) {
+    throw CheckpointError("cannot publish generation " + std::to_string(gen) +
+                          " (" + tmp + " -> " + final_dir + "): " + ec.message());
+  }
+  // Persist the rename itself (best-effort: the root may be a tmpfs).
+  const int root_fd = ::open(root.c_str(), O_RDONLY | O_DIRECTORY);
+  if (root_fd >= 0) {
+    ::fsync(root_fd);
+    ::close(root_fd);
+  }
+}
+
+std::vector<std::string> GenerationStore::image_candidates(
+    const std::string& root, std::uint64_t gen, int rank) {
+  common::MutexLock lock(mutex_);
+  return candidates_for(root, gen, rank);
+}
+
+std::optional<std::vector<CkptImage>> GenerationStore::read_world_locked(
     const std::string& root, std::uint64_t gen, int world, std::string* why) {
   std::vector<CkptImage> images;
   images.reserve(static_cast<std::size_t>(world));
   for (int r = 0; r < world; ++r) {
+    auto file = resolve_rank_chain(root, gen, r, why);
+    if (!file.has_value()) return std::nullopt;
     try {
-      images.push_back(CkptImage::read_file(image_path(root, gen, r)));
+      images.push_back(file->materialize());
     } catch (const Error& e) {
-      if (why != nullptr) {
-        *why = "generation " + std::to_string(gen) + " rank " +
-               std::to_string(r) + ": " + e.what();
-      }
+      set_why(why, gen, r, e.what());
       return std::nullopt;
     }
     const auto& img = images.back();
     if (img.rank != r || img.world_size != world ||
         img.cycle != images.front().cycle) {
-      if (why != nullptr) {
-        *why = "generation " + std::to_string(gen) + " rank " +
-               std::to_string(r) + ": inconsistent metadata (rank=" +
-               std::to_string(img.rank) + " world=" +
-               std::to_string(img.world_size) + " cycle=" +
-               std::to_string(img.cycle) + ")";
-      }
+      set_why(why, gen, r,
+              "inconsistent metadata (rank=" + std::to_string(img.rank) +
+                  " world=" + std::to_string(img.world_size) +
+                  " cycle=" + std::to_string(img.cycle) + ")");
       return std::nullopt;
     }
   }
   return images;
 }
 
-std::optional<GenerationStore::ValidGeneration> GenerationStore::latest_valid(
-    const std::string& root, int world) {
-  auto gens = list(root);
+std::optional<std::vector<CkptImage>> GenerationStore::read_world(
+    const std::string& root, std::uint64_t gen, int world, std::string* why) {
+  common::MutexLock lock(mutex_);
+  return read_world_locked(root, gen, world, why);
+}
+
+std::optional<GenerationStore::ValidGeneration>
+GenerationStore::latest_valid_locked(const std::string& root, int world) {
+  auto gens = list_locked(root);
   for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
     std::string why;
-    if (auto images = read_world(root, *it, world, &why)) {
+    if (auto images = read_world_locked(root, *it, world, &why)) {
       return ValidGeneration{*it, std::move(*images)};
     }
     LOG_WARN("skipping unusable checkpoint " << why);
@@ -112,24 +300,73 @@ std::optional<GenerationStore::ValidGeneration> GenerationStore::latest_valid(
   return std::nullopt;
 }
 
+std::optional<GenerationStore::ValidGeneration> GenerationStore::latest_valid(
+    const std::string& root, int world) {
+  common::MutexLock lock(mutex_);
+  return latest_valid_locked(root, world);
+}
+
+std::uint64_t GenerationStore::chain_depth(const std::string& root,
+                                           std::uint64_t gen) {
+  common::MutexLock lock(mutex_);
+  std::uint64_t depth = 0;
+  std::uint64_t cur = gen;
+  for (int hops = 0; hops < kMaxChainHops; ++hops) {
+    const auto header = peek_any_header(root, cur);
+    if (!header.has_value() || !header->delta || header->base_gen == 0 ||
+        header->base_gen >= cur) {
+      break;
+    }
+    ++depth;
+    cur = header->base_gen;
+  }
+  return depth;
+}
+
 void GenerationStore::retain(const std::string& root, std::size_t keep,
                              int world) {
+  common::MutexLock lock(mutex_);
   MANATEE_REQUIRE(keep >= 1, "generation retention must keep at least one");
-  const auto gens = list(root);
+  const auto gens = list_locked(root);
   if (gens.size() <= keep) return;
   std::size_t cutoff = gens.size() - keep;  // delete gens[0, cutoff)
   if (world > 0) {
     // Never delete the newest *valid* generation: with the newest K all
     // corrupt (a half-written latest checkpoint), pruning by number alone
     // would destroy the only restart point the fallback could still use.
-    const auto valid = latest_valid(root, world);
+    const auto valid = latest_valid_locked(root, world);
     if (!valid.has_value()) return;  // nothing usable to protect — keep all
     const auto it = std::find(gens.begin(), gens.end(), valid->gen);
     cutoff = std::min(cutoff,
                       static_cast<std::size_t>(std::distance(gens.begin(), it)));
   }
+  // Kept delta chains must survive: walk delta→base edges (cheap header
+  // peeks) transitively from every kept generation and protect the bases.
+  // An image whose header won't even peek could never restore, so it pins
+  // nothing.
+  std::set<std::uint64_t> live(gens.begin() + static_cast<std::ptrdiff_t>(cutoff),
+                               gens.end());
+  std::vector<std::uint64_t> work(live.begin(), live.end());
+  std::error_code ec;
+  while (!work.empty()) {
+    const auto gen = work.back();
+    work.pop_back();
+    for (const auto& entry :
+         fs::recursive_directory_iterator(dir_for(root, gen), ec)) {
+      if (!entry.is_regular_file() || entry.path().extension() != ".img") {
+        continue;
+      }
+      const auto header = peek_image_header(entry.path().string());
+      if (!header.has_value() || !header->delta || header->base_gen == 0) {
+        continue;
+      }
+      if (live.insert(header->base_gen).second) {
+        work.push_back(header->base_gen);
+      }
+    }
+  }
   for (std::size_t i = 0; i < cutoff; ++i) {
-    std::error_code ec;
+    if (live.contains(gens[i])) continue;
     fs::remove_all(dir_for(root, gens[i]), ec);
     if (ec) {
       LOG_WARN("failed to prune generation " << gens[i] << ": " << ec.message());

@@ -9,14 +9,27 @@
 //   <root>/gen_000002/ckpt_rank_<r>.img
 //   ...
 //
+// With buddy replication enabled (ckpt/writer.hpp) a generation instead
+// groups images by simulated node, each node's set mirrored into its
+// partner node's subtree:
+//
+//   <root>/gen_000003/node_0000/ckpt_rank_<r>.img          (primary)
+//   <root>/gen_000003/node_0001/replica/ckpt_rank_<r>.img  (partner copy)
+//
+// Publication is 2-phase: the writer stages a generation under
+// `gen_NNNNNN.tmp/`, fsyncs, and atomically renames it into place
+// (publish()). list() ignores `.tmp` names, so a crash mid-write leaves no
+// half-visible generation — restart falls back to the newest published one.
+//
 // Generation numbers are monotone across the whole lifecycle (a fresh
 // engine scans the root and continues after the highest existing number).
 // Restart resolves the *latest valid* generation: a generation is valid
-// only if every rank's image is present, CRC-clean, and metadata-consistent;
-// otherwise restart falls back generation by generation (a half-written or
-// corrupted latest checkpoint must never strand the job when an older one
-// can still make progress). Retention deletes the oldest generations beyond
-// a configured count K, never touching the newest K.
+// only if every rank's image is present (primary or replica), CRC-clean,
+// metadata-consistent, and — for delta images — its chunk chain resolves
+// back to a full base; otherwise restart falls back generation by
+// generation. Retention deletes the oldest generations beyond a configured
+// count K, never touching the newest K nor any base generation a kept
+// delta still references.
 #pragma once
 
 #include <cstdint>
@@ -25,22 +38,30 @@
 #include <vector>
 
 #include "ckpt/image.hpp"
+#include "common/mutex.hpp"
 
 namespace manatee::ckpt {
 
-// Concurrency contract (DESIGN.md §9): GenerationStore is all-static and
-// lock-free on purpose — every call happens on the single engine/driver
-// thread (Engine::run_lifecycle and restart resolution), never from rank
-// threads, so filesystem state needs no mutex. If images are ever written
-// rank-parallel, the per-generation directory becomes the shared resource
-// and create()/retain() must move behind a coordinator-level lock.
+// Concurrency contract (DESIGN.md §9/§10): the async checkpoint writer
+// thread mutates the store concurrently with the engine/driver thread
+// (restart resolution, lifecycle retention), so every filesystem-touching
+// method serializes on mutex_ (level 25 in scripts/lock_order.json — a
+// near-leaf: held regions call nothing but the logger). The pure path
+// helpers (dir_for, tmp_dir_for, image_path) stay lock-free.
 class GenerationStore {
  public:
   /// Directory holding one generation's per-rank images.
   [[nodiscard]] static std::string dir_for(const std::string& root,
                                            std::uint64_t gen);
 
-  /// Path of one rank's image within a generation.
+  /// Staging directory for generation `gen` before publication. The ".tmp"
+  /// suffix fails list()'s all-digits parse, so staged generations are
+  /// invisible until renamed.
+  [[nodiscard]] static std::string tmp_dir_for(const std::string& root,
+                                               std::uint64_t gen);
+
+  /// Path of one rank's image within a generation (flat, non-replicated
+  /// layout).
   [[nodiscard]] static std::string image_path(const std::string& root,
                                               std::uint64_t gen, int rank);
 
@@ -58,8 +79,25 @@ class GenerationStore {
   /// Create the directory for generation `gen` (idempotent).
   static void create(const std::string& root, std::uint64_t gen);
 
-  /// Read every rank image of generation `gen`, validating completeness
-  /// (all `world` ranks present), integrity (CRC/format), and consistency
+  /// Phase 1 of 2-phase publication: (re)create the staging directory for
+  /// `gen`, discarding any stale `.tmp` left by a crash between tmp-write
+  /// and rename, and return its path.
+  [[nodiscard]] static std::string create_tmp(const std::string& root,
+                                              std::uint64_t gen);
+
+  /// Phase 2: fsync every staged file, then atomically rename the staging
+  /// directory to its final name. Throws CheckpointError on failure.
+  static void publish(const std::string& root, std::uint64_t gen);
+
+  /// Ordered restore candidates for `rank` in `gen`: the flat path, then
+  /// every node primary, then every partner replica. Only existing files
+  /// are returned; validation happens on read.
+  [[nodiscard]] static std::vector<std::string> image_candidates(
+      const std::string& root, std::uint64_t gen, int rank);
+
+  /// Read every rank image of generation `gen`, resolving delta chains and
+  /// falling back to partner replicas, validating completeness (all
+  /// `world` ranks present), integrity (CRC/format), and consistency
   /// (matching rank/world metadata). On any defect returns std::nullopt and
   /// stores a description in `*why` (when non-null) instead of throwing —
   /// callers fall back to an older generation.
@@ -78,12 +116,29 @@ class GenerationStore {
   [[nodiscard]] static std::optional<ValidGeneration> latest_valid(
       const std::string& root, int world);
 
+  /// Delta-chain length of `gen` (0 = full or unreadable), from CRC-free
+  /// header peeks. Seeds the writer's chain bound after a restart.
+  [[nodiscard]] static std::uint64_t chain_depth(const std::string& root,
+                                                 std::uint64_t gen);
+
   /// Delete the oldest generations so at most `keep` remain. keep == 0 is
-  /// rejected, and with `world` > 0 the newest *valid* generation is never
-  /// deleted even when newer (corrupt) generations outnumber `keep` —
-  /// retention must never destroy the only restart point the fallback
-  /// could still use.
+  /// rejected; base generations still referenced by a kept delta chain are
+  /// never deleted (their numbers come from cheap header peeks); and with
+  /// `world` > 0 the newest *valid* generation is never deleted even when
+  /// newer (corrupt) generations outnumber `keep` — retention must never
+  /// destroy the only restart point the fallback could still use.
   static void retain(const std::string& root, std::size_t keep, int world = 0);
+
+ private:
+  static std::vector<std::uint64_t> list_locked(const std::string& root)
+      MANATEE_REQUIRES(mutex_);
+  static std::optional<std::vector<CkptImage>> read_world_locked(
+      const std::string& root, std::uint64_t gen, int world, std::string* why)
+      MANATEE_REQUIRES(mutex_);
+  static std::optional<ValidGeneration> latest_valid_locked(
+      const std::string& root, int world) MANATEE_REQUIRES(mutex_);
+
+  static common::Mutex mutex_;
 };
 
 }  // namespace manatee::ckpt

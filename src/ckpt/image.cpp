@@ -6,9 +6,61 @@
 
 #include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "common/hash.hpp"
 #include "common/serialize.hpp"
 
 namespace manatee::ckpt {
+
+namespace {
+
+constexpr std::uint8_t kFlagDelta = 0x01;
+
+/// Header prefix shared by serialize/peek: magic, version, world, rank,
+/// cycle, and (v4) flags + base_gen + chunk size. Kept in one place so the
+/// CRC-free peek can never drift from the real format.
+void write_header(BinaryWriter& w, const ImageFile& f) {
+  w.write_u32(CkptImage::kMagic);
+  w.write_u32(CkptImage::kVersion);
+  w.write_i64(f.world_size);
+  w.write_i64(f.rank);
+  w.write_u64(f.cycle);
+  w.write_u8(f.delta ? kFlagDelta : 0);
+  w.write_u64(f.base_gen);
+  w.write_u64(f.chunk_bytes);
+}
+
+std::vector<std::byte> append_crc_trailer(BinaryWriter&& w) {
+  auto body = w.take();
+  const std::uint32_t crc = Crc32::of(body);
+  BinaryWriter trailer;
+  trailer.write_u32(crc);
+  const auto& t = trailer.bytes();
+  body.insert(body.end(), t.begin(), t.end());
+  return body;
+}
+
+std::vector<std::byte> read_whole_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw CheckpointError("cannot open image file: " + path);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::byte> bytes(size);
+  in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(size));
+  if (!in) throw CheckpointError("short read from image file: " + path);
+  return bytes;
+}
+
+void write_whole_file(const std::string& path, std::span<const std::byte> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw CheckpointError("cannot open image file for write: " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw CheckpointError("short write to image file: " + path);
+}
+
+}  // namespace
+
+// ---- CkptImage (logical view) ----------------------------------------------
 
 const std::vector<std::byte>& CkptImage::blob(const std::string& name) const {
   const auto it = blobs.find(name);
@@ -25,27 +77,159 @@ std::size_t CkptImage::payload_bytes() const {
 }
 
 std::vector<std::byte> CkptImage::serialize() const {
-  BinaryWriter w;
-  w.write_u32(kMagic);
-  w.write_u32(kVersion);
-  w.write_i64(world_size);
-  w.write_i64(rank);
-  w.write_u64(cycle);
-  w.begin_map(blobs.size());
-  for (const auto& [name, b] : blobs) {
-    w.write_string(name);
-    w.write_bytes(b);
-  }
-  auto body = w.take();
-  const std::uint32_t crc = Crc32::of(body);
-  BinaryWriter trailer;
-  trailer.write_u32(crc);
-  const auto& t = trailer.bytes();
-  body.insert(body.end(), t.begin(), t.end());
-  return body;
+  return ImageFile::from_image(*this, ImageFile::kDefaultChunkBytes,
+                               /*prev=*/nullptr, /*base_gen=*/0)
+      .serialize();
 }
 
 CkptImage CkptImage::deserialize(std::span<const std::byte> bytes) {
+  return ImageFile::parse(bytes).materialize();
+}
+
+void CkptImage::write_file(const std::string& path) const {
+  write_whole_file(path, serialize());
+}
+
+CkptImage CkptImage::read_file(const std::string& path) {
+  return deserialize(read_whole_file(path));
+}
+
+std::string CkptImage::path_for(const std::string& dir, int rank) {
+  return dir + "/ckpt_rank_" + std::to_string(rank) + ".img";
+}
+
+// ---- chunking --------------------------------------------------------------
+
+ChunkKey chunk_key_of(std::span<const std::byte> bytes) {
+  return ChunkKey{Crc32::of(bytes), fnv1a(bytes),
+                  static_cast<std::uint64_t>(bytes.size())};
+}
+
+ImageFile ImageFile::from_image(const CkptImage& image,
+                                std::uint64_t chunk_bytes,
+                                const std::set<ChunkKey>* prev,
+                                std::uint64_t base_gen) {
+  MANATEE_REQUIRE(chunk_bytes >= 1, "chunk size must be positive");
+  ImageFile f;
+  f.world_size = image.world_size;
+  f.rank = image.rank;
+  f.cycle = image.cycle;
+  f.delta = prev != nullptr;
+  f.base_gen = f.delta ? base_gen : 0;
+  f.chunk_bytes = chunk_bytes;
+  for (const auto& [name, bytes] : image.blobs) {
+    BlobManifest m;
+    m.size = bytes.size();
+    const std::span<const std::byte> all(bytes);
+    for (std::size_t off = 0; off < bytes.size(); off += chunk_bytes) {
+      const auto piece = all.subspan(off, std::min<std::size_t>(
+                                              chunk_bytes, bytes.size() - off));
+      const ChunkKey key = chunk_key_of(piece);
+      m.chunks.push_back(key);
+      if (prev == nullptr || !prev->contains(key)) {
+        f.store.try_emplace(key,
+                            std::vector<std::byte>(piece.begin(), piece.end()));
+      }
+    }
+    f.manifest.emplace(name, std::move(m));
+  }
+  return f;
+}
+
+std::vector<ChunkKey> ImageFile::missing() const {
+  std::set<ChunkKey> gone;
+  for (const auto& [name, m] : manifest) {
+    for (const auto& key : m.chunks) {
+      if (!store.contains(key)) gone.insert(key);
+    }
+  }
+  return {gone.begin(), gone.end()};
+}
+
+std::set<ChunkKey> ImageFile::referenced() const {
+  std::set<ChunkKey> keys;
+  for (const auto& [name, m] : manifest) {
+    keys.insert(m.chunks.begin(), m.chunks.end());
+  }
+  return keys;
+}
+
+void ImageFile::absorb(const ImageFile& older) {
+  for (const auto& [name, m] : manifest) {
+    for (const auto& key : m.chunks) {
+      if (store.contains(key)) continue;
+      const auto it = older.store.find(key);
+      if (it != older.store.end()) store.emplace(key, it->second);
+    }
+  }
+}
+
+CkptImage ImageFile::materialize() const {
+  CkptImage image;
+  image.world_size = world_size;
+  image.rank = rank;
+  image.cycle = cycle;
+  for (const auto& [name, m] : manifest) {
+    std::vector<std::byte> bytes;
+    bytes.reserve(m.size);
+    for (const auto& key : m.chunks) {
+      const auto it = store.find(key);
+      if (it == store.end()) {
+        throw CheckpointError(
+            "delta image blob '" + name +
+            "' is missing chunks (base generation " +
+            std::to_string(base_gen) + " unresolved)");
+      }
+      bytes.insert(bytes.end(), it->second.begin(), it->second.end());
+    }
+    if (bytes.size() != m.size) {
+      throw CheckpointError("image blob '" + name + "' reassembled to " +
+                            std::to_string(bytes.size()) + " bytes, manifest says " +
+                            std::to_string(m.size));
+    }
+    image.blobs.emplace(name, std::move(bytes));
+  }
+  return image;
+}
+
+std::uint64_t ImageFile::payload_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& [name, m] : manifest) n += m.size + name.size();
+  return n;
+}
+
+std::uint64_t ImageFile::stored_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& [key, bytes] : store) n += bytes.size();
+  return n;
+}
+
+// ---- wire format -----------------------------------------------------------
+
+std::vector<std::byte> ImageFile::serialize() const {
+  BinaryWriter w;
+  write_header(w, *this);
+  w.begin_map(manifest.size());
+  for (const auto& [name, m] : manifest) {
+    w.write_string(name);
+    w.write_u64(m.size);
+    w.begin_list(m.chunks.size());
+    for (const auto& key : m.chunks) {
+      w.write_u32(key.crc);
+      w.write_u64(key.fnv);
+      w.write_u64(key.len);
+    }
+  }
+  w.begin_list(store.size());
+  for (const auto& [key, bytes] : store) {
+    w.write_u32(key.crc);
+    w.write_u64(key.fnv);
+    w.write_bytes(bytes);
+  }
+  return append_crc_trailer(std::move(w));
+}
+
+ImageFile ImageFile::parse(std::span<const std::byte> bytes) {
   // Trailer: 1 tag byte + 4 CRC bytes.
   constexpr std::size_t kTrailer = 5;
   if (bytes.size() < kTrailer) throw CheckpointError("image truncated");
@@ -57,47 +241,102 @@ CkptImage CkptImage::deserialize(std::span<const std::byte> bytes) {
   }
 
   BinaryReader r(body);
-  CkptImage img;
-  if (r.read_u32() != kMagic) throw CheckpointError("image bad magic");
+  if (r.read_u32() != CkptImage::kMagic) throw CheckpointError("image bad magic");
   const auto version = r.read_u32();
-  if (version != kVersion) {
+  if (version == CkptImage::kCompatVersion) {
+    // v3: flat name→bytes map. Rechunk into an equivalent full image so
+    // every caller sees one representation.
+    CkptImage image;
+    image.world_size = static_cast<int>(r.read_i64());
+    image.rank = static_cast<int>(r.read_i64());
+    image.cycle = r.read_u64();
+    const auto n = r.read_map_size();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      auto name = r.read_string();
+      auto blob = r.read_bytes();
+      image.blobs.emplace(std::move(name), std::move(blob));
+    }
+    return from_image(image, kDefaultChunkBytes, nullptr, 0);
+  }
+  if (version != CkptImage::kVersion) {
     throw CheckpointError("image version " + std::to_string(version) +
-                          " unsupported (want " + std::to_string(kVersion) + ")");
+                          " unsupported (want " +
+                          std::to_string(CkptImage::kVersion) + " or " +
+                          std::to_string(CkptImage::kCompatVersion) + ")");
   }
-  img.world_size = static_cast<int>(r.read_i64());
-  img.rank = static_cast<int>(r.read_i64());
-  img.cycle = r.read_u64();
-  const auto n = r.read_map_size();
-  for (std::uint64_t i = 0; i < n; ++i) {
+
+  ImageFile f;
+  f.world_size = static_cast<int>(r.read_i64());
+  f.rank = static_cast<int>(r.read_i64());
+  f.cycle = r.read_u64();
+  f.delta = (r.read_u8() & kFlagDelta) != 0;
+  f.base_gen = r.read_u64();
+  f.chunk_bytes = r.read_u64();
+  const auto nblobs = r.read_map_size();
+  for (std::uint64_t i = 0; i < nblobs; ++i) {
     auto name = r.read_string();
-    auto blob = r.read_bytes();
-    img.blobs.emplace(std::move(name), std::move(blob));
+    BlobManifest m;
+    m.size = r.read_u64();
+    const auto nchunks = r.read_list_size();
+    m.chunks.reserve(nchunks);
+    for (std::uint64_t c = 0; c < nchunks; ++c) {
+      ChunkKey key;
+      key.crc = r.read_u32();
+      key.fnv = r.read_u64();
+      key.len = r.read_u64();
+      m.chunks.push_back(key);
+    }
+    f.manifest.emplace(std::move(name), std::move(m));
   }
-  return img;
+  const auto nstored = r.read_list_size();
+  for (std::uint64_t i = 0; i < nstored; ++i) {
+    ChunkKey key;
+    key.crc = r.read_u32();
+    key.fnv = r.read_u64();
+    auto payload = r.read_bytes();
+    key.len = payload.size();
+    f.store.emplace(key, std::move(payload));
+  }
+  return f;
 }
 
-void CkptImage::write_file(const std::string& path) const {
-  const auto bytes = serialize();
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw CheckpointError("cannot open image file for write: " + path);
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  if (!out) throw CheckpointError("short write to image file: " + path);
+void ImageFile::write_file(const std::string& path) const {
+  write_whole_file(path, serialize());
 }
 
-CkptImage CkptImage::read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) throw CheckpointError("cannot open image file: " + path);
-  const auto size = static_cast<std::size_t>(in.tellg());
-  in.seekg(0);
-  std::vector<std::byte> bytes(size);
-  in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(size));
-  if (!in) throw CheckpointError("short read from image file: " + path);
-  return deserialize(bytes);
+ImageFile ImageFile::read_file(const std::string& path) {
+  return parse(read_whole_file(path));
 }
 
-std::string CkptImage::path_for(const std::string& dir, int rank) {
-  return dir + "/ckpt_rank_" + std::to_string(rank) + ".img";
+std::optional<ImageHeader> peek_image_header(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  // The fixed-width prefix written by write_header: 2 tagged u32 + 2 tagged
+  // i64 + 3 tagged u64 + 1 tagged u8 — 67 bytes; read a little extra so a
+  // format tweak fails the tag checks instead of the length check.
+  std::byte buf[96];
+  in.read(reinterpret_cast<char*>(buf), sizeof buf);
+  const auto got = static_cast<std::size_t>(in.gcount());
+  try {
+    BinaryReader r(std::span<const std::byte>(buf, got));
+    if (r.read_u32() != CkptImage::kMagic) return std::nullopt;
+    ImageHeader h;
+    h.version = r.read_u32();
+    if (h.version != CkptImage::kVersion &&
+        h.version != CkptImage::kCompatVersion) {
+      return std::nullopt;
+    }
+    h.world_size = static_cast<int>(r.read_i64());
+    h.rank = static_cast<int>(r.read_i64());
+    h.cycle = r.read_u64();
+    if (h.version >= 4) {
+      h.delta = (r.read_u8() & kFlagDelta) != 0;
+      h.base_gen = r.read_u64();
+    }
+    return h;
+  } catch (const Error&) {
+    return std::nullopt;
+  }
 }
 
 }  // namespace manatee::ckpt

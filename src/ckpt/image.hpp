@@ -5,11 +5,27 @@
 // own protocol state (SEQ tables, op cursor, pending receives, drained
 // in-flight messages). CRC-32 over the body detects corruption; a version
 // field rejects incompatible images.
+//
+// Format v4 (this release) is *chunked*: every blob is split into
+// fixed-size chunks addressed by content hash (CRC-32 + FNV-1a + length),
+// the file carries a per-blob manifest of chunk references plus a chunk
+// store holding the referenced payloads. A *full* image stores every
+// chunk it references; a *delta* image stores only the chunks absent from
+// the previous generation (recorded as `base_gen`) — restart reassembles
+// by walking the delta chain back to the last full base
+// (GenerationStore::read_world). Chunks repeated within one image are
+// stored once (content dedupe is automatic).
+//
+// v3 images (flat name→bytes maps) still parse: ImageFile::parse rechunks
+// them into an equivalent full v4 image, so pre-pipeline checkpoints
+// restore unchanged. Any other version is rejected.
 #pragma once
 
 #include <cstdint>
-#include <span>
 #include <map>
+#include <optional>
+#include <set>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -17,7 +33,9 @@ namespace manatee::ckpt {
 
 struct CkptImage {
   static constexpr std::uint32_t kMagic = 0x4d414e41;  // "MANA"
-  static constexpr std::uint32_t kVersion = 3;
+  static constexpr std::uint32_t kVersion = 4;
+  /// Oldest version deserialize still accepts (flat v3 images).
+  static constexpr std::uint32_t kCompatVersion = 3;
 
   int world_size = 0;
   int rank = -1;
@@ -31,8 +49,11 @@ struct CkptImage {
   /// Total payload bytes (what Figure 9's checkpoint time scales with).
   [[nodiscard]] std::size_t payload_bytes() const;
 
-  /// Serialize to bytes (header + body + CRC trailer).
+  /// Serialize to bytes (v4 full image: header + manifest + chunk store +
+  /// CRC trailer).
   [[nodiscard]] std::vector<std::byte> serialize() const;
+  /// Parse a v3 or v4 image. A v4 *delta* image cannot stand alone and
+  /// throws CheckpointError (its chain is resolved by GenerationStore).
   static CkptImage deserialize(std::span<const std::byte> bytes);
 
   void write_file(const std::string& path) const;
@@ -41,5 +62,92 @@ struct CkptImage {
   /// Conventional image path for a rank.
   static std::string path_for(const std::string& dir, int rank);
 };
+
+/// Content address of one chunk: CRC-32 + FNV-1a + length. 96 hash bits
+/// plus the exact length make an accidental collision negligible for the
+/// store sizes this simulator produces.
+struct ChunkKey {
+  std::uint32_t crc = 0;
+  std::uint64_t fnv = 0;
+  std::uint64_t len = 0;
+
+  auto operator<=>(const ChunkKey&) const = default;
+};
+
+[[nodiscard]] ChunkKey chunk_key_of(std::span<const std::byte> bytes);
+
+/// The on-disk representation of one rank's v4 image: blob manifests
+/// (chunk references) plus the stored chunk payloads. A full image stores
+/// every referenced chunk; a delta image leaves the unchanged ones to its
+/// base chain.
+struct ImageFile {
+  static constexpr std::uint64_t kDefaultChunkBytes = 64 * 1024;
+
+  int world_size = 0;
+  int rank = -1;
+  std::uint64_t cycle = 0;
+  bool delta = false;
+  /// Generation this delta's reused chunks live under (0 for full images).
+  std::uint64_t base_gen = 0;
+  std::uint64_t chunk_bytes = kDefaultChunkBytes;
+
+  struct BlobManifest {
+    std::uint64_t size = 0;
+    std::vector<ChunkKey> chunks;
+  };
+  std::map<std::string, BlobManifest> manifest;
+  /// Chunks carried by THIS file (all of them for a full image).
+  std::map<ChunkKey, std::vector<std::byte>> store;
+
+  /// Chunk a logical image. With `prev` non-null the result is a delta
+  /// against `base_gen`: chunks whose keys appear in `prev` are referenced
+  /// but not stored.
+  static ImageFile from_image(const CkptImage& image, std::uint64_t chunk_bytes,
+                              const std::set<ChunkKey>* prev,
+                              std::uint64_t base_gen);
+
+  /// Chunk keys referenced by the manifest but absent from the store —
+  /// what the base chain must supply. Empty for a full image.
+  [[nodiscard]] std::vector<ChunkKey> missing() const;
+
+  /// Every chunk key the manifest references (the next delta's `prev` set).
+  [[nodiscard]] std::set<ChunkKey> referenced() const;
+
+  /// Copy chunks this file is missing from an older file's store.
+  void absorb(const ImageFile& older);
+
+  /// Reassemble the logical image. Throws CheckpointError when chunks are
+  /// still missing (unresolved delta) or a blob reassembles short.
+  [[nodiscard]] CkptImage materialize() const;
+
+  /// Logical payload bytes (== materialized payload_bytes()).
+  [[nodiscard]] std::uint64_t payload_bytes() const;
+  /// Bytes of chunk payload carried by this file (the dedupe win is
+  /// payload_bytes() - stored_bytes()).
+  [[nodiscard]] std::uint64_t stored_bytes() const;
+
+  [[nodiscard]] std::vector<std::byte> serialize() const;
+  /// Parse v4 (chunked) or v3 (flat; rechunked as a full image); any other
+  /// version throws CheckpointError. CRC-validated.
+  static ImageFile parse(std::span<const std::byte> bytes);
+
+  void write_file(const std::string& path) const;
+  static ImageFile read_file(const std::string& path);
+};
+
+/// Fixed-width image header fields, readable without validating the body
+/// CRC — retention uses this to discover delta→base edges cheaply, and an
+/// unreadable header simply means the image could never restore anyway.
+struct ImageHeader {
+  std::uint32_t version = 0;
+  int world_size = 0;
+  int rank = -1;
+  std::uint64_t cycle = 0;
+  bool delta = false;
+  std::uint64_t base_gen = 0;
+};
+
+[[nodiscard]] std::optional<ImageHeader> peek_image_header(
+    const std::string& path);
 
 }  // namespace manatee::ckpt

@@ -1,0 +1,224 @@
+#include "ckpt/writer.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "ckpt/generation.hpp"
+#include "common/error.hpp"
+
+namespace manatee::ckpt {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void write_bytes(const std::string& path, const std::vector<std::byte>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw CheckpointError("cannot open image file for write: " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw CheckpointError("short write to image file: " + path);
+}
+
+std::string node_dir_name(int node) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "node_%04d", node);
+  return buf;
+}
+
+}  // namespace
+
+Writer::Writer(WriterConfig config) : config_(std::move(config)) {
+  MANATEE_REQUIRE(!config_.image_dir.empty(), "writer needs an image directory");
+  MANATEE_REQUIRE(config_.world >= 1, "writer needs a positive world size");
+  MANATEE_REQUIRE(config_.ranks_per_node >= 1,
+                  "writer needs a positive ranks-per-node");
+  MANATEE_REQUIRE(config_.full_every >= 1, "full_every must be at least 1");
+  MANATEE_REQUIRE(config_.queue_capacity >= 1,
+                  "writer queue capacity must be at least 1");
+  MANATEE_REQUIRE(config_.chunk_bytes >= 1, "chunk size must be positive");
+  // Deltas reference a base *generation* and replicas live in a
+  // generation's node subtree: neither has meaning in the flat layout.
+  if (!config_.generational) {
+    config_.delta = false;
+    config_.replicate = false;
+  }
+  if (config_.async) {
+    thread_ = std::thread(&Writer::worker_main, this);  // manatee-lint: allow(raw-thread) — the write-back thread is I/O plumbing below the scheduler, not rank code
+  }
+}
+
+Writer::~Writer() {
+  {
+    common::MutexLock lock(mutex_);
+    stop_ = true;
+    work_cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+int Writer::node_count() const {
+  return (config_.world + config_.ranks_per_node - 1) / config_.ranks_per_node;
+}
+
+std::optional<WriteResult> Writer::submit(std::uint64_t gen, CkptImage image) {
+  if (!config_.async) {
+    // Inline: the caller eats the full write cost (and any error). Rank
+    // threads submit concurrently, so the write path serializes here.
+    common::MutexLock wlock(write_mutex_);
+    return write_one(gen, image);
+  }
+  common::MutexLock lock(mutex_);
+  while (queue_.size() >= config_.queue_capacity && error_.empty()) {
+    wait_locked(idle_cv_);
+  }
+  if (!error_.empty()) {
+    throw CheckpointError("async checkpoint writer failed: " + error_);
+  }
+  queue_.push_back(Item{gen, std::move(image)});
+  work_cv_.notify_all();
+  return std::nullopt;
+}
+
+void Writer::flush() {
+  common::MutexLock lock(mutex_);
+  while ((!queue_.empty() || busy_) && error_.empty()) {
+    wait_locked(idle_cv_);
+  }
+  if (!error_.empty()) {
+    throw CheckpointError("async checkpoint writer failed: " + error_);
+  }
+}
+
+void Writer::seed_delta(std::uint64_t gen, const std::vector<CkptImage>& images) {
+  if (!config_.delta || !config_.generational || gen == 0) return;
+  // How deep the restored generation's chain already is on disk: the next
+  // delta extends it, so full_every must count from here, not from zero.
+  const std::uint64_t chain = GenerationStore::chain_depth(config_.image_dir, gen);
+  common::MutexLock wlock(write_mutex_);
+  for (const auto& image : images) {
+    auto& rd = delta_[image.rank];
+    rd.prev = ImageFile::from_image(image, config_.chunk_bytes, nullptr, 0)
+                  .referenced();
+    rd.prev_gen = gen;
+    rd.chain = chain;
+  }
+}
+
+std::map<std::uint64_t, GenerationStats> Writer::stats() const {
+  common::MutexLock lock(mutex_);
+  return stats_;
+}
+
+WriteResult Writer::write_one(std::uint64_t gen, const CkptImage& image) {
+  auto& rd = delta_[image.rank];
+  const bool make_delta = config_.delta && rd.prev_gen != 0 &&
+                          !rd.prev.empty() &&
+                          rd.chain < static_cast<std::uint64_t>(config_.full_every) - 1;
+  const ImageFile file =
+      ImageFile::from_image(image, config_.chunk_bytes,
+                            make_delta ? &rd.prev : nullptr,
+                            make_delta ? rd.prev_gen : 0);
+  const auto bytes = file.serialize();
+
+  WriteResult result;
+  result.logical_bytes = file.payload_bytes();
+  result.delta = make_delta;
+  bool published = false;
+
+  if (!config_.generational) {
+    std::error_code ec;
+    fs::create_directories(config_.image_dir, ec);
+    write_bytes(CkptImage::path_for(config_.image_dir, image.rank), bytes);
+    result.written_bytes = bytes.size();
+    published = true;  // flat images are visible as soon as they land
+  } else {
+    if (!staged_counts_.contains(gen)) {
+      (void)GenerationStore::create_tmp(config_.image_dir, gen);
+      staged_counts_[gen] = 0;
+    }
+    const auto tmp = GenerationStore::tmp_dir_for(config_.image_dir, gen);
+    const auto leaf = "ckpt_rank_" + std::to_string(image.rank) + ".img";
+    if (config_.replicate && node_count() >= 2) {
+      const int node = image.rank / config_.ranks_per_node;
+      const int partner = (node + 1) % node_count();
+      const auto primary_dir = tmp + "/" + node_dir_name(node);
+      const auto replica_dir = tmp + "/" + node_dir_name(partner) + "/replica";
+      std::error_code ec;
+      fs::create_directories(primary_dir, ec);
+      fs::create_directories(replica_dir, ec);
+      write_bytes(primary_dir + "/" + leaf, bytes);
+      write_bytes(replica_dir + "/" + leaf, bytes);
+      result.written_bytes = 2 * bytes.size();
+    } else {
+      write_bytes(tmp + "/" + leaf, bytes);
+      result.written_bytes = bytes.size();
+    }
+    if (++staged_counts_[gen] == config_.world) {
+      staged_counts_.erase(gen);
+      if (!config_.publish_hook || config_.publish_hook(gen)) {
+        GenerationStore::publish(config_.image_dir, gen);
+        published = true;
+      }
+      // hook returned false: leave the staged .tmp behind, exactly what a
+      // crash between staging and rename leaves.
+    }
+  }
+
+  rd.prev = file.referenced();
+  rd.prev_gen = gen;
+  rd.chain = make_delta ? rd.chain + 1 : 0;
+
+  record_result(gen, image.cycle, result, published);
+  return result;
+}
+
+void Writer::record_result(std::uint64_t gen, std::uint64_t cycle,
+                           const WriteResult& result, bool published) {
+  common::MutexLock lock(mutex_);
+  auto& s = stats_[cycle];
+  s.gen = gen;
+  s.cycle = cycle;
+  s.images += 1;
+  s.logical_bytes += result.logical_bytes;
+  s.written_bytes += result.written_bytes;
+  s.delta = s.delta || result.delta;
+  s.published = s.published || published;
+}
+
+void Writer::worker_main() {
+  while (true) {
+    Item item;
+    {
+      common::MutexLock lock(mutex_);
+      while (queue_.empty() && !stop_) wait_locked(work_cv_);
+      if (queue_.empty()) return;  // stop requested and fully drained
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+      idle_cv_.notify_all();  // a queue slot freed for blocked submitters
+    }
+    try {
+      common::MutexLock wlock(write_mutex_);
+      (void)write_one(item.gen, item.image);
+    } catch (const Error& e) {
+      common::MutexLock lock(mutex_);
+      if (error_.empty()) error_ = e.what();
+    }
+    {
+      common::MutexLock lock(mutex_);
+      busy_ = false;
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+void Writer::wait_locked(std::condition_variable& cv) {  // manatee-lint: allow(raw-condvar) — writer-thread/submitter handoff; no fiber ever parks here
+  std::unique_lock<std::mutex> cv_lock(mutex_.native(), std::adopt_lock);  // manatee-lint: allow(raw-mutex, raw-mutex-guard, native-handle) — CV bridge over the annotated writer mutex
+  cv.wait(cv_lock);
+  cv_lock.release();
+}
+
+}  // namespace manatee::ckpt

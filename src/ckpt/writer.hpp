@@ -1,0 +1,176 @@
+// writer.hpp — the checkpoint write-back pipeline.
+//
+// The capture side of a checkpoint (draining the network, deep-copying
+// registered state into a CkptImage) must stay synchronous — it defines
+// the consistent cut. Everything after it (chunking, content hashing,
+// serialization, file writes, replication, 2-phase publication) is pure
+// I/O against an immutable snapshot, so it can leave the rank's critical
+// path. The Writer owns that tail:
+//
+//   sync mode   submit() chunks and writes inline and returns the byte
+//               counts, so the caller charges full I/O stall time.
+//   async mode  submit() enqueues the image on a bounded queue consumed
+//               by one dedicated writer thread and returns immediately;
+//               ranks resume computing while the generation drains in the
+//               background. flush() is the barrier the engine uses before
+//               reading results or tearing down.
+//
+// Delta policy: per rank, the writer remembers the chunk keys of the last
+// image it wrote. When delta mode is on and the chain since the last full
+// image is shorter than full_every, the next image stores only chunks
+// absent from that set (ImageFile::from_image with prev); every
+// full_every-th generation is written full, bounding restart's chain walk.
+// seed_delta() primes this state from a restored generation so chains
+// continue (bounded) across lifecycle segments.
+//
+// Generational publication is 2-phase (GenerationStore::create_tmp /
+// publish): a generation becomes visible only after all world ranks'
+// images (and replicas) are staged and fsynced. publish_hook is a test
+// seam — returning false abandons the rename, simulating a crash between
+// staging and publication.
+//
+// Concurrency contract: mutex_ (level 50 in scripts/lock_order.json)
+// guards the queue and the result/stats state shared between submitters
+// and the writer thread. The write path itself (delta/staging maps, file
+// I/O, publication) serializes on write_mutex_ (level 55): in sync mode
+// every rank thread submits inline and concurrently, in async mode only
+// the writer thread runs it. write_mutex_ is held across store calls
+// (level 25) and the stats update (mutex_, 50) — both descending.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>  // manatee-lint: allow(raw-thread) — the write-back thread is I/O plumbing below the scheduler, not rank code
+#include <vector>
+
+#include "ckpt/image.hpp"
+#include "common/mutex.hpp"
+
+namespace manatee::ckpt {
+
+struct WriterConfig {
+  std::string image_dir;
+  int world = 0;
+  int ranks_per_node = 1;
+  /// Numbered generations with 2-phase publish; false = flat single-image
+  /// layout (gen argument ignored, no publication step).
+  bool generational = true;
+  /// Write-back on the dedicated writer thread instead of inline.
+  bool async = false;
+  /// Incremental images: store only chunks new since the previous
+  /// generation.
+  bool delta = false;
+  /// Mirror each node's images into its ring partner's subtree.
+  bool replicate = false;
+  /// Every Nth generation per rank is written full (chain length < N).
+  int full_every = 8;
+  std::uint64_t chunk_bytes = ImageFile::kDefaultChunkBytes;
+  /// Bounded queue depth in images; submit() blocks when full.
+  std::size_t queue_capacity = 256;
+  /// Test seam, called once per fully-staged generation (under the write-
+  /// path lock — hooks must not call back into the Writer): return false
+  /// to skip the publish rename (simulated crash mid-write).
+  std::function<bool(std::uint64_t)> publish_hook;
+};
+
+/// What one submit() cost, in bytes on the simulated PFS.
+struct WriteResult {
+  std::uint64_t logical_bytes = 0;  ///< materialized payload size
+  std::uint64_t written_bytes = 0;  ///< file bytes actually written (incl. replicas)
+  bool delta = false;
+};
+
+/// Aggregated per-checkpoint-cycle totals (keyed by cycle, not generation,
+/// so the flat layout's constant gen 0 cannot collide across checkpoints).
+struct GenerationStats {
+  std::uint64_t gen = 0;
+  std::uint64_t cycle = 0;
+  int images = 0;
+  std::uint64_t logical_bytes = 0;
+  std::uint64_t written_bytes = 0;
+  bool delta = false;      ///< any image of the cycle was a delta
+  bool published = false;  ///< generation rename completed
+};
+
+class Writer {
+ public:
+  explicit Writer(WriterConfig config);
+  ~Writer();
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  /// Hand one rank's captured image to the pipeline. Sync mode writes
+  /// inline and returns the costs; async mode enqueues (blocking while the
+  /// queue is at capacity) and returns std::nullopt — costs land in
+  /// stats() once the writer thread gets there. Rethrows a deferred
+  /// writer-thread error.
+  std::optional<WriteResult> submit(std::uint64_t gen, CkptImage image);
+
+  /// Drain barrier: returns once every submitted image is on disk (and
+  /// publication attempted). Rethrows a deferred writer-thread error.
+  void flush();
+
+  /// Prime the per-rank delta state from a restored generation so the next
+  /// checkpoint can be a delta against it, and pick up the on-disk chain
+  /// depth so full_every keeps bounding chains across restarts.
+  void seed_delta(std::uint64_t gen, const std::vector<CkptImage>& images);
+
+  /// Per-cycle totals for every submit that completed so far; call after
+  /// flush() for a stable view.
+  [[nodiscard]] std::map<std::uint64_t, GenerationStats> stats() const;
+
+  [[nodiscard]] const WriterConfig& config() const { return config_; }
+
+ private:
+  struct Item {
+    std::uint64_t gen = 0;
+    CkptImage image;
+  };
+
+  /// Last-written chunk keys and chain position for one rank. Thread-
+  /// confined to the write path (see file comment).
+  struct RankDelta {
+    std::set<ChunkKey> prev;
+    std::uint64_t prev_gen = 0;
+    std::uint64_t chain = 0;  ///< deltas since the last full image
+  };
+
+  void worker_main();
+  void wait_locked(std::condition_variable& cv) MANATEE_REQUIRES(mutex_);  // manatee-lint: allow(raw-condvar) — writer-thread/submitter handoff; no fiber ever parks here
+  /// The write path proper: chunk, write (and replicate), maybe publish,
+  /// record stats.
+  WriteResult write_one(std::uint64_t gen, const CkptImage& image)
+      MANATEE_REQUIRES(write_mutex_);
+  void record_result(std::uint64_t gen, std::uint64_t cycle,
+                     const WriteResult& result, bool published);
+  [[nodiscard]] int node_count() const;
+
+  WriterConfig config_;
+
+  mutable common::Mutex mutex_;
+  std::condition_variable work_cv_;  // manatee-lint: allow(raw-condvar) — writer-thread wakeup; no fiber ever parks here
+  std::condition_variable idle_cv_;  // manatee-lint: allow(raw-condvar) — submit/flush backpressure; only OS threads wait
+  std::deque<Item> queue_ MANATEE_GUARDED_BY(mutex_);
+  bool busy_ MANATEE_GUARDED_BY(mutex_) = false;
+  bool stop_ MANATEE_GUARDED_BY(mutex_) = false;
+  std::string error_ MANATEE_GUARDED_BY(mutex_);
+  std::map<std::uint64_t, GenerationStats> stats_ MANATEE_GUARDED_BY(mutex_);
+
+  /// Serializes the write path (level 55; see file comment): concurrent
+  /// rank threads in sync mode, the single writer thread in async mode.
+  common::Mutex write_mutex_;
+  std::map<int, RankDelta> delta_ MANATEE_GUARDED_BY(write_mutex_);
+  /// Images staged so far per in-flight generation (generational mode).
+  std::map<std::uint64_t, int> staged_counts_ MANATEE_GUARDED_BY(write_mutex_);
+
+  std::thread thread_;  // manatee-lint: allow(raw-thread) — dedicated write-back thread (async mode only); joined in the destructor
+};
+
+}  // namespace manatee::ckpt

@@ -11,6 +11,18 @@
 
 namespace manatee::split {
 
+namespace {
+
+/// Stable-storage time for `bytes` with the aggregate PFS bandwidth shared
+/// across the job (same model as Api's capture path).
+simnet::SimTime pfs_time(std::uint64_t bytes, int world_size, double lustre_gbps) {
+  return static_cast<simnet::SimTime>(static_cast<double>(bytes) *
+                                      static_cast<double>(world_size) /
+                                      lustre_gbps);
+}
+
+}  // namespace
+
 const char* protocol_name(Protocol p) noexcept {
   switch (p) {
     case Protocol::kNative: return "native";
@@ -29,10 +41,24 @@ Engine::Engine(EngineConfig config)
                   "retain_generations must be non-negative");
   MANATEE_REQUIRE(config_.retain_generations == 0 || !config_.image_dir.empty(),
                   "generational checkpoints need an image directory");
+  MANATEE_REQUIRE(config_.ckpt_full_every >= 1, "ckpt_full_every must be ≥ 1");
   if (config_.retain_generations > 0) {
     base_generation_ = ckpt::GenerationStore::latest(config_.image_dir);
   }
   const int world = config_.runtime.world_size;
+  if (!config_.image_dir.empty() && config_.protocol != Protocol::kNative) {
+    ckpt::WriterConfig wc;
+    wc.image_dir = config_.image_dir;
+    wc.world = world;
+    wc.ranks_per_node = config_.runtime.ranks_per_node;
+    wc.generational = config_.retain_generations > 0;
+    wc.async = config_.ckpt_async;
+    wc.delta = config_.ckpt_delta;
+    wc.replicate = config_.ckpt_replicate;
+    wc.full_every = config_.ckpt_full_every;
+    wc.publish_hook = config_.ckpt_publish_hook;
+    writer_ = std::make_unique<ckpt::Writer>(std::move(wc));
+  }
   ctxs_.reserve(static_cast<std::size_t>(world));
   for (int i = 0; i < world; ++i) {
     auto ctx = std::make_unique<EngineRankCtx>();
@@ -64,13 +90,9 @@ EngineRankCtx& Engine::rank_ctx(int world_rank) {
 
 void Engine::request_checkpoint() {
   if (!coordinator_.request_checkpoint()) return;
-  if (config_.retain_generations > 0) {
-    // The write phase starts only after the drain completes, and the
-    // coordinator's phase transition orders this creation before any
-    // rank's image write.
-    ckpt::GenerationStore::create(
-        config_.image_dir, generation_for_cycle(coordinator_.completed_cycles() + 1));
-  }
+  // Generation directories are no longer created here: the writer stages
+  // each generation under gen_NNNNNN.tmp and publishes it atomically once
+  // every rank's image (and replica) is durable.
   for (int r = 0; r < runtime_.world_size(); ++r) {
     ctxs_[static_cast<std::size_t>(r)]->manager->post_initial_state(r);
   }
@@ -109,6 +131,11 @@ std::uint64_t Engine::load_restore_images() {
   if (!valid.has_value()) {
     throw CheckpointError("no usable checkpoint generation under " +
                           config_.image_dir);
+  }
+  if (writer_ != nullptr) {
+    // Prime the delta state so this engine's first checkpoint can be a
+    // delta against the restored generation (chain depth carries over).
+    writer_->seed_delta(valid->gen, valid->images);
   }
   for (int i = 0; i < world; ++i) {
     ctxs_[static_cast<std::size_t>(i)]->restore_image =
@@ -151,6 +178,10 @@ RunReport Engine::execute(const WrappedApp& app, bool restoring) {
     stopped[static_cast<std::size_t>(rank.world_rank())] = early ? 1 : 0;
   });
 
+  // Barrier the write-back pipeline: every submitted image must be on disk
+  // (and publication attempted) before the report claims anything about it.
+  if (writer_ != nullptr) writer_->flush();
+
   RunReport report;
   report.makespan = runtime_.max_clock();
   for (auto c : coll_calls) report.wrapper_collective_calls += c;
@@ -164,7 +195,12 @@ RunReport Engine::execute(const WrappedApp& app, bool restoring) {
       runtime_.fabric().counters(simnet::TrafficClass::kCollective).messages;
 
   // Per-cycle checkpoint durations: request observed (min over ranks) to
-  // image written (max over ranks), in virtual time.
+  // ranks resumed (max over ranks), in virtual time. With async write-back
+  // that is the *stall*; the drain column adds the modeled PFS write of the
+  // bytes the writer actually produced for the cycle.
+  const auto wstats = writer_ != nullptr
+                          ? writer_->stats()
+                          : std::map<std::uint64_t, ckpt::GenerationStats>{};
   for (std::uint64_t cycle = 1; cycle <= report.checkpoints; ++cycle) {
     simnet::SimTime start = std::numeric_limits<simnet::SimTime>::max();
     simnet::SimTime end = 0;
@@ -180,11 +216,25 @@ RunReport Engine::execute(const WrappedApp& app, bool restoring) {
       start = std::min(start, base->request_clocks()[cycle - 1]);
       end = std::max(end, base->write_clocks()[cycle - 1]);
     }
-    if (have) report.ckpt_durations.push_back(end - start);
+    if (!have) continue;
+    const simnet::SimTime stall = end - start;
+    report.ckpt_durations.push_back(stall);
+    const auto it = wstats.find(cycle);
+    const std::uint64_t written = it != wstats.end() ? it->second.written_bytes : 0;
+    report.ckpt_written_bytes.push_back(written);
+    simnet::SimTime drain = stall;
+    if (config_.ckpt_async && it != wstats.end()) {
+      drain += pfs_time(written, runtime_.world_size(),
+                        runtime_.cost().params().lustre_gbps);
+    }
+    report.ckpt_drain_durations.push_back(drain);
   }
 
   for (const auto& ctx : ctxs_) {
     report.image_bytes_total += ctx->image_bytes_written;
+  }
+  for (const auto& [cycle, s] : wstats) {
+    report.written_bytes_total += s.written_bytes;
   }
   if (restoring) {
     report.restored_generation = restored_generation_;

@@ -20,6 +20,7 @@
 #include "ckpt/coordinator.hpp"
 #include "ckpt/image.hpp"
 #include "ckpt/registry.hpp"
+#include "ckpt/writer.hpp"
 #include "core/drain_graph.hpp"
 #include "core/drain_manager.hpp"
 #include "core/trace.hpp"
@@ -55,6 +56,22 @@ struct EngineConfig {
   /// newest K after each segment (ckpt/generation.hpp).
   int retain_generations = 0;
 
+  // ---- checkpoint write-back pipeline (ckpt/writer.hpp); all opt-in ----
+  /// Incremental images: store only chunks changed since the previous
+  /// generation (generational mode only).
+  bool ckpt_delta = false;
+  /// Move serialization/hashing/writes off the rank critical path onto the
+  /// dedicated writer thread; ranks resume after capture.
+  bool ckpt_async = false;
+  /// Mirror each node's images into its ring partner's subtree.
+  bool ckpt_replicate = false;
+  /// With ckpt_delta: every Nth generation is written full, bounding the
+  /// restart chain walk.
+  int ckpt_full_every = 8;
+  /// Test seam: called once per staged generation; return false to skip
+  /// the publish rename (simulated crash between staging and publication).
+  std::function<bool(std::uint64_t)> ckpt_publish_hook;
+
   /// Record per-rank event traces for the drain-graph oracle (tests).
   bool record_trace = false;
 };
@@ -64,8 +81,18 @@ struct RunReport {
   std::uint64_t wrapper_collective_calls = 0;
   std::uint64_t wrapper_p2p_calls = 0;
   std::uint64_t checkpoints = 0;
-  /// Per completed cycle: request-observed → all images written (virtual).
+  /// Per completed cycle: request-observed → every rank resumed computing
+  /// (virtual). Sync write-back: includes the stable-storage write. Async:
+  /// the *stall* only — the PFS drain continues in ckpt_drain_durations.
   std::vector<simnet::SimTime> ckpt_durations;
+  /// Per completed cycle: request-observed → generation durable on the
+  /// simulated PFS. Sync write-back: equals ckpt_durations. Async: stall
+  /// plus the modeled drain of the bytes actually written.
+  std::vector<simnet::SimTime> ckpt_drain_durations;
+  /// Per completed cycle: bytes physically written (delta savings and
+  /// replica copies show up here; image_bytes_total stays logical).
+  std::vector<std::uint64_t> ckpt_written_bytes;
+  std::uint64_t written_bytes_total = 0;
   /// restart(): virtual time until every rank finished replay.
   simnet::SimTime restart_duration = 0;
   bool stopped_after_checkpoint = false;
@@ -138,6 +165,9 @@ class Engine {
   [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
   [[nodiscard]] umpi::Runtime& runtime() noexcept { return runtime_; }
   [[nodiscard]] ckpt::Coordinator& coordinator() noexcept { return coordinator_; }
+  /// The checkpoint write-back pipeline (null for native-protocol engines,
+  /// which never write images).
+  [[nodiscard]] ckpt::Writer* writer() noexcept { return writer_.get(); }
   [[nodiscard]] EngineRankCtx& rank_ctx(int world_rank);
 
   /// Per-rank event traces (when config.record_trace), for the oracle.
@@ -161,6 +191,7 @@ class Engine {
   EngineConfig config_;
   umpi::Runtime runtime_;
   ckpt::Coordinator coordinator_;
+  std::unique_ptr<ckpt::Writer> writer_;
   std::vector<std::unique_ptr<EngineRankCtx>> ctxs_;
   ScheduleCursor cursor_;
   /// Highest generation already on disk at construction; this engine's

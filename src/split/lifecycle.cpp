@@ -65,10 +65,12 @@ LifecycleReport Lifecycle::run(const WrappedApp& app) {
       break;
     }
     ++report.crashes;
-    // Numeric-only retention: the newest generation is the checkpoint this
-    // segment just completed, valid by construction, so the world-aware
-    // newest-valid protection (and its extra image reads) is unnecessary
-    // here — it exists for stores with externally corrupted tails.
+    // Numeric-only retention: 2-phase publication means every *listed*
+    // generation is complete (a crash mid-write leaves only an invisible
+    // .tmp), so the newest listed generation is valid by construction and
+    // the world-aware newest-valid protection (with its extra image reads)
+    // is unnecessary here. Delta-chain bases kept generations still
+    // reference are protected inside retain() itself.
     ckpt::GenerationStore::retain(
         config_.engine.image_dir,
         static_cast<std::size_t>(config_.engine.retain_generations));

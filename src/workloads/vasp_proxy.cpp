@@ -15,6 +15,8 @@ void VaspProxy::operator()(Api& api) const {
   const int band_size = api.comm_size(band);
 
   std::vector<double> wavefunction(static_cast<std::size_t>(wavefunction_elems));
+  std::vector<double> pseudopotential(
+      static_cast<std::size_t>(std::max(0, pseudopotential_elems)));
   std::vector<double> fft_send(
       static_cast<std::size_t>(fft_block_elems * band_size));
   std::vector<double> fft_recv(fft_send.size());
@@ -23,6 +25,7 @@ void VaspProxy::operator()(Api& api) const {
   std::uint64_t rng_state = 0xa5c0 + static_cast<std::uint64_t>(rank);
 
   api.register_state("psi", wavefunction);
+  if (!pseudopotential.empty()) api.register_state("pp_tables", pseudopotential);
   api.register_state("fft_send", fft_send);
   api.register_state("fft_recv", fft_recv);
   api.register_state("halo_left", halo_left);
@@ -36,6 +39,8 @@ void VaspProxy::operator()(Api& api) const {
   api.once([&] {
     deterministic_fill(wavefunction, rng_state);
     deterministic_fill(fft_send, rng_state ^ 0x1111);
+    // Filled once, read-only afterwards (cold state for delta checkpoints).
+    deterministic_fill(pseudopotential, rng_state ^ 0x2222);
   });
 
   for (int scf = 0; scf < scf_iterations; ++scf) {
@@ -98,6 +103,7 @@ void VaspProxy::operator()(Api& api) const {
 
   Fingerprint fp;
   fp.add_range<double>(wavefunction);
+  fp.add_range<double>(pseudopotential);
   fp.add_value(energy_total);
   outcome.fingerprint = fp.value();
 }

@@ -33,6 +33,11 @@ struct VaspProxy {
   simnet::SimTime compute_per_fft_ns = 1'200'000;
   /// Extra per-rank state to give checkpoint images realistic weight.
   int wavefunction_elems = 4096;
+  /// Cold registered state: the pseudopotential/projector tables, filled
+  /// once and never touched by SCF iterations. Real VASP images are
+  /// dominated by such read-mostly data — this is what incremental
+  /// (delta) checkpoints dedupe away after the first full image.
+  int pseudopotential_elems = 0;
 
   void operator()(Api& api) const;
 

@@ -4,10 +4,39 @@
 
 #include <filesystem>
 
+#include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "common/serialize.hpp"
 
 namespace manatee::ckpt {
 namespace {
+
+std::vector<std::byte> with_crc_trailer(BinaryWriter&& w) {
+  auto body = w.take();
+  const std::uint32_t crc = Crc32::of(body);
+  BinaryWriter trailer;
+  trailer.write_u32(crc);
+  const auto& t = trailer.bytes();
+  body.insert(body.end(), t.begin(), t.end());
+  return body;
+}
+
+/// Bytes exactly as the pre-pipeline (v3) serializer wrote them: flat
+/// name→bytes map, no chunking.
+std::vector<std::byte> v3_image_bytes(std::uint32_t version = 3) {
+  BinaryWriter w;
+  w.write_u32(CkptImage::kMagic);
+  w.write_u32(version);
+  w.write_i64(4);  // world
+  w.write_i64(2);  // rank
+  w.write_u64(7);  // cycle
+  w.begin_map(2);
+  w.write_string("app/state");
+  w.write_bytes(std::vector<std::byte>(64, std::byte{0x5a}));
+  w.write_string("engine/meta");
+  w.write_bytes(std::vector<std::byte>{std::byte{1}, std::byte{2}});
+  return with_crc_trailer(std::move(w));
+}
 
 CkptImage sample_image() {
   CkptImage img;
@@ -87,6 +116,131 @@ TEST(CkptImage, PathForFormat) {
 
 TEST(CkptImage, MissingFileThrows) {
   EXPECT_THROW(CkptImage::read_file("/nonexistent/dir/img"), CheckpointError);
+}
+
+// ---- version compatibility -------------------------------------------------
+
+TEST(CkptImage, V3FlatImageStillParses) {
+  const auto back = CkptImage::deserialize(v3_image_bytes());
+  EXPECT_EQ(back.world_size, 4);
+  EXPECT_EQ(back.rank, 2);
+  EXPECT_EQ(back.cycle, 7u);
+  EXPECT_EQ(back.blob("app/state"), std::vector<std::byte>(64, std::byte{0x5a}));
+  EXPECT_EQ(back.blob("engine/meta"),
+            (std::vector<std::byte>{std::byte{1}, std::byte{2}}));
+}
+
+TEST(CkptImage, V3ParsesAsFullChunkedImage) {
+  // The compat path rechunks: no blob may be left unresolved.
+  const auto f = ImageFile::parse(v3_image_bytes());
+  EXPECT_FALSE(f.delta);
+  EXPECT_EQ(f.base_gen, 0u);
+  EXPECT_TRUE(f.missing().empty());
+}
+
+TEST(CkptImage, UnsupportedVersionsRejected) {
+  for (const std::uint32_t bad : {2u, 5u}) {
+    try {
+      CkptImage::deserialize(v3_image_bytes(bad));
+      FAIL() << "version " << bad << " must not parse";
+    } catch (const CheckpointError& e) {
+      EXPECT_NE(std::string(e.what()).find("unsupported"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+// ---- chunking, dedupe, deltas ----------------------------------------------
+
+CkptImage chunky_image(std::byte hot_fill) {
+  CkptImage img;
+  img.world_size = 2;
+  img.rank = 0;
+  img.cycle = 1;
+  img.blobs["cold"] = std::vector<std::byte>(256, std::byte{0xcd});
+  std::vector<std::byte> hot(96);
+  for (std::size_t i = 0; i < hot.size(); ++i) {
+    hot[i] = static_cast<std::byte>(static_cast<unsigned>(hot_fill) + i);
+  }
+  img.blobs["hot"] = hot;
+  return img;
+}
+
+TEST(ImageFile, RepeatedChunksStoredOnce) {
+  CkptImage img;
+  img.blobs["rep"] = std::vector<std::byte>(16 * 32, std::byte{0x11});
+  const auto f = ImageFile::from_image(img, 32, nullptr, 0);
+  EXPECT_EQ(f.manifest.at("rep").chunks.size(), 16u);
+  EXPECT_EQ(f.store.size(), 1u);  // identical content → one stored chunk
+  EXPECT_EQ(f.stored_bytes(), 32u);
+  EXPECT_EQ(f.materialize().blobs, img.blobs);
+}
+
+TEST(ImageFile, DeltaStoresOnlyChangedChunks) {
+  const auto base = chunky_image(std::byte{0});
+  const auto full = ImageFile::from_image(base, 32, nullptr, 0);
+  const auto prev = full.referenced();
+
+  auto next = base;
+  next.blobs["hot"][0] ^= std::byte{0xff};  // first hot chunk changes
+  const auto delta = ImageFile::from_image(next, 32, &prev, 9);
+  EXPECT_TRUE(delta.delta);
+  EXPECT_EQ(delta.base_gen, 9u);
+  EXPECT_EQ(delta.store.size(), 1u);  // just the mutated chunk
+  EXPECT_FALSE(delta.missing().empty());
+  EXPECT_LT(delta.stored_bytes(), full.stored_bytes());
+  // Unresolved, the delta cannot materialize...
+  EXPECT_THROW(delta.materialize(), CheckpointError);
+  // ...and cannot stand alone as a deserialized image.
+  EXPECT_THROW(CkptImage::deserialize(delta.serialize()), CheckpointError);
+  // Absorbing the base resolves it bit-identically.
+  auto resolved = delta;
+  resolved.absorb(full);
+  EXPECT_TRUE(resolved.missing().empty());
+  EXPECT_EQ(resolved.materialize().blobs, next.blobs);
+}
+
+TEST(ImageFile, DeltaSurvivesSerializeParse) {
+  const auto base = chunky_image(std::byte{7});
+  const auto full = ImageFile::from_image(base, 32, nullptr, 0);
+  const auto prev = full.referenced();
+  auto next = base;
+  next.blobs["hot"].back() ^= std::byte{0x80};
+  const auto delta = ImageFile::from_image(next, 32, &prev, 3);
+
+  const auto back = ImageFile::parse(delta.serialize());
+  EXPECT_TRUE(back.delta);
+  EXPECT_EQ(back.base_gen, 3u);
+  EXPECT_EQ(back.chunk_bytes, 32u);
+  EXPECT_EQ(back.missing(), delta.missing());
+  auto resolved = back;
+  resolved.absorb(ImageFile::parse(full.serialize()));
+  EXPECT_EQ(resolved.materialize().blobs, next.blobs);
+}
+
+TEST(ImageFile, PeekHeaderWithoutCrc) {
+  const auto dir = std::filesystem::temp_directory_path() / "manatee_peek_test";
+  std::filesystem::create_directories(dir);
+  const auto path = (dir / "img").string();
+
+  const auto base = chunky_image(std::byte{1});
+  const auto prev = ImageFile::from_image(base, 32, nullptr, 0).referenced();
+  auto next = base;
+  next.cycle = 5;
+  next.blobs["hot"][3] ^= std::byte{1};
+  ImageFile::from_image(next, 32, &prev, 4).write_file(path);
+
+  const auto h = peek_image_header(path);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->version, CkptImage::kVersion);
+  EXPECT_EQ(h->world_size, 2);
+  EXPECT_EQ(h->rank, 0);
+  EXPECT_EQ(h->cycle, 5u);
+  EXPECT_TRUE(h->delta);
+  EXPECT_EQ(h->base_gen, 4u);
+
+  EXPECT_FALSE(peek_image_header((dir / "absent").string()).has_value());
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -157,7 +157,15 @@ std::string Scenario::describe() const {
            "ns seed=" + std::to_string(failures.poisson_seed) + "}";
   }
   out += " sched=" + std::string(sched::backend_name(sched.backend));
-  out += " retain=" + std::to_string(retain_generations) + "}";
+  out += " retain=" + std::to_string(retain_generations);
+  if (ckpt_delta || ckpt_async || ckpt_replicate) {
+    out += " ckpt{";
+    if (ckpt_delta) out += "delta(full_every=" + std::to_string(ckpt_full_every) + ")";
+    if (ckpt_async) out += " async";
+    if (ckpt_replicate) out += " replicate";
+    out += "}";
+  }
+  out += "}";
   return out;
 }
 
@@ -230,6 +238,11 @@ ScenarioOutcome run_scenario(const Scenario& scenario) {
   lifecycle.engine.image_dir = outcome.image_dir;
   lifecycle.engine.failures = scenario.failures;
   lifecycle.engine.retain_generations = scenario.retain_generations;
+  lifecycle.engine.ckpt_delta = scenario.ckpt_delta;
+  lifecycle.engine.ckpt_async = scenario.ckpt_async;
+  lifecycle.engine.ckpt_replicate = scenario.ckpt_replicate;
+  lifecycle.engine.ckpt_full_every = scenario.ckpt_full_every;
+  lifecycle.engine.ckpt_publish_hook = scenario.ckpt_publish_hook;
   lifecycle.engine.record_trace = scenario.check_oracle;
   lifecycle.max_segments = scenario.max_segments;
   if (scenario.check_oracle) {
@@ -269,8 +282,15 @@ ScenarioOutcome expect_scenario_roundtrip(const Scenario& scenario) {
     EXPECT_GT(gen, 0u) << "restart did not restore from a numbered generation";
   }
   if (scenario.retain_generations > 0 && life.crashes > 0) {
+    // Delta chains may pin up to full_every-1 base generations below the
+    // numeric retention cutoff (retain() protects live bases).
+    const std::size_t chain_slack =
+        scenario.ckpt_delta
+            ? static_cast<std::size_t>(scenario.ckpt_full_every) - 1
+            : 0;
     EXPECT_LE(ckpt::GenerationStore::list(outcome.image_dir).size(),
-              static_cast<std::size_t>(scenario.retain_generations) + 1)
+              static_cast<std::size_t>(scenario.retain_generations) + 1 +
+                  chain_slack)
         << "retention did not prune old generations";
   }
   EXPECT_EQ(outcome.chained, outcome.golden)

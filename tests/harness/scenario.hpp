@@ -64,6 +64,14 @@ struct Scenario {
   split::FailureSchedule failures{};
   int retain_generations = 3;
   std::size_t max_segments = 16;
+  // ---- checkpoint write-back pipeline axes (split/engine.hpp knobs) ----
+  bool ckpt_delta = false;
+  bool ckpt_async = false;
+  bool ckpt_replicate = false;
+  int ckpt_full_every = 8;
+  /// Crash-injection seam forwarded to the engine (false = skip the
+  /// publish rename of that generation once).
+  std::function<bool(std::uint64_t)> ckpt_publish_hook;
   /// Run the §4.2.2 drain-graph oracle on every crashed segment.
   bool check_oracle = true;
   long wait_timeout_ms = 20'000;

@@ -10,6 +10,11 @@
 // CI can repeat it nightly under Release and TSan.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string_view>
+
 #include "common/rng.hpp"
 #include "harness/scenario.hpp"
 #include "harness/seed_reporter.hpp"
@@ -18,6 +23,14 @@ namespace manatee::split {
 namespace {
 
 MANATEE_INSTALL_SEED_REPORTER();
+
+/// MANATEE_CKPT=pipeline (the CI matrix dimension) forces delta+async
+/// write-back on every case; the seed-derived axes still cover the mixed
+/// configurations in the default rows.
+bool pipeline_forced() {
+  const char* env = std::getenv("MANATEE_CKPT");
+  return env != nullptr && std::string_view(env) == "pipeline";
+}
 
 struct SoakCase {
   std::uint64_t seed = 0;
@@ -50,6 +63,29 @@ SoakCase make_case(std::uint64_t seed) {
       case 1: s.coll.force(umpi::coll::CollKind::kAllreduce, "ring"); break;
       default: s.coll.force(umpi::coll::CollKind::kBarrier, "tree"); break;
     }
+  }
+
+  // Checkpoint write-back pipeline axes. Drawn unconditionally so the rest
+  // of the case (schedule below) is identical with and without the
+  // MANATEE_CKPT=pipeline override.
+  s.ckpt_delta = rng.next_bool(0.5);
+  s.ckpt_async = rng.next_bool(0.5);
+  s.ckpt_replicate = rng.next_bool(0.25);
+  s.ckpt_full_every = 2 + static_cast<int>(rng.next_below(4));  // 2..5
+  if (pipeline_forced()) {
+    s.ckpt_delta = true;
+    s.ckpt_async = true;
+  }
+  // One case in four additionally crashes mid-write once: the publication
+  // of one early generation is suppressed (staging happens, the rename
+  // does not), so that restart must fall back to the newest *published*
+  // generation. Once-only so generation numbers keep progressing.
+  if (rng.next_bool(0.25)) {
+    const std::uint64_t doomed = 2 + rng.next_below(3);  // generation 2..4
+    auto fired = std::make_shared<std::atomic<bool>>(false);
+    s.ckpt_publish_hook = [doomed, fired](std::uint64_t gen) {
+      return gen != doomed || fired->exchange(true);
+    };
   }
 
   // Failure schedule: aim for 2–4 crashes per chain. Collective-count
