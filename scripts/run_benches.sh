@@ -8,7 +8,12 @@
 # every world size >= 256 ranks. The checkpoint-pipeline sweep (sync-full vs
 # async-delta) is written to BENCH_8.json and self-gates on virtual-time
 # ratios: async-delta stall <= 0.5x sync-full at world >= 64, and delta
-# bytes-per-generation below full everywhere.
+# bytes-per-generation below full everywhere. The collective-selection
+# topology sweep (1/2/4-node shapes x rail counts) is written to
+# BENCH_9.json and self-gates: the hierarchical allreduce must beat every
+# flat algorithm (and be the heuristic pick) for large messages on every
+# multi-node shape, and the in-switch barrier must beat dissemination where
+# the topology offers the unit.
 # With --check <committed.json> it additionally fails (exit 1) when the fresh
 # measurement regresses the committed reference by more than the tolerance
 # (default 20%) on the gated wall-clock call rates, or when the eager
@@ -16,8 +21,8 @@
 #
 # Usage:
 #   scripts/run_benches.sh [--build-dir DIR] [--out FILE] [--out-scaling FILE]
-#                          [--out-ckpt FILE] [--label NAME] [--check FILE]
-#                          [--tolerance PCT] [--quick]
+#                          [--out-ckpt FILE] [--out-coll FILE] [--label NAME]
+#                          [--check FILE] [--tolerance PCT] [--quick]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,6 +30,7 @@ BUILD_DIR=build-release
 OUT=BENCH_3.json
 OUT_SCALING=BENCH_6.json
 OUT_CKPT=BENCH_8.json
+OUT_COLL=BENCH_9.json
 LABEL=current
 CHECK=""
 TOLERANCE="${MANATEE_BENCH_TOLERANCE:-20}"
@@ -36,6 +42,7 @@ while [[ $# -gt 0 ]]; do
     --out) OUT="$2"; shift 2 ;;
     --out-scaling) OUT_SCALING="$2"; shift 2 ;;
     --out-ckpt) OUT_CKPT="$2"; shift 2 ;;
+    --out-coll) OUT_COLL="$2"; shift 2 ;;
     --label) LABEL="$2"; shift 2 ;;
     --check) CHECK="$2"; shift 2 ;;
     --tolerance) TOLERANCE="$2"; shift 2 ;;
@@ -45,7 +52,7 @@ while [[ $# -gt 0 ]]; do
 done
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-TARGETS=(bench_table1_call_rates bench_p2p_rate bench_world_scaling bench_fig9_ckpt_restart)
+TARGETS=(bench_table1_call_rates bench_p2p_rate bench_world_scaling bench_fig9_ckpt_restart bench_coll_algorithms)
 if grep -q "GOOGLE_BENCHMARK_LIB:FILEPATH=.*benchmark" "$BUILD_DIR/CMakeCache.txt" 2>/dev/null; then
   TARGETS+=(bench_micro_components)
 fi
@@ -75,6 +82,12 @@ echo "wrote $OUT_SCALING"
 # no machine-dependent tolerance is needed).
 "$BUILD_DIR/bench_fig9_ckpt_restart" --json "$OUT_CKPT" --check
 echo "wrote $OUT_CKPT"
+# --check is the topology gate: hier allreduce beats every flat algorithm
+# (and is the heuristic pick) at large messages on every multi-node shape,
+# and the in-switch barrier beats dissemination where the unit is offered
+# (virtual-time ratios again, so no tolerance).
+"$BUILD_DIR/bench_coll_algorithms" --json "$OUT_COLL" --check
+echo "wrote $OUT_COLL"
 "$BUILD_DIR/bench_p2p_rate" "${P2P_ARGS[@]}" --json "$TMP/p2p.json"
 if [[ -x "$BUILD_DIR/bench_micro_components" ]]; then
   "$BUILD_DIR/bench_micro_components" \

@@ -12,6 +12,7 @@
 // model, so overhead comparisons are apples-to-apples.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 
 #include "simnet/time.hpp"
@@ -22,9 +23,15 @@ namespace manatee::simnet {
 struct CostParams {
   // --- network (LogGP alpha/beta) ---
   SimTime intra_node_latency_ns = 250;    ///< shared-memory hop
-  SimTime inter_node_latency_ns = 1800;   ///< Slingshot-11-class hop
+  SimTime inter_node_latency_ns = 1800;   ///< Slingshot-11-class first hop
   double intra_node_gbps = 200.0;         ///< shared-memory copy bandwidth, GB/s
   double inter_node_gbps = 25.0;          ///< NIC bandwidth, GB/s
+  /// Each inter-node switch hop beyond the first (fat-tree spine climbs,
+  /// dragonfly global links) adds this store-and-forward latency.
+  SimTime extra_hop_latency_ns = 300;
+  /// In-switch collective unit: ALU time to fold one contribution into the
+  /// aggregation state (simnet/switch_coll.hpp charges it per member).
+  SimTime switch_aggregate_ns = 120;
 
   // --- per-call CPU overheads ---
   SimTime send_overhead_ns = 150;   ///< o_s: software path to inject a message
@@ -73,13 +80,31 @@ class CostModel {
 
   [[nodiscard]] const CostParams& params() const noexcept { return p_; }
 
-  /// Wire time for `bytes` between two world ranks: alpha + bytes/beta.
-  [[nodiscard]] SimTime transfer_ns(std::size_t bytes, bool same_node) const noexcept {
+  /// Wire time for `bytes` along `path`: alpha(hops) + bytes/beta(route).
+  /// The bandwidth term is accumulated in double and rounded once —
+  /// truncating it per call made every payload under ~`gbps` bytes
+  /// contribute zero bandwidth cost, which skewed small-message
+  /// calibration (and with it the selection thresholds).
+  [[nodiscard]] SimTime transfer_ns(std::size_t bytes,
+                                    const PathCost& path) const noexcept {
+    if (path.same_node) {
+      return p_.intra_node_latency_ns +
+             static_cast<SimTime>(
+                 std::llround(static_cast<double>(bytes) / p_.intra_node_gbps));
+    }
     const SimTime alpha =
-        same_node ? p_.intra_node_latency_ns : p_.inter_node_latency_ns;
-    const double gbps = same_node ? p_.intra_node_gbps : p_.inter_node_gbps;
+        p_.inter_node_latency_ns +
+        p_.extra_hop_latency_ns * static_cast<SimTime>(path.hops > 0 ? path.hops - 1 : 0);
     // bytes / (GB/s) = bytes * ns/byte given 1 GB/s == 1 byte/ns.
-    return alpha + static_cast<SimTime>(static_cast<double>(bytes) / gbps);
+    const double gbps = p_.inter_node_gbps * (path.bw_scale > 0 ? path.bw_scale : 1.0);
+    return alpha + static_cast<SimTime>(
+                       std::llround(static_cast<double>(bytes) / gbps));
+  }
+
+  /// Binary same-node shorthand (a 0-hop or single-hop single-rail route).
+  [[nodiscard]] SimTime transfer_ns(std::size_t bytes, bool same_node) const noexcept {
+    return transfer_ns(bytes, same_node ? PathCost{0, 1.0, true}
+                                        : PathCost{1, 1.0, false});
   }
 
   [[nodiscard]] SimTime send_overhead() const noexcept { return p_.send_overhead_ns; }
@@ -91,7 +116,12 @@ class CostModel {
   /// collectives become bandwidth-bound rather than infinitely pipelined.
   [[nodiscard]] SimTime injection_ns(std::size_t bytes) const noexcept {
     return p_.send_overhead_ns +
-           static_cast<SimTime>(static_cast<double>(bytes) / p_.intra_node_gbps);
+           static_cast<SimTime>(
+               std::llround(static_cast<double>(bytes) / p_.intra_node_gbps));
+  }
+
+  [[nodiscard]] SimTime switch_aggregate_cost() const noexcept {
+    return p_.switch_aggregate_ns;
   }
 
   [[nodiscard]] SimTime reduce_cost(std::size_t bytes) const noexcept {

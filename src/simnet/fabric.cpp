@@ -10,6 +10,13 @@ Fabric::Fabric(Topology topology, CostModel cost)
   for (int i = 0; i < topology_.world_size(); ++i) {
     stores_.push_back(std::make_unique<MessageStore>(&pool_));
   }
+  const TopoSpec& spec = topology_.spec();
+  SwitchUnit::Limits limits;
+  limits.enabled = spec.switch_coll;
+  limits.max_members = spec.switch_max_members;
+  limits.max_payload = spec.switch_max_payload;
+  limits.rail_scale = static_cast<double>(spec.rails);
+  switch_unit_ = std::make_unique<SwitchUnit>(this, limits);
 }
 
 MessageStore& Fabric::store(int world_rank) {
@@ -25,8 +32,8 @@ void Fabric::send(int src_world, int dst_world, ContextId context, int src_in_co
                   "destination world rank out of range");
   src_clock.advance(cost_.injection_ns(payload.size()));
   const SimTime arrival =
-      src_clock.now() + cost_.transfer_ns(payload.size(),
-                                          topology_.same_node(src_world, dst_world));
+      src_clock.now() +
+      cost_.transfer_ns(payload.size(), topology_.path(src_world, dst_world));
   store(dst_world).deliver_bytes(context, src_in_comm, tag, arrival, payload,
                                  traffic);
 }

@@ -1,0 +1,189 @@
+#include "simnet/switch_coll.hpp"
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+#include "simnet/fabric.hpp"
+
+namespace manatee::simnet {
+
+SwitchUnit::SwitchUnit(Fabric* fabric, Limits limits)
+    : fabric_(fabric), limits_(limits) {}
+
+bool SwitchUnit::attach(ContextId coll_context,
+                        const std::vector<int>& member_worlds) {
+  common::MutexLock lock(mutex_);
+  auto it = sessions_.find(coll_context);
+  if (it != sessions_.end()) return it->second.admitted;
+
+  // Admission is a pure function of (member list, limits): every member of
+  // the communicator — and every re-execution after restart — computes the
+  // same verdict, so the whole communicator agrees switch vs software
+  // without extra agreement traffic.
+  Session session;
+  session.admitted = limits_.enabled && !member_worlds.empty() &&
+                     static_cast<int>(member_worlds.size()) <=
+                         limits_.max_members;
+  session.member_worlds = member_worlds;
+  const bool admitted = session.admitted;
+  sessions_.emplace(coll_context, std::move(session));
+  if (admitted) {
+    ++counters_.sessions_attached;
+  } else {
+    ++counters_.sessions_rejected;
+  }
+  return admitted;
+}
+
+SimTime SwitchUnit::link_transfer_ns(std::size_t bytes) const {
+  return fabric_->cost().transfer_ns(
+      bytes, PathCost{1, limits_.rail_scale, /*same_node=*/false});
+}
+
+bool SwitchUnit::contribute(ContextId coll_context, int member, int round_tag,
+                            std::span<const std::byte> payload,
+                            bool has_payload, SimTime uplink_ns) {
+  common::MutexLock lock(mutex_);
+  auto it = sessions_.find(coll_context);
+  MANATEE_CHECK(it != sessions_.end() && it->second.admitted,
+                "switch contribution on an unregistered communicator");
+  Session& session = it->second;
+  const int members = static_cast<int>(session.member_worlds.size());
+  MANATEE_CHECK(member >= 0 && member < members,
+                "switch contribution from a rank outside the session");
+
+  auto round_it = session.rounds.find(round_tag);
+  if (round_it != session.rounds.end() && round_it->second.aborted) {
+    // Tombstoned by a quiesce: peers already fell back to software for
+    // this tag, so a late arrival must too — even after resume().
+    ++counters_.contributions_rejected;
+    return false;
+  }
+  if (quiesced_ || payload.size() > limits_.max_payload) {
+    ++counters_.contributions_rejected;
+    return false;
+  }
+
+  Round& round = session.rounds[round_tag];
+  if (round.contributed.empty()) {
+    round.contributed.assign(static_cast<std::size_t>(members), false);
+    ++counters_.live_partial_rounds;
+  }
+  MANATEE_CHECK(!round.completed, "switch contribution to a completed round");
+  MANATEE_CHECK(!round.contributed[static_cast<std::size_t>(member)],
+                "duplicate switch contribution");
+  round.contributed[static_cast<std::size_t>(member)] = true;
+  ++round.contributions;
+  if (uplink_ns > round.ready_ns) round.ready_ns = uplink_ns;
+  if (has_payload) {
+    MANATEE_CHECK(!round.has_payload, "two payload contributions in one round");
+    round.has_payload = true;
+    round.payload.assign(payload.begin(), payload.end());
+  }
+  if (round.contributions == members) {
+    complete_round_locked(coll_context, session, round_tag, round);
+  }
+  return true;
+}
+
+void SwitchUnit::complete_round_locked(ContextId ctx, Session& session,
+                                       int round_tag, Round& round) {
+  // The unit folds contributions serially; the round result is ready one
+  // ALU step per member after the last contribution lands.
+  round.ready_ns += fabric_->cost().switch_aggregate_cost() *
+                    static_cast<SimTime>(session.member_worlds.size());
+  round.completed = true;
+  ++counters_.rounds_completed;
+  --counters_.live_partial_rounds;
+  deliver_locked(ctx, session, round_tag, round, kSwitchComplete,
+                 /*everyone=*/true);
+  round.payload.clear();
+  round.contributed.clear();
+}
+
+void SwitchUnit::abort_round_locked(ContextId ctx, Session& session,
+                                    int round_tag, Round& round) {
+  round.aborted = true;
+  ++counters_.rounds_aborted;
+  --counters_.live_partial_rounds;
+  // Only already-contributed members are waiting on the unit; the rest are
+  // rejected at contribution time and never post the downlink receive.
+  deliver_locked(ctx, session, round_tag, round, kSwitchAbort,
+                 /*everyone=*/false);
+  round.payload.clear();
+}
+
+void SwitchUnit::deliver_locked(ContextId ctx, const Session& session,
+                                int round_tag, const Round& round,
+                                std::byte verdict, bool everyone) {
+  std::vector<std::byte> reply;
+  reply.reserve(1 + round.payload.size());
+  reply.push_back(verdict);
+  if (verdict == kSwitchComplete) {
+    reply.insert(reply.end(), round.payload.begin(), round.payload.end());
+  }
+  const SimTime arrival = round.ready_ns + link_transfer_ns(reply.size());
+  for (std::size_t i = 0; i < session.member_worlds.size(); ++i) {
+    if (!everyone && !round.contributed[i]) continue;
+    fabric_->store(session.member_worlds[i])
+        .deliver_bytes(ctx, kInSwitchSource, round_tag, arrival, reply,
+                       TrafficClass::kCollective);
+  }
+}
+
+void SwitchUnit::quiesce() {
+  common::MutexLock lock(mutex_);
+  if (quiesced_) return;
+  quiesced_ = true;
+  counters_.quiesced = true;
+  for (auto& [ctx, session] : sessions_) {
+    for (auto& [tag, round] : session.rounds) {
+      if (!round.completed && !round.aborted) {
+        abort_round_locked(ctx, session, tag, round);
+      }
+    }
+  }
+}
+
+void SwitchUnit::resume() {
+  common::MutexLock lock(mutex_);
+  quiesced_ = false;
+  counters_.quiesced = false;
+}
+
+bool SwitchUnit::quiesced() const {
+  common::MutexLock lock(mutex_);
+  return quiesced_;
+}
+
+SwitchUnit::Counters SwitchUnit::counters() const {
+  common::MutexLock lock(mutex_);
+  return counters_;
+}
+
+std::vector<std::byte> SwitchUnit::capture() const {
+  const Counters c = counters();
+  manatee::BinaryWriter w;
+  w.write_u64(c.sessions_attached);
+  w.write_u64(c.sessions_rejected);
+  w.write_u64(c.rounds_completed);
+  w.write_u64(c.rounds_aborted);
+  w.write_u64(c.contributions_rejected);
+  w.write_u64(c.live_partial_rounds);
+  w.write_u64(c.quiesced ? 1 : 0);
+  return w.bytes();
+}
+
+SwitchUnit::Counters SwitchUnit::parse_capture(std::span<const std::byte> blob) {
+  manatee::BinaryReader r(blob);
+  Counters c;
+  c.sessions_attached = r.read_u64();
+  c.sessions_rejected = r.read_u64();
+  c.rounds_completed = r.read_u64();
+  c.rounds_aborted = r.read_u64();
+  c.contributions_rejected = r.read_u64();
+  c.live_partial_rounds = r.read_u64();
+  c.quiesced = r.read_u64() != 0;
+  return c;
+}
+
+}  // namespace manatee::simnet

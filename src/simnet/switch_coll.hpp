@@ -1,0 +1,160 @@
+// switch_coll.hpp — the simulated in-switch collective aggregation unit.
+//
+// Models the in-network barrier/broadcast offload of switch ASICs (the
+// OMPI switch_barrier / gba_barrier component family): a communicator is
+// registered with the unit once (control plane), after which one collective
+// round costs each member a single NIC round trip — contribute up to the
+// switch, receive the aggregated verdict back — instead of a log(p) software
+// message schedule. The unit is part of the lower half (owned by the
+// Fabric): restart builds a fresh one and sessions re-register lazily.
+//
+// Drain/checkpoint safety (DESIGN.md §11): switch-resident state is the
+// per-round partial contribution count. Two coordinator strategies:
+//
+//   * cut-through (default): the unit keeps serving during the drain; the
+//     CC target cut forces every member of an entered round through it, so
+//     partial aggregations complete (and their completion envelopes are
+//     consumed) before the safe state — live_partial_rounds == 0 at write.
+//   * quiesce: quiesce() freezes the unit at drain start. Partial rounds
+//     are aborted — already-contributed members receive an abort envelope,
+//     later contributors are rejected — so every member of the round falls
+//     back to the software algorithm under the same tag, deterministically.
+//     Aborted rounds stay tombstoned past resume(): a member that shows up
+//     only after the drain must also take the software path, or it would
+//     wait on peers that already completed in software.
+//
+// Either way the unit's counters are captured into the checkpoint image
+// (ckpt blob "engine/switch") and verified at restore: a safe state never
+// contains a partially aggregated round.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+#include "simnet/message.hpp"
+#include "simnet/time.hpp"
+
+namespace manatee::simnet {
+
+class Fabric;
+
+/// Envelope `src` of unit-originated completion/abort messages — outside
+/// the communicator rank space, so it never collides with the software
+/// algorithms' member-to-member traffic on the same (context, tag).
+constexpr int kInSwitchSource = -2;
+
+/// First payload byte of every downlink envelope.
+constexpr std::byte kSwitchComplete{0x5A};
+constexpr std::byte kSwitchAbort{0xA5};
+
+class SwitchUnit {
+ public:
+  struct Limits {
+    bool enabled = false;
+    int max_members = 4096;
+    std::size_t max_payload = 1024;
+    double rail_scale = 1.0;  ///< inter-node bw_scale of the NIC↔switch link
+  };
+
+  SwitchUnit(Fabric* fabric, Limits limits);
+
+  /// Control-plane registration of one communicator (keyed by its
+  /// collective-channel context). Every member calls it before its first
+  /// switch round; the first call computes the admission verdict as a pure
+  /// function of the member list and the unit limits and records it, so
+  /// later calls — any member, any run — replay the same verdict.
+  /// `member_worlds[i]` is the world rank of communicator rank i.
+  bool attach(ContextId coll_context, const std::vector<int>& member_worlds);
+
+  /// Wire time of one NIC↔switch leg for `bytes` (uplink and downlink are
+  /// symmetric single inter-node hops).
+  [[nodiscard]] SimTime link_transfer_ns(std::size_t bytes) const;
+
+  /// Aggregation-buffer payload cap (immutable after construction). Callers
+  /// whose round carries a payload must check it *before* contributing,
+  /// against a size every member knows: a contribution-time rejection only
+  /// reaches the rejected member, so the in/out-of-switch decision has to
+  /// be convergent up front.
+  [[nodiscard]] std::size_t max_payload() const noexcept {
+    return limits_.max_payload;
+  }
+
+  /// Data path: communicator rank `member` contributes to round `round_tag`
+  /// arriving at the unit at `uplink_ns`. `has_payload` marks the root
+  /// contribution of a broadcast round (at most one per round). When the
+  /// last member arrives, the unit delivers one downlink envelope per
+  /// member — kSwitchComplete followed by the round payload — through the
+  /// normal fabric stores, so targeted waits, drain capture, and restart
+  /// injection see ordinary kColl traffic.
+  ///
+  /// Returns false when the round cannot be served in-switch (unit
+  /// quiesced, round previously aborted, payload over the limit): the
+  /// caller must run the software algorithm for this round instead.
+  bool contribute(ContextId coll_context, int member, int round_tag,
+                  std::span<const std::byte> payload, bool has_payload,
+                  SimTime uplink_ns);
+
+  /// Drain control (checkpoint coordinator). quiesce() freezes the unit
+  /// and aborts partial rounds; resume() re-enables it after the cycle.
+  void quiesce();
+  void resume();
+  [[nodiscard]] bool quiesced() const;
+
+  struct Counters {
+    std::uint64_t sessions_attached = 0;
+    std::uint64_t sessions_rejected = 0;
+    std::uint64_t rounds_completed = 0;
+    std::uint64_t rounds_aborted = 0;
+    std::uint64_t contributions_rejected = 0;
+    std::uint64_t live_partial_rounds = 0;
+    bool quiesced = false;
+  };
+  [[nodiscard]] Counters counters() const;
+
+  /// Serialized counters for the checkpoint image ("engine/switch").
+  [[nodiscard]] std::vector<std::byte> capture() const;
+  [[nodiscard]] static Counters parse_capture(std::span<const std::byte> blob);
+
+ private:
+  struct Round {
+    int contributions = 0;
+    bool has_payload = false;
+    bool completed = false;
+    bool aborted = false;
+    SimTime ready_ns = 0;  ///< max uplink arrival over contributions
+    std::vector<bool> contributed;
+    std::vector<std::byte> payload;
+  };
+
+  struct Session {
+    bool admitted = false;
+    std::vector<int> member_worlds;
+    std::map<int, Round> rounds;  ///< completed/aborted stay as tombstones
+  };
+
+  void complete_round_locked(ContextId ctx, Session& session, int round_tag,
+                             Round& round) MANATEE_REQUIRES(mutex_);
+  void abort_round_locked(ContextId ctx, Session& session, int round_tag,
+                          Round& round) MANATEE_REQUIRES(mutex_);
+  void deliver_locked(ContextId ctx, const Session& session, int round_tag,
+                      const Round& round, std::byte verdict, bool everyone)
+      MANATEE_REQUIRES(mutex_);
+
+  Fabric* fabric_;
+  Limits limits_;
+
+  /// Lock level 70 (scripts/lock_order.json): held across downlink
+  /// delivery into the MessageStores (level 60); the coordinator (level
+  /// 80) calls quiesce()/resume() under its own mutex. Never acquired
+  /// with a store or pool lock held.
+  mutable common::Mutex mutex_;
+  bool quiesced_ MANATEE_GUARDED_BY(mutex_) = false;
+  std::map<ContextId, Session> sessions_ MANATEE_GUARDED_BY(mutex_);
+  Counters counters_ MANATEE_GUARDED_BY(mutex_);
+};
+
+}  // namespace manatee::simnet

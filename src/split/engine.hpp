@@ -74,6 +74,12 @@ struct EngineConfig {
 
   /// Record per-rank event traces for the drain-graph oracle (tests).
   bool record_trace = false;
+
+  /// How the drain treats in-switch collective state (ckpt::SwitchDrainMode):
+  /// cut-through (default; the CC cut completes entered switch rounds) or
+  /// quiesce (freeze the unit, abort partials to the software fallback).
+  /// The MANATEE_SWITCH_DRAIN=quiesce env flips the default suite-wide.
+  ckpt::SwitchDrainMode switch_drain = ckpt::SwitchDrainMode::kCutThrough;
 };
 
 struct RunReport {

@@ -1197,6 +1197,8 @@ void register_global_algorithms(Registry& registry) {
 void register_builtin_algorithms(Registry& registry) {
   register_rooted_algorithms(registry);
   register_global_algorithms(registry);
+  register_hier_algorithms(registry);
+  register_switch_algorithms(registry);
 }
 
 }  // namespace manatee::umpi::coll

@@ -1,0 +1,736 @@
+// algos_hier.cpp — topology-aware hierarchical collectives ("hier").
+//
+// Each algorithm splits the communicator by node (CollArgs::topo; a null
+// topology collapses everything onto one node) and composes an intra-node
+// phase, a node-leader inter-node phase, and an intra-node fan-out:
+//
+//   barrier   — intra gather to the node leader, dissemination among
+//               leaders, intra release
+//   bcast     — binomial tree among leaders (rooted at the root, which is
+//               re-seated as its node's leader), intra linear fan-out
+//   reduce    — intra rank-order fold at each leader, leader-order fold of
+//               the partials at the root
+//   allreduce — rail-parallel when every node hosts the same number of
+//               ranks (the common blocked placement): an intra-node
+//               reduce-scatter over per-position element blocks, a ring
+//               allreduce of each block among the "plane" of same-position
+//               ranks across nodes (all planes drive their NICs
+//               concurrently, so each inter-node link carries only 1/m of
+//               the payload), and an intra-node allgather. Uneven layouts
+//               fall back to intra fold + leader ring + intra fan-out.
+//
+// The payoff is that every node contributes exactly one message stream to
+// the inter-node links no matter how many ranks it hosts (rail allreduce:
+// one *per-position slice* per stream); the intra phases ride the cheap
+// same-node path of the cost model.
+//
+// All phases share the op's single (context, tag). That is safe because no
+// ordered (src, dst) pair carries messages in more than one phase — node
+// peers and fellow leaders are disjoint sets (leaders live on distinct
+// nodes) — so per-pair FIFO matching pairs every message unambiguously.
+#include "umpi/coll/algos.hpp"
+
+#include <map>
+
+#include "simnet/topology.hpp"
+
+namespace manatee::umpi::coll {
+
+namespace {
+
+/// Node grouping of one communicator — a pure function of the (identical)
+/// member list and topology, so every member computes the same layout with
+/// no agreement traffic. `root >= 0` re-seats the leader of the root's node
+/// onto the root itself, so rooted collectives start/end their intra phase
+/// at the root without an extra local hop.
+struct NodeLayout {
+  std::vector<int> node_peers;  ///< comm ranks on this rank's node, ascending
+  std::vector<int> leaders;     ///< one leader comm rank per node, node order
+  int my_leader = 0;
+  int my_leader_idx = 0;  ///< index of my_leader within leaders
+  bool is_leader = false;
+};
+
+NodeLayout make_layout(const Comm& comm, const simnet::Topology* topo,
+                       int root = -1) {
+  const auto node_of = [&](int r) {
+    return topo == nullptr ? 0 : topo->node_of(comm.world_of(r));
+  };
+  std::map<int, std::vector<int>> nodes;
+  for (int r = 0; r < comm.size(); ++r) nodes[node_of(r)].push_back(r);
+  const int root_node = root >= 0 ? node_of(root) : -1;
+  NodeLayout out;
+  const int my_node = node_of(comm.rank);
+  for (const auto& [node, members] : nodes) {
+    const int leader = (root >= 0 && node == root_node) ? root : members.front();
+    if (node == my_node) {
+      out.node_peers = members;
+      out.my_leader = leader;
+      out.my_leader_idx = static_cast<int>(out.leaders.size());
+    }
+    out.leaders.push_back(leader);
+  }
+  out.is_leader = out.my_leader == comm.rank;
+  return out;
+}
+
+// ---- barrier ---------------------------------------------------------------
+
+class HierBarrierOp final : public NbcOp {
+ public:
+  HierBarrierOp(CommPtr comm, int tag, const simnet::Topology* topo)
+      : NbcOp(std::move(comm), tag), layout_(make_layout(*comm_, topo)) {
+    const int L = static_cast<int>(layout_.leaders.size());
+    while ((1 << rounds_) < L) ++rounds_;
+    gathers_ = layout_.node_peers.size() - 1;
+    if (layout_.is_leader) {
+      slots_.reserve(gathers_ + static_cast<std::size_t>(rounds_));
+      slots_.ensure_size(gathers_ + static_cast<std::size_t>(rounds_));
+    }
+  }
+
+ protected:
+  bool step(Rank& rank) override {
+    if (!layout_.is_leader) {
+      if (!sent_) {
+        send_bytes(rank, layout_.my_leader, {});
+        sent_ = true;
+      }
+      return recv_ready(rank, release_slot_, layout_.my_leader, 0);
+    }
+    const int L = static_cast<int>(layout_.leaders.size());
+    const int i = layout_.my_leader_idx;
+    if (!preposted_) {
+      // Gather sources (node peers) and dissemination sources (fellow
+      // leaders at distinct power-of-two distances) are pairwise distinct:
+      // post the whole window up front.
+      std::size_t s = 0;
+      for (const int peer : layout_.node_peers) {
+        if (peer != comm_->rank) prepost(rank, slots_[s++], peer, 0);
+      }
+      for (int k = 0; k < rounds_; ++k) {
+        const int dist = 1 << k;
+        prepost(rank, slots_[s++], layout_.leaders[(i - dist % L + L) % L], 0);
+      }
+      preposted_ = true;
+    }
+    // Phase 1: intra gather — wait for every node peer's arrival signal.
+    while (gather_next_ < layout_.node_peers.size()) {
+      const int peer = layout_.node_peers[gather_next_];
+      if (peer == comm_->rank) {
+        ++gather_next_;
+        continue;
+      }
+      if (!recv_ready(rank, slots_[cursor_], peer, 0)) return false;
+      ++cursor_;
+      ++gather_next_;
+    }
+    // Phase 2: dissemination among the node leaders.
+    while (round_ < rounds_) {
+      const int dist = 1 << round_;
+      if (!sent_) {
+        send_bytes(rank, layout_.leaders[(i + dist) % L], {});
+        sent_ = true;
+      }
+      if (!recv_ready(rank, slots_[cursor_],
+                      layout_.leaders[(i - dist % L + L) % L], 0)) {
+        return false;
+      }
+      ++cursor_;
+      ++round_;
+      sent_ = false;
+    }
+    // Phase 3: intra release.
+    if (!released_) {
+      for (const int peer : layout_.node_peers) {
+        if (peer != comm_->rank) send_bytes(rank, peer, {});
+      }
+      released_ = true;
+    }
+    return true;
+  }
+
+ private:
+  NodeLayout layout_;
+  int rounds_ = 0;
+  std::size_t gathers_ = 0;
+  SlotArray slots_;
+  Slot release_slot_;
+  std::size_t cursor_ = 0;
+  std::size_t gather_next_ = 0;
+  int round_ = 0;
+  bool sent_ = false;
+  bool preposted_ = false;
+  bool released_ = false;
+};
+
+// ---- bcast -----------------------------------------------------------------
+
+class HierBcastOp final : public NbcOp {
+ public:
+  HierBcastOp(CommPtr comm, int tag, std::span<std::byte> data, int root,
+              const simnet::Topology* topo)
+      : NbcOp(std::move(comm), tag), data_(data),
+        layout_(make_layout(*comm_, topo, root)) {
+    const int p = comm_->size();
+    MANATEE_REQUIRE(root >= 0 && root < p, "bcast root out of range");
+    const int L = static_cast<int>(layout_.leaders.size());
+    if (layout_.is_leader) {
+      int root_idx = 0;
+      for (int k = 0; k < L; ++k) {
+        if (layout_.leaders[k] == root) root_idx = k;
+      }
+      root_idx_ = root_idx;
+      vr_ = (layout_.my_leader_idx - root_idx + L) % L;
+      int mask = 1;
+      while (mask < L && !(vr_ & mask)) mask <<= 1;
+      recv_mask_ = mask;  // >= L when vr_ == 0 (the root leader: no parent)
+      send_mask_ = (vr_ == 0 ? ceil_pow2(L) : mask) >> 1;
+    }
+  }
+
+ protected:
+  bool step(Rank& rank) override {
+    if (!layout_.is_leader) {
+      return recv_ready_into(rank, rslot_, layout_.my_leader, data_);
+    }
+    const int L = static_cast<int>(layout_.leaders.size());
+    // Phase 1: binomial tree over the leader index space.
+    if (vr_ != 0 && !recv_done_) {
+      const int parent = layout_.leaders[to_idx(vr_ - recv_mask_)];
+      if (!recv_ready_into(rank, rslot_, parent, data_)) return false;
+    }
+    recv_done_ = true;
+    while (send_mask_ > 0) {
+      if (vr_ + send_mask_ < L) {
+        send_bytes(rank, layout_.leaders[to_idx(vr_ + send_mask_)], data_);
+      }
+      send_mask_ >>= 1;
+    }
+    // Phase 2: intra fan-out.
+    if (!fanned_out_) {
+      for (const int peer : layout_.node_peers) {
+        if (peer != comm_->rank) send_bytes(rank, peer, data_);
+      }
+      fanned_out_ = true;
+    }
+    return true;
+  }
+
+ private:
+  [[nodiscard]] int to_idx(int vr) const {
+    return (vr + root_idx_) % static_cast<int>(layout_.leaders.size());
+  }
+
+  std::span<std::byte> data_;
+  NodeLayout layout_;
+  int root_idx_ = 0;
+  int vr_ = 0;
+  int recv_mask_ = 0;
+  int send_mask_ = 0;
+  bool recv_done_ = false;
+  bool fanned_out_ = false;
+  Slot rslot_;
+};
+
+// ---- reduce ----------------------------------------------------------------
+
+class HierReduceOp final : public NbcOp {
+ public:
+  HierReduceOp(CommPtr comm, int tag, std::span<const std::byte> send,
+               std::span<std::byte> recv, Datatype dt, ReduceOp op, int root,
+               simnet::BufferPool* pool, const simnet::Topology* topo)
+      : NbcOp(std::move(comm), tag), send_(send), recv_(recv), dt_(dt), op_(op),
+        root_(root), pool_(pool), layout_(make_layout(*comm_, topo, root)) {
+    const int p = comm_->size();
+    MANATEE_REQUIRE(root >= 0 && root < p, "reduce root out of range");
+    MANATEE_REQUIRE(send.size() % datatype_size(dt) == 0,
+                    "reduce buffer not a whole number of elements");
+    count_ = send.size() / datatype_size(dt);
+    if (layout_.is_leader) {
+      gathers_ = layout_.node_peers.size() - 1;
+      const std::size_t leader_slots =
+          comm_->rank == root ? layout_.leaders.size() - 1 : 0;
+      slots_.reserve(gathers_ + leader_slots);
+      slots_.ensure_size(gathers_ + leader_slots);
+    }
+  }
+
+ protected:
+  bool step(Rank& rank) override {
+    if (!layout_.is_leader) {
+      send_bytes(rank, layout_.my_leader, send_);
+      return true;
+    }
+    if (!preposted_) {
+      std::size_t s = 0;
+      for (const int peer : layout_.node_peers) {
+        if (peer != comm_->rank) prepost(rank, slots_[s++], peer, send_.size());
+      }
+      if (comm_->rank == root_) {
+        for (const int ldr : layout_.leaders) {
+          if (ldr != root_) prepost(rank, slots_[s++], ldr, send_.size());
+        }
+      }
+      preposted_ = true;
+    }
+    // Phase 1: fold this node's contributions in ascending comm-rank order.
+    while (peer_next_ < layout_.node_peers.size()) {
+      const int peer = layout_.node_peers[peer_next_];
+      std::span<const std::byte> contribution;
+      if (peer == comm_->rank) {
+        contribution = send_;
+      } else {
+        Slot& slot = slots_[cursor_];
+        if (!recv_ready(rank, slot, peer, send_.size())) return false;
+        ++cursor_;
+        contribution = slot.buf;
+      }
+      if (peer_next_ == 0) {
+        acc_.assign(pool_, contribution);
+      } else {
+        apply_reduce(op_, dt_, acc_, contribution, count_);
+        charge_compute(rank.runtime().cost().reduce_cost(acc_.size()));
+      }
+      ++peer_next_;
+    }
+    if (comm_->rank != root_) {
+      if (!sent_) {
+        send_bytes(rank, root_, acc_);
+        sent_ = true;
+      }
+      return true;
+    }
+    // Phase 2 (root only): fold the other leaders' partials in leader order.
+    while (leader_next_ < layout_.leaders.size()) {
+      const int ldr = layout_.leaders[leader_next_];
+      if (ldr == root_) {
+        ++leader_next_;
+        continue;
+      }
+      Slot& slot = slots_[cursor_];
+      if (!recv_ready(rank, slot, ldr, send_.size())) return false;
+      ++cursor_;
+      apply_reduce(op_, dt_, acc_, slot.buf, count_);
+      charge_compute(rank.runtime().cost().reduce_cost(acc_.size()));
+      ++leader_next_;
+    }
+    copy_bytes(recv_, acc_);
+    return true;
+  }
+
+ private:
+  std::span<const std::byte> send_;
+  std::span<std::byte> recv_;
+  Datatype dt_;
+  ReduceOp op_;
+  int root_;
+  simnet::BufferPool* pool_;
+  NodeLayout layout_;
+  std::size_t count_ = 0;
+  std::size_t gathers_ = 0;
+  simnet::PayloadBuffer acc_;
+  SlotArray slots_;
+  std::size_t cursor_ = 0;
+  std::size_t peer_next_ = 0;
+  std::size_t leader_next_ = 0;
+  bool sent_ = false;
+  bool preposted_ = false;
+};
+
+// ---- allreduce -------------------------------------------------------------
+
+class HierAllreduceOp final : public NbcOp {
+ public:
+  HierAllreduceOp(CommPtr comm, int tag, std::span<const std::byte> send,
+                  std::span<std::byte> recv, Datatype dt, ReduceOp op,
+                  const simnet::Topology* topo)
+      : NbcOp(std::move(comm), tag), send_(send), recv_(recv), dt_(dt), op_(op),
+        layout_(make_layout(*comm_, topo)) {
+    MANATEE_REQUIRE(send.size() == recv.size(),
+                    "allreduce send/recv size mismatch");
+    MANATEE_REQUIRE(send.size() % datatype_size(dt) == 0,
+                    "allreduce buffer not a whole number of elements");
+    count_ = send.size() / datatype_size(dt);
+    const auto L = layout_.leaders.size();
+    if (layout_.is_leader) {
+      gathers_ = layout_.node_peers.size() - 1;
+      slots_.reserve(gathers_ + 2 * (L - 1));
+      slots_.ensure_size(gathers_ + 2 * (L - 1));
+    }
+  }
+
+ protected:
+  bool step(Rank& rank) override {
+    if (!layout_.is_leader) {
+      if (!sent_) {
+        send_bytes(rank, layout_.my_leader, send_);
+        sent_ = true;
+      }
+      return recv_ready_into(rank, rslot_, layout_.my_leader, recv_);
+    }
+    const int L = static_cast<int>(layout_.leaders.size());
+    const int i = layout_.my_leader_idx;
+    const int right = layout_.leaders[(i + 1) % L];
+    const int left = layout_.leaders[(i - 1 + L) % L];
+    const auto esize = datatype_size(dt_);
+    if (!preposted_) {
+      std::size_t s = 0;
+      for (const int peer : layout_.node_peers) {
+        if (peer != comm_->rank) prepost(rank, slots_[s++], peer, send_.size());
+      }
+      // Ring window from `left`, posted in round order (matches the
+      // sender's round order under non-overtaking, exactly as the flat
+      // ring allreduce).
+      for (int k = 0; k < L - 1; ++k) {
+        const int recv_idx = ((i - k - 2) % L + L) % L;
+        prepost(rank, slots_[s++], left, block(recv_idx).size());
+      }
+      for (int k = 0; k < L - 1; ++k) {
+        const int recv_idx = ((i - k - 1) % L + L) % L;
+        prepost_into(rank, slots_[s++], left, block(recv_idx));
+      }
+      preposted_ = true;
+    }
+    // Phase 1: fold this node's contributions into recv_ (the accumulator)
+    // in ascending comm-rank order.
+    while (peer_next_ < layout_.node_peers.size()) {
+      const int peer = layout_.node_peers[peer_next_];
+      std::span<const std::byte> contribution;
+      if (peer == comm_->rank) {
+        contribution = send_;
+      } else {
+        Slot& slot = slots_[cursor_];
+        if (!recv_ready(rank, slot, peer, send_.size())) return false;
+        ++cursor_;
+        contribution = slot.buf;
+      }
+      if (peer_next_ == 0) {
+        copy_bytes(recv_, contribution);
+      } else {
+        apply_reduce(op_, dt_, recv_, contribution, count_);
+        charge_compute(rank.runtime().cost().reduce_cost(recv_.size()));
+      }
+      ++peer_next_;
+    }
+    // Phase 2: ring allreduce among the leaders (reduce-scatter over uneven
+    // elem blocks of the leader index space, then ring allgather).
+    while (ring_step_ < L - 1) {
+      const int send_idx = ((i - ring_step_ - 1) % L + L) % L;
+      const int recv_idx = ((i - ring_step_ - 2) % L + L) % L;
+      if (!sent_) {
+        send_bytes(rank, right, block(send_idx));
+        sent_ = true;
+      }
+      Slot& slot = slots_[cursor_];
+      if (!recv_ready(rank, slot, left, block(recv_idx).size())) return false;
+      if (!slot.buf.empty()) {
+        apply_reduce(op_, dt_, block(recv_idx), slot.buf,
+                     slot.buf.size() / esize);
+        charge_compute(rank.runtime().cost().reduce_cost(slot.buf.size()));
+      }
+      ++cursor_;
+      ++ring_step_;
+      sent_ = false;
+    }
+    while (ring_step_ < 2 * (L - 1)) {
+      const int k = ring_step_ - (L - 1);
+      const int send_idx = ((i - k) % L + L) % L;
+      const int recv_idx = ((i - k - 1) % L + L) % L;
+      if (!sent_) {
+        send_bytes(rank, right, block(send_idx));
+        sent_ = true;
+      }
+      if (!recv_ready_into(rank, slots_[cursor_], left, block(recv_idx))) {
+        return false;
+      }
+      ++cursor_;
+      ++ring_step_;
+      sent_ = false;
+    }
+    // Phase 3: intra fan-out of the full reduction.
+    if (!fanned_out_) {
+      for (const int peer : layout_.node_peers) {
+        if (peer != comm_->rank) send_bytes(rank, peer, recv_);
+      }
+      fanned_out_ = true;
+    }
+    return true;
+  }
+
+ private:
+  [[nodiscard]] std::span<std::byte> block(int idx) {
+    const auto range = elem_block(count_, static_cast<int>(layout_.leaders.size()),
+                                  idx, datatype_size(dt_));
+    return recv_.subspan(range.off, range.len);
+  }
+
+  std::span<const std::byte> send_;
+  std::span<std::byte> recv_;
+  Datatype dt_;
+  ReduceOp op_;
+  NodeLayout layout_;
+  std::size_t count_ = 0;
+  std::size_t gathers_ = 0;
+  SlotArray slots_;
+  Slot rslot_;
+  std::size_t cursor_ = 0;
+  std::size_t peer_next_ = 0;
+  int ring_step_ = 0;
+  bool sent_ = false;
+  bool preposted_ = false;
+  bool fanned_out_ = false;
+};
+
+// Rail view of one communicator: when every node hosts the same number of
+// ranks, member q of each node forms "plane" q — a cross-node slice that
+// can run its own inter-node exchange concurrently with the other planes.
+// Like NodeLayout, a pure function of the member list and topology.
+struct RailLayout {
+  bool even = false;            ///< every node hosts the same rank count
+  std::vector<int> node_peers;  ///< comm ranks on this rank's node, ascending
+  std::vector<int> plane;       ///< q-th comm rank of each node, node order
+  int q = 0;                    ///< my index within node_peers
+  int plane_idx = 0;            ///< my node's index within plane
+};
+
+RailLayout make_rail_layout(const Comm& comm, const simnet::Topology* topo) {
+  const auto node_of = [&](int r) {
+    return topo == nullptr ? 0 : topo->node_of(comm.world_of(r));
+  };
+  std::map<int, std::vector<int>> nodes;
+  for (int r = 0; r < comm.size(); ++r) nodes[node_of(r)].push_back(r);
+  RailLayout out;
+  const std::size_t m = nodes.begin()->second.size();
+  for (const auto& [node, members] : nodes) {
+    if (members.size() != m) return out;
+  }
+  out.even = true;
+  const int my_node = node_of(comm.rank);
+  out.node_peers = nodes.at(my_node);
+  for (std::size_t j = 0; j < out.node_peers.size(); ++j) {
+    if (out.node_peers[j] == comm.rank) out.q = static_cast<int>(j);
+  }
+  for (const auto& [node, members] : nodes) {
+    if (node == my_node) out.plane_idx = static_cast<int>(out.plane.size());
+    out.plane.push_back(members[static_cast<std::size_t>(out.q)]);
+  }
+  return out;
+}
+
+// Rail-parallel allreduce (even layouts). Element blocks are split by
+// node-local position: phase 1 direct-exchanges the blocks within the node
+// (each rank folds the m-1 contributions to its own block), phase 2 runs
+// the uneven-block ring allreduce of that block among the rank's plane,
+// phase 3 direct-allgathers the reduced blocks back within the node. The
+// same ordered pair carries one phase-1 and one phase-3 message; both
+// sides agree on that order, so per-pair FIFO matching stays unambiguous.
+class RailAllreduceOp final : public NbcOp {
+ public:
+  RailAllreduceOp(CommPtr comm, int tag, std::span<const std::byte> send,
+                  std::span<std::byte> recv, Datatype dt, ReduceOp op,
+                  RailLayout rail)
+      : NbcOp(std::move(comm), tag), send_(send), recv_(recv), dt_(dt), op_(op),
+        rail_(std::move(rail)) {
+    MANATEE_REQUIRE(send.size() == recv.size(),
+                    "allreduce send/recv size mismatch");
+    MANATEE_REQUIRE(send.size() % datatype_size(dt) == 0,
+                    "allreduce buffer not a whole number of elements");
+    count_ = send.size() / datatype_size(dt);
+    m_ = static_cast<int>(rail_.node_peers.size());
+    n_ = static_cast<int>(rail_.plane.size());
+    const auto window = 2 * static_cast<std::size_t>(m_ - 1) +
+                        2 * static_cast<std::size_t>(n_ - 1);
+    slots_.reserve(window);
+    slots_.ensure_size(window);
+  }
+
+ protected:
+  bool step(Rank& rank) override {
+    const auto esize = datatype_size(dt_);
+    const int i = rail_.plane_idx;
+    const int left = rail_.plane[static_cast<std::size_t>((i - 1 + n_) % n_)];
+    const int right = rail_.plane[static_cast<std::size_t>((i + 1) % n_)];
+    if (!preposted_) {
+      std::size_t s = 0;
+      // Phase-1 window first, then the phase-3 window: per node peer the
+      // reduce-scatter contribution precedes the allgathered block, and
+      // posting all of phase 1 before any of phase 3 preserves exactly
+      // that per-pair order.
+      for (const int peer : rail_.node_peers) {
+        if (peer != comm_->rank) {
+          prepost(rank, slots_[s++], peer, block(rail_.q).size());
+        }
+      }
+      for (int k = 0; k < n_ - 1; ++k) {
+        const int recv_idx = ((i - k - 2) % n_ + n_) % n_;
+        prepost(rank, slots_[s++], left, subblock(recv_idx).size());
+      }
+      for (int k = 0; k < n_ - 1; ++k) {
+        const int recv_idx = ((i - k - 1) % n_ + n_) % n_;
+        prepost_into(rank, slots_[s++], left, subblock(recv_idx));
+      }
+      for (int j = 0; j < m_; ++j) {
+        const int peer = rail_.node_peers[static_cast<std::size_t>(j)];
+        if (peer != comm_->rank) {
+          prepost_into(rank, slots_[s++], peer, block(j));
+        }
+      }
+      preposted_ = true;
+    }
+    // Phase 1: intra reduce-scatter — ship every peer its block, fold the
+    // incoming contributions to mine (ascending peer order, so the fold
+    // order is a pure function of the layout).
+    if (!scattered_) {
+      copy_bytes(block(rail_.q), send_block(rail_.q));
+      for (int j = 0; j < m_; ++j) {
+        const int peer = rail_.node_peers[static_cast<std::size_t>(j)];
+        if (peer != comm_->rank) send_bytes(rank, peer, send_block(j));
+      }
+      scattered_ = true;
+    }
+    while (p1_next_ < m_) {
+      const int peer = rail_.node_peers[static_cast<std::size_t>(p1_next_)];
+      if (peer == comm_->rank) {
+        ++p1_next_;
+        continue;
+      }
+      Slot& slot = slots_[cursor_];
+      if (!recv_ready(rank, slot, peer, block(rail_.q).size())) return false;
+      if (!slot.buf.empty()) {
+        apply_reduce(op_, dt_, block(rail_.q), slot.buf,
+                     slot.buf.size() / esize);
+        charge_compute(rank.runtime().cost().reduce_cost(slot.buf.size()));
+      }
+      ++cursor_;
+      ++p1_next_;
+    }
+    // Phase 2: uneven-block ring allreduce of my block among my plane —
+    // the flat ring shrunk to one rank per node and 1/m of the payload.
+    while (ring_step_ < n_ - 1) {
+      const int send_idx = ((i - ring_step_ - 1) % n_ + n_) % n_;
+      const int recv_idx = ((i - ring_step_ - 2) % n_ + n_) % n_;
+      if (!sent_) {
+        send_bytes(rank, right, subblock(send_idx));
+        sent_ = true;
+      }
+      Slot& slot = slots_[cursor_];
+      if (!recv_ready(rank, slot, left, subblock(recv_idx).size())) {
+        return false;
+      }
+      if (!slot.buf.empty()) {
+        apply_reduce(op_, dt_, subblock(recv_idx), slot.buf,
+                     slot.buf.size() / esize);
+        charge_compute(rank.runtime().cost().reduce_cost(slot.buf.size()));
+      }
+      ++cursor_;
+      ++ring_step_;
+      sent_ = false;
+    }
+    while (ring_step_ < 2 * (n_ - 1)) {
+      const int k = ring_step_ - (n_ - 1);
+      const int send_idx = ((i - k) % n_ + n_) % n_;
+      const int recv_idx = ((i - k - 1) % n_ + n_) % n_;
+      if (!sent_) {
+        send_bytes(rank, right, subblock(send_idx));
+        sent_ = true;
+      }
+      if (!recv_ready_into(rank, slots_[cursor_], left, subblock(recv_idx))) {
+        return false;
+      }
+      ++cursor_;
+      ++ring_step_;
+      sent_ = false;
+    }
+    // Phase 3: intra allgather of the fully reduced blocks.
+    if (!gathered_) {
+      for (const int peer : rail_.node_peers) {
+        if (peer != comm_->rank) send_bytes(rank, peer, block(rail_.q));
+      }
+      gathered_ = true;
+    }
+    while (p3_next_ < m_) {
+      const int peer = rail_.node_peers[static_cast<std::size_t>(p3_next_)];
+      if (peer == comm_->rank) {
+        ++p3_next_;
+        continue;
+      }
+      if (!recv_ready_into(rank, slots_[cursor_], peer, block(p3_next_))) {
+        return false;
+      }
+      ++cursor_;
+      ++p3_next_;
+    }
+    return true;
+  }
+
+ private:
+  /// Block of node-local position `j` within the full element range.
+  [[nodiscard]] std::span<std::byte> block(int j) {
+    const auto range = elem_block(count_, m_, j, datatype_size(dt_));
+    return recv_.subspan(range.off, range.len);
+  }
+  [[nodiscard]] std::span<const std::byte> send_block(int j) const {
+    const auto range = elem_block(count_, m_, j, datatype_size(dt_));
+    return send_.subspan(range.off, range.len);
+  }
+  /// Ring block `k` within my position block (phase-2 partition over n).
+  [[nodiscard]] std::span<std::byte> subblock(int k) {
+    const auto esize = datatype_size(dt_);
+    const auto outer = elem_block(count_, m_, rail_.q, esize);
+    const auto inner = elem_block(outer.len / esize, n_, k, esize);
+    return recv_.subspan(outer.off + inner.off, inner.len);
+  }
+
+  std::span<const std::byte> send_;
+  std::span<std::byte> recv_;
+  Datatype dt_;
+  ReduceOp op_;
+  RailLayout rail_;
+  std::size_t count_ = 0;
+  int m_ = 1;
+  int n_ = 1;
+  SlotArray slots_;
+  std::size_t cursor_ = 0;
+  int p1_next_ = 0;
+  int p3_next_ = 0;
+  int ring_step_ = 0;
+  bool preposted_ = false;
+  bool scattered_ = false;
+  bool gathered_ = false;
+  bool sent_ = false;
+};
+
+}  // namespace
+
+void register_hier_algorithms(Registry& registry) {
+  registry.add(CollKind::kBarrier, "hier",
+               [](CommPtr comm, int tag, const CollArgs& a) -> std::unique_ptr<NbcOp> {
+                 return std::make_unique<HierBarrierOp>(std::move(comm), tag, a.topo);
+               });
+  registry.add(CollKind::kBcast, "hier",
+               [](CommPtr comm, int tag, const CollArgs& a) -> std::unique_ptr<NbcOp> {
+                 return std::make_unique<HierBcastOp>(std::move(comm), tag, a.recv,
+                                                      a.root, a.topo);
+               });
+  registry.add(CollKind::kReduce, "hier",
+               [](CommPtr comm, int tag, const CollArgs& a) -> std::unique_ptr<NbcOp> {
+                 return std::make_unique<HierReduceOp>(std::move(comm), tag, a.send,
+                                                       a.recv, a.dt, a.op, a.root,
+                                                       a.pool, a.topo);
+               });
+  registry.add(CollKind::kAllreduce, "hier",
+               [](CommPtr comm, int tag, const CollArgs& a) -> std::unique_ptr<NbcOp> {
+                 RailLayout rail = make_rail_layout(*comm, a.topo);
+                 if (rail.even) {
+                   return std::make_unique<RailAllreduceOp>(std::move(comm), tag,
+                                                            a.send, a.recv, a.dt,
+                                                            a.op, std::move(rail));
+                 }
+                 return std::make_unique<HierAllreduceOp>(std::move(comm), tag,
+                                                          a.send, a.recv, a.dt,
+                                                          a.op, a.topo);
+               });
+}
+
+}  // namespace manatee::umpi::coll

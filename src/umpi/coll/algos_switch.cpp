@@ -1,0 +1,180 @@
+// algos_switch.cpp — barrier/bcast offloaded to the simulated in-switch
+// aggregation unit (simnet/switch_coll.hpp), registered as "switch".
+//
+// Data path: each member charges one NIC injection, contributes its uplink
+// to the unit, and waits for the unit's downlink envelope — src
+// kInSwitchSource on the op's own (context, tag), so it flows through the
+// ordinary MessageStore machinery (targeted waits, drain capture, restart
+// injection) and can never collide with member-to-member software traffic.
+//
+// Fallback: when the unit declines — session not admitted, unit quiesced
+// for a checkpoint drain, round tombstoned by a quiesce-time abort, payload
+// over the unit's buffer — the op delegates to the software algorithm
+// under the SAME tag. The unit's verdicts are deterministic and identical
+// across members (admission is a recorded pure function; quiesce aborts
+// reach every contributed member and reject the rest), so every member of
+// a round converges on the same path and the software messages pair up
+// exactly as if the switch had never been involved.
+#include "umpi/coll/algos.hpp"
+
+#include "simnet/fabric.hpp"
+#include "simnet/switch_coll.hpp"
+
+namespace manatee::umpi::coll {
+
+namespace {
+
+/// Shared machinery: probe the unit, run the switch round, or delegate to
+/// the software fallback while forwarding its blocked-on receive.
+class SwitchOffloadOp : public NbcOp {
+ protected:
+  SwitchOffloadOp(CommPtr comm, int tag) : NbcOp(std::move(comm), tag) {}
+
+  bool step(Rank& rank) final {
+    if (mode_ == Mode::kProbe) {
+      simnet::SwitchUnit& unit = rank.runtime().fabric().switch_unit();
+      const simnet::ContextId ctx = comm_->context(Channel::kColl);
+      bool offloaded = false;
+      // The payload-cap check runs before any contribution, against
+      // round_payload_size() — a size every member derives from its own
+      // arguments. Leaving it to the unit's contribution-time rejection
+      // would only bounce the root (the peers' uplinks are empty), sending
+      // the root to software while the peers wait on a downlink that never
+      // comes.
+      if (round_payload_size() <= unit.max_payload() &&
+          unit.attach(ctx, comm_->group.members())) {
+        const std::span<const std::byte> up = uplink_payload();
+        // Pre-post the downlink window first: if this rank is the round's
+        // last contributor the unit delivers synchronously, and the
+        // envelope then lands zero-copy instead of staging.
+        prepost(rank, down_slot_, simnet::kInSwitchSource,
+                1 + downlink_capacity());
+        op_clock_.advance(rank.runtime().cost().injection_ns(up.size()));
+        const simnet::SimTime uplink =
+            op_clock_.now() + unit.link_transfer_ns(up.size());
+        offloaded = unit.contribute(ctx, comm_->rank, tag_, up, has_payload(),
+                                    uplink);
+      }
+      mode_ = offloaded ? Mode::kSwitch : Mode::kFallback;
+    }
+    if (mode_ == Mode::kSwitch) {
+      if (!recv_ready(rank, down_slot_, simnet::kInSwitchSource,
+                      1 + downlink_capacity())) {
+        return false;
+      }
+      MANATEE_CHECK(!down_slot_.buf.empty(), "empty switch downlink envelope");
+      const std::span<const std::byte> reply = down_slot_.buf;
+      if (reply[0] == simnet::kSwitchComplete) {
+        consume_downlink(reply.subspan(1));
+        return true;
+      }
+      MANATEE_CHECK(reply[0] == simnet::kSwitchAbort,
+                    "unknown switch downlink verdict");
+      mode_ = Mode::kFallback;
+    }
+    // Software fallback: same communicator, same tag.
+    if (inner_ == nullptr) inner_ = make_fallback();
+    if (!inner_->try_progress(rank)) {
+      blocking_on_ = inner_->blocking_on();
+      return false;
+    }
+    op_clock_.merge(inner_->completion_ns());
+    return true;
+  }
+
+  /// The member's uplink contribution (empty for barrier; the broadcast
+  /// payload at the root).
+  [[nodiscard]] virtual std::span<const std::byte> uplink_payload() const = 0;
+  [[nodiscard]] virtual bool has_payload() const = 0;
+  /// The round's payload size as known to EVERY member (the bcast count;
+  /// 0 for barrier) — the convergent input to the payload-cap check above.
+  [[nodiscard]] virtual std::size_t round_payload_size() const = 0;
+  /// Data bytes following the verdict byte in a completion downlink.
+  [[nodiscard]] virtual std::size_t downlink_capacity() const = 0;
+  virtual void consume_downlink(std::span<const std::byte> data) = 0;
+  [[nodiscard]] virtual std::unique_ptr<NbcOp> make_fallback() const = 0;
+
+ private:
+  enum class Mode { kProbe, kSwitch, kFallback };
+
+  Mode mode_ = Mode::kProbe;
+  Slot down_slot_;
+  std::unique_ptr<NbcOp> inner_;
+};
+
+class SwitchBarrierOp final : public SwitchOffloadOp {
+ public:
+  SwitchBarrierOp(CommPtr comm, int tag) : SwitchOffloadOp(std::move(comm), tag) {}
+
+ protected:
+  [[nodiscard]] std::span<const std::byte> uplink_payload() const override {
+    return {};
+  }
+  [[nodiscard]] bool has_payload() const override { return false; }
+  [[nodiscard]] std::size_t round_payload_size() const override { return 0; }
+  [[nodiscard]] std::size_t downlink_capacity() const override { return 0; }
+  void consume_downlink(std::span<const std::byte>) override {}
+  [[nodiscard]] std::unique_ptr<NbcOp> make_fallback() const override {
+    const AlgoEntry* entry =
+        Registry::instance().find(CollKind::kBarrier, "dissemination");
+    MANATEE_CHECK(entry != nullptr, "barrier fallback algorithm missing");
+    return entry->make(comm_, tag_, CollArgs{});
+  }
+};
+
+class SwitchBcastOp final : public SwitchOffloadOp {
+ public:
+  SwitchBcastOp(CommPtr comm, int tag, std::span<std::byte> data, int root)
+      : SwitchOffloadOp(std::move(comm), tag), data_(data), root_(root) {
+    MANATEE_REQUIRE(root >= 0 && root < comm_->size(), "bcast root out of range");
+  }
+
+ protected:
+  [[nodiscard]] std::span<const std::byte> uplink_payload() const override {
+    return comm_->rank == root_ ? data_ : std::span<const std::byte>{};
+  }
+  [[nodiscard]] bool has_payload() const override {
+    return comm_->rank == root_;
+  }
+  [[nodiscard]] std::size_t round_payload_size() const override {
+    return data_.size();
+  }
+  [[nodiscard]] std::size_t downlink_capacity() const override {
+    return data_.size();
+  }
+  void consume_downlink(std::span<const std::byte> data) override {
+    // The root's buffer already holds the payload; everyone still waits
+    // for the downlink so a quiesce-time abort cannot strand the peers
+    // while the root believes the round completed.
+    if (comm_->rank != root_) copy_bytes(data_, data);
+  }
+  [[nodiscard]] std::unique_ptr<NbcOp> make_fallback() const override {
+    const AlgoEntry* entry =
+        Registry::instance().find(CollKind::kBcast, "binomial");
+    MANATEE_CHECK(entry != nullptr, "bcast fallback algorithm missing");
+    CollArgs args;
+    args.recv = data_;
+    args.root = root_;
+    return entry->make(comm_, tag_, args);
+  }
+
+ private:
+  std::span<std::byte> data_;
+  int root_;
+};
+
+}  // namespace
+
+void register_switch_algorithms(Registry& registry) {
+  registry.add(CollKind::kBarrier, "switch",
+               [](CommPtr comm, int tag, const CollArgs&) -> std::unique_ptr<NbcOp> {
+                 return std::make_unique<SwitchBarrierOp>(std::move(comm), tag);
+               });
+  registry.add(CollKind::kBcast, "switch",
+               [](CommPtr comm, int tag, const CollArgs& a) -> std::unique_ptr<NbcOp> {
+                 return std::make_unique<SwitchBcastOp>(std::move(comm), tag,
+                                                        a.recv, a.root);
+               });
+}
+
+}  // namespace manatee::umpi::coll

@@ -22,6 +22,7 @@
 
 namespace manatee::simnet {
 class BufferPool;
+class Topology;
 }
 
 namespace manatee::umpi {
@@ -75,6 +76,11 @@ struct CollArgs {
   /// (the fabric's pool; Rank fills it in). Null falls back to the global
   /// allocator, so directly-constructed ops in tests keep working.
   simnet::BufferPool* pool = nullptr;
+  /// Cluster topology view (the fabric's; Rank fills it in). Identical on
+  /// every member, so topology-derived decisions (hier node grouping,
+  /// switch admission) stay agreement-free. Null = treat as a single node,
+  /// so directly-constructed ops in tests keep working.
+  const simnet::Topology* topo = nullptr;
 };
 
 /// Builds a ready-to-progress NbcOp for one collective instance. `tag` is

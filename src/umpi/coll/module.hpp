@@ -20,6 +20,14 @@ namespace manatee {
 class Options;
 }
 
+namespace manatee::simnet {
+class Topology;
+}
+
+namespace manatee::umpi {
+class Group;
+}
+
 namespace manatee::umpi::coll {
 
 /// User-facing tuning knobs for the selection heuristic.
@@ -52,9 +60,34 @@ void apply_coll_options(CollTuning& tuning, const Options& options);
 
 [[nodiscard]] CollTuning tuning_from_options(const Options& options);
 
+/// What the decision heuristic knows about a communicator's placement on
+/// the cluster: computed once at communicator creation from the group's
+/// world ranks and the job topology — both identical on every member, so
+/// selection stays a pure agreement-free function.
+struct TopoView {
+  int node_count = 1;      ///< distinct nodes spanned by the members
+  int max_node_ranks = 1;  ///< largest member count on one node
+  /// The topology advertises an in-switch aggregation unit and this
+  /// communicator is admissible (size within the unit's member cap).
+  bool switch_available = false;
+  std::size_t switch_max_payload = 0;  ///< unit payload cap (bytes)
+
+  /// True when hierarchical algorithms have structure to exploit: members
+  /// span several nodes and at least one node holds more than one.
+  [[nodiscard]] bool hierarchical(int comm_size) const noexcept {
+    return node_count > 1 && comm_size > node_count;
+  }
+};
+
+/// TopoView of `group` on `topo` (see above).
+[[nodiscard]] TopoView make_topo_view(const Group& group,
+                                      const simnet::Topology& topo);
+
 class CollModule {
  public:
+  /// Single-node view: topology-blind selection (tests, default fallback).
   CollModule(CollTuning tuning, int comm_size);
+  CollModule(CollTuning tuning, int comm_size, TopoView view);
 
   /// Chooses the algorithm for one collective instance. Honors the forced
   /// override when set (throwing UsageError if the forced algorithm is
@@ -68,6 +101,7 @@ class CollModule {
 
   [[nodiscard]] const CollTuning& tuning() const noexcept { return tuning_; }
   [[nodiscard]] int comm_size() const noexcept { return comm_size_; }
+  [[nodiscard]] const TopoView& topo_view() const noexcept { return view_; }
 
  private:
   [[nodiscard]] const AlgoEntry& pick(CollKind kind, const char* name,
@@ -76,14 +110,17 @@ class CollModule {
 
   CollTuning tuning_;
   int comm_size_;
+  TopoView view_;
 };
 
 using CollModulePtr = std::shared_ptr<const CollModule>;
 
 /// Builds the NbcOp for one collective instance on `comm`: selects the
-/// algorithm through the communicator's CollModule (default tuning when the
-/// communicator has none) and consumes one collective sequence number for
-/// the operation's message tag.
+/// algorithm through the communicator's CollModule and consumes one
+/// collective sequence number for the operation's message tag. Every
+/// communicator the Rank layer creates carries a module propagated from
+/// its parent (tuning + topology view); a null module is a wiring bug —
+/// loud in debug builds, default-tuned fallback in release.
 std::unique_ptr<NbcOp> make_op(const CommPtr& comm, CollKind kind,
                                const CollArgs& args, bool honor_forced = true);
 

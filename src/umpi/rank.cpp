@@ -31,12 +31,20 @@ Rank::Rank(Runtime& runtime, int world_rank)
   world->base_context = kWorldBaseContext;
   world->group = Group::world(runtime.world_size());
   world->rank = world_rank;
-  world->coll_module = make_coll_module(world->group.size());
+  world->coll_module = make_coll_module(world->group, nullptr);
   world_comm_ = std::move(world);
 }
 
-coll::CollModulePtr Rank::make_coll_module(int size) const {
-  return std::make_shared<const coll::CollModule>(runtime_.config().coll, size);
+coll::CollModulePtr Rank::make_coll_module(
+    const Group& group, const coll::CollModule* parent) const {
+  // Derived communicators inherit the parent's tuning — forced --coll-*
+  // overrides must not silently revert to defaults on dup/split/create —
+  // and get their own topology view (their member set differs).
+  const coll::CollTuning& tuning =
+      parent != nullptr ? parent->tuning() : runtime_.config().coll;
+  return std::make_shared<const coll::CollModule>(
+      tuning, group.size(),
+      coll::make_topo_view(group, runtime_.topology()));
 }
 
 Rank::~Rank() = default;
@@ -384,6 +392,7 @@ void Rank::run_coll(const CommPtr& comm, coll::CollKind kind,
   ++counters_.collective_calls;
   coll::CollArgs pooled = args;
   pooled.pool = &runtime_.fabric().pool();
+  pooled.topo = &runtime_.topology();
   auto op = coll::make_op(comm, kind, pooled);
   drive_coll(*op);
   clock_.merge(op->completion_ns());
@@ -532,6 +541,7 @@ Request Rank::start_coll(const CommPtr& comm, coll::CollKind kind,
   ++counters_.collective_calls;
   coll::CollArgs pooled = args;
   pooled.pool = &runtime_.fabric().pool();
+  pooled.topo = &runtime_.topology();
   RequestState state;
   state.kind = RequestState::Kind::kNbc;
   state.nbc = coll::make_op(comm, kind, pooled);
@@ -541,6 +551,30 @@ Request Rank::start_coll(const CommPtr& comm, coll::CollKind kind,
 
 Request Rank::ibarrier(const CommPtr& comm) {
   return start_coll(comm, coll::CollKind::kBarrier, {});
+}
+
+Request Rank::ibarrier_software(const CommPtr& comm) {
+  check_comm(comm);
+  ++counters_.collective_calls;
+  // Fixed software algorithm, deliberately outside the selection layer: the
+  // 2PC cut may abandon this barrier with only a subset of members entered,
+  // which the in-switch offload cannot tolerate (a partially aggregated
+  // round would be resident in the unit at capture). Dissemination is
+  // registered unconditionally and usable at every communicator size, and
+  // every member takes the same path, so the inserted barrier stays pure
+  // store-level traffic that drain capture already handles.
+  const coll::AlgoEntry* entry =
+      coll::Registry::instance().find(coll::CollKind::kBarrier, "dissemination");
+  MANATEE_CHECK(entry != nullptr, "software barrier algorithm missing");
+  coll::CollArgs args;
+  args.pool = &runtime_.fabric().pool();
+  args.topo = &runtime_.topology();
+  const int tag = static_cast<int>(comm->coll_seq++);
+  RequestState state;
+  state.kind = RequestState::Kind::kNbc;
+  state.nbc = entry->make(comm, tag, args);
+  state.nbc->try_progress(*this);  // initiate: issue first-round traffic now
+  return new_request(std::move(state));
 }
 
 Request Rank::ibcast(const CommPtr& comm, std::span<std::byte> data, int root,
@@ -633,6 +667,7 @@ std::uint64_t Rank::agree_context_block(const CommPtr& comm, int count) {
   args.dt = Datatype::kUInt64;
   args.root = 0;
   args.pool = &runtime_.fabric().pool();
+  args.topo = &runtime_.topology();
   // Bookkeeping collective: never subject to user-forced algorithms, which
   // may be inapplicable on this communicator.
   auto op = coll::make_op(comm, coll::CollKind::kBcast, args,
@@ -650,7 +685,7 @@ CommPtr Rank::comm_dup(const CommPtr& comm) {
   dup->base_context = base;
   dup->group = comm->group;
   dup->rank = comm->rank;
-  dup->coll_module = make_coll_module(dup->group.size());
+  dup->coll_module = make_coll_module(dup->group, comm->coll_module.get());
   return dup;
 }
 
@@ -672,6 +707,7 @@ CommPtr Rank::comm_split(const CommPtr& comm, int color, int key) {
     args.send = std::as_bytes(std::span(&mine, 1));
     args.recv = std::as_writable_bytes(std::span(all));
     args.pool = &runtime_.fabric().pool();
+    args.topo = &runtime_.topology();
     auto op = coll::make_op(comm, coll::CollKind::kAllgather, args,
                             /*honor_forced=*/false);
     drive_coll(*op);
@@ -720,7 +756,7 @@ CommPtr Rank::comm_split(const CommPtr& comm, int color, int key) {
   result->base_context = base + color_index;
   result->group = Group(std::move(world_ranks));
   result->rank = my_new_rank;
-  result->coll_module = make_coll_module(result->group.size());
+  result->coll_module = make_coll_module(result->group, comm->coll_module.get());
   return result;
 }
 
@@ -738,7 +774,7 @@ CommPtr Rank::comm_create(const CommPtr& comm, const Group& group) {
   result->base_context = base;
   result->group = group;
   result->rank = my_rank;
-  result->coll_module = make_coll_module(result->group.size());
+  result->coll_module = make_coll_module(result->group, comm->coll_module.get());
   return result;
 }
 

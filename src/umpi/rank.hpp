@@ -155,6 +155,12 @@ class Rank {
 
   // --- non-blocking collectives ----------------------------------------------
   Request ibarrier(const CommPtr& comm);
+  /// Software-only ibarrier for checkpoint-protocol machinery (the 2PC
+  /// inserted barrier). It bypasses algorithm selection — including a forced
+  /// "switch" — because a protocol barrier must stay abandonable at any cut:
+  /// an in-switch round holds switch-resident partial aggregation state that
+  /// a cut taken between the members' entries can never drain.
+  Request ibarrier_software(const CommPtr& comm);
   Request ibcast(const CommPtr& comm, std::span<std::byte> data, int root,
                  Datatype dt = Datatype::kByte);
   Request ireduce(const CommPtr& comm, std::span<const std::byte> send,
@@ -242,8 +248,12 @@ class Rank {
 
   Request new_request(RequestState state);
   RequestState* find(const Request& request);
-  /// Per-communicator algorithm-selection module for a comm of `size` ranks.
-  [[nodiscard]] coll::CollModulePtr make_coll_module(int size) const;
+  /// Per-communicator algorithm-selection module for a comm over `group`:
+  /// inherits the parent communicator's tuning (the runtime config's when
+  /// `parent` is null, i.e. for the world comm) and computes the group's
+  /// own topology view.
+  [[nodiscard]] coll::CollModulePtr make_coll_module(
+      const Group& group, const coll::CollModule* parent) const;
   /// Drives one collective op to completion, sleeping targeted on the
   /// receive it is blocked on whenever nothing else needs progressing.
   void drive_coll(NbcOp& op);

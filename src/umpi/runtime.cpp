@@ -1,19 +1,60 @@
 #include "umpi/runtime.hpp"
 
+#include <cstdlib>
+#include <string_view>
+
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/mutex.hpp"
 
 namespace manatee::umpi {
 
+namespace {
+
+/// MANATEE_COLL flips the collective stack suite-wide, mirroring
+/// MANATEE_SCHED: "switch" forces the in-switch barrier/bcast (and turns
+/// the capability on in the topology), "hier" forces the hierarchical
+/// algorithms. Explicitly forced entries in the config always win — the
+/// env preset only fills an untouched tuning.
+RuntimeConfig with_env_presets(RuntimeConfig config) {
+  const char* preset = std::getenv("MANATEE_COLL");
+  if (preset == nullptr || *preset == '\0') return config;
+  for (const auto& name : config.coll.forced) {
+    if (!name.empty()) return config;
+  }
+  const std::string_view p = preset;
+  if (p == "switch") {
+    config.topo.switch_coll = true;
+    config.coll.force(coll::CollKind::kBarrier, "switch");
+    config.coll.force(coll::CollKind::kBcast, "switch");
+  } else if (p == "hier") {
+    config.coll.force(coll::CollKind::kBarrier, "hier");
+    config.coll.force(coll::CollKind::kBcast, "hier");
+    config.coll.force(coll::CollKind::kReduce, "hier");
+    config.coll.force(coll::CollKind::kAllreduce, "hier");
+  } else {
+    throw UsageError(std::string("unknown MANATEE_COLL preset '") + preset +
+                     "' (expected 'switch' or 'hier')");
+  }
+  return config;
+}
+
+simnet::TopoSpec resolved_topo(const RuntimeConfig& config) {
+  simnet::TopoSpec spec = config.topo;
+  if (spec.ranks_per_node == 0) spec.ranks_per_node = config.ranks_per_node;
+  return spec;
+}
+
+}  // namespace
+
 Runtime::Runtime(RuntimeConfig config)
-    : config_(config),
-      fabric_(simnet::Topology(config.world_size, config.ranks_per_node),
-              simnet::CostModel(config.cost)),
+    : config_(with_env_presets(std::move(config))),
+      fabric_(simnet::Topology(config_.world_size, resolved_topo(config_)),
+              simnet::CostModel(config_.cost)),
       next_base_context_(kWorldBaseContext + 1) {
-  MANATEE_REQUIRE(config.world_size > 0, "world size must be positive");
-  ranks_.reserve(static_cast<std::size_t>(config.world_size));
-  for (int i = 0; i < config.world_size; ++i) {
+  MANATEE_REQUIRE(config_.world_size > 0, "world size must be positive");
+  ranks_.reserve(static_cast<std::size_t>(config_.world_size));
+  for (int i = 0; i < config_.world_size; ++i) {
     ranks_.push_back(std::make_unique<Rank>(*this, i));
   }
 }

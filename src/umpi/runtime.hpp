@@ -25,6 +25,12 @@ struct RuntimeConfig {
   int ranks_per_node = 8;
   simnet::CostParams cost{};
 
+  /// Cluster shape (simnet/topology.hpp): node grouping, rail counts,
+  /// per-level link costs, in-switch collective capability. A zero
+  /// topo.ranks_per_node inherits `ranks_per_node` above, so existing
+  /// configurations keep their flat layout untouched.
+  simnet::TopoSpec topo{};
+
   /// Collective-algorithm tuning applied to every communicator of the job
   /// (forced algorithms + heuristic thresholds). Must be identical across
   /// ranks — it is part of the job configuration, exactly like world_size.

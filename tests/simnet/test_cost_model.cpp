@@ -52,6 +52,48 @@ TEST(CostModel, WrapperCostsOrdered) {
   EXPECT_GT(m.tpc_p2p_wrapper_cost(), m.cc_p2p_wrapper_cost());
 }
 
+TEST(CostModel, SmallPayloadBandwidthNoLongerTruncatesToZero) {
+  // Regression: the bandwidth term used to be truncated per call, so any
+  // payload under ~gbps bytes contributed zero wire time. With llround the
+  // half-up rounding kicks in at gbps/2 bytes.
+  CostParams p;
+  p.inter_node_gbps = 25.0;
+  const CostModel m(p);
+  // 13 bytes / 25 GB/s = 0.52 ns -> rounds to 1 ns, not 0.
+  EXPECT_EQ(m.transfer_ns(13, false), p.inter_node_latency_ns + 1);
+  // 12 bytes / 25 GB/s = 0.48 ns -> rounds to 0.
+  EXPECT_EQ(m.transfer_ns(12, false), p.inter_node_latency_ns);
+}
+
+TEST(CostModel, PathCostHopsAddLatency) {
+  CostParams p;
+  const CostModel m(p);
+  const auto one_hop = m.transfer_ns(0, PathCost{1, 1.0, false});
+  const auto three_hop = m.transfer_ns(0, PathCost{3, 1.0, false});
+  EXPECT_EQ(one_hop, p.inter_node_latency_ns);
+  EXPECT_EQ(three_hop, p.inter_node_latency_ns + 2 * p.extra_hop_latency_ns);
+}
+
+TEST(CostModel, PathCostBandwidthScale) {
+  CostParams p;
+  const CostModel m(p);
+  const std::size_t bytes = 1 << 20;
+  const auto full = m.transfer_ns(bytes, PathCost{1, 1.0, false});
+  const auto tapered = m.transfer_ns(bytes, PathCost{1, 0.5, false});
+  const auto railed = m.transfer_ns(bytes, PathCost{1, 2.0, false});
+  EXPECT_GT(tapered, full);   // oversubscription halves bandwidth
+  EXPECT_LT(railed, full);    // extra rails add bandwidth
+  const auto wire = static_cast<double>(full - p.inter_node_latency_ns);
+  EXPECT_NEAR(static_cast<double>(tapered - p.inter_node_latency_ns), 2.0 * wire,
+              wire * 0.01);
+}
+
+TEST(CostModel, SwitchAggregateCost) {
+  CostParams p;
+  p.switch_aggregate_ns = 333;
+  EXPECT_EQ(CostModel(p).switch_aggregate_cost(), 333);
+}
+
 TEST(CostModel, CustomParamsRespected) {
   CostParams p;
   p.inter_node_latency_ns = 5000;

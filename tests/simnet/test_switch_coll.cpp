@@ -1,0 +1,200 @@
+// Unit tests of the in-switch collective aggregation unit (DESIGN.md §11):
+// attach determinism, completion delivery/timing, quiesce aborts and
+// tombstones, contribution rejection, and counter capture round-trips.
+#include "simnet/switch_coll.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "simnet/fabric.hpp"
+
+namespace manatee::simnet {
+namespace {
+
+TopoSpec switch_spec(int ranks_per_node = 1, int max_members = 64,
+                     std::size_t max_payload = 64) {
+  TopoSpec spec;
+  spec.ranks_per_node = ranks_per_node;
+  spec.switch_coll = true;
+  spec.switch_max_members = max_members;
+  spec.switch_max_payload = max_payload;
+  return spec;
+}
+
+class SwitchCollTest : public ::testing::Test {
+ protected:
+  SwitchCollTest() : fabric_(Topology(4, switch_spec()), CostModel()) {}
+
+  SwitchUnit& unit() { return fabric_.switch_unit(); }
+
+  /// Downlink envelope (if any) sitting unexpected in `world`'s store.
+  std::optional<ProbeInfo> downlink(int world, ContextId ctx, int tag) {
+    return fabric_.store(world).iprobe(MatchPattern{ctx, kInSwitchSource, tag});
+  }
+
+  std::vector<std::byte> pop_downlink(int world, ContextId ctx, int tag,
+                                      std::size_t capacity) {
+    std::vector<std::byte> buf(capacity);
+    RecvResult result;
+    const bool got = fabric_.store(world).try_recv_unexpected(
+        MatchPattern{ctx, kInSwitchSource, tag}, buf.data(), buf.size(), &result);
+    EXPECT_TRUE(got);
+    buf.resize(result.bytes);
+    return buf;
+  }
+
+  Fabric fabric_;
+  const ContextId ctx_ = 42;
+  const std::vector<int> members_{0, 1, 2, 3};
+};
+
+TEST_F(SwitchCollTest, AttachVerdictIsRecordedAndReplayed) {
+  EXPECT_TRUE(unit().attach(ctx_, members_));
+  EXPECT_TRUE(unit().attach(ctx_, members_));  // any member, any later run
+  EXPECT_EQ(unit().counters().sessions_attached, 1u);
+
+  // Over the member cap: rejected, and the rejection is just as sticky.
+  Fabric capped(Topology(4, switch_spec(1, /*max_members=*/2)), CostModel());
+  EXPECT_FALSE(capped.switch_unit().attach(ctx_, members_));
+  EXPECT_FALSE(capped.switch_unit().attach(ctx_, members_));
+  EXPECT_EQ(capped.switch_unit().counters().sessions_rejected, 1u);
+}
+
+TEST_F(SwitchCollTest, DisabledUnitRejectsSessions) {
+  TopoSpec flat;
+  flat.ranks_per_node = 1;
+  Fabric plain(Topology(4, flat), CostModel());
+  EXPECT_FALSE(plain.switch_unit().attach(ctx_, members_));
+}
+
+TEST_F(SwitchCollTest, BarrierRoundCompletesOnLastContribution) {
+  ASSERT_TRUE(unit().attach(ctx_, members_));
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_TRUE(unit().contribute(ctx_, m, 7, {}, false, 100));
+    EXPECT_FALSE(downlink(m, ctx_, 7).has_value());  // nothing until the last
+  }
+  EXPECT_EQ(unit().counters().live_partial_rounds, 1u);
+  EXPECT_TRUE(unit().contribute(ctx_, 3, 7, {}, false, 400));
+
+  // Every member gets one verdict envelope; arrival = max uplink + one ALU
+  // step per member + the downlink wire leg.
+  const SimTime expected = 400 +
+                           fabric_.cost().switch_aggregate_cost() * 4 +
+                           unit().link_transfer_ns(1);
+  for (int m = 0; m < 4; ++m) {
+    const auto info = downlink(m, ctx_, 7);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->arrival_ns, expected);
+    const auto reply = pop_downlink(m, ctx_, 7, 8);
+    ASSERT_EQ(reply.size(), 1u);
+    EXPECT_EQ(reply[0], kSwitchComplete);
+  }
+  const auto c = unit().counters();
+  EXPECT_EQ(c.rounds_completed, 1u);
+  EXPECT_EQ(c.live_partial_rounds, 0u);
+}
+
+TEST_F(SwitchCollTest, BcastPayloadReachesEveryMember) {
+  ASSERT_TRUE(unit().attach(ctx_, members_));
+  const std::vector<std::byte> data{std::byte{0xDE}, std::byte{0xAD},
+                                    std::byte{0xBE}, std::byte{0xEF}};
+  EXPECT_TRUE(unit().contribute(ctx_, 1, 3, data, /*has_payload=*/true, 50));
+  for (int m : {0, 2, 3}) {
+    EXPECT_TRUE(unit().contribute(ctx_, m, 3, {}, false, 60));
+  }
+  for (int m = 0; m < 4; ++m) {
+    const auto reply = pop_downlink(m, ctx_, 3, 16);
+    ASSERT_EQ(reply.size(), 1 + data.size());
+    EXPECT_EQ(reply[0], kSwitchComplete);
+    EXPECT_TRUE(std::equal(data.begin(), data.end(), reply.begin() + 1));
+  }
+}
+
+TEST_F(SwitchCollTest, OversizedPayloadFallsBackToSoftware) {
+  ASSERT_TRUE(unit().attach(ctx_, members_));
+  const std::vector<std::byte> big(65);  // limit is 64
+  EXPECT_FALSE(unit().contribute(ctx_, 0, 1, big, true, 10));
+  EXPECT_EQ(unit().counters().contributions_rejected, 1u);
+  EXPECT_EQ(unit().counters().live_partial_rounds, 0u);
+}
+
+TEST_F(SwitchCollTest, QuiesceAbortsPartialRoundsToContributedMembersOnly) {
+  ASSERT_TRUE(unit().attach(ctx_, members_));
+  EXPECT_TRUE(unit().contribute(ctx_, 0, 5, {}, false, 10));
+  EXPECT_TRUE(unit().contribute(ctx_, 2, 5, {}, false, 20));
+  unit().quiesce();
+  EXPECT_TRUE(unit().quiesced());
+
+  // The two contributed members receive the abort verdict...
+  for (int m : {0, 2}) {
+    const auto reply = pop_downlink(m, ctx_, 5, 8);
+    ASSERT_EQ(reply.size(), 1u);
+    EXPECT_EQ(reply[0], kSwitchAbort);
+  }
+  // ...the members that never reached the unit get nothing (they are
+  // rejected at contribution time instead).
+  EXPECT_FALSE(downlink(1, ctx_, 5).has_value());
+  EXPECT_FALSE(unit().contribute(ctx_, 1, 5, {}, false, 30));
+
+  const auto c = unit().counters();
+  EXPECT_EQ(c.rounds_aborted, 1u);
+  EXPECT_EQ(c.live_partial_rounds, 0u);
+  EXPECT_TRUE(c.quiesced);
+}
+
+TEST_F(SwitchCollTest, AbortedRoundStaysTombstonedPastResume) {
+  ASSERT_TRUE(unit().attach(ctx_, members_));
+  EXPECT_TRUE(unit().contribute(ctx_, 0, 9, {}, false, 10));
+  unit().quiesce();
+  unit().resume();
+  EXPECT_FALSE(unit().quiesced());
+  // Members 1-3 show up only after the drain: the software fallback already
+  // ran for tag 9, so the unit must keep rejecting it forever.
+  EXPECT_FALSE(unit().contribute(ctx_, 1, 9, {}, false, 50));
+  EXPECT_FALSE(unit().contribute(ctx_, 3, 9, {}, false, 60));
+  // A *new* round on the same session works again.
+  EXPECT_TRUE(unit().contribute(ctx_, 0, 10, {}, false, 70));
+}
+
+TEST_F(SwitchCollTest, QuiescedUnitRejectsNewRounds) {
+  ASSERT_TRUE(unit().attach(ctx_, members_));
+  unit().quiesce();
+  EXPECT_FALSE(unit().contribute(ctx_, 0, 1, {}, false, 10));
+  unit().resume();
+  EXPECT_TRUE(unit().contribute(ctx_, 0, 2, {}, false, 20));
+}
+
+TEST_F(SwitchCollTest, CaptureRoundTripsCounters) {
+  ASSERT_TRUE(unit().attach(ctx_, members_));
+  for (int m = 0; m < 4; ++m) {
+    EXPECT_TRUE(unit().contribute(ctx_, m, 0, {}, false, 10));
+  }
+  EXPECT_TRUE(unit().contribute(ctx_, 0, 1, {}, false, 20));
+  unit().quiesce();
+
+  const auto blob = unit().capture();
+  const auto parsed = SwitchUnit::parse_capture(blob);
+  const auto live = unit().counters();
+  EXPECT_EQ(parsed.sessions_attached, live.sessions_attached);
+  EXPECT_EQ(parsed.sessions_rejected, live.sessions_rejected);
+  EXPECT_EQ(parsed.rounds_completed, live.rounds_completed);
+  EXPECT_EQ(parsed.rounds_aborted, live.rounds_aborted);
+  EXPECT_EQ(parsed.contributions_rejected, live.contributions_rejected);
+  EXPECT_EQ(parsed.live_partial_rounds, live.live_partial_rounds);
+  EXPECT_EQ(parsed.quiesced, live.quiesced);
+  EXPECT_EQ(parsed.rounds_completed, 1u);
+  EXPECT_EQ(parsed.rounds_aborted, 1u);
+}
+
+TEST_F(SwitchCollTest, ContributionContractViolationsThrow) {
+  EXPECT_THROW(unit().contribute(99, 0, 0, {}, false, 0), RuntimeFault);
+  ASSERT_TRUE(unit().attach(ctx_, members_));
+  EXPECT_TRUE(unit().contribute(ctx_, 0, 0, {}, false, 0));
+  EXPECT_THROW(unit().contribute(ctx_, 0, 0, {}, false, 0), RuntimeFault);  // dup
+  EXPECT_THROW(unit().contribute(ctx_, 7, 0, {}, false, 0), RuntimeFault);  // range
+}
+
+}  // namespace
+}  // namespace manatee::simnet

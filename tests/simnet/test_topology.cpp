@@ -46,5 +46,98 @@ TEST(Topology, DescribeMentionsCounts) {
   EXPECT_NE(s.find("2 node"), std::string::npos);
 }
 
+TEST(Topology, FlatPathCosts) {
+  TopoSpec spec;
+  spec.ranks_per_node = 4;
+  spec.rails = 2;
+  const Topology t(16, spec);
+  const auto intra = t.path(0, 3);
+  EXPECT_TRUE(intra.same_node);
+  EXPECT_EQ(intra.hops, 0);
+  const auto inter = t.path(0, 15);
+  EXPECT_FALSE(inter.same_node);
+  EXPECT_EQ(inter.hops, 1);
+  EXPECT_DOUBLE_EQ(inter.bw_scale, 2.0);  // rails scale every inter-node route
+}
+
+TEST(Topology, FatTreeCrossGroupClimbsSpine) {
+  TopoSpec spec;
+  spec.kind = TopoKind::kFatTree;
+  spec.ranks_per_node = 2;
+  spec.nodes_per_group = 2;
+  spec.oversubscription = 2.0;
+  const Topology t(16, spec);  // 8 nodes, 4 leaf pods
+  // ranks 0,1 -> node 0; ranks 2,3 -> node 1 (same pod); ranks 4.. -> pod 1+
+  const auto leaf = t.path(0, 2);
+  EXPECT_EQ(leaf.hops, 1);
+  EXPECT_DOUBLE_EQ(leaf.bw_scale, 1.0);
+  const auto spine = t.path(0, 4);
+  EXPECT_EQ(spine.hops, 3);
+  EXPECT_DOUBLE_EQ(spine.bw_scale, 0.5);  // 2:1 taper
+  EXPECT_FALSE(spine.same_node);
+}
+
+TEST(Topology, DragonflyCrossGroupTwoHops) {
+  TopoSpec spec;
+  spec.kind = TopoKind::kDragonfly;
+  spec.ranks_per_node = 2;
+  spec.nodes_per_group = 2;
+  const Topology t(16, spec);
+  EXPECT_EQ(t.group_count(), 4);
+  EXPECT_EQ(t.path(0, 2).hops, 1);  // local link inside the group
+  const auto global = t.path(0, 6);
+  EXPECT_EQ(global.hops, 2);  // local + global link
+  EXPECT_DOUBLE_EQ(global.bw_scale, 1.0);
+}
+
+TEST(Topology, ZeroGroupMeansOneGroup) {
+  TopoSpec spec;
+  spec.kind = TopoKind::kFatTree;
+  spec.ranks_per_node = 2;
+  spec.nodes_per_group = 0;
+  const Topology t(8, spec);
+  EXPECT_EQ(t.group_count(), 1);
+  EXPECT_EQ(t.path(0, 7).hops, 1);  // degenerates to a 1-hop flat switch
+}
+
+TEST(Topology, SpecValidation) {
+  TopoSpec bad;
+  bad.ranks_per_node = 4;
+  bad.rails = 0;
+  EXPECT_THROW(Topology(8, bad), UsageError);
+  bad.rails = 1;
+  bad.oversubscription = 0.5;
+  EXPECT_THROW(Topology(8, bad), UsageError);
+}
+
+TEST(ParseTopoSpec, Shapes) {
+  EXPECT_EQ(parse_topo_spec("flat").kind, TopoKind::kFlat);
+  EXPECT_EQ(parse_topo_spec("fattree").kind, TopoKind::kFatTree);
+  EXPECT_EQ(parse_topo_spec("dragonfly").kind, TopoKind::kDragonfly);
+  EXPECT_THROW(parse_topo_spec("torus"), UsageError);
+}
+
+TEST(ParseTopoSpec, Parameters) {
+  const auto spec = parse_topo_spec("fattree:rpn=8,group=4,oversub=2,rails=2");
+  EXPECT_EQ(spec.kind, TopoKind::kFatTree);
+  EXPECT_EQ(spec.ranks_per_node, 8);
+  EXPECT_EQ(spec.nodes_per_group, 4);
+  EXPECT_DOUBLE_EQ(spec.oversubscription, 2.0);
+  EXPECT_EQ(spec.rails, 2);
+}
+
+TEST(ParseTopoSpec, SwitchParameters) {
+  const auto spec =
+      parse_topo_spec("flat:rpn=4,switch=1,switch-members=64,switch-payload=256");
+  EXPECT_TRUE(spec.switch_coll);
+  EXPECT_EQ(spec.switch_max_members, 64);
+  EXPECT_EQ(spec.switch_max_payload, 256u);
+}
+
+TEST(ParseTopoSpec, Errors) {
+  EXPECT_THROW(parse_topo_spec("flat:bogus=1"), UsageError);
+  EXPECT_THROW(parse_topo_spec("flat:rpn"), UsageError);
+}
+
 }  // namespace
 }  // namespace manatee::simnet

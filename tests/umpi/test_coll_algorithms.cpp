@@ -394,14 +394,15 @@ TEST(CollModule, UnknownForcedAlgorithmThrows) {
   CollTuning tuning;
   tuning.force(CollKind::kBcast, "quantum");
   const coll::CollModule module(tuning, 8);
-  EXPECT_THROW(module.select(CollKind::kBcast, CollArgs{}), UsageError);
+  EXPECT_THROW((void)module.select(CollKind::kBcast, CollArgs{}), UsageError);
 }
 
 TEST(CollModule, InapplicableForcedAlgorithmThrows) {
   CollTuning tuning;
   tuning.force(CollKind::kAllgather, "rdoubling");  // needs a power of two
   const coll::CollModule module(tuning, 6);
-  EXPECT_THROW(module.select(CollKind::kAllgather, CollArgs{}), UsageError);
+  EXPECT_THROW((void)module.select(CollKind::kAllgather, CollArgs{}),
+               UsageError);
 }
 
 TEST(CollModule, HeuristicSwitchesOnMessageSize) {
@@ -441,6 +442,177 @@ TEST(CollModule, HeuristicSwitchesOnCommSize) {
   EXPECT_EQ(mid.select(CollKind::kBcast, args).name, "linear");
   const coll::CollModule huge(CollTuning{}, 64);
   EXPECT_EQ(huge.select(CollKind::kBcast, args).name, "binomial");
+}
+
+TEST(CollModule, TopologyAwareSelectionPrefersHier) {
+  coll::TopoView view;
+  view.node_count = 4;
+  view.max_node_ranks = 4;
+  const coll::CollModule module(CollTuning{}, 16, view);
+  std::vector<std::byte> small(64);
+
+  EXPECT_EQ(module.select(CollKind::kBarrier, CollArgs{}).name, "hier");
+  CollArgs bcast;
+  bcast.recv = small;
+  EXPECT_EQ(module.select(CollKind::kBcast, bcast).name, "hier");
+  CollArgs red;
+  red.send = small;
+  EXPECT_EQ(module.select(CollKind::kReduce, red).name, "hier");
+  EXPECT_EQ(module.select(CollKind::kAllreduce, red).name, "hier");
+}
+
+TEST(CollModule, SingleNodeViewStaysFlat) {
+  // One node (or one rank per node) has no hierarchy to exploit: the
+  // topology-blind heuristics must be unchanged.
+  coll::TopoView one_node;
+  one_node.node_count = 1;
+  one_node.max_node_ranks = 16;
+  const coll::CollModule module(CollTuning{}, 16, one_node);
+  EXPECT_EQ(module.select(CollKind::kBarrier, CollArgs{}).name, "dissemination");
+
+  coll::TopoView spread;  // 16 ranks over 16 nodes: comm_size == node_count
+  spread.node_count = 16;
+  spread.max_node_ranks = 1;
+  const coll::CollModule flat(CollTuning{}, 16, spread);
+  EXPECT_EQ(flat.select(CollKind::kBarrier, CollArgs{}).name, "dissemination");
+}
+
+TEST(CollModule, SwitchSelectionRespectsPayloadCap) {
+  coll::TopoView view;
+  view.node_count = 4;
+  view.max_node_ranks = 4;
+  view.switch_available = true;
+  view.switch_max_payload = 64;
+  const coll::CollModule module(CollTuning{}, 16, view);
+
+  EXPECT_EQ(module.select(CollKind::kBarrier, CollArgs{}).name, "switch");
+  std::vector<std::byte> small(32), big(128);
+  CollArgs bcast;
+  bcast.recv = small;
+  EXPECT_EQ(module.select(CollKind::kBcast, bcast).name, "switch");
+  bcast.recv = big;  // over the unit's payload cap: hierarchical software
+  EXPECT_EQ(module.select(CollKind::kBcast, bcast).name, "hier");
+}
+
+TEST(CollModule, RootedCollectiveVolumeIsNormalizedToTheRoot) {
+  // Regression: gather/scatter used to compare the *per-peer* buffer size
+  // against the large-message threshold, while their root actually moves
+  // per-peer x p bytes — so a gather could stay on the binomial tree (which
+  // concentrates whole subtree payloads through inner nodes) long past the
+  // point where the volume-bound linear algorithm wins.
+  CollTuning tuning;
+  tuning.large_message_bytes = 64 * 1024;
+  const coll::CollModule module(tuning, 32);
+  std::vector<std::byte> per_peer(4 * 1024);  // 4 KiB x 32 ranks = 128 KiB total
+
+  CollArgs gather;
+  gather.send = per_peer;
+  EXPECT_EQ(module.select(CollKind::kGather, gather).name, "linear");
+  CollArgs scatter;
+  scatter.recv = per_peer;
+  EXPECT_EQ(module.select(CollKind::kScatter, scatter).name, "linear");
+
+  std::vector<std::byte> tiny(64);  // 2 KiB total: tree still wins
+  gather.send = tiny;
+  EXPECT_EQ(module.select(CollKind::kGather, gather).name, "binomial");
+}
+
+TEST(CollModule, DerivedCommunicatorsInheritTuning) {
+  // Regression: comm_dup/split/create used to leave the derived comm with
+  // a default-tuned module, silently dropping forced --coll-* choices.
+  run_forced(6, CollKind::kBcast, "ring", [](Rank& self) {
+    const CommPtr dup = self.comm_dup(self.world());
+    ASSERT_NE(dup->coll_module, nullptr);
+    CollArgs args;
+    std::vector<std::byte> buf(64);
+    args.recv = buf;
+    EXPECT_EQ(dup->coll_module->select(CollKind::kBcast, args).name, "ring");
+
+    const CommPtr half =
+        self.comm_split(self.world(), self.world_rank() % 2, self.world_rank());
+    ASSERT_NE(half->coll_module, nullptr);
+    EXPECT_EQ(half->coll_module->select(CollKind::kBcast, args).name, "ring");
+    // And the topology view is recomputed for the *derived* group, not
+    // copied from the parent.
+    EXPECT_LE(half->coll_module->topo_view().node_count,
+              self.world()->coll_module->topo_view().node_count);
+  });
+}
+
+TEST(CollAlgorithms, ForcedTuningAppliesOnDerivedComms) {
+  // The user-visible face of tuning propagation: an allgather algorithm
+  // that is inapplicable on the derived communicator's size must now fail
+  // loudly there too (it used to silently fall back to the heuristic).
+  run_forced(8, CollKind::kAllgather, "rdoubling", [](Rank& self) {
+    const CommPtr third =
+        self.comm_split(self.world(), self.world_rank() % 3, self.world_rank());
+    ASSERT_NE(third, nullptr);
+    if (third->size() == 3) {  // non-power-of-two: rdoubling inapplicable
+      std::vector<std::int64_t> mine{self.world_rank()};
+      std::vector<std::int64_t> all(3);
+      EXPECT_THROW(self.allgather(third, cspan(mine), wspan(all)), UsageError);
+    }
+  });
+}
+
+TEST(CollAlgorithms, RailAllreduceMatchesBaselineOnEvenLayouts) {
+  // 8 ranks x 2 per node = 4 nodes hosting equal counts: forced "hier"
+  // takes the rail-parallel path (intra reduce-scatter, per-plane inter
+  // ring, intra allgather). 13 elements divide unevenly by both the node
+  // size (2) and the plane count (4), so every uneven-block boundary of
+  // the two-level partition is exercised.
+  simnet::MessageStore::set_wait_timeout_ms(10'000);
+  RuntimeConfig config;
+  config.world_size = 8;
+  config.ranks_per_node = 2;
+  config.coll.force(CollKind::kAllreduce, "hier");
+  Runtime runtime(config);
+  runtime.run([](Rank& self) {
+    constexpr int kN = 13;
+    std::vector<std::int64_t> mine(kN), out(kN, -1);
+    for (int i = 0; i < kN; ++i) {
+      mine[static_cast<std::size_t>(i)] = (self.world_rank() + 1) * (i + 1);
+    }
+    self.allreduce(self.world(), cspan(mine), wspan(out), Datatype::kInt64,
+                   ReduceOp::kSum);
+    for (int i = 0; i < kN; ++i) {
+      EXPECT_EQ(out[static_cast<std::size_t>(i)], 36 * (i + 1));  // sum 1..8
+    }
+  });
+}
+
+TEST(CollAlgorithms, OversizedForcedSwitchBcastFallsBackConvergently) {
+  // Regression: the unit's payload cap used to be enforced only at
+  // contribution time, where it rejects just the root (the peers' uplinks
+  // are empty and were accepted) — the root ran the software fallback
+  // while every peer waited forever on a downlink. The cap is now checked
+  // before contributing, against the bcast count every member knows, so
+  // the whole communicator converges on the software path and the values
+  // still arrive.
+  simnet::MessageStore::set_wait_timeout_ms(10'000);
+  RuntimeConfig config;
+  config.world_size = 4;
+  config.ranks_per_node = 1;
+  config.topo.switch_coll = true;
+  config.topo.switch_max_payload = 64;
+  config.coll.force(CollKind::kBcast, "switch");
+  Runtime runtime(config);
+  runtime.run([](Rank& self) {
+    std::vector<std::int64_t> data(32, -1);  // 256 bytes > the 64-byte cap
+    if (self.world_rank() == 2) {
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = static_cast<std::int64_t>(1000 + i);
+      }
+    }
+    self.bcast(self.world(), wspan(data), 2);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      EXPECT_EQ(data[i], static_cast<std::int64_t>(1000 + i));
+    }
+    // Under the cap the unit serves the round in-switch as before.
+    std::vector<std::int64_t> small{self.world_rank() == 0 ? 77 : -1};
+    self.bcast(self.world(), wspan(small), 0);
+    EXPECT_EQ(small[0], 77);
+  });
 }
 
 TEST(CollModule, OptionsOverrideTuning) {
