@@ -58,8 +58,10 @@ inline int ranks_per_node(const Options& opts, int fallback = 16) {
   return static_cast<int>(opts.get_int("ranks-per-node", fallback));
 }
 
-/// Apply --sched=threads|fibers and --sched-workers=N to an engine config
-/// (every bench accepts them; MANATEE_SCHED keeps working as the default).
+/// Apply --sched=threads|fibers|events and --sched-workers=N to an engine
+/// config (every bench accepts them; MANATEE_SCHED keeps working as the
+/// default). Unknown backend names throw UsageError (via parse_backend)
+/// rather than silently falling back to threads.
 inline void apply_sched_options(const Options& opts, EngineConfig& config) {
   if (opts.has("sched")) {
     config.runtime.sched.backend =

@@ -1,17 +1,23 @@
 // bench_world_scaling — the scheduler-backend headline chart: wall time and
-// peak memory per rank as the simulated world grows, threads vs fibers.
+// peak memory per rank as the simulated world grows, threads vs fibers vs
+// the event-driven backend.
 //
 // One OS thread per rank stops scaling long before the paper's world sizes
 // fit on a developer box: thousands of threads mean thousands of kernel
 // stacks, futex round trips on every message, and scheduler thrash. The
 // fiber backend multiplexes the same ranks onto a worker pool sized to the
-// hardware, so 4096-rank figure runs become routine.
+// hardware, so 4096-rank figure runs become routine. The events backend
+// goes further: a rank parked in a collective costs O(bytes of wait
+// record) rather than a committed fiber stack, so 32768- and 65536-rank
+// worlds (events-only cells under --full) fit a 1-CPU box.
 //
 // Each (ranks, backend) cell runs in a freshly exec'd child process
 // (`--single`), so VmHWM from /proc/self/status is that configuration's own
 // peak RSS — no contamination from earlier cells. The parent aggregates the
-// table, writes --json, and gates --check: fibers must not lose to threads
-// on wall time at >= 256 ranks.
+// table, writes --json, and gates --check: fibers must beat threads on wall
+// time at >= 256 ranks, events must beat fibers on wall time at >= 4096 and
+// on peak RSS at >= 16384, and the 65536-rank events cell must finish in
+// under 10 s wall within 4 GB peak RSS.
 #include <algorithm>
 #include <chrono>
 #include <cinttypes>
@@ -19,6 +25,7 @@
 #include <cstring>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -53,6 +60,11 @@ std::uint64_t vm_hwm_kb() {
 /// sizes (the cost being measured is the scheduler, not the collective).
 void run_single(int ranks, sched::Backend backend) {
   simnet::MessageStore::set_wait_timeout_ms(600'000);
+  // The iteration count scales down with the world so each cell measures a
+  // comparable message volume AND keeps the backends' fixed setup costs in
+  // frame: at 16k+ ranks the fibers backend pays one guarded mmap per rank
+  // up front while events carves ~64 stacks per slab — a real part of the
+  // per-rank cost the figure is about, not noise to amortize away.
   const int iters = std::max(2, 8192 / ranks);
   EngineConfig config;
   config.runtime.world_size = ranks;
@@ -76,15 +88,19 @@ void run_single(int ranks, sched::Backend backend) {
     }
   });
   const auto t1 = std::chrono::steady_clock::now();
-  // Single machine-parsable line consumed by the parent process.
+  // Single machine-parsable line consumed by the parent process. The sched
+  // tail is diagnostic (stderr table only): peak committed stack bytes and
+  // the stackless-vs-fallback split under the events backend.
   std::printf("RESULT ranks=%d sched=%s wall=%.6f virt=%.6f hwm_kb=%" PRIu64
+              " committed_kb=%" PRIu64 " parks=%" PRIu64 " fallbacks=%" PRIu64
               "\n",
               ranks, sched::backend_name(backend),
               std::chrono::duration<double>(t1 - t0).count(), report.seconds(),
-              vm_hwm_kb());
+              vm_hwm_kb(), report.sched.peak_committed / 1024,
+              report.sched.stackless_parks, report.sched.fiber_fallbacks);
 }
 
-Cell run_cell(const std::string& self, int ranks, const char* sched) {
+Cell run_cell_once(const std::string& self, int ranks, const char* sched) {
   const std::string cmd = self + " --single --ranks " + std::to_string(ranks) +
                           " --sched " + sched + " 2>/dev/null";
   std::FILE* pipe = popen(cmd.c_str(), "r");
@@ -113,6 +129,40 @@ Cell run_cell(const std::string& self, int ranks, const char* sched) {
   return cell;
 }
 
+/// Run every backend of one world-size row, interleaved A/B/A/B across
+/// five repetitions for the big gated rows (>= 4096 ranks), keeping each
+/// backend's best wall. Run-to-run wall noise on a loaded box reaches
+/// +-15% — comparable to the backend deltas the --check gates assert — and
+/// it drifts over seconds, so back-to-back blocks of one backend would
+/// sample different load than the next backend's block; interleaving puts
+/// every backend in the same drift windows. Peak RSS barely varies
+/// (+-0.2%), so the worst observed value is kept — conservative for the
+/// memory gates.
+std::vector<Cell> run_row(const std::string& self, int ranks,
+                          const std::vector<const char*>& scheds) {
+  const int reps = ranks >= 4096 ? 5 : 1;
+  std::vector<Cell> row;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (std::size_t s = 0; s < scheds.size(); ++s) {
+      Cell next = run_cell_once(self, ranks, scheds[s]);
+      if (rep == 0) {
+        row.push_back(next);
+        continue;
+      }
+      Cell& best = row[s];
+      best.hwm_kb = std::max(best.hwm_kb, next.hwm_kb);
+      if (next.wall_secs < best.wall_secs) {
+        best.wall_secs = next.wall_secs;
+        best.virt_secs = next.virt_secs;
+      }
+    }
+  }
+  for (Cell& c : row) {
+    c.kb_per_rank = static_cast<double>(c.hwm_kb) / c.ranks;
+  }
+  return row;
+}
+
 int run(int argc, char** argv) {
   const Options opts(argc, argv);
 
@@ -122,22 +172,44 @@ int run(int argc, char** argv) {
     return 0;
   }
 
-  std::vector<int> sweep{16, 64, 256, 1024};
-  if (opts.get_bool("full")) sweep.push_back(4096);
+  // Backends per world size: one OS thread per rank caps out around 4096
+  // on a developer box; committed fiber stacks cap out around 16384; only
+  // the stackless events backend runs the 32768/65536 headline cells.
+  std::vector<std::pair<int, std::vector<const char*>>> sweep{
+      {16, {"threads", "fibers", "events"}},
+      {64, {"threads", "fibers", "events"}},
+      {256, {"threads", "fibers", "events"}},
+      {1024, {"threads", "fibers", "events"}},
+  };
+  if (opts.get_bool("full")) {
+    sweep.push_back({4096, {"threads", "fibers", "events"}});
+    sweep.push_back({16384, {"fibers", "events"}});
+    sweep.push_back({32768, {"events"}});
+    sweep.push_back({65536, {"events"}});
+  }
   if (opts.has("ranks")) {
-    sweep = {static_cast<int>(opts.get_int("ranks", 64))};
+    sweep = {{static_cast<int>(opts.get_int("ranks", 64)),
+              {"threads", "fibers", "events"}}};
   }
 
-  print_header("World scaling: threads vs fibers",
-               "the fiber-scheduler headline chart (wall time + peak RSS "
-               "per rank while the simulated world grows)");
+  print_header("World scaling: threads vs fibers vs events",
+               "the scheduler headline chart (wall time + peak RSS per rank "
+               "while the simulated world grows)");
 
   std::vector<Cell> cells;
-  for (const int ranks : sweep) {
-    for (const char* sched : {"threads", "fibers"}) {
-      cells.push_back(run_cell(argv[0], ranks, sched));
-    }
+  for (const auto& [ranks, scheds] : sweep) {
+    std::vector<Cell> row = run_row(argv[0], ranks, scheds);
+    cells.insert(cells.end(), row.begin(), row.end());
   }
+
+  // Lookup a cell by coordinates; the grid is ragged (big worlds run only
+  // on the backends that can hold them), so callers must handle nullptr.
+  const auto find_cell = [&cells](int ranks, const char* sched) -> const Cell* {
+    for (const auto& c : cells) {
+      if (c.ranks == ranks && c.sched == sched) return &c;
+    }
+    return nullptr;
+  };
 
   std::printf("%8s %-8s %12s %12s %12s %14s\n", "ranks", "sched", "wall s",
               "virtual s", "peak RSS MB", "RSS KB/rank");
@@ -146,12 +218,24 @@ int run(int argc, char** argv) {
                 c.sched.c_str(), c.wall_secs, c.virt_secs,
                 static_cast<double>(c.hwm_kb) / 1024.0, c.kb_per_rank);
   }
-  for (std::size_t i = 0; i + 1 < cells.size(); i += 2) {
-    const Cell& t = cells[i];
-    const Cell& f = cells[i + 1];
-    std::printf("  %d ranks: fibers %.2fx wall speedup, %.2fx less peak RSS\n",
-                t.ranks, f.wall_secs > 0 ? t.wall_secs / f.wall_secs : 0.0,
-                f.hwm_kb > 0 ? static_cast<double>(t.hwm_kb) / f.hwm_kb : 0.0);
+  for (const auto& [ranks, scheds] : sweep) {
+    const Cell* t = find_cell(ranks, "threads");
+    const Cell* f = find_cell(ranks, "fibers");
+    const Cell* e = find_cell(ranks, "events");
+    if (t != nullptr && f != nullptr) {
+      std::printf(
+          "  %d ranks: fibers %.2fx wall speedup, %.2fx less peak RSS vs "
+          "threads\n",
+          ranks, f->wall_secs > 0 ? t->wall_secs / f->wall_secs : 0.0,
+          f->hwm_kb > 0 ? static_cast<double>(t->hwm_kb) / f->hwm_kb : 0.0);
+    }
+    if (f != nullptr && e != nullptr) {
+      std::printf(
+          "  %d ranks: events %.2fx wall speedup, %.2fx less peak RSS vs "
+          "fibers\n",
+          ranks, e->wall_secs > 0 ? f->wall_secs / e->wall_secs : 0.0,
+          e->hwm_kb > 0 ? static_cast<double>(f->hwm_kb) / e->hwm_kb : 0.0);
+    }
   }
 
   if (opts.has("json")) {
@@ -177,23 +261,65 @@ int run(int argc, char** argv) {
   }
 
   if (opts.has("check")) {
-    // The regression gate: at >= 256 ranks the fiber backend must beat the
-    // thread backend on wall time (that is the whole point of the
-    // subsystem; the margin is large enough that noise cannot flip it).
+    // The regression gates, each the whole point of its subsystem (the
+    // gated rows compare best-of-five interleaved repetitions, see
+    // run_row, so load noise cannot easily flip them):
+    //   - fibers beat threads on wall time at >= 256 ranks,
+    //   - events beat fibers on wall time at >= 4096 ranks,
+    //   - events beat fibers on peak RSS at >= 16384 ranks,
+    //   - the 65536-rank events cell stays under 10 s wall and 4 GB RSS.
     bool ok = true;
-    for (std::size_t i = 0; i + 1 < cells.size(); i += 2) {
-      const Cell& t = cells[i];
-      const Cell& f = cells[i + 1];
-      if (t.ranks >= 256 && f.wall_secs >= t.wall_secs) {
+    for (const auto& [ranks, scheds] : sweep) {
+      const Cell* t = find_cell(ranks, "threads");
+      const Cell* f = find_cell(ranks, "fibers");
+      const Cell* e = find_cell(ranks, "events");
+      if (ranks >= 256 && t != nullptr && f != nullptr &&
+          f->wall_secs >= t->wall_secs) {
         std::fprintf(stderr,
                      "FAIL: fibers (%.3fs) not faster than threads (%.3fs) "
                      "at %d ranks\n",
-                     f.wall_secs, t.wall_secs, t.ranks);
+                     f->wall_secs, t->wall_secs, ranks);
         ok = false;
+      }
+      if (ranks >= 4096 && f != nullptr && e != nullptr &&
+          e->wall_secs >= f->wall_secs) {
+        std::fprintf(stderr,
+                     "FAIL: events (%.3fs) not faster than fibers (%.3fs) "
+                     "at %d ranks\n",
+                     e->wall_secs, f->wall_secs, ranks);
+        ok = false;
+      }
+      if (ranks >= 16384 && f != nullptr && e != nullptr &&
+          e->hwm_kb >= f->hwm_kb) {
+        std::fprintf(stderr,
+                     "FAIL: events peak RSS (%" PRIu64
+                     " kB) not below fibers (%" PRIu64 " kB) at %d ranks\n",
+                     e->hwm_kb, f->hwm_kb, ranks);
+        ok = false;
+      }
+      if (ranks == 65536 && e != nullptr) {
+        if (e->wall_secs >= 10.0) {
+          std::fprintf(stderr,
+                       "FAIL: 65536-rank events cell took %.3fs (>= 10s)\n",
+                       e->wall_secs);
+          ok = false;
+        }
+        if (e->hwm_kb >= 4ull * 1024 * 1024) {
+          std::fprintf(stderr,
+                       "FAIL: 65536-rank events cell peaked at %" PRIu64
+                       " kB (>= 4 GB)\n",
+                       e->hwm_kb);
+          ok = false;
+        }
       }
     }
     if (!ok) return 1;
-    std::printf("\ncheck OK: fibers beat threads at every world >= 256\n");
+    std::printf(
+        "\ncheck OK: fibers beat threads >= 256, events beat fibers on wall "
+        ">= 4096 and on RSS >= 16384%s\n",
+        find_cell(65536, "events") != nullptr
+            ? ", 65536 ranks within 10 s / 4 GB"
+            : "");
   }
   return 0;
 }

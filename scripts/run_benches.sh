@@ -3,9 +3,12 @@
 #
 # Builds the perf-relevant benchmarks in Release mode, runs them, and merges
 # their JSON output into one report (default: BENCH_3.json in the repo root).
-# The scheduler world-scaling sweep (threads vs fibers) is written separately
-# to BENCH_6.json and self-gates: fibers must beat threads on wall time at
-# every world size >= 256 ranks. The checkpoint-pipeline sweep (sync-full vs
+# The scheduler world-scaling sweep (threads vs fibers vs events) is written
+# separately to BENCH_10.json and self-gates: fibers must beat threads on
+# wall time at every world size >= 256 ranks, the events backend must beat
+# fibers on wall time at >= 4096 ranks and on peak RSS at >= 16384 ranks,
+# and a 65536-rank failure-free world must complete within 10 s wall and
+# 4 GB VmHWM. The checkpoint-pipeline sweep (sync-full vs
 # async-delta) is written to BENCH_8.json and self-gates on virtual-time
 # ratios: async-delta stall <= 0.5x sync-full at world >= 64, and delta
 # bytes-per-generation below full everywhere. The collective-selection
@@ -28,7 +31,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR=build-release
 OUT=BENCH_3.json
-OUT_SCALING=BENCH_6.json
+OUT_SCALING=BENCH_10.json
 OUT_CKPT=BENCH_8.json
 OUT_COLL=BENCH_9.json
 LABEL=current
@@ -70,11 +73,13 @@ fi
 
 SCALING_ARGS=()
 if [[ $QUICK -eq 0 ]]; then
-  SCALING_ARGS+=(--full)   # adds the 4096-rank cells (~7 extra seconds)
+  SCALING_ARGS+=(--full)   # adds the 4096..65536-rank cells (tens of seconds)
 fi
 
 "$BUILD_DIR/bench_table1_call_rates" "${TABLE1_ARGS[@]}" --json "$TMP/table1.json"
-# --check is the scheduler gate: fibers beat threads at every world >= 256.
+# --check is the scheduler gate: fibers beat threads at every world >= 256,
+# events beats fibers on wall at >= 4096 and on peak RSS at >= 16384, and
+# the 65536-rank world stays under 10 s / 4 GB.
 "$BUILD_DIR/bench_world_scaling" "${SCALING_ARGS[@]}" --json "$OUT_SCALING" --check
 echo "wrote $OUT_SCALING"
 # --check is the pipeline gate: async-delta stall <= 0.5x sync-full at

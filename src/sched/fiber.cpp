@@ -1,8 +1,11 @@
 #include "sched/fiber.hpp"
 
 #include <sys/mman.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 
@@ -134,42 +137,99 @@ std::size_t page_size() {
 
 }  // namespace
 
-StackPool::StackPool(std::size_t stack_bytes) : stack_bytes_(stack_bytes) {
+StackPool::StackPool(std::size_t stack_bytes, bool slabbed)
+    : stack_bytes_(stack_bytes), slabbed_(slabbed) {
   MANATEE_REQUIRE(stack_bytes_ >= 4 * page_size(),
                   "fiber stacks need at least four pages");
 }
 
 StackPool::~StackPool() {
-  for (const StackAllocation& s : free_) ::munmap(s.base, s.size);
+  if (slabbed_) {
+    // Slab stacks are carved, never individually unmapped.
+    for (const auto& [base, bytes] : slabs_) ::munmap(base, bytes);
+    return;
+  }
+  for (const auto& tier : tiers_) {
+    for (const StackAllocation& s : tier) ::munmap(s.base, s.size);
+  }
+}
+
+int StackPool::tier_of(std::size_t high_water_bytes) noexcept {
+  if (high_water_bytes <= 16 * 1024) return 0;
+  if (high_water_bytes <= 64 * 1024) return 1;
+  return 2;
 }
 
 StackAllocation StackPool::acquire() {
-  if (!free_.empty()) {
-    const StackAllocation s = free_.back();
-    free_.pop_back();
+  // Prefer the shallowest previously-used stack: its committed footprint is
+  // smallest, so a fresh fiber starting on it faults in the fewest pages.
+  for (auto& tier : tiers_) {
+    if (tier.empty()) continue;
+    const StackAllocation s = tier.back();
+    tier.pop_back();
     ++reused_;
     return s;
   }
+  return carve();
+}
+
+StackAllocation StackPool::carve() {
   const std::size_t page = page_size();
   const std::size_t usable = (stack_bytes_ + page - 1) / page * page;
-  const std::size_t total = usable + page;  // + guard page
-  void* base = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
-                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
-  MANATEE_REQUIRE(base != MAP_FAILED,
-                  "fiber stack mmap failed — raise vm.max_map_count or lower "
-                  "SchedConfig::stack_bytes for very large worlds");
-  MANATEE_REQUIRE(::mprotect(base, page, PROT_NONE) == 0,
-                  "fiber stack guard-page mprotect failed");
+  const std::size_t stride = usable + page;  // + gap/guard page below
+
   ++mapped_;
   StackAllocation s;
-  s.base = base;
-  s.size = total;
-  s.limit = static_cast<std::byte*>(base) + page;
-  s.top = static_cast<std::byte*>(base) + total;
+  s.size = stride;
+  s.slab = slabbed_;
+  if (!slabbed_) {
+    void* base = ::mmap(nullptr, stride, PROT_READ | PROT_WRITE,
+                        MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+    MANATEE_REQUIRE(base != MAP_FAILED,
+                    "fiber stack mmap failed — raise vm.max_map_count, lower "
+                    "SchedConfig::stack_bytes, or use MANATEE_SCHED=events "
+                    "(slab stacks) for very large worlds");
+    MANATEE_REQUIRE(::mprotect(base, page, PROT_NONE) == 0,
+                    "fiber stack guard-page mprotect failed");
+    s.base = base;
+    s.limit = static_cast<std::byte*>(base) + page;
+    s.top = static_cast<std::byte*>(base) + stride;
+    return s;
+  }
+
+  if (carve_left_ == 0) {
+    // One VMA per kSlabStacks stacks: MAP_NORESERVE so the untouched bulk
+    // (gap pages, never-reached depths) costs neither commit charge nor
+    // resident pages. No per-stack mprotect — that would split the VMA and
+    // put 64k-rank worlds right back over vm.max_map_count.
+    constexpr std::size_t kSlabStacks = 64;
+    const std::size_t slab_bytes = stride * kSlabStacks;
+    void* base =
+        ::mmap(nullptr, slab_bytes, PROT_READ | PROT_WRITE,
+               MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK | MAP_NORESERVE, -1, 0);
+    MANATEE_REQUIRE(base != MAP_FAILED, "fiber stack slab mmap failed");
+    slabs_.emplace_back(base, slab_bytes);
+    carve_next_ = static_cast<std::byte*>(base);
+    carve_left_ = kSlabStacks;
+  }
+  s.base = carve_next_;
+  s.limit = carve_next_ + page;
+  s.top = carve_next_ + stride;
+  carve_next_ += stride;
+  --carve_left_;
   return s;
 }
 
-void StackPool::release(StackAllocation stack) { free_.push_back(stack); }
+void StackPool::release(StackAllocation stack, std::size_t high_water_bytes) {
+  // The guard word is only readable once its page is committed; a stack
+  // that never came within a page of its limit cannot have crossed it.
+  if (stack.slab && high_water_bytes + page_size() >= stack.usable()) {
+    MANATEE_REQUIRE(detail::stack_guard_intact(stack),
+                    "fiber stack overflow detected (slab guard word "
+                    "clobbered) — raise SchedConfig::stack_bytes");
+  }
+  tiers_[tier_of(high_water_bytes)].push_back(stack);
+}
 
 // ---- context switching ------------------------------------------------------
 
@@ -302,6 +362,66 @@ void switch_context_final(ExecContext* from, ExecContext* to) {
 #endif
   raw_switch(from, to);
   std::abort();  // a finished fiber must never be resumed
+}
+
+void* saved_stack_pointer(const ExecContext& ctx) noexcept {
+#if defined(MANATEE_FIBER_ASM_X86_64)
+  return ctx.sp;  // the real suspended stack pointer
+#else
+  (void)ctx;
+  return nullptr;  // ucontext: sp owns a heap ucontext_t, not a stack address
+#endif
+}
+
+std::size_t stack_page_bytes() noexcept { return page_size(); }
+
+std::size_t decommit_stack_span(void* lo, void* hi) noexcept {
+  auto* begin = static_cast<std::byte*>(lo);
+  auto* end = static_cast<std::byte*>(hi);
+  if (begin >= end) return 0;
+  const auto bytes = static_cast<std::size_t>(end - begin);
+  if (::madvise(begin, bytes, MADV_DONTNEED) != 0) return 0;
+  return bytes;
+}
+
+bool stack_guard_intact(const StackAllocation& stack) noexcept {
+  std::uint64_t word = 0;
+  std::memcpy(&word, stack.limit, sizeof(word));
+  return word == 0;
+}
+
+bool stack_vacate_supported() noexcept {
+#if defined(MANATEE_ASAN_FIBERS) || defined(MANATEE_TSAN_FIBERS)
+  return false;
+#else
+  return true;
+#endif
+}
+
+void decommit_stack_spans(const StackSpan* spans, std::size_t count) noexcept {
+#if defined(SYS_process_madvise) && defined(SYS_pidfd_open)
+  static const int pidfd =
+      static_cast<int>(::syscall(SYS_pidfd_open, ::getpid(), 0));
+  if (pidfd >= 0) {
+    constexpr std::size_t kChunk = 512;  // stay under IOV_MAX everywhere
+    struct iovec iov[kChunk];
+    bool ok = true;
+    for (std::size_t done = 0; ok && done < count; done += kChunk) {
+      const std::size_t n = std::min(kChunk, count - done);
+      for (std::size_t i = 0; i < n; ++i) {
+        iov[i].iov_base = spans[done + i].lo;
+        iov[i].iov_len = static_cast<std::size_t>(
+            static_cast<std::byte*>(spans[done + i].hi) -
+            static_cast<std::byte*>(spans[done + i].lo));
+      }
+      ok = ::syscall(SYS_process_madvise, pidfd, iov, n, MADV_DONTNEED, 0) >= 0;
+    }
+    if (ok) return;
+  }
+#endif
+  for (std::size_t i = 0; i < count; ++i) {
+    decommit_stack_span(spans[i].lo, spans[i].hi);
+  }
 }
 
 void destroy_fiber_context(Fiber* fiber) {

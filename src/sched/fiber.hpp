@@ -1,18 +1,32 @@
 // fiber.hpp — stackful cooperative fibers: the mechanism under the
 // FiberBackend (scheduler.hpp).
 //
-// A Fiber is a suspended computation with its own guarded stack. Switching
-// is symmetric and explicit: `switch_context` saves the callee-saved
-// register state of the current context and resumes another one, exactly
-// like boost::context's fcontext switch. On x86-64 the switch is a
-// hand-rolled ~20-instruction assembly routine (no sigprocmask syscall,
-// unlike glibc's swapcontext); other architectures fall back to ucontext.
+// A Fiber is a suspended computation with its own stack. Switching is
+// symmetric and explicit: `switch_context` saves the callee-saved register
+// state of the current context and resumes another one, exactly like
+// boost::context's fcontext switch. On x86-64 the switch is a hand-rolled
+// ~20-instruction assembly routine (no sigprocmask syscall, unlike glibc's
+// swapcontext); other architectures fall back to ucontext.
 //
-// Stacks are mmap'd with a PROT_NONE guard page below the usable range, so
-// an overflow faults loudly instead of corrupting a neighboring fiber.
-// Finished fibers return their stacks to a free list (StackPool) because
-// lifecycle chains create runtimes — and therefore fiber fleets —
-// repeatedly.
+// Stacks come in two flavours, chosen per pool:
+//
+//   * guarded (fibers backend): each stack is its own mmap with a PROT_NONE
+//     guard page below the usable range, so an overflow faults loudly.
+//     Costs 2 VMAs per stack — fine to ~16k ranks, fatal at 64k (the
+//     default vm.max_map_count is ~65530).
+//   * slabbed (events backend): stacks are carved out of large MAP_NORESERVE
+//     slabs, one VMA per ~64 stacks. Isolation is soft: an untouched gap
+//     page between neighbours (never committed unless overflowed into) and
+//     a guard word at `limit` that must stay zero, checked whenever the
+//     scheduler decommits or recycles the stack. This trades the hard
+//     guard-page fault for fitting 64k+ stacks under the VMA budget; the
+//     deliberate counterweight is that events-mode ranks park at the
+//     shallow top-level drive loop, so deep stacks are the exception.
+//
+// Finished fibers return their stacks to per-depth free tiers (bucketed by
+// the observed high-water mark) because lifecycle chains create runtimes —
+// and therefore fiber fleets — repeatedly, and reusing a shallow-committed
+// stack for a new fiber avoids re-faulting pages a deep predecessor touched.
 //
 // Sanitizer support: when built with ASan/TSan the switch is annotated with
 // __sanitizer_start/finish_switch_fiber and __tsan_switch_to_fiber so the
@@ -20,21 +34,24 @@
 // stack-pointer corruption.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace manatee::sched {
 
-/// One mmap'd fiber stack: [guard page][usable range). `top` is the highest
+/// One fiber stack: [gap/guard page][usable range). `top` is the highest
 /// usable address (stacks grow down).
 struct StackAllocation {
-  void* base = nullptr;   ///< mmap base (the guard page)
-  std::size_t size = 0;   ///< total mapping size including the guard
-  void* limit = nullptr;  ///< lowest usable address (guard page end)
+  void* base = nullptr;   ///< start of the gap/guard page
+  std::size_t size = 0;   ///< total span including the gap/guard page
+  void* limit = nullptr;  ///< lowest usable address (gap page end)
   void* top = nullptr;    ///< highest usable address
+  bool slab = false;      ///< carved from a slab (soft guard) vs own mmap
 
   [[nodiscard]] std::size_t usable() const noexcept {
     return static_cast<std::size_t>(static_cast<std::byte*>(top) -
@@ -42,32 +59,52 @@ struct StackAllocation {
   }
 };
 
-/// Guarded-stack allocator with a free list. Not thread-safe; the owning
-/// scheduler serializes access under its own mutex.
+/// Stack allocator with depth-tiered free lists. Not thread-safe; the
+/// owning scheduler serializes access under its own mutex.
 class StackPool {
  public:
-  explicit StackPool(std::size_t stack_bytes);
+  /// `slabbed` selects the slab-carved soft-guard flavour (see file
+  /// comment); false keeps the one-mmap-per-stack guard-page flavour.
+  explicit StackPool(std::size_t stack_bytes, bool slabbed = false);
   ~StackPool();
 
   StackPool(const StackPool&) = delete;
   StackPool& operator=(const StackPool&) = delete;
 
   [[nodiscard]] StackAllocation acquire();
-  void release(StackAllocation stack);
 
-  /// Stacks ever mmap'd (== acquire() calls that missed the free list).
+  /// Return a stack. `high_water_bytes` — the deepest observed use, 0 when
+  /// unknown — buckets it into a reuse tier and, for slab stacks that
+  /// plausibly reached their bottom page, arms the guard-word overflow
+  /// check (reading the word any earlier would commit an untouched page).
+  void release(StackAllocation stack, std::size_t high_water_bytes = 0);
+
+  /// Stacks ever carved fresh (== acquire() calls that missed every tier).
   [[nodiscard]] std::uint64_t mapped() const noexcept { return mapped_; }
-  /// acquire() calls served from the free list (the reuse counter).
+  /// acquire() calls served from a free tier (the reuse counter).
   [[nodiscard]] std::uint64_t reused() const noexcept { return reused_; }
+  [[nodiscard]] bool slabbed() const noexcept { return slabbed_; }
 
  private:
+  static constexpr int kTierCount = 3;
+  /// Tier by observed depth: 0 = shallow (<=16 KiB), 1 = medium
+  /// (<=64 KiB), 2 = deep. acquire() prefers shallow.
+  [[nodiscard]] static int tier_of(std::size_t high_water_bytes) noexcept;
+
+  [[nodiscard]] StackAllocation carve();
+
   std::size_t stack_bytes_;
-  std::vector<StackAllocation> free_;
+  bool slabbed_;
+  std::vector<StackAllocation> tiers_[kTierCount];
+  std::vector<std::pair<void*, std::size_t>> slabs_;  ///< mmap base, bytes
+  std::byte* carve_next_ = nullptr;  ///< next un-carved stack in the slab
+  std::size_t carve_left_ = 0;       ///< stacks remaining in the open slab
   std::uint64_t mapped_ = 0;
   std::uint64_t reused_ = 0;
 };
 
 class FiberBackend;
+class Waiter;
 
 /// Saved execution context: either a fiber or a worker thread's own stack.
 /// The embedded sanitizer bookkeeping travels with the context across
@@ -94,6 +131,34 @@ struct Fiber {
   std::string log_label = "-";
   bool started = false;  ///< stack allocated lazily at first dispatch
   bool finished = false;
+
+  // Scheduler bookkeeping, guarded by the owning backend's mutex.
+  /// Bumped on every prepare_park; deadline-heap entries snapshot it so a
+  /// stale entry (the park it described already ended) is recognizable
+  /// without touching the Waiter it pointed at.
+  std::uint64_t park_epoch = 0;
+  /// The waiter of the in-flight park, cleared at every transition to
+  /// kNotified. Deadline-heap entries are valid only while this is set.
+  Waiter* active_waiter = nullptr;
+  /// Lowest stack address estimated committed (observed sp minima, raised
+  /// again by decommits). Drives the high-water stats and the events-mode
+  /// page decommit of dead frames.
+  std::byte* committed_floor = nullptr;
+
+  // Events-mode stack vacating (FiberBackend::observe_stack_depth): while
+  // the fiber is parked its live span [vacated_lo, stack.top) sits in this
+  // heap buffer and every stack page is decommitted — a parked rank costs
+  // O(live frame) heap bytes, not a page. dispatch() copies the span back
+  // to the same addresses (so saved registers and frame pointers stay
+  // valid) before switching in. `vacated_lo != nullptr` means "vacated";
+  // the buffer keeps its capacity across parks to avoid re-allocation.
+  std::vector<std::byte> vacated_span;
+  std::byte* vacated_lo = nullptr;
+  /// Index of this fiber's entry in the owning worker's deferred-decommit
+  /// list, -1 when none — lets a re-dispatch cancel the pending decommit in
+  /// O(1) instead of scanning the batch. Only used single-worker (deferral
+  /// is disabled across workers), so worker and list are unambiguous.
+  std::int32_t pending_decommit_slot = -1;
 };
 
 namespace detail {
@@ -121,6 +186,42 @@ void destroy_thread_context(ExecContext* ctx);
 /// Release per-context sanitizer state of a finished fiber. Must run on a
 /// different context (you cannot destroy the context you stand on).
 void destroy_fiber_context(Fiber* fiber);
+
+/// The saved stack pointer of a suspended context, or nullptr when it is
+/// not observable (ucontext fallback, where `sp` is a heap ucontext_t).
+[[nodiscard]] void* saved_stack_pointer(const ExecContext& ctx) noexcept;
+
+/// The system page size (cached).
+[[nodiscard]] std::size_t stack_page_bytes() noexcept;
+
+/// Decommit [lo, hi) of a suspended stack (MADV_DONTNEED): the span reads
+/// as zero afterwards and its physical pages are returned to the kernel.
+/// Returns the bytes decommitted (0 when the span is empty or the kernel
+/// refused). Callers must only pass spans strictly below the suspended
+/// frame's red zone.
+std::size_t decommit_stack_span(void* lo, void* hi) noexcept;
+
+/// A [lo, hi) stack span queued for batched decommit.
+struct StackSpan {
+  void* lo = nullptr;
+  void* hi = nullptr;
+};
+
+/// Decommit many suspended-stack spans, in ONE process_madvise syscall when
+/// the kernel supports it (self-pidfd), per-span madvise otherwise. Best
+/// effort: decommit is purely an RSS optimization — vacated spans are
+/// restored from their heap copy regardless, and dead spans are dead.
+void decommit_stack_spans(const StackSpan* spans, std::size_t count) noexcept;
+
+/// Slab-stack overflow check: the guard word at `stack.limit` must still
+/// read zero. Only meaningful once the page is committed (caller gates on
+/// the observed high-water reaching the bottom page).
+[[nodiscard]] bool stack_guard_intact(const StackAllocation& stack) noexcept;
+
+/// Whether stack vacating (copy-out + full decommit of a parked stack) is
+/// usable in this build. False under ASan/TSan: the sanitizers keep shadow
+/// state for stack memory that a bulk memcpy restore would invalidate.
+[[nodiscard]] bool stack_vacate_supported() noexcept;
 
 /// The fiber's first and only frame, defined by the scheduler: runs
 /// fiber->body and switches away forever. Never returns.

@@ -1,6 +1,7 @@
 #include "sched/scheduler.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <thread>
@@ -16,40 +17,93 @@ namespace {
 // Private to the backend; all outside access goes through current_fiber().
 thread_local FiberBackend::Worker* t_worker = nullptr;
 
+/// Upper bound on an idle worker's sleep. The deadline heap gives the exact
+/// earliest watchdog expiry, but a park that arrives *while* a worker
+/// sleeps does not re-signal the CV — capping the beat bounds how stale a
+/// sleeping worker's view of the heap top can get.
 constexpr auto kIdleScanPeriod = std::chrono::milliseconds(100);
+
+/// Chunk size shared by Waiter::notify_batch and the backend batch path
+/// (bounds the stack arrays; bigger deliveries just loop).
+constexpr std::size_t kNotifyChunk = 16;
+
+/// Largest live span stack vacating will copy out on park. Shallow parks at
+/// the top-level drive loop are ~2 KiB; a frame deeper than this keeps its
+/// pages resident and takes the partial-decommit path instead (copying tens
+/// of KiB on every park would cost more than the pages it frees).
+constexpr std::size_t kVacateMaxLiveBytes = 32 * 1024;
+
+/// Deferred vacate decommits per process_madvise flush.
+constexpr std::size_t kVacateBatch = 256;
 
 }  // namespace
 
 // ---- backend selection ------------------------------------------------------
 
 const char* backend_name(Backend backend) noexcept {
-  return backend == Backend::kThreads ? "threads" : "fibers";
+  switch (backend) {
+    case Backend::kThreads:
+      return "threads";
+    case Backend::kFibers:
+      return "fibers";
+    case Backend::kEvents:
+      return "events";
+  }
+  return "?";
 }
 
 Backend parse_backend(const std::string& name) {
   if (name == "threads") return Backend::kThreads;
   if (name == "fibers") return Backend::kFibers;
+  if (name == "events") return Backend::kEvents;
   throw UsageError("unknown scheduler backend '" + name +
-                   "' (expected threads|fibers)");
+                   "' (expected threads|fibers|events)");
 }
 
-Backend default_backend() noexcept {
+Backend default_backend() {
+  // Memoized; a throwing first call leaves the static unconstructed, so a
+  // later call re-reads the (unchanged) environment and throws again —
+  // misconfiguration stays loud for every job of the process.
   static const Backend selected = [] {
     const char* env = std::getenv("MANATEE_SCHED");
     if (env == nullptr || *env == '\0') return Backend::kThreads;
-    if (std::strcmp(env, "fibers") == 0) return Backend::kFibers;
-    if (std::strcmp(env, "threads") != 0) {
-      LOG_WARN("MANATEE_SCHED='" << env
-                                 << "' not recognized (threads|fibers); "
-                                    "using threads");
+    return parse_backend(env);
+  }();
+  return selected;
+}
+
+std::size_t default_stack_budget() {
+  static const std::size_t selected = [] {
+    const char* env = std::getenv("MANATEE_STACK_BUDGET_MB");
+    if (env == nullptr || *env == '\0') return std::size_t{40} << 20;
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long mb = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0' || errno != 0 ||
+        mb > (std::size_t{1} << 30)) {
+      throw UsageError(std::string("invalid MANATEE_STACK_BUDGET_MB '") + env +
+                       "' (expected a whole number of MiB)");
     }
-    return Backend::kThreads;
+    return static_cast<std::size_t>(mb) << 20;
   }();
   return selected;
 }
 
 Fiber* current_fiber() noexcept {
   return t_worker != nullptr ? t_worker->current : nullptr;
+}
+
+bool events_backend_active() noexcept {
+  return t_worker != nullptr && t_worker->current != nullptr &&
+         t_worker->backend->events();
+}
+
+void count_stackless_park() noexcept {
+  if (t_worker != nullptr) t_worker->backend->note_stackless_park();
+}
+
+void count_fiber_fallback() noexcept {
+  if (t_worker != nullptr) t_worker->backend->note_fiber_fallback();
 }
 
 void yield() {
@@ -82,6 +136,8 @@ SchedStats run_tasks(const SchedConfig& config, int n, const TaskFn& task) {
     stats.workers = n;
     return stats;
   }
+  // kFibers and kEvents share the FiberBackend; events is the same engine
+  // with the continuation drive loop and slab stacks switched on.
   FiberBackend backend(config, n, task);
   return backend.run();
 }
@@ -89,18 +145,33 @@ SchedStats run_tasks(const SchedConfig& config, int n, const TaskFn& task) {
 // ---- FiberBackend -----------------------------------------------------------
 
 FiberBackend::FiberBackend(const SchedConfig& config, int n, const TaskFn& task)
-    : config_(config), stacks_(config.stack_bytes) {
+    : config_(config),
+      events_(config.backend == Backend::kEvents),
+      stacks_(config.stack_bytes,
+              /*slabbed=*/config.backend == Backend::kEvents) {
   MANATEE_REQUIRE(n >= 0, "task count must be non-negative");
+  int workers = config.workers;
+  if (workers <= 0) {
+    workers = std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  }
+  workers_ = std::max(1, std::min(workers, std::max(n, 1)));
+  shards_.reserve(static_cast<std::size_t>(workers_));
+  for (int i = 0; i < workers_; ++i) {
+    shards_.push_back(std::make_unique<ReadyShard>());
+  }
   fibers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     auto fiber = std::make_unique<Fiber>();
     fiber->backend = this;
     fiber->task_index = i;
     fiber->body = [&task, i] { task(i); };
-    ready_.push_back(fiber.get());
+    shards_[static_cast<std::size_t>(i % workers_)]->items.push_back(
+        ReadyItem{fiber.get(), nullptr, nullptr, 0});
     fibers_.push_back(std::move(fiber));
   }
   live_ = fibers_.size();
+  ready_count_.store(static_cast<std::int64_t>(fibers_.size()),
+                     std::memory_order_relaxed);
 }
 
 FiberBackend::~FiberBackend() = default;
@@ -111,19 +182,13 @@ SchedStats FiberBackend::run() {
                   "fiber schedulers cannot be nested inside a fiber");
   ran_ = true;
 
-  const int n = static_cast<int>(fibers_.size());
-  int workers = config_.workers;
-  if (workers <= 0) {
-    workers = std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
-  }
-  workers = std::max(1, std::min(workers, n));
-
   std::vector<std::thread> extra;
-  extra.reserve(static_cast<std::size_t>(workers - 1));
-  for (int i = 1; i < workers; ++i) {
+  extra.reserve(static_cast<std::size_t>(workers_ - 1));
+  for (int i = 1; i < workers_; ++i) {
     extra.emplace_back([this, i] {
       set_log_thread_label("sched-worker " + std::to_string(i));
       Worker worker;
+      worker.index = i;
       worker_loop(worker);
     });
   }
@@ -134,13 +199,17 @@ SchedStats FiberBackend::run() {
   for (auto& t : extra) t.join();
 
   SchedStats stats;
-  stats.workers = workers;
+  stats.workers = workers_;
   {
     common::MutexLock lock(mutex_);  // workers joined; lock kept for the analysis
     stats.stacks_mapped = stacks_.mapped();
     stats.stacks_reused = stacks_.reused();
-    stats.dispatches = dispatches_;
   }
+  stats.dispatches = dispatches_.load(std::memory_order_relaxed);
+  stats.peak_committed = peak_committed_.load(std::memory_order_relaxed);
+  stats.stackless_parks = stackless_parks_.load(std::memory_order_relaxed);
+  stats.fiber_fallbacks = fiber_fallbacks_.load(std::memory_order_relaxed);
+  stats.stack_vacations = stack_vacations_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -153,40 +222,189 @@ void FiberBackend::wait_for_work_locked(std::chrono::milliseconds period) {
   cv_lock.release();
 }
 
+std::chrono::milliseconds FiberBackend::idle_period_locked() {
+  if (deadline_heap_.empty()) return kIdleScanPeriod;
+  const auto now = std::chrono::steady_clock::now();
+  const auto top = deadline_heap_.front().deadline;
+  if (top <= now) return std::chrono::milliseconds(1);
+  const auto until = std::chrono::ceil<std::chrono::milliseconds>(top - now);
+  return std::clamp(until, std::chrono::milliseconds(1), kIdleScanPeriod);
+}
+
 void FiberBackend::worker_loop(Worker& worker) {
   worker.backend = this;
   detail::init_thread_context(&worker.ctx);
   Worker* const prev_worker = t_worker;
   t_worker = &worker;
 
-  mutex_.lock();  // manatee-lint: allow(bare-lock) — ownership spans the dispatch suspension points below
-  while (live_ > 0) {
-    if (ready_.empty()) {
-      // All live fibers are parked or running elsewhere. Sleep with a
-      // bounded period so the watchdog deadlines of parked fibers are
-      // still enforced (distributed deadlock must stay loud).
-      wait_for_work_locked(kIdleScanPeriod);
-      expire_timeouts_locked();
+  for (;;) {
+    ReadyItem item;
+    if (pop_ready(static_cast<std::size_t>(worker.index), &item)) {
+      if (item.fiber != nullptr) {
+        run_fiber(worker, item.fiber);
+      } else {
+        // Stackless continuation: runs to completion right here on the
+        // worker's own stack, no fiber switch, no scheduler lock. This is
+        // the events-mode hot path — one queued wake progresses a rank's
+        // collective without touching its (possibly decommitted) stack.
+        item.fn(item.arg, item.epoch);
+      }
       continue;
     }
-    Fiber* fiber = ready_.front();
-    ready_.pop_front();
-    if (!fiber->started) {
-      fiber->stack = stacks_.acquire();
-      detail::make_fiber_context(fiber);
-      fiber->started = true;
+    // Out of ready work: push any deferred stack decommits to the kernel
+    // before sleeping — everything still listed has stayed parked.
+    flush_pending_decommits(worker);
+    common::MutexLock lock(mutex_);
+    if (live_ == 0) break;
+    expire_timeouts_locked();
+    if (ready_count_.load(std::memory_order_seq_cst) > 0) continue;
+    // Eventcount sleep: register as a sleeper, then re-check — a pusher
+    // that increments ready_count_ after our check is guaranteed to see
+    // sleepers_ > 0 and signal under mutex_ (no lost wakeup).
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    if (ready_count_.load(std::memory_order_seq_cst) <= 0) {
+      wait_for_work_locked(idle_period_locked());
     }
-    ++dispatches_;
-    mutex_.unlock();  // manatee-lint: allow(bare-lock) — dropped around the dispatch (fiber code must not run under the backend lock)
-    dispatch(worker, fiber);
-    mutex_.lock();  // manatee-lint: allow(bare-lock) — re-taken after the fiber yields the worker back
-    process_pending_locked(worker);
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
   }
-  work_cv_.notify_all();  // final fiber done: release the other workers
-  mutex_.unlock();  // manatee-lint: allow(bare-lock) — closes the worker_loop ownership span opened above
+  work_cv_.notify_all();  // live_ == 0: cascade the shutdown to sleepers
 
   t_worker = prev_worker;
   detail::destroy_thread_context(&worker.ctx);
+}
+
+bool FiberBackend::pop_ready(std::size_t home_shard, ReadyItem* out) {
+  if (ready_count_.load(std::memory_order_seq_cst) <= 0) return false;
+  const std::size_t n = shards_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    ReadyShard& shard = *shards_[(home_shard + k) % n];
+    common::MutexLock lock(shard.mutex);
+    if (shard.items.empty()) continue;
+    *out = shard.items.front();
+    shard.items.pop_front();
+    ready_count_.fetch_sub(1, std::memory_order_seq_cst);
+    return true;
+  }
+  return false;
+}
+
+void FiberBackend::push_shard(const ReadyItem& item) {
+  push_shard_batch(&item, 1);
+}
+
+void FiberBackend::push_shard_batch(const ReadyItem* items, std::size_t count) {
+  // Producer-local shard when pushing from a worker of this backend (the
+  // single-CPU common case: zero cross-shard traffic); spray round-robin
+  // from external threads (checkpoint writer, abort paths).
+  std::size_t index;
+  if (t_worker != nullptr && t_worker->backend == this) {
+    index = static_cast<std::size_t>(t_worker->index);
+  } else {
+    index = push_cursor_.fetch_add(1, std::memory_order_relaxed) %
+            shards_.size();
+  }
+  ReadyShard& shard = *shards_[index];
+  common::MutexLock lock(shard.mutex);
+  for (std::size_t i = 0; i < count; ++i) shard.items.push_back(items[i]);
+  // Inside the shard lock so a pop can never outrun its own push's count.
+  ready_count_.fetch_add(static_cast<std::int64_t>(count),
+                         std::memory_order_seq_cst);
+}
+
+void FiberBackend::enqueue_item(const ReadyItem& item) {
+  push_shard(item);
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    common::MutexLock lock(mutex_);
+    work_cv_.notify_one();
+  }
+}
+
+void FiberBackend::enqueue_ready_locked(Fiber* fiber) {
+  push_shard(ReadyItem{fiber, nullptr, nullptr, 0});
+  work_cv_.notify_one();
+}
+
+void FiberBackend::run_fiber(Worker& worker, Fiber* fiber) {
+  if (!fiber->started) {
+    common::MutexLock lock(mutex_);
+    fiber->stack = stacks_.acquire();
+    detail::make_fiber_context(fiber);
+    fiber->committed_floor = static_cast<std::byte*>(fiber->stack.top);
+    fiber->started = true;
+  }
+  if (fiber->vacated_lo != nullptr) {
+    // Cancel a still-deferred decommit first: the pages are intact, and
+    // the entry must not outlive the restore (a later flush would zero the
+    // then-running stack). O(1) via the fiber's back-index into the batch.
+    if (fiber->pending_decommit_slot >= 0) {
+      auto& list = worker.pending_decommit;
+      const auto slot = static_cast<std::size_t>(fiber->pending_decommit_slot);
+      list[slot] = list.back();
+      list.pop_back();
+      if (slot < list.size()) {
+        list[slot].fiber->pending_decommit_slot =
+            static_cast<std::int32_t>(slot);
+      }
+      fiber->pending_decommit_slot = -1;
+    }
+    // Repopulate the vacated live span in place — same addresses, so the
+    // saved stack pointer and every frame link are valid again. Nobody
+    // else can touch this fiber between the pop that handed it to us and
+    // the switch below. (After a cancelled decommit this rewrites the
+    // identical bytes — cheaper than tracking the distinction.)
+    std::memcpy(fiber->vacated_lo, fiber->vacated_span.data(),
+                fiber->vacated_span.size());
+    // Return the buffer to the worker's pool rather than keep it on the
+    // fiber: under the stack budget only a slice of the fleet is vacated
+    // at any instant, and per-fiber retained capacities would accumulate
+    // to every-fiber-ever-vacated — tens of MiB that defeat the diet. The
+    // pool bounds the footprint by the peak number of concurrently
+    // vacated fibers and spares a malloc/free pair per park cycle.
+    fiber->vacated_span.clear();
+    worker.span_pool.push_back(std::move(fiber->vacated_span));
+    fiber->vacated_span = {};
+    // Page-granular floor (see observe_stack_depth): the memcpy above
+    // recommitted every page the live span touches.
+    const std::size_t page = detail::stack_page_bytes();
+    auto* floor = reinterpret_cast<std::byte*>(
+        reinterpret_cast<std::uintptr_t>(fiber->vacated_lo) / page * page);
+    auto* lim = static_cast<std::byte*>(fiber->stack.limit);
+    fiber->committed_floor = floor < lim ? lim : floor;
+    fiber->vacated_lo = nullptr;
+    note_committed_growth(static_cast<std::uint64_t>(
+        static_cast<std::byte*>(fiber->stack.top) - fiber->committed_floor));
+  }
+  dispatches_.fetch_add(1, std::memory_order_relaxed);
+  dispatch(worker, fiber);
+  // Safe window: the fiber left a pending park/yield/done but it is not
+  // published yet, so nobody can re-dispatch it — its saved stack is
+  // quiescent and depth observation/decommit cannot race a resume.
+  observe_stack_depth(worker);
+  common::MutexLock lock(mutex_);
+  process_pending_locked(worker);
+}
+
+void FiberBackend::flush_pending_decommits(Worker& worker) {
+  if (worker.pending_decommit.empty()) return;
+  // Every listed fiber is parked (cancellation removed any that came back),
+  // so all spans are quiescent: batch them into one syscall.
+  std::vector<detail::StackSpan> spans;
+  spans.reserve(worker.pending_decommit.size());
+  for (const auto& entry : worker.pending_decommit) {
+    entry.fiber->pending_decommit_slot = -1;
+    spans.push_back(entry.span);
+  }
+  detail::decommit_stack_spans(spans.data(), spans.size());
+  worker.pending_decommit.clear();
+}
+
+void FiberBackend::note_committed_growth(std::uint64_t grew) noexcept {
+  const std::uint64_t total =
+      committed_bytes_.fetch_add(grew, std::memory_order_relaxed) + grew;
+  std::uint64_t peak = peak_committed_.load(std::memory_order_relaxed);
+  while (total > peak && !peak_committed_.compare_exchange_weak(
+                             peak, total, std::memory_order_relaxed)) {
+  }
 }
 
 void FiberBackend::dispatch(Worker& worker, Fiber* fiber) {
@@ -195,6 +413,141 @@ void FiberBackend::dispatch(Worker& worker, Fiber* fiber) {
   detail::switch_context(&worker.ctx, &fiber->ctx);
   log_detail::exchange_label_slot(prev_slot);
   worker.current = nullptr;
+}
+
+void FiberBackend::observe_stack_depth(Worker& worker) {
+  Fiber* fiber = nullptr;
+  bool parked = false;
+  if (worker.pending_park != nullptr) {
+    // Set by this fiber's own prepare_park on this thread; program order
+    // makes the read safe before the park is published.
+    fiber = worker.pending_park->fiber_;
+    parked = true;
+  } else if (worker.pending_yield != nullptr) {
+    fiber = worker.pending_yield;
+  } else {
+    fiber = worker.pending_done;
+  }
+  if (fiber == nullptr || fiber->committed_floor == nullptr) return;
+  auto* sp = static_cast<std::byte*>(detail::saved_stack_pointer(fiber->ctx));
+  if (sp == nullptr) return;  // ucontext fallback: depth not observable
+  auto* top = static_cast<std::byte*>(fiber->stack.top);
+  auto* limit = static_cast<std::byte*>(fiber->stack.limit);
+  if (sp <= limit || sp > top) return;
+  const std::size_t page = detail::stack_page_bytes();
+  const auto page_floor = [page](std::byte* p) {
+    return reinterpret_cast<std::byte*>(
+        reinterpret_cast<std::uintptr_t>(p) / page * page);
+  };
+
+  // Track the floor in whole pages: residency is page-granular, and the
+  // committed estimate both feeds the stats and gates the vacate policy
+  // against SchedConfig::stack_budget_bytes — byte-granular floors would
+  // undercount a one-page stack by almost half and let the fleet blow
+  // through the budget while the estimate still reads under it.
+  std::byte* sp_page = page_floor(sp);
+  if (sp_page < limit) sp_page = limit;
+  if (sp_page < fiber->committed_floor) {
+    const auto grew =
+        static_cast<std::uint64_t>(fiber->committed_floor - sp_page);
+    fiber->committed_floor = sp_page;
+    note_committed_growth(grew);
+  }
+
+  if (!events_ || !parked) return;
+
+  // Events-mode stack diet, strongest form first: vacate the whole stack.
+  // The live span [sp−128, top) — saved registers, the park frame, the
+  // red zone — is copied into a heap buffer on the Fiber and every stack
+  // page goes back to the kernel; dispatch() memcpys the bytes back to the
+  // same addresses (saved stack pointer and frame links stay valid) before
+  // switching in. A parked rank then holds the ~2 KiB its frame actually
+  // occupies instead of a 4 KiB page minimum. Only legal when the parking
+  // Waiter declared the stack quiescent (set_stack_quiescent: the waiter,
+  // result buffers, and op state are all off-stack, so nothing touches the
+  // stack until re-dispatch — a concurrent write would be clobbered by the
+  // restore). Also skipped under sanitizers (stack shadow state) and for
+  // deep frames where the copy would outweigh the pages — all those cases
+  // fall back to the partial decommit below.
+  // Adaptive gate: vacating trades wall time (copy out, refault on resume)
+  // for resident pages, so only do it while the fleet's committed stacks
+  // actually exceed the budget. Below it the pages are cheap and the park
+  // takes the free path; above it vacates outpace recommits until the
+  // estimate settles around the budget — small worlds never vacate at all.
+  std::byte* live_lo = sp - 128 < limit ? limit : sp - 128;
+  if (worker.pending_park->stack_quiescent_ &&
+      detail::stack_vacate_supported() &&
+      (config_.stack_budget_bytes == 0 ||
+       committed_bytes_.load(std::memory_order_relaxed) >
+           config_.stack_budget_bytes) &&
+      static_cast<std::size_t>(top - live_lo) <= kVacateMaxLiveBytes) {
+    if (fiber->stack.slab && fiber->committed_floor < limit + page) {
+      MANATEE_REQUIRE(detail::stack_guard_intact(fiber->stack),
+                      "fiber stack overflow detected (slab guard word "
+                      "clobbered) — raise SchedConfig::stack_bytes");
+    }
+    // Zap only the span that can actually be resident — from the lowest
+    // page this fiber ever touched (committed_floor tracks observed sp
+    // minima) up to top. Zapping the full stack range would make the
+    // kernel walk ~64 untouched PTEs per park for a one-page stack.
+    std::byte* zap_lo = page_floor(
+        fiber->committed_floor < live_lo ? fiber->committed_floor : live_lo);
+    if (zap_lo < limit) zap_lo = limit;
+    if (!worker.span_pool.empty()) {
+      fiber->vacated_span = std::move(worker.span_pool.back());
+      worker.span_pool.pop_back();
+    }
+    fiber->vacated_span.assign(live_lo, top);
+    fiber->vacated_lo = live_lo;
+    committed_bytes_.fetch_sub(
+        static_cast<std::uint64_t>(top - fiber->committed_floor),
+        std::memory_order_relaxed);
+    fiber->committed_floor = top;
+    stack_vacations_.fetch_add(1, std::memory_order_relaxed);
+    if (workers_ == 1) {
+      // Defer the decommit into a batch. The common short park is then
+      // free of syscalls entirely: the fiber re-dispatches, the restore
+      // cancels the entry, and the pages were never touched.
+      fiber->pending_decommit_slot =
+          static_cast<std::int32_t>(worker.pending_decommit.size());
+      worker.pending_decommit.push_back(
+          {fiber, detail::StackSpan{zap_lo, top}});
+      if (worker.pending_decommit.size() >= kVacateBatch) {
+        flush_pending_decommits(worker);
+      }
+    } else {
+      // Cross-worker re-dispatch makes deferral racy; decommit eagerly.
+      detail::decommit_stack_span(zap_lo, top);
+    }
+    return;
+  }
+
+  // Fallback: release whole pages strictly below the live frame (128-byte
+  // red zone kept). A rank that made one deep excursion — a stackful
+  // fallback drive, a checkpoint serialization — then parks at its shallow
+  // top-level loop again stops holding the excursion's pages for the rest
+  // of the run.
+  std::byte* dead_hi = page_floor(sp - 128);
+  std::byte* dead_lo = page_floor(fiber->committed_floor);
+  if (dead_lo < limit) dead_lo = limit;  // gap/guard page stays untouched
+  if (dead_hi <= dead_lo ||
+      static_cast<std::size_t>(dead_hi - dead_lo) < 4 * page) {
+    return;  // not worth a syscall
+  }
+  if (fiber->stack.slab && fiber->committed_floor < limit + page) {
+    // The stack reached its bottom page: the guard word is committed and
+    // readable — check it before recycling those pages.
+    MANATEE_REQUIRE(detail::stack_guard_intact(fiber->stack),
+                    "fiber stack overflow detected (slab guard word "
+                    "clobbered) — raise SchedConfig::stack_bytes");
+  }
+  if (detail::decommit_stack_span(dead_lo, dead_hi) == 0) return;
+  if (dead_hi > fiber->committed_floor) {
+    committed_bytes_.fetch_sub(
+        static_cast<std::uint64_t>(dead_hi - fiber->committed_floor),
+        std::memory_order_relaxed);
+    fiber->committed_floor = dead_hi;
+  }
 }
 
 void FiberBackend::process_pending_locked(Worker& worker) {
@@ -206,7 +559,6 @@ void FiberBackend::process_pending_locked(Worker& worker) {
       enqueue_ready_locked(waiter->fiber_);
     } else {
       waiter->state_ = ParkState::kParked;
-      link_parked_locked(*waiter);
     }
   }
   if (Fiber* fiber = worker.pending_yield; fiber != nullptr) {
@@ -215,8 +567,32 @@ void FiberBackend::process_pending_locked(Worker& worker) {
   }
   if (Fiber* fiber = worker.pending_done; fiber != nullptr) {
     worker.pending_done = nullptr;
-    stacks_.release(fiber->stack);
+    std::size_t high_water = 0;
+    if (fiber->committed_floor != nullptr) {
+      high_water = static_cast<std::size_t>(
+          static_cast<std::byte*>(fiber->stack.top) - fiber->committed_floor);
+      // The pooled stack's pages may stay resident, but accounting them
+      // against the *live* estimate would double-count on reuse (the next
+      // fiber re-observes its own depth from scratch).
+      committed_bytes_.fetch_sub(high_water, std::memory_order_relaxed);
+    }
+    if (events_ && fiber->stack.base != nullptr && high_water > 0) {
+      // Hand the released stack's touched pages back to the kernel before
+      // pooling it. Without this, the finish wave re-commits every fleet
+      // stack (each fiber's last dispatch restored its pages) and the
+      // job's peak RSS lands exactly there, at world-size × page.
+      const std::size_t page = detail::stack_page_bytes();
+      auto floor_addr = reinterpret_cast<std::uintptr_t>(
+                            fiber->committed_floor) / page * page;
+      auto* lo = reinterpret_cast<std::byte*>(floor_addr);
+      auto* lim = static_cast<std::byte*>(fiber->stack.limit);
+      if (lo < lim) lo = lim;
+      detail::decommit_stack_span(lo, fiber->stack.top);
+    }
+    fiber->vacated_span = {};  // release the heap copy with the stack
+    stacks_.release(fiber->stack, high_water);
     fiber->stack = StackAllocation{};
+    fiber->committed_floor = nullptr;
     detail::destroy_fiber_context(fiber);
     --live_;
     if (live_ == 0) work_cv_.notify_all();
@@ -224,52 +600,60 @@ void FiberBackend::process_pending_locked(Worker& worker) {
 }
 
 void FiberBackend::expire_timeouts_locked() {
-  if (parked_head_ == nullptr) return;
+  const auto later = [](const DeadlineEntry& a, const DeadlineEntry& b) {
+    return a.deadline > b.deadline;
+  };
   const auto now = std::chrono::steady_clock::now();
-  Waiter* waiter = parked_head_;
-  while (waiter != nullptr) {
-    Waiter* next = waiter->next_;
-    if (waiter->deadline_ <= now) {
-      unlink_parked_locked(*waiter);
-      waiter->state_ = ParkState::kNotified;
-      waiter->timed_out_ = true;
-      enqueue_ready_locked(waiter->fiber_);
+  while (!deadline_heap_.empty() && deadline_heap_.front().deadline <= now) {
+    std::pop_heap(deadline_heap_.begin(), deadline_heap_.end(), later);
+    const DeadlineEntry entry = deadline_heap_.back();
+    deadline_heap_.pop_back();
+    Fiber* fiber = entry.fiber;
+    // Lazy deletion: the park this entry described may long be over (epoch
+    // moved on) or already notified (active_waiter cleared).
+    if (fiber->park_epoch != entry.epoch || fiber->active_waiter == nullptr) {
+      continue;
     }
-    waiter = next;
+    Waiter* waiter = fiber->active_waiter;
+    const bool was_parked = waiter->state_ == ParkState::kParked;
+    waiter->timed_out_ = true;
+    waiter->state_ = ParkState::kNotified;
+    fiber->active_waiter = nullptr;
+    // A kParking fiber is mid-suspend: its worker completes the park, sees
+    // kNotified and re-enqueues — only a fully parked fiber needs us to.
+    if (was_parked) enqueue_ready_locked(fiber);
   }
 }
 
-void FiberBackend::enqueue_ready_locked(Fiber* fiber) {
-  ready_.push_back(fiber);
-  work_cv_.notify_one();
-}
-
-void FiberBackend::link_parked_locked(Waiter& waiter) {
-  waiter.prev_ = nullptr;
-  waiter.next_ = parked_head_;
-  if (parked_head_ != nullptr) parked_head_->prev_ = &waiter;
-  parked_head_ = &waiter;
-}
-
-void FiberBackend::unlink_parked_locked(Waiter& waiter) {
-  if (waiter.prev_ != nullptr) {
-    waiter.prev_->next_ = waiter.next_;
-  } else {
-    parked_head_ = waiter.next_;
-  }
-  if (waiter.next_ != nullptr) waiter.next_->prev_ = waiter.prev_;
-  waiter.prev_ = nullptr;
-  waiter.next_ = nullptr;
+void FiberBackend::compact_deadlines_locked() {
+  const auto later = [](const DeadlineEntry& a, const DeadlineEntry& b) {
+    return a.deadline > b.deadline;
+  };
+  std::erase_if(deadline_heap_, [](const DeadlineEntry& e) {
+    return e.fiber->park_epoch != e.epoch || e.fiber->active_waiter == nullptr;
+  });
+  std::make_heap(deadline_heap_.begin(), deadline_heap_.end(), later);
 }
 
 void FiberBackend::prepare_park(
     Waiter& waiter, Fiber* fiber,
     std::chrono::steady_clock::time_point deadline) {
+  const auto later = [](const DeadlineEntry& a, const DeadlineEntry& b) {
+    return a.deadline > b.deadline;
+  };
   common::MutexLock lock(mutex_);
   waiter.fiber_ = fiber;
-  waiter.deadline_ = deadline;
   waiter.timed_out_ = false;
   waiter.state_ = ParkState::kParking;
+  ++fiber->park_epoch;
+  fiber->active_waiter = &waiter;
+  deadline_heap_.push_back(DeadlineEntry{deadline, fiber, fiber->park_epoch});
+  std::push_heap(deadline_heap_.begin(), deadline_heap_.end(), later);
+  // Lazy deletion leaves one stale entry per completed park behind; compact
+  // once they dominate so the heap stays O(currently parked).
+  if (deadline_heap_.size() > std::max<std::size_t>(64, 2 * live_)) {
+    compact_deadlines_locked();
+  }
 }
 
 void FiberBackend::suspend_current(Waiter* waiter) {
@@ -283,18 +667,59 @@ void FiberBackend::notify_waiter(Waiter& waiter) {
   common::MutexLock lock(mutex_);
   switch (waiter.state_) {
     case ParkState::kParked:
-      unlink_parked_locked(waiter);
       waiter.state_ = ParkState::kNotified;
+      waiter.fiber_->active_waiter = nullptr;
       enqueue_ready_locked(waiter.fiber_);
       break;
     case ParkState::kParking:
       // The fiber is mid-suspend; its worker completes the park and sees
       // kNotified, re-enqueueing immediately (no lost wakeup).
       waiter.state_ = ParkState::kNotified;
+      waiter.fiber_->active_waiter = nullptr;
       break;
     case ParkState::kNotified:
     case ParkState::kIdle:
       break;  // already woken / nobody parked
+  }
+}
+
+void FiberBackend::notify_waiters_batch(Waiter* const* waiters,
+                                        std::size_t count) {
+  MANATEE_REQUIRE(count <= kNotifyChunk,
+                  "notify_waiters_batch exceeds the chunk bound");
+  ReadyItem items[kNotifyChunk];
+  std::size_t ready = 0;
+  common::MutexLock lock(mutex_);
+  for (std::size_t i = 0; i < count; ++i) {
+    Waiter& waiter = *waiters[i];
+    if (waiter.mode_ == Waiter::Mode::kContinuation) {
+      items[ready++] = ReadyItem{nullptr, waiter.cont_fn_, waiter.cont_arg_,
+                                 waiter.cont_epoch_};
+      continue;
+    }
+    switch (waiter.state_) {
+      case ParkState::kParked:
+        waiter.state_ = ParkState::kNotified;
+        waiter.fiber_->active_waiter = nullptr;
+        items[ready++] = ReadyItem{waiter.fiber_, nullptr, nullptr, 0};
+        break;
+      case ParkState::kParking:
+        waiter.state_ = ParkState::kNotified;
+        waiter.fiber_->active_waiter = nullptr;
+        break;
+      case ParkState::kNotified:
+      case ParkState::kIdle:
+        break;
+    }
+  }
+  if (ready == 0) return;
+  // One shard round for the whole batch — the m-waiters-one-delivery case
+  // costs one scheduler lock and one queue lock, not m of each.
+  push_shard_batch(items, ready);
+  if (ready == 1) {
+    work_cv_.notify_one();
+  } else {
+    work_cv_.notify_all();
   }
 }
 
@@ -341,12 +766,12 @@ bool Waiter::park_until(common::Mutex& mu,
     return status != std::cv_status::timeout;
   }
   FiberBackend* backend = fiber->backend;
-  fiber_mode_ = true;  // guarded by `mu`, like notify()'s read
+  mode_ = Mode::kFiber;  // guarded by `mu`, like notify()'s read
   backend->prepare_park(*this, fiber, deadline);
   mu.unlock();  // manatee-lint: allow(bare-lock) — the park suspends this fiber; the interest mutex must not travel into the scheduler
   backend->suspend_current(this);
   mu.lock();  // manatee-lint: allow(bare-lock) — the fiber resumed; re-take the interest mutex for the caller
-  fiber_mode_ = false;
+  mode_ = Mode::kThread;
   // timed_out_ was written by the expiring worker under the scheduler
   // mutex before this fiber was re-enqueued; the dispatch that resumed us
   // orders that write before this read.
@@ -354,11 +779,67 @@ bool Waiter::park_until(common::Mutex& mu,
 }
 
 void Waiter::notify() {
-  if (fiber_mode_) {
-    fiber_->backend->notify_waiter(*this);
-  } else {
-    cv_.notify_one();
+  switch (mode_) {
+    case Mode::kFiber:
+      fiber_->backend->notify_waiter(*this);
+      break;
+    case Mode::kContinuation:
+      cont_backend_->enqueue_item(FiberBackend::ReadyItem{
+          nullptr, cont_fn_, cont_arg_, cont_epoch_});
+      break;
+    case Mode::kThread:
+      cv_.notify_one();
+      break;
   }
+}
+
+void Waiter::notify_batch(Waiter* const* waiters, std::size_t count) {
+  // Group consecutive same-backend waiters and wake each group in one
+  // scheduler round; CV (thread-mode) waiters wake individually — they are
+  // distinct OS threads either way.
+  Waiter* group[kNotifyChunk];
+  FiberBackend* backend = nullptr;
+  std::size_t grouped = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    Waiter* waiter = waiters[i];
+    FiberBackend* b = nullptr;
+    if (waiter->mode_ == Mode::kFiber) {
+      b = waiter->fiber_->backend;
+    } else if (waiter->mode_ == Mode::kContinuation) {
+      b = waiter->cont_backend_;
+    }
+    if (b == nullptr) {
+      waiter->cv_.notify_one();
+      continue;
+    }
+    if (grouped > 0 && (b != backend || grouped == kNotifyChunk)) {
+      backend->notify_waiters_batch(group, grouped);
+      grouped = 0;
+    }
+    backend = b;
+    group[grouped++] = waiter;
+  }
+  if (grouped > 0) backend->notify_waiters_batch(group, grouped);
+}
+
+void Waiter::arm_continuation(void (*fn)(void*, std::uint64_t), void* arg,
+                              std::uint64_t epoch) {
+  Fiber* fiber = current_fiber();
+  MANATEE_REQUIRE(fiber != nullptr,
+                  "arm_continuation requires a scheduler fiber");
+  mode_ = Mode::kContinuation;
+  cont_backend_ = fiber->backend;
+  cont_fn_ = fn;
+  cont_arg_ = arg;
+  cont_epoch_ = epoch;
+}
+
+void Waiter::disarm_continuation() noexcept {
+  mode_ = Mode::kThread;
+  cont_backend_ = nullptr;
+  cont_fn_ = nullptr;
+  cont_arg_ = nullptr;
+  cont_epoch_ = 0;
 }
 
 }  // namespace manatee::sched

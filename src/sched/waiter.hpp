@@ -8,17 +8,23 @@
 //     condition_variable::wait_until path (ThreadBackend semantics);
 //   * on a fiber, the park suspends the fiber (the worker thread moves on
 //     to the next ready fiber) and notify() re-enqueues exactly that fiber
-//     — no futex, no OS context switch.
+//     — no futex, no OS context switch;
+//   * armed as a continuation (events backend), the waiter never blocks
+//     anything: notify() enqueues a plain function call on the scheduler's
+//     ready queue. The parked "context" is a heap record, not a stack.
 //
 // Usage contract (matching MessageStore): park_until is called with the
 // waiter's interest mutex held; notify() is called only while that same
 // mutex is held. This makes the lost-wakeup handoff race-free: the
 // predicate is made true and notify() issued inside the critical section
-// the parker re-checks the predicate under.
+// the parker re-checks the predicate under. arm_continuation obeys the same
+// rule: the mode switch happens before the waiter is registered with an
+// interest list, and the continuation fields are immutable while registered.
 //
 // A Waiter serves ONE parking context at a time (it holds a single Fiber
-// slot). That matches the mailbox exactly — every waiting call stack-
-// allocates its own Waiter — but means a Waiter must not be shared by two
+// slot or one continuation record). That matches the mailbox exactly —
+// every waiting call stack-allocates its own Waiter, and the events drive
+// loop owns one per rank — but means a Waiter must not be shared by two
 // concurrently-parking fibers.
 //
 // The fiber-side handoff is a small state machine guarded by the backend's
@@ -26,15 +32,17 @@
 //
 //   kIdle --prepare_park--> kParking --worker completes--> kParked
 //     kParking --notify--> kNotified   (worker re-enqueues immediately)
-//     kParked  --notify--> kNotified   (notifier unlinks + re-enqueues)
+//     kParked  --notify--> kNotified   (notifier re-enqueues the fiber)
 //
-// The watchdog deadline travels with the parked waiter; an idle worker
-// expires overdue parks (timed_out() true) so distributed-deadlock
-// detection keeps working when every rank is a fiber.
+// The watchdog deadline travels into the backend's deadline min-heap; an
+// idle worker expires exactly the overdue parks (timed_out() true) so
+// distributed-deadlock detection keeps working when every rank is a fiber —
+// without rescanning every parked rank each beat.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <mutex>
 
@@ -66,23 +74,71 @@ class Waiter {
   /// entered with). No-op when nobody is parked.
   void notify();
 
+  /// Wake `count` waiters that share one interest mutex (caller holds it)
+  /// in as few scheduler lock rounds as possible: waiters of the same
+  /// backend are re-enqueued in one batch — one backend mutex round and one
+  /// ready-queue round — instead of `count` independent notify() calls.
+  /// At 64k ranks a single delivery can satisfy thousands of parked ranks;
+  /// this is what keeps that wakeup O(m) work under O(1) lock traffic.
+  static void notify_batch(Waiter* const* waiters, std::size_t count);
+
+  /// Switch this waiter to continuation mode: notify() will enqueue
+  /// `fn(arg, epoch)` on the calling fiber's scheduler instead of waking a
+  /// blocked context. Must be called on a scheduler fiber, with the
+  /// interest mutex the waiter will be registered under held, BEFORE
+  /// registering; the fields are immutable until disarm_continuation().
+  /// The epoch is opaque to the scheduler — continuations use it to drop
+  /// stale firings after the interest has moved on.
+  void arm_continuation(void (*fn)(void*, std::uint64_t), void* arg,
+                        std::uint64_t epoch);
+
+  /// Back to plain (thread/CV) mode. Caller holds the interest mutex; any
+  /// late notify() after this degrades to a harmless CV signal.
+  void disarm_continuation() noexcept;
+
+  /// Update the epoch of an armed continuation (interest mutex held).
+  void set_continuation_epoch(std::uint64_t epoch) noexcept {
+    cont_epoch_ = epoch;
+  }
+
+  /// Declare that while a fiber is parked on THIS waiter, no other context
+  /// reads or writes any part of the fiber's stack (the waiter itself, the
+  /// wait's result buffers, and all op state live off-stack). This is the
+  /// caller's promise that enables whole-stack vacating (the scheduler
+  /// copies the live span to the heap and decommits every stack page for
+  /// the duration of the park — any concurrent touch of the stack would be
+  /// lost on restore). Set before parking, on the parking context; sticky
+  /// until changed, so per-wait callers must re-set it each time.
+  void set_stack_quiescent(bool on) noexcept { stack_quiescent_ = on; }
+
  private:
   friend class FiberBackend;
+
+  /// How notify() wakes this waiter. Guarded by the caller's interest
+  /// mutex, exactly like the registration itself: park_until flips
+  /// kThread<->kFiber under it, arm/disarm set kContinuation under it.
+  enum class Mode : std::uint8_t { kThread, kFiber, kContinuation };
 
   // Thread path. The Waiter abstraction is exactly why this CV may exist:
   // every other park site in the runtime must come here instead.
   std::condition_variable cv_;  // manatee-lint: allow(raw-condvar) — Waiter IS the one sanctioned CV park site
 
-  // Fiber path. `fiber_mode_` is guarded by the caller's interest mutex
-  // (held across both park_until entry and notify); everything else is
-  // guarded by the owning backend's scheduler mutex.
-  bool fiber_mode_ = false;
+  Mode mode_ = Mode::kThread;
+
+  // Fiber path: guarded by the owning backend's scheduler mutex (the
+  // analysis cannot name another object's member; every mutation stays
+  // inside FiberBackend's self-locking methods).
   Fiber* fiber_ = nullptr;
   ParkState state_ = ParkState::kIdle;
   bool timed_out_ = false;
-  std::chrono::steady_clock::time_point deadline_{};
-  Waiter* prev_ = nullptr;  ///< intrusive parked-list links
-  Waiter* next_ = nullptr;
+  bool stack_quiescent_ = false;  ///< see set_stack_quiescent()
+
+  // Continuation path: written by arm/disarm under the interest mutex,
+  // read by notify() under the same mutex.
+  FiberBackend* cont_backend_ = nullptr;
+  void (*cont_fn_)(void*, std::uint64_t) = nullptr;
+  void* cont_arg_ = nullptr;
+  std::uint64_t cont_epoch_ = 0;
 };
 
 }  // namespace manatee::sched

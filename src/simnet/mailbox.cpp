@@ -9,6 +9,11 @@ namespace manatee::simnet {
 
 namespace {
 std::atomic<long> g_wait_timeout_ms{60'000};
+
+/// Stack bound of the wake-path batch buffers. sched::Waiter::notify_batch
+/// groups and chunks internally; this only caps how many pointers a wake
+/// pass accumulates before flushing.
+constexpr std::size_t kWakeBatch = 32;
 }  // namespace
 
 void MessageStore::set_wait_timeout_ms(long ms) noexcept {
@@ -33,14 +38,24 @@ void MessageStore::complete_posted(const Posted& p, int src, int tag,
   p.result->done.store(true, std::memory_order_release);
 }
 
+namespace {
+/// Sorted-vector lookup shared by find_context/context_for.
+template <typename Contexts>
+auto context_lower_bound(Contexts& contexts, ContextId context) {
+  return std::lower_bound(
+      contexts.begin(), contexts.end(), context,
+      [](const auto& entry, ContextId c) { return entry.first < c; });
+}
+}  // namespace
+
 MessageStore::ContextBins* MessageStore::find_context(ContextId context) {
   if (cached_context_ != nullptr && context == cached_context_id_) {
     return cached_context_;
   }
-  const auto it = contexts_.find(context);
-  if (it == contexts_.end()) return nullptr;
+  const auto it = context_lower_bound(contexts_, context);
+  if (it == contexts_.end() || it->first != context) return nullptr;
   cached_context_id_ = context;
-  cached_context_ = &it->second;
+  cached_context_ = it->second.get();
   return cached_context_;
 }
 
@@ -48,10 +63,13 @@ MessageStore::ContextBins& MessageStore::context_for(ContextId context) {
   if (cached_context_ != nullptr && context == cached_context_id_) {
     return *cached_context_;
   }
-  ContextBins& cb = contexts_[context];
+  auto it = context_lower_bound(contexts_, context);
+  if (it == contexts_.end() || it->first != context) {
+    it = contexts_.emplace(it, context, std::make_unique<ContextBins>());
+  }
   cached_context_id_ = context;
-  cached_context_ = &cb;
-  return cb;
+  cached_context_ = it->second.get();
+  return *cached_context_;
 }
 
 MessageStore::Bin& MessageStore::bin_for(ContextId context, int src) {
@@ -129,7 +147,7 @@ bool MessageStore::find_unexpected(const MatchPattern& pattern, Bin** bin_out,
     if (bin == nullptr) return false;
     consider(*bin);
   } else {
-    for (auto& [src, bin] : cb.by_src) consider(bin);
+    for (auto& [src, bin] : cb.by_src) consider(*bin);
   }
   if (best_bin == nullptr) return false;
   *bin_out = best_bin;
@@ -139,24 +157,54 @@ bool MessageStore::find_unexpected(const MatchPattern& pattern, Bin** bin_out,
 
 // ---- wakeup targeting -------------------------------------------------------
 
+// Each wake pass accumulates the matching parkers and hands the scheduler
+// whole runs (sched::Waiter::notify_batch): m wakeups cost O(m / chunk)
+// scheduler lock rounds instead of m. At 64k ranks a coordinator notify()
+// satisfies tens of thousands of parked ranks in one sweep.
+namespace {
+class WakeBatch {
+ public:
+  ~WakeBatch() { flush(); }
+  void add(sched::Waiter* parker) {
+    batch_[count_++] = parker;
+    if (count_ == kWakeBatch) flush();
+  }
+
+ private:
+  void flush() {
+    if (count_ > 0) sched::Waiter::notify_batch(batch_, count_);
+    count_ = 0;
+  }
+  sched::Waiter* batch_[kWakeBatch];
+  std::size_t count_ = 0;
+};
+}  // namespace
+
 void MessageStore::wake_all_locked() {
-  for (Waiter* w : waiters_) w->parker.notify();
+  WakeBatch batch;
+  for (Waiter* w : waiters_) batch.add(&w->parker);
+  for (const Watch& w : watches_) batch.add(w.parker);
 }
 
 void MessageStore::wake_for_result_locked(const RecvResult* result) {
+  WakeBatch batch;
   for (Waiter* w : waiters_) {
     if (w->want == Waiter::Want::kAny ||
         (w->want == Waiter::Want::kResult && w->result == result)) {
-      w->parker.notify();
+      batch.add(&w->parker);
     }
+  }
+  for (const Watch& w : watches_) {
+    if (w.result == result) batch.add(w.parker);
   }
 }
 
 void MessageStore::wake_for_unexpected_locked(const Envelope& env) {
+  WakeBatch batch;
   for (Waiter* w : waiters_) {
     if (w->want == Waiter::Want::kAny ||
         (w->want == Waiter::Want::kProbe && w->pattern->matches(env))) {
-      w->parker.notify();
+      batch.add(&w->parker);
     }
   }
 }
@@ -198,8 +246,8 @@ void MessageStore::deliver_locked(ContextId context, int src, int tag,
                                   TrafficClass traffic, Envelope* staged) {
   const std::int64_t seq = next_seq_++;
   auto& counters = traffic_[static_cast<std::size_t>(traffic)];
-  ++counters.messages;
-  counters.bytes += payload.size();
+  counters.messages.fetch_add(1, std::memory_order_relaxed);
+  counters.bytes.fetch_add(payload.size(), std::memory_order_relaxed);
 
   Posted p;
   if (pop_matching_posted(context, src, tag, &p)) {
@@ -291,9 +339,9 @@ bool MessageStore::cancel_recv(const RecvResult* result) {
     return false;
   };
   for (auto& [context, cb] : contexts_) {
-    if (scan(cb.wildcard)) return true;
-    for (auto& [src, bin] : cb.by_src) {
-      if (scan(bin.posted)) return true;
+    if (scan(cb->wildcard)) return true;
+    for (auto& [src, bin] : cb->by_src) {
+      if (scan(bin->posted)) return true;
     }
   }
   return false;
@@ -358,6 +406,26 @@ std::optional<ProbeInfo> MessageStore::wait_probe(
   return found;
 }
 
+bool MessageStore::watch_recv(const RecvResult* result, sched::Waiter* parker) {
+  common::MutexLock lock(mutex_);
+  for (Watch& w : watches_) {
+    if (w.parker == parker) {
+      w.result = result;
+      return result->is_done();
+    }
+  }
+  watches_.push_back(Watch{result, parker});
+  // Checked under the lock AFTER registering: a delivery completing
+  // `result` either happened before this critical section (visible here)
+  // or will run after it and notify the watch.
+  return result->is_done();
+}
+
+void MessageStore::unwatch(sched::Waiter* parker) {
+  common::MutexLock lock(mutex_);
+  std::erase_if(watches_, [&](const Watch& w) { return w.parker == parker; });
+}
+
 void MessageStore::notify() {
   common::MutexLock lock(mutex_);
   wake_all_locked();
@@ -393,9 +461,9 @@ std::vector<CapturedEnvelope> MessageStore::snapshot_unexpected(
   common::MutexLock lock(mutex_);
   std::vector<CapturedEnvelope> out;
   for (const auto& [context, cb] : contexts_) {
-    for (const auto& [src, bin] : cb.by_src) {
-      for (std::size_t i = 0; i < bin.unexpected.size(); ++i) {
-        const Envelope& env = bin.unexpected[i];
+    for (const auto& [src, bin] : cb->by_src) {
+      for (std::size_t i = 0; i < bin->unexpected.size(); ++i) {
+        const Envelope& env = bin->unexpected[i];
         if (!keep(env)) continue;
         CapturedEnvelope c;
         c.context = env.context;
@@ -421,9 +489,9 @@ std::size_t MessageStore::count_unexpected(
   common::MutexLock lock(mutex_);
   std::size_t n = 0;
   for (const auto& [context, cb] : contexts_) {
-    for (const auto& [src, bin] : cb.by_src) {
-      for (std::size_t i = 0; i < bin.unexpected.size(); ++i) {
-        if (keep(bin.unexpected[i])) ++n;
+    for (const auto& [src, bin] : cb->by_src) {
+      for (std::size_t i = 0; i < bin->unexpected.size(); ++i) {
+        if (keep(bin->unexpected[i])) ++n;
       }
     }
   }
@@ -484,13 +552,19 @@ std::uint64_t MessageStore::delivered_bytes() const {
 }
 
 TrafficCounters MessageStore::traffic(TrafficClass traffic) const {
-  common::MutexLock lock(mutex_);
-  return traffic_[static_cast<std::size_t>(traffic)];
+  const auto& c = traffic_[static_cast<std::size_t>(traffic)];
+  return TrafficCounters{c.messages.load(std::memory_order_relaxed),
+                         c.bytes.load(std::memory_order_relaxed)};
 }
 
 std::uint64_t MessageStore::eager_completions() const {
   common::MutexLock lock(mutex_);
   return eager_completions_;
+}
+
+std::string MessageStore::wait_diagnostics(const char* what) const {
+  common::MutexLock lock(mutex_);
+  return wait_diagnostics_locked(what);
 }
 
 }  // namespace manatee::simnet

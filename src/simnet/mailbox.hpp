@@ -29,16 +29,23 @@
 // hosted on a fiber suspends cooperatively and the wake re-enqueues that
 // fiber on its scheduler — this one chokepoint is what makes every park
 // site in the runtime (recv/wait/probe/drive, blocking_loop, drain and
-// 2PC parks) fiber-safe without call-site changes. All waits carry a
-// global watchdog timeout that converts distributed deadlock into a loud
-// RuntimeFault instead of a hung test suite.
+// 2PC parks) fiber-safe without call-site changes. The events backend adds
+// a fourth shape via watch_recv/unwatch: a *persistent* targeted interest
+// with no blocked context behind it, notified through the waiter's armed
+// continuation — the mechanism under stackless parking. Wake paths hand
+// the scheduler whole batches of waiters (sched::Waiter::notify_batch)
+// instead of one lock round per wakeup. All waits carry a global watchdog
+// timeout that converts distributed deadlock into a loud RuntimeFault
+// instead of a hung test suite.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
-#include <unordered_map>
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
@@ -114,6 +121,20 @@ class MessageStore {
   std::optional<ProbeInfo> wait_probe(const MatchPattern& pattern,
                                       common::FunctionRef<bool()> interrupt);
 
+  /// Persistent targeted interest (the events drive loop): until unwatch(),
+  /// every event that may have satisfied the caller — completion of
+  /// `result`, or any store-wide notify()/inject() — notifies `parker`,
+  /// which typically carries an armed continuation rather than a blocked
+  /// context. A second watch_recv with the same parker re-targets the
+  /// existing watch in one lock round. Returns whether `result` is already
+  /// done, checked under the store lock *after* registering — so a delivery
+  /// racing the registration is never lost: either the caller sees done now,
+  /// or the watch fires later.
+  bool watch_recv(const RecvResult* result, sched::Waiter* parker);
+
+  /// Drop the watch registered under `parker`. Idempotent.
+  void unwatch(sched::Waiter* parker);
+
   /// Wake all waiters (used by out-of-band state changes, e.g. the
   /// checkpoint coordinator flipping a flag the waiter's pred reads).
   /// Bumps the generation counter so wait_changed() observers also wake.
@@ -159,12 +180,18 @@ class MessageStore {
 
   /// Per-class delivery counters of this store (folded across stores by
   /// Fabric::counters — per-destination sharding keeps concurrent senders
-  /// off any shared cache line).
+  /// off any shared cache line). Lock-free: the counters are relaxed
+  /// atomics, so a 64k-store fold never queues behind 64k delivery locks.
   [[nodiscard]] TrafficCounters traffic(TrafficClass traffic) const;
 
   /// Deliveries that completed a posted receive in place (the zero-copy
   /// eager path); the complement materialized an unexpected envelope.
   [[nodiscard]] std::uint64_t eager_completions() const;
+
+  /// The watchdog's deadlock-diagnostics line, for callers that run their
+  /// own deadline (the events drive loop) and want to fault with the same
+  /// text wait() would have produced.
+  [[nodiscard]] std::string wait_diagnostics(const char* what) const;
 
  private:
   struct Posted {
@@ -238,30 +265,44 @@ class MessageStore {
   };
 
   struct ContextBins {
-    std::unordered_map<int, Bin> by_src;
+    /// (src → bin), sorted by src. A rank talks to O(log p) tree neighbors,
+    /// so the table is tiny and binary search beats hashing; the switch
+    /// from unordered_map also drops ~100 B of empty-map overhead per
+    /// context — real memory when 64k ranks each hold a store with several
+    /// contexts. unique_ptr keeps every Bin address-stable across inserts
+    /// for the cache below and for find_unexpected's bin pointers.
+    std::vector<std::pair<int, std::unique_ptr<Bin>>> by_src;
     std::vector<Posted> wildcard;  ///< ANY_SOURCE receives, post order
 
     // One-entry lookup cache: hot paths hammer a single (context, src)
-    // pair (ping-pong, a collective's fixed neighbor), and unordered_map
-    // nodes are address-stable, so the cached pointer stays valid for the
-    // store's lifetime (bins are never erased). Guarded by the store mutex.
+    // pair (ping-pong, a collective's fixed neighbor); the cached pointer
+    // stays valid for the store's lifetime (bins are never erased).
+    // Guarded by the store mutex.
     int cached_src = kAnySource;
     Bin* cached_bin = nullptr;
 
+    [[nodiscard]] auto lower_bound(int src) {
+      return std::lower_bound(
+          by_src.begin(), by_src.end(), src,
+          [](const auto& entry, int s) { return entry.first < s; });
+    }
     [[nodiscard]] Bin* find(int src) {
       if (src == cached_src) return cached_bin;
-      const auto it = by_src.find(src);
-      if (it == by_src.end()) return nullptr;
+      const auto it = lower_bound(src);
+      if (it == by_src.end() || it->first != src) return nullptr;
       cached_src = src;
-      cached_bin = &it->second;
+      cached_bin = it->second.get();
       return cached_bin;
     }
     [[nodiscard]] Bin& get(int src) {
       if (src == cached_src) return *cached_bin;
-      Bin& bin = by_src[src];
+      auto it = lower_bound(src);
+      if (it == by_src.end() || it->first != src) {
+        it = by_src.emplace(it, src, std::make_unique<Bin>());
+      }
       cached_src = src;
-      cached_bin = &bin;
-      return bin;
+      cached_bin = it->second.get();
+      return *cached_bin;
     }
   };
 
@@ -271,6 +312,13 @@ class MessageStore {
     Want want = Want::kAny;
     const RecvResult* result = nullptr;
     const MatchPattern* pattern = nullptr;
+  };
+
+  /// A watch_recv registration: like a Want::kResult waiter, but owned by
+  /// the caller and never erased by wake paths (only unwatch removes it).
+  struct Watch {
+    const RecvResult* result = nullptr;
+    sched::Waiter* parker = nullptr;
   };
 
   static void complete_posted(const Posted& p, int src, int tag,
@@ -324,12 +372,16 @@ class MessageStore {
   // counter. Park/notify go through sched::Waiter while it is held; pool
   // blocks for unexpected payloads are acquired under it (level 30).
   mutable common::Mutex mutex_;
-  std::unordered_map<ContextId, ContextBins> contexts_
+  /// (context → bins), sorted: same diet as ContextBins::by_src (a store
+  /// sees a handful of contexts). unique_ptr keeps ContextBins
+  /// address-stable for the cache below.
+  std::vector<std::pair<ContextId, std::unique_ptr<ContextBins>>> contexts_
       MANATEE_GUARDED_BY(mutex_);
   ContextId cached_context_id_ MANATEE_GUARDED_BY(mutex_) = 0;
   /// One-entry context cache (nodes are address-stable).
   ContextBins* cached_context_ MANATEE_GUARDED_BY(mutex_) = nullptr;
   std::vector<Waiter*> waiters_ MANATEE_GUARDED_BY(mutex_);
+  std::vector<Watch> watches_ MANATEE_GUARDED_BY(mutex_);
   std::size_t posted_count_ MANATEE_GUARDED_BY(mutex_) = 0;
   std::size_t unexpected_count_ MANATEE_GUARDED_BY(mutex_) = 0;
   std::uint64_t next_post_seq_ MANATEE_GUARDED_BY(mutex_) = 0;
@@ -338,7 +390,13 @@ class MessageStore {
   /// Restart injection, counts down.
   std::int64_t next_front_seq_ MANATEE_GUARDED_BY(mutex_) = -1;
   std::uint64_t eager_completions_ MANATEE_GUARDED_BY(mutex_) = 0;
-  TrafficCounters traffic_[kTrafficClassCount] MANATEE_GUARDED_BY(mutex_);
+  /// Written under mutex_ (delivery path) with relaxed atomics so
+  /// Fabric::counters can fold all stores without taking any lock.
+  struct AtomicTraffic {
+    std::atomic<std::uint64_t> messages{0};
+    std::atomic<std::uint64_t> bytes{0};
+  };
+  AtomicTraffic traffic_[kTrafficClassCount];
   std::uint64_t delivered_messages_ MANATEE_GUARDED_BY(mutex_) = 0;
   std::uint64_t delivered_bytes_ MANATEE_GUARDED_BY(mutex_) = 0;
   std::uint64_t generation_ MANATEE_GUARDED_BY(mutex_) = 0;

@@ -200,6 +200,7 @@ RunReport Engine::execute(const WrappedApp& app, bool restoring) {
 
   RunReport report;
   report.makespan = runtime_.max_clock();
+  report.sched = runtime_.sched_stats();
   for (auto c : coll_calls) report.wrapper_collective_calls += c;
   for (auto c : p2p_calls) report.wrapper_p2p_calls += c;
   report.checkpoints = coordinator_.completed_cycles();

@@ -108,6 +108,11 @@ struct RunReport {
   std::uint64_t ckpt_protocol_messages = 0;
   std::uint64_t collective_messages = 0;
   std::uint64_t image_bytes_total = 0;
+  /// Execution-engine telemetry (stack pool traffic, peak committed stack
+  /// bytes, stackless parks / fallbacks under the events backend). Wall-
+  /// schedule dependent by nature: excluded from cross-backend equivalence
+  /// comparisons, which assert virtual-time quantities only.
+  sched::SchedStats sched;
 
   [[nodiscard]] double seconds() const noexcept {
     return simnet::to_seconds(makespan);

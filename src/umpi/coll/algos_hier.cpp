@@ -31,45 +31,136 @@
 #include "umpi/coll/algos.hpp"
 
 #include <map>
+#include <memory>
 
+#include "common/mutex.hpp"
 #include "simnet/topology.hpp"
 
 namespace manatee::umpi::coll {
 
 namespace {
 
-/// Node grouping of one communicator — a pure function of the (identical)
-/// member list and topology, so every member computes the same layout with
-/// no agreement traffic. `root >= 0` re-seats the leader of the root's node
-/// onto the root itself, so rooted collectives start/end their intra phase
-/// at the root without an extra local hop.
-struct NodeLayout {
-  std::vector<int> node_peers;  ///< comm ranks on this rank's node, ascending
-  std::vector<int> leaders;     ///< one leader comm rank per node, node order
-  int my_leader = 0;
-  int my_leader_idx = 0;  ///< index of my_leader within leaders
-  bool is_leader = false;
+/// Node partition of one member table on one topology: node-ordered member
+/// lists plus the derived leader and plane tables. A pure function of the
+/// (shared, immutable) member table and the topology, so it is computed
+/// once per (table, topo) pair and shared by every rank and every op.
+/// Rebuilding it inside each op constructor cost O(P log P) per collective
+/// call per rank — the dominant wall cost past a few thousand ranks.
+struct NodePartition {
+  /// Comm ranks per node, ascending node id outer, ascending rank inner.
+  std::vector<std::vector<int>> nodes;
+  std::vector<int> node_idx_of;  ///< comm rank -> index into `nodes`
+  std::vector<int> leaders;      ///< nodes[j].front() for each j
+  /// Even layouts only: planes[q][j] = q-th member of node j (the rail
+  /// "plane" of node-local position q).
+  std::vector<std::vector<int>> planes;
+  bool even = false;  ///< every node hosts the same member count
 };
 
-NodeLayout make_layout(const Comm& comm, const simnet::Topology* topo,
-                       int root = -1) {
+std::shared_ptr<const NodePartition> compute_partition(
+    const Comm& comm, const simnet::Topology* topo) {
   const auto node_of = [&](int r) {
     return topo == nullptr ? 0 : topo->node_of(comm.world_of(r));
   };
   std::map<int, std::vector<int>> nodes;
   for (int r = 0; r < comm.size(); ++r) nodes[node_of(r)].push_back(r);
-  const int root_node = root >= 0 ? node_of(root) : -1;
-  NodeLayout out;
-  const int my_node = node_of(comm.rank);
-  for (const auto& [node, members] : nodes) {
-    const int leader = (root >= 0 && node == root_node) ? root : members.front();
-    if (node == my_node) {
-      out.node_peers = members;
-      out.my_leader = leader;
-      out.my_leader_idx = static_cast<int>(out.leaders.size());
+  auto part = std::make_shared<NodePartition>();
+  part->node_idx_of.assign(static_cast<std::size_t>(comm.size()), 0);
+  part->nodes.reserve(nodes.size());
+  part->leaders.reserve(nodes.size());
+  const std::size_t m = nodes.begin()->second.size();
+  part->even = true;
+  for (auto& [node, members] : nodes) {
+    if (members.size() != m) part->even = false;
+    const int idx = static_cast<int>(part->nodes.size());
+    for (const int r : members) {
+      part->node_idx_of[static_cast<std::size_t>(r)] = idx;
     }
-    out.leaders.push_back(leader);
+    part->leaders.push_back(members.front());
+    part->nodes.push_back(std::move(members));
   }
+  if (part->even) {
+    part->planes.resize(m);
+    for (std::size_t q = 0; q < m; ++q) {
+      auto& plane = part->planes[q];
+      plane.reserve(part->nodes.size());
+      for (const auto& members : part->nodes) plane.push_back(members[q]);
+    }
+  }
+  return part;
+}
+
+/// Partition cache, keyed by (member-table identity, topology). Entries
+/// pin the member table alive, so the key pointer can never be reused by a
+/// different table while its entry lives (no ABA). Lock level 27 in
+/// scripts/lock_order.json: a leaf — the held region only reads immutable
+/// group/topology state.
+common::Mutex g_partition_mutex;
+constexpr std::size_t kPartitionCacheCap = 32;
+
+std::shared_ptr<const NodePartition> node_partition(
+    const Comm& comm, const simnet::Topology* topo) {
+  struct Entry {
+    std::shared_ptr<const std::vector<int>> table;
+    const simnet::Topology* topo = nullptr;
+    std::shared_ptr<const NodePartition> part;
+  };
+  static std::vector<Entry>& entries = *new std::vector<Entry>();
+  auto table = comm.group.members_handle();
+  common::MutexLock lock(g_partition_mutex);
+  for (const Entry& e : entries) {
+    if (e.table.get() == table.get() && e.topo == topo) return e.part;
+  }
+  Entry e;
+  e.table = std::move(table);
+  e.topo = topo;
+  e.part = compute_partition(comm, topo);
+  if (entries.size() >= kPartitionCacheCap) {
+    entries.erase(entries.begin());  // FIFO eviction; the cap is generous
+  }
+  entries.push_back(e);
+  return e.part;
+}
+
+/// Per-rank node grouping view, derived from the shared partition in
+/// O(nodes) worst case (O(1) unrooted). `root >= 0` re-seats the leader of
+/// the root's node onto the root itself, so rooted collectives start/end
+/// their intra phase at the root without an extra local hop.
+///
+/// The spans point into `part` (or into `reseated`, whose heap buffer is
+/// stable under move) — NodeLayout is movable but deliberately not
+/// copyable.
+struct NodeLayout {
+  std::shared_ptr<const NodePartition> part;  ///< lifetime anchor for spans
+  std::span<const int> node_peers;  ///< comm ranks on this rank's node, ascending
+  std::span<const int> leaders;     ///< one leader comm rank per node, node order
+  std::vector<int> reseated;        ///< rooted: leaders with the root's node re-seated
+  int my_leader = 0;
+  int my_leader_idx = 0;  ///< index of my_leader within leaders
+  bool is_leader = false;
+
+  NodeLayout() = default;
+  NodeLayout(NodeLayout&&) = default;
+  NodeLayout& operator=(NodeLayout&&) = default;
+};
+
+NodeLayout make_layout(const Comm& comm, const simnet::Topology* topo,
+                       int root = -1) {
+  NodeLayout out;
+  out.part = node_partition(comm, topo);
+  const int my_node = out.part->node_idx_of[static_cast<std::size_t>(comm.rank)];
+  out.node_peers = out.part->nodes[static_cast<std::size_t>(my_node)];
+  if (root >= 0) {
+    const int root_node =
+        out.part->node_idx_of[static_cast<std::size_t>(root)];
+    out.reseated = out.part->leaders;
+    out.reseated[static_cast<std::size_t>(root_node)] = root;
+    out.leaders = out.reseated;
+  } else {
+    out.leaders = out.part->leaders;
+  }
+  out.my_leader_idx = my_node;
+  out.my_leader = out.leaders[static_cast<std::size_t>(my_node)];
   out.is_leader = out.my_leader == comm.rank;
   return out;
 }
@@ -485,36 +576,35 @@ class HierAllreduceOp final : public NbcOp {
 // Rail view of one communicator: when every node hosts the same number of
 // ranks, member q of each node forms "plane" q — a cross-node slice that
 // can run its own inter-node exchange concurrently with the other planes.
-// Like NodeLayout, a pure function of the member list and topology.
+// Like NodeLayout, a per-rank O(node peers) view over the shared cached
+// partition; spans point into `part` (movable, not copyable).
 struct RailLayout {
+  std::shared_ptr<const NodePartition> part;  ///< lifetime anchor for spans
   bool even = false;            ///< every node hosts the same rank count
-  std::vector<int> node_peers;  ///< comm ranks on this rank's node, ascending
-  std::vector<int> plane;       ///< q-th comm rank of each node, node order
+  std::span<const int> node_peers;  ///< comm ranks on this rank's node, ascending
+  std::span<const int> plane;       ///< q-th comm rank of each node, node order
   int q = 0;                    ///< my index within node_peers
   int plane_idx = 0;            ///< my node's index within plane
+
+  RailLayout() = default;
+  RailLayout(RailLayout&&) = default;
+  RailLayout& operator=(RailLayout&&) = default;
 };
 
 RailLayout make_rail_layout(const Comm& comm, const simnet::Topology* topo) {
-  const auto node_of = [&](int r) {
-    return topo == nullptr ? 0 : topo->node_of(comm.world_of(r));
-  };
-  std::map<int, std::vector<int>> nodes;
-  for (int r = 0; r < comm.size(); ++r) nodes[node_of(r)].push_back(r);
   RailLayout out;
-  const std::size_t m = nodes.begin()->second.size();
-  for (const auto& [node, members] : nodes) {
-    if (members.size() != m) return out;
-  }
+  auto part = node_partition(comm, topo);
+  if (!part->even) return out;
+  out.part = std::move(part);
   out.even = true;
-  const int my_node = node_of(comm.rank);
-  out.node_peers = nodes.at(my_node);
+  const int my_node =
+      out.part->node_idx_of[static_cast<std::size_t>(comm.rank)];
+  out.node_peers = out.part->nodes[static_cast<std::size_t>(my_node)];
   for (std::size_t j = 0; j < out.node_peers.size(); ++j) {
     if (out.node_peers[j] == comm.rank) out.q = static_cast<int>(j);
   }
-  for (const auto& [node, members] : nodes) {
-    if (node == my_node) out.plane_idx = static_cast<int>(out.plane.size());
-    out.plane.push_back(members[static_cast<std::size_t>(out.q)]);
-  }
+  out.plane = out.part->planes[static_cast<std::size_t>(out.q)];
+  out.plane_idx = my_node;
   return out;
 }
 
@@ -701,6 +791,183 @@ class RailAllreduceOp final : public NbcOp {
   bool sent_ = false;
 };
 
+// Latency-bound hierarchical allreduce. The ring variants split the vector
+// into per-node (rail) or per-leader blocks; once the element count drops
+// below the block count those rings degenerate into O(nodes) serialized
+// rounds of mostly-empty messages — a latency disaster for the small
+// reductions that dominate iterative solvers (and the bench workloads).
+// This variant folds each node's contributions at its leader, recursive-
+// doubles the full vector among the leaders in ceil(log2 n) rounds (with
+// the standard fold-in/fold-out step for non-power-of-two leader counts),
+// and fans the result back out within each node.
+//
+// Message-pattern safety under the shared (context, tag): intra peers and
+// fellow leaders are disjoint; each rdoubling round uses a distinct
+// partner, and the fold-in/fold-out pair uses one message per direction —
+// no ordered (src, dst) pair carries two messages in the same direction
+// except the leader fan-in/fan-out pair, which both sides order
+// identically (contribution strictly before release).
+class HierSmallAllreduceOp final : public NbcOp {
+ public:
+  HierSmallAllreduceOp(CommPtr comm, int tag, std::span<const std::byte> send,
+                       std::span<std::byte> recv, Datatype dt, ReduceOp op,
+                       const simnet::Topology* topo)
+      : NbcOp(std::move(comm), tag), send_(send), recv_(recv), dt_(dt), op_(op),
+        layout_(make_layout(*comm_, topo)) {
+    MANATEE_REQUIRE(send.size() == recv.size(),
+                    "allreduce send/recv size mismatch");
+    MANATEE_REQUIRE(send.size() % datatype_size(dt) == 0,
+                    "allreduce buffer not a whole number of elements");
+    count_ = send.size() / datatype_size(dt);
+    if (!layout_.is_leader) return;
+    const int L = static_cast<int>(layout_.leaders.size());
+    r_ = floor_pow2(L);
+    while ((1 << rounds_) < r_) ++rounds_;
+    const int i = layout_.my_leader_idx;
+    std::size_t extra = 0;
+    if (i < r_) {
+      if (i + r_ < L) extra += 1;  // fold-in from the surplus partner
+      extra += static_cast<std::size_t>(rounds_);
+    } else {
+      extra += 1;  // the reduced vector back from my partner
+    }
+    const std::size_t window = layout_.node_peers.size() - 1 + extra;
+    slots_.reserve(window);
+    slots_.ensure_size(window);
+  }
+
+ protected:
+  bool step(Rank& rank) override {
+    if (!layout_.is_leader) {
+      if (!sent_) {
+        send_bytes(rank, layout_.my_leader, send_);
+        sent_ = true;
+      }
+      return recv_ready_into(rank, rslot_, layout_.my_leader, recv_);
+    }
+    const int L = static_cast<int>(layout_.leaders.size());
+    const int i = layout_.my_leader_idx;
+    if (!preposted_) {
+      // All sources are pairwise distinct (node peers, the surplus partner,
+      // one leader per rdoubling distance): post the whole window up front.
+      std::size_t s = 0;
+      for (const int peer : layout_.node_peers) {
+        if (peer != comm_->rank) prepost(rank, slots_[s++], peer, send_.size());
+      }
+      if (i < r_) {
+        if (i + r_ < L) {
+          prepost(rank, slots_[s++], layout_.leaders[static_cast<std::size_t>(
+                                         i + r_)],
+                  send_.size());
+        }
+        for (int k = 0; k < rounds_; ++k) {
+          prepost(rank, slots_[s++],
+                  layout_.leaders[static_cast<std::size_t>(i ^ (1 << k))],
+                  send_.size());
+        }
+      } else {
+        prepost(rank, slots_[s++],
+                layout_.leaders[static_cast<std::size_t>(i - r_)],
+                send_.size());
+      }
+      preposted_ = true;
+    }
+    // Phase 1: fold this node's contributions into recv_ (the accumulator)
+    // in ascending comm-rank order.
+    while (peer_next_ < layout_.node_peers.size()) {
+      const int peer = layout_.node_peers[peer_next_];
+      std::span<const std::byte> contribution;
+      if (peer == comm_->rank) {
+        contribution = send_;
+      } else {
+        Slot& slot = slots_[cursor_];
+        if (!recv_ready(rank, slot, peer, send_.size())) return false;
+        ++cursor_;
+        contribution = slot.buf;
+      }
+      if (peer_next_ == 0) {
+        copy_bytes(recv_, contribution);
+      } else {
+        apply_reduce(op_, dt_, recv_, contribution, count_);
+        charge_compute(rank.runtime().cost().reduce_cost(recv_.size()));
+      }
+      ++peer_next_;
+    }
+    // Phase 2: recursive doubling of the full vector among the leaders.
+    if (i >= r_) {
+      // Surplus leader: ship my partial to the partner, await the result.
+      const int partner = layout_.leaders[static_cast<std::size_t>(i - r_)];
+      if (!shipped_) {
+        send_bytes(rank, partner, recv_);
+        shipped_ = true;
+      }
+      Slot& slot = slots_[cursor_];
+      if (!recv_ready(rank, slot, partner, send_.size())) return false;
+      copy_bytes(recv_, slot.buf);
+      ++cursor_;
+    } else {
+      if (i + r_ < L && !folded_in_) {
+        Slot& slot = slots_[cursor_];
+        const int partner = layout_.leaders[static_cast<std::size_t>(i + r_)];
+        if (!recv_ready(rank, slot, partner, send_.size())) return false;
+        apply_reduce(op_, dt_, recv_, slot.buf, count_);
+        charge_compute(rank.runtime().cost().reduce_cost(recv_.size()));
+        ++cursor_;
+        folded_in_ = true;
+      }
+      while (round_ < rounds_) {
+        const int partner =
+            layout_.leaders[static_cast<std::size_t>(i ^ (1 << round_))];
+        if (!shipped_) {
+          send_bytes(rank, partner, recv_);
+          shipped_ = true;
+        }
+        Slot& slot = slots_[cursor_];
+        if (!recv_ready(rank, slot, partner, send_.size())) return false;
+        apply_reduce(op_, dt_, recv_, slot.buf, count_);
+        charge_compute(rank.runtime().cost().reduce_cost(recv_.size()));
+        ++cursor_;
+        ++round_;
+        shipped_ = false;
+      }
+      if (i + r_ < L && !folded_out_) {
+        send_bytes(rank, layout_.leaders[static_cast<std::size_t>(i + r_)],
+                   recv_);
+        folded_out_ = true;
+      }
+    }
+    // Phase 3: intra fan-out of the full reduction.
+    if (!fanned_out_) {
+      for (const int peer : layout_.node_peers) {
+        if (peer != comm_->rank) send_bytes(rank, peer, recv_);
+      }
+      fanned_out_ = true;
+    }
+    return true;
+  }
+
+ private:
+  std::span<const std::byte> send_;
+  std::span<std::byte> recv_;
+  Datatype dt_;
+  ReduceOp op_;
+  NodeLayout layout_;
+  std::size_t count_ = 0;
+  int r_ = 1;       ///< largest power of two <= leader count
+  int rounds_ = 0;  ///< log2(r_)
+  SlotArray slots_;
+  Slot rslot_;
+  std::size_t cursor_ = 0;
+  std::size_t peer_next_ = 0;
+  int round_ = 0;
+  bool sent_ = false;
+  bool shipped_ = false;
+  bool folded_in_ = false;
+  bool folded_out_ = false;
+  bool preposted_ = false;
+  bool fanned_out_ = false;
+};
+
 }  // namespace
 
 void register_hier_algorithms(Registry& registry) {
@@ -721,15 +988,31 @@ void register_hier_algorithms(Registry& registry) {
                });
   registry.add(CollKind::kAllreduce, "hier",
                [](CommPtr comm, int tag, const CollArgs& a) -> std::unique_ptr<NbcOp> {
+                 // Sub-selection is structural, hence identical on every
+                 // member: the ring variants require every block of their
+                 // two-level partition to be non-empty, otherwise their
+                 // rounds degenerate into a latency chain of empty
+                 // messages and the logarithmic leader exchange wins.
+                 const std::size_t count = a.send.size() / datatype_size(a.dt);
                  RailLayout rail = make_rail_layout(*comm, a.topo);
                  if (rail.even) {
-                   return std::make_unique<RailAllreduceOp>(std::move(comm), tag,
-                                                            a.send, a.recv, a.dt,
-                                                            a.op, std::move(rail));
+                   const std::size_t blocks =
+                       rail.node_peers.size() * rail.plane.size();
+                   if (count >= blocks) {
+                     return std::make_unique<RailAllreduceOp>(
+                         std::move(comm), tag, a.send, a.recv, a.dt, a.op,
+                         std::move(rail));
+                   }
                  }
-                 return std::make_unique<HierAllreduceOp>(std::move(comm), tag,
-                                                          a.send, a.recv, a.dt,
-                                                          a.op, a.topo);
+                 const std::size_t leaders =
+                     node_partition(*comm, a.topo)->nodes.size();
+                 if (count >= leaders) {
+                   return std::make_unique<HierAllreduceOp>(std::move(comm), tag,
+                                                            a.send, a.recv, a.dt,
+                                                            a.op, a.topo);
+                 }
+                 return std::make_unique<HierSmallAllreduceOp>(
+                     std::move(comm), tag, a.send, a.recv, a.dt, a.op, a.topo);
                });
 }
 

@@ -8,28 +8,60 @@
 
 namespace manatee::umpi {
 
-Group::Group(std::vector<int> members) : members_(std::move(members)) {
+namespace {
+
+const std::vector<int>& empty_members() {
+  static const std::vector<int> empty;
+  return empty;
+}
+
+bool is_iota(const std::vector<int>& members) {
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i] != static_cast<int>(i)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Group::Group(std::vector<int> members) {
   std::unordered_set<int> seen;
-  for (int w : members_) {
+  for (int w : members) {
     MANATEE_REQUIRE(w >= 0, "group member world ranks must be non-negative");
     MANATEE_REQUIRE(seen.insert(w).second, "group members must be unique");
+  }
+  iota_ = is_iota(members);
+  if (!members.empty()) {
+    members_ = std::make_shared<const std::vector<int>>(std::move(members));
+  }
+}
+
+Group::Group(Checked, std::vector<int> members, bool iota) : iota_(iota) {
+  if (!members.empty()) {
+    members_ = std::make_shared<const std::vector<int>>(std::move(members));
   }
 }
 
 Group Group::world(int world_size) {
   std::vector<int> m(static_cast<std::size_t>(world_size));
   for (int i = 0; i < world_size; ++i) m[static_cast<std::size_t>(i)] = i;
-  return Group(std::move(m));
+  return Group(Checked{}, std::move(m), /*iota=*/true);
+}
+
+const std::vector<int>& Group::members() const noexcept {
+  return members_ == nullptr ? empty_members() : *members_;
 }
 
 int Group::world_rank(int r) const {
   MANATEE_REQUIRE(r >= 0 && r < size(), "group rank out of range");
-  return members_[static_cast<std::size_t>(r)];
+  return (*members_)[static_cast<std::size_t>(r)];
 }
 
 int Group::rank_of_world(int w) const noexcept {
-  for (std::size_t i = 0; i < members_.size(); ++i) {
-    if (members_[i] == w) return static_cast<int>(i);
+  if (iota_) return w >= 0 && w < size() ? w : -1;
+  const std::vector<int>& m = *members_;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (m[i] == w) return static_cast<int>(i);
   }
   return -1;
 }
@@ -59,14 +91,14 @@ Group Group::excl(std::span<const int> ranks) const {
   }
   std::vector<int> m;
   for (int i = 0; i < size(); ++i) {
-    if (!drop.contains(i)) m.push_back(members_[static_cast<std::size_t>(i)]);
+    if (!drop.contains(i)) m.push_back(world_rank(i));
   }
   return Group(std::move(m));
 }
 
 Group Group::set_union(const Group& other) const {
-  std::vector<int> m = members_;
-  for (int w : other.members_) {
+  std::vector<int> m = members();
+  for (int w : other.members()) {
     if (!contains_world(w)) m.push_back(w);
   }
   return Group(std::move(m));
@@ -74,7 +106,7 @@ Group Group::set_union(const Group& other) const {
 
 Group Group::set_intersection(const Group& other) const {
   std::vector<int> m;
-  for (int w : members_) {
+  for (int w : members()) {
     if (other.contains_world(w)) m.push_back(w);
   }
   return Group(std::move(m));
@@ -82,17 +114,19 @@ Group Group::set_intersection(const Group& other) const {
 
 Group Group::set_difference(const Group& other) const {
   std::vector<int> m;
-  for (int w : members_) {
+  for (int w : members()) {
     if (!other.contains_world(w)) m.push_back(w);
   }
   return Group(std::move(m));
 }
 
 CompareResult Group::compare(const Group& other) const {
-  if (members_ == other.members_) return CompareResult::kIdent;
-  if (members_.size() != other.members_.size()) return CompareResult::kUnequal;
-  auto a = members_;
-  auto b = other.members_;
+  if (members_ == other.members_ || members() == other.members()) {
+    return CompareResult::kIdent;
+  }
+  if (size() != other.size()) return CompareResult::kUnequal;
+  auto a = members();
+  auto b = other.members();
   std::sort(a.begin(), a.end());
   std::sort(b.begin(), b.end());
   return a == b ? CompareResult::kSimilar : CompareResult::kUnequal;
@@ -101,10 +135,17 @@ CompareResult Group::compare(const Group& other) const {
 std::uint64_t Group::member_set_hash() const noexcept {
   // Sort, then chain-hash: order-independence comes from the sort, and the
   // chained mix64 keeps distinct sets from colliding the way a plain XOR or
-  // sum of per-rank hashes can.
-  auto sorted = members_;
-  std::sort(sorted.begin(), sorted.end());
+  // sum of per-rank hashes can. Iota groups are already sorted — hashing the
+  // shared table in place keeps the world-group ggid O(p) with no copy.
   std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  if (iota_) {
+    for (int w : members()) {
+      h = hash_combine(h, static_cast<std::uint64_t>(w) + 1);
+    }
+    return h;
+  }
+  auto sorted = members();
+  std::sort(sorted.begin(), sorted.end());
   for (int w : sorted) {
     h = hash_combine(h, static_cast<std::uint64_t>(w) + 1);
   }

@@ -4,12 +4,22 @@
 // MPI_COMM_WORLD" (value). Group operations mirror MPI_Group_incl/excl/
 // union/intersection/difference/translate_ranks/compare.
 //
+// Representation: the member vector is held behind a shared_ptr, so copying
+// a Group (every Comm holds one by value) is O(1) and all ranks of a job
+// share ONE world member table instead of world_size copies — at 65536
+// ranks the per-rank copies alone used to cost ~16 GiB. Groups are
+// immutable after construction, so sharing is safe without locks. The
+// common iota case (members[i] == i, every world group) is detected at
+// construction and gives O(1) rank_of_world/contains_world lookups —
+// otherwise a 64k-rank world pays an O(p) scan per translated rank.
+//
 // member_set_hash() is the order-independent identity used by the paper's
 // global group id (ggid, §4.1): two groups that are MPI_SIMILAR — same
 // member set, any order — hash identically.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -27,21 +37,33 @@ class Group {
   /// The trivial group {0, 1, ..., n-1} (the world group).
   static Group world(int world_size);
 
-  [[nodiscard]] int size() const noexcept { return static_cast<int>(members_.size()); }
-  [[nodiscard]] bool empty() const noexcept { return members_.empty(); }
+  [[nodiscard]] int size() const noexcept {
+    return members_ == nullptr ? 0 : static_cast<int>(members_->size());
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
 
   /// World rank of group rank `r`.
   [[nodiscard]] int world_rank(int r) const;
 
   /// Group rank of world rank `w`, or -1 if not a member
-  /// (MPI_Group_rank / MPI_UNDEFINED).
+  /// (MPI_Group_rank / MPI_UNDEFINED). O(1) for iota groups (the world
+  /// group), O(p) otherwise.
   [[nodiscard]] int rank_of_world(int w) const noexcept;
 
   [[nodiscard]] bool contains_world(int w) const noexcept {
     return rank_of_world(w) >= 0;
   }
 
-  [[nodiscard]] const std::vector<int>& members() const noexcept { return members_; }
+  [[nodiscard]] const std::vector<int>& members() const noexcept;
+
+  /// The shared, immutable member-table handle (null = empty group) —
+  /// pointer identity for caches keyed on the member list, and a lifetime
+  /// anchor that rules out ABA on that identity (an entry holding the
+  /// handle keeps the table address from being reused).
+  [[nodiscard]] std::shared_ptr<const std::vector<int>> members_handle()
+      const noexcept {
+    return members_;
+  }
 
   /// Translate ranks in this group to ranks in `other`
   /// (MPI_Group_translate_ranks): result[i] = other rank of this->ranks[i],
@@ -61,10 +83,19 @@ class Group {
   /// paper's ggid. MPI_SIMILAR groups collide by construction.
   [[nodiscard]] std::uint64_t member_set_hash() const noexcept;
 
-  friend bool operator==(const Group&, const Group&) = default;
+  friend bool operator==(const Group& a, const Group& b) {
+    if (a.members_ == b.members_) return true;  // shared table or both empty
+    return a.members() == b.members();
+  }
 
  private:
-  std::vector<int> members_;
+  struct Checked {};  // tag: members already validated by the caller
+  Group(Checked, std::vector<int> members, bool iota);
+
+  /// Shared, immutable member table (null = the empty group). Copying a
+  /// Group copies the handle, not the table.
+  std::shared_ptr<const std::vector<int>> members_;
+  bool iota_ = true;  ///< members[i] == i for all i (empty: trivially true)
 };
 
 }  // namespace manatee::umpi

@@ -1,12 +1,14 @@
 #include "umpi/rank.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <tuple>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "common/mutex.hpp"
 #include "sched/scheduler.hpp"
 #include "umpi/runtime.hpp"
 
@@ -27,11 +29,14 @@ void check_comm(const CommPtr& comm) {
 
 Rank::Rank(Runtime& runtime, int world_rank)
     : runtime_(runtime), world_rank_(world_rank) {
+  // The world group and its collective module are shared job-wide (see
+  // Runtime::world_group): each rank's world Comm holds O(1) handles, not
+  // O(p) copies — the difference between 64k ranks fitting in memory or not.
   auto world = std::make_shared<Comm>();
   world->base_context = kWorldBaseContext;
-  world->group = Group::world(runtime.world_size());
+  world->group = runtime.world_group();
   world->rank = world_rank;
-  world->coll_module = make_coll_module(world->group, nullptr);
+  world->coll_module = runtime.world_coll_module();
   world_comm_ = std::move(world);
 }
 
@@ -46,6 +51,41 @@ coll::CollModulePtr Rank::make_coll_module(
       tuning, group.size(),
       coll::make_topo_view(group, runtime_.topology()));
 }
+
+/// Events-backend drive state: one per rank, lazily allocated, address-
+/// stable (continuation firings hold the Rank*). The mutex serializes
+/// every try_progress on the driven op between the rank's fiber and
+/// continuation firings, and is the interest mutex of fiber_waiter.
+struct Rank::EventDriver {
+  /// Lock level 65 (scripts/lock_order.json): above the store mutex (60)
+  /// so both the fiber loop and firings can watch/unwatch and send while
+  /// holding it; below nothing that calls into the rank.
+  common::Mutex mutex;
+  /// Parks the rank's fiber once per collective; notified by firings on
+  /// every terminal outcome.
+  sched::Waiter fiber_waiter;
+  /// Registered with the store via watch_recv; carries the armed
+  /// continuation (event_driver_fire) that drives the op stacklessly.
+  sched::Waiter watch_waiter;
+  NbcOp* op MANATEE_GUARDED_BY(mutex) = nullptr;
+  /// Bumped once per collective; stale firings (queued before the previous
+  /// collective finished) compare and drop themselves.
+  std::uint64_t epoch MANATEE_GUARDED_BY(mutex) = 0;
+  enum class Outcome : std::uint8_t {
+    kIdle,         ///< no collective in flight
+    kPending,      ///< op incomplete, watch armed or fiber progressing
+    kDone,         ///< op completed (possibly entirely off-fiber)
+    kFallback,     ///< no single blocker: resume the stackful drive loop
+    kInterrupted,  ///< job stop / peer abort observed
+  };
+  Outcome outcome MANATEE_GUARDED_BY(mutex) = Outcome::kIdle;
+  /// run_coll's events-mode bounce buffers: the user's send/recv spans are
+  /// staged through the heap so continuation firings never touch the parked
+  /// fiber's stack — the precondition for whole-stack vacating. Touched
+  /// only by the owning fiber outside the park, never by firings.
+  std::vector<std::byte> send_bounce;
+  std::vector<std::byte> recv_bounce;
+};
 
 Rank::~Rank() = default;
 
@@ -364,12 +404,16 @@ void Rank::drive(common::FunctionRef<bool()> done) {
 
 // ---- blocking collectives ------------------------------------------------------
 
-void Rank::drive_coll(NbcOp& op) {
+void Rank::drive_coll(NbcOp& op, bool stack_quiescent) {
   static const bool disable_targeted =
       std::getenv("MANATEE_NO_TARGETED_COLL") != nullptr;
   if (disable_targeted || has_nbc_requests()) {
     // Other collectives may need progressing: fall back to wake-on-anything.
     drive([&] { return op.try_progress(*this); });
+    return;
+  }
+  if (sched::events_backend_active()) {
+    drive_coll_events(op, stack_quiescent);
     return;
   }
   while (!op.try_progress(*this)) {
@@ -386,6 +430,132 @@ void Rank::drive_coll(NbcOp& op) {
   }
 }
 
+void Rank::drive_coll_events(NbcOp& op, bool stack_quiescent) {
+  // The hybrid drive loop of the events backend. The fiber progresses the
+  // op inline while it can; once stuck on a receive it registers a
+  // persistent watch (MessageStore::watch_recv) whose armed continuation
+  // (event_driver_fire) drives the op's remaining rounds from the worker's
+  // event loop, and parks ONCE for the whole collective. A p-round fan-in
+  // that used to cost p park/dispatch stack switches costs one park and
+  // p-1 stackless firings — and while parked, the fiber's dead stack pages
+  // are decommitted by the scheduler.
+  if (event_driver_ == nullptr) {
+    event_driver_ = std::make_unique<EventDriver>();
+  }
+  EventDriver& d = *event_driver_;
+  simnet::MessageStore& st = store();
+  using Outcome = EventDriver::Outcome;
+  bool fallback = false;
+  {
+    common::MutexLock lock(d.mutex);
+    d.op = &op;
+    d.outcome = Outcome::kPending;
+    ++d.epoch;
+    // Per-collective, not sticky: only run_coll's bounce-buffered path may
+    // promise a quiescent stack (the bookkeeping collectives park with
+    // their result scalars on this very stack).
+    d.fiber_waiter.set_stack_quiescent(stack_quiescent);
+    // Arm while unregistered: no wake path can observe the waiter until
+    // watch_recv below registers it under the store mutex.
+    d.watch_waiter.arm_continuation(&Rank::event_driver_fire, this, d.epoch);
+    bool watched = false;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(simnet::MessageStore::wait_timeout_ms());
+    try {
+      for (;;) {
+        Outcome oc = d.outcome;
+        if (oc == Outcome::kPending && op.try_progress(*this)) {
+          d.outcome = oc = Outcome::kDone;
+        }
+        if (oc != Outcome::kPending) break;
+        const simnet::RecvResult* blocker = op.blocking_on();
+        if (blocker == nullptr) {
+          d.outcome = Outcome::kFallback;
+          break;
+        }
+        if (st.watch_recv(blocker, &d.watch_waiter)) {
+          // Completed while registering: take another inline round.
+          watched = true;
+          continue;
+        }
+        watched = true;
+        // A stop/abort flagged before the watch registered will never fire
+        // it (the flagging notify already ran); re-check before parking.
+        // Flags raised after registration reach event_driver_fire via
+        // notify_all_ranks, which wakes persistent watches too.
+        if (wait_interrupted()) {
+          d.outcome = Outcome::kInterrupted;
+          break;
+        }
+        if (!d.fiber_waiter.park_until(d.mutex, deadline) &&
+            d.outcome == Outcome::kPending) {
+          throw RuntimeFault(st.wait_diagnostics("drive_coll"));
+        }
+      }
+    } catch (...) {
+      if (watched) st.unwatch(&d.watch_waiter);
+      d.op = nullptr;
+      d.outcome = Outcome::kIdle;
+      throw;
+    }
+    if (watched) st.unwatch(&d.watch_waiter);
+    const Outcome outcome = d.outcome;
+    d.op = nullptr;
+    d.outcome = Outcome::kIdle;
+    if (outcome == Outcome::kInterrupted) throw_wait_interrupt();
+    fallback = outcome == Outcome::kFallback;
+  }
+  if (fallback) {
+    // No single blocker to watch (or a firing could not finish the round
+    // off-fiber): block stackfully with the op's frames on this stack.
+    sched::count_fiber_fallback();
+    drive([&] { return op.try_progress(*this); });
+  }
+}
+
+void Rank::event_driver_fire(void* arg, std::uint64_t epoch) {
+  // Runs on a worker's own stack (no fiber, no locks held on entry) when
+  // the watched receive completed or a store-wide wake occurred. Drives as
+  // many rounds as arrived messages allow; wakes the parked fiber only on
+  // a terminal outcome.
+  Rank* self = static_cast<Rank*>(arg);
+  EventDriver& d = *self->event_driver_;
+  simnet::MessageStore& st = self->store();
+  using Outcome = EventDriver::Outcome;
+  common::MutexLock lock(d.mutex);
+  if (epoch != d.epoch || d.outcome != Outcome::kPending) return;  // stale
+  NbcOp& op = *d.op;
+  for (;;) {
+    if (self->wait_interrupted()) {
+      d.outcome = Outcome::kInterrupted;
+      break;
+    }
+    bool done = false;
+    try {
+      done = op.try_progress(*self);
+    } catch (...) {
+      // A fault off-fiber cannot unwind the application; hand the op back
+      // to the fiber, whose stackful drive re-runs (and re-throws) it.
+      d.outcome = Outcome::kFallback;
+      break;
+    }
+    if (done) {
+      d.outcome = Outcome::kDone;
+      break;
+    }
+    const simnet::RecvResult* blocker = op.blocking_on();
+    if (blocker == nullptr) {
+      d.outcome = Outcome::kFallback;
+      break;
+    }
+    sched::count_stackless_park();
+    if (st.watch_recv(blocker, &d.watch_waiter)) continue;
+    return;  // re-watched: the next completion fires this again
+  }
+  d.fiber_waiter.notify();
+}
+
 void Rank::run_coll(const CommPtr& comm, coll::CollKind kind,
                     const coll::CollArgs& args) {
   check_comm(comm);
@@ -393,8 +563,33 @@ void Rank::run_coll(const CommPtr& comm, coll::CollKind kind,
   coll::CollArgs pooled = args;
   pooled.pool = &runtime_.fabric().pool();
   pooled.topo = &runtime_.topology();
+  // Events mode: stage the user's send/recv spans through per-rank heap
+  // bounce buffers. The op then never reads or writes this fiber's stack
+  // (user buffers are often stack scalars — the bench's accumulator, a
+  // barrier token), which is what lets the scheduler vacate the whole
+  // stack while the fiber is parked on the collective. The v-variant
+  // count/displacement spans are not staged, so those collectives run
+  // correct-but-unvacated. recv is copied in BOTH directions: in, because
+  // bcast and the in-place reductions read it; out, to deliver the result.
+  const bool bounce = sched::events_backend_active() &&
+                      args.send_counts.empty() && args.send_displs.empty() &&
+                      args.recv_counts.empty() && args.recv_displs.empty();
+  if (bounce) {
+    if (event_driver_ == nullptr) {
+      event_driver_ = std::make_unique<EventDriver>();
+    }
+    EventDriver& d = *event_driver_;
+    d.send_bounce.assign(args.send.begin(), args.send.end());
+    d.recv_bounce.assign(args.recv.begin(), args.recv.end());
+    pooled.send = d.send_bounce;
+    pooled.recv = d.recv_bounce;
+  }
   auto op = coll::make_op(comm, kind, pooled);
-  drive_coll(*op);
+  drive_coll(*op, /*stack_quiescent=*/bounce);
+  if (bounce && !args.recv.empty()) {
+    std::memcpy(args.recv.data(), event_driver_->recv_bounce.data(),
+                args.recv.size());
+  }
   clock_.merge(op->completion_ns());
 }
 

@@ -256,7 +256,17 @@ class Rank {
       const Group& group, const coll::CollModule* parent) const;
   /// Drives one collective op to completion, sleeping targeted on the
   /// receive it is blocked on whenever nothing else needs progressing.
-  void drive_coll(NbcOp& op);
+  /// `stack_quiescent` asserts that the op's buffers and all wait state
+  /// live off this fiber's stack (run_coll's events-mode bounce buffers
+  /// guarantee it), unlocking whole-stack vacating while parked.
+  void drive_coll(NbcOp& op, bool stack_quiescent = false);
+  /// Events-backend variant: the rank's fiber parks ONCE for the whole
+  /// collective while mailbox-delivery continuations drive the op's rounds
+  /// stacklessly on the worker's own stack (see EventDriver in rank.cpp).
+  void drive_coll_events(NbcOp& op, bool stack_quiescent);
+  /// The continuation behind drive_coll_events, fired by the scheduler
+  /// when the watched receive completes (or any store-wide wake occurs).
+  static void event_driver_fire(void* arg, std::uint64_t epoch);
   /// Runs a blocking collective through the selection layer.
   void run_coll(const CommPtr& comm, coll::CollKind kind,
                 const coll::CollArgs& args);
@@ -286,6 +296,10 @@ class Rank {
   std::uint64_t next_request_id_ = 1;
   std::size_t nbc_requests_ = 0;  ///< kNbc entries in requests_
   CallCounters counters_;
+  /// Events-backend drive state (lazily created on the first events-mode
+  /// collective; address-stable — continuations hold a pointer to it).
+  struct EventDriver;
+  std::unique_ptr<EventDriver> event_driver_;
 };
 
 }  // namespace manatee::umpi

@@ -51,8 +51,16 @@ Runtime::Runtime(RuntimeConfig config)
     : config_(with_env_presets(std::move(config))),
       fabric_(simnet::Topology(config_.world_size, resolved_topo(config_)),
               simnet::CostModel(config_.cost)),
+      world_group_(Group::world(config_.world_size)),
       next_base_context_(kWorldBaseContext + 1) {
   MANATEE_REQUIRE(config_.world_size > 0, "world size must be positive");
+  // One world collective module for the whole job: its inputs (tuning,
+  // size, topology view) are identical across ranks, and the topology-view
+  // scan is O(p log p) — per-rank construction would make startup
+  // O(p^2 log p) and dominate 64k-rank worlds before the first message.
+  world_coll_module_ = std::make_shared<const coll::CollModule>(
+      config_.coll, world_group_.size(),
+      coll::make_topo_view(world_group_, topology()));
   ranks_.reserve(static_cast<std::size_t>(config_.world_size));
   for (int i = 0; i < config_.world_size; ++i) {
     ranks_.push_back(std::make_unique<Rank>(*this, i));

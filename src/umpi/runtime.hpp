@@ -79,6 +79,22 @@ class Runtime {
   /// run() returns.
   [[nodiscard]] Rank& rank(int world_rank);
 
+  /// The job-wide world group, built once and shared by every rank's world
+  /// communicator (Group copies are O(1) shared handles). Without this a
+  /// 65536-rank world pays world_size copies of a world_size-entry member
+  /// table — ~16 GiB of pure duplication.
+  [[nodiscard]] const Group& world_group() const noexcept {
+    return world_group_;
+  }
+
+  /// The world communicator's collective module, likewise built once:
+  /// selection inputs (tuning, size, topology view) are identical on every
+  /// rank, and computing the topology view is O(p log p) per communicator —
+  /// per-rank construction made job startup O(p^2 log p).
+  [[nodiscard]] const coll::CollModulePtr& world_coll_module() const noexcept {
+    return world_coll_module_;
+  }
+
   /// Job makespan: maximum final virtual clock across ranks.
   [[nodiscard]] simnet::SimTime max_clock() const;
 
@@ -105,6 +121,8 @@ class Runtime {
  private:
   RuntimeConfig config_;
   simnet::Fabric fabric_;
+  Group world_group_;
+  coll::CollModulePtr world_coll_module_;
   std::vector<std::unique_ptr<Rank>> ranks_;
   std::atomic<std::uint64_t> next_base_context_;
   std::atomic<bool> aborted_{false};

@@ -1,5 +1,6 @@
 // Cross-backend equivalence: the scheduler is purely an execution-engine
-// choice, so threads and fibers must produce identical results.
+// choice, so threads, fibers, and the hybrid event-driven backend must
+// produce identical results.
 //
 // What "identical" can mean depends on the run shape:
 //
@@ -78,10 +79,13 @@ TEST_P(EquivalenceWorlds, FailureFreeRunReportsAreBitIdentical) {
                             split::protocol_name(protocol);
     const BackendRun threads =
         run_once(sched::Backend::kThreads, protocol, world, {}, tag);
-    const BackendRun fibers =
-        run_once(sched::Backend::kFibers, protocol, world, {}, tag);
-    expect_full_report_eq(threads.report, fibers.report);
-    EXPECT_EQ(threads.fingerprints, fibers.fingerprints);
+    for (const auto backend :
+         {sched::Backend::kFibers, sched::Backend::kEvents}) {
+      SCOPED_TRACE(sched::backend_name(backend));
+      const BackendRun other = run_once(backend, protocol, world, {}, tag);
+      expect_full_report_eq(threads.report, other.report);
+      EXPECT_EQ(threads.fingerprints, other.fingerprints);
+    }
   }
 }
 
@@ -93,14 +97,17 @@ TEST_P(EquivalenceWorlds, CheckpointRunsAgreeOnScheduleIndependentFields) {
                             split::protocol_name(protocol);
     const BackendRun threads =
         run_once(sched::Backend::kThreads, protocol, world, {3, 9}, tag);
-    const BackendRun fibers =
-        run_once(sched::Backend::kFibers, protocol, world, {3, 9}, tag);
-    EXPECT_EQ(threads.fingerprints, fibers.fingerprints);
-    EXPECT_EQ(threads.report.checkpoints, fibers.report.checkpoints);
-    EXPECT_EQ(threads.report.wrapper_collective_calls,
-              fibers.report.wrapper_collective_calls);
-    EXPECT_EQ(threads.report.wrapper_p2p_calls,
-              fibers.report.wrapper_p2p_calls);
+    for (const auto backend :
+         {sched::Backend::kFibers, sched::Backend::kEvents}) {
+      SCOPED_TRACE(sched::backend_name(backend));
+      const BackendRun other = run_once(backend, protocol, world, {3, 9}, tag);
+      EXPECT_EQ(threads.fingerprints, other.fingerprints);
+      EXPECT_EQ(threads.report.checkpoints, other.report.checkpoints);
+      EXPECT_EQ(threads.report.wrapper_collective_calls,
+                other.report.wrapper_collective_calls);
+      EXPECT_EQ(threads.report.wrapper_p2p_calls,
+                other.report.wrapper_p2p_calls);
+    }
   }
 }
 
@@ -115,10 +122,11 @@ TEST_P(LifecycleEquivalenceWorlds, CrashRestartChainsMatchAcrossBackends) {
   // harness asserts that), and the final state plus the deterministic
   // lifecycle shape must agree across backends.
   const int world = GetParam();
-  ScenarioOutcome outcomes[2];
+  ScenarioOutcome outcomes[3];
   int i = 0;
   for (const auto backend :
-       {sched::Backend::kThreads, sched::Backend::kFibers}) {
+       {sched::Backend::kThreads, sched::Backend::kFibers,
+        sched::Backend::kEvents}) {
     Scenario scenario;
     scenario.tag = "sched_eq_life_w" + std::to_string(world) + "_" +
                    sched::backend_name(backend);
@@ -130,20 +138,23 @@ TEST_P(LifecycleEquivalenceWorlds, CrashRestartChainsMatchAcrossBackends) {
     scenario.sched.backend = backend;
     outcomes[i++] = expect_scenario_roundtrip(scenario);
   }
-  EXPECT_EQ(outcomes[0].golden, outcomes[1].golden);
-  EXPECT_EQ(outcomes[0].chained, outcomes[1].chained);
-  EXPECT_EQ(outcomes[0].lifecycle.crashes, outcomes[1].lifecycle.crashes);
-  EXPECT_EQ(outcomes[0].lifecycle.completed, outcomes[1].lifecycle.completed);
+  for (int j = 1; j < 3; ++j) {
+    EXPECT_EQ(outcomes[0].golden, outcomes[j].golden);
+    EXPECT_EQ(outcomes[0].chained, outcomes[j].chained);
+    EXPECT_EQ(outcomes[0].lifecycle.crashes, outcomes[j].lifecycle.crashes);
+    EXPECT_EQ(outcomes[0].lifecycle.completed, outcomes[j].lifecycle.completed);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Worlds, LifecycleEquivalenceWorlds,
                          ::testing::Values(2, 4, 8, 16));
 
 TEST(LifecycleEquivalence, TwoPhaseCommitChainMatchesAcrossBackends) {
-  ScenarioOutcome outcomes[2];
+  ScenarioOutcome outcomes[3];
   int i = 0;
   for (const auto backend :
-       {sched::Backend::kThreads, sched::Backend::kFibers}) {
+       {sched::Backend::kThreads, sched::Backend::kFibers,
+        sched::Backend::kEvents}) {
     Scenario scenario;
     scenario.tag =
         std::string("sched_eq_life_tpc_") + sched::backend_name(backend);
@@ -155,10 +166,12 @@ TEST(LifecycleEquivalence, TwoPhaseCommitChainMatchesAcrossBackends) {
     scenario.sched.backend = backend;
     outcomes[i++] = expect_scenario_roundtrip(scenario);
   }
-  EXPECT_EQ(outcomes[0].golden, outcomes[1].golden);
-  EXPECT_EQ(outcomes[0].chained, outcomes[1].chained);
-  EXPECT_EQ(outcomes[0].lifecycle.crashes, outcomes[1].lifecycle.crashes);
-  EXPECT_EQ(outcomes[0].lifecycle.completed, outcomes[1].lifecycle.completed);
+  for (int j = 1; j < 3; ++j) {
+    EXPECT_EQ(outcomes[0].golden, outcomes[j].golden);
+    EXPECT_EQ(outcomes[0].chained, outcomes[j].chained);
+    EXPECT_EQ(outcomes[0].lifecycle.crashes, outcomes[j].lifecycle.crashes);
+    EXPECT_EQ(outcomes[0].lifecycle.completed, outcomes[j].lifecycle.completed);
+  }
 }
 
 }  // namespace

@@ -30,9 +30,14 @@ SchedConfig fibers(int workers = 1) {
 TEST(SchedBackend, ParseNames) {
   EXPECT_EQ(parse_backend("threads"), Backend::kThreads);
   EXPECT_EQ(parse_backend("fibers"), Backend::kFibers);
+  EXPECT_EQ(parse_backend("events"), Backend::kEvents);
+  // A typo must fail loudly, never silently fall back to threads.
   EXPECT_THROW((void)parse_backend("coroutines"), UsageError);
+  EXPECT_THROW((void)parse_backend(""), UsageError);
+  EXPECT_THROW((void)parse_backend("Fibers"), UsageError);
   EXPECT_STREQ(backend_name(Backend::kThreads), "threads");
   EXPECT_STREQ(backend_name(Backend::kFibers), "fibers");
+  EXPECT_STREQ(backend_name(Backend::kEvents), "events");
 }
 
 TEST(SchedBackend, ThreadsRunEveryTask) {

@@ -20,6 +20,12 @@ RuntimeConfig fiber_world(int n, int ranks_per_node = 8) {
   return config;
 }
 
+RuntimeConfig events_world(int n, int ranks_per_node = 8) {
+  RuntimeConfig config = fiber_world(n, ranks_per_node);
+  config.sched.backend = sched::Backend::kEvents;
+  return config;
+}
+
 template <typename T>
 std::span<const std::byte> cspan(const T& v) {
   return std::as_bytes(std::span(&v, 1));
@@ -50,6 +56,44 @@ TEST(FiberSmoke, ThousandRankBarrierAndAllreduce) {
   EXPECT_LE(stats.stacks_mapped, static_cast<std::uint64_t>(kWorld));
   EXPECT_GT(runtime.max_clock(), 0);
   simnet::MessageStore::set_wait_timeout_ms(10'000);
+}
+
+TEST(EventsSmoke, ThousandRankCollectivesDriveStacklessly) {
+  // The events-backend headline: the same 1024-rank collective world, but
+  // the fan-in waits are served by continuation firings — at least some
+  // parks must be stackless, and results must match the fiber run bit for
+  // bit (asserted exhaustively in tests/sched/test_equivalence.cpp).
+  simnet::MessageStore::set_wait_timeout_ms(120'000);
+  constexpr int kWorld = 1024;
+  Runtime runtime(events_world(kWorld));
+  runtime.run([](Rank& self) {
+    self.barrier(self.world());
+    const std::int64_t mine = self.world_rank();
+    std::int64_t sum = 0;
+    self.allreduce(self.world(), cspan(mine), wspan(sum), Datatype::kInt64,
+                   ReduceOp::kSum);
+    EXPECT_EQ(sum, static_cast<std::int64_t>(kWorld) * (kWorld - 1) / 2);
+    self.barrier(self.world());
+  });
+  const auto& stats = runtime.sched_stats();
+  EXPECT_GT(stats.stackless_parks, 0u);
+  EXPECT_GT(runtime.max_clock(), 0);
+  simnet::MessageStore::set_wait_timeout_ms(10'000);
+}
+
+TEST(EventsSmoke, AbortUnwindsParkedEventDrivenRanks) {
+  // A rank faulting mid-collective must unwind peers whose waits are held
+  // by a registered watch + armed continuation, not a stackful park.
+  simnet::MessageStore::set_wait_timeout_ms(10'000);
+  Runtime runtime(events_world(8));
+  EXPECT_THROW(
+      runtime.run([](Rank& self) {
+        if (self.world_rank() == 3) throw std::runtime_error("injected fault");
+        self.barrier(self.world());
+        self.barrier(self.world());
+      }),
+      std::runtime_error);
+  EXPECT_TRUE(runtime.aborted());
 }
 
 TEST(FiberRuntime, AbortPropagatesFromThrowingFiberRank) {
